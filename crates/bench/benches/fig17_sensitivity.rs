@@ -1,0 +1,33 @@
+//! Figure 17 machinery: a single sensitivity point (6x6 mesh) end to
+//! end on one workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ndc::prelude::*;
+use ndc_ir::{lower, LowerOptions};
+use ndc_sim::engine::simulate;
+
+fn bench_sensitivity_point(c: &mut Criterion) {
+    let mut cfg = ArchConfig::paper_default();
+    cfg.noc.width = 6;
+    cfg.noc.height = 6;
+    let prog = by_name("fft").unwrap().build(Scale::Test);
+    let opts = LowerOptions {
+        cores: cfg.nodes(),
+        emit_busy: true,
+    };
+    let mut group = c.benchmark_group("fig17_sensitivity");
+    group.sample_size(10);
+    group.bench_function("fft_6x6_alg1", |b| {
+        b.iter(|| {
+            let traces = lower(&prog, &opts, None);
+            let base = simulate(cfg, &traces, Scheme::Baseline).result;
+            let (s1, _) = compile_algorithm1(&prog, &cfg, cfg.nodes());
+            let a1 = simulate(cfg, &lower(&prog, &opts, Some(&s1)), Scheme::Compiled).result;
+            std::hint::black_box(a1.improvement_over(&base))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sensitivity_point);
+criterion_main!(benches);

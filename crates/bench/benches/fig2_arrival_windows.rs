@@ -1,0 +1,38 @@
+//! Figure 2 machinery: instrumented baseline runs collecting
+//! arrival-window CDFs. Benchmarks the characterization cost per
+//! workload (the data itself is printed by `ndc-eval fig2`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ndc::prelude::*;
+use ndc_ir::{lower, LowerOptions};
+use ndc_sim::engine::Engine;
+
+fn bench_characterization(c: &mut Criterion) {
+    let cfg = ArchConfig::paper_default();
+    let mut group = c.benchmark_group("fig2_arrival_windows");
+    group.sample_size(10);
+    for name in ["kdtree", "swim", "ocean"] {
+        let prog = by_name(name).unwrap().build(Scale::Test);
+        let traces = lower(
+            &prog,
+            &LowerOptions {
+                cores: cfg.nodes(),
+                emit_busy: true,
+            },
+            None,
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let out = Engine::new(cfg, &traces, Scheme::Baseline)
+                    .with_instrumentation()
+                    .run();
+                let ins = out.instrumentation.unwrap();
+                std::hint::black_box(ins.window_hist[0].cdf());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_characterization);
+criterion_main!(benches);

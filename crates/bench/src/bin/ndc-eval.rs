@@ -1,0 +1,571 @@
+//! `ndc-eval` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! ndc-eval <experiment> [--scale test|paper] [--bench <name>]
+//!
+//! experiments:
+//!   table1            simulated configuration (paper Table 1)
+//!   table2            CME L1/L2 estimation accuracy
+//!   fig2              arrival-window CDFs per location
+//!   fig3              breakeven points vs arrival windows
+//!   fig4              performance benefit of every scheme
+//!   fig5              consecutive arrival windows (ocean, radiosity)
+//!   fig6              oracle NDC location breakdown
+//!   fig13             Algorithm-1 NDC location breakdown
+//!   fig14             Algorithm 1 restricted to single components
+//!   fig15             NDC opportunities exercised by Algorithm 2
+//!   fig16             L1/L2 miss rates under Algorithms 1 and 2
+//!   fig17             sensitivity study (mesh size, L2 size, op class)
+//!   ablation-routing  router NDC with vs without route reshaping
+//!   ablation-coarse   fine-grain vs whole-nest mapping
+//!   all               everything above in sequence
+//! ```
+
+use ndc::experiments as exp;
+use ndc::prelude::*;
+use ndc_types::{geomean_improvement, BUCKET_LABELS};
+
+struct Args {
+    experiment: String,
+    scale: Scale,
+    bench: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut experiment = String::from("help");
+    let mut scale = Scale::Paper;
+    let mut bench = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_default();
+                scale = match v.as_str() {
+                    "test" => Scale::Test,
+                    "paper" => Scale::Paper,
+                    other => {
+                        eprintln!("unknown scale '{other}', using paper");
+                        Scale::Paper
+                    }
+                };
+            }
+            "--bench" => bench = it.next(),
+            other if experiment == "help" => experiment = other.to_string(),
+            other => eprintln!("ignoring extra argument '{other}'"),
+        }
+    }
+    Args {
+        experiment,
+        scale,
+        bench,
+    }
+}
+
+fn benches(filter: &Option<String>) -> Vec<Benchmark> {
+    match filter {
+        Some(name) => vec![by_name(name).unwrap_or_else(|| {
+            eprintln!("unknown benchmark '{name}'");
+            std::process::exit(1);
+        })],
+        None => all_benchmarks(),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = ArchConfig::paper_default();
+    match args.experiment.as_str() {
+        "list" => list_benchmarks(),
+        "table1" => table1(&cfg),
+        "table2" => with_evals(&args, cfg, table2_cmd),
+        "fig2" => with_evals(&args, cfg, fig2),
+        "fig3" => with_evals(&args, cfg, fig3),
+        "fig4" => with_evals(&args, cfg, fig4),
+        "fig5" => fig5(&args, cfg),
+        "fig6" => with_evals(&args, cfg, fig6),
+        "fig13" => with_evals(&args, cfg, fig13),
+        "fig14" => fig14(&args, cfg),
+        "fig15" => with_evals(&args, cfg, fig15),
+        "fig16" => with_evals(&args, cfg, fig16),
+        "fig17" => fig17(&args),
+        "ablation-routing" => ablation_routing(&args, cfg),
+        "ablation-coarse" => ablation_coarse(&args, cfg),
+        "ablation-k" => ablation_k(&args, cfg),
+        "ablation-markov" => ablation_markov(&args, cfg),
+        "ablation-layout" => ablation_layout(&args, cfg),
+        "all" => {
+            table1(&cfg);
+            let evals: Vec<_> = benches(&args.bench)
+                .iter()
+                .map(|b| exp::evaluate_benchmark(b, cfg, args.scale))
+                .collect();
+            table2_cmd(&evals);
+            fig2(&evals);
+            fig3(&evals);
+            fig4(&evals);
+            fig5(&args, cfg);
+            fig6(&evals);
+            fig13(&evals);
+            fig14(&args, cfg);
+            fig15(&evals);
+            fig16(&evals);
+            fig17(&args);
+            ablation_routing(&args, cfg);
+            ablation_coarse(&args, cfg);
+            ablation_k(&args, cfg);
+            ablation_markov(&args, cfg);
+            ablation_layout(&args, cfg);
+        }
+        _ => {
+            println!("usage: ndc-eval <experiment> [--scale test|paper] [--bench <name>]");
+            println!("experiments: list table1 table2 fig2 fig3 fig4 fig5 fig6 fig13 fig14");
+            println!("             fig15 fig16 fig17 ablation-routing ablation-coarse");
+            println!("             ablation-k ablation-markov ablation-layout all");
+        }
+    }
+}
+
+fn with_evals(args: &Args, cfg: ArchConfig, f: impl Fn(&[exp::BenchmarkEvaluation])) {
+    use rayon::prelude::*;
+    let list = benches(&args.bench);
+    let evals: Vec<_> = list
+        .par_iter()
+        .map(|b| exp::evaluate_benchmark(b, cfg, args.scale))
+        .collect();
+    f(&evals);
+}
+
+fn list_benchmarks() {
+    println!("== Benchmarks (paper §3: SPECOMP + SPLASH-2) ==");
+    println!(
+        "{:<10} {:<9} {:<17} {:>9} {:>7} {:>9}",
+        "name", "suite", "pattern", "arrays", "nests", "KB"
+    );
+    for b in all_benchmarks() {
+        let p = b.build(Scale::Paper);
+        println!(
+            "{:<10} {:<9} {:<17} {:>9} {:>7} {:>9}",
+            b.name,
+            format!("{:?}", b.suite),
+            format!("{:?}", b.pattern),
+            p.arrays.len(),
+            p.nests.len(),
+            p.footprint() / 1024,
+        );
+    }
+    println!();
+}
+
+fn table1(cfg: &ArchConfig) {
+    println!("== Table 1: simulated configuration ==");
+    println!(
+        "Mesh: {}x{} 2D mesh, XY routing, {}B links, {}-cycle router pipeline",
+        cfg.noc.width, cfg.noc.height, cfg.noc.link_bytes, cfg.noc.hop_cycles
+    );
+    println!(
+        "L1: {} KB/node, {}B lines, {}-way, {}-cycle",
+        cfg.l1.size_bytes / 1024,
+        cfg.l1.line_bytes,
+        cfg.l1.ways,
+        cfg.l1.latency
+    );
+    println!(
+        "L2: {} KB/node, {}B lines, {}-way, {}-cycle, line-interleaved static NUCA",
+        cfg.l2.size_bytes / 1024,
+        cfg.l2.line_bytes,
+        cfg.l2.ways,
+        cfg.l2.latency
+    );
+    println!(
+        "Memory: {} controllers, {} KB interleave, {} banks/device, {} rows/bank, {} KB row buffers",
+        cfg.mem.num_controllers,
+        cfg.mem.interleave_bytes / 1024,
+        cfg.mem.dram.banks_per_device,
+        cfg.mem.dram.rows_per_bank,
+        cfg.mem.dram.row_bytes / 1024
+    );
+    println!(
+        "Cores: {}-issue, 1 thread/core, {} MSHRs; offloading: all arithmetic/logic ops",
+        cfg.issue_width, cfg.mshrs
+    );
+    println!();
+}
+
+fn table2_cmd(evals: &[exp::BenchmarkEvaluation]) {
+    println!("== Table 2: L1/L2 miss-estimation accuracy (%) ==");
+    println!("{:<10} {:>6} {:>6}", "bench", "L1", "L2");
+    let rows = exp::table2(evals);
+    let (mut l1s, mut l2s) = (Vec::new(), Vec::new());
+    for (name, r) in &rows {
+        println!(
+            "{:<10} {:>6.1} {:>6.1}",
+            name, r.l1_accuracy_pct, r.l2_accuracy_pct
+        );
+        l1s.push(r.l1_accuracy_pct);
+        l2s.push(r.l2_accuracy_pct);
+    }
+    println!(
+        "{:<10} {:>6.1} {:>6.1}   (paper: 81.1 / 72.9)",
+        "average",
+        ndc_types::mean(&l1s),
+        ndc_types::mean(&l2s)
+    );
+    println!();
+}
+
+fn fig2(evals: &[exp::BenchmarkEvaluation]) {
+    println!("== Figure 2: arrival-window CDFs (%, truncated at 50) ==");
+    let loc_names = ["link buffer", "L2 controller", "memory controller", "main memory"];
+    let rows = exp::figure2(evals);
+    for (li, lname) in loc_names.iter().enumerate() {
+        println!("--- ({}) {} ---", (b'a' + li as u8) as char, lname);
+        print!("{:<10}", "bench");
+        for l in BUCKET_LABELS {
+            print!(" {l:>6}");
+        }
+        println!();
+        for (name, per_loc) in &rows {
+            print!("{name:<10}");
+            for v in per_loc[li] {
+                print!(" {v:>6.1}");
+            }
+            println!();
+        }
+    }
+    println!();
+}
+
+fn fig3(evals: &[exp::BenchmarkEvaluation]) {
+    println!("== Figure 3: breakeven points vs arrival windows (% per bucket) ==");
+    let f3 = exp::figure3(evals);
+    let loc_names = ["link buffer", "cache controller", "memory controller", "main memory"];
+    print!("{:<34}", "location / series");
+    for l in BUCKET_LABELS {
+        print!(" {l:>6}");
+    }
+    println!();
+    for (i, lname) in loc_names.iter().enumerate() {
+        print!("{:<34}", format!("{lname} arrival window"));
+        for v in f3.windows[i].percentages() {
+            print!(" {v:>6.1}");
+        }
+        println!();
+        print!("{:<34}", format!("{lname} breakeven point"));
+        for v in f3.breakevens[i].percentages() {
+            print!(" {v:>6.1}");
+        }
+        println!();
+    }
+    println!();
+}
+
+fn fig4(evals: &[exp::BenchmarkEvaluation]) {
+    println!("== Figure 4: performance benefit over original (%) ==");
+    let rows = exp::figure4(evals);
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>7} {:>7}",
+        "bench", "default", "oracle", "w5%", "w10%", "w25%", "w50%", "lastwait", "alg1", "alg2"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>9.1} {:>7.1} {:>7.1}",
+            r.name,
+            r.schemes[0],
+            r.schemes[1],
+            r.schemes[2],
+            r.schemes[3],
+            r.schemes[4],
+            r.schemes[5],
+            r.schemes[6],
+            r.alg1,
+            r.alg2
+        );
+    }
+    let g = |f: &dyn Fn(&exp::Figure4Row) -> f64| {
+        geomean_improvement(&rows.iter().map(f).collect::<Vec<_>>())
+    };
+    println!(
+        "{:<10} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>9.1} {:>7.1} {:>7.1}",
+        "geomean",
+        g(&|r| r.schemes[0]),
+        g(&|r| r.schemes[1]),
+        g(&|r| r.schemes[2]),
+        g(&|r| r.schemes[3]),
+        g(&|r| r.schemes[4]),
+        g(&|r| r.schemes[5]),
+        g(&|r| r.schemes[6]),
+        g(&|r| r.alg1),
+        g(&|r| r.alg2),
+    );
+    println!("(paper geomeans: default -16.7, oracle +29.3, wait -15.1..-13.4, lastwait -4.3, alg1 +22.5, alg2 +25.2)");
+    println!();
+}
+
+fn fig5(args: &Args, cfg: ArchConfig) {
+    println!("== Figure 5: 30 consecutive arrival windows of one instruction ==");
+    for name in ["ocean", "radiosity"] {
+        let bench = by_name(name).unwrap();
+        let eval = exp::evaluate_benchmark(&bench, cfg, args.scale);
+        let series = exp::figure5(&eval, 30);
+        let s: Vec<String> = series
+            .iter()
+            .map(|w| w.map_or("-".into(), |c| c.to_string()))
+            .collect();
+        println!("{name:<10} {}", s.join(" "));
+    }
+    println!("(- = operands never co-located for that instance)");
+    println!();
+}
+
+fn breakdown(rows: &[exp::BreakdownRow], title: &str, paper_avg: &str) {
+    println!("== {title} ==");
+    println!(
+        "{:<10} {:>7} {:>8} {:>6} {:>7}",
+        "bench", "cache", "network", "MC", "memory"
+    );
+    for r in rows {
+        // Paper order: cache, network, MC, memory.
+        println!(
+            "{:<10} {:>7.1} {:>8.1} {:>6.1} {:>7.1}",
+            r.name,
+            r.pct[NdcLocation::CacheController.index()],
+            r.pct[NdcLocation::LinkBuffer.index()],
+            r.pct[NdcLocation::MemoryController.index()],
+            r.pct[NdcLocation::MemoryBank.index()]
+        );
+    }
+    let avg = exp::breakdown_average(rows);
+    println!(
+        "{:<10} {:>7.1} {:>8.1} {:>6.1} {:>7.1}   (paper avg: {paper_avg})",
+        "average",
+        avg[NdcLocation::CacheController.index()],
+        avg[NdcLocation::LinkBuffer.index()],
+        avg[NdcLocation::MemoryController.index()],
+        avg[NdcLocation::MemoryBank.index()]
+    );
+    println!();
+}
+
+fn fig6(evals: &[exp::BenchmarkEvaluation]) {
+    breakdown(
+        &exp::figure6(evals),
+        "Figure 6: oracle NDC location breakdown (%)",
+        "25.9 / 36.0 / 21.7 / 16.4",
+    );
+}
+
+fn fig13(evals: &[exp::BenchmarkEvaluation]) {
+    breakdown(
+        &exp::figure13(evals),
+        "Figure 13: Algorithm-1 NDC location breakdown (%)",
+        "similar shape to Figure 6",
+    );
+    let fracs: Vec<f64> = evals
+        .iter()
+        .map(|e| 100.0 * e.alg1.0.ndc_fraction())
+        .collect();
+    println!(
+        "footnote 6: {:.1}% of arithmetic/logic instructions executed as NDC (paper: ~32%)",
+        ndc_types::mean(&fracs)
+    );
+    println!();
+}
+
+fn fig14(args: &Args, cfg: ArchConfig) {
+    println!("== Figure 14: Algorithm 1 restricted to a single component (%) ==");
+    println!(
+        "{:<10} {:>7} {:>8} {:>6} {:>7} {:>6}",
+        "bench", "cache", "network", "MC", "memory", "all"
+    );
+    let rows: Vec<_> = benches(&args.bench)
+        .iter()
+        .map(|b| exp::figure14(b, cfg, args.scale))
+        .collect();
+    for r in &rows {
+        println!(
+            "{:<10} {:>7.1} {:>8.1} {:>6.1} {:>7.1} {:>6.1}",
+            r.name,
+            r.isolated[NdcLocation::CacheController.index()],
+            r.isolated[NdcLocation::LinkBuffer.index()],
+            r.isolated[NdcLocation::MemoryController.index()],
+            r.isolated[NdcLocation::MemoryBank.index()],
+            r.all
+        );
+    }
+    println!("(the paper notes per-component sums exceed the combined run: a computation");
+    println!(" performed in one component is not re-performed in another)");
+    println!();
+}
+
+fn fig15(evals: &[exp::BenchmarkEvaluation]) {
+    println!("== Figure 15: NDC opportunities exercised by Algorithm 2 (%) ==");
+    let rows = exp::figure15(evals);
+    let mut vals = Vec::new();
+    for (name, pct) in &rows {
+        println!("{name:<10} {pct:>6.1}");
+        vals.push(*pct);
+    }
+    println!(
+        "{:<10} {:>6.1}   (paper avg: 81.8)",
+        "average",
+        ndc_types::mean(&vals)
+    );
+    println!();
+}
+
+fn fig16(evals: &[exp::BenchmarkEvaluation]) {
+    println!("== Figure 16: L1/L2 miss rates (%) under Algorithms 1 and 2 ==");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8}",
+        "bench", "L1 alg1", "L1 alg2", "L2 alg1", "L2 alg2"
+    );
+    for r in exp::figure16(evals) {
+        println!(
+            "{:<10} {:>8.1} {:>8.1} {:>8.1} {:>8.1}",
+            r.name, r.l1_alg1, r.l1_alg2, r.l2_alg1, r.l2_alg2
+        );
+    }
+    println!("(paper: Algorithm 2's rates are lower than Algorithm 1's in all programs)");
+    println!();
+}
+
+fn fig17(args: &Args) {
+    println!("== Figure 17: sensitivity study (geomean improvement %) ==");
+    println!(
+        "{:<32} {:>7} {:>7} {:>7}",
+        "configuration", "alg1", "alg2", "oracle"
+    );
+    for r in exp::figure17(args.scale) {
+        println!(
+            "{:<32} {:>7.1} {:>7.1} {:>7.1}",
+            r.label, r.alg1, r.alg2, r.oracle
+        );
+    }
+    println!("(paper: larger meshes help; L2 capacity is neutral; +/- restriction gives 14.1/16.5)");
+    println!();
+}
+
+fn ablation_routing(args: &Args, cfg: ArchConfig) {
+    println!("== Ablation: route reshaping (router NDC counts) ==");
+    println!(
+        "{:<10} {:>10} {:>10} {:>8}",
+        "bench", "with", "without", "drop%"
+    );
+    let mut drops = Vec::new();
+    for b in benches(&args.bench) {
+        let r = exp::ablation_routing(&b, cfg, args.scale);
+        let drop = if r.router_ndc_with > 0 {
+            100.0 * (r.router_ndc_with - r.router_ndc_without) as f64
+                / r.router_ndc_with as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:<10} {:>10} {:>10} {:>8.1}",
+            r.name, r.router_ndc_with, r.router_ndc_without, drop
+        );
+        if r.router_ndc_with > 0 {
+            drops.push(drop);
+        }
+    }
+    println!(
+        "{:<10} {:>10} {:>10} {:>8.1}   (paper: ~40% fewer router NDC)",
+        "average",
+        "",
+        "",
+        ndc_types::mean(&drops)
+    );
+    println!();
+}
+
+fn ablation_k(args: &Args, cfg: ArchConfig) {
+    println!("== Extension: Algorithm 2 reuse-threshold k sweep ==");
+    let ks = [0u32, 1, 2, 4, 8];
+    println!("{:<10} {:>4} {:>10} {:>12}", "bench", "k", "improve%", "exercised%");
+    let names = if args.bench.is_some() {
+        benches(&args.bench).iter().map(|b| b.name).collect::<Vec<_>>()
+    } else {
+        vec!["md", "water", "bt", "cholesky"]
+    };
+    for name in names {
+        let b = by_name(name).unwrap();
+        for r in ndc::experiments::ablation_k(&b, cfg, args.scale, &ks) {
+            println!(
+                "{:<10} {:>4} {:>10.1} {:>12.1}",
+                name, r.k, r.improvement, r.exercised_pct
+            );
+        }
+    }
+    println!("(the paper evaluates k=0 and defers tuning to future work)");
+    println!();
+}
+
+fn ablation_markov(args: &Args, cfg: ArchConfig) {
+    println!("== Extension: Markov window predictor (vs Last-Wait, oracle) ==");
+    println!(
+        "{:<10} {:>9} {:>8} {:>8}",
+        "bench", "lastwait", "markov", "oracle"
+    );
+    let (mut lw, mut mk) = (Vec::new(), Vec::new());
+    for b in benches(&args.bench) {
+        let r = ndc::experiments::ablation_markov(&b, cfg, args.scale);
+        println!(
+            "{:<10} {:>9.1} {:>8.1} {:>8.1}",
+            r.name, r.last_wait, r.markov, r.oracle
+        );
+        lw.push(r.last_wait);
+        mk.push(r.markov);
+    }
+    println!(
+        "{:<10} {:>9.1} {:>8.1}          (paper: \"even a Markov Chain-based predictor\"",
+        "geomean",
+        geomean_improvement(&lw),
+        geomean_improvement(&mk)
+    );
+    println!("                                      \"generated similar results\" to Last-Wait)");
+    println!();
+}
+
+fn ablation_layout(args: &Args, cfg: ArchConfig) {
+    println!("== Extension: data-layout optimization before Algorithm 2 ==");
+    println!(
+        "{:<10} {:>9} {:>12} {:>9}",
+        "bench", "without", "with-layout", "aligned"
+    );
+    for b in benches(&args.bench) {
+        let r = ndc::experiments::ablation_layout(&b, cfg, args.scale);
+        println!(
+            "{:<10} {:>9.1} {:>12.1} {:>9}",
+            r.name, r.without, r.with_layout, r.chains_aligned
+        );
+    }
+    println!("(the paper defers bank-remapping layout optimization to a future study)");
+    println!();
+}
+
+fn ablation_coarse(args: &Args, cfg: ArchConfig) {
+    println!("== Ablation: coarse-grain (whole-nest) mapping (%) ==");
+    println!(
+        "{:<10} {:>9} {:>9} {:>11} {:>11}",
+        "bench", "fine-a1", "fine-a2", "coarse-a1", "coarse-a2"
+    );
+    let (mut c1s, mut c2s) = (Vec::new(), Vec::new());
+    for b in benches(&args.bench) {
+        let r = exp::ablation_coarse(&b, cfg, args.scale);
+        println!(
+            "{:<10} {:>9.1} {:>9.1} {:>11.1} {:>11.1}",
+            r.name, r.fine_alg1, r.fine_alg2, r.coarse_alg1, r.coarse_alg2
+        );
+        c1s.push(r.coarse_alg1);
+        c2s.push(r.coarse_alg2);
+    }
+    println!(
+        "{:<10} {:>9} {:>9} {:>11.1} {:>11.1}   (paper: 1.2 / 2.5)",
+        "geomean",
+        "",
+        "",
+        geomean_improvement(&c1s),
+        geomean_improvement(&c2s)
+    );
+    println!();
+}

@@ -1,0 +1,6 @@
+//! Benchmark/evaluation crate: the `ndc-eval` binary regenerates every
+//! table and figure of the paper (see `ndc-eval help`), and the
+//! Criterion benches (`cargo bench`) measure the machinery behind each
+//! experiment. Table/figure *content* comes from `ndc::experiments`.
+
+pub use ndc::experiments;

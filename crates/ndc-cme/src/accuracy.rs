@@ -1,0 +1,173 @@
+//! Table 2: estimation accuracy of the CME predictor against the
+//! simulator's measured per-reference hit/miss behaviour.
+//!
+//! Accuracy is the access-weighted agreement between predicted and
+//! observed miss rates: a reference with predicted rate `p` and
+//! observed rate `q` over `n` accesses correctly classifies
+//! `n · (1 − |p − q|)` of them. Coherence misses, which the estimator
+//! does not model, appear in `q` but never in `p` — they are the main
+//! source of disagreement, exactly as the paper reports.
+
+use crate::predict::{CmeAnalysis, RefKey};
+use ndc_types::Pc;
+use std::collections::HashMap;
+
+/// The simulator-side per-reference counters the accuracy comparison
+/// consumes: `(pc, slot) → (hits, misses)`.
+pub type SimCounters = HashMap<(Pc, u8), (u64, u64)>;
+
+/// Per-benchmark accuracy numbers (one Table 2 row).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyReport {
+    /// Percent of L1 accesses whose behaviour the estimator predicted.
+    pub l1_accuracy_pct: f64,
+    /// Same for L2 (over accesses that reached L2).
+    pub l2_accuracy_pct: f64,
+    /// Dynamic accesses compared.
+    pub l1_accesses: u64,
+    pub l2_accesses: u64,
+}
+
+/// Compare CME predictions against simulator counters.
+///
+/// `pc_of_key` maps a reference to its simulator PC (the lowering's
+/// numbering); references the simulator never executed (e.g. fully
+/// out-of-bounds halo slots) are skipped.
+pub fn accuracy_against_sim(
+    analysis: &CmeAnalysis,
+    l1_counters: &SimCounters,
+    l2_counters: &SimCounters,
+    pc_of_key: impl Fn(&RefKey) -> Pc,
+) -> AccuracyReport {
+    let mut l1_weighted = 0.0;
+    let mut l1_total = 0u64;
+    let mut l2_weighted = 0.0;
+    let mut l2_total = 0u64;
+
+    for (key, pred) in &analysis.predictions {
+        let pc = pc_of_key(key);
+        if let Some(&(hits, misses)) = l1_counters.get(&(pc, key.slot)) {
+            let n = hits + misses;
+            if n > 0 {
+                let q = misses as f64 / n as f64;
+                let agree = 1.0 - (pred.l1_miss_rate - q).abs();
+                l1_weighted += agree * n as f64;
+                l1_total += n;
+            }
+        }
+        if let Some(&(hits, misses)) = l2_counters.get(&(pc, key.slot)) {
+            let n = hits + misses;
+            if n > 0 {
+                let q = misses as f64 / n as f64;
+                let agree = 1.0 - (pred.l2_miss_rate - q).abs();
+                l2_weighted += agree * n as f64;
+                l2_total += n;
+            }
+        }
+    }
+
+    AccuracyReport {
+        l1_accuracy_pct: if l1_total == 0 {
+            0.0
+        } else {
+            100.0 * l1_weighted / l1_total as f64
+        },
+        l2_accuracy_pct: if l2_total == 0 {
+            0.0
+        } else {
+            100.0 * l2_weighted / l2_total as f64
+        },
+        l1_accesses: l1_total,
+        l2_accesses: l2_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict::MissPrediction;
+    use crate::reuse::ReuseKind;
+
+    fn analysis_with(rate_l1: f64, rate_l2: f64) -> (CmeAnalysis, RefKey) {
+        let key = RefKey {
+            nest_pos: 0,
+            stmt_pos: 0,
+            slot: 0,
+        };
+        let mut a = CmeAnalysis::default();
+        a.predictions.insert(
+            key,
+            MissPrediction {
+                l1_miss_rate: rate_l1,
+                l2_miss_rate: rate_l2,
+                reuse: ReuseKind::None,
+            },
+        );
+        (a, key)
+    }
+
+    #[test]
+    fn perfect_prediction_is_100_percent() {
+        let (a, _) = analysis_with(0.25, 0.5);
+        let mut l1 = SimCounters::new();
+        l1.insert((16, 0), (75, 25)); // observed 25% misses
+        let mut l2 = SimCounters::new();
+        l2.insert((16, 0), (10, 10)); // observed 50%
+        let rep = accuracy_against_sim(&a, &l1, &l2, |_| 16);
+        assert!((rep.l1_accuracy_pct - 100.0).abs() < 1e-9);
+        assert!((rep.l2_accuracy_pct - 100.0).abs() < 1e-9);
+        assert_eq!(rep.l1_accesses, 100);
+        assert_eq!(rep.l2_accesses, 20);
+    }
+
+    #[test]
+    fn coherence_misses_erode_accuracy() {
+        // Predict 10% misses; coherence pushes observed to 40%.
+        let (a, _) = analysis_with(0.1, 0.1);
+        let mut l1 = SimCounters::new();
+        l1.insert((16, 0), (60, 40));
+        let rep = accuracy_against_sim(&a, &l1, &SimCounters::new(), |_| 16);
+        assert!((rep.l1_accuracy_pct - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unexecuted_references_are_skipped() {
+        let (a, _) = analysis_with(0.5, 0.5);
+        let rep = accuracy_against_sim(&a, &SimCounters::new(), &SimCounters::new(), |_| 16);
+        assert_eq!(rep.l1_accesses, 0);
+        assert_eq!(rep.l1_accuracy_pct, 0.0);
+    }
+
+    #[test]
+    fn weighting_by_access_count() {
+        let key2 = RefKey {
+            nest_pos: 0,
+            stmt_pos: 1,
+            slot: 0,
+        };
+        let (mut a, _) = analysis_with(0.0, 0.0);
+        a.predictions.insert(
+            key2,
+            MissPrediction {
+                l1_miss_rate: 1.0,
+                l2_miss_rate: 1.0,
+                reuse: ReuseKind::None,
+            },
+        );
+        let mut l1 = SimCounters::new();
+        // Ref 1 (predict 0.0): observed 0% over 900 accesses — perfect.
+        l1.insert((16, 0), (900, 0));
+        // Ref 2 (predict 1.0): observed 0% over 100 accesses — fully
+        // wrong.
+        l1.insert((32, 0), (100, 0));
+        let rep = accuracy_against_sim(&a, &l1, &SimCounters::new(), |k| {
+            if k.stmt_pos == 0 {
+                16
+            } else {
+                32
+            }
+        });
+        // 900 perfect + 100 wrong = 90%.
+        assert!((rep.l1_accuracy_pct - 90.0).abs() < 1e-9);
+    }
+}

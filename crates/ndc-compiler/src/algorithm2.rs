@@ -1,0 +1,139 @@
+//! Algorithm 2: the NDC / data-locality trade-off (§5.3).
+//!
+//! Identical search to Algorithm 1, but a chain is *not* offloaded when
+//! one of its operands is reused beyond the computation: the compiler
+//! checks for an iteration `I_m` with `I_e > I_m > I_c` touching the
+//! same element (`f(I_x) = p(I_m)` or `g(I_y) = l(I_m)`), which with
+//! constant-distance reuse reduces to a lex-positive Input/Anti
+//! dependence out of the statement. Such chains execute conventionally,
+//! so the operands are brought into L1 and their reuses hit — trading
+//! NDC for cache locality.
+//!
+//! The paper evaluates the threshold `k = 0` (a single reuse suffices
+//! to bypass NDC) and defers tuning `k` to future work;
+//! [`Algorithm2Options::reuse_k`] exposes it so the ablation bench can
+//! sweep it.
+
+use crate::algorithm1::compile_inner;
+use crate::report::CompilerReport;
+use ndc_ir::program::Program;
+use ndc_ir::schedule::Schedule;
+use ndc_types::ArchConfig;
+
+/// Tunables for the reuse-aware pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Algorithm2Options {
+    /// Bypass NDC when an operand has more than `reuse_k` future
+    /// reuses. The paper's evaluation uses 0 (its default here).
+    pub reuse_k: u32,
+}
+
+/// Compile a program with Algorithm 2.
+pub fn compile_algorithm2(
+    prog: &Program,
+    cfg: &ArchConfig,
+    cores: usize,
+    opts: Algorithm2Options,
+) -> (Schedule, CompilerReport) {
+    compile_inner(prog, cfg, cores, Some(opts.reuse_k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndc_ir::program::{ArrayDecl, ArrayRef, LoopNest, Ref, Stmt};
+    use ndc_types::Op;
+
+    fn cfg() -> ArchConfig {
+        ArchConfig::paper_default()
+    }
+
+    /// Figure 12's shape: `x + y` where `y` has further uses.
+    /// Z[i] = X[i] + Y[i]; W[i] = Y[i-1] * Y[i-3] — Y's elements are
+    /// re-read at later iterations, so Algorithm 2 must bypass the
+    /// first chain while Algorithm 1 offloads it.
+    fn reuse_prog() -> Program {
+        let mut p = Program::new("fig12");
+        let x = p.add_array(ArrayDecl::new("X", vec![8192], 8));
+        let y = p.add_array(ArrayDecl::new("Y", vec![8192], 8));
+        let z = p.add_array(ArrayDecl::new("Z", vec![8192], 8));
+        let w = p.add_array(ArrayDecl::new("W", vec![8192], 8));
+        let s0 = Stmt::binary(
+            0,
+            ArrayRef::identity(z, 1, vec![0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(x, 1, vec![0])),
+            Ref::Array(ArrayRef::identity(y, 1, vec![0])),
+            1,
+        );
+        let s1 = Stmt::binary(
+            1,
+            ArrayRef::identity(w, 1, vec![0]),
+            Op::Mul,
+            Ref::Array(ArrayRef::identity(y, 1, vec![-1])),
+            Ref::Array(ArrayRef::identity(y, 1, vec![-3])),
+            1,
+        );
+        p.nests
+            .push(LoopNest::new(0, vec![3], vec![8000], vec![s0, s1]));
+        p.assign_layout(0, 4096);
+        p
+    }
+
+    #[test]
+    fn algorithm2_bypasses_reused_operands() {
+        let p = reuse_prog();
+        let (_, r1) = crate::compile_algorithm1(&p, &cfg(), 25);
+        let (_, r2) = compile_algorithm2(&p, &cfg(), 25, Algorithm2Options::default());
+        // Algorithm 1 sees both chains; Algorithm 2 bypasses those with
+        // reused operands.
+        assert_eq!(r1.opportunities, 2);
+        assert_eq!(r2.opportunities, 2);
+        assert!(r2.bypassed_reuse >= 1, "report: {r2:?}");
+        assert!(r2.planned < r1.planned.max(1) + 1);
+        assert!(r2.exercised_pct() < 100.0);
+    }
+
+    #[test]
+    fn higher_k_exercises_more_opportunities() {
+        let p = reuse_prog();
+        let (_, strict) = compile_algorithm2(&p, &cfg(), 25, Algorithm2Options { reuse_k: 0 });
+        let (_, relaxed) =
+            compile_algorithm2(&p, &cfg(), 25, Algorithm2Options { reuse_k: 8 });
+        assert!(relaxed.planned >= strict.planned);
+        assert!(relaxed.bypassed_reuse <= strict.bypassed_reuse);
+    }
+
+    #[test]
+    fn no_reuse_means_algorithms_agree() {
+        // A line-stride chain over distinct arrays: no reuse at all,
+        // so both algorithms plan it identically.
+        let mut p = Program::new("stream");
+        let x = p.add_array(ArrayDecl::new("X", vec![40000], 8));
+        let y = p.add_array(ArrayDecl::new("Y", vec![40000], 8));
+        let z = p.add_array(ArrayDecl::new("Z", vec![4096], 8));
+        let s8 = |arr, off: i64| {
+            Ref::Array(ArrayRef::affine(
+                arr,
+                ndc_ir::matrix::IMat::from_rows(&[&[8]]),
+                vec![off],
+            ))
+        };
+        let s = Stmt::binary(
+            0,
+            ArrayRef::identity(z, 1, vec![0]),
+            Op::Add,
+            s8(x, 0),
+            s8(y, 0),
+            1,
+        );
+        p.nests
+            .push(LoopNest::new(0, vec![0], vec![4000], vec![s]));
+        p.assign_layout(0, 4096);
+        let (_, r1) = crate::compile_algorithm1(&p, &cfg(), 25);
+        let (_, r2) = compile_algorithm2(&p, &cfg(), 25, Algorithm2Options::default());
+        assert_eq!(r1.planned, 1);
+        assert_eq!(r2.planned, 1);
+        assert_eq!(r2.bypassed_reuse, 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Coarse-grain mapping ablation (§5.4, last paragraph).
+//!
+//! Instead of per-computation decisions, the whole nest's chains are
+//! mapped to one component with no stagger tuning, no lookahead and no
+//! route reshaping — "a large number of computations (e.g., entire loop
+//! nest) are mapped to a location for NDC". The paper reports this
+//! performs poorly (1.2% / 2.5% average improvements), motivating
+//! fine-grain instruction-level mapping; the `ablation-coarse` bench
+//! target reproduces the comparison.
+
+use crate::report::CompilerReport;
+use ndc_ir::deps::{DependenceGraph, DependenceKind, DistanceVector};
+use ndc_ir::program::Program;
+use ndc_ir::schedule::{MoveStrategy, PrecomputePlan, Schedule};
+use ndc_types::{ArchConfig, NdcLocation};
+
+/// Compile with whole-nest coarse mapping. `reuse_aware` applies
+/// Algorithm 2's bypass on top (the paper reports both variants).
+pub fn compile_coarse(
+    prog: &Program,
+    cfg: &ArchConfig,
+    reuse_aware: bool,
+) -> (Schedule, CompilerReport) {
+    let mut schedule = Schedule::default();
+    let mut report = CompilerReport::default();
+    for nest in &prog.nests {
+        let deps = DependenceGraph::analyze(nest);
+        // One location for the whole nest: the L2 bank (the first
+        // component of the trial order), regardless of per-chain
+        // viability.
+        for stmt in &nest.body {
+            let Some(op) = stmt.op else { continue };
+            if stmt.memory_operand_pair().is_none() || !cfg.ndc.op_class.allows(op) {
+                continue;
+            }
+            report.opportunities += 1;
+            if reuse_aware {
+                let reused = deps.edges_from(stmt.id).any(|e| {
+                    matches!(e.kind, DependenceKind::Input | DependenceKind::Anti)
+                        && matches!(
+                            &e.distance,
+                            DistanceVector::Constant(d) if ndc_ir::matrix::lex_positive(d)
+                        )
+                });
+                if reused {
+                    report.bypassed_reuse += 1;
+                    continue;
+                }
+            }
+            report.planned += 1;
+            report.per_target[NdcLocation::CacheController.index()] += 1;
+            schedule.precomputes.push(PrecomputePlan {
+                nest: nest.id,
+                stmt: stmt.id,
+                lookahead: 0,
+                stagger: 0,
+                reshape_routes: false,
+                strategy: MoveStrategy::MoveBoth,
+                target: NdcLocation::CacheController,
+            });
+        }
+    }
+    (schedule, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndc_ir::program::{ArrayDecl, ArrayRef, LoopNest, Ref, Stmt};
+    use ndc_types::Op;
+
+    #[test]
+    fn coarse_plans_everything_untuned() {
+        let mut p = Program::new("c");
+        let x = p.add_array(ArrayDecl::new("X", vec![1024], 8));
+        let y = p.add_array(ArrayDecl::new("Y", vec![1024], 8));
+        let z = p.add_array(ArrayDecl::new("Z", vec![1024], 8));
+        let s = Stmt::binary(
+            0,
+            ArrayRef::identity(z, 1, vec![0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(x, 1, vec![0])),
+            Ref::Array(ArrayRef::identity(y, 1, vec![0])),
+            1,
+        );
+        p.nests
+            .push(LoopNest::new(0, vec![0], vec![1024], vec![s]));
+        p.assign_layout(0, 4096);
+        let (sched, report) = compile_coarse(&p, &ArchConfig::paper_default(), false);
+        assert_eq!(report.planned, 1);
+        let plan = &sched.precomputes[0];
+        assert_eq!(plan.lookahead, 0);
+        assert_eq!(plan.stagger, 0);
+        assert!(!plan.reshape_routes);
+        assert!(sched.validate(&p).is_ok());
+    }
+}

@@ -1,0 +1,333 @@
+//! Static estimation: what the compiler can know about a use-use chain
+//! without running the program.
+//!
+//! For a two-memory-operand statement in a nest, [`assess`] samples the
+//! iteration space and derives per-target viability: how often the two
+//! operands share an L2 home bank, a memory controller, or a DRAM bank;
+//! how often their data-reply routes overlap (with and without the
+//! compiler's route reshaping); and the expected arrival-time skew at
+//! the target — the **stagger** (`Δ` of §5.2.1) the pre-compute
+//! instruction encodes to make the operands reach the component "around
+//! the same time".
+
+use ndc_cme::{CmeAnalysis, RefKey};
+use ndc_ir::program::{LoopNest, Program, Stmt};
+use ndc_noc::{best_signature_pair, Mesh, RouteSignature};
+use ndc_types::{ArchConfig, Coord, NodeId};
+use std::collections::HashMap;
+
+/// Static latency model derived from the architecture description —
+/// the compiler-side mirror of the simulator's timing.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    pub cfg: ArchConfig,
+}
+
+impl LatencyModel {
+    pub fn new(cfg: ArchConfig) -> Self {
+        LatencyModel { cfg }
+    }
+
+    fn hops(&self, a: NodeId, b: NodeId) -> u64 {
+        let w = self.cfg.noc.width;
+        a.coord(w).manhattan(b.coord(w)) as u64
+    }
+
+    /// Expected cycle (relative to issue) at which an operand's data is
+    /// available at its home L2 bank, weighting the DRAM path by the
+    /// CME-predicted L2 miss probability.
+    pub fn est_data_at_bank(&self, core: NodeId, home: NodeId, p_l2_miss: f64) -> f64 {
+        let hop = self.cfg.noc.hop_cycles as f64;
+        let req = self.cfg.l1.latency as f64 + self.hops(core, home) as f64 * hop;
+        let hit = req + self.cfg.l2.latency as f64;
+        let mc = self.cfg.mc_of(0); // representative controller distance
+        let mc_node = self.cfg.mc_node(mc);
+        let dram = self.cfg.mem.dram.row_miss_cycles as f64 + self.cfg.mem.dram.burst_cycles as f64;
+        let miss = hit
+            + 2.0 * self.hops(home, mc_node) as f64 * hop
+            + dram;
+        hit * (1.0 - p_l2_miss) + miss * p_l2_miss
+    }
+
+    /// Expected arrival at the owning memory controller's queue.
+    pub fn est_at_mc(&self, core: NodeId, home: NodeId, mc_node: NodeId) -> f64 {
+        let hop = self.cfg.noc.hop_cycles as f64;
+        self.cfg.l1.latency as f64
+            + self.hops(core, home) as f64 * hop
+            + self.cfg.l2.latency as f64
+            + self.hops(home, mc_node) as f64 * hop
+    }
+
+    /// Expected conventional completion (operand to core) for Δ
+    /// conversion.
+    pub fn est_to_core(&self, core: NodeId, home: NodeId, p_l2_miss: f64) -> f64 {
+        let hop = self.cfg.noc.hop_cycles as f64;
+        self.est_data_at_bank(core, home, p_l2_miss)
+            + self.hops(home, core) as f64 * hop
+            + self.cfg.l1.latency as f64
+    }
+}
+
+/// Sampled viability of each NDC target for one use-use chain.
+#[derive(Debug, Clone, Default)]
+pub struct TargetViability {
+    /// Fraction of sampled iterations whose operands share an L2 home
+    /// bank.
+    pub same_bank: f64,
+    /// Fraction sharing a memory controller.
+    pub same_mc: f64,
+    /// Fraction sharing a DRAM bank.
+    pub same_dram_bank: f64,
+    /// Fraction of iterations whose two operands sit in the same L1
+    /// line — such pairs are conventional-friendly (one fill serves
+    /// both) and poor NDC candidates.
+    pub same_l1_line: f64,
+    /// Fraction whose XY reply routes share at least one link.
+    pub overlap_xy: f64,
+    /// Same with reshaped (overlap-maximized) minimal routes.
+    pub overlap_reshaped: f64,
+    /// Mean estimated availability skew at the L2 bank
+    /// (`est(a) − est(b)` in cycles; positive = `a` later).
+    pub bank_skew: f64,
+    /// Mean estimated skew at the memory controller.
+    pub mc_skew: f64,
+    /// Samples taken.
+    pub samples: u32,
+}
+
+/// How many iteration points to sample per chain.
+const SAMPLES: usize = 24;
+
+/// Assess one statement's NDC viability by sampling its iteration
+/// space. `cme` provides the L1/L2 miss predictions that gate each
+/// target (both operands must miss L1 to meet at L2, etc.).
+#[allow(clippy::too_many_arguments)]
+pub fn assess(
+    prog: &Program,
+    nest_pos: usize,
+    nest: &LoopNest,
+    stmt_pos: usize,
+    stmt: &Stmt,
+    cfg: &ArchConfig,
+    cme: &CmeAnalysis,
+    cores: usize,
+) -> Option<TargetViability> {
+    let (ra, rb) = stmt.memory_operand_pair()?;
+    let model = LatencyModel::new(*cfg);
+    let mesh = Mesh::new(cfg.noc);
+    let mut v = TargetViability::default();
+    let mut overlap_cache: HashMap<(Coord, Coord, Coord), bool> = HashMap::new();
+
+    let p_l2_a = cme
+        .get(&RefKey {
+            nest_pos,
+            stmt_pos,
+            slot: 0,
+        })
+        .map(|p| p.l2_miss_rate)
+        .unwrap_or(0.5);
+    let p_l2_b = cme
+        .get(&RefKey {
+            nest_pos,
+            stmt_pos,
+            slot: 1,
+        })
+        .map(|p| p.l2_miss_rate)
+        .unwrap_or(0.5);
+
+    // Evenly spaced sample points across the iteration space.
+    let total = nest.points();
+    let step = (total / SAMPLES as u64).max(1);
+    let mut skews_bank = 0.0;
+    let mut skews_mc = 0.0;
+
+    for (k, point) in nest.iter_points().step_by(step as usize).enumerate() {
+        if k >= SAMPLES {
+            break;
+        }
+        let (Some(addr_a), Some(addr_b)) = (prog.addr_of(ra, &point), prog.addr_of(rb, &point))
+        else {
+            continue;
+        };
+        // Which core executes this iteration (block partitioning).
+        let core = core_of(nest, &point, cores, cfg);
+        let home_a = cfg.l2_home(addr_a);
+        let home_b = cfg.l2_home(addr_b);
+        v.samples += 1;
+
+        if home_a == home_b {
+            v.same_bank += 1.0;
+        }
+        if addr_a / cfg.l1.line_bytes == addr_b / cfg.l1.line_bytes {
+            v.same_l1_line += 1.0;
+        }
+        let mc_a = cfg.mc_of(addr_a);
+        let mc_b = cfg.mc_of(addr_b);
+        if mc_a == mc_b {
+            v.same_mc += 1.0;
+            if cfg.dram_bank_of(addr_a) == cfg.dram_bank_of(addr_b) {
+                v.same_dram_bank += 1.0;
+            }
+        }
+
+        // Route overlap of the data replies toward the executing core.
+        let w = cfg.noc.width;
+        let (ca, cb, cc) = (home_a.coord(w), home_b.coord(w), core.coord(w));
+        let xy_a = mesh.xy_route(ca, cc);
+        let xy_b = mesh.xy_route(cb, cc);
+        let sa = RouteSignature::from_route(&mesh, &xy_a);
+        let sb = RouteSignature::from_route(&mesh, &xy_b);
+        if sa.and(&sb).count_ones() > 0 {
+            v.overlap_xy += 1.0;
+        }
+        let reshaped = *overlap_cache.entry((ca, cb, cc)).or_insert_with(|| {
+            best_signature_pair(&mesh, ca, cc, cb, cc).common_links > 0
+        });
+        if reshaped {
+            v.overlap_reshaped += 1.0;
+        }
+
+        skews_bank += model.est_data_at_bank(core, home_a, p_l2_a)
+            - model.est_data_at_bank(core, home_b, p_l2_b);
+        let mcn_a = cfg.mc_node(mc_a);
+        let mcn_b = cfg.mc_node(mc_b);
+        skews_mc += model.est_at_mc(core, home_a, mcn_a) - model.est_at_mc(core, home_b, mcn_b);
+    }
+
+    if v.samples == 0 {
+        return None;
+    }
+    let n = v.samples as f64;
+    v.same_bank /= n;
+    v.same_l1_line /= n;
+    v.same_mc /= n;
+    v.same_dram_bank /= n;
+    v.overlap_xy /= n;
+    v.overlap_reshaped /= n;
+    v.bank_skew = skews_bank / n;
+    v.mc_skew = skews_mc / n;
+    Some(v)
+}
+
+/// The core executing an iteration point under block partitioning of
+/// the parallel level.
+pub fn core_of(nest: &LoopNest, point: &[i64], cores: usize, cfg: &ArchConfig) -> NodeId {
+    let cores = cores.max(1).min(cfg.nodes());
+    match nest.parallel_level {
+        None => NodeId(0),
+        Some(level) => {
+            let lo = nest.lo[level];
+            let hi = nest.hi[level];
+            let extent = (hi - lo).max(1) as usize;
+            let per = extent.div_ceil(cores).max(1);
+            let t = ((point[level] - lo) as usize / per).min(cores - 1);
+            NodeId(t as u16)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndc_ir::program::{ArrayDecl, ArrayRef, Program, Ref};
+    use ndc_types::Op;
+
+    fn cfg() -> ArchConfig {
+        ArchConfig::paper_default()
+    }
+
+    fn streaming(n: u64) -> (Program, LoopNest) {
+        let mut p = Program::new("s");
+        let x = p.add_array(ArrayDecl::new("X", vec![n], 8));
+        let y = p.add_array(ArrayDecl::new("Y", vec![n], 8));
+        let z = p.add_array(ArrayDecl::new("Z", vec![n], 8));
+        let s = Stmt::binary(
+            0,
+            ArrayRef::identity(z, 1, vec![0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(x, 1, vec![0])),
+            Ref::Array(ArrayRef::identity(y, 1, vec![0])),
+            1,
+        );
+        let nest = LoopNest::new(0, vec![0], vec![n as i64], vec![s]);
+        p.nests.push(nest.clone());
+        p.assign_layout(0, 4096);
+        (p, nest)
+    }
+
+    #[test]
+    fn assess_produces_fractions_in_range() {
+        let (p, nest) = streaming(4096);
+        let cme = ndc_cme::analyze(&p, &cfg(), 25);
+        let v = assess(&p, 0, &nest, 0, &nest.body[0], &cfg(), &cme, 25).unwrap();
+        assert!(v.samples > 0);
+        for f in [
+            v.same_bank,
+            v.same_mc,
+            v.same_dram_bank,
+            v.overlap_xy,
+            v.overlap_reshaped,
+        ] {
+            assert!((0.0..=1.0).contains(&f), "fraction out of range: {v:?}");
+        }
+        // Reshaping can only help.
+        assert!(v.overlap_reshaped >= v.overlap_xy);
+    }
+
+    #[test]
+    fn same_array_offset_chain_shares_banks_often() {
+        // Z[i] = X[i] + X[i+25]: operands 25 lines apart... with 8-byte
+        // elements, X[i] and X[i+8k] share an L2 line when within one
+        // 256-byte line. Use a pair 25*32 elements apart so homes
+        // coincide (25 banks * 256B lines).
+        let mut p = Program::new("sb");
+        let x = p.add_array(ArrayDecl::new("X", vec![8192], 8));
+        let z = p.add_array(ArrayDecl::new("Z", vec![8192], 8));
+        let s = Stmt::binary(
+            0,
+            ArrayRef::identity(z, 1, vec![0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(x, 1, vec![0])),
+            // 25 banks * 32 elements/line = 800 elements ahead: same
+            // home bank, different line.
+            Ref::Array(ArrayRef::identity(x, 1, vec![800])),
+            1,
+        );
+        let nest = LoopNest::new(0, vec![0], vec![7000], vec![s]);
+        p.nests.push(nest.clone());
+        p.assign_layout(0, 4096);
+        let cme = ndc_cme::analyze(&p, &cfg(), 25);
+        let v = assess(&p, 0, &nest, 0, &nest.body[0], &cfg(), &cme, 25).unwrap();
+        assert!(
+            v.same_bank > 0.9,
+            "operands 800 elements apart always share a home: {v:?}"
+        );
+    }
+
+    #[test]
+    fn core_assignment_is_block_partitioned() {
+        let (_, nest) = streaming(100);
+        let c = cfg();
+        assert_eq!(core_of(&nest, &[0], 25, &c), NodeId(0));
+        assert_eq!(core_of(&nest, &[99], 25, &c), NodeId(24));
+        assert_eq!(core_of(&nest, &[50], 25, &c), NodeId(12));
+        // Serial nest runs on core 0.
+        let mut serial = nest.clone();
+        serial.parallel_level = None;
+        assert_eq!(core_of(&serial, &[99], 25, &c), NodeId(0));
+    }
+
+    #[test]
+    fn latency_model_orders_paths() {
+        let m = LatencyModel::new(cfg());
+        let core = NodeId(12);
+        let near = NodeId(12);
+        let far = NodeId(24);
+        // Farther homes take longer.
+        assert!(m.est_data_at_bank(core, far, 0.0) > m.est_data_at_bank(core, near, 0.0));
+        // Missing L2 costs more than hitting.
+        assert!(m.est_data_at_bank(core, near, 1.0) > m.est_data_at_bank(core, near, 0.0));
+        // Full path to core exceeds bank availability.
+        assert!(m.est_to_core(core, far, 0.5) > m.est_data_at_bank(core, far, 0.5));
+    }
+}

@@ -1,0 +1,247 @@
+//! Data-layout optimization (the paper's deferred future work).
+//!
+//! §5.2.1's fourth challenge observes that some operand pairs can
+//! *never* meet: "x and y are mapped to different cache banks ... While
+//! in such cases changing the mapping between data space and
+//! cache/memory banks can help (to create more NDC opportunities), we
+//! postpone such data layout optimizations to a future study."
+//!
+//! This pass is that study's obvious first step: for each use-use chain
+//! whose operands walk two arrays with the *same* access function
+//! (equal `F` and equal per-iteration strides), the home banks of
+//! `A[f(I)]` and `B[f(I)]` differ by a constant number of L2 lines —
+//! the base-address delta. Padding `B`'s base by `(bank_count − delta
+//! mod bank_count)` lines makes every instance of the pair co-homed.
+//! The pass greedily picks, per array, the shift that maximizes the
+//! number of chains it completes, never shrinking an array and never
+//! moving an array earlier (so layouts stay non-overlapping).
+
+use ndc_ir::program::{ArrayId, Program};
+use ndc_types::ArchConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// What the layout pass did.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayoutReport {
+    /// Chains whose operands were already co-homed.
+    pub already_aligned: u64,
+    /// Chains newly aligned by a base shift.
+    pub aligned: u64,
+    /// Chains that could not be aligned (conflicting demands or
+    /// non-matching access functions).
+    pub unalignable: u64,
+    /// Per-array base shifts applied, in bytes.
+    pub shifts: Vec<(u32, u64)>,
+}
+
+/// Candidate alignment demand: shift `array` so that it is `delta_lines`
+/// L2 lines "later" than today, modulo the bank count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Demand {
+    array: ArrayId,
+    shift_lines: u64,
+}
+
+/// Run the layout pass: returns the (possibly re-based) program and a
+/// report. The input program must already have a layout assigned.
+pub fn optimize_layout(prog: &Program, cfg: &ArchConfig) -> (Program, LayoutReport) {
+    let banks = cfg.nodes() as u64;
+    let line = cfg.l2.line_bytes;
+    let mut report = LayoutReport::default();
+
+    // Collect per-array shift demands from same-access-function chains.
+    let mut demands: HashMap<Demand, u64> = HashMap::new();
+    for nest in &prog.nests {
+        for stmt in &nest.body {
+            let Some((ra, rb)) = stmt.memory_operand_pair() else {
+                continue;
+            };
+            if ra.array == rb.array || ra.coeffs != rb.coeffs {
+                // Same-array chains are already governed by their
+                // offsets; differing access matrices vary per iteration.
+                report.unalignable += 1;
+                continue;
+            }
+            // Element offset difference is constant across iterations:
+            // delta = addr_b − addr_a at any point. Use the nest origin.
+            let (Some(a0), Some(b0)) = (prog.addr_of(ra, &nest.lo), prog.addr_of(rb, &nest.lo))
+            else {
+                report.unalignable += 1;
+                continue;
+            };
+            let la = a0 / line;
+            let lb = b0 / line;
+            let delta = (lb % banks + banks - la % banks) % banks;
+            if delta == 0 {
+                report.already_aligned += 1;
+                continue;
+            }
+            // Shifting rb.array by (banks - delta) lines aligns homes.
+            *demands
+                .entry(Demand {
+                    array: rb.array,
+                    shift_lines: banks - delta,
+                })
+                .or_insert(0) += 1;
+        }
+    }
+
+    // Greedy: one shift per array, the most demanded.
+    let mut best: HashMap<ArrayId, (u64, u64)> = HashMap::new(); // array -> (shift, votes)
+    for (d, votes) in &demands {
+        let e = best.entry(d.array).or_insert((d.shift_lines, 0));
+        if *votes > e.1 {
+            *e = (d.shift_lines, *votes);
+        }
+    }
+
+    let mut out = prog.clone();
+    let mut shifted: Vec<(u32, u64)> = Vec::new();
+    for (array, (shift_lines, _)) in &best {
+        let bytes = shift_lines * line;
+        out.arrays[array.0 as usize].base += bytes;
+        shifted.push((array.0, bytes));
+    }
+    shifted.sort_unstable();
+    report.shifts = shifted;
+
+    // Count what the shifts actually achieved.
+    let (mut aligned, mut unalignable) = (0u64, 0u64);
+    for nest in &out.nests {
+        for stmt in &nest.body {
+            let Some((ra, rb)) = stmt.memory_operand_pair() else {
+                continue;
+            };
+            if ra.array == rb.array || ra.coeffs != rb.coeffs {
+                continue;
+            }
+            let (Some(a0), Some(b0)) = (out.addr_of(ra, &nest.lo), out.addr_of(rb, &nest.lo))
+            else {
+                continue;
+            };
+            if (a0 / line) % banks == (b0 / line) % banks {
+                aligned += 1;
+            } else {
+                unalignable += 1;
+            }
+        }
+    }
+    report.aligned = aligned.saturating_sub(report.already_aligned);
+    report.unalignable += unalignable;
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndc_ir::matrix::IMat;
+    use ndc_ir::program::{ArrayDecl, ArrayRef, LoopNest, Ref, Stmt};
+    use ndc_types::Op;
+
+    fn cfg() -> ArchConfig {
+        ArchConfig::paper_default()
+    }
+
+    /// Z[i] = X[8i] + Y[8i] with page-aligned bases: X and Y homes are
+    /// offset by a constant non-zero number of banks.
+    fn misaligned_prog() -> Program {
+        let mut p = Program::new("mis");
+        let x = p.add_array(ArrayDecl::new("X", vec![40000], 8));
+        let y = p.add_array(ArrayDecl::new("Y", vec![40000], 8));
+        let z = p.add_array(ArrayDecl::new("Z", vec![4096], 8));
+        let s8 = |arr| {
+            Ref::Array(ArrayRef::affine(arr, IMat::from_rows(&[&[8]]), vec![0]))
+        };
+        let s = Stmt::binary(
+            0,
+            ArrayRef::identity(z, 1, vec![0]),
+            Op::Add,
+            s8(x),
+            s8(y),
+            1,
+        );
+        p.nests.push(LoopNest::new(0, vec![0], vec![4000], vec![s]));
+        p.assign_layout(0x10_0000, 4096);
+        p
+    }
+
+    #[test]
+    fn pass_aligns_cross_array_chains() {
+        let cfg = cfg();
+        let p = misaligned_prog();
+        // Confirm the premise: X and Y are NOT co-homed initially.
+        let nest = &p.nests[0];
+        let (ra, rb) = nest.body[0].memory_operand_pair().unwrap();
+        let a0 = p.addr_of(ra, &nest.lo).unwrap();
+        let b0 = p.addr_of(rb, &nest.lo).unwrap();
+        assert_ne!(cfg.l2_home(a0), cfg.l2_home(b0), "premise broken");
+
+        let (q, report) = optimize_layout(&p, &cfg);
+        assert_eq!(report.aligned, 1, "{report:?}");
+        let (ra, rb) = q.nests[0].body[0].memory_operand_pair().unwrap();
+        let a0 = q.addr_of(ra, &q.nests[0].lo).unwrap();
+        let b0 = q.addr_of(rb, &q.nests[0].lo).unwrap();
+        assert_eq!(cfg.l2_home(a0), cfg.l2_home(b0));
+        // And not just at the origin: every 7th sample too.
+        for i in (0..4000).step_by(7) {
+            let a = q.addr_of(ra, &[i]).unwrap();
+            let b = q.addr_of(rb, &[i]).unwrap();
+            assert_eq!(cfg.l2_home(a), cfg.l2_home(b), "iteration {i}");
+        }
+    }
+
+    #[test]
+    fn shifted_arrays_stay_disjoint() {
+        let cfg = cfg();
+        let (q, _) = optimize_layout(&misaligned_prog(), &cfg);
+        let mut ranges: Vec<(u64, u64)> = q
+            .arrays
+            .iter()
+            .map(|a| (a.base, a.base + a.size_bytes()))
+            .collect();
+        ranges.sort_unstable();
+        for w in ranges.windows(2) {
+            assert!(
+                w[0].1 <= w[1].0,
+                "arrays overlap after layout pass: {ranges:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn already_aligned_chains_are_left_alone() {
+        let cfg = cfg();
+        let p = misaligned_prog();
+        let (q, first) = optimize_layout(&p, &cfg);
+        let (r, second) = optimize_layout(&q, &cfg);
+        assert_eq!(second.aligned, 0);
+        assert_eq!(second.already_aligned, first.aligned + first.already_aligned);
+        assert_eq!(q.arrays.iter().map(|a| a.base).collect::<Vec<_>>(),
+                   r.arrays.iter().map(|a| a.base).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn same_array_chains_are_unalignable() {
+        let mut p = Program::new("same");
+        let x = p.add_array(ArrayDecl::new("X", vec![40000], 8));
+        let z = p.add_array(ArrayDecl::new("Z", vec![4096], 8));
+        let s8 = |off: i64| {
+            Ref::Array(ArrayRef::affine(x, IMat::from_rows(&[&[8]]), vec![off]))
+        };
+        let s = Stmt::binary(
+            0,
+            ArrayRef::identity(z, 1, vec![0]),
+            Op::Add,
+            s8(0),
+            s8(104),
+            1,
+        );
+        p.nests.push(LoopNest::new(0, vec![0], vec![4000], vec![s]));
+        p.assign_layout(0, 4096);
+        let (_, report) = optimize_layout(&p, &ArchConfig::paper_default());
+        assert_eq!(report.aligned, 0);
+        assert_eq!(report.unalignable, 1);
+        assert!(report.shifts.is_empty());
+    }
+}

@@ -1,0 +1,52 @@
+//! Compiler decision reporting — the source of the Figure 15 metric
+//! (fraction of NDC opportunities exercised by Algorithm 2).
+
+use serde::{Deserialize, Serialize};
+
+/// What a compilation pass decided, per program.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CompilerReport {
+    /// Use-use chains examined (two-memory-operand computations with an
+    /// offloadable op) — the "NDC opportunities seen".
+    pub opportunities: u64,
+    /// Chains for which a pre-compute plan was emitted.
+    pub planned: u64,
+    /// Chains skipped by the reuse-awareness check (Algorithm 2 only) —
+    /// "bypassed due to data locality concerns" (§5.4).
+    pub bypassed_reuse: u64,
+    /// Chains with no viable target (operands can never co-locate).
+    pub no_target: u64,
+    /// Plans per first-choice target, indexed by
+    /// `NdcLocation::index()`.
+    pub per_target: [u64; 4],
+    /// Loop transformations applied.
+    pub transforms_applied: u64,
+}
+
+impl CompilerReport {
+    /// Figure 15: percentage of opportunities the pass exercised.
+    pub fn exercised_pct(&self) -> f64 {
+        if self.opportunities == 0 {
+            0.0
+        } else {
+            100.0 * self.planned as f64 / self.opportunities as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exercised_fraction() {
+        let r = CompilerReport {
+            opportunities: 10,
+            planned: 8,
+            bypassed_reuse: 2,
+            ..Default::default()
+        };
+        assert!((r.exercised_pct() - 80.0).abs() < 1e-12);
+        assert_eq!(CompilerReport::default().exercised_pct(), 0.0);
+    }
+}

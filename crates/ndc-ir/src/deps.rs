@@ -1,0 +1,477 @@
+//! Dependence analysis: distance vectors and the statement dependence
+//! graph (`extract_use-use_chains` / `dependency_analysis` of
+//! Algorithm 1).
+//!
+//! For two affine references `r1 = X(F1·I + f1)` and `r2 = X(F2·I + f2)`
+//! in the same nest, a dependence exists between iterations `I1`, `I2`
+//! when `F1·I1 + f1 = F2·I2 + f2`. When `F1 = F2 = F` and `F` is square
+//! and non-singular, the distance `d = I2 − I1` is the unique solution
+//! of `F·d = f1 − f2` (constant distance). Non-matching or singular
+//! coefficient matrices yield an *unknown* distance, treated
+//! conservatively (blocks transformation).
+
+use crate::matrix::{lex_positive, IMat, IVec};
+use crate::program::{LoopNest, StmtId};
+use serde::{Deserialize, Serialize};
+
+/// Classification of a dependence edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DependenceKind {
+    /// Write → read (true/flow dependence).
+    Flow,
+    /// Read → write.
+    Anti,
+    /// Write → write.
+    Output,
+    /// Read → read: not a real dependence, but exactly the *reuse*
+    /// Algorithm 2 inspects ("is the operand reused beyond the
+    /// computation?").
+    Input,
+}
+
+impl DependenceKind {
+    /// Does this edge constrain legality of reordering?
+    pub fn constrains(&self) -> bool {
+        !matches!(self, DependenceKind::Input)
+    }
+}
+
+/// A dependence distance: constant vector or statically unknown.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DistanceVector {
+    Constant(IVec),
+    Unknown,
+}
+
+impl DistanceVector {
+    pub fn as_constant(&self) -> Option<&IVec> {
+        match self {
+            DistanceVector::Constant(v) => Some(v),
+            DistanceVector::Unknown => None,
+        }
+    }
+}
+
+/// One dependence edge between two statements of a nest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DependenceEdge {
+    pub src: StmtId,
+    pub dst: StmtId,
+    /// Operand slot of the sink reference (0 = `a`, 1 = `b`, 2 = the
+    /// written destination) — which access of `dst` depends on `src`.
+    pub dst_slot: u8,
+    pub kind: DependenceKind,
+    pub distance: DistanceVector,
+}
+
+/// The dependence graph of one loop nest.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DependenceGraph {
+    pub edges: Vec<DependenceEdge>,
+    /// True when any reference pair could not be analyzed precisely
+    /// (unknown distance on a constraining edge).
+    pub has_unknown: bool,
+}
+
+impl DependenceGraph {
+    /// Analyze one loop nest.
+    pub fn analyze(nest: &LoopNest) -> Self {
+        let mut g = DependenceGraph::default();
+        let stmts = &nest.body;
+        for (pi, s1) in stmts.iter().enumerate() {
+            for (pj, s2) in stmts.iter().enumerate() {
+                for (r1, w1) in s1.array_refs() {
+                    for (slot2, (r2, w2)) in s2.array_refs().into_iter().enumerate() {
+                        if r1.array != r2.array {
+                            continue;
+                        }
+                        let kind = match (w1, w2) {
+                            (true, false) => DependenceKind::Flow,
+                            (false, true) => DependenceKind::Anti,
+                            (true, true) => DependenceKind::Output,
+                            (false, false) => DependenceKind::Input,
+                        };
+                        // Self-pairs of the same reference occurrence:
+                        // skip the trivially-zero (r, r) pair for reads;
+                        // a statement's own write-write pair is also
+                        // trivial.
+                        let same_occurrence = pi == pj && std::ptr::eq(r1, r2);
+                        if same_occurrence {
+                            continue;
+                        }
+                        if let Some(edge) = dependence_between(
+                            r1,
+                            r2,
+                            s1.id,
+                            s2.id,
+                            pi,
+                            pj,
+                            slot2 as u8,
+                            kind,
+                            nest.depth(),
+                        )
+                        {
+                            if matches!(edge.distance, DistanceVector::Unknown)
+                                && edge.kind.constrains()
+                            {
+                                g.has_unknown = true;
+                            }
+                            g.edges.push(edge);
+                        }
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    /// The constant distance vectors of all constraining edges — the
+    /// columns of the dependence matrix `D` used for `T·D` legality.
+    pub fn distance_vectors(&self) -> Vec<IVec> {
+        self.edges
+            .iter()
+            .filter(|e| e.kind.constrains())
+            .filter_map(|e| e.distance.as_constant().cloned())
+            .collect()
+    }
+
+    /// Whether a transformation `t` is legal for this nest: no unknown
+    /// constraining distances, and all constant constraining distances
+    /// stay lexicographically positive under `t`.
+    pub fn transformation_legal(&self, t: &IMat) -> bool {
+        if self.has_unknown {
+            return false;
+        }
+        crate::matrix::transformation_legal(t, &self.distance_vectors())
+    }
+
+    /// Does the value read by `stmt`'s operand reference get *reused*
+    /// (read again, by any statement) at a lexicographically later
+    /// iteration? This is Algorithm 2's check for the existence of
+    /// `I_m` with `I_e > I_m > I_c` and `f(I_x) = p(I_m)` — with
+    /// constant distances, such an `I_m` exists iff some Input/Flow
+    /// edge out of this reference has a lex-positive distance (or an
+    /// unknown one, handled conservatively as "reused").
+    pub fn has_future_reuse(&self, stmt: StmtId) -> bool {
+        self.edges.iter().any(|e| {
+            e.src == stmt
+                && matches!(e.kind, DependenceKind::Input | DependenceKind::Anti)
+                && match &e.distance {
+                    DistanceVector::Constant(d) => lex_positive(d),
+                    DistanceVector::Unknown => true,
+                }
+        })
+    }
+
+    /// Edges out of a statement.
+    pub fn edges_from(&self, s: StmtId) -> impl Iterator<Item = &DependenceEdge> {
+        self.edges.iter().filter(move |e| e.src == s)
+    }
+}
+
+/// Compute the dependence (if any) from `r1` (in `s1` at body position
+/// `p1`) to `r2` (in `s2` at `p2`).
+#[allow(clippy::too_many_arguments)]
+fn dependence_between(
+    r1: &crate::program::ArrayRef,
+    r2: &crate::program::ArrayRef,
+    s1: StmtId,
+    s2: StmtId,
+    p1: usize,
+    p2: usize,
+    dst_slot: u8,
+    kind: DependenceKind,
+    depth: usize,
+) -> Option<DependenceEdge> {
+    if r1.coeffs != r2.coeffs {
+        // Different access matrices (e.g. X[i][j] vs X[j][i]): distances
+        // vary per iteration. Conservative.
+        return Some(DependenceEdge {
+            src: s1,
+            dst: s2,
+            dst_slot,
+            kind,
+            distance: DistanceVector::Unknown,
+        });
+    }
+    // F·(I2 - I1) = f1 - f2  =>  solve F·d = c.
+    let c: IVec = r1
+        .offsets
+        .iter()
+        .zip(r2.offsets.iter())
+        .map(|(a, b)| a - b)
+        .collect();
+    match solve_square(&r1.coeffs, &c, depth) {
+        Solve::Unique(d) => {
+            // Orientation: the dependence runs from the earlier access
+            // to the later one. A lex-positive d means s2's iteration
+            // trails s1's by d (source = s1). A lex-negative d means the
+            // roles flip; we only record the forward direction once (the
+            // symmetric pair enumeration visits (r2, r1) too).
+            if lex_positive(&d) {
+                Some(DependenceEdge {
+                    src: s1,
+                    dst: s2,
+                    dst_slot,
+                    kind,
+                    distance: DistanceVector::Constant(d),
+                })
+            } else if d.iter().all(|&x| x == 0) {
+                // Loop-independent: ordered by body position.
+                if p1 < p2 || (p1 == p2 && kind.constrains()) {
+                    Some(DependenceEdge {
+                        src: s1,
+                        dst: s2,
+                        dst_slot,
+                        kind,
+                        distance: DistanceVector::Constant(d),
+                    })
+                } else {
+                    None
+                }
+            } else {
+                None
+            }
+        }
+        Solve::None => None,
+        Solve::Many => Some(DependenceEdge {
+            src: s1,
+            dst: s2,
+            dst_slot,
+            kind,
+            distance: DistanceVector::Unknown,
+        }),
+    }
+}
+
+enum Solve {
+    Unique(IVec),
+    None,
+    Many,
+}
+
+/// Solve `F·d = c` for integer `d` where `F` is `m×n`. Exact for square
+/// non-singular `F` (Cramer with exact integer division); `m < n` or
+/// singular square systems report `Many` (conservative); inconsistent
+/// systems report `None` (no dependence).
+fn solve_square(f: &IMat, c: &IVec, depth: usize) -> Solve {
+    if f.rows != f.cols || f.rows != depth {
+        // Rank-deficient access (e.g. 1-D access in a 2-D nest):
+        // distances underdetermined.
+        return Solve::Many;
+    }
+    let det = f.det();
+    if det == 0 {
+        return Solve::Many;
+    }
+    let n = f.rows;
+    let mut d = vec![0i64; n];
+    for j in 0..n {
+        // Cramer: replace column j with c.
+        let mut fj = f.clone();
+        for i in 0..n {
+            fj[(i, j)] = c[i];
+        }
+        let dj = fj.det();
+        if dj % det != 0 {
+            // Non-integer solution: the accesses never touch the same
+            // element.
+            return Solve::None;
+        }
+        d[j] = dj / det;
+    }
+    Solve::Unique(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{ArrayDecl, ArrayRef, LoopNest, Program, Ref, Stmt};
+    use ndc_types::Op;
+
+    /// Figure 10: X[i,j] = X[i-1, j+1] — flow dependence with distance
+    /// (1, -1).
+    fn fig10_nest() -> (Program, LoopNest) {
+        let mut p = Program::new("fig10");
+        let x = p.add_array(ArrayDecl::new("X", vec![16, 16], 8));
+        let s = Stmt::binary(
+            0,
+            ArrayRef::identity(x, 2, vec![0, 0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(x, 2, vec![-1, 1])),
+            Ref::Const(1.0),
+            1,
+        );
+        let nest = LoopNest::new(0, vec![1, 0], vec![16, 15], vec![s]);
+        (p, nest)
+    }
+
+    #[test]
+    fn fig10_distance_is_one_minus_one() {
+        let (_, nest) = fig10_nest();
+        let g = DependenceGraph::analyze(&nest);
+        let dists = g.distance_vectors();
+        assert!(
+            dists.contains(&vec![1, -1]),
+            "expected (1,-1) in {dists:?}"
+        );
+        assert!(!g.has_unknown);
+    }
+
+    #[test]
+    fn fig10_legality() {
+        let (_, nest) = fig10_nest();
+        let g = DependenceGraph::analyze(&nest);
+        assert!(g.transformation_legal(&IMat::identity(2)));
+        // Interchange alone is illegal; skew-then-interchange is legal.
+        let swap = IMat::from_rows(&[&[0, 1], &[1, 0]]);
+        assert!(!g.transformation_legal(&swap));
+        let skew = IMat::from_rows(&[&[1, 0], &[1, 1]]);
+        assert!(g.transformation_legal(&swap.mul(&skew)));
+    }
+
+    #[test]
+    fn independent_statements_have_no_constraining_edges() {
+        let mut p = Program::new("ind");
+        let x = p.add_array(ArrayDecl::new("X", vec![8], 8));
+        let y = p.add_array(ArrayDecl::new("Y", vec![8], 8));
+        let s = Stmt::binary(
+            0,
+            ArrayRef::identity(x, 1, vec![0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(y, 1, vec![0])),
+            Ref::Const(1.0),
+            1,
+        );
+        let nest = LoopNest::new(0, vec![0], vec![8], vec![s]);
+        let g = DependenceGraph::analyze(&nest);
+        assert!(g.distance_vectors().is_empty());
+        assert!(!g.has_unknown);
+    }
+
+    #[test]
+    fn reads_of_shifted_elements_are_input_reuse() {
+        // X[i] and X[i-2] read in the same statement: the element read
+        // at iteration i is re-read at i+2 → future reuse.
+        let mut p = Program::new("reuse");
+        let x = p.add_array(ArrayDecl::new("X", vec![32], 8));
+        let z = p.add_array(ArrayDecl::new("Z", vec![32], 8));
+        let s = Stmt::binary(
+            0,
+            ArrayRef::identity(z, 1, vec![0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(x, 1, vec![0])),
+            Ref::Array(ArrayRef::identity(x, 1, vec![-2])),
+            1,
+        );
+        let nest = LoopNest::new(0, vec![2], vec![32], vec![s]);
+        let g = DependenceGraph::analyze(&nest);
+        assert!(g.has_future_reuse(StmtId(0)));
+    }
+
+    #[test]
+    fn streaming_access_has_no_future_reuse() {
+        let mut p = Program::new("stream");
+        let x = p.add_array(ArrayDecl::new("X", vec![32], 8));
+        let y = p.add_array(ArrayDecl::new("Y", vec![32], 8));
+        let z = p.add_array(ArrayDecl::new("Z", vec![32], 8));
+        let s = Stmt::binary(
+            0,
+            ArrayRef::identity(z, 1, vec![0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(x, 1, vec![0])),
+            Ref::Array(ArrayRef::identity(y, 1, vec![0])),
+            1,
+        );
+        let nest = LoopNest::new(0, vec![0], vec![32], vec![s]);
+        let g = DependenceGraph::analyze(&nest);
+        assert!(!g.has_future_reuse(StmtId(0)));
+    }
+
+    #[test]
+    fn transposed_access_is_unknown() {
+        let mut p = Program::new("transpose");
+        let x = p.add_array(ArrayDecl::new("X", vec![8, 8], 8));
+        let transposed = ArrayRef::affine(
+            x,
+            IMat::from_rows(&[&[0, 1], &[1, 0]]),
+            vec![0, 0],
+        );
+        let s = Stmt::binary(
+            0,
+            ArrayRef::identity(x, 2, vec![0, 0]),
+            Op::Add,
+            Ref::Array(transposed),
+            Ref::Const(1.0),
+            1,
+        );
+        let nest = LoopNest::new(0, vec![0, 0], vec![8, 8], vec![s]);
+        let g = DependenceGraph::analyze(&nest);
+        assert!(g.has_unknown);
+        assert!(!g.transformation_legal(&IMat::identity(2)));
+    }
+
+    #[test]
+    fn loop_independent_dependence_orders_statements() {
+        // S0 writes Z[i], S1 reads Z[i]: flow dependence with zero
+        // distance, ordered by body position.
+        let mut p = Program::new("li");
+        let z = p.add_array(ArrayDecl::new("Z", vec![8], 8));
+        let w = p.add_array(ArrayDecl::new("W", vec![8], 8));
+        let s0 = Stmt::binary(
+            0,
+            ArrayRef::identity(z, 1, vec![0]),
+            Op::Add,
+            Ref::Const(1.0),
+            Ref::Const(2.0),
+            1,
+        );
+        let s1 = Stmt::binary(
+            1,
+            ArrayRef::identity(w, 1, vec![0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(z, 1, vec![0])),
+            Ref::Const(0.0),
+            1,
+        );
+        let nest = LoopNest::new(0, vec![0], vec![8], vec![s0, s1]);
+        let g = DependenceGraph::analyze(&nest);
+        let zero_flow: Vec<_> = g
+            .edges
+            .iter()
+            .filter(|e| {
+                e.kind == DependenceKind::Flow
+                    && e.distance == DistanceVector::Constant(vec![0])
+            })
+            .collect();
+        assert_eq!(zero_flow.len(), 1);
+        assert_eq!(zero_flow[0].src, StmtId(0));
+        assert_eq!(zero_flow[0].dst, StmtId(1));
+    }
+
+    #[test]
+    fn disjoint_offsets_no_dependence() {
+        // X[2i] written, X[2i+1] read: GCD says never equal.
+        let mut p = Program::new("gcd");
+        let x = p.add_array(ArrayDecl::new("X", vec![64], 8));
+        let even = ArrayRef::affine(x, IMat::from_rows(&[&[2]]), vec![0]);
+        let odd = ArrayRef::affine(x, IMat::from_rows(&[&[2]]), vec![1]);
+        let s = Stmt::binary(
+            0,
+            even,
+            Op::Add,
+            Ref::Array(odd),
+            Ref::Const(1.0),
+            1,
+        );
+        let nest = LoopNest::new(0, vec![0], vec![16], vec![s]);
+        let g = DependenceGraph::analyze(&nest);
+        // The write(2i) / read(2i+1) pair admits no integer solution.
+        let cross: Vec<_> = g
+            .edges
+            .iter()
+            .filter(|e| e.kind != DependenceKind::Output)
+            .collect();
+        assert!(cross.is_empty(), "unexpected edges: {cross:?}");
+    }
+}

@@ -1,0 +1,569 @@
+//! Lowering: from (scheduled) IR programs to per-core instruction
+//! traces.
+//!
+//! The parallelization step (Figure 7) is modelled here: the nest's
+//! `parallel_level` dimension is block-partitioned across the machine's
+//! cores, one thread per core (Table 1). Within a thread, iteration
+//! points execute in the schedule's order (transformed lexicographic
+//! order under `T`), and each statement instance lowers to `Busy` +
+//! `Load`/`Compute`/`Store` instructions with concrete physical
+//! addresses.
+//!
+//! Pre-compute plans lower to [`InstKind::PreCompute`] instructions
+//! issued `lookahead` iterations ahead of their consumer, which is the
+//! trace-level realization of the S1'/S2'/S3' code motion of Figure 8:
+//! the offload request (and its operand fetches, staggered by the plan's
+//! `stagger`) starts early, and the original statement S3 becomes a
+//! `Compute` that consumes the offloaded result.
+
+use crate::interp::scheduled_points;
+use crate::matrix::IVec;
+use crate::program::{LoopNest, Program, Ref, Stmt};
+use crate::schedule::Schedule;
+use ndc_types::{Inst, InstKind, NodeId, Operand, Pc, Trace, TraceProgram};
+use std::collections::HashMap;
+
+/// Lowering options.
+#[derive(Debug, Clone, Copy)]
+pub struct LowerOptions {
+    /// Number of cores (threads); the parallel dimension is
+    /// block-partitioned across them.
+    pub cores: usize,
+    /// Emit `Busy` instructions for statement `work` (disable for pure
+    /// address-trace analyses).
+    pub emit_busy: bool,
+}
+
+impl Default for LowerOptions {
+    fn default() -> Self {
+        LowerOptions {
+            cores: 25,
+            emit_busy: true,
+        }
+    }
+}
+
+/// Stable PC numbering: each (nest position, statement position,
+/// micro-op role) triple gets a distinct PC shared by all dynamic
+/// instances. Public so analyses (CME accuracy, Figure 5 series) can
+/// map simulator per-PC counters back to IR references.
+pub fn pc_of(nest_pos: usize, stmt_pos: usize, role: u32) -> Pc {
+    (nest_pos as Pc) * 4096 + (stmt_pos as Pc) * 16 + role
+}
+
+/// Role of the `Busy` micro-op within a statement's lowering.
+pub const ROLE_BUSY: u32 = 0;
+/// Role of the main `Compute`/`Load` micro-op.
+pub const ROLE_MAIN: u32 = 1;
+/// Role of a copy statement's `Store` micro-op.
+pub const ROLE_STORE: u32 = 2;
+/// Role of an inserted `PreCompute` micro-op.
+pub const ROLE_PRECOMPUTE: u32 = 3;
+
+/// Lower a program to per-core traces. `schedule = None` produces the
+/// baseline stream; with a schedule, iteration order, statement order,
+/// and pre-compute insertion apply.
+pub fn lower(prog: &Program, opts: &LowerOptions, schedule: Option<&Schedule>) -> TraceProgram {
+    let default_schedule = Schedule::default();
+    let sched = schedule.unwrap_or(&default_schedule);
+    let mut out = TraceProgram::new(prog.name.clone());
+    out.traces = (0..opts.cores)
+        .map(|c| Trace::new(NodeId(c as u16)))
+        .collect();
+    let mut next_precompute_id: u32 = 0;
+
+    for (nest_pos, nest) in prog.nests.iter().enumerate() {
+        let points = scheduled_points(nest, sched);
+        let order = sched.stmt_order_for(nest);
+        let plans: Vec<_> = sched.plans_for(nest.id).collect();
+
+        // Partition points across threads by the original parallel
+        // dimension (block partitioning, preserving per-thread schedule
+        // order).
+        let thread_points = partition(nest, &points, opts.cores);
+
+        for (tid, my_points) in thread_points.iter().enumerate() {
+            let trace = &mut out.traces[tid];
+            // (plan index, consumer point index) -> precompute id.
+            let mut pending: HashMap<(usize, usize), u32> = HashMap::new();
+            for (j, point) in my_points.iter().enumerate() {
+                // Issue pre-computes whose consumer sits `lookahead`
+                // iterations ahead.
+                for (pi, plan) in plans.iter().enumerate() {
+                    let target = j + plan.lookahead as usize;
+                    if target >= my_points.len() {
+                        continue;
+                    }
+                    let Some(stmt) = nest.stmt(plan.stmt) else {
+                        continue;
+                    };
+                    let tpoint = &my_points[target];
+                    let Some((ra, rb)) = stmt.memory_operand_pair() else {
+                        continue;
+                    };
+                    let (Some(addr_a), Some(addr_b)) =
+                        (prog.addr_of(ra, tpoint), prog.addr_of(rb, tpoint))
+                    else {
+                        continue;
+                    };
+                    let store_to = prog.addr_of(&stmt.dst, tpoint);
+                    let id = next_precompute_id;
+                    next_precompute_id += 1;
+                    pending.insert((pi, target), id);
+                    let stmt_pos = nest.stmt_pos(plan.stmt).unwrap();
+                    trace.insts.push(Inst {
+                        pc: pc_of(nest_pos, stmt_pos, ROLE_PRECOMPUTE),
+                        kind: InstKind::PreCompute {
+                            id,
+                            op: stmt.op.expect("validated: binary stmt"),
+                            a: addr_a,
+                            b: addr_b,
+                            store_to,
+                            stagger: plan.stagger,
+                            reshape_routes: plan.reshape_routes,
+                        },
+                    });
+                }
+
+                // Body statements in scheduled order.
+                for &stmt_pos in &order {
+                    let stmt = &nest.body[stmt_pos];
+                    let precomputed = plans.iter().enumerate().find_map(|(pi, plan)| {
+                        (plan.stmt == stmt.id)
+                            .then(|| pending.remove(&(pi, j)))
+                            .flatten()
+                    });
+                    emit_stmt(
+                        prog,
+                        trace,
+                        nest_pos,
+                        stmt_pos,
+                        stmt,
+                        point,
+                        precomputed,
+                        opts.emit_busy,
+                    );
+                }
+            }
+        }
+    }
+    debug_assert_eq!(out.validate_precompute_links(), Ok(()));
+    out
+}
+
+/// Block-partition scheduled points across threads by the original
+/// value of the parallel dimension.
+fn partition(nest: &LoopNest, points: &[IVec], cores: usize) -> Vec<Vec<IVec>> {
+    let mut buckets: Vec<Vec<IVec>> = vec![Vec::new(); cores.max(1)];
+    match nest.parallel_level {
+        None => {
+            buckets[0] = points.to_vec();
+        }
+        Some(level) => {
+            let lo = nest.lo[level];
+            let hi = nest.hi[level];
+            let extent = (hi - lo) as usize;
+            let per = extent.div_ceil(cores.max(1)).max(1);
+            for p in points {
+                let v = (p[level] - lo) as usize;
+                let t = (v / per).min(cores - 1);
+                buckets[t].push(p.clone());
+            }
+        }
+    }
+    buckets
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_stmt(
+    prog: &Program,
+    trace: &mut Trace,
+    nest_pos: usize,
+    stmt_pos: usize,
+    stmt: &Stmt,
+    point: &[i64],
+    precomputed: Option<u32>,
+    emit_busy: bool,
+) {
+    if emit_busy && stmt.work > 0 {
+        trace.insts.push(Inst {
+            pc: pc_of(nest_pos, stmt_pos, ROLE_BUSY),
+            kind: InstKind::Busy { cycles: stmt.work },
+        });
+    }
+    let dst_addr = prog.addr_of(&stmt.dst, point);
+    let operand = |r: &Ref| -> Operand {
+        match r {
+            Ref::Array(a) => match prog.addr_of(a, point) {
+                Some(addr) => Operand::Mem(addr),
+                // Halo/out-of-bounds reads evaluate to 0.0 (matching the
+                // interpreter) and cost nothing.
+                None => Operand::Imm(0.0),
+            },
+            Ref::Const(c) => Operand::Imm(*c),
+        }
+    };
+    match (stmt.op, &stmt.b) {
+        (Some(op), Some(b)) => {
+            trace.insts.push(Inst {
+                pc: pc_of(nest_pos, stmt_pos, ROLE_MAIN),
+                kind: InstKind::Compute {
+                    op,
+                    a: operand(&stmt.a),
+                    b: operand(b),
+                    store_to: dst_addr,
+                    precomputed,
+                },
+            });
+        }
+        _ => {
+            // Copy statement: load (if memory) then store.
+            if let Operand::Mem(addr) = operand(&stmt.a) {
+                trace.insts.push(Inst {
+                    pc: pc_of(nest_pos, stmt_pos, ROLE_MAIN),
+                    kind: InstKind::Load { addr },
+                });
+            }
+            if let Some(d) = dst_addr {
+                trace.insts.push(Inst {
+                    pc: pc_of(nest_pos, stmt_pos, ROLE_STORE),
+                    kind: InstKind::Store { addr: d },
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{ArrayDecl, ArrayRef, LoopNest, Program};
+    use crate::schedule::{MoveStrategy, PrecomputePlan};
+    use ndc_types::{NdcLocation, Op};
+
+    fn vec_add(n: u64) -> Program {
+        let mut p = Program::new("vadd");
+        let x = p.add_array(ArrayDecl::new("X", vec![n], 8));
+        let y = p.add_array(ArrayDecl::new("Y", vec![n], 8));
+        let z = p.add_array(ArrayDecl::new("Z", vec![n], 8));
+        let s = Stmt::binary(
+            0,
+            ArrayRef::identity(z, 1, vec![0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(x, 1, vec![0])),
+            Ref::Array(ArrayRef::identity(y, 1, vec![0])),
+            2,
+        );
+        p.nests.push(LoopNest::new(0, vec![0], vec![n as i64], vec![s]));
+        p.assign_layout(0, 256);
+        p
+    }
+
+    #[test]
+    fn baseline_lowering_shape() {
+        let p = vec_add(100);
+        let opts = LowerOptions {
+            cores: 4,
+            emit_busy: true,
+        };
+        let tp = lower(&p, &opts, None);
+        assert_eq!(tp.traces.len(), 4);
+        assert_eq!(tp.total_computes(), 100);
+        assert_eq!(tp.total_precomputes(), 0);
+        // Busy + Compute per iteration.
+        assert_eq!(tp.total_insts(), 200);
+        // Block partitioning: 100/4 = 25 iterations -> 50 insts per core.
+        for t in &tp.traces {
+            assert_eq!(t.insts.len(), 50);
+        }
+    }
+
+    #[test]
+    fn partitioning_is_block_contiguous() {
+        let p = vec_add(100);
+        let opts = LowerOptions {
+            cores: 4,
+            emit_busy: false,
+        };
+        let tp = lower(&p, &opts, None);
+        // Thread 0 computes Z[0..25): its first compute reads X[0].
+        let x_base = p.array(crate::program::ArrayId(0)).base;
+        match tp.traces[0].insts[0].kind {
+            InstKind::Compute { a, .. } => assert_eq!(a.addr(), Some(x_base)),
+            ref k => panic!("unexpected {k:?}"),
+        }
+        match tp.traces[1].insts[0].kind {
+            InstKind::Compute { a, .. } => assert_eq!(a.addr(), Some(x_base + 25 * 8)),
+            ref k => panic!("unexpected {k:?}"),
+        }
+    }
+
+    #[test]
+    fn precompute_plans_lower_with_lookahead() {
+        let p = vec_add(40);
+        let mut sched = Schedule::default();
+        sched.precomputes.push(PrecomputePlan {
+            nest: crate::program::NestId(0),
+            stmt: crate::program::StmtId(0),
+            lookahead: 3,
+            stagger: 5,
+            reshape_routes: true,
+            strategy: MoveStrategy::MoveY,
+            target: NdcLocation::CacheController,
+        });
+        let opts = LowerOptions {
+            cores: 2,
+            emit_busy: false,
+        };
+        let tp = lower(&p, &opts, Some(&sched));
+        assert!(tp.validate_precompute_links().is_ok());
+        // Each thread has 20 iterations; consumers exist for the first
+        // 17 precomputes (20 - 3).
+        assert_eq!(tp.total_precomputes(), 2 * 17);
+        // Consumers at positions >= lookahead are marked precomputed.
+        let consumed = tp
+            .traces
+            .iter()
+            .flat_map(|t| &t.insts)
+            .filter(|i| {
+                matches!(
+                    i.kind,
+                    InstKind::Compute {
+                        precomputed: Some(_),
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(consumed, 2 * 17);
+        // The precompute for consumer j carries consumer j's addresses,
+        // issued 3 iterations earlier.
+        let t0 = &tp.traces[0];
+        let first_pre = t0
+            .insts
+            .iter()
+            .find_map(|i| match i.kind {
+                InstKind::PreCompute { a, stagger, reshape_routes, .. } => {
+                    Some((a, stagger, reshape_routes))
+                }
+                _ => None,
+            })
+            .unwrap();
+        let x_base = p.array(crate::program::ArrayId(0)).base;
+        assert_eq!(first_pre.0, x_base + 3 * 8);
+        assert_eq!(first_pre.1, 5);
+        assert!(first_pre.2);
+    }
+
+    #[test]
+    fn zero_lookahead_still_links() {
+        let p = vec_add(10);
+        let mut sched = Schedule::default();
+        sched.precomputes.push(PrecomputePlan {
+            nest: crate::program::NestId(0),
+            stmt: crate::program::StmtId(0),
+            lookahead: 0,
+            stagger: 0,
+            reshape_routes: false,
+            strategy: MoveStrategy::MoveBoth,
+            target: NdcLocation::MemoryBank,
+        });
+        let opts = LowerOptions {
+            cores: 1,
+            emit_busy: false,
+        };
+        let tp = lower(&p, &opts, Some(&sched));
+        assert!(tp.validate_precompute_links().is_ok());
+        assert_eq!(tp.total_precomputes(), 10);
+    }
+
+    #[test]
+    fn transformed_order_changes_stream() {
+        // 2D copy: transform interchanges loops; the address stream of
+        // thread 0 must change accordingly.
+        let mut p = Program::new("t2d");
+        let x = p.add_array(ArrayDecl::new("X", vec![4, 4], 8));
+        let y = p.add_array(ArrayDecl::new("Y", vec![4, 4], 8));
+        let s = Stmt::binary(
+            0,
+            ArrayRef::identity(y, 2, vec![0, 0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(x, 2, vec![0, 0])),
+            Ref::Const(1.0),
+            0,
+        );
+        let mut nest = LoopNest::new(0, vec![0, 0], vec![4, 4], vec![s]);
+        nest.parallel_level = None;
+        p.nests.push(nest);
+        p.assign_layout(0, 64);
+
+        let opts = LowerOptions {
+            cores: 1,
+            emit_busy: false,
+        };
+        let base = lower(&p, &opts, None);
+        let mut sched = Schedule::default();
+        sched.transforms.insert(
+            crate::program::NestId(0),
+            crate::matrix::IMat::from_rows(&[&[0, 1], &[1, 0]]),
+        );
+        let xf = lower(&p, &opts, Some(&sched));
+        let addrs = |tp: &TraceProgram| -> Vec<u64> {
+            tp.traces[0]
+                .insts
+                .iter()
+                .filter_map(|i| match i.kind {
+                    InstKind::Compute { a, .. } => a.addr(),
+                    _ => None,
+                })
+                .collect()
+        };
+        let a0 = addrs(&base);
+        let a1 = addrs(&xf);
+        assert_ne!(a0, a1);
+        // Interchange = column-major walk: second access is X[1][0].
+        let x_base = p.array(x).base;
+        assert_eq!(a1[1], x_base + 4 * 8);
+        // Same multiset of addresses.
+        let mut s0 = a0.clone();
+        let mut s1 = a1.clone();
+        s0.sort_unstable();
+        s1.sort_unstable();
+        assert_eq!(s0, s1);
+    }
+
+    #[test]
+    fn stmt_order_override_reorders_emission() {
+        let mut p = Program::new("ord");
+        let x = p.add_array(ArrayDecl::new("X", vec![8], 8));
+        let y = p.add_array(ArrayDecl::new("Y", vec![8], 8));
+        let s0 = Stmt::binary(
+            0,
+            ArrayRef::identity(x, 1, vec![0]),
+            Op::Add,
+            Ref::Const(1.0),
+            Ref::Const(2.0),
+            0,
+        );
+        let s1 = Stmt::binary(
+            1,
+            ArrayRef::identity(y, 1, vec![0]),
+            Op::Add,
+            Ref::Const(3.0),
+            Ref::Const(4.0),
+            0,
+        );
+        let mut nest = LoopNest::new(0, vec![0], vec![4], vec![s0, s1]);
+        nest.parallel_level = None;
+        p.nests.push(nest);
+        p.assign_layout(0, 64);
+
+        let opts = LowerOptions {
+            cores: 1,
+            emit_busy: false,
+        };
+        let base = lower(&p, &opts, None);
+        let mut sched = Schedule::default();
+        sched
+            .stmt_order
+            .insert(crate::program::NestId(0), vec![1, 0]);
+        let reordered = lower(&p, &opts, Some(&sched));
+        // Same instruction count, swapped within-iteration order.
+        assert_eq!(base.total_insts(), reordered.total_insts());
+        let first_store = |tp: &TraceProgram| match tp.traces[0].insts[0].kind {
+            InstKind::Compute { store_to, .. } => store_to,
+            ref k => panic!("unexpected {k:?}"),
+        };
+        assert_ne!(first_store(&base), first_store(&reordered));
+    }
+
+    #[test]
+    fn pc_numbering_is_stable_across_schedules() {
+        let p = vec_add(16);
+        let opts = LowerOptions {
+            cores: 2,
+            emit_busy: true,
+        };
+        let a = lower(&p, &opts, None);
+        let mut sched = Schedule::default();
+        sched.precomputes.push(PrecomputePlan {
+            nest: crate::program::NestId(0),
+            stmt: crate::program::StmtId(0),
+            lookahead: 2,
+            stagger: 0,
+            reshape_routes: false,
+            strategy: MoveStrategy::MoveBoth,
+            target: NdcLocation::CacheController,
+        });
+        let b = lower(&p, &opts, Some(&sched));
+        // The consumer Compute keeps its PC under the schedule; only
+        // PreCompute instructions (a distinct role PC) are added.
+        let pcs = |tp: &TraceProgram| {
+            let mut v: Vec<_> = tp.traces[0]
+                .insts
+                .iter()
+                .filter(|i| matches!(i.kind, InstKind::Compute { .. }))
+                .map(|i| i.pc)
+                .collect();
+            v.dedup();
+            v
+        };
+        assert_eq!(pcs(&a), pcs(&b));
+    }
+
+    #[test]
+    fn busy_emission_toggle() {
+        let p = vec_add(10);
+        let with = lower(
+            &p,
+            &LowerOptions {
+                cores: 1,
+                emit_busy: true,
+            },
+            None,
+        );
+        let without = lower(
+            &p,
+            &LowerOptions {
+                cores: 1,
+                emit_busy: false,
+            },
+            None,
+        );
+        assert_eq!(with.total_insts(), 20);
+        assert_eq!(without.total_insts(), 10);
+    }
+
+    #[test]
+    fn copy_statements_lower_to_load_store() {
+        let mut p = Program::new("copy");
+        let x = p.add_array(ArrayDecl::new("X", vec![8], 8));
+        let y = p.add_array(ArrayDecl::new("Y", vec![8], 8));
+        let s = Stmt::copy(
+            0,
+            ArrayRef::identity(y, 1, vec![0]),
+            Ref::Array(ArrayRef::identity(x, 1, vec![0])),
+            0,
+        );
+        let mut nest = LoopNest::new(0, vec![0], vec![8], vec![s]);
+        nest.parallel_level = None;
+        p.nests.push(nest);
+        p.assign_layout(0, 64);
+        let tp = lower(
+            &p,
+            &LowerOptions {
+                cores: 1,
+                emit_busy: false,
+            },
+            None,
+        );
+        let kinds: Vec<bool> = tp.traces[0]
+            .insts
+            .iter()
+            .map(|i| matches!(i.kind, InstKind::Load { .. }))
+            .collect();
+        assert_eq!(tp.traces[0].insts.len(), 16);
+        assert!(kinds[0]);
+        assert!(!kinds[1]);
+    }
+}

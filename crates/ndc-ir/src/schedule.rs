@@ -1,0 +1,202 @@
+//! The compiler's output contract: what the NDC algorithms decided.
+//!
+//! A [`Schedule`] records, per nest, the loop transformation `T` (if
+//! any), a statement-order override (statement-level code motion, the
+//! scalar case of Figure 8), and the list of [`PrecomputePlan`]s — one
+//! per computation the compiler chose to offload, carrying the
+//! iteration lookahead Δ, the operand stagger, and whether the NoC
+//! routes are reshaped for link overlap.
+
+use crate::matrix::IMat;
+use crate::program::{LoopNest, NestId, StmtId};
+use ndc_types::NdcLocation;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Which operand-movement strategy produced a plan (Figure 8 b/c/d).
+/// Retained for reporting; the lowered effect is captured by
+/// `stagger`/`lookahead`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MoveStrategy {
+    /// Keep `x`, move `y` toward it (Figure 8b).
+    MoveY,
+    /// Keep `y`, move `x` toward it (Figure 8c).
+    MoveX,
+    /// Move both accesses (Figure 8d).
+    MoveBoth,
+}
+
+/// One offloaded computation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrecomputePlan {
+    pub nest: NestId,
+    /// The two-memory-operand statement being offloaded.
+    pub stmt: StmtId,
+    /// How many iterations ahead of the consumer the pre-compute
+    /// issues (the compiler's translation of "cycles to move" into
+    /// "program instructions", §5.2.1).
+    pub lookahead: u32,
+    /// Cycle stagger between the two operand requests (positive delays
+    /// the second operand `b`).
+    pub stagger: i32,
+    /// Use reshaped (overlap-maximized) NoC routes for the operands.
+    pub reshape_routes: bool,
+    /// Which movement strategy was selected.
+    pub strategy: MoveStrategy,
+    /// The component the compiler sized the stagger for (first-choice
+    /// target in the trial order). The hardware may still perform the
+    /// computation earlier on the path if operands meet there.
+    pub target: NdcLocation,
+}
+
+/// A complete compiler schedule for a program.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Per-nest unimodular loop transformation.
+    pub transforms: HashMap<NestId, IMat>,
+    /// Per-nest statement-order override (body positions in execution
+    /// order). Nests absent from the map run in original body order.
+    pub stmt_order: HashMap<NestId, Vec<usize>>,
+    /// Offload decisions.
+    pub precomputes: Vec<PrecomputePlan>,
+}
+
+impl Schedule {
+    /// Execution order of body positions for a nest (override or
+    /// original order).
+    pub fn stmt_order_for(&self, nest: &LoopNest) -> Vec<usize> {
+        match self.stmt_order.get(&nest.id) {
+            Some(o) => {
+                debug_assert_eq!(o.len(), nest.body.len());
+                o.clone()
+            }
+            None => (0..nest.body.len()).collect(),
+        }
+    }
+
+    /// Plans targeting a given nest.
+    pub fn plans_for(&self, nest: NestId) -> impl Iterator<Item = &PrecomputePlan> {
+        self.precomputes.iter().filter(move |p| p.nest == nest)
+    }
+
+    /// Validate internal consistency against a program: plan statements
+    /// exist and are two-memory-operand computations; statement orders
+    /// are permutations.
+    pub fn validate(&self, prog: &crate::program::Program) -> Result<(), String> {
+        for plan in &self.precomputes {
+            let nest = prog
+                .nests
+                .iter()
+                .find(|n| n.id == plan.nest)
+                .ok_or_else(|| format!("plan references unknown nest {:?}", plan.nest))?;
+            let stmt = nest
+                .stmt(plan.stmt)
+                .ok_or_else(|| format!("plan references unknown stmt {:?}", plan.stmt))?;
+            if stmt.memory_operand_pair().is_none() {
+                return Err(format!(
+                    "plan for {:?}/{:?} is not a two-memory-operand computation",
+                    plan.nest, plan.stmt
+                ));
+            }
+        }
+        for (nest_id, order) in &self.stmt_order {
+            let nest = prog
+                .nests
+                .iter()
+                .find(|n| n.id == *nest_id)
+                .ok_or_else(|| format!("stmt_order references unknown nest {nest_id:?}"))?;
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            let expect: Vec<usize> = (0..nest.body.len()).collect();
+            if sorted != expect {
+                return Err(format!(
+                    "stmt_order for {nest_id:?} is not a permutation: {order:?}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{ArrayDecl, ArrayRef, LoopNest, Program, Ref, Stmt};
+    use ndc_types::Op;
+
+    fn prog() -> Program {
+        let mut p = Program::new("t");
+        let x = p.add_array(ArrayDecl::new("X", vec![8], 8));
+        let y = p.add_array(ArrayDecl::new("Y", vec![8], 8));
+        let z = p.add_array(ArrayDecl::new("Z", vec![8], 8));
+        let s0 = Stmt::binary(
+            0,
+            ArrayRef::identity(z, 1, vec![0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(x, 1, vec![0])),
+            Ref::Array(ArrayRef::identity(y, 1, vec![0])),
+            1,
+        );
+        let s1 = Stmt::copy(
+            1,
+            ArrayRef::identity(x, 1, vec![0]),
+            Ref::Const(0.0),
+            1,
+        );
+        p.nests.push(LoopNest::new(0, vec![0], vec![8], vec![s0, s1]));
+        p.assign_layout(0, 64);
+        p
+    }
+
+    fn plan(stmt: u32) -> PrecomputePlan {
+        PrecomputePlan {
+            nest: NestId(0),
+            stmt: StmtId(stmt),
+            lookahead: 4,
+            stagger: 10,
+            reshape_routes: true,
+            strategy: MoveStrategy::MoveY,
+            target: NdcLocation::CacheController,
+        }
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let p = prog();
+        let mut s = Schedule::default();
+        s.precomputes.push(plan(0));
+        s.stmt_order.insert(NestId(0), vec![1, 0]);
+        assert!(s.validate(&p).is_ok());
+    }
+
+    #[test]
+    fn plan_on_copy_stmt_rejected() {
+        let p = prog();
+        let mut s = Schedule::default();
+        s.precomputes.push(plan(1));
+        assert!(s.validate(&p).is_err());
+    }
+
+    #[test]
+    fn plan_on_unknown_stmt_rejected() {
+        let p = prog();
+        let mut s = Schedule::default();
+        s.precomputes.push(plan(9));
+        assert!(s.validate(&p).is_err());
+    }
+
+    #[test]
+    fn non_permutation_order_rejected() {
+        let p = prog();
+        let mut s = Schedule::default();
+        s.stmt_order.insert(NestId(0), vec![0, 0]);
+        assert!(s.validate(&p).is_err());
+    }
+
+    #[test]
+    fn default_order_is_body_order() {
+        let p = prog();
+        let s = Schedule::default();
+        assert_eq!(s.stmt_order_for(&p.nests[0]), vec![0, 1]);
+    }
+}

@@ -1,0 +1,362 @@
+//! A timed, LRU, set-associative cache.
+//!
+//! Used for both L1s (32 KB, 64 B lines, 2-way) and NUCA L2 banks
+//! (512 KB, 256 B lines, 64-way). Each resident line remembers the cycle
+//! it was filled: the simulator uses fill times to compute how long one
+//! operand has been L2-resident when the other arrives (the
+//! cache-controller arrival window of Figure 2b).
+
+use ndc_types::{Addr, CacheConfig, Cycle};
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The line was resident; carries the cycle it was filled.
+    Hit { filled_at: Cycle },
+    /// The line was not resident. It has been filled (allocated) by this
+    /// access; `evicted` names the line address displaced, if any, and
+    /// `coherence` is true when the line was absent because of a
+    /// directory invalidation (a coherence miss).
+    Miss {
+        evicted: Option<Addr>,
+        coherence: bool,
+    },
+}
+
+impl AccessOutcome {
+    pub fn is_hit(&self) -> bool {
+        matches!(self, AccessOutcome::Hit { .. })
+    }
+}
+
+/// Hit/miss counters, split by demand kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    /// Misses caused by a directory invalidation having removed the
+    /// line (coherence misses). A subset of `misses`.
+    pub coherence_misses: u64,
+    pub evictions: u64,
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LineEntry {
+    tag: u64,
+    /// Monotone LRU stamp: larger = more recently used.
+    lru: u64,
+    filled_at: Cycle,
+    dirty: bool,
+    valid: bool,
+}
+
+const INVALID: LineEntry = LineEntry {
+    tag: 0,
+    lru: 0,
+    filled_at: 0,
+    dirty: false,
+    valid: false,
+};
+
+/// A set-associative, write-allocate, LRU cache.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    cfg: CacheConfig,
+    sets: u64,
+    ways: usize,
+    /// `sets * ways` entries, row-major by set.
+    lines: Vec<LineEntry>,
+    lru_clock: u64,
+    /// Lines whose next miss should count as a coherence miss because
+    /// an invalidation (not capacity/conflict pressure) removed them.
+    invalidated: std::collections::HashSet<Addr>,
+    pub stats: CacheStats,
+}
+
+impl SetAssocCache {
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        assert!(sets > 0, "cache must have at least one set");
+        let ways = cfg.ways as usize;
+        SetAssocCache {
+            cfg,
+            sets,
+            ways,
+            lines: vec![INVALID; (sets as usize) * ways],
+            lru_clock: 0,
+            invalidated: std::collections::HashSet::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Line-aligned address of the block containing `addr`.
+    pub fn line_addr(&self, addr: Addr) -> Addr {
+        addr / self.cfg.line_bytes * self.cfg.line_bytes
+    }
+
+    fn set_of(&self, addr: Addr) -> usize {
+        ((addr / self.cfg.line_bytes) % self.sets) as usize
+    }
+
+    fn tag_of(&self, addr: Addr) -> u64 {
+        addr / self.cfg.line_bytes / self.sets
+    }
+
+    fn set_slice(&mut self, set: usize) -> &mut [LineEntry] {
+        let base = set * self.ways;
+        &mut self.lines[base..base + self.ways]
+    }
+
+    /// Access `addr` at cycle `now`. On a miss the line is allocated
+    /// (fills are modelled as instantaneous at `now`; the *latency* of
+    /// the fill is the caller's concern — it knows the full path cost).
+    pub fn access(&mut self, addr: Addr, now: Cycle, is_write: bool) -> AccessOutcome {
+        let line_addr = self.line_addr(addr);
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+
+        if let Some(e) = self.set_slice(set).iter_mut().find(|e| e.valid && e.tag == tag) {
+            e.lru = clock;
+            e.dirty |= is_write;
+            let filled_at = e.filled_at;
+            self.stats.hits += 1;
+            return AccessOutcome::Hit { filled_at };
+        }
+
+        // Miss: allocate, evicting LRU if the set is full.
+        self.stats.misses += 1;
+        let coherence = self.invalidated.remove(&line_addr);
+        if coherence {
+            self.stats.coherence_misses += 1;
+        }
+        let sets = self.sets;
+        let line_bytes = self.cfg.line_bytes;
+        let slot = {
+            let set_lines = self.set_slice(set);
+            let mut victim = 0usize;
+            let mut victim_lru = u64::MAX;
+            let mut found_invalid = false;
+            for (i, e) in set_lines.iter().enumerate() {
+                if !e.valid {
+                    victim = i;
+                    found_invalid = true;
+                    break;
+                }
+                if e.lru < victim_lru {
+                    victim_lru = e.lru;
+                    victim = i;
+                }
+            }
+            (victim, found_invalid)
+        };
+        let (victim, was_invalid) = slot;
+        let evicted = if was_invalid {
+            None
+        } else {
+            let e = &self.set_slice(set)[victim];
+            let evicted_addr = (e.tag * sets + set as u64) * line_bytes;
+            Some(evicted_addr)
+        };
+        if evicted.is_some() {
+            self.stats.evictions += 1;
+        }
+        self.set_slice(set)[victim] = LineEntry {
+            tag,
+            lru: clock,
+            filled_at: now,
+            dirty: is_write,
+            valid: true,
+        };
+        AccessOutcome::Miss { evicted, coherence }
+    }
+
+    /// Non-mutating residency probe (the LD/ST unit's "local $ probe"
+    /// before offloading, Figure 1).
+    pub fn probe(&self, addr: Addr) -> bool {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = set * self.ways;
+        self.lines[base..base + self.ways]
+            .iter()
+            .any(|e| e.valid && e.tag == tag)
+    }
+
+    /// Fill time of a resident line, if resident.
+    pub fn resident_since(&self, addr: Addr) -> Option<Cycle> {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = set * self.ways;
+        self.lines[base..base + self.ways]
+            .iter()
+            .find(|e| e.valid && e.tag == tag)
+            .map(|e| e.filled_at)
+    }
+
+    /// Remove a line (directory-initiated invalidation). The next demand
+    /// miss on this line is counted as a coherence miss.
+    pub fn invalidate(&mut self, addr: Addr) {
+        let line_addr = self.line_addr(addr);
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let mut hit = false;
+        for e in self.set_slice(set) {
+            if e.valid && e.tag == tag {
+                e.valid = false;
+                hit = true;
+                break;
+            }
+        }
+        if hit {
+            self.stats.invalidations += 1;
+            self.invalidated.insert(line_addr);
+        }
+    }
+
+    /// Number of currently-valid lines (tests and occupancy metrics).
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|e| e.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 4 sets x 2 ways x 64 B lines = 512 B.
+        SetAssocCache::new(CacheConfig {
+            size_bytes: 512,
+            line_bytes: 64,
+            ways: 2,
+            latency: 2,
+        })
+    }
+
+    #[test]
+    fn geometry() {
+        let c = tiny();
+        assert_eq!(c.sets, 4);
+        assert_eq!(c.ways, 2);
+        assert_eq!(c.line_addr(130), 128);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0, 10, false).is_hit());
+        match c.access(32, 11, false) {
+            AccessOutcome::Hit { filled_at } => assert_eq!(filled_at, 10),
+            _ => panic!("same line should hit"),
+        }
+        assert_eq!(c.stats.hits, 1);
+        assert_eq!(c.stats.misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Set 0 holds lines with (line_index % 4 == 0): 0, 256, 512, ...
+        c.access(0, 1, false); // A
+        c.access(256, 2, false); // B
+        c.access(0, 3, false); // touch A -> B is now LRU
+        match c.access(512, 4, false) {
+            AccessOutcome::Miss { evicted, .. } => assert_eq!(evicted, Some(256)),
+            _ => panic!("expected miss"),
+        }
+        // A must still be resident.
+        assert!(c.probe(0));
+        assert!(!c.probe(256));
+    }
+
+    #[test]
+    fn associativity_is_respected() {
+        let mut c = tiny();
+        c.access(0, 1, false);
+        c.access(256, 2, false);
+        assert_eq!(c.occupancy(), 2);
+        c.access(512, 3, false);
+        // Still only 2 lines in set 0.
+        assert_eq!(c.occupancy(), 2);
+    }
+
+    #[test]
+    fn probe_does_not_mutate() {
+        let mut c = tiny();
+        c.access(0, 1, false);
+        let stats_before = c.stats;
+        assert!(c.probe(0));
+        assert!(!c.probe(64));
+        assert_eq!(c.stats, stats_before);
+    }
+
+    #[test]
+    fn invalidation_counts_coherence_miss() {
+        let mut c = tiny();
+        c.access(0, 1, false);
+        c.invalidate(0);
+        assert!(!c.probe(0));
+        assert_eq!(c.stats.invalidations, 1);
+        match c.access(0, 2, false) {
+            AccessOutcome::Miss { coherence, .. } => assert!(coherence),
+            _ => panic!("expected miss"),
+        }
+        assert_eq!(c.stats.coherence_misses, 1);
+        // A second miss on the same line (capacity path) is not
+        // coherence.
+        c.access(256, 3, false);
+        c.access(512, 4, false); // evicts line 0's set members
+        c.access(0, 5, false);
+        assert_eq!(c.stats.coherence_misses, 1);
+    }
+
+    #[test]
+    fn resident_since_reports_fill_time() {
+        let mut c = tiny();
+        assert_eq!(c.resident_since(0), None);
+        c.access(0, 42, false);
+        assert_eq!(c.resident_since(0), Some(42));
+        assert_eq!(c.resident_since(32), Some(42));
+    }
+
+    #[test]
+    fn writes_mark_dirty_and_hit() {
+        let mut c = tiny();
+        c.access(0, 1, true);
+        assert!(c.access(0, 2, true).is_hit());
+        assert_eq!(c.stats.misses, 1);
+    }
+
+    #[test]
+    fn eviction_reconstructs_correct_address() {
+        let mut c = tiny();
+        // Line at address 64 lives in set 1; its set-mates are 64+256k.
+        c.access(64, 1, false);
+        c.access(64 + 256, 2, false);
+        match c.access(64 + 512, 3, false) {
+            AccessOutcome::Miss { evicted, .. } => assert_eq!(evicted, Some(64)),
+            _ => panic!("expected miss"),
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Full-map sharer directory for L1 coherence.
+//!
+//! The simulated machine keeps a directory entry per L2-home line
+//! recording which cores hold the line in their L1. A write from core
+//! `c` invalidates every other sharer's L1 copy. Those later re-reads
+//! become *coherence misses* — the miss class the paper's CME estimator
+//! deliberately does not model ("our CME implementation does not model
+//! coherence misses", §5.2), which is what caps the Table 2 accuracies.
+
+use ndc_types::Addr;
+use std::collections::HashMap;
+
+/// Sharer bitmask per line address. Supports up to 64 cores, enough for
+/// the paper's 4×4 / 5×5 / 6×6 meshes.
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    sharers: HashMap<Addr, u64>,
+}
+
+impl Directory {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `core` obtained a readable copy of `line`.
+    pub fn add_sharer(&mut self, line: Addr, core: usize) {
+        debug_assert!(core < 64);
+        *self.sharers.entry(line).or_insert(0) |= 1 << core;
+    }
+
+    /// Record a write by `core`: returns the cores whose copies must be
+    /// invalidated (every sharer except the writer), and collapses the
+    /// entry to the writer alone.
+    pub fn write_by(&mut self, line: Addr, core: usize) -> SharerIter {
+        debug_assert!(core < 64);
+        let entry = self.sharers.entry(line).or_insert(0);
+        let others = *entry & !(1 << core);
+        *entry = 1 << core;
+        SharerIter { bits: others }
+    }
+
+    /// Drop a core's copy (L1 eviction writes back / silently drops).
+    pub fn remove_sharer(&mut self, line: Addr, core: usize) {
+        if let Some(e) = self.sharers.get_mut(&line) {
+            *e &= !(1 << core);
+            if *e == 0 {
+                self.sharers.remove(&line);
+            }
+        }
+    }
+
+    pub fn sharer_count(&self, line: Addr) -> u32 {
+        self.sharers.get(&line).map_or(0, |b| b.count_ones())
+    }
+
+    pub fn is_sharer(&self, line: Addr, core: usize) -> bool {
+        self.sharers.get(&line).is_some_and(|b| b & (1 << core) != 0)
+    }
+
+    /// Number of tracked lines (tests / memory accounting).
+    pub fn tracked_lines(&self) -> usize {
+        self.sharers.len()
+    }
+}
+
+/// Iterator over core indices in a sharer bitmask.
+#[derive(Debug, Clone, Copy)]
+pub struct SharerIter {
+    bits: u64,
+}
+
+impl Iterator for SharerIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.bits == 0 {
+            return None;
+        }
+        let c = self.bits.trailing_zeros() as usize;
+        self.bits &= self.bits - 1;
+        Some(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_sharing_accumulates() {
+        let mut d = Directory::new();
+        d.add_sharer(0x1000, 1);
+        d.add_sharer(0x1000, 5);
+        d.add_sharer(0x1000, 5);
+        assert_eq!(d.sharer_count(0x1000), 2);
+        assert!(d.is_sharer(0x1000, 1));
+        assert!(d.is_sharer(0x1000, 5));
+        assert!(!d.is_sharer(0x1000, 2));
+    }
+
+    #[test]
+    fn write_invalidates_other_sharers() {
+        let mut d = Directory::new();
+        for c in [0, 3, 7] {
+            d.add_sharer(0x40, c);
+        }
+        let invalidated: Vec<usize> = d.write_by(0x40, 3).collect();
+        assert_eq!(invalidated, vec![0, 7]);
+        assert_eq!(d.sharer_count(0x40), 1);
+        assert!(d.is_sharer(0x40, 3));
+    }
+
+    #[test]
+    fn write_by_sole_sharer_invalidates_nothing() {
+        let mut d = Directory::new();
+        d.add_sharer(0x40, 2);
+        let inv: Vec<usize> = d.write_by(0x40, 2).collect();
+        assert!(inv.is_empty());
+    }
+
+    #[test]
+    fn write_to_untracked_line_creates_owner() {
+        let mut d = Directory::new();
+        let inv: Vec<usize> = d.write_by(0x80, 9).collect();
+        assert!(inv.is_empty());
+        assert!(d.is_sharer(0x80, 9));
+    }
+
+    #[test]
+    fn remove_sharer_cleans_up() {
+        let mut d = Directory::new();
+        d.add_sharer(0x40, 1);
+        d.add_sharer(0x40, 2);
+        d.remove_sharer(0x40, 1);
+        assert_eq!(d.sharer_count(0x40), 1);
+        d.remove_sharer(0x40, 2);
+        assert_eq!(d.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn distinct_lines_are_independent() {
+        let mut d = Directory::new();
+        d.add_sharer(0x40, 1);
+        d.add_sharer(0x80, 2);
+        let inv: Vec<usize> = d.write_by(0x40, 3).collect();
+        assert_eq!(inv, vec![1]);
+        assert!(d.is_sharer(0x80, 2));
+    }
+}

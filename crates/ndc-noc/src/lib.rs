@@ -1,0 +1,125 @@
+//! 2D-mesh network-on-chip substrate.
+//!
+//! This crate builds the on-chip network the paper's manycore assumes
+//! (§2): a `w × h` mesh with static XY routing, 16-byte links, and a
+//! 3-cycle router pipeline. Beyond plain routing it implements the
+//! route-*signature* machinery of §5.2.1 (third challenge): every
+//! minimal path between two nodes is an `L`-bit link set, and the
+//! compiler may pick, among the minimal paths of two different accesses,
+//! the pair of signatures maximizing the number of common links — each
+//! common link is an opportunity to perform the computation at the
+//! associated router.
+//!
+//! The dynamic side ([`Network`]) is a contended-link latency model:
+//! each directed link has a `busy_until` horizon; messages serialize on
+//! links (occupancy = ⌈bytes / link width⌉ cycles) and pay the router
+//! pipeline per hop. This produces realistic queueing-driven jitter in
+//! operand arrival times — the raw material of the paper's
+//! arrival-window study — without flit-level simulation cost.
+
+pub mod mesh;
+pub mod network;
+pub mod signature;
+
+pub use mesh::{LinkId, Mesh, Route};
+pub use network::{LinkTraversal, Network, TraversalRecord};
+pub use signature::{best_signature_pair, minimal_routes, RouteSignature, SignaturePair};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use ndc_types::{Coord, NocConfig};
+    use proptest::prelude::*;
+
+    fn cfg() -> NocConfig {
+        NocConfig {
+            width: 6,
+            height: 6,
+            link_bytes: 16,
+            hop_cycles: 3,
+        }
+    }
+
+    proptest! {
+        /// XY routes are minimal: hop count equals Manhattan distance.
+        #[test]
+        fn xy_routes_are_minimal(sx in 0u16..6, sy in 0u16..6, dx in 0u16..6, dy in 0u16..6) {
+            let mesh = Mesh::new(cfg());
+            let s = Coord::new(sx, sy);
+            let d = Coord::new(dx, dy);
+            let route = mesh.xy_route(s, d);
+            prop_assert_eq!(route.links.len() as u32, s.manhattan(d));
+        }
+
+        /// Every link of an XY route connects adjacent nodes and the
+        /// route is connected from source to destination.
+        #[test]
+        fn xy_routes_are_connected(sx in 0u16..6, sy in 0u16..6, dx in 0u16..6, dy in 0u16..6) {
+            let mesh = Mesh::new(cfg());
+            let s = Coord::new(sx, sy);
+            let d = Coord::new(dx, dy);
+            let route = mesh.xy_route(s, d);
+            let mut at = s;
+            for &l in &route.links {
+                let (from, to) = mesh.link_endpoints(l);
+                prop_assert_eq!(from, at);
+                prop_assert_eq!(from.manhattan(to), 1);
+                at = to;
+            }
+            prop_assert_eq!(at, d);
+        }
+
+        /// A route signature has exactly one bit per hop.
+        #[test]
+        fn signatures_have_hop_many_bits(sx in 0u16..6, sy in 0u16..6, dx in 0u16..6, dy in 0u16..6) {
+            let mesh = Mesh::new(cfg());
+            let s = Coord::new(sx, sy);
+            let d = Coord::new(dx, dy);
+            let route = mesh.xy_route(s, d);
+            let sig = RouteSignature::from_route(&mesh, &route);
+            prop_assert_eq!(sig.count_ones(), route.links.len() as u32);
+        }
+
+        /// All enumerated minimal routes have the same (minimal) length
+        /// and their count equals the binomial coefficient C(dx+dy, dx).
+        #[test]
+        fn minimal_route_enumeration_is_complete(sx in 0u16..5, sy in 0u16..5, dx in 0u16..5, dy in 0u16..5) {
+            let mesh = Mesh::new(cfg());
+            let s = Coord::new(sx, sy);
+            let d = Coord::new(dx, dy);
+            let routes = minimal_routes(&mesh, s, d);
+            let ddx = (sx as i64 - dx as i64).unsigned_abs();
+            let ddy = (sy as i64 - dy as i64).unsigned_abs();
+            let expect = binomial(ddx + ddy, ddx.min(ddy));
+            prop_assert_eq!(routes.len() as u64, expect);
+            for r in &routes {
+                prop_assert_eq!(r.links.len() as u32, s.manhattan(d));
+            }
+        }
+
+        /// The chosen signature pair shares at least as many links as the
+        /// plain XY pair (the compiler's reshaping never loses overlap).
+        #[test]
+        fn best_pair_at_least_xy_overlap(
+            ax in 0u16..5, ay in 0u16..5, bx in 0u16..5, by in 0u16..5,
+            cx in 0u16..5, cy in 0u16..5, ex in 0u16..5, ey in 0u16..5,
+        ) {
+            let mesh = Mesh::new(cfg());
+            let (a, b) = (Coord::new(ax, ay), Coord::new(bx, by));
+            let (c, e) = (Coord::new(cx, cy), Coord::new(ex, ey));
+            let xy1 = RouteSignature::from_route(&mesh, &mesh.xy_route(a, b));
+            let xy2 = RouteSignature::from_route(&mesh, &mesh.xy_route(c, e));
+            let xy_common = xy1.and(&xy2).count_ones();
+            let best = best_signature_pair(&mesh, a, b, c, e);
+            prop_assert!(best.common_links >= xy_common);
+        }
+    }
+
+    fn binomial(n: u64, k: u64) -> u64 {
+        let mut acc = 1u64;
+        for i in 0..k {
+            acc = acc * (n - i) / (i + 1);
+        }
+        acc
+    }
+}

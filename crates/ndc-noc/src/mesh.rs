@@ -1,0 +1,302 @@
+//! Mesh topology: nodes, directed links, and static XY routing.
+
+use ndc_types::{Coord, NocConfig, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A directed communication link between two adjacent mesh nodes.
+///
+/// Links are numbered densely so a route signature can be a bitset over
+/// all `L` links (§5.2.1: "for an on-chip network with a total L
+/// communication links, a signature can be represented using an L-bit
+/// sequence").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One concrete path through the mesh: an ordered list of directed
+/// links from source to destination.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Route {
+    pub src: Coord,
+    pub dst: Coord,
+    pub links: Vec<LinkId>,
+}
+
+impl Route {
+    pub fn hops(&self) -> usize {
+        self.links.len()
+    }
+}
+
+/// Static description of a `w × h` 2D mesh.
+///
+/// Directed links are numbered in four blocks: east (`x → x+1`), west,
+/// south (`y → y+1`), north. The block layout is an implementation
+/// detail; use [`Mesh::link_between`] / [`Mesh::link_endpoints`].
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    cfg: NocConfig,
+}
+
+impl Mesh {
+    pub fn new(cfg: NocConfig) -> Self {
+        assert!(cfg.width >= 1 && cfg.height >= 1, "degenerate mesh");
+        Mesh { cfg }
+    }
+
+    pub fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+
+    pub fn width(&self) -> u16 {
+        self.cfg.width
+    }
+
+    pub fn height(&self) -> u16 {
+        self.cfg.height
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.cfg.nodes()
+    }
+
+    /// Total number of directed links, the `L` of route signatures.
+    pub fn num_links(&self) -> usize {
+        let w = self.cfg.width as usize;
+        let h = self.cfg.height as usize;
+        // Horizontal: (w-1)*h in each direction; vertical: w*(h-1) each.
+        2 * ((w - 1) * h + w * (h - 1))
+    }
+
+    fn east_count(&self) -> u32 {
+        (self.cfg.width as u32 - 1) * self.cfg.height as u32
+    }
+
+    fn south_count(&self) -> u32 {
+        self.cfg.width as u32 * (self.cfg.height as u32 - 1)
+    }
+
+    /// The directed link from `a` to the adjacent node `b`.
+    ///
+    /// # Panics
+    /// Panics if `a` and `b` are not mesh-adjacent.
+    pub fn link_between(&self, a: Coord, b: Coord) -> LinkId {
+        let w1 = self.cfg.width as u32 - 1;
+        let h1 = self.cfg.height as u32 - 1;
+        let (ax, ay, bx, by) = (a.x as u32, a.y as u32, b.x as u32, b.y as u32);
+        let east = self.east_count();
+        let south = self.south_count();
+        if by == ay && bx == ax + 1 {
+            // East block: indexed by (row, column-of-left-node).
+            LinkId(ay * w1 + ax)
+        } else if by == ay && bx + 1 == ax {
+            // West block.
+            LinkId(east + ay * w1 + bx)
+        } else if bx == ax && by == ay + 1 {
+            // South block: indexed by (column, row-of-top-node).
+            LinkId(2 * east + ax * h1 + ay)
+        } else if bx == ax && by + 1 == ay {
+            // North block.
+            LinkId(2 * east + south + ax * h1 + by)
+        } else {
+            panic!("link_between: {a} and {b} are not adjacent");
+        }
+    }
+
+    /// Inverse of [`Mesh::link_between`]: the (from, to) endpoints.
+    pub fn link_endpoints(&self, l: LinkId) -> (Coord, Coord) {
+        let w1 = self.cfg.width as u32 - 1;
+        let h1 = self.cfg.height as u32 - 1;
+        let east = self.east_count();
+        let south = self.south_count();
+        let i = l.0;
+        if i < east {
+            let (y, x) = (i / w1, i % w1);
+            (
+                Coord::new(x as u16, y as u16),
+                Coord::new(x as u16 + 1, y as u16),
+            )
+        } else if i < 2 * east {
+            let j = i - east;
+            let (y, x) = (j / w1, j % w1);
+            (
+                Coord::new(x as u16 + 1, y as u16),
+                Coord::new(x as u16, y as u16),
+            )
+        } else if i < 2 * east + south {
+            let j = i - 2 * east;
+            let (x, y) = (j / h1, j % h1);
+            (
+                Coord::new(x as u16, y as u16),
+                Coord::new(x as u16, y as u16 + 1),
+            )
+        } else {
+            let j = i - 2 * east - south;
+            let (x, y) = (j / h1, j % h1);
+            (
+                Coord::new(x as u16, y as u16 + 1),
+                Coord::new(x as u16, y as u16),
+            )
+        }
+    }
+
+    /// The router a message sits in after traversing `l`: the link's
+    /// downstream endpoint. NDC link-buffer computations happen at this
+    /// router's buffer.
+    pub fn link_router(&self, l: LinkId) -> NodeId {
+        let (_, to) = self.link_endpoints(l);
+        NodeId::from_coord(to, self.cfg.width)
+    }
+
+    /// Static XY (dimension-ordered) route: travel along X first, then
+    /// Y. This is the baseline routing of the simulated machine
+    /// (Table 1: "XY-routing").
+    pub fn xy_route(&self, src: Coord, dst: Coord) -> Route {
+        let mut links = Vec::with_capacity(src.manhattan(dst) as usize);
+        let mut at = src;
+        while at.x != dst.x {
+            let next = if dst.x > at.x {
+                Coord::new(at.x + 1, at.y)
+            } else {
+                Coord::new(at.x - 1, at.y)
+            };
+            links.push(self.link_between(at, next));
+            at = next;
+        }
+        while at.y != dst.y {
+            let next = if dst.y > at.y {
+                Coord::new(at.x, at.y + 1)
+            } else {
+                Coord::new(at.x, at.y - 1)
+            };
+            links.push(self.link_between(at, next));
+            at = next;
+        }
+        Route { src, dst, links }
+    }
+
+    /// Build a route from an explicit node sequence (used by the
+    /// compiler's reshaped routes). Consecutive coordinates must be
+    /// adjacent.
+    pub fn route_via(&self, path: &[Coord]) -> Route {
+        assert!(!path.is_empty());
+        let mut links = Vec::with_capacity(path.len().saturating_sub(1));
+        for pair in path.windows(2) {
+            links.push(self.link_between(pair[0], pair[1]));
+        }
+        Route {
+            src: path[0],
+            dst: *path.last().unwrap(),
+            links,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh5() -> Mesh {
+        Mesh::new(NocConfig {
+            width: 5,
+            height: 5,
+            link_bytes: 16,
+            hop_cycles: 3,
+        })
+    }
+
+    #[test]
+    fn link_count_for_5x5() {
+        // 5x5 mesh: 4*5=20 east + 20 west + 20 south + 20 north = 80.
+        assert_eq!(mesh5().num_links(), 80);
+    }
+
+    #[test]
+    fn link_ids_are_dense_and_invertible() {
+        let m = mesh5();
+        let mut seen = std::collections::HashSet::new();
+        for y in 0..5u16 {
+            for x in 0..5u16 {
+                let a = Coord::new(x, y);
+                for (dx, dy) in [(1i32, 0i32), (-1, 0), (0, 1), (0, -1)] {
+                    let nx = x as i32 + dx;
+                    let ny = y as i32 + dy;
+                    if nx < 0 || ny < 0 || nx >= 5 || ny >= 5 {
+                        continue;
+                    }
+                    let b = Coord::new(nx as u16, ny as u16);
+                    let l = m.link_between(a, b);
+                    assert!(l.index() < m.num_links(), "id {l:?} out of range");
+                    assert!(seen.insert(l), "duplicate link id {l:?}");
+                    assert_eq!(m.link_endpoints(l), (a, b));
+                }
+            }
+        }
+        assert_eq!(seen.len(), m.num_links());
+    }
+
+    #[test]
+    fn xy_route_goes_x_then_y() {
+        let m = mesh5();
+        let r = m.xy_route(Coord::new(0, 0), Coord::new(2, 2));
+        assert_eq!(r.hops(), 4);
+        // First two hops move east along row 0, then two south.
+        let (f0, t0) = m.link_endpoints(r.links[0]);
+        assert_eq!((f0, t0), (Coord::new(0, 0), Coord::new(1, 0)));
+        let (f3, t3) = m.link_endpoints(r.links[3]);
+        assert_eq!((f3, t3), (Coord::new(2, 1), Coord::new(2, 2)));
+    }
+
+    #[test]
+    fn xy_route_handles_negative_directions() {
+        let m = mesh5();
+        let r = m.xy_route(Coord::new(4, 4), Coord::new(1, 0));
+        assert_eq!(r.hops(), 7);
+        let mut at = Coord::new(4, 4);
+        for &l in &r.links {
+            let (from, to) = m.link_endpoints(l);
+            assert_eq!(from, at);
+            at = to;
+        }
+        assert_eq!(at, Coord::new(1, 0));
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let m = mesh5();
+        let r = m.xy_route(Coord::new(2, 2), Coord::new(2, 2));
+        assert!(r.links.is_empty());
+    }
+
+    #[test]
+    fn route_via_custom_path() {
+        let m = mesh5();
+        // A YX-ish detour path from (0,0) to (1,1).
+        let r = m.route_via(&[
+            Coord::new(0, 0),
+            Coord::new(0, 1),
+            Coord::new(1, 1),
+        ]);
+        assert_eq!(r.hops(), 2);
+        assert_eq!(r.src, Coord::new(0, 0));
+        assert_eq!(r.dst, Coord::new(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not adjacent")]
+    fn non_adjacent_link_panics() {
+        mesh5().link_between(Coord::new(0, 0), Coord::new(2, 0));
+    }
+
+    #[test]
+    fn link_router_is_downstream() {
+        let m = mesh5();
+        let l = m.link_between(Coord::new(1, 1), Coord::new(2, 1));
+        assert_eq!(m.link_router(l), NodeId::from_coord(Coord::new(2, 1), 5));
+    }
+}

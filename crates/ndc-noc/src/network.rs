@@ -1,0 +1,211 @@
+//! Dynamic network state: contended-link message traversal.
+//!
+//! Each directed link keeps a `busy_until` horizon. A message entering a
+//! link waits until the link frees, occupies it for
+//! `⌈bytes / link_bytes⌉` cycles (16-byte links, Table 1), and pays the
+//! router pipeline (`hop_cycles`, 3 by default) to move to the next
+//! router. The per-link entry timestamps are returned so the simulator's
+//! instrumentation can compute link-buffer arrival windows: two operands
+//! co-locate at a router when their messages traverse a common link, and
+//! the window is the gap between their entry times.
+
+use crate::mesh::{LinkId, Mesh, Route};
+use ndc_types::{Cycle, NodeId};
+
+/// Timestamp record for one link of a traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkTraversal {
+    pub link: LinkId,
+    /// Cycle at which the message entered the link's buffer (after any
+    /// queueing delay).
+    pub enter: Cycle,
+    /// Cycle at which the message left the downstream router.
+    pub exit: Cycle,
+    /// The downstream router — where an NDC link-buffer ALU could
+    /// operate on the message.
+    pub router: NodeId,
+}
+
+/// Full record of one message traversal.
+#[derive(Debug, Clone, Default)]
+pub struct TraversalRecord {
+    pub links: Vec<LinkTraversal>,
+    pub departed: Cycle,
+    pub arrived: Cycle,
+}
+
+impl TraversalRecord {
+    /// Total network latency including queueing.
+    pub fn latency(&self) -> Cycle {
+        self.arrived - self.departed
+    }
+}
+
+/// Mutable network state: one busy-horizon per directed link.
+#[derive(Debug, Clone)]
+pub struct Network {
+    mesh: Mesh,
+    busy_until: Vec<Cycle>,
+    /// Total messages injected (stats).
+    pub messages: u64,
+    /// Total link-cycles of queueing delay suffered (stats).
+    pub queueing_cycles: u64,
+}
+
+impl Network {
+    pub fn new(mesh: Mesh) -> Self {
+        let n = mesh.num_links();
+        Network {
+            mesh,
+            busy_until: vec![0; n],
+            messages: 0,
+            queueing_cycles: 0,
+        }
+    }
+
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Send a message of `bytes` bytes along `route`, starting at cycle
+    /// `start`. Returns the per-link timing record. A zero-hop route
+    /// (source == destination) arrives instantly.
+    pub fn traverse(&mut self, route: &Route, start: Cycle, bytes: u64) -> TraversalRecord {
+        let hop = self.mesh.config().hop_cycles;
+        let occupancy = bytes.div_ceil(self.mesh.config().link_bytes).max(1);
+        let mut t = start;
+        let mut rec = TraversalRecord {
+            links: Vec::with_capacity(route.links.len()),
+            departed: start,
+            arrived: start,
+        };
+        self.messages += 1;
+        for &l in &route.links {
+            let free_at = self.busy_until[l.index()];
+            let enter = t.max(free_at);
+            self.queueing_cycles += enter - t;
+            // Serialize the message body over the link.
+            self.busy_until[l.index()] = enter + occupancy;
+            // The head reaches the next router after the pipeline delay.
+            let exit = enter + hop;
+            rec.links.push(LinkTraversal {
+                link: l,
+                enter,
+                exit,
+                router: self.mesh.link_router(l),
+            });
+            t = exit;
+        }
+        rec.arrived = t;
+        rec
+    }
+
+    /// Latency of an uncontended traversal of `hops` hops (used for
+    /// static compiler estimates).
+    pub fn uncontended_latency(&self, hops: u32) -> Cycle {
+        hops as Cycle * self.mesh.config().hop_cycles
+    }
+
+    /// Reset all busy horizons (between independent simulations).
+    pub fn reset(&mut self) {
+        self.busy_until.fill(0);
+        self.messages = 0;
+        self.queueing_cycles = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndc_types::{Coord, NocConfig};
+
+    fn net() -> Network {
+        Network::new(Mesh::new(NocConfig {
+            width: 5,
+            height: 5,
+            link_bytes: 16,
+            hop_cycles: 3,
+        }))
+    }
+
+    #[test]
+    fn uncontended_latency_is_hops_times_pipeline() {
+        let mut n = net();
+        let mesh = n.mesh().clone();
+        let r = mesh.xy_route(Coord::new(0, 0), Coord::new(3, 0));
+        let rec = n.traverse(&r, 100, 16);
+        assert_eq!(rec.departed, 100);
+        assert_eq!(rec.arrived, 100 + 3 * 3);
+        assert_eq!(rec.latency(), 9);
+        assert_eq!(rec.links.len(), 3);
+        assert_eq!(rec.links[0].enter, 100);
+        assert_eq!(rec.links[0].exit, 103);
+        assert_eq!(rec.links[2].enter, 106);
+    }
+
+    #[test]
+    fn zero_hop_route_is_free() {
+        let mut n = net();
+        let mesh = n.mesh().clone();
+        let r = mesh.xy_route(Coord::new(2, 2), Coord::new(2, 2));
+        let rec = n.traverse(&r, 42, 64);
+        assert_eq!(rec.arrived, 42);
+        assert!(rec.links.is_empty());
+    }
+
+    #[test]
+    fn contention_serializes_messages() {
+        let mut n = net();
+        let mesh = n.mesh().clone();
+        let r = mesh.xy_route(Coord::new(0, 0), Coord::new(1, 0));
+        // A 64-byte message occupies the 16-byte link for 4 cycles.
+        let first = n.traverse(&r, 0, 64);
+        assert_eq!(first.links[0].enter, 0);
+        // A second message at the same cycle must wait for the link.
+        let second = n.traverse(&r, 0, 64);
+        assert_eq!(second.links[0].enter, 4);
+        assert_eq!(second.arrived, 4 + 3);
+        assert_eq!(n.queueing_cycles, 4);
+        assert_eq!(n.messages, 2);
+    }
+
+    #[test]
+    fn disjoint_links_do_not_interfere() {
+        let mut n = net();
+        let mesh = n.mesh().clone();
+        let r1 = mesh.xy_route(Coord::new(0, 0), Coord::new(1, 0));
+        let r2 = mesh.xy_route(Coord::new(0, 1), Coord::new(1, 1));
+        n.traverse(&r1, 0, 64);
+        let rec = n.traverse(&r2, 0, 64);
+        assert_eq!(rec.links[0].enter, 0);
+        assert_eq!(n.queueing_cycles, 0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut n = net();
+        let mesh = n.mesh().clone();
+        let r = mesh.xy_route(Coord::new(0, 0), Coord::new(1, 0));
+        n.traverse(&r, 0, 64);
+        n.reset();
+        let rec = n.traverse(&r, 0, 64);
+        assert_eq!(rec.links[0].enter, 0);
+        assert_eq!(n.messages, 1);
+    }
+
+    #[test]
+    fn router_of_each_hop_is_downstream_node() {
+        let mut n = net();
+        let mesh = n.mesh().clone();
+        let r = mesh.xy_route(Coord::new(0, 0), Coord::new(0, 2));
+        let rec = n.traverse(&r, 0, 16);
+        assert_eq!(
+            rec.links[0].router,
+            NodeId::from_coord(Coord::new(0, 1), 5)
+        );
+        assert_eq!(
+            rec.links[1].router,
+            NodeId::from_coord(Coord::new(0, 2), 5)
+        );
+    }
+}

@@ -1,0 +1,282 @@
+//! Route signatures and minimal-path selection (§5.2.1, third
+//! challenge).
+//!
+//! A signature `S{(p1,q1),(p2,q2)}` is an `L`-bit set over the mesh's
+//! directed links marking which links a (minimal) path uses. Given two
+//! accesses `x` and `y` with sources `(px,qx)`, `(py,qy)` and
+//! destinations `(pr,qr)`, `(ps,qs)`, the compiler selects signatures
+//! maximizing `|Sx ∩ Sy|` — every common link is a router where the NDC
+//! computation `x op y` can be performed.
+
+use crate::mesh::{LinkId, Mesh, Route};
+use ndc_types::Coord;
+
+/// An `L`-bit link set, stored as packed 64-bit words.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RouteSignature {
+    words: Vec<u64>,
+    num_links: usize,
+}
+
+impl RouteSignature {
+    pub fn empty(mesh: &Mesh) -> Self {
+        let n = mesh.num_links();
+        RouteSignature {
+            words: vec![0; n.div_ceil(64)],
+            num_links: n,
+        }
+    }
+
+    pub fn from_route(mesh: &Mesh, route: &Route) -> Self {
+        let mut s = Self::empty(mesh);
+        for &l in &route.links {
+            s.set(l);
+        }
+        s
+    }
+
+    pub fn set(&mut self, l: LinkId) {
+        debug_assert!(l.index() < self.num_links);
+        self.words[l.index() / 64] |= 1 << (l.index() % 64);
+    }
+
+    pub fn get(&self, l: LinkId) -> bool {
+        self.words[l.index() / 64] & (1 << (l.index() % 64)) != 0
+    }
+
+    /// Bitwise intersection (the paper's `∩`).
+    pub fn and(&self, other: &RouteSignature) -> RouteSignature {
+        debug_assert_eq!(self.num_links, other.num_links);
+        RouteSignature {
+            words: self
+                .words
+                .iter()
+                .zip(other.words.iter())
+                .map(|(a, b)| a & b)
+                .collect(),
+            num_links: self.num_links,
+        }
+    }
+
+    /// Number of set bits ("the total number of 1s").
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Iterate over the set links.
+    pub fn links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(LinkId((wi as u32) * 64 + b))
+            })
+        })
+    }
+}
+
+/// Enumerate every minimal (monotone, Manhattan-length) route between
+/// two coordinates. For a `dx × dy` displacement this yields
+/// `C(dx+dy, dx)` routes — at most 252 on a 6×6 mesh, so exhaustive
+/// enumeration is cheap.
+pub fn minimal_routes(mesh: &Mesh, src: Coord, dst: Coord) -> Vec<Route> {
+    let mut out = Vec::new();
+    let mut path = vec![src];
+    recurse(mesh, dst, &mut path, &mut out);
+    out
+}
+
+fn recurse(mesh: &Mesh, dst: Coord, path: &mut Vec<Coord>, out: &mut Vec<Route>) {
+    let at = *path.last().unwrap();
+    if at == dst {
+        out.push(mesh.route_via(path));
+        return;
+    }
+    // Move one step closer in X, then (as an alternative) in Y —
+    // exploring both orders yields every monotone staircase.
+    if at.x != dst.x {
+        let next = if dst.x > at.x {
+            Coord::new(at.x + 1, at.y)
+        } else {
+            Coord::new(at.x - 1, at.y)
+        };
+        path.push(next);
+        recurse(mesh, dst, path, out);
+        path.pop();
+    }
+    if at.y != dst.y {
+        let next = if dst.y > at.y {
+            Coord::new(at.x, at.y + 1)
+        } else {
+            Coord::new(at.x, at.y - 1)
+        };
+        path.push(next);
+        recurse(mesh, dst, path, out);
+        path.pop();
+    }
+}
+
+/// The result of signature selection for a pair of accesses.
+#[derive(Debug, Clone)]
+pub struct SignaturePair {
+    pub route_a: Route,
+    pub route_b: Route,
+    pub sig_a: RouteSignature,
+    pub sig_b: RouteSignature,
+    /// `|Sa ∩ Sb|` — the number of routers where the two operands'
+    /// messages share a link buffer.
+    pub common_links: u32,
+}
+
+/// Select, among all minimal routes of `(a_src → a_dst)` and
+/// `(b_src → b_dst)`, the pair maximizing the number of common links
+/// (§5.2.1: "selects signatures carefully in an attempt to maximize 1s
+/// in S{...} ∩ S{...}"). Ties prefer the XY route (index 0 of the
+/// enumeration explores X-first moves first), keeping the baseline
+/// routing when reshaping buys nothing.
+pub fn best_signature_pair(
+    mesh: &Mesh,
+    a_src: Coord,
+    a_dst: Coord,
+    b_src: Coord,
+    b_dst: Coord,
+) -> SignaturePair {
+    let routes_a = minimal_routes(mesh, a_src, a_dst);
+    let routes_b = minimal_routes(mesh, b_src, b_dst);
+    let sigs_a: Vec<RouteSignature> = routes_a
+        .iter()
+        .map(|r| RouteSignature::from_route(mesh, r))
+        .collect();
+    let sigs_b: Vec<RouteSignature> = routes_b
+        .iter()
+        .map(|r| RouteSignature::from_route(mesh, r))
+        .collect();
+
+    let mut best: Option<(usize, usize, u32)> = None;
+    for (i, sa) in sigs_a.iter().enumerate() {
+        for (j, sb) in sigs_b.iter().enumerate() {
+            let common = sa.and(sb).count_ones();
+            let better = match best {
+                None => true,
+                Some((_, _, c)) => common > c,
+            };
+            if better {
+                best = Some((i, j, common));
+            }
+        }
+    }
+    let (i, j, common) = best.expect("route enumerations are never empty");
+    SignaturePair {
+        route_a: routes_a[i].clone(),
+        route_b: routes_b[j].clone(),
+        sig_a: sigs_a[i].clone(),
+        sig_b: sigs_b[j].clone(),
+        common_links: common,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndc_types::NocConfig;
+
+    fn mesh6() -> Mesh {
+        Mesh::new(NocConfig {
+            width: 6,
+            height: 6,
+            link_bytes: 16,
+            hop_cycles: 3,
+        })
+    }
+
+    #[test]
+    fn signature_set_get_and_count() {
+        let m = mesh6();
+        let r = m.xy_route(Coord::new(0, 0), Coord::new(3, 2));
+        let s = RouteSignature::from_route(&m, &r);
+        assert_eq!(s.count_ones(), 5);
+        for &l in &r.links {
+            assert!(s.get(l));
+        }
+        let collected: Vec<LinkId> = s.links().collect();
+        assert_eq!(collected.len(), 5);
+        let mut sorted = r.links.clone();
+        sorted.sort();
+        assert_eq!(collected, sorted);
+    }
+
+    #[test]
+    fn intersection_of_disjoint_routes_is_empty() {
+        let m = mesh6();
+        let r1 = m.xy_route(Coord::new(0, 0), Coord::new(2, 0));
+        let r2 = m.xy_route(Coord::new(0, 5), Coord::new(2, 5));
+        let s1 = RouteSignature::from_route(&m, &r1);
+        let s2 = RouteSignature::from_route(&m, &r2);
+        assert_eq!(s1.and(&s2).count_ones(), 0);
+    }
+
+    #[test]
+    fn minimal_route_counts() {
+        let m = mesh6();
+        // (0,0) -> (2,2): C(4,2) = 6 staircases.
+        let routes = minimal_routes(&m, Coord::new(0, 0), Coord::new(2, 2));
+        assert_eq!(routes.len(), 6);
+        // Straight line: exactly one.
+        let routes = minimal_routes(&m, Coord::new(0, 0), Coord::new(0, 4));
+        assert_eq!(routes.len(), 1);
+        // Self: one empty route.
+        let routes = minimal_routes(&m, Coord::new(3, 3), Coord::new(3, 3));
+        assert_eq!(routes.len(), 1);
+        assert!(routes[0].links.is_empty());
+    }
+
+    /// Reproduces the Figure 11 scenario: two accesses whose XY routes
+    /// do not share a link, but reshaped minimal routes share several.
+    #[test]
+    fn reshaping_creates_overlap_fig11() {
+        let m = mesh6();
+        // Access a: (0,0) -> (3,3); access b: (0,3)->(3,0) region chosen
+        // so XY routes are disjoint on inner links but staircases can
+        // overlap.
+        let a_src = Coord::new(0, 1);
+        let a_dst = Coord::new(3, 2);
+        let b_src = Coord::new(1, 0);
+        let b_dst = Coord::new(2, 3);
+        let xy1 = RouteSignature::from_route(&m, &m.xy_route(a_src, a_dst));
+        let xy2 = RouteSignature::from_route(&m, &m.xy_route(b_src, b_dst));
+        let xy_common = xy1.and(&xy2).count_ones();
+        let best = best_signature_pair(&m, a_src, a_dst, b_src, b_dst);
+        assert!(
+            best.common_links > xy_common,
+            "reshaping should beat XY here: best {} vs xy {}",
+            best.common_links,
+            xy_common
+        );
+        assert!(best.common_links >= 1);
+    }
+
+    #[test]
+    fn same_source_and_dest_share_everything() {
+        let m = mesh6();
+        let s = Coord::new(1, 1);
+        let d = Coord::new(4, 1);
+        let best = best_signature_pair(&m, s, d, s, d);
+        assert_eq!(best.common_links, 3);
+    }
+
+    #[test]
+    fn chosen_routes_remain_minimal() {
+        let m = mesh6();
+        let a_src = Coord::new(0, 0);
+        let a_dst = Coord::new(2, 2);
+        let b_src = Coord::new(2, 0);
+        let b_dst = Coord::new(0, 2);
+        let best = best_signature_pair(&m, a_src, a_dst, b_src, b_dst);
+        assert_eq!(best.route_a.hops() as u32, a_src.manhattan(a_dst));
+        assert_eq!(best.route_b.hops() as u32, b_src.manhattan(b_dst));
+    }
+}

@@ -1,0 +1,1020 @@
+//! The multicore execution engine.
+//!
+//! Cores execute their traces in program order with a 2-wide issue
+//! front end and MSHR-bounded memory-level parallelism; the engine
+//! interleaves cores in global-time order (earliest-next-ready first)
+//! so NoC links, L2 banks, and DRAM channels see a realistic
+//! cross-core request mix. NDC offloads flow through the LD/ST offload
+//! table and the per-component service tables of `crate::ndc`.
+
+use crate::instrument::{Instrumentation, WindowObservation};
+use crate::machine::{AccessIntent, AccessPath, Machine};
+use crate::ndc::{
+    breakeven_by_location, resolve, windows_by_location, AbortReason, LocationPolicy,
+    NdcOutcome, ResolveParams, ServiceTables,
+};
+use crate::schemes::{MarkovPredictor, OracleDecision, OracleGuide, Scheme, WaitBudget, WINDOW_CAP};
+use crate::stats::SimResult;
+use ndc_types::{
+    Addr, ArchConfig, Cycle, InstKind, NodeId, Op, Operand, Pc, TraceProgram,
+};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Per-core dynamic state.
+#[derive(Debug, Default)]
+struct CoreState {
+    idx: usize,
+    now: Cycle,
+    slot_acc: u32,
+    /// Outstanding memory completions (MSHR model).
+    outstanding: BinaryHeap<Reverse<Cycle>>,
+    /// Offload-table entry release times.
+    offload: Vec<Cycle>,
+    /// Latest completion produced by this core.
+    finish: Cycle,
+    /// Sequence number of eligible (two-memory-operand) computes, for
+    /// oracle guide lookup and instrumentation records.
+    compute_seq: usize,
+    done: bool,
+}
+
+/// Result of a pre-compute offload, awaiting its consumer.
+#[derive(Debug, Clone, Copy)]
+enum PreResult {
+    Performed {
+        loc_index: usize,
+        result_at_core: Cycle,
+    },
+    LocalHit,
+    Aborted {
+        at: Cycle,
+    },
+}
+
+/// NDC result values return to the core over the CPU-feed; stores
+/// execute conventionally there, so the destination line's locality is
+/// identical to baseline execution.
+const _STORE_AT_CORE: () = ();
+
+/// Engine output: the run result plus (for instrumented baseline runs)
+/// the characterization data.
+pub struct EngineOutput {
+    pub result: SimResult,
+    pub instrumentation: Option<Instrumentation>,
+}
+
+/// One simulation run.
+pub struct Engine<'a> {
+    cfg: ArchConfig,
+    prog: &'a TraceProgram,
+    scheme: Scheme,
+    guide: Option<&'a OracleGuide>,
+    collect: bool,
+}
+
+impl<'a> Engine<'a> {
+    pub fn new(cfg: ArchConfig, prog: &'a TraceProgram, scheme: Scheme) -> Self {
+        Engine {
+            cfg,
+            prog,
+            scheme,
+            guide: None,
+            collect: false,
+        }
+    }
+
+    /// Attach an oracle guide (required for `Scheme::Oracle`).
+    pub fn with_guide(mut self, guide: &'a OracleGuide) -> Self {
+        self.guide = Some(guide);
+        self
+    }
+
+    /// Collect characterization instrumentation (baseline runs).
+    pub fn with_instrumentation(mut self) -> Self {
+        self.collect = true;
+        self
+    }
+
+    pub fn run(self) -> EngineOutput {
+        let cores = self.cfg.nodes().min(self.prog.traces.len().max(1));
+        let mut machine = Machine::new(self.cfg);
+        let mut tables = ServiceTables::default();
+        let mut states: Vec<CoreState> = (0..self.prog.traces.len())
+            .map(|_| CoreState::default())
+            .collect();
+        let mut instr = if self.collect {
+            Some(Instrumentation::new(self.prog.traces.len()))
+        } else {
+            None
+        };
+        let mut result = SimResult {
+            program: self.prog.name.clone(),
+            scheme: self.scheme.label(),
+            ..Default::default()
+        };
+        // Per-PC last observed window, for the Last-Wait predictor.
+        let mut last_window: HashMap<Pc, Cycle> = HashMap::new();
+        // Per-PC bucket-transition table, for the Markov predictor.
+        let mut markov = MarkovPredictor::new();
+        // Pending pre-compute results keyed by (core, id).
+        let mut pre_results: HashMap<(usize, u32), PreResult> = HashMap::new();
+
+        let mut heap: BinaryHeap<(Reverse<Cycle>, usize)> = (0..self.prog.traces.len())
+            .filter(|&c| !self.prog.traces[c].insts.is_empty())
+            .map(|c| (Reverse(0), c))
+            .collect();
+
+        while let Some((Reverse(_), c)) = heap.pop() {
+            let trace = &self.prog.traces[c];
+            if states[c].idx >= trace.insts.len() {
+                states[c].done = true;
+                continue;
+            }
+            let inst = trace.insts[states[c].idx];
+            states[c].idx += 1;
+            self.exec_inst(
+                &mut machine,
+                &mut tables,
+                &mut states,
+                c,
+                trace.core,
+                inst,
+                &mut result,
+                &mut instr,
+                &mut last_window,
+                &mut markov,
+                &mut pre_results,
+            );
+            if states[c].idx < trace.insts.len() {
+                heap.push((Reverse(states[c].now), c));
+            } else {
+                // Drain outstanding.
+                let st = &mut states[c];
+                while let Some(Reverse(t)) = st.outstanding.pop() {
+                    st.finish = st.finish.max(t);
+                }
+                st.finish = st.finish.max(st.now);
+                st.done = true;
+            }
+        }
+
+        result.per_core_cycles = states.iter().map(|s| s.finish).collect();
+        result.total_cycles = states.iter().map(|s| s.finish).max().unwrap_or(0);
+        result.l1 = machine.l1_totals();
+        result.l2 = machine.l2_totals();
+        result.noc_messages = machine.net.messages;
+        result.noc_queueing_cycles = machine.net.queueing_cycles;
+        result.total_computes = self.prog.total_computes();
+        let _ = cores;
+        EngineOutput {
+            result,
+            instrumentation: instr,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_inst(
+        &self,
+        machine: &mut Machine,
+        tables: &mut ServiceTables,
+        states: &mut [CoreState],
+        c: usize,
+        core: NodeId,
+        inst: ndc_types::Inst,
+        result: &mut SimResult,
+        instr: &mut Option<Instrumentation>,
+        last_window: &mut HashMap<Pc, Cycle>,
+        markov: &mut MarkovPredictor,
+        pre_results: &mut HashMap<(usize, u32), PreResult>,
+    ) {
+        let issue_width = self.cfg.issue_width.max(1);
+        // Issue-slot accounting: `issue_width` instructions per cycle.
+        {
+            let st = &mut states[c];
+            st.slot_acc += 1;
+            if st.slot_acc >= issue_width {
+                st.slot_acc = 0;
+                st.now += 1;
+            }
+        }
+
+        match inst.kind {
+            InstKind::Busy { cycles } => {
+                states[c].now += cycles as Cycle;
+            }
+            InstKind::Load { addr } => {
+                self.mshr_acquire(&mut states[c], 1);
+                let now = states[c].now;
+                let path = machine.access(core, addr, now, false, AccessIntent::ToCore, None);
+                record_pc_cache(result, inst.pc, 0, &path);
+                let st = &mut states[c];
+                st.outstanding.push(Reverse(path.completion));
+                st.finish = st.finish.max(path.completion);
+            }
+            InstKind::Store { addr } => {
+                self.mshr_acquire(&mut states[c], 1);
+                let now = states[c].now;
+                let path = machine.access(core, addr, now, true, AccessIntent::ToCore, None);
+                record_pc_cache(result, inst.pc, 2, &path);
+                let st = &mut states[c];
+                st.outstanding.push(Reverse(path.completion));
+                st.finish = st.finish.max(path.completion);
+            }
+            InstKind::Compute {
+                op,
+                a,
+                b,
+                store_to,
+                precomputed,
+            } => {
+                self.exec_compute(
+                    machine,
+                    tables,
+                    states,
+                    c,
+                    core,
+                    inst.pc,
+                    op,
+                    a,
+                    b,
+                    store_to,
+                    precomputed,
+                    result,
+                    instr,
+                    last_window,
+                    markov,
+                    pre_results,
+                );
+            }
+            InstKind::PreCompute {
+                id,
+                op,
+                a,
+                b,
+                store_to,
+                stagger,
+                reshape_routes,
+            } => {
+                self.exec_precompute(
+                    machine,
+                    tables,
+                    &mut states[c],
+                    c,
+                    core,
+                    id,
+                    op,
+                    a,
+                    b,
+                    store_to,
+                    stagger,
+                    reshape_routes,
+                    result,
+                    pre_results,
+                );
+            }
+        }
+    }
+
+    /// Block issue until an MSHR slot frees.
+    fn mshr_acquire(&self, st: &mut CoreState, need: usize) {
+        let cap = self.cfg.mshrs.max(1) as usize;
+        while st.outstanding.len() + need > cap {
+            match st.outstanding.pop() {
+                Some(Reverse(t)) => st.now = st.now.max(t),
+                None => break,
+            }
+        }
+    }
+
+    /// Conventional execution of a two-operand compute starting at
+    /// `start`. Returns the completion time.
+    #[allow(clippy::too_many_arguments)]
+    fn conventional_compute(
+        &self,
+        machine: &mut Machine,
+        st: &mut CoreState,
+        core: NodeId,
+        pc: Pc,
+        a: Operand,
+        b: Operand,
+        store_to: Option<Addr>,
+        start: Cycle,
+        result: &mut SimResult,
+    ) -> (Cycle, Option<AccessPath>, Option<AccessPath>) {
+        let mut done = start;
+        let pa = match a {
+            Operand::Mem(addr) => {
+                let p = machine.access(core, addr, start, false, AccessIntent::ToCore, None);
+                record_pc_cache(result, pc, 0, &p);
+                done = done.max(p.completion);
+                Some(p)
+            }
+            Operand::Imm(_) => None,
+        };
+        let pb = match b {
+            Operand::Mem(addr) => {
+                let p = machine.access(core, addr, start, false, AccessIntent::ToCore, None);
+                record_pc_cache(result, pc, 1, &p);
+                done = done.max(p.completion);
+                Some(p)
+            }
+            Operand::Imm(_) => None,
+        };
+        let done = done + 1; // the op itself
+        if let Some(dst) = store_to {
+            let p = machine.access(core, dst, done, true, AccessIntent::ToCore, None);
+            record_pc_cache(result, pc, 2, &p);
+            st.outstanding.push(Reverse(p.completion));
+            st.finish = st.finish.max(p.completion);
+        }
+        st.outstanding.push(Reverse(done));
+        st.finish = st.finish.max(done);
+        (done, pa, pb)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_compute(
+        &self,
+        machine: &mut Machine,
+        tables: &mut ServiceTables,
+        states: &mut [CoreState],
+        c: usize,
+        core: NodeId,
+        pc: Pc,
+        op: Op,
+        a: Operand,
+        b: Operand,
+        store_to: Option<Addr>,
+        precomputed: Option<u32>,
+        result: &mut SimResult,
+        instr: &mut Option<Instrumentation>,
+        last_window: &mut HashMap<Pc, Cycle>,
+        markov: &mut MarkovPredictor,
+        pre_results: &mut HashMap<(usize, u32), PreResult>,
+    ) {
+        let eligible = matches!((a, b), (Operand::Mem(_), Operand::Mem(_)));
+        if eligible {
+            result.eligible_computes += 1;
+        }
+        let seq = states[c].compute_seq;
+        if eligible {
+            states[c].compute_seq += 1;
+        }
+        self.mshr_acquire(&mut states[c], 2);
+        let start = states[c].now;
+
+        // --- Compiled scheme: consume a pre-computed result. ---
+        if let Some(id) = precomputed {
+            match pre_results.remove(&(c, id)) {
+                Some(PreResult::Performed {
+                    loc_index,
+                    result_at_core,
+                }) => {
+                    let done = start.max(result_at_core);
+                    result.ndc_performed[loc_index] += 1;
+                    // Wait recorded at offload time (see exec_precompute).
+                    if let Some(dst) = store_to {
+                        let pw = machine.access(
+                            core,
+                            dst,
+                            done,
+                            true,
+                            AccessIntent::ToCore,
+                            None,
+                        );
+                        record_pc_cache(result, pc, 2, &pw);
+                        let st = &mut states[c];
+                        st.outstanding.push(Reverse(pw.completion));
+                        st.finish = st.finish.max(pw.completion);
+                    }
+                    let st = &mut states[c];
+                    st.outstanding.push(Reverse(done));
+                    st.finish = st.finish.max(done);
+                    return;
+                }
+                Some(PreResult::LocalHit) => {
+                    result.ndc_local_hits += 1;
+                    let st = &mut states[c];
+                    self.conventional_compute(
+                        machine, st, core, pc, a, b, store_to, start, result,
+                    );
+                    return;
+                }
+                Some(PreResult::Aborted { at }) => {
+                    result.ndc_aborts += 1;
+                    let st = &mut states[c];
+                    let begin = start.max(at);
+                    self.conventional_compute(
+                        machine, st, core, pc, a, b, store_to, begin, result,
+                    );
+                    return;
+                }
+                None => { /* dangling link: fall through to conventional */ }
+            }
+        }
+
+        // --- Decide whether this compute is offloaded by the scheme. ---
+        let mut oracle_reshape = false;
+        let decision: Option<(LocationPolicy, Option<Cycle>)> = match self.scheme {
+            Scheme::Baseline | Scheme::Compiled => None,
+            Scheme::NdcAll { budget } => {
+                if eligible {
+                    let lw = last_window.get(&pc).copied();
+                    match budget {
+                        // The Last-Wait predictor declines NDC outright
+                        // when the previous dynamic instance of this PC
+                        // never co-located ("or not wait at all", §4.4).
+                        WaitBudget::LastWindow if lw.is_some_and(|w| w > WINDOW_CAP) => None,
+                        // The Markov predictor picks the most likely
+                        // next bucket; a "500+" prediction declines NDC.
+                        WaitBudget::Markov => match markov.predict(pc) {
+                            Some(None) => None,
+                            Some(Some(budget_cycles)) => {
+                                Some((LocationPolicy::FirstOnPath, Some(budget_cycles)))
+                            }
+                            None => Some((LocationPolicy::FirstOnPath, Some(0))),
+                        },
+                        _ => Some((LocationPolicy::FirstOnPath, budget.cycles(lw))),
+                    }
+                } else {
+                    None
+                }
+            }
+            Scheme::Oracle { .. } => {
+                if eligible {
+                    match self
+                        .guide
+                        .map(|g| g.decision(c, seq))
+                        .unwrap_or(OracleDecision::Conventional)
+                    {
+                        OracleDecision::Conventional => None,
+                        OracleDecision::Ndc { loc, reshape } => {
+                            oracle_reshape = reshape;
+                            Some((LocationPolicy::Only(loc), None))
+                        }
+                    }
+                } else {
+                    None
+                }
+            }
+        };
+
+        let (Operand::Mem(addr_a), Operand::Mem(addr_b)) = (a, b) else {
+            let st = &mut states[c];
+            self.conventional_compute(machine, st, core, pc, a, b, store_to, start, result);
+            return;
+        };
+
+        // The oracle schedules its offloads with future knowledge: the
+        // operand fetches are issued early enough that the result is
+        // ready when the computation point is reached — the same
+        // latency hiding the compiler achieves with pre-compute
+        // lookahead, but with perfect timing (§4.4: the oracle is the
+        // upper bound the practical schemes are measured against).
+        let oracle_lead: Cycle = if matches!(self.scheme, Scheme::Oracle { .. }) {
+            150
+        } else {
+            0
+        };
+
+        match decision {
+            None => {
+                // Conventional execution (with instrumentation on
+                // baseline runs).
+                let st = &mut states[c];
+                let (done, pa, pb) = self.conventional_compute(
+                    machine, st, core, pc, a, b, store_to, start, result,
+                );
+                if let (Some(ins), Some(pa), Some(pb)) = (instr.as_mut(), pa, pb) {
+                    let windows = windows_by_location(machine, core, &pa, &pb, false);
+                    let windows_reshaped = windows_by_location(machine, core, &pa, &pb, true);
+                    let breakevens = breakeven_by_location(machine, core, &pa, &pb, done);
+                    ins.record(
+                        c,
+                        WindowObservation {
+                            pc,
+                            windows,
+                            windows_reshaped,
+                            breakevens,
+                            conv_done: done,
+                        },
+                    );
+                }
+            }
+            Some((policy, budget)) => {
+                result.ndc_attempts += 1;
+                // Offloads live in the LD/ST offload table (Figure 1),
+                // not the MSHRs: admission stalls only when the table is
+                // full, exactly as in the compiled path.
+                let start = {
+                    let st = &mut states[c];
+                    let cap = self.cfg.ndc.offload_table_entries.max(1);
+                    st.offload.retain(|&r| r > st.now);
+                    while st.offload.len() >= cap {
+                        let min = st.offload.iter().copied().min().unwrap();
+                        st.now = st.now.max(min);
+                        st.offload.retain(|&r| r > st.now);
+                    }
+                    st.now.max(start)
+                };
+                // LD/ST probe + operand fetches toward their homes.
+                let issue = start.saturating_sub(oracle_lead);
+                let pa = machine.access(core, addr_a, issue, false, AccessIntent::NearData, None);
+                let pb = machine.access(core, addr_b, issue, false, AccessIntent::NearData, None);
+                let outcome = resolve(
+                    machine,
+                    tables,
+                    core,
+                    op,
+                    &pa,
+                    &pb,
+                    issue,
+                    ResolveParams {
+                        policy,
+                        budget,
+                        reshape: oracle_reshape,
+                        ignore_limits: oracle_lead > 0,
+                    },
+                );
+                // Track the actual window for the Last-Wait and Markov
+                // predictors.
+                let windows = windows_by_location(machine, core, &pa, &pb, false);
+                let observed = windows.iter().flatten().min().copied();
+                last_window.insert(pc, observed.unwrap_or(WINDOW_CAP + 1));
+                markov.observe(pc, observed);
+
+                match outcome {
+                    NdcOutcome::Performed {
+                        loc,
+                        result_at_core,
+                        wait,
+                        ..
+                    } => {
+                        result.ndc_performed[loc.index()] += 1;
+                        result.ndc_wait_cycles[loc.index()] += wait;
+                        // Oracle runs are a limit study (§4.4: "maximum
+                        // potential benefits"): the offload was timed
+                        // perfectly, so the consumer never stalls on the
+                        // CPU-feed — the traffic is still fully charged.
+                        let done = if oracle_lead > 0 {
+                            start
+                        } else {
+                            start.max(result_at_core)
+                        };
+                        // The CPU-feed returned the result; the store
+                        // (if any) executes conventionally at the core,
+                        // exactly as in baseline execution.
+                        if let Some(dst) = store_to {
+                            let pw = machine.access(
+                                core,
+                                dst,
+                                done,
+                                true,
+                                AccessIntent::ToCore,
+                                None,
+                            );
+                            record_pc_cache(result, pc, 2, &pw);
+                            let st = &mut states[c];
+                            st.outstanding.push(Reverse(pw.completion));
+                            st.finish = st.finish.max(pw.completion);
+                        }
+                        let st = &mut states[c];
+                        st.offload.push(done);
+                        st.finish = st.finish.max(done);
+                    }
+                    NdcOutcome::Aborted {
+                        reason: AbortReason::LocalHit,
+                        ..
+                    } => {
+                        result.ndc_local_hits += 1;
+                        let st = &mut states[c];
+                        self.conventional_compute(
+                            machine, st, core, pc, a, b, store_to, start, result,
+                        );
+                    }
+                    NdcOutcome::Aborted { at, .. } => {
+                        result.ndc_aborts += 1;
+                        let begin = start.max(at);
+                        let st = &mut states[c];
+                        // The failed offload occupied its table entry
+                        // until the abort signal came back.
+                        st.offload.push(begin);
+                        self.conventional_compute(
+                            machine, st, core, pc, a, b, store_to, begin, result,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_precompute(
+        &self,
+        machine: &mut Machine,
+        tables: &mut ServiceTables,
+        st: &mut CoreState,
+        c: usize,
+        core: NodeId,
+        id: u32,
+        op: Op,
+        a: Addr,
+        b: Addr,
+        store_to: Option<Addr>,
+        stagger: i32,
+        reshape_routes: bool,
+        result: &mut SimResult,
+        pre_results: &mut HashMap<(usize, u32), PreResult>,
+    ) {
+        // Non-compiled schemes ignore stray pre-computes (defensive).
+        if self.scheme != Scheme::Compiled {
+            return;
+        }
+        // Offload table capacity: stall until an entry frees.
+        let cap = self.cfg.ndc.offload_table_entries.max(1);
+        st.offload.retain(|&r| r > st.now);
+        while st.offload.len() >= cap {
+            let min = st.offload.iter().copied().min().unwrap();
+            st.now = st.now.max(min);
+            st.offload.retain(|&r| r > st.now);
+        }
+        result.ndc_attempts += 1;
+        let start = st.now;
+
+        // Local-cache probe (Figure 1: "Local $ probe. If found, skip
+        // NDC").
+        if machine.l1s[core.index()].probe(a) || machine.l1s[core.index()].probe(b) {
+            pre_results.insert((c, id), PreResult::LocalHit);
+            return;
+        }
+
+        // Staggered operand fetches: positive delays b, negative delays
+        // a — the compiler's arrival alignment.
+        let (ta, tb) = if stagger >= 0 {
+            (start, start + stagger as Cycle)
+        } else {
+            (start + (-stagger) as Cycle, start)
+        };
+        let pa = machine.access(core, a, ta, false, AccessIntent::NearData, None);
+        let pb = machine.access(core, b, tb, false, AccessIntent::NearData, None);
+        let outcome = resolve(
+            machine,
+            tables,
+            core,
+            op,
+            &pa,
+            &pb,
+            start,
+            ResolveParams {
+                policy: LocationPolicy::FirstOnPath,
+                budget: None,
+                reshape: reshape_routes,
+                ignore_limits: false,
+            },
+        );
+        let _ = store_to;
+        match outcome {
+            NdcOutcome::Performed {
+                loc,
+                result_at_core,
+                wait,
+                ..
+            } => {
+                result.ndc_wait_cycles[loc.index()] += wait;
+                st.offload.push(result_at_core);
+                pre_results.insert(
+                    (c, id),
+                    PreResult::Performed {
+                        loc_index: loc.index(),
+                        result_at_core,
+                    },
+                );
+            }
+            NdcOutcome::Aborted {
+                reason: AbortReason::LocalHit,
+                ..
+            } => {
+                pre_results.insert((c, id), PreResult::LocalHit);
+            }
+            NdcOutcome::Aborted { at, .. } => {
+                st.offload.push(at);
+                pre_results.insert((c, id), PreResult::Aborted { at });
+            }
+        }
+    }
+}
+
+/// Record per-PC L1/L2 hit-miss outcomes from a conventional access.
+fn record_pc_cache(result: &mut SimResult, pc: Pc, slot: u8, path: &AccessPath) {
+    result.record_l1(pc, slot, path.l1_hit, path.coherence_miss);
+    if let Some(l2) = path.l2 {
+        result.record_l2(pc, slot, l2.hit);
+    }
+}
+
+/// Run a scheme end-to-end, handling the oracle's two-pass protocol.
+pub fn simulate(cfg: ArchConfig, prog: &TraceProgram, scheme: Scheme) -> EngineOutput {
+    match scheme {
+        Scheme::Oracle { reuse_aware } => {
+            let base = Engine::new(cfg, prog, Scheme::Baseline)
+                .with_instrumentation()
+                .run();
+            let records = &base
+                .instrumentation
+                .as_ref()
+                .expect("instrumented baseline")
+                .records;
+            let guide = OracleGuide::build(records, prog, cfg.l1.line_bytes, reuse_aware);
+            let mut out = Engine::new(cfg, prog, scheme).with_guide(&guide).run();
+            out.result.scheme = scheme.label();
+            out
+        }
+        _ => Engine::new(cfg, prog, scheme).run(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::WaitBudget;
+    use ndc_types::{Inst, Op, Trace};
+
+    fn cfg() -> ArchConfig {
+        ArchConfig::paper_default()
+    }
+
+    /// A streaming two-array add across several cores.
+    fn stream_prog(cores: usize, iters: u64) -> TraceProgram {
+        let mut prog = TraceProgram::new("stream");
+        for c in 0..cores {
+            let mut t = Trace::new(NodeId(c as u16));
+            let base_a = 0x10_0000 + (c as u64) * 0x1_0000;
+            let base_b = 0x80_0000 + (c as u64) * 0x1_0000;
+            for i in 0..iters {
+                t.insts.push(Inst::compute(
+                    (c * 16) as Pc,
+                    Op::Add,
+                    Operand::Mem(base_a + i * 8),
+                    Operand::Mem(base_b + i * 8),
+                    None,
+                ));
+            }
+            prog.traces.push(t);
+        }
+        prog
+    }
+
+    #[test]
+    fn baseline_runs_to_completion() {
+        let prog = stream_prog(4, 200);
+        let out = simulate(cfg(), &prog, Scheme::Baseline);
+        assert!(out.result.total_cycles > 0);
+        assert_eq!(out.result.eligible_computes, 800);
+        assert_eq!(out.result.ndc_attempts, 0);
+        assert_eq!(out.result.per_core_cycles.len(), 4);
+        // L1 sees hits: 8 elements per 64B line -> 7/8 hits.
+        assert!(out.result.l1.hits > out.result.l1.misses);
+    }
+
+    #[test]
+    fn baseline_is_deterministic() {
+        let prog = stream_prog(3, 100);
+        let a = simulate(cfg(), &prog, Scheme::Baseline);
+        let b = simulate(cfg(), &prog, Scheme::Baseline);
+        assert_eq!(a.result.total_cycles, b.result.total_cycles);
+        assert_eq!(a.result.l1.misses, b.result.l1.misses);
+    }
+
+    #[test]
+    fn instrumentation_collects_windows() {
+        let prog = stream_prog(2, 100);
+        let out = Engine::new(cfg(), &prog, Scheme::Baseline)
+            .with_instrumentation()
+            .run();
+        let ins = out.instrumentation.unwrap();
+        // Only L1-missing computes produce observations with legs, but
+        // every eligible compute is recorded.
+        assert_eq!(ins.observations(), 200);
+        // At least some observations have finite windows somewhere.
+        let finite: u64 = (0..4)
+            .map(|i| {
+                (0..ndc_types::NUM_BUCKETS - 1)
+                    .map(|b| ins.window_hist[i].count(b))
+                    .sum::<u64>()
+            })
+            .sum();
+        assert!(finite > 0, "expected some finite arrival windows");
+    }
+
+    #[test]
+    fn default_ndc_waits_hurt() {
+        // The paper's key motivation: offloading everything with
+        // unbounded waits slows execution down.
+        let prog = stream_prog(8, 150);
+        let base = simulate(cfg(), &prog, Scheme::Baseline);
+        let default = simulate(
+            cfg(),
+            &prog,
+            Scheme::NdcAll {
+                budget: WaitBudget::Forever,
+            },
+        );
+        assert!(default.result.ndc_attempts > 0);
+        assert!(
+            default.result.total_cycles > base.result.total_cycles,
+            "default NDC ({}) should be slower than baseline ({})",
+            default.result.total_cycles,
+            base.result.total_cycles
+        );
+    }
+
+    #[test]
+    fn oracle_never_loses_to_baseline_materially() {
+        let prog = stream_prog(8, 150);
+        let base = simulate(cfg(), &prog, Scheme::Baseline);
+        let oracle = simulate(cfg(), &prog, Scheme::Oracle { reuse_aware: true });
+        // The oracle only offloads provably-profitable computations;
+        // second-pass contention shifts allow small noise, nothing
+        // more.
+        let slack = base.result.total_cycles / 20 + 50;
+        assert!(
+            oracle.result.total_cycles <= base.result.total_cycles + slack,
+            "oracle {} vs baseline {}",
+            oracle.result.total_cycles,
+            base.result.total_cycles
+        );
+    }
+
+    #[test]
+    fn compiled_scheme_consumes_precomputes() {
+        let mut prog = TraceProgram::new("compiled");
+        let mut t = Trace::new(NodeId(12));
+        // Two cold operands destined for the same L2 bank.
+        let line = cfg().l2.line_bytes;
+        let nodes = cfg().nodes() as u64;
+        let (a, b) = (0x40_0000, 0x40_0000 + nodes * line);
+        assert_eq!(cfg().l2_home(a), cfg().l2_home(b));
+        t.insts.push(Inst {
+            pc: 0,
+            kind: InstKind::PreCompute {
+                id: 0,
+                op: Op::Add,
+                a,
+                b,
+                store_to: None,
+                stagger: 0,
+                reshape_routes: false,
+            },
+        });
+        t.insts.push(Inst {
+            pc: 1,
+            kind: InstKind::Compute {
+                op: Op::Add,
+                a: Operand::Mem(a),
+                b: Operand::Mem(b),
+                store_to: None,
+                precomputed: Some(0),
+            },
+        });
+        prog.traces.push(t);
+        let out = simulate(cfg(), &prog, Scheme::Compiled);
+        assert_eq!(out.result.ndc_attempts, 1);
+        assert_eq!(out.result.ndc_total(), 1);
+    }
+
+    #[test]
+    fn figure14_isolation_masks_respected() {
+        let prog = stream_prog(8, 100);
+        let mut c = cfg();
+        c.ndc.enabled_mask = ndc_types::NdcConfig::only(ndc_types::NdcLocation::MemoryController);
+        let out = simulate(
+            c,
+            &prog,
+            Scheme::NdcAll {
+                budget: WaitBudget::PctOfCap(50),
+            },
+        );
+        // Whatever was performed, it was performed at the MC only.
+        assert_eq!(out.result.ndc_performed[0], 0);
+        assert_eq!(out.result.ndc_performed[1], 0);
+        assert_eq!(out.result.ndc_performed[3], 0);
+    }
+
+    #[test]
+    fn mshr_pressure_bounds_overlap() {
+        // One core, long stream of cold misses: with 1 MSHR everything
+        // serializes; with 8, overlap shortens the run.
+        let prog = stream_prog(1, 100);
+        let mut c1 = cfg();
+        c1.mshrs = 1;
+        let serial = simulate(c1, &prog, Scheme::Baseline);
+        let mut c8 = cfg();
+        c8.mshrs = 8;
+        let overlapped = simulate(c8, &prog, Scheme::Baseline);
+        assert!(
+            overlapped.result.total_cycles < serial.result.total_cycles,
+            "MLP should help: {} vs {}",
+            overlapped.result.total_cycles,
+            serial.result.total_cycles
+        );
+    }
+
+    #[test]
+    fn markov_scheme_runs_and_is_deterministic() {
+        let prog = stream_prog(4, 120);
+        let a = simulate(
+            cfg(),
+            &prog,
+            Scheme::NdcAll {
+                budget: WaitBudget::Markov,
+            },
+        );
+        let b = simulate(
+            cfg(),
+            &prog,
+            Scheme::NdcAll {
+                budget: WaitBudget::Markov,
+            },
+        );
+        assert_eq!(a.result.total_cycles, b.result.total_cycles);
+        assert!(a.result.total_cycles > 0);
+    }
+
+    #[test]
+    fn offload_table_capacity_throttles_precomputes() {
+        // A long stream of precompute+consume pairs: a 1-entry offload
+        // table must serialize the offloads, a 64-entry one overlaps
+        // them.
+        let line = cfg().l2.line_bytes;
+        let nodes = cfg().nodes() as u64;
+        let mk = || {
+            let mut prog = TraceProgram::new("offload");
+            let mut t = Trace::new(NodeId(12));
+            for i in 0..150u64 {
+                let a = 0x40_0000 + i * nodes * line;
+                let b = a + 16 * nodes * line * 25;
+                t.insts.push(Inst {
+                    pc: 0,
+                    kind: InstKind::PreCompute {
+                        id: i as u32,
+                        op: Op::Add,
+                        a,
+                        b,
+                        store_to: None,
+                        stagger: 0,
+                        reshape_routes: false,
+                    },
+                });
+                t.insts.push(Inst {
+                    pc: 1,
+                    kind: InstKind::Compute {
+                        op: Op::Add,
+                        a: Operand::Mem(a),
+                        b: Operand::Mem(b),
+                        store_to: None,
+                        precomputed: Some(i as u32),
+                    },
+                });
+            }
+            prog.traces.push(t);
+            prog
+        };
+        let mut narrow = cfg();
+        narrow.ndc.offload_table_entries = 1;
+        let mut wide = cfg();
+        wide.ndc.offload_table_entries = 64;
+        let slow = simulate(narrow, &mk(), Scheme::Compiled).result;
+        let fast = simulate(wide, &mk(), Scheme::Compiled).result;
+        assert!(
+            slow.total_cycles >= fast.total_cycles,
+            "1-entry table {} should not beat 64-entry {}",
+            slow.total_cycles,
+            fast.total_cycles
+        );
+    }
+
+    #[test]
+    fn busy_instructions_advance_time() {
+        let mut prog = TraceProgram::new("busy");
+        let mut t = Trace::new(NodeId(0));
+        for _ in 0..100 {
+            t.insts.push(Inst::busy(0, 10));
+        }
+        prog.traces.push(t);
+        let r = simulate(cfg(), &prog, Scheme::Baseline).result;
+        // 100 x 10 busy cycles plus issue slots.
+        assert!(r.total_cycles >= 1000, "{}", r.total_cycles);
+        assert!(r.total_cycles < 1200);
+    }
+
+    #[test]
+    fn per_pc_counters_populated() {
+        let prog = stream_prog(2, 50);
+        let out = simulate(cfg(), &prog, Scheme::Baseline);
+        assert!(!out.result.pc_l1.is_empty());
+        let total: u64 = out.result.pc_l1.values().map(|e| e.total()).sum();
+        // Two operands per compute.
+        assert_eq!(total, 2 * 100);
+    }
+}

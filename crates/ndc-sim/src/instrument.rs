@@ -1,0 +1,190 @@
+//! Characterization instrumentation (§4): arrival windows, breakeven
+//! points, and per-PC window series, collected during a baseline run.
+
+use ndc_types::{Cycle, NdcLocation, Pc, WindowHistogram};
+use std::collections::HashMap;
+
+/// What the collector recorded about one dynamic two-memory-operand
+/// computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowObservation {
+    pub pc: Pc,
+    /// Per-location arrival window; `None` = operands never co-locate
+    /// there (the paper's 500+ bucket).
+    pub windows: [Option<Cycle>; 4],
+    /// Windows when the data-reply routes are reshaped for maximal link
+    /// overlap (only the link-buffer entry can differ). The
+    /// characterization figures use `windows`; the oracle considers
+    /// both.
+    pub windows_reshaped: [Option<Cycle>; 4],
+    /// Per-location breakeven point; `None` = no co-location possible.
+    pub breakevens: [Option<Cycle>; 4],
+    /// Conventional completion time of this computation.
+    pub conv_done: Cycle,
+}
+
+impl WindowObservation {
+    /// The locations where NDC would have beaten conventional execution
+    /// (window ≤ breakeven), with the profit margin and whether the
+    /// co-location needs reshaped routes.
+    pub fn profitable_locations(&self) -> Vec<(NdcLocation, Cycle, bool)> {
+        let mut v = Vec::new();
+        for i in 0..4 {
+            if let (Some(w), Some(be)) = (self.windows[i], self.breakevens[i]) {
+                if w <= be {
+                    v.push((NdcLocation::from_index(i).unwrap(), be - w, false));
+                }
+            }
+            if let (Some(w), Some(be)) = (self.windows_reshaped[i], self.breakevens[i]) {
+                if w <= be && self.windows[i].is_none_or(|xy| w < xy) {
+                    v.push((NdcLocation::from_index(i).unwrap(), be - w, true));
+                }
+            }
+        }
+        v
+    }
+
+    /// Oracle's pick: the most profitable location, if any.
+    pub fn best_location(&self) -> Option<(NdcLocation, Cycle, bool)> {
+        self.profitable_locations()
+            .into_iter()
+            .max_by_key(|&(_, margin, _)| margin)
+    }
+
+    /// The tightest co-location anywhere, under either routing.
+    pub fn min_window_location(&self) -> Option<(NdcLocation, Cycle, bool)> {
+        let mut best: Option<(NdcLocation, Cycle, bool)> = None;
+        for i in 0..4 {
+            for (w, reshaped) in [
+                (self.windows[i], false),
+                (self.windows_reshaped[i], true),
+            ] {
+                if let Some(w) = w {
+                    if best.is_none_or(|(_, bw, _)| w < bw) {
+                        best = Some((NdcLocation::from_index(i).unwrap(), w, reshaped));
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Convenience alias for breakeven queries.
+pub type BreakevenInfo = [Option<Cycle>; 4];
+
+/// Everything the baseline characterization run collects.
+#[derive(Debug, Clone, Default)]
+pub struct Instrumentation {
+    /// Figure 2: per-location arrival-window histograms.
+    pub window_hist: [WindowHistogram; 4],
+    /// Figure 3: per-location breakeven histograms.
+    pub breakeven_hist: [WindowHistogram; 4],
+    /// Figure 5: per-PC series of consecutive windows (at the
+    /// first-feasible location), capped per PC.
+    pub pc_series: HashMap<Pc, Vec<Option<Cycle>>>,
+    /// Per-core, per-compute-sequence observations, for the oracle's
+    /// second pass. `records[core][seq]`.
+    pub records: Vec<Vec<WindowObservation>>,
+    /// Cap on stored series length per PC.
+    pub series_cap: usize,
+}
+
+impl Instrumentation {
+    pub fn new(cores: usize) -> Self {
+        Instrumentation {
+            records: vec![Vec::new(); cores],
+            series_cap: 64,
+            ..Default::default()
+        }
+    }
+
+    /// Record one computation's observation.
+    pub fn record(&mut self, core: usize, obs: WindowObservation) {
+        for i in 0..4 {
+            self.window_hist[i].record(obs.windows[i]);
+            if obs.windows[i].is_some() {
+                // Breakeven is only defined where co-location happens.
+                self.breakeven_hist[i].record(obs.breakevens[i]);
+            }
+        }
+        // Figure 5 series: the window at the first location where the
+        // operands co-locate (path order), tracking what a per-PC
+        // predictor would see.
+        let first = obs.windows.iter().flatten().next().copied();
+        let series = self.pc_series.entry(obs.pc).or_default();
+        if series.len() < self.series_cap {
+            series.push(first);
+        }
+        self.records[core].push(obs);
+    }
+
+    /// Total observations.
+    pub fn observations(&self) -> usize {
+        self.records.iter().map(|r| r.len()).sum()
+    }
+
+    /// The PC with the most recorded dynamic instances (used to pick
+    /// Figure 5's representative instruction).
+    pub fn busiest_pc(&self) -> Option<Pc> {
+        self.pc_series
+            .iter()
+            .max_by_key(|(pc, v)| (v.len(), usize::MAX - **pc as usize))
+            .map(|(pc, _)| *pc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(pc: Pc, w: [Option<Cycle>; 4], be: [Option<Cycle>; 4]) -> WindowObservation {
+        WindowObservation {
+            pc,
+            windows: w,
+            windows_reshaped: [None; 4],
+            breakevens: be,
+            conv_done: 100,
+        }
+    }
+
+    #[test]
+    fn profitable_locations_filter() {
+        let o = obs(
+            0,
+            [Some(10), Some(50), None, Some(5)],
+            [Some(20), Some(30), Some(99), Some(5)],
+        );
+        let p = o.profitable_locations();
+        // Link: 10<=20 margin 10; Cache: 50>30 no; MC: no window;
+        // Bank: 5<=5 margin 0.
+        assert_eq!(p.len(), 2);
+        assert_eq!(o.best_location().unwrap().0, NdcLocation::LinkBuffer);
+    }
+
+    #[test]
+    fn histograms_accumulate_per_location() {
+        let mut ins = Instrumentation::new(2);
+        ins.record(0, obs(1, [Some(5), None, None, None], [Some(3), None, None, None]));
+        ins.record(1, obs(1, [None, Some(200), None, None], [None, Some(8), None, None]));
+        assert_eq!(ins.window_hist[0].total(), 2);
+        assert_eq!(ins.window_hist[0].count(0), 0); // 5 lands in bucket "10"
+        assert_eq!(ins.window_hist[0].count(1), 1);
+        assert_eq!(ins.window_hist[0].count(6), 1); // None -> 500+
+        // Breakeven recorded only where the window existed.
+        assert_eq!(ins.breakeven_hist[0].total(), 1);
+        assert_eq!(ins.breakeven_hist[1].total(), 1);
+        assert_eq!(ins.observations(), 2);
+    }
+
+    #[test]
+    fn pc_series_capped_and_keyed() {
+        let mut ins = Instrumentation::new(1);
+        ins.series_cap = 3;
+        for i in 0..5 {
+            ins.record(0, obs(42, [Some(i), None, None, None], [None; 4]));
+        }
+        assert_eq!(ins.pc_series[&42].len(), 3);
+        assert_eq!(ins.busiest_pc(), Some(42));
+    }
+}

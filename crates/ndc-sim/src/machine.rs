@@ -1,0 +1,499 @@
+//! The memory system walk.
+//!
+//! [`Machine::access`] models one data access's full journey: L1 probe,
+//! request over the NoC to the address's static-NUCA home L2 bank, on a
+//! miss a request to the owning memory controller and its DRAM banks,
+//! the refill back to the bank, and (for conventional accesses) the
+//! data reply to the requesting core. The returned [`AccessPath`]
+//! carries per-location presence timestamps — the raw material both for
+//! the paper's arrival-window instrumentation (Figure 2) and for NDC
+//! package resolution.
+
+use ndc_mem::{AccessOutcome, Directory, MemoryController, SetAssocCache};
+use ndc_noc::{LinkTraversal, Mesh, Network, Route};
+use ndc_types::{Addr, ArchConfig, Cycle, NodeId};
+
+/// Size in bytes of a request message (address + command).
+pub const REQ_BYTES: u64 = 16;
+/// Size in bytes of an NDC result / CPU-feed message.
+pub const RESULT_BYTES: u64 = 16;
+
+/// The L2 leg of an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L2Leg {
+    /// Home bank (static NUCA, line-interleaved).
+    pub bank: NodeId,
+    /// When the request reached the bank's controller.
+    pub req_arrival: Cycle,
+    pub hit: bool,
+    /// When the data was available at the bank: `req_arrival + latency`
+    /// on a hit, refill arrival on a miss. This is the operand's
+    /// "arrival at the cache controller" for window purposes.
+    pub data_at_bank: Cycle,
+}
+
+/// The memory leg of an access (L2 miss).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemLeg {
+    pub mc: u32,
+    pub mc_node: NodeId,
+    /// Arrival in the controller queue — the operand's "arrival at the
+    /// memory controller".
+    pub queue_enter: Cycle,
+    /// DRAM bank service start — the operand's "arrival at the memory
+    /// bank".
+    pub service_start: Cycle,
+    /// Data leaves the device.
+    pub completion: Cycle,
+    pub dram_bank: u32,
+}
+
+/// Complete record of one access.
+#[derive(Debug, Clone)]
+pub struct AccessPath {
+    pub addr: Addr,
+    pub core: NodeId,
+    pub issued: Cycle,
+    /// When the data reached its destination (core for conventional
+    /// accesses; the L2 bank for NDC operand fetches).
+    pub completion: Cycle,
+    pub l1_hit: bool,
+    /// This access missed L1 because of a prior invalidation.
+    pub coherence_miss: bool,
+    pub l2: Option<L2Leg>,
+    pub mem: Option<MemLeg>,
+    /// Data-carrying link traversals (refill + reply legs): where this
+    /// operand's *data* was present on the network, for link-buffer
+    /// window measurement.
+    pub data_links: Vec<LinkTraversal>,
+}
+
+impl AccessPath {
+    pub fn latency(&self) -> Cycle {
+        self.completion - self.issued
+    }
+}
+
+/// How far the data should travel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessIntent {
+    /// Conventional demand access: data comes to the core and fills L1.
+    ToCore,
+    /// NDC operand fetch: data converges at its home L2 bank (or DRAM);
+    /// no L1 fill, no reply to the core.
+    NearData,
+}
+
+/// The simulated machine: caches, directory, network, controllers.
+pub struct Machine {
+    pub cfg: ArchConfig,
+    pub net: Network,
+    pub l1s: Vec<SetAssocCache>,
+    pub l2s: Vec<SetAssocCache>,
+    pub dir: Directory,
+    pub mcs: Vec<MemoryController>,
+}
+
+impl Machine {
+    pub fn new(cfg: ArchConfig) -> Self {
+        let mesh = Mesh::new(cfg.noc);
+        let nodes = cfg.nodes();
+        Machine {
+            cfg,
+            net: Network::new(mesh),
+            l1s: (0..nodes).map(|_| SetAssocCache::new(cfg.l1)).collect(),
+            l2s: (0..nodes).map(|_| SetAssocCache::new(cfg.l2)).collect(),
+            dir: Directory::new(),
+            mcs: (0..cfg.mem.num_controllers)
+                .map(|_| MemoryController::new(cfg))
+                .collect(),
+        }
+    }
+
+    pub fn mesh(&self) -> &Mesh {
+        self.net.mesh()
+    }
+
+    /// Walk one access through the hierarchy.
+    ///
+    /// `reply_route` overrides the bank→core data-reply route
+    /// (compiler-reshaped routes); ignored for `NearData` intents and
+    /// L1 hits.
+    pub fn access(
+        &mut self,
+        core: NodeId,
+        addr: Addr,
+        now: Cycle,
+        write: bool,
+        intent: AccessIntent,
+        reply_route: Option<&Route>,
+    ) -> AccessPath {
+        let mut path = AccessPath {
+            addr,
+            core,
+            issued: now,
+            completion: now,
+            l1_hit: false,
+            coherence_miss: false,
+            l2: None,
+            mem: None,
+            data_links: Vec::new(),
+        };
+        let width = self.cfg.noc.width;
+        let core_coord = core.coord(width);
+        let l1_latency = self.cfg.l1.latency;
+        let l1_line = self.l1s[core.index()].line_addr(addr);
+
+        // --- L1 ---
+        match intent {
+            AccessIntent::ToCore => {
+                match self.l1s[core.index()].access(addr, now, write) {
+                    AccessOutcome::Hit { .. } => {
+                        path.l1_hit = true;
+                        path.completion = now + l1_latency;
+                        if write {
+                            self.invalidate_other_sharers(l1_line, core);
+                        }
+                        return path;
+                    }
+                    AccessOutcome::Miss { evicted, coherence } => {
+                        path.coherence_miss = coherence;
+                        if let Some(ev) = evicted {
+                            self.dir.remove_sharer(ev, core.index());
+                        }
+                    }
+                }
+            }
+            AccessIntent::NearData => {
+                // The LD/ST unit probed before offloading; a resident
+                // line means the caller should not have offloaded. Treat
+                // defensively as a local hit.
+                if self.l1s[core.index()].probe(addr) {
+                    path.l1_hit = true;
+                    path.completion = now + l1_latency;
+                    return path;
+                }
+            }
+        }
+
+        // --- Request to the home L2 bank ---
+        let home = self.cfg.l2_home(addr);
+        let home_coord = home.coord(width);
+        let req_route = self.mesh().xy_route(core_coord, home_coord);
+        let req = self.net.traverse(&req_route, now + l1_latency, REQ_BYTES);
+        let req_arrival = req.arrived;
+
+        // --- L2 bank ---
+        let l2_latency = self.cfg.l2.latency;
+        let (l2_hit, data_at_bank) =
+            match self.l2s[home.index()].access(addr, req_arrival, write) {
+                AccessOutcome::Hit { .. } => (true, req_arrival + l2_latency),
+                AccessOutcome::Miss { .. } => {
+                    // --- Memory controller + DRAM ---
+                    let mc = self.cfg.mc_of(addr);
+                    let mc_node = self.cfg.mc_node(mc);
+                    let mc_coord = mc_node.coord(width);
+                    let to_mc = self.mesh().xy_route(home_coord, mc_coord);
+                    let mc_req = self
+                        .net
+                        .traverse(&to_mc, req_arrival + l2_latency, REQ_BYTES);
+                    let dram = self.mcs[mc as usize].request(addr, mc_req.arrived);
+                    // Refill back to the bank (carries the L2 line).
+                    let refill_route = self.mesh().xy_route(mc_coord, home_coord);
+                    let refill =
+                        self.net
+                            .traverse(&refill_route, dram.completion, self.cfg.l2.line_bytes);
+                    path.data_links.extend(refill.links.iter().copied());
+                    path.mem = Some(MemLeg {
+                        mc,
+                        mc_node,
+                        queue_enter: dram.queue_enter,
+                        service_start: dram.service_start,
+                        completion: dram.completion,
+                        dram_bank: dram.bank,
+                    });
+                    (false, refill.arrived)
+                }
+            };
+        path.l2 = Some(L2Leg {
+            bank: home,
+            req_arrival,
+            hit: l2_hit,
+            data_at_bank,
+        });
+
+        match intent {
+            AccessIntent::NearData => {
+                path.completion = data_at_bank;
+            }
+            AccessIntent::ToCore => {
+                // --- Data reply to the core ---
+                let xy_reply;
+                let route = match reply_route {
+                    Some(r) => r,
+                    None => {
+                        xy_reply = self.mesh().xy_route(home_coord, core_coord);
+                        &xy_reply
+                    }
+                };
+                let reply = self
+                    .net
+                    .traverse(route, data_at_bank, self.cfg.l1.line_bytes);
+                path.data_links.extend(reply.links.iter().copied());
+                path.completion = reply.arrived + l1_latency;
+                // Directory bookkeeping: the core now holds the line.
+                if write {
+                    self.invalidate_other_sharers(l1_line, core);
+                } else {
+                    self.dir.add_sharer(l1_line, core.index());
+                }
+            }
+        }
+        path
+    }
+
+    fn invalidate_other_sharers(&mut self, l1_line: Addr, writer: NodeId) {
+        let others: Vec<usize> = self.dir.write_by(l1_line, writer.index()).collect();
+        for c in others {
+            self.l1s[c].invalidate(l1_line);
+        }
+    }
+
+    /// A store performed at an NDC component: the result is written to
+    /// the destination line's home L2 bank (no L1 fill at any core),
+    /// invalidating L1 sharers. Write-allocate is honest: an L2 miss
+    /// pays the full memory-controller + DRAM path, exactly like a
+    /// conventional write, so NDC stores enjoy no phantom discount.
+    /// Returns the write completion time.
+    pub fn remote_write(&mut self, from: NodeId, addr: Addr, t: Cycle) -> Cycle {
+        let width = self.cfg.noc.width;
+        let home = self.cfg.l2_home(addr);
+        let home_coord = home.coord(width);
+        let route = self.mesh().xy_route(from.coord(width), home_coord);
+        let arr = self.net.traverse(&route, t, RESULT_BYTES).arrived;
+        let done = match self.l2s[home.index()].access(addr, arr, true) {
+            AccessOutcome::Hit { .. } => arr + self.cfg.l2.latency,
+            AccessOutcome::Miss { .. } => {
+                let mc = self.cfg.mc_of(addr);
+                let mc_node = self.cfg.mc_node(mc);
+                let mc_coord = mc_node.coord(width);
+                let to_mc = self.mesh().xy_route(home_coord, mc_coord);
+                let mc_req = self
+                    .net
+                    .traverse(&to_mc, arr + self.cfg.l2.latency, REQ_BYTES);
+                let dram = self.mcs[mc as usize].request(addr, mc_req.arrived);
+                let back = self.mesh().xy_route(mc_coord, home_coord);
+                let refill = self
+                    .net
+                    .traverse(&back, dram.completion, self.cfg.l2.line_bytes);
+                refill.arrived + self.cfg.l2.latency
+            }
+        };
+        let l1_line = self.l1s[0].line_addr(addr);
+        // The writer is no core: invalidate every L1 sharer.
+        let sharers: Vec<usize> = (0..self.cfg.nodes())
+            .filter(|&c| self.dir.is_sharer(l1_line, c))
+            .collect();
+        for c in sharers {
+            self.l1s[c].invalidate(l1_line);
+            self.dir.remove_sharer(l1_line, c);
+        }
+        done
+    }
+
+    /// Send a small point-to-point message (NDC result / CPU-feed) and
+    /// return its arrival time.
+    pub fn send_result(&mut self, from: NodeId, to: NodeId, t: Cycle) -> Cycle {
+        let width = self.cfg.noc.width;
+        let route = self
+            .mesh()
+            .xy_route(from.coord(width), to.coord(width));
+        self.net.traverse(&route, t, RESULT_BYTES).arrived
+    }
+
+    /// Charge the network for a data message along an explicit route
+    /// prefix (NDC meeting at an intermediate router), returning the
+    /// traversal record.
+    pub fn send_data_along(
+        &mut self,
+        route: &Route,
+        upto_hops: usize,
+        t: Cycle,
+        bytes: u64,
+    ) -> ndc_noc::TraversalRecord {
+        let partial = Route {
+            src: route.src,
+            dst: route.dst,
+            links: route.links[..upto_hops.min(route.links.len())].to_vec(),
+        };
+        self.net.traverse(&partial, t, bytes)
+    }
+
+    /// Uncontended one-way latency between two nodes (static estimates).
+    pub fn hop_latency(&self, a: NodeId, b: NodeId) -> Cycle {
+        let width = self.cfg.noc.width;
+        let hops = a.coord(width).manhattan(b.coord(width));
+        self.net.uncontended_latency(hops)
+    }
+
+    /// Aggregate L1 statistics over all cores.
+    pub fn l1_totals(&self) -> ndc_mem::CacheStats {
+        let mut agg = ndc_mem::CacheStats::default();
+        for c in &self.l1s {
+            agg.hits += c.stats.hits;
+            agg.misses += c.stats.misses;
+            agg.coherence_misses += c.stats.coherence_misses;
+            agg.evictions += c.stats.evictions;
+            agg.invalidations += c.stats.invalidations;
+        }
+        agg
+    }
+
+    /// Aggregate L2 statistics over all banks.
+    pub fn l2_totals(&self) -> ndc_mem::CacheStats {
+        let mut agg = ndc_mem::CacheStats::default();
+        for c in &self.l2s {
+            agg.hits += c.stats.hits;
+            agg.misses += c.stats.misses;
+            agg.coherence_misses += c.stats.coherence_misses;
+            agg.evictions += c.stats.evictions;
+            agg.invalidations += c.stats.invalidations;
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::new(ArchConfig::paper_default())
+    }
+
+    #[test]
+    fn cold_access_walks_full_path() {
+        let mut m = machine();
+        let core = NodeId(12); // center of the 5x5 mesh
+        let p = m.access(core, 0x10000, 0, false, AccessIntent::ToCore, None);
+        assert!(!p.l1_hit);
+        let l2 = p.l2.expect("L2 leg");
+        assert!(!l2.hit);
+        assert!(p.mem.is_some());
+        // Completion after DRAM + two network legs + latencies.
+        assert!(p.completion > 100, "completion {}", p.completion);
+        assert!(!p.data_links.is_empty());
+    }
+
+    #[test]
+    fn second_access_hits_l1() {
+        let mut m = machine();
+        let core = NodeId(12);
+        let first = m.access(core, 0x10000, 0, false, AccessIntent::ToCore, None);
+        let second = m.access(core, 0x10008, first.completion, false, AccessIntent::ToCore, None);
+        assert!(second.l1_hit);
+        assert_eq!(second.latency(), m.cfg.l1.latency);
+    }
+
+    #[test]
+    fn l2_hit_from_another_core() {
+        let mut m = machine();
+        let a = m.access(NodeId(0), 0x10000, 0, false, AccessIntent::ToCore, None);
+        // Another core, different L1, same L2 home bank: L2 hit.
+        let b = m.access(NodeId(24), 0x10000, a.completion, false, AccessIntent::ToCore, None);
+        assert!(!b.l1_hit);
+        let l2 = b.l2.unwrap();
+        assert!(l2.hit);
+        assert!(b.mem.is_none());
+        assert!(b.completion < a.completion + 200);
+    }
+
+    #[test]
+    fn near_data_intent_stops_at_bank_and_skips_l1_fill() {
+        let mut m = machine();
+        let core = NodeId(12);
+        let addr = 0x20000;
+        let p = m.access(core, addr, 0, false, AccessIntent::NearData, None);
+        assert!(!p.l1_hit);
+        let l2 = p.l2.unwrap();
+        assert_eq!(p.completion, l2.data_at_bank);
+        // L1 must NOT hold the line afterwards.
+        assert!(!m.l1s[core.index()].probe(addr));
+        // But the L2 bank does.
+        assert!(m.l2s[l2.bank.index()].probe(addr));
+    }
+
+    #[test]
+    fn near_data_on_local_line_degenerates_to_l1_hit() {
+        let mut m = machine();
+        let core = NodeId(3);
+        m.access(core, 0x30000, 0, false, AccessIntent::ToCore, None);
+        let p = m.access(core, 0x30000, 1000, false, AccessIntent::NearData, None);
+        assert!(p.l1_hit);
+    }
+
+    #[test]
+    fn write_invalidates_remote_sharers() {
+        let mut m = machine();
+        let addr = 0x40000;
+        m.access(NodeId(1), addr, 0, false, AccessIntent::ToCore, None);
+        m.access(NodeId(2), addr, 500, false, AccessIntent::ToCore, None);
+        assert!(m.l1s[1].probe(addr));
+        assert!(m.l1s[2].probe(addr));
+        // Core 3 writes: both readers lose their copies.
+        m.access(NodeId(3), addr, 1000, true, AccessIntent::ToCore, None);
+        assert!(!m.l1s[1].probe(addr));
+        assert!(!m.l1s[2].probe(addr));
+        // Their next access is a coherence miss.
+        let p = m.access(NodeId(1), addr, 1500, false, AccessIntent::ToCore, None);
+        assert!(p.coherence_miss);
+    }
+
+    #[test]
+    fn presence_timestamps_are_ordered() {
+        let mut m = machine();
+        let p = m.access(NodeId(7), 0x50000, 10, false, AccessIntent::ToCore, None);
+        let l2 = p.l2.unwrap();
+        let mem = p.mem.unwrap();
+        assert!(p.issued <= l2.req_arrival);
+        assert!(l2.req_arrival <= mem.queue_enter);
+        assert!(mem.queue_enter <= mem.service_start);
+        assert!(mem.service_start < mem.completion);
+        assert!(mem.completion <= l2.data_at_bank);
+        assert!(l2.data_at_bank <= p.completion);
+    }
+
+    #[test]
+    fn home_bank_matches_config() {
+        let mut m = machine();
+        let addr = 0x1234_5678;
+        let p = m.access(NodeId(0), addr, 0, false, AccessIntent::ToCore, None);
+        assert_eq!(p.l2.unwrap().bank, m.cfg.l2_home(addr));
+        let mem = p.mem.unwrap();
+        assert_eq!(mem.mc, m.cfg.mc_of(addr));
+        assert_eq!(mem.mc_node, m.cfg.mc_node(mem.mc));
+    }
+
+    #[test]
+    fn send_result_latency_scales_with_distance() {
+        let mut m = machine();
+        let t_near = m.send_result(NodeId(0), NodeId(1), 0);
+        assert_eq!(t_near, 3);
+        // Fresh network: an uncontended far send pays hops * pipeline.
+        m.net.reset();
+        let t_far = m.send_result(NodeId(0), NodeId(24), 0);
+        assert_eq!(t_far, 8 * 3);
+    }
+
+    #[test]
+    fn stats_aggregate_across_nodes() {
+        let mut m = machine();
+        m.access(NodeId(0), 0x1000, 0, false, AccessIntent::ToCore, None);
+        m.access(NodeId(5), 0x2000, 0, false, AccessIntent::ToCore, None);
+        let l1 = m.l1_totals();
+        assert_eq!(l1.misses, 2);
+        assert_eq!(l1.hits, 0);
+        let l2 = m.l2_totals();
+        assert_eq!(l2.misses, 2);
+    }
+}

@@ -1,0 +1,750 @@
+//! NDC compute-package resolution.
+//!
+//! Given the two operand journeys of an offloaded computation, decide
+//! *where* the operands can meet (link buffer on their data routes, the
+//! common home L2 bank, the common memory controller, or the common
+//! DRAM bank — Figure 1's ⓐ–ⓓ), *how long* the first operand waits
+//! (the arrival window), and whether the attempt aborts (time-out
+//! register, full service table, disabled component, disallowed op).
+//!
+//! The candidate evaluation mirrors the hardware flow of §2: the
+//! package travels with the operand requests and computes at the first
+//! component where both operands are available; the oracle scheme
+//! instead picks the best location, and Figure 14's isolation runs
+//! restrict candidates via the control register.
+
+use crate::machine::{AccessPath, Machine};
+use ndc_noc::{best_signature_pair, Route};
+use ndc_types::{Cycle, NdcLocation, NodeId, Op, ALL_NDC_LOCATIONS};
+use std::collections::HashMap;
+
+/// Why an NDC attempt did not happen / was abandoned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// An operand was in the local L1; the LD/ST unit skipped the
+    /// offload (performed at the core — cheap, not a failure).
+    LocalHit,
+    /// The operation type is not offloadable (control register /
+    /// Figure 17 restriction).
+    OpNotAllowed,
+    /// The operands never co-locate at any enabled component.
+    NoColocation,
+    /// The wait at the meeting component exceeded the time-out
+    /// register.
+    Timeout,
+    /// The component's service table was full on arrival (§2: triggers
+    /// the time-out mechanism immediately).
+    ServiceTableFull,
+    /// The scheme's wait budget was smaller than the required wait.
+    BudgetExceeded,
+}
+
+/// One candidate meeting point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Meeting {
+    pub loc: NdcLocation,
+    /// The node hosting the component (router / L2 bank / MC node; for
+    /// DRAM banks, the MC's node).
+    pub node: NodeId,
+    /// When each operand is available there.
+    pub t_a: Cycle,
+    pub t_b: Cycle,
+}
+
+impl Meeting {
+    /// The arrival window: how long the first operand waits for the
+    /// second.
+    pub fn window(&self) -> Cycle {
+        self.t_a.abs_diff(self.t_b)
+    }
+
+    pub fn ready(&self) -> Cycle {
+        self.t_a.max(self.t_b)
+    }
+}
+
+/// Result of resolving an NDC package.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NdcOutcome {
+    Performed {
+        loc: NdcLocation,
+        node: NodeId,
+        /// The wait the first-arriving operand endured.
+        wait: Cycle,
+        /// Cycle the operation completed at the component.
+        op_done: Cycle,
+        /// Cycle the CPU-feed (result) reached the requesting core.
+        result_at_core: Cycle,
+    },
+    Aborted {
+        reason: AbortReason,
+        /// When the abort was known at the core (conventional fallback
+        /// may start then).
+        at: Cycle,
+    },
+}
+
+impl NdcOutcome {
+    pub fn performed(&self) -> bool {
+        matches!(self, NdcOutcome::Performed { .. })
+    }
+}
+
+/// How to choose among feasible meeting points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocationPolicy {
+    /// The hardware's general flow: first component along the data
+    /// path (link buffer → cache controller → MC → memory bank).
+    FirstOnPath,
+    /// Oracle: the component minimizing result-at-core time.
+    Best,
+    /// Restrict to one component (Figure 14 isolation; control
+    /// register ⓔ).
+    Only(NdcLocation),
+}
+
+/// Per-component service tables and in-flight occupancy.
+///
+/// Entries are (release cycle) heaps keyed by component instance; a
+/// package arriving when `capacity` entries are still alive aborts via
+/// the time-out path.
+#[derive(Debug, Default)]
+pub struct ServiceTables {
+    entries: HashMap<(u8, u32), Vec<Cycle>>,
+}
+
+impl ServiceTables {
+    fn key(loc: NdcLocation, node: NodeId) -> (u8, u32) {
+        (loc.index() as u8, node.0 as u32)
+    }
+
+    /// Count live entries at `now` (pruning released ones).
+    fn live(&mut self, loc: NdcLocation, node: NodeId, now: Cycle) -> usize {
+        let v = self.entries.entry(Self::key(loc, node)).or_default();
+        v.retain(|&r| r > now);
+        v.len()
+    }
+
+    fn insert(&mut self, loc: NdcLocation, node: NodeId, release: Cycle) {
+        self.entries
+            .entry(Self::key(loc, node))
+            .or_default()
+            .push(release);
+    }
+
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// Enumerate the candidate meetings for two operand paths, ordered by
+/// where the operands' *data* first co-locates physically:
+///
+/// 1. the shared home L2 bank (the data converges there — no reply
+///    messages exist under NDC, so no link meeting is possible);
+/// 2. the shared memory controller / DRAM bank (refills pass through
+///    before any reply);
+/// 3. a common link of the data-reply routes toward the core — the
+///    fallback when no memory-side component is shared, and the place
+///    route reshaping (`reshape`) creates overlap (§5.2.1, Figure 11).
+pub fn candidate_meetings(
+    machine: &Machine,
+    core: NodeId,
+    a: &AccessPath,
+    b: &AccessPath,
+    reshape: bool,
+) -> Vec<Meeting> {
+    let mut out = Vec::with_capacity(4);
+    let cfg = &machine.cfg;
+
+    // Both operands must actually travel (L1 hits never leave the
+    // core, so no meeting is possible anywhere).
+    let (Some(l2a), Some(l2b)) = (a.l2, b.l2) else {
+        return out;
+    };
+    let same_bank = l2a.bank == l2b.bank;
+
+    // --- Cache controller: both operands homed at the same L2 bank. ---
+    if same_bank {
+        out.push(Meeting {
+            loc: NdcLocation::CacheController,
+            node: l2a.bank,
+            t_a: l2a.data_at_bank,
+            t_b: l2b.data_at_bank,
+        });
+    }
+
+    // --- Memory side: both operands L2-missed to the same
+    // controller. When they also live in the same DRAM bank, the
+    // computation happens *in memory* (§2: "performed in memory if
+    // both A and B are currently residing in the same memory bank") —
+    // the data is born co-located, so in-array computation is the
+    // deepest, cheapest meeting and takes precedence over the queue;
+    // the windows gate on the two access commands reaching the device.
+    if let (Some(ma), Some(mb)) = (a.mem, b.mem) {
+        if ma.mc == mb.mc {
+            if ma.dram_bank == mb.dram_bank {
+                out.push(Meeting {
+                    loc: NdcLocation::MemoryBank,
+                    node: ma.mc_node,
+                    t_a: ma.queue_enter,
+                    t_b: mb.queue_enter,
+                });
+            } else {
+                out.push(Meeting {
+                    loc: NdcLocation::MemoryController,
+                    node: ma.mc_node,
+                    t_a: ma.queue_enter,
+                    t_b: mb.queue_enter,
+                });
+            }
+        }
+    }
+
+    // --- Link buffer: only reachable when the operands' data actually
+    // moves on the network as two separate messages (different home
+    // banks): common links of the data routes toward the core, plus
+    // any actual refill-leg overlap. ---
+    if !same_bank {
+        let (route_a, route_b) = reply_routes(machine, core, l2a.bank, l2b.bank, reshape);
+        let hop = cfg.noc.hop_cycles;
+        let mut best_link: Option<Meeting> = None;
+        // Entry time of operand X on hop k of its route: data leaves
+        // the bank at data_at_bank and pays `hop` per link.
+        for (ka, la) in route_a.links.iter().enumerate() {
+            for (kb, lb) in route_b.links.iter().enumerate() {
+                if la != lb {
+                    continue;
+                }
+                let t_a = l2a.data_at_bank + hop * ka as Cycle;
+                let t_b = l2b.data_at_bank + hop * kb as Cycle;
+                let m = Meeting {
+                    loc: NdcLocation::LinkBuffer,
+                    node: machine.mesh().link_router(*la),
+                    t_a,
+                    t_b,
+                };
+                if best_link.is_none_or(|cur| m.window() < cur.window()) {
+                    best_link = Some(m);
+                }
+            }
+        }
+        // Refill legs (MC -> bank) can also overlap — the "second
+        // router attempt" on the L2-miss path of the paper's trial
+        // order.
+        for ta in &a.data_links {
+            for tb in &b.data_links {
+                if ta.link != tb.link {
+                    continue;
+                }
+                let m = Meeting {
+                    loc: NdcLocation::LinkBuffer,
+                    node: machine.mesh().link_router(ta.link),
+                    t_a: ta.enter,
+                    t_b: tb.enter,
+                };
+                if best_link.is_none_or(|cur| m.window() < cur.window()) {
+                    best_link = Some(m);
+                }
+            }
+        }
+        if let Some(m) = best_link {
+            out.push(m);
+        }
+    }
+
+    out
+}
+
+/// The data-reply routes used for link-overlap evaluation.
+fn reply_routes(
+    machine: &Machine,
+    core: NodeId,
+    bank_a: NodeId,
+    bank_b: NodeId,
+    reshape: bool,
+) -> (Route, Route) {
+    let width = machine.cfg.noc.width;
+    let ca = bank_a.coord(width);
+    let cb = bank_b.coord(width);
+    let cc = core.coord(width);
+    if reshape {
+        let pair = best_signature_pair(machine.mesh(), ca, cc, cb, cc);
+        (pair.route_a, pair.route_b)
+    } else {
+        (
+            machine.mesh().xy_route(ca, cc),
+            machine.mesh().xy_route(cb, cc),
+        )
+    }
+}
+
+/// Parameters of one resolution attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct ResolveParams {
+    pub policy: LocationPolicy,
+    /// Maximum wait the scheme tolerates at the meeting component
+    /// (`None` = wait forever, bounded only by the hardware time-out).
+    pub budget: Option<Cycle>,
+    /// Use reshaped reply routes for the link-buffer candidate.
+    pub reshape: bool,
+    /// Oracle mode: skip the time-out register and service-table
+    /// capacity (perfect scheduling never trips either).
+    pub ignore_limits: bool,
+}
+
+/// Resolve an NDC package: pick a meeting, enforce the control
+/// register / op class / service tables / time-out, charge the network
+/// for the data movement that actually happens, and produce the
+/// outcome.
+///
+/// `issue` is when the LD/ST unit injected the package; aborts resolve
+/// at `issue + wasted-wait` and the engine then falls back to
+/// conventional execution.
+#[allow(clippy::too_many_arguments)]
+pub fn resolve(
+    machine: &mut Machine,
+    tables: &mut ServiceTables,
+    core: NodeId,
+    op: Op,
+    a: &AccessPath,
+    b: &AccessPath,
+    issue: Cycle,
+    params: ResolveParams,
+) -> NdcOutcome {
+    let cfg = machine.cfg;
+    // Local L1 copy: the LD/ST unit skips the offload (handled by the
+    // caller for timing; reported here for completeness).
+    if a.l1_hit || b.l1_hit {
+        return NdcOutcome::Aborted {
+            reason: AbortReason::LocalHit,
+            at: issue,
+        };
+    }
+    if !cfg.ndc.op_class.allows(op) {
+        return NdcOutcome::Aborted {
+            reason: AbortReason::OpNotAllowed,
+            at: issue,
+        };
+    }
+
+    let mut cands = candidate_meetings(machine, core, a, b, params.reshape);
+    cands.retain(|m| cfg.ndc.location_enabled(m.loc));
+    match params.policy {
+        LocationPolicy::Only(loc) => cands.retain(|m| m.loc == loc),
+        LocationPolicy::FirstOnPath | LocationPolicy::Best => {}
+    }
+    if cands.is_empty() {
+        // The package traveled with the operands to the end of the path
+        // and nothing met; the hardware knows once both journeys
+        // resolve, and signals the offload table (no time-out wait).
+        let at = a.completion.max(b.completion).max(issue);
+        return NdcOutcome::Aborted {
+            reason: AbortReason::NoColocation,
+            at,
+        };
+    }
+
+    let chosen = match params.policy {
+        LocationPolicy::Best => *cands
+            .iter()
+            .min_by_key(|m| {
+                m.ready() + machine.hop_latency(m.node, core)
+            })
+            .unwrap(),
+        _ => cands[0],
+    };
+
+    let wait = chosen.window();
+    // Scheme budget: the first operand leaves after `budget` cycles.
+    if let Some(budget) = params.budget {
+        if wait > budget {
+            let first = chosen.t_a.min(chosen.t_b);
+            return NdcOutcome::Aborted {
+                reason: AbortReason::BudgetExceeded,
+                at: first + budget,
+            };
+        }
+    }
+    // Hardware time-out register.
+    if !params.ignore_limits {
+        if let Some(tmo) = cfg.ndc.timeout {
+            if wait > tmo {
+                let first = chosen.t_a.min(chosen.t_b);
+                return NdcOutcome::Aborted {
+                    reason: AbortReason::Timeout,
+                    at: first + tmo,
+                };
+            }
+        }
+    }
+    // Service table capacity at the component. A full table triggers
+    // the time-out mechanism (§2): the request lingers until the
+    // time-out expires and is then performed at the original core —
+    // the expensive path that makes indiscriminate offloading hurt.
+    let arrive = chosen.t_a.min(chosen.t_b);
+    if !params.ignore_limits
+        && tables.live(chosen.loc, chosen.node, arrive) >= cfg.ndc.service_table_entries
+    {
+        let wasted = cfg.ndc.timeout.unwrap_or(0);
+        return NdcOutcome::Aborted {
+            reason: AbortReason::ServiceTableFull,
+            at: arrive + wasted,
+        };
+    }
+
+    // Charge the data movement that actually happens for a link-buffer
+    // meeting: each operand's data travels from its bank to the meeting
+    // router.
+    let op_ready = chosen.ready();
+    if chosen.loc == NdcLocation::LinkBuffer {
+        if let (Some(l2a), Some(l2b)) = (a.l2, b.l2) {
+            let (ra, rb) = reply_routes(machine, core, l2a.bank, l2b.bank, params.reshape);
+            let ka = ra.links.iter().position(|l| machine.mesh().link_router(*l) == chosen.node);
+            let kb = rb.links.iter().position(|l| machine.mesh().link_router(*l) == chosen.node);
+            if let Some(k) = ka {
+                machine.send_data_along(&ra, k + 1, l2a.data_at_bank, cfg.l1.line_bytes);
+            }
+            if let Some(k) = kb {
+                machine.send_data_along(&rb, k + 1, l2b.data_at_bank, cfg.l1.line_bytes);
+            }
+        }
+    }
+
+    let op_done = op_ready + 1;
+    tables.insert(chosen.loc, chosen.node, op_done);
+    // CPU-feed: the result returns to the core.
+    let result_at_core = machine.send_result(chosen.node, core, op_done);
+    NdcOutcome::Performed {
+        loc: chosen.loc,
+        node: chosen.node,
+        wait,
+        op_done,
+        result_at_core,
+    }
+}
+
+/// Measurement helper for the characterization study (Figures 2/3):
+/// the per-location windows of a conventional (baseline) computation,
+/// derived from its two operands' actual paths. Returns one entry per
+/// location, `None` when the operands never co-locate there.
+pub fn windows_by_location(
+    machine: &Machine,
+    core: NodeId,
+    a: &AccessPath,
+    b: &AccessPath,
+    reshape: bool,
+) -> [Option<Cycle>; 4] {
+    let mut out = [None; 4];
+    for m in candidate_meetings(machine, core, a, b, reshape) {
+        let slot = &mut out[m.loc.index()];
+        let w = m.window();
+        if slot.is_none_or(|cur| w < cur) {
+            *slot = Some(w);
+        }
+    }
+    out
+}
+
+/// The breakeven point of a computation for each location (§4.1): the
+/// largest wait `w` such that performing the op at the location and
+/// shipping the result back beats the conventional completion.
+///
+/// `conv_done` is the conventional completion time (operands at core +
+/// 1 op cycle). For a meeting with first-operand availability `t1` at
+/// node `n`, NDC completes at `t1 + w + 1 + return(n → core)`;
+/// breakeven = `conv_done - t1 - 1 - return`, clamped at 0.
+pub fn breakeven_by_location(
+    machine: &Machine,
+    core: NodeId,
+    a: &AccessPath,
+    b: &AccessPath,
+    conv_done: Cycle,
+) -> [Option<Cycle>; 4] {
+    let mut out = [None; 4];
+    for m in candidate_meetings(machine, core, a, b, false) {
+        let t1 = m.t_a.min(m.t_b);
+        let ret = machine.hop_latency(m.node, core);
+        let be = conv_done.saturating_sub(t1 + 1 + ret);
+        let slot = &mut out[m.loc.index()];
+        if slot.is_none_or(|cur| be > cur) {
+            *slot = Some(be);
+        }
+    }
+    out
+}
+
+/// All four locations, exported for iteration in reports.
+pub fn all_locations() -> [NdcLocation; 4] {
+    ALL_NDC_LOCATIONS
+}
+
+/// Alias used by the engine: a resolution request's full inputs.
+pub struct NdcResolution;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::AccessIntent;
+    use ndc_types::ArchConfig;
+
+    fn machine() -> Machine {
+        Machine::new(ArchConfig::paper_default())
+    }
+
+    /// Two addresses with the same L2 home bank but different lines.
+    fn same_bank_addrs(cfg: &ArchConfig) -> (u64, u64) {
+        let line = cfg.l2.line_bytes;
+        let nodes = cfg.nodes() as u64;
+        (0, nodes * line) // both home at bank 0
+    }
+
+    #[test]
+    fn same_bank_operands_meet_at_cache_controller() {
+        let mut m = machine();
+        let core = NodeId(12);
+        let (a_addr, b_addr) = same_bank_addrs(&m.cfg);
+        let a = m.access(core, a_addr, 0, false, AccessIntent::NearData, None);
+        let b = m.access(core, b_addr, 0, false, AccessIntent::NearData, None);
+        let cands = candidate_meetings(&m, core, &a, &b, false);
+        assert!(cands
+            .iter()
+            .any(|c| c.loc == NdcLocation::CacheController && c.node == NodeId(0)));
+    }
+
+    #[test]
+    fn different_banks_no_cache_meeting_but_links_can_meet() {
+        let mut m = machine();
+        let core = NodeId(12);
+        let line = m.cfg.l2.line_bytes;
+        // Banks 0 and 1: adjacent nodes; replies toward core 12 share
+        // links.
+        let a = m.access(core, 0, 0, false, AccessIntent::NearData, None);
+        let b = m.access(core, line, 0, false, AccessIntent::NearData, None);
+        let cands = candidate_meetings(&m, core, &a, &b, false);
+        assert!(!cands
+            .iter()
+            .any(|c| c.loc == NdcLocation::CacheController));
+        // Banks 0=(0,0) and 1=(1,0) routing XY to (2,2): share links
+        // from (2,0) down? Route a: e,e,s,s; route b: e,s,s. Common:
+        // the south links at column 2.
+        assert!(cands.iter().any(|c| c.loc == NdcLocation::LinkBuffer));
+    }
+
+    #[test]
+    fn l1_hit_operand_aborts_with_local_hit() {
+        let mut m = machine();
+        let core = NodeId(5);
+        m.access(core, 0x1000, 0, false, AccessIntent::ToCore, None);
+        let a = m.access(core, 0x1000, 100, false, AccessIntent::NearData, None);
+        let b = m.access(core, 0x2000, 100, false, AccessIntent::NearData, None);
+        let mut tables = ServiceTables::default();
+        let out = resolve(
+            &mut m,
+            &mut tables,
+            core,
+            Op::Add,
+            &a,
+            &b,
+            100,
+            ResolveParams {
+                policy: LocationPolicy::FirstOnPath,
+                budget: None,
+                reshape: false,
+                ignore_limits: false,
+            },
+        );
+        assert_eq!(
+            out,
+            NdcOutcome::Aborted {
+                reason: AbortReason::LocalHit,
+                at: 100
+            }
+        );
+    }
+
+    #[test]
+    fn op_class_restriction_aborts_mul() {
+        let mut m = machine();
+        m.cfg.ndc.op_class = ndc_types::OpClass::AddSubOnly;
+        let core = NodeId(12);
+        let (a_addr, b_addr) = same_bank_addrs(&m.cfg);
+        let a = m.access(core, a_addr, 0, false, AccessIntent::NearData, None);
+        let b = m.access(core, b_addr, 0, false, AccessIntent::NearData, None);
+        let mut tables = ServiceTables::default();
+        let out = resolve(
+            &mut m,
+            &mut tables,
+            core,
+            Op::Mul,
+            &a,
+            &b,
+            0,
+            ResolveParams {
+                policy: LocationPolicy::FirstOnPath,
+                budget: None,
+                reshape: false,
+                ignore_limits: false,
+            },
+        );
+        assert!(matches!(
+            out,
+            NdcOutcome::Aborted {
+                reason: AbortReason::OpNotAllowed,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn successful_resolution_at_cache_controller() {
+        let mut m = machine();
+        // Disable link buffers so the first-on-path is the cache bank.
+        m.cfg.ndc.enabled_mask = ndc_types::NdcConfig::only(NdcLocation::CacheController);
+        let core = NodeId(12);
+        let (a_addr, b_addr) = same_bank_addrs(&m.cfg);
+        let a = m.access(core, a_addr, 0, false, AccessIntent::NearData, None);
+        let b = m.access(core, b_addr, 0, false, AccessIntent::NearData, None);
+        let mut tables = ServiceTables::default();
+        let out = resolve(
+            &mut m,
+            &mut tables,
+            core,
+            Op::Add,
+            &a,
+            &b,
+            0,
+            ResolveParams {
+                policy: LocationPolicy::FirstOnPath,
+                budget: None,
+                reshape: false,
+                ignore_limits: false,
+            },
+        );
+        match out {
+            NdcOutcome::Performed {
+                loc,
+                node,
+                op_done,
+                result_at_core,
+                ..
+            } => {
+                assert_eq!(loc, NdcLocation::CacheController);
+                assert_eq!(node, NodeId(0));
+                assert!(result_at_core > op_done);
+            }
+            other => panic!("expected success, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_exceeded_aborts_at_budget() {
+        let mut m = machine();
+        m.cfg.ndc.enabled_mask = ndc_types::NdcConfig::only(NdcLocation::CacheController);
+        let core = NodeId(12);
+        let (a_addr, b_addr) = same_bank_addrs(&m.cfg);
+        let a = m.access(core, a_addr, 0, false, AccessIntent::NearData, None);
+        // Operand b fetched much later: a big window.
+        let b = m.access(core, b_addr, 5000, false, AccessIntent::NearData, None);
+        let mut tables = ServiceTables::default();
+        let out = resolve(
+            &mut m,
+            &mut tables,
+            core,
+            Op::Add,
+            &a,
+            &b,
+            5000,
+            ResolveParams {
+                policy: LocationPolicy::FirstOnPath,
+                budget: Some(10),
+                reshape: false,
+                ignore_limits: false,
+            },
+        );
+        match out {
+            NdcOutcome::Aborted { reason, at } => {
+                assert_eq!(reason, AbortReason::BudgetExceeded);
+                let l2a = a.l2.unwrap();
+                assert_eq!(at, l2a.data_at_bank + 10);
+            }
+            other => panic!("expected abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn service_table_fills_up() {
+        let mut m = machine();
+        m.cfg.ndc.enabled_mask = ndc_types::NdcConfig::only(NdcLocation::CacheController);
+        m.cfg.ndc.service_table_entries = 1;
+        m.cfg.ndc.timeout = Some(100_000);
+        let core = NodeId(12);
+        let (a_addr, b_addr) = same_bank_addrs(&m.cfg);
+        let mut tables = ServiceTables::default();
+        // Fill the single slot with a far-future release.
+        tables.insert(NdcLocation::CacheController, NodeId(0), 1_000_000);
+        let a = m.access(core, a_addr, 0, false, AccessIntent::NearData, None);
+        let b = m.access(core, b_addr, 0, false, AccessIntent::NearData, None);
+        let out = resolve(
+            &mut m,
+            &mut tables,
+            core,
+            Op::Add,
+            &a,
+            &b,
+            0,
+            ResolveParams {
+                policy: LocationPolicy::FirstOnPath,
+                budget: None,
+                reshape: false,
+                ignore_limits: false,
+            },
+        );
+        assert!(matches!(
+            out,
+            NdcOutcome::Aborted {
+                reason: AbortReason::ServiceTableFull,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn windows_report_per_location() {
+        let mut m = machine();
+        let core = NodeId(12);
+        // Same L2 home bank (multiple of 25 lines) AND same memory
+        // controller (multiple of 4 pages): line 1600 = 409600 bytes.
+        let (a_addr, b_addr) = (0u64, 1600 * m.cfg.l2.line_bytes);
+        assert_eq!(m.cfg.l2_home(a_addr), m.cfg.l2_home(b_addr));
+        assert_eq!(m.cfg.mc_of(a_addr), m.cfg.mc_of(b_addr));
+        let a = m.access(core, a_addr, 0, false, AccessIntent::NearData, None);
+        let b = m.access(core, b_addr, 40, false, AccessIntent::NearData, None);
+        let w = windows_by_location(&m, core, &a, &b, false);
+        // Same L2 bank: cache-controller window exists.
+        assert!(w[NdcLocation::CacheController.index()].is_some());
+        // Cold misses to the same MC: the MC window exists too.
+        assert!(w[NdcLocation::MemoryController.index()].is_some());
+    }
+
+    #[test]
+    fn breakeven_shrinks_with_distance() {
+        let mut m = machine();
+        let (a_addr, b_addr) = same_bank_addrs(&m.cfg);
+        // Core far from bank 0 (node 24) vs adjacent core (node 1).
+        let far = NodeId(24);
+        let a = m.access(far, a_addr, 0, false, AccessIntent::NearData, None);
+        let b = m.access(far, b_addr, 0, false, AccessIntent::NearData, None);
+        let conv_done = 500;
+        let be_far = breakeven_by_location(&m, far, &a, &b, conv_done)
+            [NdcLocation::CacheController.index()]
+        .unwrap();
+        let near = NodeId(1);
+        let be_near = breakeven_by_location(&m, near, &a, &b, conv_done)
+            [NdcLocation::CacheController.index()]
+        .unwrap();
+        // The far core pays more for the result return, so its
+        // breakeven is smaller.
+        assert!(be_far < be_near);
+    }
+}

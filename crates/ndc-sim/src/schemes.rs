@@ -1,0 +1,485 @@
+//! The execution schemes of Figure 4.
+//!
+//! * `Baseline` — conventional execution (the "original" programs);
+//! * `NdcAll` — offload every eligible computation, with a wait budget:
+//!   `Forever` is the paper's first bar ("waits until the second operand
+//!   arrives"), `PctOfCap(x)` is Wait(x%), `LastWindow` is the Last-Wait
+//!   per-PC predictor;
+//! * `Oracle` — two-pass best decision per computation, optionally
+//!   reuse-aware (the paper's oracle favors locality when an operand is
+//!   reused after the computation);
+//! * `Compiled` — obey the `PreCompute` instructions the compiler
+//!   inserted (Algorithms 1/2 outputs).
+
+use crate::instrument::WindowObservation;
+use ndc_types::{Cycle, InstKind, NdcLocation, Operand, Trace, TraceProgram};
+use std::collections::HashMap;
+
+/// How long the first-arriving operand may wait for the second.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WaitBudget {
+    /// Wait until the second operand arrives (bounded only by the
+    /// hardware time-out register).
+    Forever,
+    /// Wait at most a fixed number of cycles.
+    Fixed(Cycle),
+    /// Wait at most x% of the window cap (500 cycles, the
+    /// instrumentation's top bucket boundary): Wait(x%).
+    PctOfCap(u32),
+    /// Predict the window from this PC's previous dynamic instance and
+    /// wait that long (the "Last Wait" predictor).
+    LastWindow,
+    /// First-order Markov predictor over window buckets (§4.4 mentions
+    /// that "even a Markov Chain-based predictor generated similar
+    /// results"): predict the most likely next bucket given the last
+    /// observed bucket for this PC, and wait that bucket's upper bound.
+    Markov,
+}
+
+/// The full window cap the Wait(x%) budgets are measured against.
+pub const WINDOW_CAP: Cycle = 500;
+
+impl WaitBudget {
+    /// Resolve the budget to cycles, given the per-PC last-window
+    /// history (for `LastWindow`).
+    pub fn cycles(&self, last_window: Option<Cycle>) -> Option<Cycle> {
+        match self {
+            WaitBudget::Forever => None,
+            WaitBudget::Fixed(c) => Some(*c),
+            WaitBudget::PctOfCap(pct) => Some(WINDOW_CAP * *pct as Cycle / 100),
+            // No history: predict a small wait (first instance of a PC
+            // behaves conservatively).
+            WaitBudget::LastWindow => Some(last_window.unwrap_or(0)),
+            // The Markov budget is resolved by the engine (it needs the
+            // per-PC transition table); this fallback mirrors LastWindow.
+            WaitBudget::Markov => Some(last_window.unwrap_or(0)),
+        }
+    }
+}
+
+/// First-order Markov predictor over the paper's window buckets, keyed
+/// per PC: counts transitions `bucket -> bucket` and predicts the
+/// most-frequent successor of the last observed bucket.
+#[derive(Debug, Default)]
+pub struct MarkovPredictor {
+    /// Per-PC: (last bucket, transition counts).
+    state: HashMap<ndc_types::Pc, (usize, [[u32; ndc_types::NUM_BUCKETS]; ndc_types::NUM_BUCKETS])>,
+}
+
+impl MarkovPredictor {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Predicted wait budget (cycles) for the next instance of `pc`:
+    /// the upper bound of the most likely next bucket, or `None` if the
+    /// prediction is "never co-locates" (decline NDC).
+    pub fn predict(&self, pc: ndc_types::Pc) -> Option<Option<Cycle>> {
+        let (last, table) = self.state.get(&pc)?;
+        let row = &table[*last];
+        let total: u32 = row.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let best = row
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap();
+        if best == ndc_types::NUM_BUCKETS - 1 {
+            // Most likely outcome: the operands never meet.
+            Some(None)
+        } else {
+            Some(Some(ndc_types::stats::BUCKET_BOUNDS[best]))
+        }
+    }
+
+    /// Record an observed window (None = never co-located).
+    pub fn observe(&mut self, pc: ndc_types::Pc, window: Option<Cycle>) {
+        let bucket = ndc_types::bucket_index(window);
+        let entry = self.state.entry(pc).or_insert((bucket, Default::default()));
+        let (last, table) = entry;
+        table[*last][bucket] += 1;
+        *last = bucket;
+    }
+}
+
+/// An execution scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scheme {
+    Baseline,
+    NdcAll { budget: WaitBudget },
+    Oracle { reuse_aware: bool },
+    Compiled,
+}
+
+impl Scheme {
+    /// The label the paper's Figure 4 legend uses.
+    pub fn label(&self) -> String {
+        match self {
+            Scheme::Baseline => "Original".into(),
+            Scheme::NdcAll {
+                budget: WaitBudget::Forever,
+            } => "Default".into(),
+            Scheme::NdcAll {
+                budget: WaitBudget::PctOfCap(x),
+            } => format!("Wait ({x}%)"),
+            Scheme::NdcAll {
+                budget: WaitBudget::Fixed(c),
+            } => format!("Wait ({c} cyc)"),
+            Scheme::NdcAll {
+                budget: WaitBudget::LastWindow,
+            } => "Last Wait".into(),
+            Scheme::NdcAll {
+                budget: WaitBudget::Markov,
+            } => "Markov".into(),
+            Scheme::Oracle { reuse_aware: true } => "Oracle".into(),
+            Scheme::Oracle { reuse_aware: false } => "Oracle (no reuse)".into(),
+            Scheme::Compiled => "Compiled".into(),
+        }
+    }
+
+    pub fn offloads_everything(&self) -> bool {
+        matches!(self, Scheme::NdcAll { .. })
+    }
+}
+
+/// A per-computation decision for the oracle's second pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleDecision {
+    Conventional,
+    Ndc { loc: NdcLocation, reshape: bool },
+}
+
+/// Per-core decision streams, indexed by eligible-compute sequence
+/// number.
+#[derive(Debug, Clone, Default)]
+pub struct OracleGuide {
+    pub decisions: Vec<Vec<OracleDecision>>,
+}
+
+impl OracleGuide {
+    /// Build the oracle guide from a baseline run's observations and
+    /// the traces' reuse structure.
+    ///
+    /// For each computation: perform NDC at the best location, unless
+    /// `reuse_aware` and one of the operand lines is touched again soon
+    /// enough for L1 to serve it — in which case favor locality and
+    /// execute conventionally (§4.4). "Best" prefers the
+    /// breakeven-profitable location with the widest margin; because
+    /// the oracle also times its offloads perfectly (the wait is hidden
+    /// by early issue), any finite-window location is still a win, so
+    /// the fallback is the minimum-window co-location point.
+    pub fn build(
+        records: &[Vec<WindowObservation>],
+        prog: &TraceProgram,
+        line_bytes: u64,
+        reuse_aware: bool,
+    ) -> OracleGuide {
+        let mut decisions = Vec::with_capacity(records.len());
+        for (core, recs) in records.iter().enumerate() {
+            let reuse = match prog.traces.get(core) {
+                Some(t) if reuse_aware => compute_future_reuse(t, line_bytes),
+                _ => Vec::new(),
+            };
+            let mut core_dec = Vec::with_capacity(recs.len());
+            for (seq, obs) in recs.iter().enumerate() {
+                let mut d = OracleDecision::Conventional;
+                if !(reuse_aware && reuse.get(seq).copied().unwrap_or(false)) {
+                    if let Some((loc, _, reshape)) = obs.best_location() {
+                        d = OracleDecision::Ndc { loc, reshape };
+                    } else if let Some((loc, _, reshape)) = obs.min_window_location() {
+                        // Any co-location at all still wins under
+                        // perfect offload timing: take the tightest.
+                        d = OracleDecision::Ndc { loc, reshape };
+                    }
+                }
+                core_dec.push(d);
+            }
+            decisions.push(core_dec);
+        }
+        OracleGuide { decisions }
+    }
+
+    pub fn decision(&self, core: usize, seq: usize) -> OracleDecision {
+        self.decisions
+            .get(core)
+            .and_then(|v| v.get(seq))
+            .copied()
+            .unwrap_or(OracleDecision::Conventional)
+    }
+}
+
+/// Instruction window within which a future touch of an operand line
+/// counts as exploitable reuse for the oracle. An L1 of ~512 lines
+/// churns completely within roughly this many memory-touching
+/// instructions, so reuse beyond the window cannot be served by
+/// locality anyway — and an oracle, by definition, does not favor
+/// locality that cannot win. (The paper's description has no bound;
+/// with our timestep-replayed kernels an unbounded check degenerates
+/// to "everything is reused eventually". See DESIGN.md.)
+pub const ORACLE_REUSE_WINDOW: usize = 512;
+
+/// Reads closer than this many instructions belong to the *same*
+/// iteration as the computation — the paper's reuse condition requires
+/// a strictly later iteration (`I_e > I_m > I_c`, §5.3), so they do
+/// not count.
+pub const ORACLE_REUSE_MIN_GAP: usize = 3;
+
+/// For each eligible computation (in order) of a trace: is either
+/// operand's cache line touched again by a later instruction of the
+/// same trace within [`ORACLE_REUSE_WINDOW`] instructions?
+pub fn compute_future_reuse(trace: &Trace, line_bytes: u64) -> Vec<bool> {
+    compute_future_reuse_windowed(trace, line_bytes, ORACLE_REUSE_WINDOW)
+}
+
+/// Windowed variant; `window = usize::MAX` reproduces the unbounded
+/// check.
+pub fn compute_future_reuse_windowed(
+    trace: &Trace,
+    line_bytes: u64,
+    window: usize,
+) -> Vec<bool> {
+    // Per-line sorted positions of future READS — the paper's reuse is
+    // of operand *values* ("a reuse of one of the operands", Figure 12
+    // shows y re-read by y*z and t/y); a later store to the same line
+    // overwrites rather than reuses.
+    let mut touches: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, inst) in trace.insts.iter().enumerate() {
+        let reads: Vec<u64> = match inst.kind {
+            InstKind::Load { addr } => vec![addr],
+            InstKind::Compute { a, b, .. } => {
+                [a.addr(), b.addr()].into_iter().flatten().collect()
+            }
+            _ => vec![],
+        };
+        for addr in reads {
+            touches.entry(addr / line_bytes).or_default().push(i);
+        }
+    }
+    let next_touch_within = |line: u64, pos: usize| -> bool {
+        let Some(v) = touches.get(&line) else {
+            return false;
+        };
+        // Skip same-iteration reads (gap <= MIN_GAP).
+        let idx = v.partition_point(|&p| p <= pos + ORACLE_REUSE_MIN_GAP);
+        v.get(idx)
+            .is_some_and(|&p| p - pos <= window)
+    };
+    let mut flags = Vec::new();
+    for (i, inst) in trace.insts.iter().enumerate() {
+        if let InstKind::Compute {
+            a: Operand::Mem(a),
+            b: Operand::Mem(b),
+            ..
+        } = inst.kind
+        {
+            flags.push(
+                next_touch_within(a / line_bytes, i) || next_touch_within(b / line_bytes, i),
+            );
+        }
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndc_types::{Inst, NodeId, Op};
+
+    #[test]
+    fn budget_resolution() {
+        assert_eq!(WaitBudget::Forever.cycles(None), None);
+        assert_eq!(WaitBudget::Fixed(42).cycles(None), Some(42));
+        assert_eq!(WaitBudget::PctOfCap(5).cycles(None), Some(25));
+        assert_eq!(WaitBudget::PctOfCap(50).cycles(None), Some(250));
+        assert_eq!(WaitBudget::LastWindow.cycles(Some(17)), Some(17));
+        assert_eq!(WaitBudget::LastWindow.cycles(None), Some(0));
+    }
+
+    #[test]
+    fn labels_match_figure4_legend() {
+        assert_eq!(
+            Scheme::NdcAll {
+                budget: WaitBudget::Forever
+            }
+            .label(),
+            "Default"
+        );
+        assert_eq!(
+            Scheme::NdcAll {
+                budget: WaitBudget::PctOfCap(25)
+            }
+            .label(),
+            "Wait (25%)"
+        );
+        assert_eq!(
+            Scheme::NdcAll {
+                budget: WaitBudget::LastWindow
+            }
+            .label(),
+            "Last Wait"
+        );
+        assert_eq!(Scheme::Oracle { reuse_aware: true }.label(), "Oracle");
+    }
+
+    fn trace_with_reuse() -> Trace {
+        let mut t = Trace::new(NodeId(0));
+        // Compute on lines 0 and 1; line 1 is loaded again later —
+        // farther than the same-iteration gap, so it counts as reuse.
+        t.insts.push(Inst::compute(
+            0,
+            Op::Add,
+            Operand::Mem(0),
+            Operand::Mem(64),
+            None,
+        ));
+        t.insts.push(Inst::compute(
+            1,
+            Op::Add,
+            Operand::Mem(128),
+            Operand::Mem(192),
+            None,
+        ));
+        for pad in 0..ORACLE_REUSE_MIN_GAP as u32 {
+            t.insts.push(Inst::busy(10 + pad, 1));
+        }
+        t.insts.push(Inst::load(2, 64));
+        t
+    }
+
+    #[test]
+    fn markov_predictor_learns_transitions() {
+        let mut m = MarkovPredictor::new();
+        // No history: no prediction.
+        assert_eq!(m.predict(7), None);
+        // Alternating 5 / 15 windows: after seeing 5 (bucket "10"),
+        // the most likely successor is bucket "20" and vice versa.
+        for _ in 0..8 {
+            m.observe(7, Some(5));
+            m.observe(7, Some(15));
+        }
+        m.observe(7, Some(5));
+        // Last bucket is "10"; its most frequent successor is "20"
+        // (upper bound 20 cycles).
+        assert_eq!(m.predict(7), Some(Some(20)));
+        m.observe(7, Some(15));
+        assert_eq!(m.predict(7), Some(Some(10)));
+    }
+
+    #[test]
+    fn markov_predictor_declines_on_never_colocating_pcs() {
+        let mut m = MarkovPredictor::new();
+        for _ in 0..4 {
+            m.observe(3, None);
+        }
+        // The dominant successor of "500+" is "500+": decline NDC.
+        assert_eq!(m.predict(3), Some(None));
+    }
+
+    #[test]
+    fn markov_budget_label() {
+        assert_eq!(
+            Scheme::NdcAll {
+                budget: WaitBudget::Markov
+            }
+            .label(),
+            "Markov"
+        );
+    }
+
+    #[test]
+    fn same_iteration_reads_do_not_count_as_reuse() {
+        let mut t = Trace::new(NodeId(0));
+        t.insts.push(Inst::compute(
+            0,
+            Op::Add,
+            Operand::Mem(0),
+            Operand::Mem(64),
+            None,
+        ));
+        // A read of line 1 immediately after (same iteration).
+        t.insts.push(Inst::load(1, 64));
+        let flags = compute_future_reuse(&t, 64);
+        assert_eq!(flags, vec![false]);
+    }
+
+    #[test]
+    fn future_reuse_detection() {
+        let t = trace_with_reuse();
+        let flags = compute_future_reuse(&t, 64);
+        assert_eq!(flags, vec![true, false]);
+    }
+
+    #[test]
+    fn oracle_guide_respects_reuse() {
+        let obs = WindowObservation {
+            pc: 0,
+            windows: [Some(5), None, None, None],
+            windows_reshaped: [None; 4],
+            breakevens: [Some(50), None, None, None],
+            conv_done: 100,
+        };
+        let mut prog = TraceProgram::new("t");
+        prog.traces.push(trace_with_reuse());
+        let records = vec![vec![obs, obs]];
+        // Without reuse-awareness: both computations go NDC.
+        let g = OracleGuide::build(&records, &prog, 64, false);
+        assert_eq!(
+            g.decision(0, 0),
+            OracleDecision::Ndc {
+                loc: NdcLocation::LinkBuffer,
+                reshape: false
+            }
+        );
+        // With reuse-awareness: the first compute's operand (line 1) is
+        // reloaded later -> conventional; the second has no reuse -> NDC.
+        let g = OracleGuide::build(&records, &prog, 64, true);
+        assert_eq!(g.decision(0, 0), OracleDecision::Conventional);
+        assert_eq!(
+            g.decision(0, 1),
+            OracleDecision::Ndc {
+                loc: NdcLocation::LinkBuffer,
+                reshape: false
+            }
+        );
+        // Out-of-range lookups default to conventional.
+        assert_eq!(g.decision(5, 0), OracleDecision::Conventional);
+    }
+
+    #[test]
+    fn colocation_beats_breakeven_under_perfect_timing() {
+        // Window 100 > breakeven 5: not profitable by the wait-based
+        // criterion, but with the oracle's perfect offload timing any
+        // finite co-location still wins, so the decision is NDC at the
+        // tightest location.
+        let obs = WindowObservation {
+            pc: 0,
+            windows: [Some(100), None, None, None],
+            windows_reshaped: [None; 4],
+            breakevens: [Some(5), None, None, None],
+            conv_done: 100,
+        };
+        let mut prog = TraceProgram::new("t");
+        prog.traces.push(Trace::new(NodeId(0)));
+        let g = OracleGuide::build(&[vec![obs]], &prog, 64, false);
+        assert_eq!(
+            g.decision(0, 0),
+            OracleDecision::Ndc {
+                loc: NdcLocation::LinkBuffer,
+                reshape: false
+            }
+        );
+        // No co-location anywhere: conventional.
+        let none = WindowObservation {
+            pc: 0,
+            windows: [None; 4],
+            windows_reshaped: [None; 4],
+            breakevens: [None; 4],
+            conv_done: 100,
+        };
+        let g = OracleGuide::build(&[vec![none]], &prog, 64, false);
+        assert_eq!(g.decision(0, 0), OracleDecision::Conventional);
+    }
+}

@@ -1,0 +1,104 @@
+//! Mesh coordinates and node identifiers.
+
+use serde::{Deserialize, Serialize};
+
+/// A node's (column, row) position on the 2D mesh.
+///
+/// `x` grows to the east, `y` grows to the south. The paper's default
+/// machine is a 5×5 mesh (Table 1), so coordinates comfortably fit in a
+/// byte; we keep `u16` to allow the 6×6 and larger sensitivity sweeps
+/// (Figure 17) and synthetic stress tests.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct Coord {
+    pub x: u16,
+    pub y: u16,
+}
+
+impl Coord {
+    pub const fn new(x: u16, y: u16) -> Self {
+        Coord { x, y }
+    }
+
+    /// Manhattan distance between two coordinates — the minimal hop count
+    /// on a 2D mesh.
+    pub fn manhattan(self, other: Coord) -> u32 {
+        let dx = (self.x as i32 - other.x as i32).unsigned_abs();
+        let dy = (self.y as i32 - other.y as i32).unsigned_abs();
+        dx + dy
+    }
+}
+
+impl std::fmt::Display for Coord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+/// A dense node index: `id = y * width + x`, assigned row-major.
+///
+/// Used as the index into per-node state vectors (cores, L1s, L2 banks,
+/// routers) everywhere in the simulator.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Convert a node id back to mesh coordinates for a mesh of the given
+    /// width.
+    pub fn coord(self, width: u16) -> Coord {
+        Coord::new(self.0 % width, self.0 / width)
+    }
+
+    /// Build a node id from coordinates on a mesh of the given width.
+    pub fn from_coord(c: Coord, width: u16) -> Self {
+        NodeId(c.y * width + c.x)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coord_roundtrip_through_node_id() {
+        let width = 5;
+        for y in 0..5u16 {
+            for x in 0..width {
+                let c = Coord::new(x, y);
+                let id = NodeId::from_coord(c, width);
+                assert_eq!(id.coord(width), c);
+            }
+        }
+    }
+
+    #[test]
+    fn node_ids_are_row_major() {
+        assert_eq!(NodeId::from_coord(Coord::new(0, 0), 5), NodeId(0));
+        assert_eq!(NodeId::from_coord(Coord::new(4, 0), 5), NodeId(4));
+        assert_eq!(NodeId::from_coord(Coord::new(0, 1), 5), NodeId(5));
+        assert_eq!(NodeId::from_coord(Coord::new(4, 4), 5), NodeId(24));
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let a = Coord::new(0, 0);
+        let b = Coord::new(4, 4);
+        assert_eq!(a.manhattan(b), 8);
+        assert_eq!(b.manhattan(a), 8);
+        assert_eq!(a.manhattan(a), 0);
+        assert_eq!(Coord::new(2, 3).manhattan(Coord::new(3, 1)), 3);
+    }
+}

@@ -1,0 +1,257 @@
+//! Bucketed statistics used throughout the paper's evaluation.
+//!
+//! Figures 2 and 3 report arrival windows and breakeven points as
+//! distributions over the buckets `1, 10, 20, 50, 100, 500, 500+`
+//! (cycles); the `500+` bucket also absorbs the "never arrives" case
+//! (e.g., two operands whose NoC paths do not intersect). This module
+//! provides the bucketing, histogram, and CDF machinery.
+
+use crate::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Upper bounds of the finite buckets, in cycles.
+pub const BUCKET_BOUNDS: [Cycle; 6] = [1, 10, 20, 50, 100, 500];
+
+/// Human-readable bucket labels matching the paper's figure legends.
+pub const BUCKET_LABELS: [&str; 7] = ["1", "10", "20", "50", "100", "500", "500+"];
+
+/// Number of buckets (six finite plus `500+`).
+pub const NUM_BUCKETS: usize = 7;
+
+/// Map a window length to its bucket index. `None` (the second operand
+/// never arrives) lands in the `500+` bucket, as in the paper.
+pub fn bucket_index(window: Option<Cycle>) -> usize {
+    match window {
+        None => NUM_BUCKETS - 1,
+        Some(w) => BUCKET_BOUNDS
+            .iter()
+            .position(|&b| w <= b)
+            .unwrap_or(NUM_BUCKETS - 1),
+    }
+}
+
+/// A histogram over the paper's window buckets.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowHistogram {
+    counts: [u64; NUM_BUCKETS],
+}
+
+impl WindowHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation. `None` means the co-location never
+    /// happened.
+    pub fn record(&mut self, window: Option<Cycle>) {
+        self.counts[bucket_index(window)] += 1;
+    }
+
+    pub fn count(&self, bucket: usize) -> u64 {
+        self.counts[bucket]
+    }
+
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Merge another histogram into this one (used when averaging over
+    /// benchmarks, Figure 3).
+    pub fn merge(&mut self, other: &WindowHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Per-bucket fraction of observations, in percent.
+    pub fn percentages(&self) -> [f64; NUM_BUCKETS] {
+        let total = self.total();
+        let mut out = [0.0; NUM_BUCKETS];
+        if total == 0 {
+            return out;
+        }
+        for (o, &c) in out.iter_mut().zip(self.counts.iter()) {
+            *o = 100.0 * c as f64 / total as f64;
+        }
+        out
+    }
+
+    /// Cumulative distribution over the buckets, in percent.
+    pub fn cdf(&self) -> Cdf {
+        let pct = self.percentages();
+        let mut cum = [0.0; NUM_BUCKETS];
+        let mut acc = 0.0;
+        for (c, p) in cum.iter_mut().zip(pct.iter()) {
+            acc += p;
+            *c = acc;
+        }
+        Cdf { cumulative: cum }
+    }
+}
+
+/// A cumulative distribution over the window buckets, in percent.
+///
+/// Figure 2's plots are CDFs truncated at 50%; [`Cdf::truncated`]
+/// reproduces that presentation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    cumulative: [f64; NUM_BUCKETS],
+}
+
+impl Cdf {
+    pub fn at(&self, bucket: usize) -> f64 {
+        self.cumulative[bucket]
+    }
+
+    pub fn values(&self) -> &[f64; NUM_BUCKETS] {
+        &self.cumulative
+    }
+
+    /// The CDF with every value clamped to `cap` percent (Figure 2 plots
+    /// are truncated to 50%).
+    pub fn truncated(&self, cap: f64) -> [f64; NUM_BUCKETS] {
+        let mut out = self.cumulative;
+        for v in &mut out {
+            if *v > cap {
+                *v = cap;
+            }
+        }
+        out
+    }
+}
+
+/// Geometric mean of improvement percentages, the aggregation the paper
+/// uses for its headline numbers ("average execution time improvement of
+/// 29.3% (geometric mean)").
+///
+/// Improvements are expressed in percent; negative values (slowdowns)
+/// are handled by operating on speedup ratios `1 / (1 - imp/100)` and
+/// converting back.
+pub fn geomean_improvement(improvements_pct: &[f64]) -> f64 {
+    if improvements_pct.is_empty() {
+        return 0.0;
+    }
+    let mut log_sum = 0.0;
+    for &imp in improvements_pct {
+        // Clamp to avoid a nonsensical >=100% improvement producing a
+        // non-positive remaining-time ratio.
+        let remaining = (1.0 - imp / 100.0).max(1e-9);
+        log_sum += remaining.ln();
+    }
+    let mean_remaining = (log_sum / improvements_pct.len() as f64).exp();
+    (1.0 - mean_remaining) * 100.0
+}
+
+/// Arithmetic mean helper for per-benchmark tables.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_match_paper_legend() {
+        assert_eq!(bucket_index(Some(0)), 0);
+        assert_eq!(bucket_index(Some(1)), 0);
+        assert_eq!(bucket_index(Some(2)), 1);
+        assert_eq!(bucket_index(Some(10)), 1);
+        assert_eq!(bucket_index(Some(11)), 2);
+        assert_eq!(bucket_index(Some(20)), 2);
+        assert_eq!(bucket_index(Some(21)), 3);
+        assert_eq!(bucket_index(Some(50)), 3);
+        assert_eq!(bucket_index(Some(51)), 4);
+        assert_eq!(bucket_index(Some(100)), 4);
+        assert_eq!(bucket_index(Some(101)), 5);
+        assert_eq!(bucket_index(Some(500)), 5);
+        assert_eq!(bucket_index(Some(501)), 6);
+        assert_eq!(bucket_index(None), 6);
+    }
+
+    #[test]
+    fn histogram_percentages_and_cdf() {
+        let mut h = WindowHistogram::new();
+        for _ in 0..5 {
+            h.record(Some(1));
+        }
+        for _ in 0..3 {
+            h.record(Some(15));
+        }
+        for _ in 0..2 {
+            h.record(None);
+        }
+        assert_eq!(h.total(), 10);
+        let pct = h.percentages();
+        assert!((pct[0] - 50.0).abs() < 1e-12);
+        assert!((pct[2] - 30.0).abs() < 1e-12);
+        assert!((pct[6] - 20.0).abs() < 1e-12);
+        let cdf = h.cdf();
+        assert!((cdf.at(0) - 50.0).abs() < 1e-12);
+        assert!((cdf.at(2) - 80.0).abs() < 1e-12);
+        assert!((cdf.at(6) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_is_monotone_nondecreasing() {
+        let mut h = WindowHistogram::new();
+        for w in [0, 3, 14, 30, 77, 200, 900] {
+            h.record(Some(w));
+        }
+        let cdf = h.cdf();
+        for i in 1..NUM_BUCKETS {
+            assert!(cdf.at(i) >= cdf.at(i - 1));
+        }
+    }
+
+    #[test]
+    fn truncation_caps_at_fifty_percent() {
+        let mut h = WindowHistogram::new();
+        for _ in 0..9 {
+            h.record(Some(1));
+        }
+        h.record(Some(600));
+        let t = h.cdf().truncated(50.0);
+        assert_eq!(t[0], 50.0);
+        assert_eq!(t[6], 50.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = WindowHistogram::new();
+        a.record(Some(1));
+        let mut b = WindowHistogram::new();
+        b.record(Some(1));
+        b.record(None);
+        a.merge(&b);
+        assert_eq!(a.count(0), 2);
+        assert_eq!(a.count(6), 1);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn geomean_of_identical_values_is_that_value() {
+        let v = [20.0, 20.0, 20.0];
+        assert!((geomean_improvement(&v) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_handles_slowdowns() {
+        // One 50% improvement (ratio 0.5) and one 100% slowdown (ratio
+        // 2.0) cancel: geomean remaining = 1.0 -> 0% improvement.
+        let v = [50.0, -100.0];
+        assert!(geomean_improvement(&v).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(geomean_improvement(&[]), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(WindowHistogram::new().total(), 0);
+        assert_eq!(WindowHistogram::new().percentages(), [0.0; NUM_BUCKETS]);
+    }
+}

@@ -1,0 +1,342 @@
+//! The lowered instruction stream the simulator executes.
+//!
+//! Workloads are written in the compiler IR (`ndc-ir`); lowering turns
+//! each thread's iteration-space walk into a [`Trace`] of instructions
+//! with concrete physical addresses. The compiler's output differs from
+//! the baseline only in instruction order and in the presence of
+//! [`InstKind::PreCompute`] instructions — the paper's new ISA
+//! instruction that offloads an operation to a near-data compute unit.
+
+use crate::{Addr, NodeId, Op, Pc};
+use serde::{Deserialize, Serialize};
+
+/// Identifier linking a `PreCompute` to the later `Compute` that
+/// consumes its result (the paper's offload-table entry tag).
+pub type PrecomputeId = u32;
+
+/// An operand of a two-input computation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Operand {
+    /// A value read from memory at the given address. The access walks
+    /// the full L1 → NoC → L2 → NoC → MC → DRAM path as needed.
+    Mem(Addr),
+    /// An immediate / register value, available at issue with no memory
+    /// access. Offloaded instructions with register operands transfer
+    /// the value inside the NDC package (§2).
+    Imm(f64),
+}
+
+impl Operand {
+    pub fn addr(&self) -> Option<Addr> {
+        match self {
+            Operand::Mem(a) => Some(*a),
+            Operand::Imm(_) => None,
+        }
+    }
+}
+
+/// One dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Inst {
+    /// Static-instruction identity; stable across dynamic instances so
+    /// per-PC predictors and Figure 5's time series can key on it.
+    pub pc: Pc,
+    pub kind: InstKind,
+}
+
+/// Instruction kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum InstKind {
+    /// A plain load (data brought to the core; fills L1).
+    Load { addr: Addr },
+    /// A plain store (write-allocate into L1; invalidates remote
+    /// sharers).
+    Store { addr: Addr },
+    /// A two-operand arithmetic/logic computation performed at the core
+    /// under conventional execution, or consumed from a near-data
+    /// pre-computation when `precomputed` names a prior `PreCompute`
+    /// that the hardware managed to execute near data.
+    Compute {
+        op: Op,
+        a: Operand,
+        b: Operand,
+        /// Optional store of the result.
+        store_to: Option<Addr>,
+        /// Set by the compiler when a matching `PreCompute` was
+        /// inserted earlier in the stream.
+        precomputed: Option<PrecomputeId>,
+    },
+    /// The paper's new ISA instruction (§5.2.1): request that
+    /// `Mem[a] op Mem[b]` be performed in a near-data component. The
+    /// LD/ST unit records it in the offload table, probes the local L1
+    /// (if an operand is local the offload is skipped and the
+    /// computation runs at the core), and otherwise injects an NDC
+    /// compute package.
+    PreCompute {
+        id: PrecomputeId,
+        op: Op,
+        a: Addr,
+        b: Addr,
+        /// Optional store target for the result (performed at the NDC
+        /// location's side, with the result also fed back to the CPU via
+        /// the "CPU-feed" signal).
+        store_to: Option<Addr>,
+        /// Compiler-chosen issue stagger in cycles between the two
+        /// operand requests: positive delays `b`'s request, negative
+        /// delays `a`'s. This is how the code-motion of Figures 8/9
+        /// manifests at the ISA level — the moved access starts earlier
+        /// or later so both operands reach the target component "around
+        /// the same time".
+        stagger: i32,
+        /// When set, the operands' NoC messages use the compiler-selected
+        /// minimal routes maximizing common links (`Sx ∩ Sy`, §5.2.1)
+        /// instead of plain XY routes.
+        reshape_routes: bool,
+    },
+    /// Non-memory work: occupies the core's issue slots for the given
+    /// number of cycles. Lowering inserts these to model the
+    /// computation between memory references, and the compiler's
+    /// statement movement shifts accesses across them.
+    Busy { cycles: u32 },
+}
+
+impl Inst {
+    pub fn load(pc: Pc, addr: Addr) -> Self {
+        Inst {
+            pc,
+            kind: InstKind::Load { addr },
+        }
+    }
+
+    pub fn store(pc: Pc, addr: Addr) -> Self {
+        Inst {
+            pc,
+            kind: InstKind::Store { addr },
+        }
+    }
+
+    pub fn compute(pc: Pc, op: Op, a: Operand, b: Operand, store_to: Option<Addr>) -> Self {
+        Inst {
+            pc,
+            kind: InstKind::Compute {
+                op,
+                a,
+                b,
+                store_to,
+                precomputed: None,
+            },
+        }
+    }
+
+    pub fn busy(pc: Pc, cycles: u32) -> Self {
+        Inst {
+            pc,
+            kind: InstKind::Busy { cycles },
+        }
+    }
+
+    /// Memory addresses this instruction touches (0, 1, or 2).
+    pub fn touched_addrs(&self) -> impl Iterator<Item = Addr> + '_ {
+        let (a, b, c): (Option<Addr>, Option<Addr>, Option<Addr>) = match &self.kind {
+            InstKind::Load { addr } => (Some(*addr), None, None),
+            InstKind::Store { addr } => (Some(*addr), None, None),
+            InstKind::Compute { a, b, store_to, .. } => (a.addr(), b.addr(), *store_to),
+            InstKind::PreCompute { a, b, store_to, .. } => (Some(*a), Some(*b), *store_to),
+            InstKind::Busy { .. } => (None, None, None),
+        };
+        [a, b, c].into_iter().flatten()
+    }
+}
+
+/// The instruction stream of one hardware thread, pinned to one core.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// The core this thread runs on.
+    pub core: NodeId,
+    pub insts: Vec<Inst>,
+}
+
+impl Trace {
+    pub fn new(core: NodeId) -> Self {
+        Trace {
+            core,
+            insts: Vec::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Count of two-operand arithmetic/logic computations (the
+    /// denominator for the paper's "32% of arithmetic and logical
+    /// instructions executed as NDC" footnote).
+    pub fn compute_count(&self) -> u64 {
+        self.insts
+            .iter()
+            .filter(|i| matches!(i.kind, InstKind::Compute { .. }))
+            .count() as u64
+    }
+
+    /// Count of pre-compute (offload request) instructions.
+    pub fn precompute_count(&self) -> u64 {
+        self.insts
+            .iter()
+            .filter(|i| matches!(i.kind, InstKind::PreCompute { .. }))
+            .count() as u64
+    }
+}
+
+/// A whole multithreaded program, lowered: one trace per core.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceProgram {
+    pub name: String,
+    pub traces: Vec<Trace>,
+}
+
+impl TraceProgram {
+    pub fn new(name: impl Into<String>) -> Self {
+        TraceProgram {
+            name: name.into(),
+            traces: Vec::new(),
+        }
+    }
+
+    pub fn total_insts(&self) -> u64 {
+        self.traces.iter().map(|t| t.insts.len() as u64).sum()
+    }
+
+    pub fn total_computes(&self) -> u64 {
+        self.traces.iter().map(|t| t.compute_count()).sum()
+    }
+
+    pub fn total_precomputes(&self) -> u64 {
+        self.traces.iter().map(|t| t.precompute_count()).sum()
+    }
+
+    /// Sanity check used by tests and the harness: every
+    /// `Compute { precomputed: Some(id) }` must be preceded in the same
+    /// trace by a `PreCompute` with that id, and ids must be unique per
+    /// trace.
+    pub fn validate_precompute_links(&self) -> Result<(), String> {
+        for (ti, trace) in self.traces.iter().enumerate() {
+            let mut seen = std::collections::HashSet::new();
+            for (ii, inst) in trace.insts.iter().enumerate() {
+                match inst.kind {
+                    InstKind::PreCompute { id, .. } if !seen.insert(id) => {
+                        return Err(format!(
+                            "trace {ti}: duplicate precompute id {id} at inst {ii}"
+                        ));
+                    }
+                    InstKind::Compute {
+                        precomputed: Some(id),
+                        ..
+                    } if !seen.contains(&id) => {
+                        return Err(format!(
+                            "trace {ti}: compute at inst {ii} consumes precompute {id} \
+                             which does not precede it"
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_linked_trace(ok: bool) -> TraceProgram {
+        let mut t = Trace::new(NodeId(0));
+        if ok {
+            t.insts.push(Inst {
+                pc: 0,
+                kind: InstKind::PreCompute {
+                    id: 7,
+                    op: Op::Add,
+                    a: 0,
+                    b: 64,
+                    store_to: None,
+                    stagger: 0,
+                    reshape_routes: false,
+                },
+            });
+        }
+        t.insts.push(Inst {
+            pc: 1,
+            kind: InstKind::Compute {
+                op: Op::Add,
+                a: Operand::Mem(0),
+                b: Operand::Mem(64),
+                store_to: None,
+                precomputed: Some(7),
+            },
+        });
+        let mut p = TraceProgram::new("t");
+        p.traces.push(t);
+        p
+    }
+
+    #[test]
+    fn precompute_links_validate() {
+        assert!(mk_linked_trace(true).validate_precompute_links().is_ok());
+        assert!(mk_linked_trace(false).validate_precompute_links().is_err());
+    }
+
+    #[test]
+    fn duplicate_precompute_ids_rejected() {
+        let mut t = Trace::new(NodeId(0));
+        for _ in 0..2 {
+            t.insts.push(Inst {
+                pc: 0,
+                kind: InstKind::PreCompute {
+                    id: 1,
+                    op: Op::Add,
+                    a: 0,
+                    b: 64,
+                    store_to: None,
+                    stagger: 0,
+                    reshape_routes: false,
+                },
+            });
+        }
+        let mut p = TraceProgram::new("dup");
+        p.traces.push(t);
+        assert!(p.validate_precompute_links().is_err());
+    }
+
+    #[test]
+    fn touched_addrs_cover_all_operands() {
+        let i = Inst::compute(
+            0,
+            Op::Add,
+            Operand::Mem(100),
+            Operand::Mem(200),
+            Some(300),
+        );
+        let addrs: Vec<Addr> = i.touched_addrs().collect();
+        assert_eq!(addrs, vec![100, 200, 300]);
+
+        let i = Inst::compute(0, Op::Add, Operand::Imm(1.0), Operand::Mem(200), None);
+        let addrs: Vec<Addr> = i.touched_addrs().collect();
+        assert_eq!(addrs, vec![200]);
+
+        let i = Inst::busy(0, 5);
+        assert_eq!(i.touched_addrs().count(), 0);
+    }
+
+    #[test]
+    fn counts() {
+        let p = mk_linked_trace(true);
+        assert_eq!(p.total_insts(), 2);
+        assert_eq!(p.total_computes(), 1);
+        assert_eq!(p.total_precomputes(), 1);
+    }
+}

@@ -1,0 +1,528 @@
+//! SPECOMP-derived kernels (§3): one per paper benchmark, reproducing
+//! its dominant loop-nest / access-pattern class.
+//!
+//! The paper scales inputs until the caches are pressured; its Figure 16
+//! baseline L1 miss rates run 20–60%. We reproduce that regime with
+//! *line-stride* walks (affine coefficient 8 on 8-byte elements = one
+//! 64 B L1 line per iteration) for the memory-bound kernels, and keep
+//! fine strides + heavy reuse for the locality-bound ones — the split
+//! that gives Algorithm 2 its trade-off to exploit.
+
+use crate::Scale;
+use ndc_ir::matrix::IMat;
+use ndc_ir::program::{ArrayDecl, ArrayId, ArrayRef, LoopNest, Program, Ref, Stmt};
+use ndc_types::Op;
+
+fn ident(a: ArrayId, depth: usize, off: Vec<i64>) -> Ref {
+    Ref::Array(ArrayRef::identity(a, depth, off))
+}
+
+/// 1-D reference with element stride `s`: `A[s·i + off]`.
+fn strided(a: ArrayId, s: i64, off: i64) -> Ref {
+    Ref::Array(ArrayRef::affine(a, IMat::from_rows(&[&[s]]), vec![off]))
+}
+
+fn strided_dst(a: ArrayId, s: i64, off: i64) -> ArrayRef {
+    ArrayRef::affine(a, IMat::from_rows(&[&[s]]), vec![off])
+}
+
+/// 2-D reference walking lines along the inner dimension:
+/// `A[i + di][8·j + dj]`.
+fn strided2(a: ArrayId, di: i64, dj: i64) -> Ref {
+    Ref::Array(ArrayRef::affine(
+        a,
+        IMat::from_rows(&[&[1, 0], &[0, 8]]),
+        vec![di, dj],
+    ))
+}
+
+fn strided2_dst(a: ArrayId, di: i64, dj: i64) -> ArrayRef {
+    ArrayRef::affine(a, IMat::from_rows(&[&[1, 0], &[0, 8]]), vec![di, dj])
+}
+
+/// `md` — molecular dynamics pair forces: line-stride walks over the
+/// particle positions, pairing each particle with a far neighbor at an
+/// odd element offset (so home banks vary per iteration), then an
+/// integration statement that *reuses* the just-written force —
+/// the NDC/locality mix the two algorithms split on.
+pub fn md(scale: Scale) -> Program {
+    let n = scale.n(16384) as i64;
+    let mut p = Program::new("md");
+    let pos = p.add_array(ArrayDecl::new("pos", vec![(48 * n) as u64], 8));
+    let cell = p.add_array(ArrayDecl::new("cell", vec![(48 * n + 1100) as u64], 8));
+    let f = p.add_array(ArrayDecl::new("force", vec![n as u64], 8));
+    let v = p.add_array(ArrayDecl::new("vel", vec![n as u64], 8));
+    let pairs = Stmt::binary(
+        0,
+        ArrayRef::identity(f, 1, vec![0]),
+        Op::Add,
+        strided(pos, 48, 0),
+        strided(cell, 48, 1037),
+        4,
+    );
+    let integrate = Stmt::binary(
+        1,
+        ArrayRef::identity(v, 1, vec![0]),
+        Op::Add,
+        ident(v, 1, vec![0]),
+        ident(f, 1, vec![0]),
+        2,
+    );
+    // The Lennard-Jones table interpolation re-reads an entry fetched
+    // 32 iterations earlier — exploitable L1 reuse. Algorithm 1 still
+    // offloads it (the leading operand misses), sacrificing that reuse;
+    // Algorithm 2 bypasses (§5.3).
+    let tab = p.add_array(ArrayDecl::new("ljtab", vec![(48 * n + 8) as u64], 8));
+    let lj = p.add_array(ArrayDecl::new("lj", vec![n as u64], 8));
+    let interp = Stmt::binary(
+        2,
+        ArrayRef::identity(lj, 1, vec![0]),
+        Op::Mul,
+        strided(tab, 48, 0),
+        strided(tab, 48, -384),
+        2,
+    );
+    // Two further interpolation terms re-read the same table lines —
+    // offloading `interp` (as Algorithm 1 does) forfeits all of these
+    // hits, which is exactly the trade-off Algorithm 2's bypass wins.
+    let lj2 = p.add_array(ArrayDecl::new("lj2", vec![n as u64], 8));
+    let interp2 = Stmt::binary(
+        3,
+        ArrayRef::identity(lj2, 1, vec![0]),
+        Op::Add,
+        strided(tab, 48, -768),
+        strided(tab, 48, -1152),
+        2,
+    );
+    p.nests.push(LoopNest::new(
+        0,
+        vec![24],
+        vec![n],
+        vec![pairs, integrate, interp, interp2],
+    ));
+    p
+}
+
+/// `bwaves` — 3-D blast-wave CFD: a z-direction stencil whose inner
+/// dimension walks one L1 line per iteration; halo operands one line
+/// apart (same 256 B L2 line half the time).
+pub fn bwaves(scale: Scale) -> Program {
+    let n = match scale {
+        Scale::Paper => 32i64,
+        Scale::Test => 8,
+    };
+    let mut p = Program::new("bwaves");
+    let u = p.add_array(ArrayDecl::new(
+        "U",
+        vec![n as u64, n as u64, (8 * n + 24) as u64],
+        8,
+    ));
+    let vv = p.add_array(ArrayDecl::new(
+        "V",
+        vec![n as u64, n as u64, (8 * n + 24) as u64],
+        8,
+    ));
+    let w = p.add_array(ArrayDecl::new(
+        "W",
+        vec![n as u64, n as u64, (8 * n + 24) as u64],
+        8,
+    ));
+    let stride3 = |a: ArrayId, dk: i64| {
+        Ref::Array(ArrayRef::affine(
+            a,
+            IMat::from_rows(&[&[1, 0, 0], &[0, 1, 0], &[0, 0, 8]]),
+            vec![0, 0, dk],
+        ))
+    };
+    let dst = ArrayRef::affine(
+        u,
+        IMat::from_rows(&[&[1, 0, 0], &[0, 1, 0], &[0, 0, 8]]),
+        vec![0, 0, 0],
+    );
+    let s = Stmt::binary(0, dst, Op::Add, stride3(vv, 0), stride3(w, 8), 2);
+    p.nests
+        .push(LoopNest::new(0, vec![0, 0, 0], vec![n, n, n], vec![s]));
+    p
+}
+
+/// `nab` — nucleic-acid builder: a row-broadcast energy term
+/// (`Q[i][0]`, innermost-temporal, nearly always L1-resident) against a
+/// streaming distance matrix — locality-bound, so the compiler plans
+/// little here.
+pub fn nab(scale: Scale) -> Program {
+    let n = match scale {
+        Scale::Paper => 140i64,
+        Scale::Test => 36,
+    };
+    let mut p = Program::new("nab");
+    let q = p.add_array(ArrayDecl::new("Q", vec![n as u64, n as u64], 8));
+    let d = p.add_array(ArrayDecl::new("D", vec![n as u64, (8 * n + 8) as u64], 8));
+    let e = p.add_array(ArrayDecl::new("E", vec![n as u64, n as u64], 8));
+    let g = p.add_array(ArrayDecl::new("G", vec![n as u64, (8 * n + 8) as u64], 8));
+    let h = p.add_array(ArrayDecl::new("H", vec![n as u64, (8 * n + 8) as u64], 8));
+    let broadcast = ArrayRef::affine(q, IMat::from_rows(&[&[1, 0], &[0, 0]]), vec![0, 0]);
+    let s = Stmt::binary(
+        0,
+        ArrayRef::identity(e, 2, vec![0, 0]),
+        Op::Mul,
+        Ref::Array(broadcast),
+        strided2(d, 0, 0),
+        3,
+    );
+    // The pairwise nonbonded term streams two dedicated matrices — the
+    // NDC-friendly half of nab.
+    let pairwise = Stmt::binary(
+        1,
+        ArrayRef::identity(e, 2, vec![0, 0]),
+        Op::Add,
+        strided2(g, 0, 0),
+        strided2(h, 0, 0),
+        3,
+    );
+    p.nests
+        .push(LoopNest::new(0, vec![0, 0], vec![n, n], vec![s, pairwise]));
+    p
+}
+
+/// `bt` — NAS block-tridiagonal: fine-stride stencil whose intermediate
+/// (`TMP`) is re-read immediately — reuse that Algorithm 2's bypass
+/// trips over (the paper notes bt as one of the programs where
+/// Algorithm 2 slightly trails Algorithm 1).
+pub fn bt(scale: Scale) -> Program {
+    let n = match scale {
+        Scale::Paper => 160i64,
+        Scale::Test => 40,
+    };
+    let mut p = Program::new("bt");
+    let a = p.add_array(ArrayDecl::new("A", vec![n as u64, n as u64], 8));
+    let rhs = p.add_array(ArrayDecl::new("RHS", vec![n as u64, n as u64], 8));
+    let tmp = p.add_array(ArrayDecl::new("TMP", vec![n as u64, n as u64], 8));
+    let s0 = Stmt::binary(
+        0,
+        ArrayRef::identity(tmp, 2, vec![0, 0]),
+        Op::Add,
+        ident(a, 2, vec![0, -1]),
+        ident(a, 2, vec![0, 1]),
+        2,
+    );
+    let s1 = Stmt::binary(
+        1,
+        ArrayRef::identity(rhs, 2, vec![0, 0]),
+        Op::Add,
+        ident(tmp, 2, vec![0, 0]),
+        ident(a, 2, vec![0, 0]),
+        2,
+    );
+    p.nests
+        .push(LoopNest::new(0, vec![0, 1], vec![n, n - 1], vec![s0, s1]));
+    // The flux sweep combines a just-rewarmed flux array (touched by a
+    // warm-up pass immediately before, so L2-resident) with a cold
+    // state array streamed at 768 B per iteration (too large for L2 to
+    // retain between timesteps, so it always arrives from DRAM). FX is
+    // padded so the pair shares an L2 home bank at every iteration:
+    // the operands meet at the cache controller, but with a DRAM-sized
+    // arrival skew — the S1/S2 use-use distance of the paper's
+    // Figure 8 that blind waiting overshoots and the compiler's
+    // stagger closes.
+    let sweep = (n * n) / 8;
+    let mut fx_pages = (sweep as u64 * 96 * 8 + 768).div_ceil(4096);
+    while !(fx_pages * 4096).is_multiple_of(102_400) {
+        fx_pages += 1;
+    }
+    let fx = p.add_array(ArrayDecl::new("FX", vec![fx_pages * 512], 8));
+    let fy = p.add_array(ArrayDecl::new("FY", vec![sweep as u64 * 96 + 96], 8));
+    let acc = p.add_array(ArrayDecl::new("FACC", vec![sweep as u64], 8));
+    let warmup = Stmt::copy(
+        2,
+        ArrayRef::affine(fx, IMat::from_rows(&[&[96]]), vec![0]),
+        Ref::Const(1.0),
+        1,
+    );
+    p.nests
+        .push(LoopNest::new(1, vec![0], vec![sweep], vec![warmup]));
+    let flux = Stmt::binary(
+        3,
+        ArrayRef::identity(acc, 1, vec![0]),
+        Op::Add,
+        strided(fx, 96, 0),
+        strided(fy, 96, 0),
+        2,
+    );
+    p.nests
+        .push(LoopNest::new(2, vec![0], vec![sweep], vec![flux]));
+    p
+}
+
+/// `fma3d` — finite-element solids: stride-16 (two lines per
+/// iteration) gathers of element endpoints from two distinct state
+/// arrays; compute-heavy (`work` models the constitutive update).
+pub fn fma3d(scale: Scale) -> Program {
+    let n = scale.n(12288) as i64;
+    let mut p = Program::new("fma3d");
+    // A is padded so that, with the 25-page inter-array stagger, the
+    // A/B page offset is a multiple of 4 but of neither 16 pages nor
+    // 25 L2 lines: every stride-128 pair shares a memory controller
+    // without sharing a DRAM bank or an L2 home — fma3d is the
+    // MC-side workload.
+    let mut a_pages = ((128 * n) as u64 * 8).div_ceil(4096);
+    while !((a_pages + 25).is_multiple_of(4)
+        && !(a_pages + 25).is_multiple_of(16)
+        && !(a_pages + 25).is_multiple_of(25))
+    {
+        a_pages += 1;
+    }
+    let a = p.add_array(ArrayDecl::new("A", vec![a_pages * 512], 8));
+    let b = p.add_array(ArrayDecl::new("B", vec![(128 * n + 1024) as u64], 8));
+    let out = p.add_array(ArrayDecl::new("OUT", vec![n as u64], 8));
+    let s = Stmt::binary(
+        0,
+        ArrayRef::identity(out, 1, vec![0]),
+        Op::Mul,
+        strided(a, 128, 0),
+        strided(b, 128, 8),
+        6,
+    );
+    p.nests.push(LoopNest::new(0, vec![0], vec![n], vec![s]));
+    p
+}
+
+/// `swim` — shallow-water 2-D stencil: line-stride inner walks of two
+/// grids plus an accumulate with reuse; memory-bound (minimal `work`).
+pub fn swim(scale: Scale) -> Program {
+    // Row length 8*99+16 = 808 elements: the flattened offset between
+    // U[i][8j] and V[i-1][8j+8] is -(808) + 8 = -800 elements, exactly
+    // one NUCA bank wrap; padding U to a 12800-element multiple then
+    // makes the stencil pair share an L2 home bank at every iteration —
+    // swim is a cache-controller workload.
+    let (ni, nj) = match scale {
+        Scale::Paper => (160i64, 99i64),
+        Scale::Test => (26, 99),
+    };
+    let row = (8 * nj + 16) as u64;
+    let mut p = Program::new("swim");
+    let u = p.add_array(ArrayDecl::new("U", vec![ni as u64, row], 8));
+    // Explicit allocator padding: sized so that V's page-aligned base
+    // lands a whole number of bank wraps (102400 B) after U's.
+    let u_bytes = (ni as u64 * row * 8).div_ceil(4096) * 4096;
+    let pad_bytes = (102_400 - u_bytes % 102_400) % 102_400;
+    if pad_bytes >= 8 {
+        p.add_array(ArrayDecl::new("UPAD", vec![pad_bytes / 8], 8));
+    }
+    let v = p.add_array(ArrayDecl::new(
+        "V",
+        vec![ni as u64, row],
+        8,
+    ));
+    let z = p.add_array(ArrayDecl::new(
+        "Z",
+        vec![ni as u64, (8 * nj + 16) as u64],
+        8,
+    ));
+    let s0 = Stmt::binary(
+        0,
+        strided2_dst(z, 0, 0),
+        Op::Add,
+        strided2(u, 0, 0),
+        strided2(v, -1, 8),
+        1,
+    );
+    let s1 = Stmt::binary(
+        1,
+        strided2_dst(u, 0, 0),
+        Op::Add,
+        strided2(u, 0, 0),
+        strided2(z, 0, 0),
+        1,
+    );
+    p.nests
+        .push(LoopNest::new(0, vec![1, 0], vec![ni, nj], vec![s0, s1]));
+    p
+}
+
+/// `imagick` — image rotation: one operand walks the image row-major
+/// in line strides, the other column-major (transposed access matrix),
+/// scattering home banks and defeating constant-distance dependence
+/// analysis.
+pub fn imagick(scale: Scale) -> Program {
+    let n = match scale {
+        Scale::Paper => 144i64,
+        Scale::Test => 32,
+    };
+    let mut p = Program::new("imagick");
+    let img = p.add_array(ArrayDecl::new(
+        "IMG",
+        vec![(8 * n + 8) as u64, (8 * n + 8) as u64],
+        8,
+    ));
+    let out = p.add_array(ArrayDecl::new("OUT", vec![n as u64, n as u64], 8));
+    let row_major = ArrayRef::affine(img, IMat::from_rows(&[&[1, 0], &[0, 8]]), vec![0, 0]);
+    let col_major = ArrayRef::affine(img, IMat::from_rows(&[&[0, 8], &[1, 0]]), vec![0, 0]);
+    let s = Stmt::binary(
+        0,
+        ArrayRef::identity(out, 2, vec![0, 0]),
+        Op::Add,
+        Ref::Array(row_major),
+        Ref::Array(col_major),
+        2,
+    );
+    p.nests
+        .push(LoopNest::new(0, vec![0, 0], vec![n, n], vec![s]));
+    p
+}
+
+/// `mgrid` — multigrid restriction: stride-16 coarse-grid reads one
+/// 64 B line apart (same 256 B L2 line, so the pair always shares a
+/// home bank), then a fine-stride smoothing pass with reuse.
+pub fn mgrid(scale: Scale) -> Program {
+    let n = scale.n(14336) as i64;
+    let mut p = Program::new("mgrid");
+    let fine = p.add_array(ArrayDecl::new("FINE", vec![(96 * n + 24) as u64], 8));
+    let coarse = p.add_array(ArrayDecl::new("COARSE", vec![(n + 2) as u64], 8));
+    let restrict = Stmt::binary(
+        0,
+        ArrayRef::identity(coarse, 1, vec![0]),
+        Op::Add,
+        strided(fine, 96, 0),
+        strided(fine, 96, 8),
+        2,
+    );
+    let smooth = Stmt::binary(
+        1,
+        ArrayRef::identity(coarse, 1, vec![1]),
+        Op::Add,
+        ident(coarse, 1, vec![0]),
+        ident(coarse, 1, vec![1]),
+        1,
+    );
+    p.nests
+        .push(LoopNest::new(0, vec![0], vec![n], vec![restrict, smooth]));
+    p
+}
+
+/// `applu` — SSOR wavefront: the Figure 10 dependence `(1, −1)` on a
+/// line-stride grid, constraining both interchange and lookahead.
+pub fn applu(scale: Scale) -> Program {
+    let (ni, nj) = match scale {
+        Scale::Paper => (160i64, 112i64),
+        Scale::Test => (24, 16),
+    };
+    let mut p = Program::new("applu");
+    let x = p.add_array(ArrayDecl::new(
+        "X",
+        vec![ni as u64, (8 * nj + 16) as u64],
+        8,
+    ));
+    let r = p.add_array(ArrayDecl::new(
+        "R",
+        vec![ni as u64, (8 * nj + 16) as u64],
+        8,
+    ));
+    let s = Stmt::binary(
+        0,
+        strided2_dst(x, 0, 0),
+        Op::Add,
+        strided2(x, -1, 8),
+        strided2(r, 0, 0),
+        2,
+    );
+    p.nests
+        .push(LoopNest::new(0, vec![1, 0], vec![ni, nj - 1], vec![s]));
+    // The RHS assembly streams two distinct flux arrays — applu's
+    // NDC-friendly phase (the wavefront itself stays order-bound).
+    let fu = p.add_array(ArrayDecl::new(
+        "FU",
+        vec![ni as u64, (8 * nj + 16) as u64],
+        8,
+    ));
+    let fv = p.add_array(ArrayDecl::new(
+        "FV",
+        vec![ni as u64, (8 * nj + 16) as u64],
+        8,
+    ));
+    let rhs = Stmt::binary(
+        1,
+        strided2_dst(r, 0, 0),
+        Op::Add,
+        strided2(fu, 0, 0),
+        strided2(fv, 0, 0),
+        1,
+    );
+    p.nests
+        .push(LoopNest::new(1, vec![0, 0], vec![ni, nj], vec![rhs]));
+    p
+}
+
+/// `smith.wa` — Smith-Waterman dynamic programming: fine-grained
+/// recurrence on the score matrix with flow dependences (1,1) and
+/// (0,1); locality-bound and order-constrained, so NDC has little room.
+pub fn smith_wa(scale: Scale) -> Program {
+    let n = match scale {
+        Scale::Paper => 160i64,
+        Scale::Test => 40,
+    };
+    let mut p = Program::new("smith.wa");
+    let h = p.add_array(ArrayDecl::new("H", vec![n as u64, n as u64], 8));
+    let sub = p.add_array(ArrayDecl::new("SUB", vec![n as u64, n as u64], 8));
+    let diag = Stmt::binary(
+        0,
+        ArrayRef::identity(h, 2, vec![0, 0]),
+        Op::Add,
+        ident(h, 2, vec![-1, -1]),
+        ident(sub, 2, vec![0, 0]),
+        2,
+    );
+    let gap = Stmt::binary(
+        1,
+        ArrayRef::identity(h, 2, vec![0, 0]),
+        Op::Max,
+        ident(h, 2, vec![0, 0]),
+        ident(h, 2, vec![0, -1]),
+        1,
+    );
+    p.nests
+        .push(LoopNest::new(0, vec![1, 1], vec![n, n], vec![diag, gap]));
+    // Building the substitution matrix from the two sequence profiles
+    // is a line-stride stream over distinct arrays — smith.wa's
+    // NDC-friendly preprocessing phase.
+    let pa = p.add_array(ArrayDecl::new("PRA", vec![n as u64, (8 * n + 8) as u64], 8));
+    let pb = p.add_array(ArrayDecl::new("PRB", vec![n as u64, (8 * n + 8) as u64], 8));
+    let build = Stmt::binary(
+        2,
+        ArrayRef::identity(sub, 2, vec![0, 0]),
+        Op::Add,
+        strided2(pa, 0, 0),
+        strided2(pb, 0, 0),
+        1,
+    );
+    p.nests
+        .push(LoopNest::new(1, vec![0, 0], vec![n, n], vec![build]));
+    p
+}
+
+/// `kdtree` — k-d tree range search: line-stride key probes against a
+/// pivot exactly 400 L2 lines away (operands *always* share a home
+/// bank) with no downstream reuse — the richest NDC opportunity in the
+/// suite, matching the paper's best improvement (37%).
+pub fn kdtree(scale: Scale) -> Program {
+    let n = scale.n(16384) as i64;
+    let mut p = Program::new("kdtree");
+    // KEYS is padded to a multiple of 102400 bytes (= 25 L2 lines x 16
+    // pages), so PIVOTS' page-aligned base lands exactly a whole number
+    // of bank wraps later: KEYS[8i] and PIVOTS[8i] share a home bank at
+    // every single iteration.
+    let keys_elems = ((48 * n + 16) as u64).div_ceil(12800) * 12800;
+    let keys = p.add_array(ArrayDecl::new("KEYS", vec![keys_elems], 8));
+    let piv = p.add_array(ArrayDecl::new("PIVOTS", vec![keys_elems], 8));
+    let hits = p.add_array(ArrayDecl::new("HITS", vec![n as u64], 8));
+    let s = Stmt::binary(
+        0,
+        ArrayRef::identity(hits, 1, vec![0]),
+        Op::CmpLt,
+        strided(keys, 48, 0),
+        strided(piv, 48, 0),
+        2,
+    );
+    p.nests.push(LoopNest::new(0, vec![0], vec![n], vec![s]));
+    let _ = strided_dst;
+    p
+}

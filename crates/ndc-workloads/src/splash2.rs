@@ -1,0 +1,426 @@
+//! SPLASH-2-derived kernels (§3): one per paper benchmark, reproducing
+//! its dominant loop-nest / access-pattern class. See the crate docs
+//! and `specomp.rs` for the regime rationale (line-stride walks for the
+//! memory-bound kernels, fine strides + reuse for the locality-bound
+//! ones).
+
+use crate::Scale;
+use ndc_ir::matrix::IMat;
+use ndc_ir::program::{ArrayDecl, ArrayId, ArrayRef, LoopNest, Program, Ref, Stmt};
+use ndc_types::Op;
+
+fn ident(a: ArrayId, depth: usize, off: Vec<i64>) -> Ref {
+    Ref::Array(ArrayRef::identity(a, depth, off))
+}
+
+fn strided(a: ArrayId, s: i64, off: i64) -> Ref {
+    Ref::Array(ArrayRef::affine(a, IMat::from_rows(&[&[s]]), vec![off]))
+}
+
+fn strided2(a: ArrayId, di: i64, dj: i64) -> Ref {
+    Ref::Array(ArrayRef::affine(
+        a,
+        IMat::from_rows(&[&[1, 0], &[0, 8]]),
+        vec![di, dj],
+    ))
+}
+
+fn strided2_dst(a: ArrayId, di: i64, dj: i64) -> ArrayRef {
+    ArrayRef::affine(a, IMat::from_rows(&[&[1, 0], &[0, 8]]), vec![di, dj])
+}
+
+/// `barnes` — Barnes-Hut n-body: line-stride tree-walk gathers at two
+/// different odd offsets (cell vs. body interactions, banks varying per
+/// iteration), the first result reused by the second statement.
+pub fn barnes(scale: Scale) -> Program {
+    let n = scale.n(14336) as i64;
+    let mut p = Program::new("barnes");
+    let pos = p.add_array(ArrayDecl::new("POS", vec![(48 * n) as u64], 8));
+    let cells = p.add_array(ArrayDecl::new("CELLS", vec![(48 * n + 1200) as u64], 8));
+    let mass = p.add_array(ArrayDecl::new("MASS", vec![(48 * n) as u64], 8));
+    let acc = p.add_array(ArrayDecl::new("ACC", vec![n as u64], 8));
+    let phi = p.add_array(ArrayDecl::new("PHI", vec![n as u64], 8));
+    let s0 = Stmt::binary(
+        0,
+        ArrayRef::identity(acc, 1, vec![0]),
+        Op::Add,
+        strided(pos, 48, 0),
+        strided(cells, 48, 1111),
+        3,
+    );
+    let s1 = Stmt::binary(
+        1,
+        ArrayRef::identity(phi, 1, vec![0]),
+        Op::Add,
+        ident(acc, 1, vec![0]),
+        strided(mass, 48, 0),
+        3,
+    );
+    p.nests
+        .push(LoopNest::new(0, vec![0], vec![n], vec![s0, s1]));
+    p
+}
+
+/// `cholesky` — sparse Cholesky factorization: panel broadcasts
+/// (`L[i][0]`, `L[0][j]`) with pervasive temporal reuse. Reuse-heavy
+/// programs gain the least from NDC (the paper's worst case, 11.4%) —
+/// Algorithm 2 rightly bypasses most chains here.
+pub fn cholesky(scale: Scale) -> Program {
+    let n = match scale {
+        Scale::Paper => 150i64,
+        Scale::Test => 40,
+    };
+    let mut p = Program::new("cholesky");
+    let a = p.add_array(ArrayDecl::new("A", vec![n as u64, n as u64], 8));
+    let l = p.add_array(ArrayDecl::new("L", vec![n as u64, n as u64], 8));
+    let col = ArrayRef::affine(l, IMat::from_rows(&[&[1, 0], &[0, 0]]), vec![0, 0]);
+    let row = ArrayRef::affine(l, IMat::from_rows(&[&[0, 0], &[0, 1]]), vec![0, 0]);
+    let outer = Stmt::binary(
+        0,
+        ArrayRef::identity(a, 2, vec![0, 0]),
+        Op::Sub,
+        Ref::Array(col),
+        Ref::Array(row),
+        3,
+    );
+    let scalepass = Stmt::binary(
+        1,
+        ArrayRef::identity(a, 2, vec![0, 0]),
+        Op::Add,
+        ident(a, 2, vec![0, 0]),
+        ident(a, 2, vec![0, -1]),
+        1,
+    );
+    p.nests
+        .push(LoopNest::new(0, vec![0, 1], vec![n, n], vec![outer, scalepass]));
+    // The supernode assembly gathers two distinct frontal matrices —
+    // the small NDC-friendly fraction of cholesky.
+    let fa = p.add_array(ArrayDecl::new("FA", vec![n as u64, (8 * n + 8) as u64], 8));
+    let fb = p.add_array(ArrayDecl::new("FB", vec![n as u64, (8 * n + 8) as u64], 8));
+    let assemble = Stmt::binary(
+        2,
+        ArrayRef::identity(a, 2, vec![0, 0]),
+        Op::Add,
+        strided2(fa, 0, 0),
+        strided2(fb, 0, 0),
+        2,
+    );
+    p.nests
+        .push(LoopNest::new(1, vec![0, 0], vec![n / 2, n], vec![assemble]));
+    p
+}
+
+/// `fft` — radix-2 butterflies: one nest per stage, combining
+/// line-stride elements a power-of-two distance apart. Power-of-two
+/// line distances interact with the 25-bank NUCA interleave to scatter
+/// homes, pushing NDC toward the network and memory side.
+pub fn fft(scale: Scale) -> Program {
+    let n = scale.n(10240) as i64;
+    let mut p = Program::new("fft");
+    let re = p.add_array(ArrayDecl::new("RE", vec![(48 * n + 4096 + 8) as u64], 8));
+    let tw = p.add_array(ArrayDecl::new("TW", vec![(48 * n + 4096 + 8) as u64], 8));
+    let im = p.add_array(ArrayDecl::new("IM", vec![n as u64], 8));
+    for (stage, dist) in [64i64, 512, 4096].into_iter().enumerate() {
+        let s = Stmt::binary(
+            0,
+            ArrayRef::identity(im, 1, vec![0]),
+            Op::Add,
+            strided(re, 48, 0),
+            strided(tw, 48, dist),
+            2,
+        );
+        p.nests
+            .push(LoopNest::new(stage as u32, vec![0], vec![n], vec![s]));
+    }
+    p
+}
+
+/// `lu` — dense LU decomposition: rank-1 updates from row and column
+/// panels (both broadcast-shaped, heavily reused) — locality-bound.
+pub fn lu(scale: Scale) -> Program {
+    let n = match scale {
+        Scale::Paper => 150i64,
+        Scale::Test => 40,
+    };
+    let mut p = Program::new("lu");
+    let a = p.add_array(ArrayDecl::new("A", vec![n as u64, n as u64], 8));
+    let piv = p.add_array(ArrayDecl::new("PIV", vec![n as u64, n as u64], 8));
+    let colb = ArrayRef::affine(piv, IMat::from_rows(&[&[1, 0], &[0, 0]]), vec![0, 0]);
+    let rowb = ArrayRef::affine(piv, IMat::from_rows(&[&[0, 0], &[0, 1]]), vec![0, 0]);
+    let update = Stmt::binary(
+        0,
+        ArrayRef::identity(a, 2, vec![0, 0]),
+        Op::Sub,
+        Ref::Array(colb),
+        Ref::Array(rowb),
+        2,
+    );
+    let accumulate = Stmt::binary(
+        1,
+        ArrayRef::identity(a, 2, vec![0, 0]),
+        Op::Add,
+        ident(a, 2, vec![0, 0]),
+        ident(piv, 2, vec![0, 0]),
+        2,
+    );
+    p.nests
+        .push(LoopNest::new(0, vec![0, 0], vec![n, n], vec![update, accumulate]));
+    // Off-diagonal block updates stream two distinct panels.
+    let pa = p.add_array(ArrayDecl::new("PA", vec![n as u64, (8 * n + 8) as u64], 8));
+    let pb = p.add_array(ArrayDecl::new("PB", vec![n as u64, (8 * n + 8) as u64], 8));
+    let block = Stmt::binary(
+        2,
+        ArrayRef::identity(a, 2, vec![0, 0]),
+        Op::Sub,
+        strided2(pa, 0, 0),
+        strided2(pb, 0, 0),
+        2,
+    );
+    p.nests
+        .push(LoopNest::new(1, vec![0, 0], vec![n / 2, n], vec![block]));
+    p
+}
+
+/// `ocean` — red-black grid solver: line-stride five-point stencil
+/// over a large grid; the neighbour operands come from different rows,
+/// so per-instance arrival windows jitter with row-buffer and NoC
+/// state — the paper's Figure 5 unpredictability example.
+pub fn ocean(scale: Scale) -> Program {
+    let (ni, nj) = match scale {
+        Scale::Paper => (160i64, 112i64),
+        Scale::Test => (24, 16),
+    };
+    let mut p = Program::new("ocean");
+    let q = p.add_array(ArrayDecl::new(
+        "Q",
+        vec![ni as u64, (8 * nj + 16) as u64],
+        8,
+    ));
+    let w = p.add_array(ArrayDecl::new(
+        "W",
+        vec![ni as u64, (8 * nj + 16) as u64],
+        8,
+    ));
+    let s0 = Stmt::binary(
+        0,
+        strided2_dst(w, 0, 0),
+        Op::Add,
+        strided2(q, -1, 0),
+        strided2(q, 1, 0),
+        1,
+    );
+    let s1 = Stmt::binary(
+        1,
+        strided2_dst(w, 0, 0),
+        Op::Add,
+        strided2(w, 0, 0),
+        strided2(q, 0, 8),
+        2,
+    );
+    // The stream-function update combines two dedicated grids with no
+    // reuse — ocean's NDC-friendly phase.
+    let psi = p.add_array(ArrayDecl::new(
+        "PSI",
+        vec![ni as u64, (8 * nj + 16) as u64],
+        8,
+    ));
+    let gamma = p.add_array(ArrayDecl::new(
+        "GAM",
+        vec![ni as u64, (8 * nj + 16) as u64],
+        8,
+    ));
+    let delta = p.add_array(ArrayDecl::new(
+        "DEL",
+        vec![ni as u64, (8 * nj + 16) as u64],
+        8,
+    ));
+    let s2 = Stmt::binary(
+        2,
+        strided2_dst(psi, 0, 0),
+        Op::Add,
+        strided2(gamma, 0, 0),
+        strided2(delta, 0, 0),
+        1,
+    );
+    p.nests
+        .push(LoopNest::new(0, vec![1, 0], vec![ni - 1, nj - 1], vec![s0, s1, s2]));
+    p
+}
+
+/// `radiosity` — hierarchical radiosity: stride-24 element-to-element
+/// energy gathers whose "visible patch" sits 17 elements away — the
+/// pair straddles L2-line boundaries irregularly, making windows hard
+/// to predict (the other Figure 5 example).
+pub fn radiosity(scale: Scale) -> Program {
+    let n = scale.n(10240) as i64;
+    let mut p = Program::new("radiosity");
+    let e = p.add_array(ArrayDecl::new("E", vec![(72 * n + 96) as u64], 8));
+    let r = p.add_array(ArrayDecl::new("R", vec![n as u64], 8));
+    let s = Stmt::binary(
+        0,
+        ArrayRef::identity(r, 1, vec![0]),
+        Op::Add,
+        strided(e, 72, 0),
+        strided(e, 72, 17),
+        3,
+    );
+    p.nests.push(LoopNest::new(0, vec![0], vec![n], vec![s]));
+    p
+}
+
+/// `raytrace` — ray-object intersection: stride-9 (72 B) gathers of
+/// origin and direction from distinct arrays; every iteration touches
+/// fresh L1 lines in both, but the operands' homes rarely coincide —
+/// NDC happens on the network if anywhere.
+pub fn raytrace(scale: Scale) -> Program {
+    let n = scale.n(10240) as i64;
+    let mut p = Program::new("raytrace");
+    // ORG is padded to a multiple of 12800 elements (= 25 L2 lines x
+    // 16 pages) and DIR is probed one full bank wrap (800 elements)
+    // ahead: origin and direction components of a ray always share an
+    // L2 home bank — raytrace is a cache-controller workload.
+    let org_elems = ((63 * n + 16) as u64).div_ceil(12800) * 12800;
+    let o = p.add_array(ArrayDecl::new("ORG", vec![org_elems], 8));
+    let d = p.add_array(ArrayDecl::new("DIR", vec![(63 * n + 816) as u64], 8));
+    let t = p.add_array(ArrayDecl::new("T", vec![n as u64], 8));
+    let s = Stmt::binary(
+        0,
+        ArrayRef::identity(t, 1, vec![0]),
+        Op::Mul,
+        strided(o, 63, 0),
+        strided(d, 63, 800),
+        4,
+    );
+    p.nests.push(LoopNest::new(0, vec![0], vec![n], vec![s]));
+    p
+}
+
+/// `volrend` — volume rendering: a 3-D ray-cast combining voxels eight
+/// z-planes apart (line-stride inner walk), plus a fine-stride 2-D
+/// compositing pass with reuse.
+pub fn volrend(scale: Scale) -> Program {
+    let n = match scale {
+        Scale::Paper => 30i64,
+        Scale::Test => 8,
+    };
+    let mut p = Program::new("volrend");
+    let vol = p.add_array(ArrayDecl::new(
+        "VOL",
+        vec![n as u64, n as u64, (8 * n + 72) as u64],
+        8,
+    ));
+    let ray = p.add_array(ArrayDecl::new("RAY", vec![n as u64, n as u64, n as u64], 8));
+    let img = p.add_array(ArrayDecl::new("IMG", vec![n as u64, n as u64], 8));
+    let grad = p.add_array(ArrayDecl::new(
+        "GRAD",
+        vec![n as u64, n as u64, (8 * n + 72) as u64],
+        8,
+    ));
+    // Transfer-function lookups stream two huge tables at page stride;
+    // the tables are sized to a 64 KB multiple so both operands always
+    // live in the same DRAM bank (memory-side NDC).
+    // TF1 is padded so that, with the 25-page stagger, the tables sit
+    // a multiple of 16 pages (but not of 25 L2 lines) apart: every
+    // stride-128 pair shares a DRAM bank without sharing an L2 home —
+    // volrend's lookups are the in-memory workload.
+    let lookups = n * n * n; // one table lookup per cast ray sample
+    let want = lookups as u64 * 128 + 128; // elements the lookups span
+    let mut t1_pages = (want * 8).div_ceil(4096);
+    while !(t1_pages + 25).is_multiple_of(16) || (t1_pages + 25).is_multiple_of(25) {
+        t1_pages += 1;
+    }
+    let t1 = p.add_array(ArrayDecl::new("TF1", vec![t1_pages * 512], 8));
+    let t2 = p.add_array(ArrayDecl::new("TF2", vec![want + 512], 8));
+    let stride3 = |a: ArrayId, dk: i64| {
+        Ref::Array(ArrayRef::affine(
+            a,
+            IMat::from_rows(&[&[1, 0, 0], &[0, 1, 0], &[0, 0, 8]]),
+            vec![0, 0, dk],
+        ))
+    };
+    let cast = Stmt::binary(
+        0,
+        ArrayRef::identity(ray, 3, vec![0, 0, 0]),
+        Op::Add,
+        stride3(vol, 0),
+        stride3(grad, 64),
+        2,
+    );
+    p.nests
+        .push(LoopNest::new(0, vec![0, 0, 0], vec![n, n, n], vec![cast]));
+    let composite = Stmt::binary(
+        1,
+        ArrayRef::identity(img, 2, vec![0, 0]),
+        Op::Max,
+        ident(img, 2, vec![0, -1]),
+        ident(img, 2, vec![0, 0]),
+        1,
+    );
+    p.nests
+        .push(LoopNest::new(1, vec![0, 1], vec![n, n], vec![composite]));
+    let lut = p.add_array(ArrayDecl::new("LUT", vec![lookups as u64], 8));
+    let lookup = Stmt::binary(
+        2,
+        ArrayRef::identity(lut, 1, vec![0]),
+        Op::Add,
+        strided(t1, 128, 0),
+        strided(t2, 128, 64),
+        2,
+    );
+    p.nests
+        .push(LoopNest::new(2, vec![0], vec![lookups], vec![lookup]));
+    p
+}
+
+/// `water` — water molecule simulation: md-like line-stride pair
+/// interactions at a non-bank-aligned offset, followed by an
+/// integration with adjacent-element reuse.
+pub fn water(scale: Scale) -> Program {
+    let n = scale.n(14336) as i64;
+    let mut p = Program::new("water");
+    let pos = p.add_array(ArrayDecl::new("POS", vec![(48 * n) as u64], 8));
+    let aux = p.add_array(ArrayDecl::new("AUX", vec![(48 * n + 5200) as u64], 8));
+    let f = p.add_array(ArrayDecl::new("F", vec![n as u64], 8));
+    let s0 = Stmt::binary(
+        0,
+        ArrayRef::identity(f, 1, vec![0]),
+        Op::Add,
+        strided(pos, 48, 0),
+        strided(aux, 48, 5120),
+        3,
+    );
+    let s1 = Stmt::binary(
+        1,
+        ArrayRef::identity(f, 1, vec![0]),
+        Op::Add,
+        ident(f, 1, vec![0]),
+        ident(f, 1, vec![-1]),
+        2,
+    );
+    // The intra-molecule correction re-reads a bond entry from 8
+    // iterations back — exploitable reuse that splits the algorithms.
+    let bond = p.add_array(ArrayDecl::new("BOND", vec![(48 * n + 8) as u64], 8));
+    let corr = p.add_array(ArrayDecl::new("CORR", vec![n as u64], 8));
+    let s2 = Stmt::binary(
+        2,
+        ArrayRef::identity(corr, 1, vec![0]),
+        Op::Add,
+        strided(bond, 48, 0),
+        strided(bond, 48, -384),
+        2,
+    );
+    // Further bond terms re-read the same lines: offloading s2 forfeits
+    // their hits (the Algorithm 1 / Algorithm 2 split).
+    let corr2 = p.add_array(ArrayDecl::new("CORR2", vec![n as u64], 8));
+    let s3 = Stmt::binary(
+        3,
+        ArrayRef::identity(corr2, 1, vec![0]),
+        Op::Add,
+        strided(bond, 48, -768),
+        strided(bond, 48, -1152),
+        2,
+    );
+    p.nests
+        .push(LoopNest::new(0, vec![24], vec![n], vec![s0, s1, s2, s3]));
+    p
+}

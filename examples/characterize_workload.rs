@@ -1,0 +1,104 @@
+//! The §4 characterization study as a user tool: run a workload's
+//! original (uncompiled) version under instrumentation and report its
+//! NDC potential — arrival-window CDFs, breakeven points, and the
+//! per-instruction window series that defeats last-value predictors.
+//!
+//! ```sh
+//! cargo run --release --example characterize_workload [benchmark]
+//! ```
+
+use ndc::prelude::*;
+use ndc_ir::{lower, LowerOptions};
+use ndc_sim::engine::Engine;
+use ndc_types::BUCKET_LABELS;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "ocean".into());
+    let cfg = ArchConfig::paper_default();
+    let bench = by_name(&name).expect("unknown benchmark");
+    let program = bench.build(Scale::Test);
+    let traces = lower(
+        &program,
+        &LowerOptions {
+            cores: cfg.nodes(),
+            emit_busy: true,
+        },
+        None,
+    );
+
+    let out = Engine::new(cfg, &traces, Scheme::Baseline)
+        .with_instrumentation()
+        .run();
+    let ins = out.instrumentation.expect("instrumented run");
+    println!(
+        "{name}: {} two-operand computations observed, {} cycles total\n",
+        ins.observations(),
+        out.result.total_cycles
+    );
+
+    // Arrival-window CDFs per candidate location (Figure 2 style).
+    println!("arrival-window CDF (%) per location:");
+    print!("{:<20}", "location");
+    for l in BUCKET_LABELS {
+        print!(" {l:>6}");
+    }
+    println!();
+    for loc in ndc_types::ALL_NDC_LOCATIONS {
+        let cdf = ins.window_hist[loc.index()].cdf();
+        print!("{:<20}", loc.to_string());
+        for v in cdf.values() {
+            print!(" {v:>6.1}");
+        }
+        println!();
+    }
+
+    // Breakeven distribution (Figure 3 style).
+    println!("\nbreakeven-point distribution (%) per location:");
+    for loc in ndc_types::ALL_NDC_LOCATIONS {
+        let h = &ins.breakeven_hist[loc.index()];
+        if h.total() == 0 {
+            println!("{:<20} (no co-locations)", loc.to_string());
+            continue;
+        }
+        print!("{:<20}", loc.to_string());
+        for v in h.percentages() {
+            print!(" {v:>6.1}");
+        }
+        println!();
+    }
+
+    // How profitable would an oracle be?
+    let mut profitable = 0u64;
+    let mut colocated = 0u64;
+    let mut total = 0u64;
+    for recs in &ins.records {
+        for o in recs {
+            total += 1;
+            if o.windows.iter().any(|w| w.is_some()) {
+                colocated += 1;
+            }
+            if o.best_location().is_some() {
+                profitable += 1;
+            }
+        }
+    }
+    println!(
+        "\nNDC potential: {:.1}% of computations co-locate somewhere; {:.1}% beat the breakeven",
+        100.0 * colocated as f64 / total.max(1) as f64,
+        100.0 * profitable as f64 / total.max(1) as f64
+    );
+
+    // Figure 5 style per-instruction series.
+    if let Some(pc) = ins.busiest_pc() {
+        let series: Vec<String> = ins.pc_series[&pc]
+            .iter()
+            .take(30)
+            .map(|w| w.map_or("-".into(), |c| c.to_string()))
+            .collect();
+        println!(
+            "\n30 consecutive windows of the hottest instruction (pc {pc}):\n  {}",
+            series.join(" ")
+        );
+        println!("  (unpredictable series like this are why the paper's Last-Wait predictor fails)");
+    }
+}

@@ -1,0 +1,118 @@
+//! Bring your own kernel: write a loop nest directly in the IR, let
+//! the NDC compiler restructure it, prove the transformation preserved
+//! semantics, and measure the effect on the simulated manycore.
+//!
+//! The kernel is a two-phase "histogram correlation": phase 1 streams
+//! two feature vectors a full cache line apart per iteration (a rich
+//! NDC target), phase 2 smooths the result with a short-distance reuse
+//! (a chain Algorithm 2 protects).
+//!
+//! ```sh
+//! cargo run --release --example custom_kernel
+//! ```
+
+use ndc::prelude::*;
+use ndc_ir::matrix::IMat;
+use ndc_ir::program::{ArrayDecl, ArrayRef, LoopNest, Ref, Stmt};
+use ndc_ir::{lower, DataStore, Interpreter, LowerOptions};
+use ndc_sim::engine::simulate;
+
+fn build_kernel(n: i64) -> Program {
+    let mut p = Program::new("histogram-correlation");
+    // Feature vectors walked at one 64-byte line per iteration.
+    let fa = p.add_array(ArrayDecl::new("FA", vec![(8 * n + 8) as u64], 8));
+    let fb = p.add_array(ArrayDecl::new("FB", vec![(8 * n + 8) as u64], 8));
+    let corr = p.add_array(ArrayDecl::new("CORR", vec![n as u64], 8));
+    let smooth = p.add_array(ArrayDecl::new("SMOOTH", vec![n as u64], 8));
+
+    let line_stride = |arr, off: i64| {
+        Ref::Array(ArrayRef::affine(arr, IMat::from_rows(&[&[8]]), vec![off]))
+    };
+
+    // Phase 1: CORR[i] = FA[8i] * FB[8i] — both operands miss L1 every
+    // iteration; prime near-data material.
+    let correlate = Stmt::binary(
+        0,
+        ArrayRef::identity(corr, 1, vec![0]),
+        Op::Mul,
+        line_stride(fa, 0),
+        line_stride(fb, 0),
+        3,
+    );
+    p.nests
+        .push(LoopNest::new(0, vec![1], vec![n], vec![correlate]));
+
+    // Phase 2: SMOOTH[i] = CORR[i] + CORR[i-1] — the freshly computed
+    // correlations are re-read immediately; locality should win here.
+    let smooth_stmt = Stmt::binary(
+        1,
+        ArrayRef::identity(smooth, 1, vec![0]),
+        Op::Add,
+        Ref::Array(ArrayRef::identity(corr, 1, vec![0])),
+        Ref::Array(ArrayRef::identity(corr, 1, vec![-1])),
+        1,
+    );
+    p.nests
+        .push(LoopNest::new(1, vec![1], vec![n], vec![smooth_stmt]));
+
+    p.assign_layout(0x10_0000, 4096);
+    p
+}
+
+fn main() {
+    let cfg = ArchConfig::paper_default();
+    let cores = cfg.nodes();
+    let program = build_kernel(4096);
+    println!(
+        "custom kernel '{}': {} KB over {} arrays",
+        program.name,
+        program.footprint() / 1024,
+        program.arrays.len()
+    );
+
+    // Compile with both algorithms.
+    let (s1, r1) = compile_algorithm1(&program, &cfg, cores);
+    let (s2, r2) = compile_algorithm2(&program, &cfg, cores, Algorithm2Options::default());
+    println!(
+        "Algorithm 1 planned {}/{} chains; Algorithm 2 planned {} (bypassed {} for locality)",
+        r1.planned, r1.opportunities, r2.planned, r2.bypassed_reuse
+    );
+    for plan in &s2.precomputes {
+        println!(
+            "  plan: nest {:?} stmt {:?} -> {} (lookahead {}, stagger {}, reshape {})",
+            plan.nest, plan.stmt, plan.target, plan.lookahead, plan.stagger, plan.reshape_routes
+        );
+    }
+
+    // Semantics check: interpret original and scheduled versions and
+    // compare every array bit for bit.
+    for (label, sched) in [("Algorithm 1", &s1), ("Algorithm 2", &s2)] {
+        let mut original = DataStore::init(&program);
+        let mut transformed = DataStore::init(&program);
+        Interpreter::new(&program).run(&mut original);
+        Interpreter::new(&program).run_scheduled(&mut transformed, sched);
+        assert_eq!(original, transformed, "{label} changed program results!");
+        println!("{label}: semantics preserved (bit-identical arrays)");
+    }
+
+    // Measure.
+    let opts = LowerOptions {
+        cores,
+        emit_busy: true,
+    };
+    let traces = lower(&program, &opts, None);
+    let baseline = simulate(cfg, &traces, Scheme::Baseline).result;
+    let a1 = simulate(cfg, &lower(&program, &opts, Some(&s1)), Scheme::Compiled).result;
+    let a2 = simulate(cfg, &lower(&program, &opts, Some(&s2)), Scheme::Compiled).result;
+    println!(
+        "\nbaseline {} cycles | Algorithm 1 {:+.1}% | Algorithm 2 {:+.1}%",
+        baseline.total_cycles,
+        a1.improvement_over(&baseline),
+        a2.improvement_over(&baseline)
+    );
+    println!(
+        "NDC performed: {} (Algorithm 1) vs {} (Algorithm 2)",
+        a1.ndc_total(),
+        a2.ndc_total()
+    );
+}

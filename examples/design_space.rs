@@ -1,0 +1,84 @@
+//! Architecture design-space exploration: how do mesh size, time-out
+//! registers, and the NDC control register affect one workload?
+//!
+//! This is the "architecture description" input of the paper's Figure 7
+//! exercised as a user-facing knob: the same program is recompiled for
+//! every configuration (the compiler's viability gates, staggers, and
+//! route reshaping all depend on it).
+//!
+//! ```sh
+//! cargo run --release --example design_space [benchmark]
+//! ```
+
+use ndc::prelude::*;
+use ndc_ir::{lower, LowerOptions};
+use ndc_sim::engine::simulate;
+use ndc_types::ALL_NDC_LOCATIONS;
+
+fn run(cfg: ArchConfig, program: &ndc_ir::Program) -> (f64, f64) {
+    let cores = cfg.nodes();
+    let opts = LowerOptions {
+        cores,
+        emit_busy: true,
+    };
+    let traces = lower(program, &opts, None);
+    let base = simulate(cfg, &traces, Scheme::Baseline).result;
+    let (sched, _) = compile_algorithm2(program, &cfg, cores, Algorithm2Options::default());
+    let compiled = simulate(cfg, &lower(program, &opts, Some(&sched)), Scheme::Compiled).result;
+    (
+        compiled.improvement_over(&base),
+        100.0 * compiled.ndc_fraction(),
+    )
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "fft".into());
+    let bench = by_name(&name).expect("unknown benchmark");
+    let base_cfg = ArchConfig::paper_default();
+
+    println!("design-space exploration for '{name}' (Algorithm 2)\n");
+    println!("{:<40} {:>10} {:>8}", "configuration", "improve%", "ndc%");
+
+    // Mesh size sweep.
+    for (w, h) in [(4u16, 4u16), (5, 5), (6, 6)] {
+        let mut cfg = base_cfg;
+        cfg.noc.width = w;
+        cfg.noc.height = h;
+        let program = bench.build(Scale::Test);
+        let (imp, frac) = run(cfg, &program);
+        println!("{:<40} {imp:>10.1} {frac:>8.1}", format!("{w}x{h} mesh"));
+    }
+
+    // Time-out register sweep.
+    for tmo in [50u64, 200, 500, 2000] {
+        let mut cfg = base_cfg;
+        cfg.ndc.timeout = Some(tmo);
+        let program = bench.build(Scale::Test);
+        let (imp, frac) = run(cfg, &program);
+        println!(
+            "{:<40} {imp:>10.1} {frac:>8.1}",
+            format!("time-out register = {tmo} cycles")
+        );
+    }
+
+    // Control register: one component at a time (Figure 14 style).
+    for loc in ALL_NDC_LOCATIONS {
+        let mut cfg = base_cfg;
+        cfg.ndc.enabled_mask = NdcConfig::only(loc);
+        let program = bench.build(Scale::Test);
+        let (imp, frac) = run(cfg, &program);
+        println!("{:<40} {imp:>10.1} {frac:>8.1}", format!("only {loc}"));
+    }
+
+    // Offload-table depth.
+    for entries in [4usize, 16, 64] {
+        let mut cfg = base_cfg;
+        cfg.ndc.offload_table_entries = entries;
+        let program = bench.build(Scale::Test);
+        let (imp, frac) = run(cfg, &program);
+        println!(
+            "{:<40} {imp:>10.1} {frac:>8.1}",
+            format!("offload table = {entries} entries")
+        );
+    }
+}

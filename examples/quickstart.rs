@@ -1,0 +1,88 @@
+//! Quickstart: compile one benchmark with both NDC algorithms and
+//! compare against conventional execution.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [benchmark] [test|paper]
+//! ```
+
+use ndc::prelude::*;
+use ndc_ir::{lower, LowerOptions};
+use ndc_sim::engine::simulate;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("kdtree");
+    let scale = match args.get(2).map(String::as_str) {
+        Some("paper") => Scale::Paper,
+        _ => Scale::Test,
+    };
+
+    let cfg = ArchConfig::paper_default();
+    let bench = by_name(name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark '{name}'; available:");
+        for b in all_benchmarks() {
+            eprintln!("  {}", b.name);
+        }
+        std::process::exit(1);
+    });
+
+    // 1. Build the workload (a loop-nest IR program) and lower the
+    //    original version to per-core instruction traces.
+    let program = bench.build(scale);
+    println!(
+        "{name}: {} arrays ({} KB), {} nests, {} iterations",
+        program.arrays.len(),
+        program.footprint() / 1024,
+        program.nests.len(),
+        program.nests.iter().map(|n| n.points()).sum::<u64>()
+    );
+    let opts = LowerOptions {
+        cores: cfg.nodes(),
+        emit_busy: true,
+    };
+    let traces = lower(&program, &opts, None);
+    println!(
+        "lowered to {} instructions across {} cores",
+        traces.total_insts(),
+        traces.traces.len()
+    );
+
+    // 2. Conventional execution.
+    let baseline = simulate(cfg, &traces, Scheme::Baseline).result;
+    println!("\nbaseline: {} cycles", baseline.total_cycles);
+
+    // 3. Algorithm 1: restructure for NDC wherever the opportunity
+    //    arises.
+    let (s1, r1) = compile_algorithm1(&program, &cfg, cfg.nodes());
+    let a1 = simulate(cfg, &lower(&program, &opts, Some(&s1)), Scheme::Compiled).result;
+    println!(
+        "Algorithm 1: {} cycles ({:+.1}%), {} of {} chains offloaded, {} transforms",
+        a1.total_cycles,
+        a1.improvement_over(&baseline),
+        r1.planned,
+        r1.opportunities,
+        r1.transforms_applied
+    );
+
+    // 4. Algorithm 2: the reuse-aware variant.
+    let (s2, r2) = compile_algorithm2(&program, &cfg, cfg.nodes(), Algorithm2Options::default());
+    let a2 = simulate(cfg, &lower(&program, &opts, Some(&s2)), Scheme::Compiled).result;
+    println!(
+        "Algorithm 2: {} cycles ({:+.1}%), {} offloaded / {} bypassed for locality",
+        a2.total_cycles,
+        a2.improvement_over(&baseline),
+        r2.planned,
+        r2.bypassed_reuse
+    );
+
+    // 5. Where did the near-data computation actually happen?
+    let pct = a1.ndc_breakdown_pct();
+    println!("\nAlgorithm 1 NDC breakdown:");
+    for loc in ndc_types::ALL_NDC_LOCATIONS {
+        println!("  {:<18} {:>5.1}%", loc.to_string(), pct[loc.index()]);
+    }
+    println!(
+        "  ({:.1}% of all computations executed near data)",
+        100.0 * a1.ndc_fraction()
+    );
+}

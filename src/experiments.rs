@@ -1,0 +1,808 @@
+//! The evaluation harness: one function per table/figure of the paper.
+//!
+//! Every artifact of the paper's evaluation section maps to a function
+//! here (see DESIGN.md §3 for the index). The expensive per-benchmark
+//! work is shared through [`evaluate_benchmark`], which runs the
+//! instrumented baseline, every Figure 4 scheme, and both compiler
+//! algorithms once; figure-specific functions then aggregate. The
+//! 20-benchmark sweeps fan out with rayon (the harness layer is the
+//! only parallel code; each simulation is deterministic and
+//! single-threaded).
+
+use ndc_cme::{accuracy_against_sim, AccuracyReport, RefKey};
+use ndc_compiler::{
+    compile_algorithm1, compile_algorithm2, compile_coarse, Algorithm2Options, CompilerReport,
+};
+use ndc_ir::{lower, LowerOptions, Program};
+use ndc_sim::engine::{simulate, Engine};
+use ndc_sim::instrument::Instrumentation;
+use ndc_sim::schemes::{Scheme, WaitBudget};
+use ndc_sim::SimResult;
+use ndc_types::{
+    geomean_improvement, ArchConfig, Cycle, NdcConfig, NdcLocation, OpClass, Pc,
+    WindowHistogram, ALL_NDC_LOCATIONS,
+};
+use ndc_workloads::{all_benchmarks, Benchmark, Scale};
+use rayon::prelude::*;
+
+/// The Figure 4 scheme lineup, in the paper's bar order (Default,
+/// Oracle, Wait(5/10/25/50%), Last Wait, Algorithm-1, Algorithm-2 —
+/// Algorithms are run separately since they need compilation).
+pub fn figure4_schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::NdcAll {
+            budget: WaitBudget::Forever,
+        },
+        Scheme::Oracle { reuse_aware: true },
+        Scheme::NdcAll {
+            budget: WaitBudget::PctOfCap(5),
+        },
+        Scheme::NdcAll {
+            budget: WaitBudget::PctOfCap(10),
+        },
+        Scheme::NdcAll {
+            budget: WaitBudget::PctOfCap(25),
+        },
+        Scheme::NdcAll {
+            budget: WaitBudget::PctOfCap(50),
+        },
+        Scheme::NdcAll {
+            budget: WaitBudget::LastWindow,
+        },
+    ]
+}
+
+/// Everything one benchmark contributes to the evaluation.
+pub struct BenchmarkEvaluation {
+    pub name: String,
+    pub baseline: SimResult,
+    /// The characterization data from the instrumented baseline
+    /// (Figures 2, 3, 5).
+    pub instrumentation: Instrumentation,
+    /// Results of the Figure 4 measurement schemes, in
+    /// [`figure4_schemes`] order.
+    pub scheme_results: Vec<SimResult>,
+    /// Algorithm 1: compiled result + compiler report.
+    pub alg1: (SimResult, CompilerReport),
+    /// Algorithm 2: compiled result + compiler report.
+    pub alg2: (SimResult, CompilerReport),
+    /// CME estimation accuracy against the baseline run (Table 2).
+    pub cme_accuracy: AccuracyReport,
+}
+
+impl BenchmarkEvaluation {
+    /// Improvement (%) of a scheme result over the baseline.
+    pub fn improvement(&self, r: &SimResult) -> f64 {
+        r.improvement_over(&self.baseline)
+    }
+
+    /// The oracle run (Figure 4 bar 2, Figure 6 breakdown).
+    pub fn oracle(&self) -> &SimResult {
+        &self.scheme_results[1]
+    }
+}
+
+/// Map a [`RefKey`] to the PC the lowering assigned its accesses.
+fn pc_of_refkey(key: &RefKey) -> Pc {
+    ndc_ir::pc_of(key.nest_pos, key.stmt_pos, ndc_ir::ROLE_MAIN)
+}
+
+/// Run the full shared evaluation of one benchmark.
+pub fn evaluate_benchmark(bench: &Benchmark, cfg: ArchConfig, scale: Scale) -> BenchmarkEvaluation {
+    let prog = bench.build(scale);
+    let cores = cfg.nodes();
+    let opts = LowerOptions {
+        cores,
+        emit_busy: true,
+    };
+    let traces = lower(&prog, &opts, None);
+
+    // Instrumented baseline: execution time + characterization +
+    // per-reference cache counters.
+    let base_out = Engine::new(cfg, &traces, Scheme::Baseline)
+        .with_instrumentation()
+        .run();
+    let baseline = base_out.result;
+    let instrumentation = base_out.instrumentation.expect("instrumented run");
+
+    // Table 2: CME predictions vs the baseline's measured behaviour.
+    let cme = ndc_cme::analyze(&prog, &cfg, cores);
+    let l1_counters = baseline
+        .pc_l1
+        .iter()
+        .map(|(k, v)| (*k, (v.hits, v.misses)))
+        .collect();
+    let l2_counters = baseline
+        .pc_l2
+        .iter()
+        .map(|(k, v)| (*k, (v.hits, v.misses)))
+        .collect();
+    let cme_accuracy = accuracy_against_sim(&cme, &l1_counters, &l2_counters, pc_of_refkey);
+
+    // The measurement schemes.
+    let scheme_results = figure4_schemes()
+        .into_iter()
+        .map(|s| simulate(cfg, &traces, s).result)
+        .collect();
+
+    // The two compiler algorithms.
+    let (s1, r1) = compile_algorithm1(&prog, &cfg, cores);
+    let t1 = lower(&prog, &opts, Some(&s1));
+    let a1 = simulate(cfg, &t1, Scheme::Compiled).result;
+    let (s2, r2) = compile_algorithm2(&prog, &cfg, cores, Algorithm2Options::default());
+    let t2 = lower(&prog, &opts, Some(&s2));
+    let a2 = simulate(cfg, &t2, Scheme::Compiled).result;
+
+    BenchmarkEvaluation {
+        name: bench.name.to_string(),
+        baseline,
+        instrumentation,
+        scheme_results,
+        alg1: (a1, r1),
+        alg2: (a2, r2),
+        cme_accuracy,
+    }
+}
+
+/// Evaluate all 20 benchmarks (rayon fan-out).
+pub fn evaluate_all(cfg: ArchConfig, scale: Scale) -> Vec<BenchmarkEvaluation> {
+    all_benchmarks()
+        .par_iter()
+        .map(|b| evaluate_benchmark(b, cfg, scale))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figure 2: arrival-window CDFs per location.
+// ---------------------------------------------------------------------
+
+/// Per-benchmark, per-location window CDF values (truncated at 50% as
+/// in the paper's plots).
+pub fn figure2(evals: &[BenchmarkEvaluation]) -> Vec<(String, [[f64; 7]; 4])> {
+    evals
+        .iter()
+        .map(|e| {
+            let mut per_loc = [[0.0; 7]; 4];
+            for (i, slot) in per_loc.iter_mut().enumerate() {
+                *slot = e.instrumentation.window_hist[i].cdf().truncated(50.0);
+            }
+            (e.name.clone(), per_loc)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figure 3: breakeven vs arrival-window distributions, averaged over
+// all benchmarks.
+// ---------------------------------------------------------------------
+
+pub struct Figure3 {
+    pub windows: [WindowHistogram; 4],
+    pub breakevens: [WindowHistogram; 4],
+}
+
+pub fn figure3(evals: &[BenchmarkEvaluation]) -> Figure3 {
+    let mut out = Figure3 {
+        windows: Default::default(),
+        breakevens: Default::default(),
+    };
+    for e in evals {
+        for i in 0..4 {
+            out.windows[i].merge(&e.instrumentation.window_hist[i]);
+            out.breakevens[i].merge(&e.instrumentation.breakeven_hist[i]);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Figure 4: performance benefits of every scheme.
+// ---------------------------------------------------------------------
+
+/// One Figure 4 row: improvements (%) over the original program.
+pub struct Figure4Row {
+    pub name: String,
+    /// Default, Oracle, Wait(5/10/25/50), LastWait — in
+    /// [`figure4_schemes`] order.
+    pub schemes: Vec<f64>,
+    pub alg1: f64,
+    pub alg2: f64,
+}
+
+pub fn figure4(evals: &[BenchmarkEvaluation]) -> Vec<Figure4Row> {
+    evals
+        .iter()
+        .map(|e| Figure4Row {
+            name: e.name.clone(),
+            schemes: e
+                .scheme_results
+                .iter()
+                .map(|r| e.improvement(r))
+                .collect(),
+            alg1: e.improvement(&e.alg1.0),
+            alg2: e.improvement(&e.alg2.0),
+        })
+        .collect()
+}
+
+/// Geometric-mean summary of a Figure 4 column.
+pub fn figure4_geomean(rows: &[Figure4Row], col: impl Fn(&Figure4Row) -> f64) -> f64 {
+    let vals: Vec<f64> = rows.iter().map(col).collect();
+    geomean_improvement(&vals)
+}
+
+// ---------------------------------------------------------------------
+// Figure 5: consecutive arrival windows of one static instruction.
+// ---------------------------------------------------------------------
+
+/// The first `n` windows observed for the busiest PC of a benchmark
+/// (`None` = the operands never co-located for that instance).
+pub fn figure5(eval: &BenchmarkEvaluation, n: usize) -> Vec<Option<Cycle>> {
+    let Some(pc) = eval.instrumentation.busiest_pc() else {
+        return Vec::new();
+    };
+    eval.instrumentation.pc_series[&pc]
+        .iter()
+        .take(n)
+        .copied()
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figures 6 and 13: NDC location breakdowns.
+// ---------------------------------------------------------------------
+
+/// Per-benchmark per-location breakdown (%) of where NDC was performed.
+pub struct BreakdownRow {
+    pub name: String,
+    pub pct: [f64; 4],
+}
+
+/// Figure 6: the oracle's NDC location distribution.
+pub fn figure6(evals: &[BenchmarkEvaluation]) -> Vec<BreakdownRow> {
+    evals
+        .iter()
+        .map(|e| BreakdownRow {
+            name: e.name.clone(),
+            pct: e.oracle().ndc_breakdown_pct(),
+        })
+        .collect()
+}
+
+/// Figure 13: Algorithm 1's NDC location distribution (plus footnote
+/// 6's offloaded-instruction fraction, via `SimResult::ndc_fraction`).
+pub fn figure13(evals: &[BenchmarkEvaluation]) -> Vec<BreakdownRow> {
+    evals
+        .iter()
+        .map(|e| BreakdownRow {
+            name: e.name.clone(),
+            pct: e.alg1.0.ndc_breakdown_pct(),
+        })
+        .collect()
+}
+
+/// Average of a set of breakdown rows (the paper's "average" bar).
+pub fn breakdown_average(rows: &[BreakdownRow]) -> [f64; 4] {
+    let mut avg = [0.0; 4];
+    let n = rows.len().max(1) as f64;
+    for r in rows {
+        for (a, p) in avg.iter_mut().zip(r.pct.iter()) {
+            *a += p / n;
+        }
+    }
+    avg
+}
+
+// ---------------------------------------------------------------------
+// Figure 14: Algorithm 1 restricted to a single component.
+// ---------------------------------------------------------------------
+
+pub struct Figure14Row {
+    pub name: String,
+    /// Improvement when only this location (by index) is enabled.
+    pub isolated: [f64; 4],
+    /// Improvement with all four locations (the Algorithm 1 bar).
+    pub all: f64,
+}
+
+pub fn figure14(bench: &Benchmark, cfg: ArchConfig, scale: Scale) -> Figure14Row {
+    let prog = bench.build(scale);
+    let cores = cfg.nodes();
+    let opts = LowerOptions {
+        cores,
+        emit_busy: true,
+    };
+    let traces = lower(&prog, &opts, None);
+    let baseline = simulate(cfg, &traces, Scheme::Baseline).result;
+
+    let run_with_mask = |mask: u8| -> f64 {
+        let mut c = cfg;
+        c.ndc.enabled_mask = mask;
+        let (sched, _) = compile_algorithm1(&prog, &c, cores);
+        let t = lower(&prog, &opts, Some(&sched));
+        simulate(c, &t, Scheme::Compiled)
+            .result
+            .improvement_over(&baseline)
+    };
+
+    let mut isolated = [0.0; 4];
+    for loc in ALL_NDC_LOCATIONS {
+        isolated[loc.index()] = run_with_mask(NdcConfig::only(loc));
+    }
+    Figure14Row {
+        name: bench.name.to_string(),
+        isolated,
+        all: run_with_mask(NdcConfig::ALL_LOCATIONS),
+    }
+}
+
+pub fn figure14_all(cfg: ArchConfig, scale: Scale) -> Vec<Figure14Row> {
+    all_benchmarks()
+        .par_iter()
+        .map(|b| figure14(b, cfg, scale))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figure 15: fraction of NDC opportunities exercised by Algorithm 2.
+// ---------------------------------------------------------------------
+
+pub fn figure15(evals: &[BenchmarkEvaluation]) -> Vec<(String, f64)> {
+    evals
+        .iter()
+        .map(|e| (e.name.clone(), e.alg2.1.exercised_pct()))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figure 16: L1/L2 miss rates under Algorithms 1 and 2.
+// ---------------------------------------------------------------------
+
+pub struct Figure16Row {
+    pub name: String,
+    pub l1_alg1: f64,
+    pub l1_alg2: f64,
+    pub l2_alg1: f64,
+    pub l2_alg2: f64,
+}
+
+pub fn figure16(evals: &[BenchmarkEvaluation]) -> Vec<Figure16Row> {
+    evals
+        .iter()
+        .map(|e| Figure16Row {
+            name: e.name.clone(),
+            l1_alg1: 100.0 * e.alg1.0.l1.miss_rate(),
+            l1_alg2: 100.0 * e.alg2.0.l1.miss_rate(),
+            l2_alg1: 100.0 * e.alg1.0.l2.miss_rate(),
+            l2_alg2: 100.0 * e.alg2.0.l2.miss_rate(),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figure 17: sensitivity study.
+// ---------------------------------------------------------------------
+
+/// One sensitivity configuration.
+pub struct SensitivityConfig {
+    pub label: String,
+    pub cfg: ArchConfig,
+}
+
+/// The paper's sensitivity axes: default, 4×4 and 6×6 meshes, 256 KB
+/// and 1 MB L2 banks, and offloadable ops restricted to `{+,−}`.
+pub fn figure17_configs() -> Vec<SensitivityConfig> {
+    let base = ArchConfig::paper_default();
+    let mut configs = vec![SensitivityConfig {
+        label: "default (5x5, 512KB, all ops)".into(),
+        cfg: base,
+    }];
+    for (w, h) in [(4u16, 4u16), (6, 6)] {
+        let mut c = base;
+        c.noc.width = w;
+        c.noc.height = h;
+        configs.push(SensitivityConfig {
+            label: format!("{w}x{h} mesh"),
+            cfg: c,
+        });
+    }
+    for kb in [256u64, 1024] {
+        let mut c = base;
+        c.l2.size_bytes = kb * 1024;
+        configs.push(SensitivityConfig {
+            label: format!("{kb}KB L2 banks"),
+            cfg: c,
+        });
+    }
+    let mut c = base;
+    c.ndc.op_class = OpClass::AddSubOnly;
+    configs.push(SensitivityConfig {
+        label: "ops restricted to +/-".into(),
+        cfg: c,
+    });
+    configs
+}
+
+pub struct Figure17Row {
+    pub label: String,
+    /// Geometric means across all benchmarks.
+    pub alg1: f64,
+    pub alg2: f64,
+    pub oracle: f64,
+}
+
+/// Run the sensitivity sweep. Each configuration runs baseline, oracle,
+/// and both algorithms on every benchmark; rows are geometric means.
+pub fn figure17(scale: Scale) -> Vec<Figure17Row> {
+    figure17_configs()
+        .into_iter()
+        .map(|sc| {
+            let rows: Vec<(f64, f64, f64)> = all_benchmarks()
+                .par_iter()
+                .map(|b| {
+                    let prog = b.build(scale);
+                    let cfg = sc.cfg;
+                    let cores = cfg.nodes();
+                    let opts = LowerOptions {
+                        cores,
+                        emit_busy: true,
+                    };
+                    let traces = lower(&prog, &opts, None);
+                    let base = simulate(cfg, &traces, Scheme::Baseline).result;
+                    let oracle = simulate(cfg, &traces, Scheme::Oracle { reuse_aware: true })
+                        .result
+                        .improvement_over(&base);
+                    let (s1, _) = compile_algorithm1(&prog, &cfg, cores);
+                    let a1 = simulate(cfg, &lower(&prog, &opts, Some(&s1)), Scheme::Compiled)
+                        .result
+                        .improvement_over(&base);
+                    let (s2, _) =
+                        compile_algorithm2(&prog, &cfg, cores, Algorithm2Options::default());
+                    let a2 = simulate(cfg, &lower(&prog, &opts, Some(&s2)), Scheme::Compiled)
+                        .result
+                        .improvement_over(&base);
+                    (a1, a2, oracle)
+                })
+                .collect();
+            let a1: Vec<f64> = rows.iter().map(|r| r.0).collect();
+            let a2: Vec<f64> = rows.iter().map(|r| r.1).collect();
+            let oracle: Vec<f64> = rows.iter().map(|r| r.2).collect();
+            Figure17Row {
+                label: sc.label,
+                alg1: geomean_improvement(&a1),
+                alg2: geomean_improvement(&a2),
+                oracle: geomean_improvement(&oracle),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Table 2: CME estimation accuracy.
+// ---------------------------------------------------------------------
+
+pub fn table2(evals: &[BenchmarkEvaluation]) -> Vec<(String, AccuracyReport)> {
+    evals
+        .iter()
+        .map(|e| (e.name.clone(), e.cme_accuracy))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Ablations.
+// ---------------------------------------------------------------------
+
+/// §5.4: disabling route reshaping cuts router NDC by ~40%.
+pub struct RoutingAblationRow {
+    pub name: String,
+    pub router_ndc_with: u64,
+    pub router_ndc_without: u64,
+}
+
+pub fn ablation_routing(bench: &Benchmark, cfg: ArchConfig, scale: Scale) -> RoutingAblationRow {
+    let prog = bench.build(scale);
+    let cores = cfg.nodes();
+    let opts = LowerOptions {
+        cores,
+        emit_busy: true,
+    };
+    let (sched, _) = compile_algorithm1(&prog, &cfg, cores);
+    let with = simulate(cfg, &lower(&prog, &opts, Some(&sched)), Scheme::Compiled).result;
+
+    let mut stripped = sched.clone();
+    for p in &mut stripped.precomputes {
+        p.reshape_routes = false;
+    }
+    let without = simulate(cfg, &lower(&prog, &opts, Some(&stripped)), Scheme::Compiled).result;
+
+    RoutingAblationRow {
+        name: bench.name.to_string(),
+        router_ndc_with: with.ndc_performed_at(NdcLocation::LinkBuffer),
+        router_ndc_without: without.ndc_performed_at(NdcLocation::LinkBuffer),
+    }
+}
+
+/// §5.4: coarse-grain (whole-nest) mapping performs poorly.
+pub struct CoarseAblationRow {
+    pub name: String,
+    pub fine_alg1: f64,
+    pub fine_alg2: f64,
+    pub coarse_alg1: f64,
+    pub coarse_alg2: f64,
+}
+
+pub fn ablation_coarse(bench: &Benchmark, cfg: ArchConfig, scale: Scale) -> CoarseAblationRow {
+    let prog = bench.build(scale);
+    let cores = cfg.nodes();
+    let opts = LowerOptions {
+        cores,
+        emit_busy: true,
+    };
+    let traces = lower(&prog, &opts, None);
+    let base = simulate(cfg, &traces, Scheme::Baseline).result;
+    let run = |sched: &ndc_ir::Schedule| -> f64 {
+        simulate(cfg, &lower(&prog, &opts, Some(sched)), Scheme::Compiled)
+            .result
+            .improvement_over(&base)
+    };
+    let (s1, _) = compile_algorithm1(&prog, &cfg, cores);
+    let (s2, _) = compile_algorithm2(&prog, &cfg, cores, Algorithm2Options::default());
+    let (c1, _) = compile_coarse(&prog, &cfg, false);
+    let (c2, _) = compile_coarse(&prog, &cfg, true);
+    CoarseAblationRow {
+        name: bench.name.to_string(),
+        fine_alg1: run(&s1),
+        fine_alg2: run(&s2),
+        coarse_alg1: run(&c1),
+        coarse_alg2: run(&c2),
+    }
+}
+
+/// Extension: sweep Algorithm 2's reuse threshold `k` (the paper's
+/// future-work parameter, §5.3/§5.4) on one benchmark.
+pub struct KSweepRow {
+    pub k: u32,
+    pub improvement: f64,
+    pub exercised_pct: f64,
+}
+
+pub fn ablation_k(bench: &Benchmark, cfg: ArchConfig, scale: Scale, ks: &[u32]) -> Vec<KSweepRow> {
+    let prog = bench.build(scale);
+    let cores = cfg.nodes();
+    let opts = LowerOptions {
+        cores,
+        emit_busy: true,
+    };
+    let traces = lower(&prog, &opts, None);
+    let base = simulate(cfg, &traces, Scheme::Baseline).result;
+    ks.iter()
+        .map(|&k| {
+            let (sched, report) =
+                compile_algorithm2(&prog, &cfg, cores, Algorithm2Options { reuse_k: k });
+            let r = simulate(cfg, &lower(&prog, &opts, Some(&sched)), Scheme::Compiled).result;
+            KSweepRow {
+                k,
+                improvement: r.improvement_over(&base),
+                exercised_pct: report.exercised_pct(),
+            }
+        })
+        .collect()
+}
+
+/// Extension: the Markov-chain window predictor the paper mentions in
+/// §4.4 ("even a Markov Chain-based predictor generated similar
+/// results") — compared against Last-Wait and the oracle.
+pub struct MarkovRow {
+    pub name: String,
+    pub last_wait: f64,
+    pub markov: f64,
+    pub oracle: f64,
+}
+
+pub fn ablation_markov(bench: &Benchmark, cfg: ArchConfig, scale: Scale) -> MarkovRow {
+    let prog = bench.build(scale);
+    let opts = LowerOptions {
+        cores: cfg.nodes(),
+        emit_busy: true,
+    };
+    let traces = lower(&prog, &opts, None);
+    let base = simulate(cfg, &traces, Scheme::Baseline).result;
+    let run = |s: Scheme| simulate(cfg, &traces, s).result.improvement_over(&base);
+    MarkovRow {
+        name: bench.name.to_string(),
+        last_wait: run(Scheme::NdcAll {
+            budget: WaitBudget::LastWindow,
+        }),
+        markov: run(Scheme::NdcAll {
+            budget: WaitBudget::Markov,
+        }),
+        oracle: run(Scheme::Oracle { reuse_aware: true }),
+    }
+}
+
+/// Extension: the data-layout optimization of §5.2.1's fourth
+/// challenge, applied before Algorithm 2.
+pub struct LayoutRow {
+    pub name: String,
+    pub without: f64,
+    pub with_layout: f64,
+    pub chains_aligned: u64,
+}
+
+pub fn ablation_layout(bench: &Benchmark, cfg: ArchConfig, scale: Scale) -> LayoutRow {
+    let prog = bench.build(scale);
+    let cores = cfg.nodes();
+    let opts = LowerOptions {
+        cores,
+        emit_busy: true,
+    };
+    // Baseline timing uses the ORIGINAL layout; the layout pass is a
+    // whole-program change, so its variant gets its own baseline too.
+    let base = simulate(cfg, &lower(&prog, &opts, None), Scheme::Baseline).result;
+    let (s2, _) = compile_algorithm2(&prog, &cfg, cores, Algorithm2Options::default());
+    let without = simulate(cfg, &lower(&prog, &opts, Some(&s2)), Scheme::Compiled)
+        .result
+        .improvement_over(&base);
+
+    let (reprog, lreport) = ndc_compiler::optimize_layout(&prog, &cfg);
+    let rebase = simulate(cfg, &lower(&reprog, &opts, None), Scheme::Baseline).result;
+    let (s2l, _) = compile_algorithm2(&reprog, &cfg, cores, Algorithm2Options::default());
+    let with_layout = simulate(cfg, &lower(&reprog, &opts, Some(&s2l)), Scheme::Compiled)
+        .result
+        .improvement_over(&rebase);
+
+    LayoutRow {
+        name: bench.name.to_string(),
+        without,
+        with_layout,
+        chains_aligned: lreport.aligned,
+    }
+}
+
+/// Semantics-preservation oracle used by integration tests: the
+/// compiled schedule must compute bit-identical results.
+pub fn semantics_preserved(prog: &Program, sched: &ndc_ir::Schedule) -> bool {
+    use ndc_ir::{DataStore, Interpreter};
+    let mut a = DataStore::init(prog);
+    let mut b = DataStore::init(prog);
+    Interpreter::new(prog).run(&mut a);
+    Interpreter::new(prog).run_scheduled(&mut b, sched);
+    a == b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_eval() -> BenchmarkEvaluation {
+        let bench = ndc_workloads::by_name("kdtree").unwrap();
+        evaluate_benchmark(&bench, ArchConfig::paper_default(), Scale::Test)
+    }
+
+    #[test]
+    fn evaluation_produces_all_artifacts() {
+        let e = small_eval();
+        assert!(e.baseline.total_cycles > 0);
+        assert_eq!(e.scheme_results.len(), figure4_schemes().len());
+        assert!(e.instrumentation.observations() > 0);
+        assert!(e.cme_accuracy.l1_accesses > 0);
+        // kdtree's chains are always co-homed: Algorithm 1 plans them.
+        assert!(e.alg1.1.planned > 0);
+    }
+
+    #[test]
+    fn figure_builders_consume_evaluations() {
+        let evals = vec![small_eval()];
+        assert_eq!(figure2(&evals).len(), 1);
+        let f3 = figure3(&evals);
+        assert!(f3.windows[0].total() > 0);
+        let f4 = figure4(&evals);
+        assert_eq!(f4[0].schemes.len(), 7);
+        assert!(!figure5(&evals[0], 30).is_empty());
+        let f6 = figure6(&evals);
+        let avg = breakdown_average(&f6);
+        assert!(avg.iter().sum::<f64>() <= 100.0 + 1e-9);
+        assert_eq!(figure15(&evals).len(), 1);
+        assert_eq!(figure16(&evals).len(), 1);
+        assert_eq!(table2(&evals).len(), 1);
+    }
+
+    #[test]
+    fn figure17_configs_cover_the_paper_axes() {
+        let configs = figure17_configs();
+        assert_eq!(configs.len(), 6);
+        assert!(configs.iter().any(|c| c.cfg.noc.width == 4));
+        assert!(configs.iter().any(|c| c.cfg.noc.width == 6));
+        assert!(configs
+            .iter()
+            .any(|c| c.cfg.l2.size_bytes == 256 * 1024));
+        assert!(configs
+            .iter()
+            .any(|c| c.cfg.ndc.op_class == OpClass::AddSubOnly));
+    }
+
+    #[test]
+    fn k_sweep_is_monotone_in_exercised_fraction() {
+        let bench = ndc_workloads::by_name("md").unwrap();
+        let rows = ablation_k(
+            &bench,
+            ArchConfig::paper_default(),
+            Scale::Test,
+            &[0, 2, 8],
+        );
+        for w in rows.windows(2) {
+            assert!(
+                w[1].exercised_pct >= w[0].exercised_pct - 1e-9,
+                "higher k must exercise at least as many opportunities"
+            );
+        }
+    }
+
+    #[test]
+    fn markov_scheme_runs() {
+        let bench = ndc_workloads::by_name("radiosity").unwrap();
+        let row = ablation_markov(&bench, ArchConfig::paper_default(), Scale::Test);
+        assert!(row.markov.is_finite());
+        assert!(row.oracle.is_finite());
+    }
+
+    #[test]
+    fn layout_pass_never_corrupts_the_program() {
+        let cfg = ArchConfig::paper_default();
+        for name in ["raytrace", "fft", "swim"] {
+            let bench = ndc_workloads::by_name(name).unwrap();
+            let prog = bench.build(Scale::Test);
+            let (reprog, _) = ndc_compiler::optimize_layout(&prog, &cfg);
+            // Arrays stay disjoint...
+            let mut ranges: Vec<(u64, u64)> = reprog
+                .arrays
+                .iter()
+                .map(|a| (a.base, a.base + a.size_bytes()))
+                .collect();
+            ranges.sort_unstable();
+            for w in ranges.windows(2) {
+                assert!(w[0].1 <= w[1].0, "{name}: overlap after layout");
+            }
+            // ...and the program still simulates.
+            let opts = LowerOptions {
+                cores: cfg.nodes(),
+                emit_busy: true,
+            };
+            let r = simulate(cfg, &lower(&reprog, &opts, None), Scheme::Baseline).result;
+            assert!(r.total_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn routing_ablation_reduces_router_ndc() {
+        // swim's chains rely on reshaped overlap.
+        let bench = ndc_workloads::by_name("swim").unwrap();
+        let row = ablation_routing(&bench, ArchConfig::paper_default(), Scale::Test);
+        assert!(
+            row.router_ndc_without <= row.router_ndc_with,
+            "reshaping can only add router meetings: {} vs {}",
+            row.router_ndc_without,
+            row.router_ndc_with
+        );
+    }
+
+    #[test]
+    fn compiled_schedules_preserve_semantics() {
+        let cfg = ArchConfig::paper_default();
+        for name in ["kdtree", "swim", "applu"] {
+            let bench = ndc_workloads::by_name(name).unwrap();
+            let prog = bench.build(Scale::Test);
+            let (s1, _) = compile_algorithm1(&prog, &cfg, cfg.nodes());
+            assert!(
+                semantics_preserved(&prog, &s1),
+                "{name}: Algorithm 1 broke semantics"
+            );
+            let (s2, _) =
+                compile_algorithm2(&prog, &cfg, cfg.nodes(), Algorithm2Options::default());
+            assert!(
+                semantics_preserved(&prog, &s2),
+                "{name}: Algorithm 2 broke semantics"
+            );
+        }
+    }
+}
