@@ -1,41 +1,35 @@
 //! Compiler-pass cost: Algorithms 1 and 2 end to end, plus dependence
 //! analysis and lowering, per workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::Harness;
 use ndc::prelude::*;
 use ndc_ir::{lower, DependenceGraph, LowerOptions};
 
-fn bench_passes(c: &mut Criterion) {
+fn main() {
     let cfg = ArchConfig::paper_default();
     let prog = by_name("swim").unwrap().build(Scale::Test);
+    let mut h = Harness::new("compiler_passes");
 
-    c.bench_function("dependence_analysis_swim", |b| {
-        b.iter(|| {
-            for nest in &prog.nests {
-                std::hint::black_box(DependenceGraph::analyze(nest));
-            }
-        })
+    h.bench("dependence_analysis_swim", || {
+        for nest in &prog.nests {
+            std::hint::black_box(DependenceGraph::analyze(nest));
+        }
     });
-    c.bench_function("algorithm1_swim", |b| {
-        b.iter(|| std::hint::black_box(compile_algorithm1(&prog, &cfg, cfg.nodes()).1.planned))
+    h.bench("algorithm1_swim", || {
+        compile_algorithm1(&prog, &cfg, cfg.nodes()).1.planned
     });
-    c.bench_function("algorithm2_swim", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                compile_algorithm2(&prog, &cfg, cfg.nodes(), Algorithm2Options::default())
-                    .1
-                    .planned,
-            )
-        })
+    h.bench("algorithm2_swim", || {
+        compile_algorithm2(&prog, &cfg, cfg.nodes(), Algorithm2Options::default())
+            .1
+            .planned
     });
-    c.bench_function("lowering_swim", |b| {
+    {
         let opts = LowerOptions {
             cores: cfg.nodes(),
             emit_busy: true,
         };
-        b.iter(|| std::hint::black_box(lower(&prog, &opts, None).total_insts()))
-    });
-}
+        h.bench("lowering_swim", || lower(&prog, &opts, None).total_insts());
+    }
 
-criterion_group!(benches, bench_passes);
-criterion_main!(benches);
+    h.finish();
+}

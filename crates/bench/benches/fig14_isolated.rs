@@ -1,20 +1,16 @@
 //! Figure 14 machinery: compiled runs under one-hot control-register
 //! masks (per-component isolation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::Harness;
 use ndc::experiments;
 use ndc::prelude::*;
 
-fn bench_isolated(c: &mut Criterion) {
+fn main() {
     let cfg = ArchConfig::paper_default();
     let bench = by_name("kdtree").unwrap();
-    let mut group = c.benchmark_group("fig14_isolated");
-    group.sample_size(10);
-    group.bench_function("kdtree_five_masks", |b| {
-        b.iter(|| std::hint::black_box(experiments::figure14(&bench, cfg, Scale::Test).all))
+    let mut h = Harness::new("fig14_isolated");
+    h.bench("kdtree_five_masks", || {
+        experiments::figure14(&bench, cfg, Scale::Test).all
     });
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_isolated);
-criterion_main!(benches);

@@ -1,12 +1,12 @@
 //! Figure 17 machinery: a single sensitivity point (6x6 mesh) end to
 //! end on one workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::Harness;
 use ndc::prelude::*;
 use ndc_ir::{lower, LowerOptions};
 use ndc_sim::engine::simulate;
 
-fn bench_sensitivity_point(c: &mut Criterion) {
+fn main() {
     let mut cfg = ArchConfig::paper_default();
     cfg.noc.width = 6;
     cfg.noc.height = 6;
@@ -15,19 +15,13 @@ fn bench_sensitivity_point(c: &mut Criterion) {
         cores: cfg.nodes(),
         emit_busy: true,
     };
-    let mut group = c.benchmark_group("fig17_sensitivity");
-    group.sample_size(10);
-    group.bench_function("fft_6x6_alg1", |b| {
-        b.iter(|| {
-            let traces = lower(&prog, &opts, None);
-            let base = simulate(cfg, &traces, Scheme::Baseline).result;
-            let (s1, _) = compile_algorithm1(&prog, &cfg, cfg.nodes());
-            let a1 = simulate(cfg, &lower(&prog, &opts, Some(&s1)), Scheme::Compiled).result;
-            std::hint::black_box(a1.improvement_over(&base))
-        })
+    let mut h = Harness::new("fig17_sensitivity");
+    h.bench("fft_6x6_alg1", || {
+        let traces = lower(&prog, &opts, None);
+        let base = simulate(cfg, &traces, Scheme::Baseline).result;
+        let (s1, _) = compile_algorithm1(&prog, &cfg, cfg.nodes());
+        let a1 = simulate(cfg, &lower(&prog, &opts, Some(&s1)), Scheme::Compiled).result;
+        a1.improvement_over(&base)
     });
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_sensitivity_point);
-criterion_main!(benches);

@@ -2,15 +2,14 @@
 //! arrival-window CDFs. Benchmarks the characterization cost per
 //! workload (the data itself is printed by `ndc-eval fig2`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::Harness;
 use ndc::prelude::*;
 use ndc_ir::{lower, LowerOptions};
 use ndc_sim::engine::Engine;
 
-fn bench_characterization(c: &mut Criterion) {
+fn main() {
     let cfg = ArchConfig::paper_default();
-    let mut group = c.benchmark_group("fig2_arrival_windows");
-    group.sample_size(10);
+    let mut h = Harness::new("fig2_arrival_windows");
     for name in ["kdtree", "swim", "ocean"] {
         let prog = by_name(name).unwrap().build(Scale::Test);
         let traces = lower(
@@ -21,18 +20,13 @@ fn bench_characterization(c: &mut Criterion) {
             },
             None,
         );
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let out = Engine::new(cfg, &traces, Scheme::Baseline)
-                    .with_instrumentation()
-                    .run();
-                let ins = out.instrumentation.unwrap();
-                std::hint::black_box(ins.window_hist[0].cdf());
-            })
+        h.bench(name, || {
+            let out = Engine::new(cfg, &traces, Scheme::Baseline)
+                .with_instrumentation()
+                .run();
+            let ins = out.instrumentation.unwrap();
+            ins.window_hist[0].cdf()
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_characterization);
-criterion_main!(benches);

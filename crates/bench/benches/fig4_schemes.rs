@@ -1,12 +1,12 @@
 //! Figure 4 machinery: one full scheme comparison (baseline, Default
 //! NDC, oracle, compiled Algorithm 2) per workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::Harness;
 use ndc::prelude::*;
 use ndc_ir::{lower, LowerOptions};
 use ndc_sim::engine::simulate;
 
-fn bench_schemes(c: &mut Criterion) {
+fn main() {
     let cfg = ArchConfig::paper_default();
     let opts = LowerOptions {
         cores: cfg.nodes(),
@@ -17,40 +17,28 @@ fn bench_schemes(c: &mut Criterion) {
     let (sched, _) = compile_algorithm2(&prog, &cfg, cfg.nodes(), Algorithm2Options::default());
     let compiled = lower(&prog, &opts, Some(&sched));
 
-    let mut group = c.benchmark_group("fig4_schemes");
-    group.sample_size(10);
-    group.bench_function("baseline", |b| {
-        b.iter(|| std::hint::black_box(simulate(cfg, &traces, Scheme::Baseline).result.total_cycles))
+    let mut h = Harness::new("fig4_schemes");
+    h.bench("baseline", || {
+        simulate(cfg, &traces, Scheme::Baseline).result.total_cycles
     });
-    group.bench_function("default_ndc", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                simulate(
-                    cfg,
-                    &traces,
-                    Scheme::NdcAll {
-                        budget: WaitBudget::Forever,
-                    },
-                )
-                .result
-                .total_cycles,
-            )
-        })
+    h.bench("default_ndc", || {
+        simulate(
+            cfg,
+            &traces,
+            Scheme::NdcAll {
+                budget: WaitBudget::Forever,
+            },
+        )
+        .result
+        .total_cycles
     });
-    group.bench_function("oracle_two_pass", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                simulate(cfg, &traces, Scheme::Oracle { reuse_aware: true })
-                    .result
-                    .total_cycles,
-            )
-        })
+    h.bench("oracle_two_pass", || {
+        simulate(cfg, &traces, Scheme::Oracle { reuse_aware: true })
+            .result
+            .total_cycles
     });
-    group.bench_function("compiled_alg2", |b| {
-        b.iter(|| std::hint::black_box(simulate(cfg, &compiled, Scheme::Compiled).result.total_cycles))
+    h.bench("compiled_alg2", || {
+        simulate(cfg, &compiled, Scheme::Compiled).result.total_cycles
     });
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_schemes);
-criterion_main!(benches);

@@ -1,61 +1,59 @@
 //! Microbenchmarks of the substrates: cache accesses, DRAM requests,
 //! XY routing, signature selection.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::Harness;
 use ndc_mem::{MemoryController, SetAssocCache};
 use ndc_noc::{best_signature_pair, Mesh, Network};
 use ndc_types::{ArchConfig, Coord};
 
-fn bench_substrates(c: &mut Criterion) {
+fn main() {
     let cfg = ArchConfig::paper_default();
+    let mut h = Harness::new("substrate_micro");
 
-    c.bench_function("cache_access_stream", |b| {
+    {
         let mut cache = SetAssocCache::new(cfg.l1);
         let mut addr = 0u64;
-        b.iter(|| {
+        h.bench("cache_access_stream", || {
             addr = addr.wrapping_add(64) % (1 << 20);
-            std::hint::black_box(cache.access(addr, 0, false))
-        })
-    });
+            cache.access(addr, 0, false)
+        });
+    }
 
-    c.bench_function("dram_request_stream", |b| {
+    {
         let mut mc = MemoryController::new(cfg);
         let mut addr = 0u64;
         let mut t = 0u64;
-        b.iter(|| {
+        h.bench("dram_request_stream", || {
             addr = addr.wrapping_add(256) % (1 << 24);
             t += 10;
-            std::hint::black_box(mc.request(addr, t))
-        })
-    });
+            mc.request(addr, t)
+        });
+    }
 
-    c.bench_function("noc_traverse_contended", |b| {
+    {
         let mesh = Mesh::new(cfg.noc);
         let mut net = Network::new(mesh.clone());
         let route = mesh.xy_route(Coord::new(0, 0), Coord::new(4, 4));
         let mut t = 0u64;
-        b.iter(|| {
+        h.bench("noc_traverse_contended", || {
             t += 2;
-            std::hint::black_box(net.traverse(&route, t, 64).arrived)
-        })
-    });
+            net.traverse(&route, t, 64).arrived
+        });
+    }
 
-    c.bench_function("signature_pair_selection", |b| {
+    {
         let mesh = Mesh::new(cfg.noc);
-        b.iter(|| {
-            std::hint::black_box(
-                best_signature_pair(
-                    &mesh,
-                    Coord::new(0, 1),
-                    Coord::new(3, 2),
-                    Coord::new(1, 0),
-                    Coord::new(2, 3),
-                )
-                .common_links,
+        h.bench("signature_pair_selection", || {
+            best_signature_pair(
+                &mesh,
+                Coord::new(0, 1),
+                Coord::new(3, 2),
+                Coord::new(1, 0),
+                Coord::new(2, 3),
             )
-        })
-    });
-}
+            .common_links
+        });
+    }
 
-criterion_group!(benches, bench_substrates);
-criterion_main!(benches);
+    h.finish();
+}

@@ -1,20 +1,15 @@
 //! Table 2 machinery: the Cache Miss Equations analysis itself (static
 //! compile-time cost), per workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::Harness;
 use ndc::prelude::*;
 
-fn bench_cme(c: &mut Criterion) {
+fn main() {
     let cfg = ArchConfig::paper_default();
-    let mut group = c.benchmark_group("table2_cme");
+    let mut h = Harness::new("table2_cme");
     for name in ["swim", "cholesky", "bwaves"] {
         let prog = by_name(name).unwrap().build(Scale::Test);
-        group.bench_function(name, |b| {
-            b.iter(|| std::hint::black_box(ndc::cme::analyze(&prog, &cfg, cfg.nodes())))
-        });
+        h.bench(name, || ndc::cme::analyze(&prog, &cfg, cfg.nodes()));
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_cme);
-criterion_main!(benches);

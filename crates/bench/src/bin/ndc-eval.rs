@@ -95,10 +95,7 @@ fn main() {
         "ablation-layout" => ablation_layout(&args, cfg),
         "all" => {
             table1(&cfg);
-            let evals: Vec<_> = benches(&args.bench)
-                .iter()
-                .map(|b| exp::evaluate_benchmark(b, cfg, args.scale))
-                .collect();
+            let evals = eval_benches(&args, cfg);
             table2_cmd(&evals);
             fig2(&evals);
             fig3(&evals);
@@ -125,14 +122,15 @@ fn main() {
     }
 }
 
+/// Evaluate the selected benchmarks in parallel (ordered, deterministic)
+/// and hand the slice to the printing closure.
 fn with_evals(args: &Args, cfg: ArchConfig, f: impl Fn(&[exp::BenchmarkEvaluation])) {
-    use rayon::prelude::*;
+    f(&eval_benches(args, cfg));
+}
+
+fn eval_benches(args: &Args, cfg: ArchConfig) -> Vec<exp::BenchmarkEvaluation> {
     let list = benches(&args.bench);
-    let evals: Vec<_> = list
-        .par_iter()
-        .map(|b| exp::evaluate_benchmark(b, cfg, args.scale))
-        .collect();
-    f(&evals);
+    ndc_par::parallel_map(&list, |b| exp::evaluate_benchmark(b, cfg, args.scale))
 }
 
 fn list_benchmarks() {
@@ -303,15 +301,19 @@ fn fig4(evals: &[exp::BenchmarkEvaluation]) {
 
 fn fig5(args: &Args, cfg: ArchConfig) {
     println!("== Figure 5: 30 consecutive arrival windows of one instruction ==");
-    for name in ["ocean", "radiosity"] {
+    let names = ["ocean", "radiosity"];
+    let lines = ndc_par::parallel_map(&names, |name| {
         let bench = by_name(name).unwrap();
         let eval = exp::evaluate_benchmark(&bench, cfg, args.scale);
         let series = exp::figure5(&eval, 30);
-        let s: Vec<String> = series
+        series
             .iter()
             .map(|w| w.map_or("-".into(), |c| c.to_string()))
-            .collect();
-        println!("{name:<10} {}", s.join(" "));
+            .collect::<Vec<String>>()
+            .join(" ")
+    });
+    for (name, line) in names.iter().zip(&lines) {
+        println!("{name:<10} {line}");
     }
     println!("(- = operands never co-located for that instance)");
     println!();
@@ -377,10 +379,8 @@ fn fig14(args: &Args, cfg: ArchConfig) {
         "{:<10} {:>7} {:>8} {:>6} {:>7} {:>6}",
         "bench", "cache", "network", "MC", "memory", "all"
     );
-    let rows: Vec<_> = benches(&args.bench)
-        .iter()
-        .map(|b| exp::figure14(b, cfg, args.scale))
-        .collect();
+    let list = benches(&args.bench);
+    let rows = ndc_par::parallel_map(&list, |b| exp::figure14(b, cfg, args.scale));
     for r in &rows {
         println!(
             "{:<10} {:>7.1} {:>8.1} {:>6.1} {:>7.1} {:>6.1}",
@@ -451,9 +451,10 @@ fn ablation_routing(args: &Args, cfg: ArchConfig) {
         "{:<10} {:>10} {:>10} {:>8}",
         "bench", "with", "without", "drop%"
     );
+    let list = benches(&args.bench);
+    let rows = ndc_par::parallel_map(&list, |b| exp::ablation_routing(b, cfg, args.scale));
     let mut drops = Vec::new();
-    for b in benches(&args.bench) {
-        let r = exp::ablation_routing(&b, cfg, args.scale);
+    for r in &rows {
         let drop = if r.router_ndc_with > 0 {
             100.0 * (r.router_ndc_with - r.router_ndc_without) as f64
                 / r.router_ndc_with as f64
@@ -487,9 +488,12 @@ fn ablation_k(args: &Args, cfg: ArchConfig) {
     } else {
         vec!["md", "water", "bt", "cholesky"]
     };
-    for name in names {
+    let sweeps = ndc_par::parallel_map(&names, |name| {
         let b = by_name(name).unwrap();
-        for r in ndc::experiments::ablation_k(&b, cfg, args.scale, &ks) {
+        ndc::experiments::ablation_k(&b, cfg, args.scale, &ks)
+    });
+    for (name, rows) in names.iter().zip(&sweeps) {
+        for r in rows {
             println!(
                 "{:<10} {:>4} {:>10.1} {:>12.1}",
                 name, r.k, r.improvement, r.exercised_pct
@@ -506,9 +510,10 @@ fn ablation_markov(args: &Args, cfg: ArchConfig) {
         "{:<10} {:>9} {:>8} {:>8}",
         "bench", "lastwait", "markov", "oracle"
     );
+    let list = benches(&args.bench);
+    let rows = ndc_par::parallel_map(&list, |b| ndc::experiments::ablation_markov(b, cfg, args.scale));
     let (mut lw, mut mk) = (Vec::new(), Vec::new());
-    for b in benches(&args.bench) {
-        let r = ndc::experiments::ablation_markov(&b, cfg, args.scale);
+    for r in &rows {
         println!(
             "{:<10} {:>9.1} {:>8.1} {:>8.1}",
             r.name, r.last_wait, r.markov, r.oracle
@@ -532,8 +537,9 @@ fn ablation_layout(args: &Args, cfg: ArchConfig) {
         "{:<10} {:>9} {:>12} {:>9}",
         "bench", "without", "with-layout", "aligned"
     );
-    for b in benches(&args.bench) {
-        let r = ndc::experiments::ablation_layout(&b, cfg, args.scale);
+    let list = benches(&args.bench);
+    let rows = ndc_par::parallel_map(&list, |b| ndc::experiments::ablation_layout(b, cfg, args.scale));
+    for r in &rows {
         println!(
             "{:<10} {:>9.1} {:>12.1} {:>9}",
             r.name, r.without, r.with_layout, r.chains_aligned
@@ -549,9 +555,10 @@ fn ablation_coarse(args: &Args, cfg: ArchConfig) {
         "{:<10} {:>9} {:>9} {:>11} {:>11}",
         "bench", "fine-a1", "fine-a2", "coarse-a1", "coarse-a2"
     );
+    let list = benches(&args.bench);
+    let rows = ndc_par::parallel_map(&list, |b| exp::ablation_coarse(b, cfg, args.scale));
     let (mut c1s, mut c2s) = (Vec::new(), Vec::new());
-    for b in benches(&args.bench) {
-        let r = exp::ablation_coarse(&b, cfg, args.scale);
+    for r in &rows {
         println!(
             "{:<10} {:>9.1} {:>9.1} {:>11.1} {:>11.1}",
             r.name, r.fine_alg1, r.fine_alg2, r.coarse_alg1, r.coarse_alg2

@@ -1,0 +1,174 @@
+//! Minimal in-tree benchmark harness (criterion replacement).
+//!
+//! Each `[[bench]]` target is a plain `main` (`harness = false`) that
+//! builds a [`Harness`], registers closures with [`Harness::bench`],
+//! and calls [`Harness::finish`]. The harness:
+//!
+//! * auto-calibrates an iteration count so one sample lasts at least
+//!   [`TARGET_SAMPLE_NANOS`] (fast micro-ops get batched; slow
+//!   whole-simulation runs get `iters = 1`),
+//! * runs a warmup pass, then `samples` timed samples,
+//! * reports the **median** nanoseconds per iteration (robust to a
+//!   noisy neighbour sample) plus min/max,
+//! * writes the machine-readable summary to `BENCH_<suite>.json` in
+//!   the current directory via [`ndc_types::Json`].
+//!
+//! Environment knobs: `NDC_BENCH_SAMPLES` (default 15) and
+//! `NDC_BENCH_FAST=1` (3 samples, short target — used by CI smoke
+//! runs where wall-clock matters more than variance).
+
+use std::time::Instant;
+
+/// Minimum duration of one timed sample, in nanoseconds.
+const TARGET_SAMPLE_NANOS: u128 = 5_000_000;
+
+/// Per-benchmark timing summary, all in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    pub median_ns: f64,
+    pub min_ns: f64,
+    pub max_ns: f64,
+    pub iters_per_sample: u64,
+    pub samples: usize,
+}
+
+pub struct Harness {
+    suite: String,
+    samples: usize,
+    target_ns: u128,
+    rows: Vec<(String, Stats)>,
+}
+
+impl Harness {
+    pub fn new(suite: &str) -> Self {
+        let fast = std::env::var("NDC_BENCH_FAST").map_or(false, |v| v == "1");
+        let samples = std::env::var("NDC_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(if fast { 3 } else { 15 });
+        println!("== bench suite: {suite} ({samples} samples, median of samples) ==");
+        println!("{:<28} {:>14} {:>14} {:>14} {:>8}", "name", "median", "min", "max", "iters");
+        Harness {
+            suite: suite.to_string(),
+            samples,
+            target_ns: if fast { TARGET_SAMPLE_NANOS / 10 } else { TARGET_SAMPLE_NANOS },
+            rows: Vec::new(),
+        }
+    }
+
+    /// Time `f`, batching calls until one sample meets the target
+    /// duration. The closure's result is black-boxed so the work is
+    /// not optimized away.
+    pub fn bench<R, F: FnMut() -> R>(&mut self, name: &str, mut f: F) {
+        // Calibration: double the batch size until a batch is long
+        // enough to time reliably.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Self::time_batch(&mut f, iters);
+            if t >= self.target_ns || iters >= 1 << 20 {
+                break;
+            }
+            // Jump close to the target in one step when the first
+            // measurements are far off, rather than doubling blindly.
+            let scale = (self.target_ns / t.max(1)).max(2) as u64;
+            iters = iters.saturating_mul(scale.min(1024)).min(1 << 20);
+        }
+
+        // Warmup, then timed samples.
+        Self::time_batch(&mut f, iters);
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| Self::time_batch(&mut f, iters) as f64 / iters as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+
+        let stats = Stats {
+            median_ns: per_iter[per_iter.len() / 2],
+            min_ns: per_iter[0],
+            max_ns: per_iter[per_iter.len() - 1],
+            iters_per_sample: iters,
+            samples: self.samples,
+        };
+        println!(
+            "{:<28} {:>14} {:>14} {:>14} {:>8}",
+            name,
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.max_ns),
+            stats.iters_per_sample
+        );
+        self.rows.push((name.to_string(), stats));
+    }
+
+    fn time_batch<R, F: FnMut() -> R>(f: &mut F, iters: u64) -> u128 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        start.elapsed().as_nanos()
+    }
+
+    /// Print the footer and write `BENCH_<suite>.json`.
+    pub fn finish(self) {
+        use ndc_types::Json;
+        let benches: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|(name, s)| {
+                Json::obj()
+                    .with("name", name.as_str())
+                    .with("median_ns", s.median_ns)
+                    .with("min_ns", s.min_ns)
+                    .with("max_ns", s.max_ns)
+                    .with("iters_per_sample", s.iters_per_sample)
+                    .with("samples", s.samples)
+            })
+            .collect();
+        let doc = Json::obj()
+            .with("suite", self.suite.as_str())
+            .with("benches", Json::Arr(benches));
+        // `cargo bench` runs targets with cwd = the package directory;
+        // anchor artifacts at the workspace root so they land in one
+        // predictable place.
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let path = format!("{root}/BENCH_{}.json", self.suite);
+        match std::fs::write(&path, doc.render() + "\n") {
+            Ok(()) => println!("wrote BENCH_{}.json", self.suite),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+        println!();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_are_sane_for_cheap_work() {
+        std::env::set_var("NDC_BENCH_FAST", "1");
+        let mut h = Harness::new("harness_selftest");
+        let mut acc = 0u64;
+        h.bench("wrapping_add", || {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            acc
+        });
+        let (_, s) = &h.rows[0];
+        assert!(s.median_ns > 0.0);
+        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
+        assert!(s.iters_per_sample >= 1);
+        // Don't write a JSON artifact from the unit test.
+    }
+}

@@ -1,6 +1,10 @@
 //! Benchmark/evaluation crate: the `ndc-eval` binary regenerates every
 //! table and figure of the paper (see `ndc-eval help`), and the
-//! Criterion benches (`cargo bench`) measure the machinery behind each
-//! experiment. Table/figure *content* comes from `ndc::experiments`.
+//! in-tree benches (`cargo bench`) measure the machinery behind each
+//! experiment with the zero-dependency [`harness`]. Table/figure
+//! *content* comes from `ndc::experiments`.
 
+pub mod harness;
+
+pub use harness::Harness;
 pub use ndc::experiments;

@@ -10,11 +10,11 @@
 
 use crate::predict::{CmeAnalysis, RefKey};
 use ndc_types::Pc;
-use std::collections::HashMap;
+use ndc_types::FxHashMap;
 
 /// The simulator-side per-reference counters the accuracy comparison
 /// consumes: `(pc, slot) → (hits, misses)`.
-pub type SimCounters = HashMap<(Pc, u8), (u64, u64)>;
+pub type SimCounters = FxHashMap<(Pc, u8), (u64, u64)>;
 
 /// Per-benchmark accuracy numbers (one Table 2 row).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -109,9 +109,9 @@ mod tests {
     #[test]
     fn perfect_prediction_is_100_percent() {
         let (a, _) = analysis_with(0.25, 0.5);
-        let mut l1 = SimCounters::new();
+        let mut l1 = SimCounters::default();
         l1.insert((16, 0), (75, 25)); // observed 25% misses
-        let mut l2 = SimCounters::new();
+        let mut l2 = SimCounters::default();
         l2.insert((16, 0), (10, 10)); // observed 50%
         let rep = accuracy_against_sim(&a, &l1, &l2, |_| 16);
         assert!((rep.l1_accuracy_pct - 100.0).abs() < 1e-9);
@@ -124,16 +124,16 @@ mod tests {
     fn coherence_misses_erode_accuracy() {
         // Predict 10% misses; coherence pushes observed to 40%.
         let (a, _) = analysis_with(0.1, 0.1);
-        let mut l1 = SimCounters::new();
+        let mut l1 = SimCounters::default();
         l1.insert((16, 0), (60, 40));
-        let rep = accuracy_against_sim(&a, &l1, &SimCounters::new(), |_| 16);
+        let rep = accuracy_against_sim(&a, &l1, &SimCounters::default(), |_| 16);
         assert!((rep.l1_accuracy_pct - 70.0).abs() < 1e-9);
     }
 
     #[test]
     fn unexecuted_references_are_skipped() {
         let (a, _) = analysis_with(0.5, 0.5);
-        let rep = accuracy_against_sim(&a, &SimCounters::new(), &SimCounters::new(), |_| 16);
+        let rep = accuracy_against_sim(&a, &SimCounters::default(), &SimCounters::default(), |_| 16);
         assert_eq!(rep.l1_accesses, 0);
         assert_eq!(rep.l1_accuracy_pct, 0.0);
     }
@@ -154,13 +154,13 @@ mod tests {
                 reuse: ReuseKind::None,
             },
         );
-        let mut l1 = SimCounters::new();
+        let mut l1 = SimCounters::default();
         // Ref 1 (predict 0.0): observed 0% over 900 accesses — perfect.
         l1.insert((16, 0), (900, 0));
         // Ref 2 (predict 1.0): observed 0% over 100 accesses — fully
         // wrong.
         l1.insert((32, 0), (100, 0));
-        let rep = accuracy_against_sim(&a, &l1, &SimCounters::new(), |k| {
+        let rep = accuracy_against_sim(&a, &l1, &SimCounters::default(), |k| {
             if k.stmt_pos == 0 {
                 16
             } else {

@@ -5,7 +5,7 @@
 use crate::reuse::{analyze_reuse, ReuseInfo, ReuseKind};
 use ndc_ir::program::{LoopNest, Program};
 use ndc_types::{ArchConfig, Pc};
-use std::collections::HashMap;
+use ndc_types::FxHashMap;
 
 /// Identity of one static reference: nest position, statement position
 /// within the nest body, and operand slot (0 = `a`, 1 = `b`, 2 = store
@@ -46,7 +46,7 @@ pub struct MissPrediction {
 /// Whole-program CME output.
 #[derive(Debug, Clone, Default)]
 pub struct CmeAnalysis {
-    pub predictions: HashMap<RefKey, MissPrediction>,
+    pub predictions: FxHashMap<RefKey, MissPrediction>,
 }
 
 impl CmeAnalysis {
@@ -129,7 +129,7 @@ fn analyze_nest(
     // set count (the CME congruence `(addr1 - addr2)/line ≡ 0 (mod
     // sets)`). Count streams per L1 set at the nest origin.
     let l1_sets = cfg.l1.sets() as i64;
-    let mut set_population: HashMap<i64, u32> = HashMap::new();
+    let mut set_population: FxHashMap<i64, u32> = FxHashMap::default();
     for stmt in &nest.body {
         for (aref, _w) in stmt.array_refs() {
             if let Some(addr) = prog.addr_of(aref, &nest.lo) {

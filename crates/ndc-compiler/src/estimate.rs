@@ -14,7 +14,7 @@ use ndc_cme::{CmeAnalysis, RefKey};
 use ndc_ir::program::{LoopNest, Program, Stmt};
 use ndc_noc::{best_signature_pair, Mesh, RouteSignature};
 use ndc_types::{ArchConfig, Coord, NodeId};
-use std::collections::HashMap;
+use ndc_types::FxHashMap;
 
 /// Static latency model derived from the architecture description —
 /// the compiler-side mirror of the simulator's timing.
@@ -116,7 +116,7 @@ pub fn assess(
     let model = LatencyModel::new(*cfg);
     let mesh = Mesh::new(cfg.noc);
     let mut v = TargetViability::default();
-    let mut overlap_cache: HashMap<(Coord, Coord, Coord), bool> = HashMap::new();
+    let mut overlap_cache: FxHashMap<(Coord, Coord, Coord), bool> = FxHashMap::default();
 
     let p_l2_a = cme
         .get(&RefKey {

@@ -18,11 +18,10 @@
 
 use ndc_ir::program::{ArrayId, Program};
 use ndc_types::ArchConfig;
-use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use ndc_types::FxHashMap;
 
 /// What the layout pass did.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LayoutReport {
     /// Chains whose operands were already co-homed.
     pub already_aligned: u64,
@@ -51,7 +50,7 @@ pub fn optimize_layout(prog: &Program, cfg: &ArchConfig) -> (Program, LayoutRepo
     let mut report = LayoutReport::default();
 
     // Collect per-array shift demands from same-access-function chains.
-    let mut demands: HashMap<Demand, u64> = HashMap::new();
+    let mut demands: FxHashMap<Demand, u64> = FxHashMap::default();
     for nest in &prog.nests {
         for stmt in &nest.body {
             let Some((ra, rb)) = stmt.memory_operand_pair() else {
@@ -88,7 +87,7 @@ pub fn optimize_layout(prog: &Program, cfg: &ArchConfig) -> (Program, LayoutRepo
     }
 
     // Greedy: one shift per array, the most demanded.
-    let mut best: HashMap<ArrayId, (u64, u64)> = HashMap::new(); // array -> (shift, votes)
+    let mut best: FxHashMap<ArrayId, (u64, u64)> = FxHashMap::default(); // array -> (shift, votes)
     for (d, votes) in &demands {
         let e = best.entry(d.array).or_insert((d.shift_lines, 0));
         if *votes > e.1 {

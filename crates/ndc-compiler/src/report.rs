@@ -1,10 +1,9 @@
 //! Compiler decision reporting — the source of the Figure 15 metric
 //! (fraction of NDC opportunities exercised by Algorithm 2).
 
-use serde::{Deserialize, Serialize};
 
 /// What a compilation pass decided, per program.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CompilerReport {
     /// Use-use chains examined (two-memory-operand computations with an
     /// offloadable op) — the "NDC opportunities seen".

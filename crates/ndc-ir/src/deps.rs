@@ -12,10 +12,9 @@
 
 use crate::matrix::{lex_positive, IMat, IVec};
 use crate::program::{LoopNest, StmtId};
-use serde::{Deserialize, Serialize};
 
 /// Classification of a dependence edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DependenceKind {
     /// Write → read (true/flow dependence).
     Flow,
@@ -37,7 +36,7 @@ impl DependenceKind {
 }
 
 /// A dependence distance: constant vector or statically unknown.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum DistanceVector {
     Constant(IVec),
     Unknown,
@@ -53,7 +52,7 @@ impl DistanceVector {
 }
 
 /// One dependence edge between two statements of a nest.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DependenceEdge {
     pub src: StmtId,
     pub dst: StmtId,
@@ -65,7 +64,7 @@ pub struct DependenceEdge {
 }
 
 /// The dependence graph of one loop nest.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DependenceGraph {
     pub edges: Vec<DependenceEdge>,
     /// True when any reference pair could not be analyzed precisely

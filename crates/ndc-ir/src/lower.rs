@@ -20,8 +20,7 @@ use crate::interp::scheduled_points;
 use crate::matrix::IVec;
 use crate::program::{LoopNest, Program, Ref, Stmt};
 use crate::schedule::Schedule;
-use ndc_types::{Inst, InstKind, NodeId, Operand, Pc, Trace, TraceProgram};
-use std::collections::HashMap;
+use ndc_types::{FxHashMap, Inst, InstKind, NodeId, Operand, Pc, Trace, TraceProgram};
 
 /// Lowering options.
 #[derive(Debug, Clone, Copy)]
@@ -70,7 +69,6 @@ pub fn lower(prog: &Program, opts: &LowerOptions, schedule: Option<&Schedule>) -
     out.traces = (0..opts.cores)
         .map(|c| Trace::new(NodeId(c as u16)))
         .collect();
-    let mut next_precompute_id: u32 = 0;
 
     for (nest_pos, nest) in prog.nests.iter().enumerate() {
         let points = scheduled_points(nest, sched);
@@ -85,7 +83,11 @@ pub fn lower(prog: &Program, opts: &LowerOptions, schedule: Option<&Schedule>) -
         for (tid, my_points) in thread_points.iter().enumerate() {
             let trace = &mut out.traces[tid];
             // (plan index, consumer point index) -> precompute id.
-            let mut pending: HashMap<(usize, usize), u32> = HashMap::new();
+            // Ids are dense per trace (0..precompute_count), which lets
+            // the engine index its pre-result table directly instead of
+            // hashing (usize, u32) keys in the inner loop.
+            let mut next_precompute_id = trace.precompute_count() as u32;
+            let mut pending: FxHashMap<(usize, usize), u32> = FxHashMap::default();
             for (j, point) in my_points.iter().enumerate() {
                 // Issue pre-computes whose consumer sits `lookahead`
                 // iterations ahead.

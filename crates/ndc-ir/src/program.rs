@@ -8,23 +8,22 @@
 
 use crate::matrix::{IMat, IVec};
 use ndc_types::{Addr, Op};
-use serde::{Deserialize, Serialize};
 
 /// Index of an array within its program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ArrayId(pub u32);
 
 /// Index of a loop nest within its program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NestId(pub u32);
 
 /// Statement identity, unique within a nest.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StmtId(pub u32);
 
 /// An array declaration: shape, element size, and (after layout) its
 /// base physical address. Row-major layout.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ArrayDecl {
     pub name: String,
     pub dims: Vec<u64>,
@@ -73,7 +72,7 @@ impl ArrayDecl {
 }
 
 /// An affine array reference `X(F·I + f)`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ArrayRef {
     pub array: ArrayId,
     /// `m×n` coefficient matrix (`m` = array rank, `n` = nest depth).
@@ -115,7 +114,7 @@ impl ArrayRef {
 }
 
 /// A right-hand-side operand.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Ref {
     Array(ArrayRef),
     Const(f64),
@@ -134,7 +133,7 @@ impl Ref {
 /// absent. `work` models the non-memory computation around the accesses
 /// (lowered to `Busy` cycles), giving the instruction stream realistic
 /// time texture for the compiler's Δ estimation to work against.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Stmt {
     pub id: StmtId,
     pub dst: ArrayRef,
@@ -195,7 +194,7 @@ impl Stmt {
 
 /// A rectangular loop nest of depth `n` with body statements executed in
 /// order per iteration. Bounds are `lo[k] <= i_k < hi[k]`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LoopNest {
     pub id: NestId,
     pub lo: IVec,
@@ -278,7 +277,7 @@ impl Iterator for IterPoints<'_> {
 }
 
 /// A whole program: arrays plus loop nests executed in order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     pub name: String,
     pub arrays: Vec<ArrayDecl>,

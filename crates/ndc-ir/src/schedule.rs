@@ -10,13 +10,12 @@
 use crate::matrix::IMat;
 use crate::program::{LoopNest, NestId, StmtId};
 use ndc_types::NdcLocation;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Which operand-movement strategy produced a plan (Figure 8 b/c/d).
 /// Retained for reporting; the lowered effect is captured by
 /// `stagger`/`lookahead`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MoveStrategy {
     /// Keep `x`, move `y` toward it (Figure 8b).
     MoveY,
@@ -27,7 +26,7 @@ pub enum MoveStrategy {
 }
 
 /// One offloaded computation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PrecomputePlan {
     pub nest: NestId,
     /// The two-memory-operand statement being offloaded.
@@ -50,7 +49,7 @@ pub struct PrecomputePlan {
 }
 
 /// A complete compiler schedule for a program.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Schedule {
     /// Per-nest unimodular loop transformation.
     pub transforms: HashMap<NestId, IMat>,

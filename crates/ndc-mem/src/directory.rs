@@ -7,14 +7,14 @@
 //! deliberately does not model ("our CME implementation does not model
 //! coherence misses", §5.2), which is what caps the Table 2 accuracies.
 
-use ndc_types::Addr;
-use std::collections::HashMap;
+use ndc_types::{Addr, FxHashMap};
+
 
 /// Sharer bitmask per line address. Supports up to 64 cores, enough for
 /// the paper's 4×4 / 5×5 / 6×6 meshes.
 #[derive(Debug, Clone, Default)]
 pub struct Directory {
-    sharers: HashMap<Addr, u64>,
+    sharers: FxHashMap<Addr, u64>,
 }
 
 impl Directory {

@@ -27,9 +27,14 @@ pub use signature::{best_signature_pair, minimal_routes, RouteSignature, Signatu
 
 #[cfg(test)]
 mod proptests {
+    //! Seeded-loop property tests (in-tree PRNG, no external framework):
+    //! each test draws ≥256 random cases from a fixed seed, so failures
+    //! reproduce exactly and the suite runs offline.
+
     use super::*;
-    use ndc_types::{Coord, NocConfig};
-    use proptest::prelude::*;
+    use ndc_types::{Coord, NocConfig, SplitMix64};
+
+    const CASES: u64 = 256;
 
     fn cfg() -> NocConfig {
         NocConfig {
@@ -40,78 +45,92 @@ mod proptests {
         }
     }
 
-    proptest! {
-        /// XY routes are minimal: hop count equals Manhattan distance.
-        #[test]
-        fn xy_routes_are_minimal(sx in 0u16..6, sy in 0u16..6, dx in 0u16..6, dy in 0u16..6) {
-            let mesh = Mesh::new(cfg());
-            let s = Coord::new(sx, sy);
-            let d = Coord::new(dx, dy);
-            let route = mesh.xy_route(s, d);
-            prop_assert_eq!(route.links.len() as u32, s.manhattan(d));
-        }
+    fn coord(g: &mut SplitMix64, bound: u64) -> Coord {
+        Coord::new(g.below(bound) as u16, g.below(bound) as u16)
+    }
 
-        /// Every link of an XY route connects adjacent nodes and the
-        /// route is connected from source to destination.
-        #[test]
-        fn xy_routes_are_connected(sx in 0u16..6, sy in 0u16..6, dx in 0u16..6, dy in 0u16..6) {
-            let mesh = Mesh::new(cfg());
-            let s = Coord::new(sx, sy);
-            let d = Coord::new(dx, dy);
+    /// XY routes are minimal: hop count equals Manhattan distance.
+    #[test]
+    fn xy_routes_are_minimal() {
+        let mesh = Mesh::new(cfg());
+        let mut g = SplitMix64::new(0x10c_1);
+        for _ in 0..CASES {
+            let (s, d) = (coord(&mut g, 6), coord(&mut g, 6));
+            let route = mesh.xy_route(s, d);
+            assert_eq!(route.links.len() as u32, s.manhattan(d), "{s:?}->{d:?}");
+        }
+    }
+
+    /// Every link of an XY route connects adjacent nodes and the
+    /// route is connected from source to destination.
+    #[test]
+    fn xy_routes_are_connected() {
+        let mesh = Mesh::new(cfg());
+        let mut g = SplitMix64::new(0x10c_2);
+        for _ in 0..CASES {
+            let (s, d) = (coord(&mut g, 6), coord(&mut g, 6));
             let route = mesh.xy_route(s, d);
             let mut at = s;
             for &l in &route.links {
                 let (from, to) = mesh.link_endpoints(l);
-                prop_assert_eq!(from, at);
-                prop_assert_eq!(from.manhattan(to), 1);
+                assert_eq!(from, at, "{s:?}->{d:?}");
+                assert_eq!(from.manhattan(to), 1);
                 at = to;
             }
-            prop_assert_eq!(at, d);
+            assert_eq!(at, d, "{s:?}->{d:?}");
         }
+    }
 
-        /// A route signature has exactly one bit per hop.
-        #[test]
-        fn signatures_have_hop_many_bits(sx in 0u16..6, sy in 0u16..6, dx in 0u16..6, dy in 0u16..6) {
-            let mesh = Mesh::new(cfg());
-            let s = Coord::new(sx, sy);
-            let d = Coord::new(dx, dy);
+    /// A route signature has exactly one bit per hop.
+    #[test]
+    fn signatures_have_hop_many_bits() {
+        let mesh = Mesh::new(cfg());
+        let mut g = SplitMix64::new(0x10c_3);
+        for _ in 0..CASES {
+            let (s, d) = (coord(&mut g, 6), coord(&mut g, 6));
             let route = mesh.xy_route(s, d);
             let sig = RouteSignature::from_route(&mesh, &route);
-            prop_assert_eq!(sig.count_ones(), route.links.len() as u32);
+            assert_eq!(sig.count_ones(), route.links.len() as u32, "{s:?}->{d:?}");
         }
+    }
 
-        /// All enumerated minimal routes have the same (minimal) length
-        /// and their count equals the binomial coefficient C(dx+dy, dx).
-        #[test]
-        fn minimal_route_enumeration_is_complete(sx in 0u16..5, sy in 0u16..5, dx in 0u16..5, dy in 0u16..5) {
-            let mesh = Mesh::new(cfg());
-            let s = Coord::new(sx, sy);
-            let d = Coord::new(dx, dy);
+    /// All enumerated minimal routes have the same (minimal) length
+    /// and their count equals the binomial coefficient C(dx+dy, dx).
+    #[test]
+    fn minimal_route_enumeration_is_complete() {
+        let mesh = Mesh::new(cfg());
+        let mut g = SplitMix64::new(0x10c_4);
+        for _ in 0..CASES {
+            let (s, d) = (coord(&mut g, 5), coord(&mut g, 5));
             let routes = minimal_routes(&mesh, s, d);
-            let ddx = (sx as i64 - dx as i64).unsigned_abs();
-            let ddy = (sy as i64 - dy as i64).unsigned_abs();
+            let ddx = (s.x as i64 - d.x as i64).unsigned_abs();
+            let ddy = (s.y as i64 - d.y as i64).unsigned_abs();
             let expect = binomial(ddx + ddy, ddx.min(ddy));
-            prop_assert_eq!(routes.len() as u64, expect);
+            assert_eq!(routes.len() as u64, expect, "{s:?}->{d:?}");
             for r in &routes {
-                prop_assert_eq!(r.links.len() as u32, s.manhattan(d));
+                assert_eq!(r.links.len() as u32, s.manhattan(d), "{s:?}->{d:?}");
             }
         }
+    }
 
-        /// The chosen signature pair shares at least as many links as the
-        /// plain XY pair (the compiler's reshaping never loses overlap).
-        #[test]
-        fn best_pair_at_least_xy_overlap(
-            ax in 0u16..5, ay in 0u16..5, bx in 0u16..5, by in 0u16..5,
-            cx in 0u16..5, cy in 0u16..5, ex in 0u16..5, ey in 0u16..5,
-        ) {
-            let mesh = Mesh::new(cfg());
-            let (a, b) = (Coord::new(ax, ay), Coord::new(bx, by));
-            let (c, e) = (Coord::new(cx, cy), Coord::new(ex, ey));
+    /// The chosen signature pair shares at least as many links as the
+    /// plain XY pair (the compiler's reshaping never loses overlap).
+    #[test]
+    fn best_pair_at_least_xy_overlap() {
+        let mesh = Mesh::new(cfg());
+        let mut g = SplitMix64::new(0x10c_5);
+        for _ in 0..CASES {
+            let (a, b) = (coord(&mut g, 5), coord(&mut g, 5));
+            let (c, e) = (coord(&mut g, 5), coord(&mut g, 5));
             let xy1 = RouteSignature::from_route(&mesh, &mesh.xy_route(a, b));
             let xy2 = RouteSignature::from_route(&mesh, &mesh.xy_route(c, e));
             let xy_common = xy1.and(&xy2).count_ones();
             let best = best_signature_pair(&mesh, a, b, c, e);
-            prop_assert!(best.common_links >= xy_common);
+            assert!(
+                best.common_links >= xy_common,
+                "{a:?}->{b:?} / {c:?}->{e:?}: {} < {xy_common}",
+                best.common_links
+            );
         }
     }
 

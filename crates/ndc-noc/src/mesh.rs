@@ -1,7 +1,6 @@
 //! Mesh topology: nodes, directed links, and static XY routing.
 
 use ndc_types::{Coord, NocConfig, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// A directed communication link between two adjacent mesh nodes.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// all `L` links (§5.2.1: "for an on-chip network with a total L
 /// communication links, a signature can be represented using an L-bit
 /// sequence").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LinkId(pub u32);
 
 impl LinkId {

@@ -19,7 +19,7 @@ use ndc_types::{
     Addr, ArchConfig, Cycle, InstKind, NodeId, Op, Operand, Pc, TraceProgram,
 };
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// Per-core dynamic state.
 #[derive(Debug, Default)]
@@ -56,6 +56,99 @@ enum PreResult {
 /// execute conventionally there, so the destination line's locality is
 /// identical to baseline execution.
 const _STORE_AT_CORE: () = ();
+
+/// Sentinel meaning "no window recorded yet" in [`LastWindowTable`].
+const NO_WINDOW: Cycle = Cycle::MAX;
+
+/// Dense per-PC last-observed-window table for the Last-Wait predictor.
+///
+/// PCs are small dense integers assigned by `lower()`, so a flat `Vec`
+/// indexed by PC replaces the former `HashMap<Pc, Cycle>` in the
+/// engine's inner loop: one bounds-checked load instead of a hash +
+/// probe per eligible compute.
+struct LastWindowTable {
+    slots: Vec<Cycle>,
+}
+
+impl LastWindowTable {
+    /// Sized from the largest PC in the program; every lookup hits
+    /// in-bounds by construction (all queried PCs come from the traces).
+    fn for_program(prog: &TraceProgram) -> Self {
+        let n = prog
+            .traces
+            .iter()
+            .flat_map(|t| t.insts.iter())
+            .map(|i| i.pc as usize + 1)
+            .max()
+            .unwrap_or(0);
+        LastWindowTable {
+            slots: vec![NO_WINDOW; n],
+        }
+    }
+
+    #[inline]
+    fn get(&self, pc: Pc) -> Option<Cycle> {
+        let w = self.slots[pc as usize];
+        (w != NO_WINDOW).then_some(w)
+    }
+
+    #[inline]
+    fn set(&mut self, pc: Pc, w: Cycle) {
+        self.slots[pc as usize] = w;
+    }
+}
+
+/// Dense per-core pre-compute result tables.
+///
+/// `lower()` assigns precompute ids densely per trace, so each core's
+/// pending results live in a flat `Vec<Option<PreResult>>` indexed by
+/// id — replacing the former `HashMap<(usize, u32), PreResult>` whose
+/// tuple keys were hashed on every offload and every consumer.
+struct PreResultTable {
+    slots: Vec<Vec<Option<PreResult>>>,
+}
+
+impl PreResultTable {
+    fn for_program(prog: &TraceProgram) -> Self {
+        let slots = prog
+            .traces
+            .iter()
+            .map(|t| {
+                let n = t
+                    .insts
+                    .iter()
+                    .filter_map(|i| match i.kind {
+                        InstKind::PreCompute { id, .. } => Some(id as usize + 1),
+                        _ => None,
+                    })
+                    .max()
+                    .unwrap_or(0);
+                vec![None; n]
+            })
+            .collect();
+        PreResultTable { slots }
+    }
+
+    #[inline]
+    fn insert(&mut self, c: usize, id: u32, r: PreResult) {
+        let v = &mut self.slots[c];
+        let i = id as usize;
+        if i >= v.len() {
+            // Hand-built traces (tests, fuzzing) may use sparse ids.
+            v.resize(i + 1, None);
+        }
+        v[i] = Some(r);
+    }
+
+    /// Consume the pending result for `(core, id)`, if any.
+    #[inline]
+    fn take(&mut self, c: usize, id: u32) -> Option<PreResult> {
+        self.slots
+            .get_mut(c)
+            .and_then(|v| v.get_mut(id as usize))
+            .and_then(Option::take)
+    }
+}
 
 /// Engine output: the run result plus (for instrumented baseline runs)
 /// the characterization data.
@@ -114,11 +207,11 @@ impl<'a> Engine<'a> {
             ..Default::default()
         };
         // Per-PC last observed window, for the Last-Wait predictor.
-        let mut last_window: HashMap<Pc, Cycle> = HashMap::new();
+        let mut last_window = LastWindowTable::for_program(self.prog);
         // Per-PC bucket-transition table, for the Markov predictor.
         let mut markov = MarkovPredictor::new();
-        // Pending pre-compute results keyed by (core, id).
-        let mut pre_results: HashMap<(usize, u32), PreResult> = HashMap::new();
+        // Pending pre-compute results, dense per core and id.
+        let mut pre_results = PreResultTable::for_program(self.prog);
 
         let mut heap: BinaryHeap<(Reverse<Cycle>, usize)> = (0..self.prog.traces.len())
             .filter(|&c| !self.prog.traces[c].insts.is_empty())
@@ -184,9 +277,9 @@ impl<'a> Engine<'a> {
         inst: ndc_types::Inst,
         result: &mut SimResult,
         instr: &mut Option<Instrumentation>,
-        last_window: &mut HashMap<Pc, Cycle>,
+        last_window: &mut LastWindowTable,
         markov: &mut MarkovPredictor,
-        pre_results: &mut HashMap<(usize, u32), PreResult>,
+        pre_results: &mut PreResultTable,
     ) {
         let issue_width = self.cfg.issue_width.max(1);
         // Issue-slot accounting: `issue_width` instructions per cycle.
@@ -349,9 +442,9 @@ impl<'a> Engine<'a> {
         precomputed: Option<u32>,
         result: &mut SimResult,
         instr: &mut Option<Instrumentation>,
-        last_window: &mut HashMap<Pc, Cycle>,
+        last_window: &mut LastWindowTable,
         markov: &mut MarkovPredictor,
-        pre_results: &mut HashMap<(usize, u32), PreResult>,
+        pre_results: &mut PreResultTable,
     ) {
         let eligible = matches!((a, b), (Operand::Mem(_), Operand::Mem(_)));
         if eligible {
@@ -366,7 +459,7 @@ impl<'a> Engine<'a> {
 
         // --- Compiled scheme: consume a pre-computed result. ---
         if let Some(id) = precomputed {
-            match pre_results.remove(&(c, id)) {
+            match pre_results.take(c, id) {
                 Some(PreResult::Performed {
                     loc_index,
                     result_at_core,
@@ -420,7 +513,7 @@ impl<'a> Engine<'a> {
             Scheme::Baseline | Scheme::Compiled => None,
             Scheme::NdcAll { budget } => {
                 if eligible {
-                    let lw = last_window.get(&pc).copied();
+                    let lw = last_window.get(pc);
                     match budget {
                         // The Last-Wait predictor declines NDC outright
                         // when the previous dynamic instance of this PC
@@ -541,7 +634,7 @@ impl<'a> Engine<'a> {
                 // predictors.
                 let windows = windows_by_location(machine, core, &pa, &pb, false);
                 let observed = windows.iter().flatten().min().copied();
-                last_window.insert(pc, observed.unwrap_or(WINDOW_CAP + 1));
+                last_window.set(pc, observed.unwrap_or(WINDOW_CAP + 1));
                 markov.observe(pc, observed);
 
                 match outcome {
@@ -625,7 +718,7 @@ impl<'a> Engine<'a> {
         stagger: i32,
         reshape_routes: bool,
         result: &mut SimResult,
-        pre_results: &mut HashMap<(usize, u32), PreResult>,
+        pre_results: &mut PreResultTable,
     ) {
         // Non-compiled schemes ignore stray pre-computes (defensive).
         if self.scheme != Scheme::Compiled {
@@ -645,7 +738,7 @@ impl<'a> Engine<'a> {
         // Local-cache probe (Figure 1: "Local $ probe. If found, skip
         // NDC").
         if machine.l1s[core.index()].probe(a) || machine.l1s[core.index()].probe(b) {
-            pre_results.insert((c, id), PreResult::LocalHit);
+            pre_results.insert(c, id, PreResult::LocalHit);
             return;
         }
 
@@ -684,7 +777,8 @@ impl<'a> Engine<'a> {
                 result.ndc_wait_cycles[loc.index()] += wait;
                 st.offload.push(result_at_core);
                 pre_results.insert(
-                    (c, id),
+                    c,
+                    id,
                     PreResult::Performed {
                         loc_index: loc.index(),
                         result_at_core,
@@ -695,11 +789,11 @@ impl<'a> Engine<'a> {
                 reason: AbortReason::LocalHit,
                 ..
             } => {
-                pre_results.insert((c, id), PreResult::LocalHit);
+                pre_results.insert(c, id, PreResult::LocalHit);
             }
             NdcOutcome::Aborted { at, .. } => {
                 st.offload.push(at);
-                pre_results.insert((c, id), PreResult::Aborted { at });
+                pre_results.insert(c, id, PreResult::Aborted { at });
             }
         }
     }

@@ -2,7 +2,7 @@
 //! points, and per-PC window series, collected during a baseline run.
 
 use ndc_types::{Cycle, NdcLocation, Pc, WindowHistogram};
-use std::collections::HashMap;
+use ndc_types::FxHashMap;
 
 /// What the collector recorded about one dynamic two-memory-operand
 /// computation.
@@ -82,7 +82,7 @@ pub struct Instrumentation {
     pub breakeven_hist: [WindowHistogram; 4],
     /// Figure 5: per-PC series of consecutive windows (at the
     /// first-feasible location), capped per PC.
-    pub pc_series: HashMap<Pc, Vec<Option<Cycle>>>,
+    pub pc_series: FxHashMap<Pc, Vec<Option<Cycle>>>,
     /// Per-core, per-compute-sequence observations, for the oracle's
     /// second pass. `records[core][seq]`.
     pub records: Vec<Vec<WindowObservation>>,

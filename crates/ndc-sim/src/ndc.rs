@@ -16,7 +16,6 @@
 use crate::machine::{AccessPath, Machine};
 use ndc_noc::{best_signature_pair, Route};
 use ndc_types::{Cycle, NdcLocation, NodeId, Op, ALL_NDC_LOCATIONS};
-use std::collections::HashMap;
 
 /// Why an NDC attempt did not happen / was abandoned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,35 +104,41 @@ pub enum LocationPolicy {
 
 /// Per-component service tables and in-flight occupancy.
 ///
-/// Entries are (release cycle) heaps keyed by component instance; a
-/// package arriving when `capacity` entries are still alive aborts via
-/// the time-out path.
+/// Entries are (release cycle) lists stored densely: component
+/// instances are `(location, node)` pairs with four locations and a
+/// bounded node count, so slot `node * 4 + location` in a grow-on-
+/// demand `Vec` replaces the former `HashMap<(u8, u32), Vec<Cycle>>`
+/// — the table sits on the offload fast path and is probed for every
+/// candidate meeting.
 #[derive(Debug, Default)]
 pub struct ServiceTables {
-    entries: HashMap<(u8, u32), Vec<Cycle>>,
+    entries: Vec<Vec<Cycle>>,
 }
 
 impl ServiceTables {
-    fn key(loc: NdcLocation, node: NodeId) -> (u8, u32) {
-        (loc.index() as u8, node.0 as u32)
+    fn slot(&mut self, loc: NdcLocation, node: NodeId) -> &mut Vec<Cycle> {
+        let idx = node.0 as usize * 4 + loc.index();
+        if idx >= self.entries.len() {
+            self.entries.resize_with(idx + 1, Vec::new);
+        }
+        &mut self.entries[idx]
     }
 
     /// Count live entries at `now` (pruning released ones).
     fn live(&mut self, loc: NdcLocation, node: NodeId, now: Cycle) -> usize {
-        let v = self.entries.entry(Self::key(loc, node)).or_default();
+        let v = self.slot(loc, node);
         v.retain(|&r| r > now);
         v.len()
     }
 
     fn insert(&mut self, loc: NdcLocation, node: NodeId, release: Cycle) {
-        self.entries
-            .entry(Self::key(loc, node))
-            .or_default()
-            .push(release);
+        self.slot(loc, node).push(release);
     }
 
     pub fn clear(&mut self) {
-        self.entries.clear();
+        for v in &mut self.entries {
+            v.clear();
+        }
     }
 }
 

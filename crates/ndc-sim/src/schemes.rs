@@ -13,7 +13,7 @@
 
 use crate::instrument::WindowObservation;
 use ndc_types::{Cycle, InstKind, NdcLocation, Operand, Trace, TraceProgram};
-use std::collections::HashMap;
+use ndc_types::FxHashMap;
 
 /// How long the first-arriving operand may wait for the second.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,7 +63,7 @@ impl WaitBudget {
 #[derive(Debug, Default)]
 pub struct MarkovPredictor {
     /// Per-PC: (last bucket, transition counts).
-    state: HashMap<ndc_types::Pc, (usize, [[u32; ndc_types::NUM_BUCKETS]; ndc_types::NUM_BUCKETS])>,
+    state: FxHashMap<ndc_types::Pc, (usize, [[u32; ndc_types::NUM_BUCKETS]; ndc_types::NUM_BUCKETS])>,
 }
 
 impl MarkovPredictor {
@@ -245,7 +245,7 @@ pub fn compute_future_reuse_windowed(
     // of operand *values* ("a reuse of one of the operands", Figure 12
     // shows y re-read by y*z and t/y); a later store to the same line
     // overwrites rather than reuses.
-    let mut touches: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut touches: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
     for (i, inst) in trace.insts.iter().enumerate() {
         let reads: Vec<u64> = match inst.kind {
             InstKind::Load { addr } => vec![addr],

@@ -2,12 +2,12 @@
 
 use ndc_mem::CacheStats;
 use ndc_types::{Cycle, NdcLocation, Pc};
-use std::collections::HashMap;
+use ndc_types::FxHashMap;
 
 /// Per-static-reference hit/miss counters, keyed by (PC, operand slot).
 /// Slot 0 is operand `a` / the single operand; slot 1 is operand `b`;
 /// slot 2 is the store target.
-pub type PcCacheCounters = HashMap<(Pc, u8), HitMiss>;
+pub type PcCacheCounters = FxHashMap<(Pc, u8), HitMiss>;
 
 /// Hit/miss counts for one static reference, with the coherence-miss
 /// subset broken out (what the CME estimator cannot predict).

@@ -8,10 +8,9 @@
 //! style banked DRAM with 4 KB row buffers.
 
 use crate::{Cycle, NdcLocation};
-use serde::{Deserialize, Serialize};
 
 /// Geometry and latency of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes (per node for both L1 and L2 banks).
     pub size_bytes: u64,
@@ -37,7 +36,7 @@ impl CacheConfig {
 }
 
 /// On-chip network parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NocConfig {
     /// Mesh width (columns).
     pub width: u16,
@@ -59,7 +58,7 @@ impl NocConfig {
 /// DRAM device timing, reduced to the quantities the simulator's
 /// row-buffer model needs. Derived from the Micron DDR2-800 part in
 /// Table 1 (tRCD/tRP/tCAS ≈ 5-5-5 at a 2:1 core:bus clock ratio).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramConfig {
     /// Banks per device (per memory controller).
     pub banks_per_device: u32,
@@ -82,7 +81,7 @@ pub struct DramConfig {
 
 /// Memory-system parameters: controller count, interleaving, and device
 /// timing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemConfig {
     /// Number of memory controllers (Table 1: 4, placed at the mesh
     /// corners as in Figure 1).
@@ -101,7 +100,7 @@ pub struct MemConfig {
 
 /// Which computation types may be offloaded (Figure 17's last
 /// sensitivity experiment restricts this to `+`/`-`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpClass {
     /// All arithmetic and logic operations (the default in Table 1).
     All,
@@ -121,7 +120,7 @@ impl OpClass {
 /// NDC hardware parameters: which components have compute units enabled
 /// (the "control register" ⓔ in Figure 1), time-out registers, and
 /// service-table capacity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NdcConfig {
     /// Bitmask over [`NdcLocation::index`]: which components are
     /// candidate NDC locations. Figure 14 isolates single components by
@@ -158,7 +157,7 @@ impl NdcConfig {
 
 /// The complete simulated-machine description, the "architecture
 /// description" input of Figure 7.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ArchConfig {
     pub noc: NocConfig,
     pub l1: CacheConfig,
@@ -292,6 +291,70 @@ impl ArchConfig {
     pub fn mc_node(&self, mc: u32) -> crate::NodeId {
         crate::NodeId::from_coord(self.mc_coord(mc), self.noc.width)
     }
+
+    /// JSON echo of the configuration, used by the experiment and bench
+    /// harnesses to stamp result files with the machine they ran on.
+    pub fn to_json(&self) -> crate::Json {
+        use crate::Json;
+        let cache = |c: &CacheConfig| {
+            Json::obj()
+                .with("size_bytes", c.size_bytes)
+                .with("line_bytes", c.line_bytes)
+                .with("ways", c.ways)
+                .with("latency", c.latency)
+        };
+        Json::obj()
+            .with(
+                "noc",
+                Json::obj()
+                    .with("width", self.noc.width as u64)
+                    .with("height", self.noc.height as u64)
+                    .with("link_bytes", self.noc.link_bytes)
+                    .with("hop_cycles", self.noc.hop_cycles),
+            )
+            .with("l1", cache(&self.l1))
+            .with("l2", cache(&self.l2))
+            .with(
+                "mem",
+                Json::obj()
+                    .with("num_controllers", self.mem.num_controllers)
+                    .with("interleave_bytes", self.mem.interleave_bytes)
+                    .with("queue_depth", self.mem.queue_depth)
+                    .with("starvation_cap", self.mem.starvation_cap)
+                    .with(
+                        "dram",
+                        Json::obj()
+                            .with("banks_per_device", self.mem.dram.banks_per_device)
+                            .with("rows_per_bank", self.mem.dram.rows_per_bank)
+                            .with("row_bytes", self.mem.dram.row_bytes)
+                            .with("row_hit_cycles", self.mem.dram.row_hit_cycles)
+                            .with("row_miss_cycles", self.mem.dram.row_miss_cycles)
+                            .with("row_conflict_cycles", self.mem.dram.row_conflict_cycles)
+                            .with("burst_cycles", self.mem.dram.burst_cycles),
+                    ),
+            )
+            .with(
+                "ndc",
+                Json::obj()
+                    .with("enabled_mask", self.ndc.enabled_mask as u64)
+                    .with(
+                        "timeout",
+                        self.ndc.timeout.map_or(Json::Null, Json::UInt),
+                    )
+                    .with("service_table_entries", self.ndc.service_table_entries)
+                    .with("offload_table_entries", self.ndc.offload_table_entries)
+                    .with(
+                        "op_class",
+                        match self.ndc.op_class {
+                            OpClass::All => "all",
+                            OpClass::AddSubOnly => "add_sub_only",
+                        },
+                    ),
+            )
+            .with("threads_per_core", self.threads_per_core)
+            .with("issue_width", self.issue_width)
+            .with("mshrs", self.mshrs)
+    }
 }
 
 #[cfg(test)]
@@ -403,10 +466,15 @@ mod tests {
     }
 
     #[test]
-    fn config_serde_roundtrip() {
+    fn config_json_echo_carries_table1() {
         let c = ArchConfig::paper_default();
-        let json = serde_json::to_string(&c).unwrap();
-        let back: ArchConfig = serde_json::from_str(&json).unwrap();
-        assert_eq!(c, back);
+        let json = c.to_json().render();
+        // Spot-check the Table 1 numbers survive into the emitted JSON.
+        assert!(json.contains(r#""noc":{"width":5,"height":5"#), "{json}");
+        assert!(json.contains(r#""size_bytes":32768"#), "{json}");
+        assert!(json.contains(r#""timeout":500"#), "{json}");
+        assert!(json.contains(r#""op_class":"all""#), "{json}");
+        // Deterministic emission: rendering twice gives identical text.
+        assert_eq!(json, c.to_json().render());
     }
 }

@@ -1,6 +1,5 @@
 //! Mesh coordinates and node identifiers.
 
-use serde::{Deserialize, Serialize};
 
 /// A node's (column, row) position on the 2D mesh.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// byte; we keep `u16` to allow the 6×6 and larger sensitivity sweeps
 /// (Figure 17) and synthetic stress tests.
 #[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord,
 )]
 pub struct Coord {
     pub x: u16,
@@ -41,7 +40,7 @@ impl std::fmt::Display for Coord {
 /// Used as the index into per-node state vectors (cores, L1s, L2 banks,
 /// routers) everywhere in the simulator.
 #[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord,
 )]
 pub struct NodeId(pub u16);
 

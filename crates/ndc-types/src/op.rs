@@ -1,6 +1,5 @@
 //! Arithmetic/logic operations and NDC hardware locations.
 
-use serde::{Deserialize, Serialize};
 
 /// The arithmetic and logic operations that can be offloaded near data.
 ///
@@ -8,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// "any arithmetic or logic operation implemented in a given location of
 /// interest" (§2). The Figure 17 sensitivity study restricts the
 /// offloadable set to `{+, -}`, which [`Op::is_add_sub`] supports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Op {
     Add,
     Sub,
@@ -100,7 +99,7 @@ impl std::fmt::Display for Op {
 /// The four hardware locations the paper considers for near-data
 /// computation (Figure 1: ⓐ link buffers/routers, ⓑ cache controllers,
 /// ⓒ memory controllers, ⓓ main memory banks).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum NdcLocation {
     /// An ALU attached to a NoC router's link buffer.
     LinkBuffer,

@@ -7,7 +7,6 @@
 //! provides the bucketing, histogram, and CDF machinery.
 
 use crate::Cycle;
-use serde::{Deserialize, Serialize};
 
 /// Upper bounds of the finite buckets, in cycles.
 pub const BUCKET_BOUNDS: [Cycle; 6] = [1, 10, 20, 50, 100, 500];
@@ -31,7 +30,7 @@ pub fn bucket_index(window: Option<Cycle>) -> usize {
 }
 
 /// A histogram over the paper's window buckets.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WindowHistogram {
     counts: [u64; NUM_BUCKETS],
 }
@@ -93,7 +92,7 @@ impl WindowHistogram {
 ///
 /// Figure 2's plots are CDFs truncated at 50%; [`Cdf::truncated`]
 /// reproduces that presentation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cdf {
     cumulative: [f64; NUM_BUCKETS],
 }

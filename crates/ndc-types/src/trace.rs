@@ -8,14 +8,13 @@
 //! instruction that offloads an operation to a near-data compute unit.
 
 use crate::{Addr, NodeId, Op, Pc};
-use serde::{Deserialize, Serialize};
 
 /// Identifier linking a `PreCompute` to the later `Compute` that
 /// consumes its result (the paper's offload-table entry tag).
 pub type PrecomputeId = u32;
 
 /// An operand of a two-input computation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Operand {
     /// A value read from memory at the given address. The access walks
     /// the full L1 → NoC → L2 → NoC → MC → DRAM path as needed.
@@ -36,7 +35,7 @@ impl Operand {
 }
 
 /// One dynamic instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Inst {
     /// Static-instruction identity; stable across dynamic instances so
     /// per-PC predictors and Figure 5's time series can key on it.
@@ -45,7 +44,7 @@ pub struct Inst {
 }
 
 /// Instruction kinds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum InstKind {
     /// A plain load (data brought to the core; fills L1).
     Load { addr: Addr },
@@ -149,7 +148,7 @@ impl Inst {
 }
 
 /// The instruction stream of one hardware thread, pinned to one core.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     /// The core this thread runs on.
     pub core: NodeId,
@@ -192,7 +191,7 @@ impl Trace {
 }
 
 /// A whole multithreaded program, lowered: one trace per core.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceProgram {
     pub name: String,
     pub traces: Vec<Trace>,

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Repo verification: offline build, full test suite, and the
+# determinism contract of the ndc-par runtime — `ndc-eval` output must
+# be bit-identical whether the experiment fan-out runs on one thread
+# or eight.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --offline --workspace
+
+echo "== tests (offline) =="
+cargo test -q --offline --workspace
+
+echo "== determinism: NDC_THREADS=1 vs NDC_THREADS=8 =="
+EVAL=target/release/ndc-eval
+tmp1=$(mktemp) && tmp8=$(mktemp)
+trap 'rm -f "$tmp1" "$tmp8"' EXIT
+NDC_THREADS=1 "$EVAL" fig4 --scale test > "$tmp1"
+NDC_THREADS=8 "$EVAL" fig4 --scale test > "$tmp8"
+if ! diff -q "$tmp1" "$tmp8" > /dev/null; then
+    echo "FAIL: parallel output differs from serial output" >&2
+    diff "$tmp1" "$tmp8" | head -20 >&2
+    exit 1
+fi
+echo "ok: fig4 output bit-identical across thread counts"
+
+echo "== all checks passed =="

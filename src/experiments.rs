@@ -5,9 +5,15 @@
 //! work is shared through [`evaluate_benchmark`], which runs the
 //! instrumented baseline, every Figure 4 scheme, and both compiler
 //! algorithms once; figure-specific functions then aggregate. The
-//! 20-benchmark sweeps fan out with rayon (the harness layer is the
-//! only parallel code; each simulation is deterministic and
-//! single-threaded).
+//! 20-benchmark sweeps — and, within one benchmark, the per-scheme
+//! simulations — fan out on the in-tree `ndc-par` runtime (the harness
+//! layer is the only parallel code; each simulation is deterministic
+//! and single-threaded, and `ndc-par` returns results in input order,
+//! so parallel and serial runs produce bit-identical output; set
+//! `NDC_THREADS=1` to force the serial path). Nested fan-outs are
+//! safe: a `parallel_map` issued from inside a worker runs serially,
+//! so the per-scheme level only spawns when a benchmark is evaluated
+//! on its own (e.g. `ndc-eval fig4 --bench swim`).
 
 use ndc_cme::{accuracy_against_sim, AccuracyReport, RefKey};
 use ndc_compiler::{
@@ -23,7 +29,6 @@ use ndc_types::{
     WindowHistogram, ALL_NDC_LOCATIONS,
 };
 use ndc_workloads::{all_benchmarks, Benchmark, Scale};
-use rayon::prelude::*;
 
 /// The Figure 4 scheme lineup, in the paper's bar order (Default,
 /// Oracle, Wait(5/10/25/50%), Last Wait, Algorithm-1, Algorithm-2 —
@@ -95,43 +100,86 @@ pub fn evaluate_benchmark(bench: &Benchmark, cfg: ArchConfig, scale: Scale) -> B
         cores,
         emit_busy: true,
     };
+    // The baseline lowering is shared read-only by the instrumented
+    // run and every measurement scheme — computed once, not per
+    // scheme.
     let traces = lower(&prog, &opts, None);
 
-    // Instrumented baseline: execution time + characterization +
-    // per-reference cache counters.
-    let base_out = Engine::new(cfg, &traces, Scheme::Baseline)
-        .with_instrumentation()
-        .run();
-    let baseline = base_out.result;
-    let instrumentation = base_out.instrumentation.expect("instrumented run");
+    // Every remaining piece of the evaluation is independent given
+    // `traces`: the instrumented baseline (+ CME accuracy), the seven
+    // Figure 4 measurement schemes, and the two compiler algorithms
+    // (each of which lowers its own schedule). Fan them out; ndc-par
+    // returns results in job order, so the output is bit-identical to
+    // the serial path.
+    enum Job {
+        Baseline,
+        Scheme(Scheme),
+        Algorithm(u8),
+    }
+    enum JobOut {
+        Baseline(Box<(SimResult, Instrumentation, AccuracyReport)>),
+        Scheme(SimResult),
+        Algorithm(Box<(SimResult, CompilerReport)>),
+    }
 
-    // Table 2: CME predictions vs the baseline's measured behaviour.
-    let cme = ndc_cme::analyze(&prog, &cfg, cores);
-    let l1_counters = baseline
-        .pc_l1
-        .iter()
-        .map(|(k, v)| (*k, (v.hits, v.misses)))
-        .collect();
-    let l2_counters = baseline
-        .pc_l2
-        .iter()
-        .map(|(k, v)| (*k, (v.hits, v.misses)))
-        .collect();
-    let cme_accuracy = accuracy_against_sim(&cme, &l1_counters, &l2_counters, pc_of_refkey);
+    let mut jobs = vec![Job::Baseline];
+    jobs.extend(figure4_schemes().into_iter().map(Job::Scheme));
+    jobs.push(Job::Algorithm(1));
+    jobs.push(Job::Algorithm(2));
 
-    // The measurement schemes.
-    let scheme_results = figure4_schemes()
-        .into_iter()
-        .map(|s| simulate(cfg, &traces, s).result)
-        .collect();
+    let outs = ndc_par::parallel_map(&jobs, |job| match job {
+        Job::Baseline => {
+            // Instrumented baseline: execution time + characterization
+            // + per-reference cache counters.
+            let base_out = Engine::new(cfg, &traces, Scheme::Baseline)
+                .with_instrumentation()
+                .run();
+            let baseline = base_out.result;
+            let instrumentation = base_out.instrumentation.expect("instrumented run");
+            // Table 2: CME predictions vs the baseline's measured
+            // behaviour.
+            let cme = ndc_cme::analyze(&prog, &cfg, cores);
+            let l1_counters = baseline
+                .pc_l1
+                .iter()
+                .map(|(k, v)| (*k, (v.hits, v.misses)))
+                .collect();
+            let l2_counters = baseline
+                .pc_l2
+                .iter()
+                .map(|(k, v)| (*k, (v.hits, v.misses)))
+                .collect();
+            let cme_accuracy =
+                accuracy_against_sim(&cme, &l1_counters, &l2_counters, pc_of_refkey);
+            JobOut::Baseline(Box::new((baseline, instrumentation, cme_accuracy)))
+        }
+        Job::Scheme(s) => JobOut::Scheme(simulate(cfg, &traces, *s).result),
+        Job::Algorithm(which) => {
+            let (sched, report) = if *which == 1 {
+                compile_algorithm1(&prog, &cfg, cores)
+            } else {
+                compile_algorithm2(&prog, &cfg, cores, Algorithm2Options::default())
+            };
+            let t = lower(&prog, &opts, Some(&sched));
+            let r = simulate(cfg, &t, Scheme::Compiled).result;
+            JobOut::Algorithm(Box::new((r, report)))
+        }
+    });
 
-    // The two compiler algorithms.
-    let (s1, r1) = compile_algorithm1(&prog, &cfg, cores);
-    let t1 = lower(&prog, &opts, Some(&s1));
-    let a1 = simulate(cfg, &t1, Scheme::Compiled).result;
-    let (s2, r2) = compile_algorithm2(&prog, &cfg, cores, Algorithm2Options::default());
-    let t2 = lower(&prog, &opts, Some(&s2));
-    let a2 = simulate(cfg, &t2, Scheme::Compiled).result;
+    let mut baseline_parts = None;
+    let mut scheme_results = Vec::new();
+    let mut algs = Vec::new();
+    for out in outs {
+        match out {
+            JobOut::Baseline(b) => baseline_parts = Some(*b),
+            JobOut::Scheme(r) => scheme_results.push(r),
+            JobOut::Algorithm(a) => algs.push(*a),
+        }
+    }
+    let (baseline, instrumentation, cme_accuracy) =
+        baseline_parts.expect("baseline job ran");
+    let (a2, r2) = algs.pop().expect("algorithm 2 job ran");
+    let (a1, r1) = algs.pop().expect("algorithm 1 job ran");
 
     BenchmarkEvaluation {
         name: bench.name.to_string(),
@@ -144,12 +192,10 @@ pub fn evaluate_benchmark(bench: &Benchmark, cfg: ArchConfig, scale: Scale) -> B
     }
 }
 
-/// Evaluate all 20 benchmarks (rayon fan-out).
+/// Evaluate all 20 benchmarks (ndc-par fan-out, ordered results).
 pub fn evaluate_all(cfg: ArchConfig, scale: Scale) -> Vec<BenchmarkEvaluation> {
-    all_benchmarks()
-        .par_iter()
-        .map(|b| evaluate_benchmark(b, cfg, scale))
-        .collect()
+    let benches = all_benchmarks();
+    ndc_par::parallel_map(&benches, |b| evaluate_benchmark(b, cfg, scale))
 }
 
 // ---------------------------------------------------------------------
@@ -325,22 +371,29 @@ pub fn figure14(bench: &Benchmark, cfg: ArchConfig, scale: Scale) -> Figure14Row
             .improvement_over(&baseline)
     };
 
+    // The five compile+lower+simulate runs (one per isolated location
+    // plus the all-locations bar) are independent given the shared
+    // baseline above.
+    let masks: Vec<u8> = ALL_NDC_LOCATIONS
+        .iter()
+        .map(|&loc| NdcConfig::only(loc))
+        .chain([NdcConfig::ALL_LOCATIONS])
+        .collect();
+    let improvements = ndc_par::parallel_map(&masks, |&m| run_with_mask(m));
     let mut isolated = [0.0; 4];
-    for loc in ALL_NDC_LOCATIONS {
-        isolated[loc.index()] = run_with_mask(NdcConfig::only(loc));
+    for (loc, imp) in ALL_NDC_LOCATIONS.iter().zip(&improvements) {
+        isolated[loc.index()] = *imp;
     }
     Figure14Row {
         name: bench.name.to_string(),
         isolated,
-        all: run_with_mask(NdcConfig::ALL_LOCATIONS),
+        all: improvements[4],
     }
 }
 
 pub fn figure14_all(cfg: ArchConfig, scale: Scale) -> Vec<Figure14Row> {
-    all_benchmarks()
-        .par_iter()
-        .map(|b| figure14(b, cfg, scale))
-        .collect()
+    let benches = all_benchmarks();
+    ndc_par::parallel_map(&benches, |b| figure14(b, cfg, scale))
 }
 
 // ---------------------------------------------------------------------
@@ -433,37 +486,48 @@ pub struct Figure17Row {
 
 /// Run the sensitivity sweep. Each configuration runs baseline, oracle,
 /// and both algorithms on every benchmark; rows are geometric means.
+///
+/// The whole (configuration × benchmark) grid is flattened into one
+/// fan-out so a slow configuration can't serialize the sweep behind a
+/// per-configuration barrier.
 pub fn figure17(scale: Scale) -> Vec<Figure17Row> {
-    figure17_configs()
+    let configs = figure17_configs();
+    let benches = all_benchmarks();
+    let pairs: Vec<(usize, usize)> = (0..configs.len())
+        .flat_map(|ci| (0..benches.len()).map(move |bi| (ci, bi)))
+        .collect();
+
+    let cells: Vec<(f64, f64, f64)> = ndc_par::parallel_map(&pairs, |&(ci, bi)| {
+        let cfg = configs[ci].cfg;
+        let prog = benches[bi].build(scale);
+        let cores = cfg.nodes();
+        let opts = LowerOptions {
+            cores,
+            emit_busy: true,
+        };
+        // Shared baseline lowering for this (config, benchmark) cell;
+        // the oracle run reuses it, only the algorithms re-lower.
+        let traces = lower(&prog, &opts, None);
+        let base = simulate(cfg, &traces, Scheme::Baseline).result;
+        let oracle = simulate(cfg, &traces, Scheme::Oracle { reuse_aware: true })
+            .result
+            .improvement_over(&base);
+        let (s1, _) = compile_algorithm1(&prog, &cfg, cores);
+        let a1 = simulate(cfg, &lower(&prog, &opts, Some(&s1)), Scheme::Compiled)
+            .result
+            .improvement_over(&base);
+        let (s2, _) = compile_algorithm2(&prog, &cfg, cores, Algorithm2Options::default());
+        let a2 = simulate(cfg, &lower(&prog, &opts, Some(&s2)), Scheme::Compiled)
+            .result
+            .improvement_over(&base);
+        (a1, a2, oracle)
+    });
+
+    configs
         .into_iter()
-        .map(|sc| {
-            let rows: Vec<(f64, f64, f64)> = all_benchmarks()
-                .par_iter()
-                .map(|b| {
-                    let prog = b.build(scale);
-                    let cfg = sc.cfg;
-                    let cores = cfg.nodes();
-                    let opts = LowerOptions {
-                        cores,
-                        emit_busy: true,
-                    };
-                    let traces = lower(&prog, &opts, None);
-                    let base = simulate(cfg, &traces, Scheme::Baseline).result;
-                    let oracle = simulate(cfg, &traces, Scheme::Oracle { reuse_aware: true })
-                        .result
-                        .improvement_over(&base);
-                    let (s1, _) = compile_algorithm1(&prog, &cfg, cores);
-                    let a1 = simulate(cfg, &lower(&prog, &opts, Some(&s1)), Scheme::Compiled)
-                        .result
-                        .improvement_over(&base);
-                    let (s2, _) =
-                        compile_algorithm2(&prog, &cfg, cores, Algorithm2Options::default());
-                    let a2 = simulate(cfg, &lower(&prog, &opts, Some(&s2)), Scheme::Compiled)
-                        .result
-                        .improvement_over(&base);
-                    (a1, a2, oracle)
-                })
-                .collect();
+        .enumerate()
+        .map(|(ci, sc)| {
+            let rows = &cells[ci * benches.len()..(ci + 1) * benches.len()];
             let a1: Vec<f64> = rows.iter().map(|r| r.0).collect();
             let a2: Vec<f64> = rows.iter().map(|r| r.1).collect();
             let oracle: Vec<f64> = rows.iter().map(|r| r.2).collect();

@@ -1,97 +1,181 @@
 //! Property-based integration tests: randomly generated programs and
 //! traces must never break the compiler's legality guarantees or the
 //! simulator's accounting.
+//!
+//! No external framework: each property draws ≥256 cases from an
+//! in-tree SplitMix64 stream with a fixed per-test seed, so a failure
+//! reproduces exactly (the panic message names the case index — re-run
+//! with `g.fork(i)` to shrink by hand). Cases are independent, so they
+//! fan out across cores with `ndc_par`; ordered collection keeps any
+//! failure deterministic.
 
 use ndc::prelude::*;
 use ndc_ir::matrix::IMat;
 use ndc_ir::program::{ArrayDecl, ArrayRef, LoopNest, Program, Ref, Stmt};
 use ndc_ir::{lower, DataStore, Interpreter, LowerOptions};
 use ndc_sim::engine::simulate;
-use ndc_types::{Inst, NodeId, Operand, Trace, TraceProgram};
-use proptest::prelude::*;
+use ndc_types::{Inst, NodeId, Operand, SplitMix64, Trace, TraceProgram};
 
-/// Strategy: a random 1-D two-statement program with bounded strides
-/// and offsets. Offsets keep references in bounds for the iteration
-/// domain by construction (arrays are sized from the maximal access).
-fn arb_program() -> impl Strategy<Value = Program> {
-    (
-        2i64..9,     // stride a
-        2i64..9,     // stride b
-        0i64..64,    // offset a
-        0i64..64,    // offset b
-        64i64..256,  // iterations
-        prop::sample::select(vec![Op::Add, Op::Sub, Op::Mul, Op::Max]),
-        any::<bool>(), // second (reuse) statement?
-    )
-        .prop_map(|(sa, sb, oa, ob, n, op, with_reuse)| {
-            let mut p = Program::new("prop");
-            let max_a = (sa * n + oa + 1) as u64;
-            let max_b = (sb * n + ob + 1) as u64;
-            let a = p.add_array(ArrayDecl::new("A", vec![max_a], 8));
-            let b = p.add_array(ArrayDecl::new("B", vec![max_b], 8));
-            let z = p.add_array(ArrayDecl::new("Z", vec![n as u64], 8));
-            let mut body = vec![Stmt::binary(
-                0,
-                ArrayRef::identity(z, 1, vec![0]),
-                op,
-                Ref::Array(ArrayRef::affine(a, IMat::from_rows(&[&[sa]]), vec![oa])),
-                Ref::Array(ArrayRef::affine(b, IMat::from_rows(&[&[sb]]), vec![ob])),
-                1,
-            )];
-            if with_reuse {
-                body.push(Stmt::binary(
-                    1,
-                    ArrayRef::identity(z, 1, vec![0]),
-                    Op::Add,
-                    Ref::Array(ArrayRef::identity(z, 1, vec![0])),
-                    Ref::Array(ArrayRef::identity(z, 1, vec![-1])),
-                    1,
-                ));
-            }
-            p.nests.push(LoopNest::new(0, vec![1], vec![n], body));
-            p.assign_layout(0x10_0000, 4096);
-            p
-        })
+const CASES: usize = 256;
+
+/// Run `prop` on `CASES` independently-seeded cases in parallel.
+/// Worker panics (assertion failures) propagate to the test thread.
+fn for_each_case(seed: u64, prop: impl Fn(usize, &mut SplitMix64) + Sync) {
+    let root = SplitMix64::new(seed);
+    ndc_par::map_indexed(CASES, |i| {
+        let mut g = root.fork(i as u64);
+        prop(i, &mut g);
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// A random 1-D two-statement program with bounded strides and
+/// offsets. Offsets keep references in bounds for the iteration domain
+/// by construction (arrays are sized from the maximal access).
+fn gen_program(g: &mut SplitMix64) -> Program {
+    let sa = g.range_i64(2, 9);
+    let sb = g.range_i64(2, 9);
+    let oa = g.range_i64(0, 64);
+    let ob = g.range_i64(0, 64);
+    let n = g.range_i64(64, 256);
+    let op = *g.choose(&[Op::Add, Op::Sub, Op::Mul, Op::Max]);
+    let with_reuse = g.chance(0.5);
 
-    /// Whatever the compiler decides, the transformed program computes
-    /// the same values as the original.
-    #[test]
-    fn compiled_programs_always_preserve_semantics(prog in arb_program()) {
-        let cfg = ArchConfig::paper_default();
+    let mut p = Program::new("prop");
+    let max_a = (sa * n + oa + 1) as u64;
+    let max_b = (sb * n + ob + 1) as u64;
+    let a = p.add_array(ArrayDecl::new("A", vec![max_a], 8));
+    let b = p.add_array(ArrayDecl::new("B", vec![max_b], 8));
+    let z = p.add_array(ArrayDecl::new("Z", vec![n as u64], 8));
+    let mut body = vec![Stmt::binary(
+        0,
+        ArrayRef::identity(z, 1, vec![0]),
+        op,
+        Ref::Array(ArrayRef::affine(a, IMat::from_rows(&[&[sa]]), vec![oa])),
+        Ref::Array(ArrayRef::affine(b, IMat::from_rows(&[&[sb]]), vec![ob])),
+        1,
+    )];
+    if with_reuse {
+        body.push(Stmt::binary(
+            1,
+            ArrayRef::identity(z, 1, vec![0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(z, 1, vec![0])),
+            Ref::Array(ArrayRef::identity(z, 1, vec![-1])),
+            1,
+        ));
+    }
+    p.nests.push(LoopNest::new(0, vec![1], vec![n], body));
+    p.assign_layout(0x10_0000, 4096);
+    p
+}
+
+/// Random 2-D programs with stencil-style offsets — the regime where
+/// dependence analysis, loop transforms, and lookahead legality all
+/// interact.
+fn gen_program_2d(g: &mut SplitMix64) -> Program {
+    let ni = g.range_i64(8, 24);
+    let nj = g.range_i64(8, 24);
+    let di = g.range_i64(-2, 3);
+    let dj = g.range_i64(-2, 3);
+    let self_ref = g.chance(0.5);
+    let op = *g.choose(&[Op::Add, Op::Sub, Op::Max]);
+
+    let mut p = Program::new("prop2d");
+    let pad = 4u64;
+    let x = p.add_array(ArrayDecl::new(
+        "X",
+        vec![(ni as u64) + pad, (nj as u64) + pad],
+        8,
+    ));
+    let y = p.add_array(ArrayDecl::new(
+        "Y",
+        vec![(ni as u64) + pad, (nj as u64) + pad],
+        8,
+    ));
+    let src = if self_ref { x } else { y };
+    let s = Stmt::binary(
+        0,
+        ArrayRef::identity(x, 2, vec![0, 0]),
+        op,
+        Ref::Array(ArrayRef::identity(src, 2, vec![di, dj])),
+        Ref::Array(ArrayRef::identity(y, 2, vec![0, 0])),
+        1,
+    );
+    p.nests
+        .push(LoopNest::new(0, vec![2, 2], vec![ni, nj], vec![s]));
+    p.assign_layout(0x10_0000, 4096);
+    p
+}
+
+/// Raw traces: arbitrary instruction mixes on a few cores.
+fn gen_trace_program(g: &mut SplitMix64) -> TraceProgram {
+    let mut p = TraceProgram::new("fuzz");
+    let cores = g.range_u64(1, 6);
+    for i in 0..cores {
+        let mut t = Trace::new(NodeId(i as u16));
+        let len = g.range_u64(1, 64);
+        for _ in 0..len {
+            let kind = g.below(5) as u8;
+            let x = g.below(64);
+            let y = g.below(64);
+            let a = 0x10_0000 + x * 64;
+            let b = 0x20_0000 + y * 64;
+            t.insts.push(match kind {
+                0 => Inst::load(0, a),
+                1 => Inst::store(1, a),
+                2 => Inst::busy(2, (x % 7) as u32 + 1),
+                3 => Inst::compute(3, Op::Add, Operand::Mem(a), Operand::Mem(b), None),
+                _ => Inst::compute(4, Op::Mul, Operand::Mem(a), Operand::Imm(2.0), Some(b)),
+            });
+        }
+        p.traces.push(t);
+    }
+    p
+}
+
+/// Whatever the compiler decides, the transformed program computes
+/// the same values as the original.
+#[test]
+fn compiled_programs_always_preserve_semantics() {
+    let cfg = ArchConfig::paper_default();
+    for_each_case(0x9_0b_1, |i, g| {
+        let prog = gen_program(g);
         let (s1, _) = compile_algorithm1(&prog, &cfg, cfg.nodes());
         let (s2, _) = compile_algorithm2(&prog, &cfg, cfg.nodes(), Algorithm2Options::default());
         let mut reference = DataStore::init(&prog);
         Interpreter::new(&prog).run(&mut reference);
         for sched in [&s1, &s2] {
-            prop_assert!(sched.validate(&prog).is_ok());
+            assert!(sched.validate(&prog).is_ok(), "case {i}: invalid schedule");
             let mut out = DataStore::init(&prog);
             Interpreter::new(&prog).run_scheduled(&mut out, sched);
-            prop_assert_eq!(reference.checksum(), out.checksum());
+            assert_eq!(reference.checksum(), out.checksum(), "case {i}");
         }
-    }
+    });
+}
 
-    /// Lowered compiled traces always have consistent pre-compute
-    /// links and preserve the compute count.
-    #[test]
-    fn lowering_preserves_compute_population(prog in arb_program()) {
-        let cfg = ArchConfig::paper_default();
+/// Lowered compiled traces always have consistent pre-compute links
+/// and preserve the compute count.
+#[test]
+fn lowering_preserves_compute_population() {
+    let cfg = ArchConfig::paper_default();
+    for_each_case(0x9_0b_2, |i, g| {
+        let prog = gen_program(g);
         let opts = LowerOptions { cores: cfg.nodes(), emit_busy: true };
         let base = lower(&prog, &opts, None);
         let (sched, _) = compile_algorithm1(&prog, &cfg, cfg.nodes());
         let compiled = lower(&prog, &opts, Some(&sched));
-        prop_assert!(compiled.validate_precompute_links().is_ok());
-        prop_assert_eq!(base.total_computes(), compiled.total_computes());
-    }
+        assert!(compiled.validate_precompute_links().is_ok(), "case {i}");
+        assert_eq!(base.total_computes(), compiled.total_computes(), "case {i}");
+    });
+}
 
-    /// The simulator never loses computations: eligible counts match
-    /// the trace, and NDC accounting adds up under every scheme.
-    #[test]
-    fn simulator_accounting_is_closed(prog in arb_program()) {
-        let cfg = ArchConfig::paper_default();
+/// The simulator never loses computations: eligible counts match the
+/// trace, and NDC accounting adds up under every scheme.
+#[test]
+fn simulator_accounting_is_closed() {
+    let cfg = ArchConfig::paper_default();
+    for_each_case(0x9_0b_3, |i, g| {
+        let prog = gen_program(g);
         let opts = LowerOptions { cores: cfg.nodes(), emit_busy: true };
         let traces = lower(&prog, &opts, None);
         for scheme in [
@@ -100,139 +184,72 @@ proptest! {
             Scheme::Oracle { reuse_aware: true },
         ] {
             let r = simulate(cfg, &traces, scheme).result;
-            prop_assert!(r.total_cycles > 0);
-            prop_assert_eq!(r.total_computes, traces.total_computes());
-            prop_assert!(r.ndc_total() + r.ndc_aborts + r.ndc_local_hits <= r.ndc_attempts);
+            assert!(r.total_cycles > 0, "case {i}");
+            assert_eq!(r.total_computes, traces.total_computes(), "case {i}");
+            assert!(
+                r.ndc_total() + r.ndc_aborts + r.ndc_local_hits <= r.ndc_attempts,
+                "case {i}: accounting not closed"
+            );
             // Per-core finish times never exceed the total.
             for &c in &r.per_core_cycles {
-                prop_assert!(c <= r.total_cycles);
+                assert!(c <= r.total_cycles, "case {i}");
             }
         }
-    }
+    });
 }
 
-/// Strategy: random 2-D programs with stencil-style offsets — the
-/// regime where dependence analysis, loop transforms, and lookahead
-/// legality all interact.
-fn arb_program_2d() -> impl Strategy<Value = Program> {
-    (
-        8i64..24,                       // rows
-        8i64..24,                       // cols
-        -2i64..3,                       // row offset of the lagging read
-        -2i64..3,                       // col offset of the lagging read
-        any::<bool>(),                  // self-referencing (wavefront)?
-        prop::sample::select(vec![Op::Add, Op::Sub, Op::Max]),
-    )
-        .prop_map(|(ni, nj, di, dj, self_ref, op)| {
-            let mut p = Program::new("prop2d");
-            let pad = 4u64;
-            let x = p.add_array(ArrayDecl::new(
-                "X",
-                vec![(ni as u64) + pad, (nj as u64) + pad],
-                8,
-            ));
-            let y = p.add_array(ArrayDecl::new(
-                "Y",
-                vec![(ni as u64) + pad, (nj as u64) + pad],
-                8,
-            ));
-            let src = if self_ref { x } else { y };
-            let s = Stmt::binary(
-                0,
-                ArrayRef::identity(x, 2, vec![0, 0]),
-                op,
-                Ref::Array(ArrayRef::identity(src, 2, vec![di, dj])),
-                Ref::Array(ArrayRef::identity(y, 2, vec![0, 0])),
-                1,
-            );
-            p.nests
-                .push(LoopNest::new(0, vec![2, 2], vec![ni, nj], vec![s]));
-            p.assign_layout(0x10_0000, 4096);
-            p
-        })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// 2-D programs — including wavefront self-references whose
-    /// dependences constrain transformation and lookahead — always
-    /// compile to semantics-preserving schedules.
-    #[test]
-    fn two_dimensional_programs_compile_safely(prog in arb_program_2d()) {
-        let cfg = ArchConfig::paper_default();
+/// 2-D programs — including wavefront self-references whose
+/// dependences constrain transformation and lookahead — always
+/// compile to semantics-preserving schedules.
+#[test]
+fn two_dimensional_programs_compile_safely() {
+    let cfg = ArchConfig::paper_default();
+    for_each_case(0x9_0b_4, |i, g| {
+        let prog = gen_program_2d(g);
         let (s1, _) = compile_algorithm1(&prog, &cfg, cfg.nodes());
         let (s2, _) = compile_algorithm2(&prog, &cfg, cfg.nodes(), Algorithm2Options::default());
         let mut reference = DataStore::init(&prog);
         Interpreter::new(&prog).run(&mut reference);
         for sched in [&s1, &s2] {
-            prop_assert!(sched.validate(&prog).is_ok());
+            assert!(sched.validate(&prog).is_ok(), "case {i}");
             // Any adopted transform must be legal for the nest's
             // dependences.
             for nest in &prog.nests {
                 if let Some(t) = sched.transforms.get(&nest.id) {
                     let deps = ndc_ir::DependenceGraph::analyze(nest);
-                    prop_assert!(deps.transformation_legal(t));
+                    assert!(deps.transformation_legal(t), "case {i}: illegal transform");
                 }
             }
             let mut out = DataStore::init(&prog);
             Interpreter::new(&prog).run_scheduled(&mut out, sched);
-            prop_assert_eq!(reference.checksum(), out.checksum());
+            assert_eq!(reference.checksum(), out.checksum(), "case {i}");
         }
-    }
+    });
+}
 
-    /// Lowered 2-D compiled traces simulate without losing computes.
-    #[test]
-    fn two_dimensional_simulation_accounting(prog in arb_program_2d()) {
-        let cfg = ArchConfig::paper_default();
+/// Lowered 2-D compiled traces simulate without losing computes.
+#[test]
+fn two_dimensional_simulation_accounting() {
+    let cfg = ArchConfig::paper_default();
+    for_each_case(0x9_0b_5, |i, g| {
+        let prog = gen_program_2d(g);
         let opts = LowerOptions { cores: cfg.nodes(), emit_busy: true };
         let (sched, _) = compile_algorithm1(&prog, &cfg, cfg.nodes());
         let traces = lower(&prog, &opts, Some(&sched));
-        prop_assert!(traces.validate_precompute_links().is_ok());
+        assert!(traces.validate_precompute_links().is_ok(), "case {i}");
         let r = simulate(cfg, &traces, Scheme::Compiled).result;
-        prop_assert_eq!(r.total_computes, traces.total_computes());
-        prop_assert!(r.total_cycles > 0);
-    }
+        assert_eq!(r.total_computes, traces.total_computes(), "case {i}");
+        assert!(r.total_cycles > 0, "case {i}");
+    });
 }
 
-/// Strategy for raw traces: arbitrary instruction mixes on a few cores.
-fn arb_trace_program() -> impl Strategy<Value = TraceProgram> {
-    prop::collection::vec(
-        prop::collection::vec(
-            (0u8..5, 0u64..64, 0u64..64).prop_map(|(kind, x, y)| {
-                let a = 0x10_0000 + x * 64;
-                let b = 0x20_0000 + y * 64;
-                match kind {
-                    0 => Inst::load(0, a),
-                    1 => Inst::store(1, a),
-                    2 => Inst::busy(2, (x % 7) as u32 + 1),
-                    3 => Inst::compute(3, Op::Add, Operand::Mem(a), Operand::Mem(b), None),
-                    _ => Inst::compute(4, Op::Mul, Operand::Mem(a), Operand::Imm(2.0), Some(b)),
-                }
-            }),
-            1..64,
-        ),
-        1..6,
-    )
-    .prop_map(|cores| {
-        let mut p = TraceProgram::new("fuzz");
-        for (i, insts) in cores.into_iter().enumerate() {
-            let mut t = Trace::new(NodeId(i as u16));
-            t.insts = insts;
-            p.traces.push(t);
-        }
-        p
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The engine survives arbitrary instruction mixes without
-    /// panicking, and remains deterministic.
-    #[test]
-    fn engine_is_total_and_deterministic_on_fuzzed_traces(prog in arb_trace_program()) {
-        let cfg = ArchConfig::paper_default();
+/// The engine survives arbitrary instruction mixes without panicking,
+/// and remains deterministic.
+#[test]
+fn engine_is_total_and_deterministic_on_fuzzed_traces() {
+    let cfg = ArchConfig::paper_default();
+    for_each_case(0x9_0b_6, |i, g| {
+        let prog = gen_trace_program(g);
         for scheme in [
             Scheme::Baseline,
             Scheme::NdcAll { budget: WaitBudget::Forever },
@@ -241,8 +258,8 @@ proptest! {
         ] {
             let a = simulate(cfg, &prog, scheme).result;
             let b = simulate(cfg, &prog, scheme).result;
-            prop_assert_eq!(a.total_cycles, b.total_cycles);
-            prop_assert_eq!(a.noc_messages, b.noc_messages);
+            assert_eq!(a.total_cycles, b.total_cycles, "case {i}");
+            assert_eq!(a.noc_messages, b.noc_messages, "case {i}");
         }
-    }
+    });
 }
