@@ -38,7 +38,9 @@ fn main() {
             .total_cycles
     });
     h.bench("compiled_alg2", || {
-        simulate(cfg, &compiled, Scheme::Compiled).result.total_cycles
+        simulate(cfg, &compiled, Scheme::Compiled)
+            .result
+            .total_cycles
     });
     h.finish();
 }

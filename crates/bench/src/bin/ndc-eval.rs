@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! ndc-eval <experiment> [--scale test|paper] [--bench <name>]
+//!                       [--metrics <out.json>] [--trace <out.trace.json>]
 //!
 //! experiments:
 //!   table1            simulated configuration (paper Table 1)
@@ -20,21 +21,49 @@
 //!   ablation-coarse   fine-grain vs whole-nest mapping
 //!   all               everything above in sequence
 //! ```
+//!
+//! `--metrics` writes a per-run component-level breakdown (engine,
+//! NDC, caches, directory, NoC links, DRAM channels) of every
+//! benchmark-evaluation run as JSON; `--trace` additionally writes the
+//! latest NDC offload events in Chrome trace format (load it at
+//! `chrome://tracing` or Perfetto). Both apply to experiments that run
+//! the shared benchmark evaluation (table2, fig2-fig6, fig13, fig15,
+//! fig16); the output is byte-identical for any `NDC_THREADS`.
 
 use ndc::experiments as exp;
+use ndc::obs::ObsLevel;
 use ndc::prelude::*;
-use ndc_types::{geomean_improvement, BUCKET_LABELS};
+use ndc_types::{geomean_improvement, Json, BUCKET_LABELS};
+
+/// Ring capacity per simulated run when `--trace` is on: enough to
+/// hold the tail of any test-scale run without unbounded memory.
+const TRACE_RING_CAPACITY: usize = 4096;
 
 struct Args {
     experiment: String,
     scale: Scale,
     bench: Option<String>,
+    metrics: Option<String>,
+    trace: Option<String>,
+}
+
+impl Args {
+    /// Observability requested on the command line.
+    fn obs_level(&self) -> ObsLevel {
+        match (&self.metrics, &self.trace) {
+            (None, None) => ObsLevel::off(),
+            (_, None) => ObsLevel::metrics(),
+            (_, Some(_)) => ObsLevel::with_trace(TRACE_RING_CAPACITY),
+        }
+    }
 }
 
 fn parse_args() -> Args {
     let mut experiment = String::from("help");
     let mut scale = Scale::Paper;
     let mut bench = None;
+    let mut metrics = None;
+    let mut trace = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -50,6 +79,8 @@ fn parse_args() -> Args {
                 };
             }
             "--bench" => bench = it.next(),
+            "--metrics" => metrics = it.next(),
+            "--trace" => trace = it.next(),
             other if experiment == "help" => experiment = other.to_string(),
             other => eprintln!("ignoring extra argument '{other}'"),
         }
@@ -58,6 +89,8 @@ fn parse_args() -> Args {
         experiment,
         scale,
         bench,
+        metrics,
+        trace,
     }
 }
 
@@ -115,9 +148,14 @@ fn main() {
         }
         _ => {
             println!("usage: ndc-eval <experiment> [--scale test|paper] [--bench <name>]");
+            println!(
+                "                             [--metrics <out.json>] [--trace <out.trace.json>]"
+            );
             println!("experiments: list table1 table2 fig2 fig3 fig4 fig5 fig6 fig13 fig14");
             println!("             fig15 fig16 fig17 ablation-routing ablation-coarse");
             println!("             ablation-k ablation-markov ablation-layout all");
+            println!("--metrics: per-run component breakdown JSON (benchmark-evaluation runs)");
+            println!("--trace:   NDC offload events, Chrome trace format (implies metrics)");
         }
     }
 }
@@ -130,7 +168,69 @@ fn with_evals(args: &Args, cfg: ArchConfig, f: impl Fn(&[exp::BenchmarkEvaluatio
 
 fn eval_benches(args: &Args, cfg: ArchConfig) -> Vec<exp::BenchmarkEvaluation> {
     let list = benches(&args.bench);
-    ndc_par::parallel_map(&list, |b| exp::evaluate_benchmark(b, cfg, args.scale))
+    let obs = args.obs_level();
+    if !obs.any() {
+        return ndc_par::parallel_map(&list, |b| exp::evaluate_benchmark(b, cfg, args.scale));
+    }
+    let pairs = ndc_par::parallel_map(&list, |b| {
+        exp::evaluate_benchmark_obs(b, cfg, args.scale, obs)
+    });
+    let (mut evals, mut all_obs) = (Vec::new(), Vec::new());
+    for (e, o) in pairs {
+        evals.push(e);
+        all_obs.push(o);
+    }
+    write_obs_outputs(args, &evals, &all_obs);
+    evals
+}
+
+/// Write `--metrics` / `--trace` artifacts collected from the shared
+/// benchmark evaluation. Benchmarks and runs appear in job input
+/// order, so the files are byte-identical under any `NDC_THREADS`.
+fn write_obs_outputs(args: &Args, evals: &[exp::BenchmarkEvaluation], all_obs: &[exp::BenchObs]) {
+    if let Some(path) = &args.metrics {
+        let mut bench_arr = Vec::new();
+        for (e, o) in evals.iter().zip(all_obs) {
+            let runs: Vec<Json> = o
+                .per_run
+                .iter()
+                .map(|(label, m)| {
+                    Json::obj()
+                        .with("run", label.as_str())
+                        .with("metrics", m.to_json())
+                })
+                .collect();
+            bench_arr.push(Json::obj().with("name", e.name.as_str()).with("runs", runs));
+        }
+        let doc = Json::obj()
+            .with("experiment", args.experiment.as_str())
+            .with("scale", format!("{:?}", args.scale))
+            .with("benchmarks", bench_arr);
+        write_json(path, &doc);
+    }
+    if let Some(path) = &args.trace {
+        // One Chrome-trace process per (benchmark, run); trace_json
+        // assigns pids in slice order.
+        let mut runs = Vec::new();
+        for (e, o) in evals.iter().zip(all_obs) {
+            for (label, events) in &o.per_run_events {
+                runs.push((format!("{}/{}", e.name, label), events.clone()));
+            }
+        }
+        write_json(path, &ndc::obs::trace_json(&runs));
+    }
+}
+
+fn write_json(path: &str, doc: &Json) {
+    let mut text = doc.render();
+    text.push('\n');
+    match std::fs::write(path, text) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn list_benchmarks() {
@@ -213,7 +313,12 @@ fn table2_cmd(evals: &[exp::BenchmarkEvaluation]) {
 
 fn fig2(evals: &[exp::BenchmarkEvaluation]) {
     println!("== Figure 2: arrival-window CDFs (%, truncated at 50) ==");
-    let loc_names = ["link buffer", "L2 controller", "memory controller", "main memory"];
+    let loc_names = [
+        "link buffer",
+        "L2 controller",
+        "memory controller",
+        "main memory",
+    ];
     let rows = exp::figure2(evals);
     for (li, lname) in loc_names.iter().enumerate() {
         println!("--- ({}) {} ---", (b'a' + li as u8) as char, lname);
@@ -236,7 +341,12 @@ fn fig2(evals: &[exp::BenchmarkEvaluation]) {
 fn fig3(evals: &[exp::BenchmarkEvaluation]) {
     println!("== Figure 3: breakeven points vs arrival windows (% per bucket) ==");
     let f3 = exp::figure3(evals);
-    let loc_names = ["link buffer", "cache controller", "memory controller", "main memory"];
+    let loc_names = [
+        "link buffer",
+        "cache controller",
+        "memory controller",
+        "main memory",
+    ];
     print!("{:<34}", "location / series");
     for l in BUCKET_LABELS {
         print!(" {l:>6}");
@@ -441,7 +551,9 @@ fn fig17(args: &Args) {
             r.label, r.alg1, r.alg2, r.oracle
         );
     }
-    println!("(paper: larger meshes help; L2 capacity is neutral; +/- restriction gives 14.1/16.5)");
+    println!(
+        "(paper: larger meshes help; L2 capacity is neutral; +/- restriction gives 14.1/16.5)"
+    );
     println!();
 }
 
@@ -456,8 +568,7 @@ fn ablation_routing(args: &Args, cfg: ArchConfig) {
     let mut drops = Vec::new();
     for r in &rows {
         let drop = if r.router_ndc_with > 0 {
-            100.0 * (r.router_ndc_with - r.router_ndc_without) as f64
-                / r.router_ndc_with as f64
+            100.0 * (r.router_ndc_with - r.router_ndc_without) as f64 / r.router_ndc_with as f64
         } else {
             0.0
         };
@@ -482,9 +593,15 @@ fn ablation_routing(args: &Args, cfg: ArchConfig) {
 fn ablation_k(args: &Args, cfg: ArchConfig) {
     println!("== Extension: Algorithm 2 reuse-threshold k sweep ==");
     let ks = [0u32, 1, 2, 4, 8];
-    println!("{:<10} {:>4} {:>10} {:>12}", "bench", "k", "improve%", "exercised%");
+    println!(
+        "{:<10} {:>4} {:>10} {:>12}",
+        "bench", "k", "improve%", "exercised%"
+    );
     let names = if args.bench.is_some() {
-        benches(&args.bench).iter().map(|b| b.name).collect::<Vec<_>>()
+        benches(&args.bench)
+            .iter()
+            .map(|b| b.name)
+            .collect::<Vec<_>>()
     } else {
         vec!["md", "water", "bt", "cholesky"]
     };
@@ -511,7 +628,9 @@ fn ablation_markov(args: &Args, cfg: ArchConfig) {
         "bench", "lastwait", "markov", "oracle"
     );
     let list = benches(&args.bench);
-    let rows = ndc_par::parallel_map(&list, |b| ndc::experiments::ablation_markov(b, cfg, args.scale));
+    let rows = ndc_par::parallel_map(&list, |b| {
+        ndc::experiments::ablation_markov(b, cfg, args.scale)
+    });
     let (mut lw, mut mk) = (Vec::new(), Vec::new());
     for r in &rows {
         println!(
@@ -538,7 +657,9 @@ fn ablation_layout(args: &Args, cfg: ArchConfig) {
         "bench", "without", "with-layout", "aligned"
     );
     let list = benches(&args.bench);
-    let rows = ndc_par::parallel_map(&list, |b| ndc::experiments::ablation_layout(b, cfg, args.scale));
+    let rows = ndc_par::parallel_map(&list, |b| {
+        ndc::experiments::ablation_layout(b, cfg, args.scale)
+    });
     for r in &rows {
         println!(
             "{:<10} {:>9.1} {:>12.1} {:>9}",

@@ -41,18 +41,25 @@ pub struct Harness {
 
 impl Harness {
     pub fn new(suite: &str) -> Self {
-        let fast = std::env::var("NDC_BENCH_FAST").map_or(false, |v| v == "1");
+        let fast = std::env::var("NDC_BENCH_FAST").is_ok_and(|v| v == "1");
         let samples = std::env::var("NDC_BENCH_SAMPLES")
             .ok()
             .and_then(|v| v.parse::<usize>().ok())
             .filter(|&n| n >= 1)
             .unwrap_or(if fast { 3 } else { 15 });
         println!("== bench suite: {suite} ({samples} samples, median of samples) ==");
-        println!("{:<28} {:>14} {:>14} {:>14} {:>8}", "name", "median", "min", "max", "iters");
+        println!(
+            "{:<28} {:>14} {:>14} {:>14} {:>8}",
+            "name", "median", "min", "max", "iters"
+        );
         Harness {
             suite: suite.to_string(),
             samples,
-            target_ns: if fast { TARGET_SAMPLE_NANOS / 10 } else { TARGET_SAMPLE_NANOS },
+            target_ns: if fast {
+                TARGET_SAMPLE_NANOS / 10
+            } else {
+                TARGET_SAMPLE_NANOS
+            },
             rows: Vec::new(),
         }
     }

@@ -9,8 +9,8 @@
 //! source of disagreement, exactly as the paper reports.
 
 use crate::predict::{CmeAnalysis, RefKey};
-use ndc_types::Pc;
 use ndc_types::FxHashMap;
+use ndc_types::Pc;
 
 /// The simulator-side per-reference counters the accuracy comparison
 /// consumes: `(pc, slot) → (hits, misses)`.
@@ -133,7 +133,8 @@ mod tests {
     #[test]
     fn unexecuted_references_are_skipped() {
         let (a, _) = analysis_with(0.5, 0.5);
-        let rep = accuracy_against_sim(&a, &SimCounters::default(), &SimCounters::default(), |_| 16);
+        let rep =
+            accuracy_against_sim(&a, &SimCounters::default(), &SimCounters::default(), |_| 16);
         assert_eq!(rep.l1_accesses, 0);
         assert_eq!(rep.l1_accuracy_pct, 0.0);
     }

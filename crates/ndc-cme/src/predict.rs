@@ -4,8 +4,8 @@
 
 use crate::reuse::{analyze_reuse, ReuseInfo, ReuseKind};
 use ndc_ir::program::{LoopNest, Program};
-use ndc_types::{ArchConfig, Pc};
 use ndc_types::FxHashMap;
+use ndc_types::{ArchConfig, Pc};
 
 /// Identity of one static reference: nest position, statement position
 /// within the nest body, and operand slot (0 = `a`, 1 = `b`, 2 = store
@@ -164,8 +164,7 @@ fn analyze_nest(
                 // always hits.
                 0.02
             }
-            ReuseKind::SelfTemporal { distance }
-            | ReuseKind::GroupTemporal { distance, .. } => {
+            ReuseKind::SelfTemporal { distance } | ReuseKind::GroupTemporal { distance, .. } => {
                 // Reuse window: iterations between reuse × bytes per
                 // iteration.
                 let iters = distance_iterations(distance, &extents);
@@ -408,7 +407,8 @@ mod tests {
             Ref::Array(ArrayRef::identity(x, 2, vec![-1, 0])),
             1,
         );
-        p.nests.push(LoopNest::new(0, vec![1, 0], vec![64, 2048], vec![s]));
+        p.nests
+            .push(LoopNest::new(0, vec![1, 0], vec![64, 2048], vec![s]));
         p.assign_layout(0, 4096);
         let a = analyze(&p, &cfg(), 25);
         assert_eq!(a.predictions.len(), 3);

@@ -228,10 +228,7 @@ mod tests {
         let nest = LoopNest::new(0, vec![0, 0], vec![64, 64], vec![]);
         assert_eq!(innermost_stride(&p, &r, &nest), 8);
         let info = analyze_reuse(&p, &nest, 0, 0, &r, 64);
-        assert_eq!(
-            info.kind,
-            ReuseKind::SelfSpatial { stride_bytes: 8 }
-        );
+        assert_eq!(info.kind, ReuseKind::SelfSpatial { stride_bytes: 8 });
     }
 
     #[test]
@@ -239,11 +236,7 @@ mod tests {
         let p = prog2d();
         let x = ndc_ir::program::ArrayId(0);
         // X[j][i]: innermost j varies the ROW -> stride = 64*8 bytes.
-        let r = ArrayRef::affine(
-            x,
-            IMat::from_rows(&[&[0, 1], &[1, 0]]),
-            vec![0, 0],
-        );
+        let r = ArrayRef::affine(x, IMat::from_rows(&[&[0, 1], &[1, 0]]), vec![0, 0]);
         let nest = LoopNest::new(0, vec![0, 0], vec![64, 64], vec![]);
         assert_eq!(innermost_stride(&p, &r, &nest), 64 * 8);
         let info = analyze_reuse(&p, &nest, 0, 0, &r, 64);

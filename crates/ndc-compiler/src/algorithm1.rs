@@ -74,8 +74,7 @@ pub(crate) fn compile_inner(
         let deps = DependenceGraph::analyze(nest);
 
         // Plan the nest as written.
-        let (base_plans, base_counts) =
-            plan_nest(prog, cfg, cores, reuse_k, nest_pos, nest, &deps);
+        let (base_plans, base_counts) = plan_nest(prog, cfg, cores, reuse_k, nest_pos, nest, &deps);
 
         // Loop-transformation search: a candidate `T` is adopted only
         // when, applied to the nest, it lets the planner offload
@@ -259,11 +258,9 @@ fn plan_chain(
     // by locality. Algorithm 2 requires *both* to miss: a chain with
     // one cached operand is exactly where NDC destroys reuse.
     let gate = if strict {
-        p_l1_a.min(p_l1_b) >= ALG2_MIN_L1_MISS_PROB
-            && v.same_l1_line <= ALG2_MAX_SAME_L1_LINE
+        p_l1_a.min(p_l1_b) >= ALG2_MIN_L1_MISS_PROB && v.same_l1_line <= ALG2_MAX_SAME_L1_LINE
     } else {
-        p_l1_a.max(p_l1_b) >= ALG1_MIN_L1_MISS_PROB
-            && v.same_l1_line <= ALG1_MAX_SAME_L1_LINE
+        p_l1_a.max(p_l1_b) >= ALG1_MIN_L1_MISS_PROB && v.same_l1_line <= ALG1_MAX_SAME_L1_LINE
     };
     if !gate {
         return None;
@@ -294,10 +291,7 @@ fn plan_chain(
 }
 
 /// The trial-order target selection with viability gates.
-fn select_target(
-    cfg: &ArchConfig,
-    v: &TargetViability,
-) -> Option<(NdcLocation, i32, bool)> {
+fn select_target(cfg: &ArchConfig, v: &TargetViability) -> Option<(NdcLocation, i32, bool)> {
     let enabled = |l: NdcLocation| cfg.ndc.location_enabled(l);
     // 1. L2 bank: operands co-homed often enough.
     if enabled(NdcLocation::CacheController) && v.same_bank >= MIN_COLOCATION {
@@ -408,7 +402,6 @@ fn estimate_cycles_per_iter(nest: &LoopNest, prog: &Program, cfg: &ArchConfig) -
     (work as f64 + issue + 4.0).max(1.0)
 }
 
-
 #[derive(Debug, Clone, Copy)]
 struct NestScore {
     /// Mean predicted L1 miss rate over all references; a transform
@@ -500,8 +493,7 @@ mod tests {
             stride8(12800),
             1,
         );
-        p.nests
-            .push(LoopNest::new(0, vec![0], vec![4000], vec![s]));
+        p.nests.push(LoopNest::new(0, vec![0], vec![4000], vec![s]));
         p.assign_layout(0, 4096);
         p
     }
@@ -550,15 +542,11 @@ mod tests {
             s8(y, 0),
             1,
         );
-        p.nests
-            .push(LoopNest::new(0, vec![0], vec![4000], vec![s]));
+        p.nests.push(LoopNest::new(0, vec![0], vec![4000], vec![s]));
         p.assign_layout(0, 4096);
         let (sched, report) = compile_algorithm1(&p, &cfg(), 25);
         assert_eq!(report.planned, 1);
-        assert_ne!(
-            sched.precomputes[0].target,
-            NdcLocation::CacheController
-        );
+        assert_ne!(sched.precomputes[0].target, NdcLocation::CacheController);
     }
 
     #[test]
@@ -587,8 +575,7 @@ mod tests {
             Ref::Array(ArrayRef::identity(x, 1, vec![0])),
             1,
         );
-        p.nests
-            .push(LoopNest::new(0, vec![2], vec![7002], vec![s]));
+        p.nests.push(LoopNest::new(0, vec![2], vec![7002], vec![s]));
         p.assign_layout(0, 4096);
         let (sched, _) = compile_algorithm1(&p, &cfg(), 25);
         for plan in &sched.precomputes {

@@ -98,8 +98,7 @@ mod tests {
     fn higher_k_exercises_more_opportunities() {
         let p = reuse_prog();
         let (_, strict) = compile_algorithm2(&p, &cfg(), 25, Algorithm2Options { reuse_k: 0 });
-        let (_, relaxed) =
-            compile_algorithm2(&p, &cfg(), 25, Algorithm2Options { reuse_k: 8 });
+        let (_, relaxed) = compile_algorithm2(&p, &cfg(), 25, Algorithm2Options { reuse_k: 8 });
         assert!(relaxed.planned >= strict.planned);
         assert!(relaxed.bypassed_reuse <= strict.bypassed_reuse);
     }
@@ -127,8 +126,7 @@ mod tests {
             s8(y, 0),
             1,
         );
-        p.nests
-            .push(LoopNest::new(0, vec![0], vec![4000], vec![s]));
+        p.nests.push(LoopNest::new(0, vec![0], vec![4000], vec![s]));
         p.assign_layout(0, 4096);
         let (_, r1) = crate::compile_algorithm1(&p, &cfg(), 25);
         let (_, r2) = compile_algorithm2(&p, &cfg(), 25, Algorithm2Options::default());

@@ -83,8 +83,7 @@ mod tests {
             Ref::Array(ArrayRef::identity(y, 1, vec![0])),
             1,
         );
-        p.nests
-            .push(LoopNest::new(0, vec![0], vec![1024], vec![s]));
+        p.nests.push(LoopNest::new(0, vec![0], vec![1024], vec![s]));
         p.assign_layout(0, 4096);
         let (sched, report) = compile_coarse(&p, &ArchConfig::paper_default(), false);
         assert_eq!(report.planned, 1);

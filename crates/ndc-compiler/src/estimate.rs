@@ -13,8 +13,8 @@
 use ndc_cme::{CmeAnalysis, RefKey};
 use ndc_ir::program::{LoopNest, Program, Stmt};
 use ndc_noc::{best_signature_pair, Mesh, RouteSignature};
-use ndc_types::{ArchConfig, Coord, NodeId};
 use ndc_types::FxHashMap;
+use ndc_types::{ArchConfig, Coord, NodeId};
 
 /// Static latency model derived from the architecture description —
 /// the compiler-side mirror of the simulator's timing.
@@ -43,9 +43,7 @@ impl LatencyModel {
         let mc = self.cfg.mc_of(0); // representative controller distance
         let mc_node = self.cfg.mc_node(mc);
         let dram = self.cfg.mem.dram.row_miss_cycles as f64 + self.cfg.mem.dram.burst_cycles as f64;
-        let miss = hit
-            + 2.0 * self.hops(home, mc_node) as f64 * hop
-            + dram;
+        let miss = hit + 2.0 * self.hops(home, mc_node) as f64 * hop + dram;
         hit * (1.0 - p_l2_miss) + miss * p_l2_miss
     }
 
@@ -180,9 +178,9 @@ pub fn assess(
         if sa.and(&sb).count_ones() > 0 {
             v.overlap_xy += 1.0;
         }
-        let reshaped = *overlap_cache.entry((ca, cb, cc)).or_insert_with(|| {
-            best_signature_pair(&mesh, ca, cc, cb, cc).common_links > 0
-        });
+        let reshaped = *overlap_cache
+            .entry((ca, cb, cc))
+            .or_insert_with(|| best_signature_pair(&mesh, ca, cc, cb, cc).common_links > 0);
         if reshaped {
             v.overlap_reshaped += 1.0;
         }

@@ -149,9 +149,7 @@ mod tests {
         let x = p.add_array(ArrayDecl::new("X", vec![40000], 8));
         let y = p.add_array(ArrayDecl::new("Y", vec![40000], 8));
         let z = p.add_array(ArrayDecl::new("Z", vec![4096], 8));
-        let s8 = |arr| {
-            Ref::Array(ArrayRef::affine(arr, IMat::from_rows(&[&[8]]), vec![0]))
-        };
+        let s8 = |arr| Ref::Array(ArrayRef::affine(arr, IMat::from_rows(&[&[8]]), vec![0]));
         let s = Stmt::binary(
             0,
             ArrayRef::identity(z, 1, vec![0]),
@@ -215,9 +213,14 @@ mod tests {
         let (q, first) = optimize_layout(&p, &cfg);
         let (r, second) = optimize_layout(&q, &cfg);
         assert_eq!(second.aligned, 0);
-        assert_eq!(second.already_aligned, first.aligned + first.already_aligned);
-        assert_eq!(q.arrays.iter().map(|a| a.base).collect::<Vec<_>>(),
-                   r.arrays.iter().map(|a| a.base).collect::<Vec<_>>());
+        assert_eq!(
+            second.already_aligned,
+            first.aligned + first.already_aligned
+        );
+        assert_eq!(
+            q.arrays.iter().map(|a| a.base).collect::<Vec<_>>(),
+            r.arrays.iter().map(|a| a.base).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -225,9 +228,7 @@ mod tests {
         let mut p = Program::new("same");
         let x = p.add_array(ArrayDecl::new("X", vec![40000], 8));
         let z = p.add_array(ArrayDecl::new("Z", vec![4096], 8));
-        let s8 = |off: i64| {
-            Ref::Array(ArrayRef::affine(x, IMat::from_rows(&[&[8]]), vec![off]))
-        };
+        let s8 = |off: i64| Ref::Array(ArrayRef::affine(x, IMat::from_rows(&[&[8]]), vec![off]));
         let s = Stmt::binary(
             0,
             ArrayRef::identity(z, 1, vec![0]),

@@ -39,6 +39,6 @@ pub mod report;
 pub use algorithm1::compile_algorithm1;
 pub use algorithm2::{compile_algorithm2, Algorithm2Options};
 pub use coarse::compile_coarse;
-pub use layout::{optimize_layout, LayoutReport};
 pub use estimate::{LatencyModel, TargetViability};
+pub use layout::{optimize_layout, LayoutReport};
 pub use report::CompilerReport;

@@ -1,7 +1,6 @@
 //! Compiler decision reporting — the source of the Figure 15 metric
 //! (fraction of NDC opportunities exercised by Algorithm 2).
 
-
 /// What a compilation pass decided, per program.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CompilerReport {

@@ -108,8 +108,7 @@ impl DependenceGraph {
                             slot2 as u8,
                             kind,
                             nest.depth(),
-                        )
-                        {
+                        ) {
                             if matches!(edge.distance, DistanceVector::Unknown)
                                 && edge.kind.constrains()
                             {
@@ -310,10 +309,7 @@ mod tests {
         let (_, nest) = fig10_nest();
         let g = DependenceGraph::analyze(&nest);
         let dists = g.distance_vectors();
-        assert!(
-            dists.contains(&vec![1, -1]),
-            "expected (1,-1) in {dists:?}"
-        );
+        assert!(dists.contains(&vec![1, -1]), "expected (1,-1) in {dists:?}");
         assert!(!g.has_unknown);
     }
 
@@ -391,11 +387,7 @@ mod tests {
     fn transposed_access_is_unknown() {
         let mut p = Program::new("transpose");
         let x = p.add_array(ArrayDecl::new("X", vec![8, 8], 8));
-        let transposed = ArrayRef::affine(
-            x,
-            IMat::from_rows(&[&[0, 1], &[1, 0]]),
-            vec![0, 0],
-        );
+        let transposed = ArrayRef::affine(x, IMat::from_rows(&[&[0, 1], &[1, 0]]), vec![0, 0]);
         let s = Stmt::binary(
             0,
             ArrayRef::identity(x, 2, vec![0, 0]),
@@ -439,8 +431,7 @@ mod tests {
             .edges
             .iter()
             .filter(|e| {
-                e.kind == DependenceKind::Flow
-                    && e.distance == DistanceVector::Constant(vec![0])
+                e.kind == DependenceKind::Flow && e.distance == DistanceVector::Constant(vec![0])
             })
             .collect();
         assert_eq!(zero_flow.len(), 1);
@@ -455,14 +446,7 @@ mod tests {
         let x = p.add_array(ArrayDecl::new("X", vec![64], 8));
         let even = ArrayRef::affine(x, IMat::from_rows(&[&[2]]), vec![0]);
         let odd = ArrayRef::affine(x, IMat::from_rows(&[&[2]]), vec![1]);
-        let s = Stmt::binary(
-            0,
-            even,
-            Op::Add,
-            Ref::Array(odd),
-            Ref::Const(1.0),
-            1,
-        );
+        let s = Stmt::binary(0, even, Op::Add, Ref::Array(odd), Ref::Const(1.0), 1);
         let nest = LoopNest::new(0, vec![0], vec![16], vec![s]);
         let g = DependenceGraph::analyze(&nest);
         // The write(2i) / read(2i+1) pair admits no integer solution.

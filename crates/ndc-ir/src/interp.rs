@@ -162,7 +162,8 @@ mod tests {
             Ref::Array(ArrayRef::identity(y, 2, vec![0, 0])),
             1,
         );
-        p.nests.push(LoopNest::new(0, vec![0, 0], vec![8, 8], vec![s]));
+        p.nests
+            .push(LoopNest::new(0, vec![0, 0], vec![8, 8], vec![s]));
         p.assign_layout(0, 64);
         p
     }
@@ -200,9 +201,10 @@ mod tests {
     fn interchange_preserves_independent_nest() {
         let p = add_prog();
         let mut sched = Schedule::default();
-        sched
-            .transforms
-            .insert(crate::program::NestId(0), IMat::from_rows(&[&[0, 1], &[1, 0]]));
+        sched.transforms.insert(
+            crate::program::NestId(0),
+            IMat::from_rows(&[&[0, 1], &[1, 0]]),
+        );
         let mut a = DataStore::init(&p);
         let mut b = DataStore::init(&p);
         Interpreter::new(&p).run(&mut a);
@@ -228,7 +230,8 @@ mod tests {
             Ref::Array(ArrayRef::identity(y, 2, vec![0, 0])),
             1,
         );
-        p.nests.push(LoopNest::new(0, vec![1, 0], vec![8, 7], vec![s]));
+        p.nests
+            .push(LoopNest::new(0, vec![1, 0], vec![8, 7], vec![s]));
         p.assign_layout(0, 64);
 
         let mut sched = Schedule::default();

@@ -256,7 +256,8 @@ mod tests {
             Ref::Array(ArrayRef::identity(y, 1, vec![0])),
             2,
         );
-        p.nests.push(LoopNest::new(0, vec![0], vec![n as i64], vec![s]));
+        p.nests
+            .push(LoopNest::new(0, vec![0], vec![n as i64], vec![s]));
         p.assign_layout(0, 256);
         p
     }
@@ -345,9 +346,12 @@ mod tests {
             .insts
             .iter()
             .find_map(|i| match i.kind {
-                InstKind::PreCompute { a, stagger, reshape_routes, .. } => {
-                    Some((a, stagger, reshape_routes))
-                }
+                InstKind::PreCompute {
+                    a,
+                    stagger,
+                    reshape_routes,
+                    ..
+                } => Some((a, stagger, reshape_routes)),
                 _ => None,
             })
             .unwrap();

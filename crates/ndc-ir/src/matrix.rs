@@ -5,7 +5,6 @@
 //! transformation legality (`T·D ≻ 0` column-wise) must not suffer
 //! rounding.
 
-
 /// An integer (iteration/distance) vector.
 pub type IVec = Vec<i64>;
 
@@ -127,7 +126,10 @@ impl IMat {
         assert_eq!(self.rows, self.cols);
         let n = self.rows;
         let det = self.det();
-        assert!(det.abs() == 1, "inverse_unimodular on non-unimodular matrix");
+        assert!(
+            det.abs() == 1,
+            "inverse_unimodular on non-unimodular matrix"
+        );
         let mut inv = IMat::zeros(n, n);
         for i in 0..n {
             for j in 0..n {
@@ -408,8 +410,16 @@ mod tests {
         for _ in 0..256 {
             let a: Vec<i64> = (0..9).map(|_| g.range_i64(-3, 4)).collect();
             let b: Vec<i64> = (0..9).map(|_| g.range_i64(-3, 4)).collect();
-            let ma = IMat { rows: 3, cols: 3, data: a };
-            let mb = IMat { rows: 3, cols: 3, data: b };
+            let ma = IMat {
+                rows: 3,
+                cols: 3,
+                data: a,
+            };
+            let mb = IMat {
+                rows: 3,
+                cols: 3,
+                data: b,
+            };
             assert_eq!(ma.mul(&mb).det(), ma.det() * mb.det(), "{ma:?} {mb:?}");
         }
     }

@@ -172,7 +172,11 @@ impl Stmt {
     /// computation — the NDC candidates (`x + y` with `x`, `y` in
     /// memory).
     pub fn memory_operand_pair(&self) -> Option<(&ArrayRef, &ArrayRef)> {
-        match (self.op, self.a.as_array(), self.b.as_ref().and_then(|b| b.as_array())) {
+        match (
+            self.op,
+            self.a.as_array(),
+            self.b.as_ref().and_then(|b| b.as_array()),
+        ) {
             (Some(_), Some(a), Some(b)) => Some((a, b)),
             _ => None,
         }
@@ -379,11 +383,7 @@ mod tests {
         let r = ArrayRef::identity(x, 2, vec![-1, 1]);
         assert_eq!(r.index_at(&[5, 4]), vec![4, 5]);
         // X[j][i] — transposed access (Figure 10 style).
-        let r = ArrayRef::affine(
-            x,
-            IMat::from_rows(&[&[0, 1], &[1, 0]]),
-            vec![0, 0],
-        );
+        let r = ArrayRef::affine(x, IMat::from_rows(&[&[0, 1], &[1, 0]]), vec![0, 0]);
         assert_eq!(r.index_at(&[5, 4]), vec![4, 5]);
     }
 

@@ -136,13 +136,9 @@ mod tests {
             Ref::Array(ArrayRef::identity(y, 1, vec![0])),
             1,
         );
-        let s1 = Stmt::copy(
-            1,
-            ArrayRef::identity(x, 1, vec![0]),
-            Ref::Const(0.0),
-            1,
-        );
-        p.nests.push(LoopNest::new(0, vec![0], vec![8], vec![s0, s1]));
+        let s1 = Stmt::copy(1, ArrayRef::identity(x, 1, vec![0]), Ref::Const(0.0), 1);
+        p.nests
+            .push(LoopNest::new(0, vec![0], vec![8], vec![s0, s1]));
         p.assign_layout(0, 64);
         p
     }

@@ -137,7 +137,11 @@ impl SetAssocCache {
         self.lru_clock += 1;
         let clock = self.lru_clock;
 
-        if let Some(e) = self.set_slice(set).iter_mut().find(|e| e.valid && e.tag == tag) {
+        if let Some(e) = self
+            .set_slice(set)
+            .iter_mut()
+            .find(|e| e.valid && e.tag == tag)
+        {
             e.lru = clock;
             e.dirty |= is_write;
             let filled_at = e.filled_at;

@@ -9,12 +9,28 @@
 
 use ndc_types::{Addr, FxHashMap};
 
+/// Directory contention counters: how much coherence traffic the
+/// directory generated and absorbed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DirStats {
+    /// Read copies registered.
+    pub sharer_adds: u64,
+    /// Writes processed.
+    pub writes: u64,
+    /// Invalidation messages sent to other sharers (each later re-read
+    /// by the victim is a coherence miss).
+    pub invalidations_sent: u64,
+    /// Writes that found other sharers to invalidate — the contended
+    /// fraction of write traffic.
+    pub contended_writes: u64,
+}
 
 /// Sharer bitmask per line address. Supports up to 64 cores, enough for
 /// the paper's 4×4 / 5×5 / 6×6 meshes.
 #[derive(Debug, Clone, Default)]
 pub struct Directory {
     sharers: FxHashMap<Addr, u64>,
+    pub stats: DirStats,
 }
 
 impl Directory {
@@ -26,6 +42,7 @@ impl Directory {
     pub fn add_sharer(&mut self, line: Addr, core: usize) {
         debug_assert!(core < 64);
         *self.sharers.entry(line).or_insert(0) |= 1 << core;
+        self.stats.sharer_adds += 1;
     }
 
     /// Record a write by `core`: returns the cores whose copies must be
@@ -36,6 +53,11 @@ impl Directory {
         let entry = self.sharers.entry(line).or_insert(0);
         let others = *entry & !(1 << core);
         *entry = 1 << core;
+        self.stats.writes += 1;
+        if others != 0 {
+            self.stats.contended_writes += 1;
+            self.stats.invalidations_sent += others.count_ones() as u64;
+        }
         SharerIter { bits: others }
     }
 
@@ -54,7 +76,9 @@ impl Directory {
     }
 
     pub fn is_sharer(&self, line: Addr, core: usize) -> bool {
-        self.sharers.get(&line).is_some_and(|b| b & (1 << core) != 0)
+        self.sharers
+            .get(&line)
+            .is_some_and(|b| b & (1 << core) != 0)
     }
 
     /// Number of tracked lines (tests / memory accounting).
@@ -135,6 +159,20 @@ mod tests {
         assert_eq!(d.sharer_count(0x40), 1);
         d.remove_sharer(0x40, 2);
         assert_eq!(d.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn stats_count_coherence_traffic() {
+        let mut d = Directory::new();
+        for c in [0, 3, 7] {
+            d.add_sharer(0x40, c);
+        }
+        let _ = d.write_by(0x40, 3); // invalidates cores 0 and 7
+        let _ = d.write_by(0x40, 3); // sole owner: nothing to invalidate
+        assert_eq!(d.stats.sharer_adds, 3);
+        assert_eq!(d.stats.writes, 2);
+        assert_eq!(d.stats.invalidations_sent, 2);
+        assert_eq!(d.stats.contended_writes, 1);
     }
 
     #[test]

@@ -68,6 +68,9 @@ pub struct McStats {
     pub row_conflicts: u64,
     pub total_queue_delay: u64,
     pub bypasses: u64,
+    /// Cycles the shared data channel spent transferring bursts — the
+    /// numerator of channel utilization (denominator: elapsed cycles).
+    pub channel_busy_cycles: u64,
 }
 
 impl McStats {
@@ -76,6 +79,15 @@ impl McStats {
             0.0
         } else {
             self.row_hits as f64 / self.requests as f64
+        }
+    }
+
+    /// Fraction of `elapsed` cycles the data channel was transferring.
+    pub fn channel_utilization(&self, elapsed: Cycle) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.channel_busy_cycles as f64 / elapsed as f64
         }
     }
 }
@@ -152,6 +164,7 @@ impl MemoryController {
 
         self.stats.requests += 1;
         self.stats.total_queue_delay += service_start - arrival;
+        self.stats.channel_busy_cycles += dram.burst_cycles;
         match outcome {
             RowOutcome::Hit => self.stats.row_hits += 1,
             RowOutcome::Miss => self.stats.row_misses += 1,
@@ -254,6 +267,10 @@ mod tests {
         assert_eq!(m.stats.row_hits, 1);
         assert_eq!(m.stats.row_conflicts, 1);
         assert!((m.stats.row_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        // Three bursts of 4 cycles crossed the channel.
+        assert_eq!(m.stats.channel_busy_cycles, 12);
+        assert!((m.stats.channel_utilization(120) - 0.1).abs() < 1e-12);
+        assert_eq!(m.stats.channel_utilization(0), 0.0);
     }
 
     #[test]

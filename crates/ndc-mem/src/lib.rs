@@ -21,5 +21,5 @@ pub mod directory;
 pub mod dram;
 
 pub use cache::{AccessOutcome, CacheStats, SetAssocCache};
-pub use directory::Directory;
-pub use dram::{McAccess, MemoryController, RowOutcome};
+pub use directory::{DirStats, Directory};
+pub use dram::{McAccess, McStats, MemoryController, RowOutcome};

@@ -22,7 +22,7 @@ pub mod network;
 pub mod signature;
 
 pub use mesh::{LinkId, Mesh, Route};
-pub use network::{LinkTraversal, Network, TraversalRecord};
+pub use network::{LinkObs, LinkTraversal, Network, TraversalRecord};
 pub use signature::{best_signature_pair, minimal_routes, RouteSignature, SignaturePair};
 
 #[cfg(test)]

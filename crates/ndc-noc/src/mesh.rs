@@ -276,11 +276,7 @@ mod tests {
     fn route_via_custom_path() {
         let m = mesh5();
         // A YX-ish detour path from (0,0) to (1,1).
-        let r = m.route_via(&[
-            Coord::new(0, 0),
-            Coord::new(0, 1),
-            Coord::new(1, 1),
-        ]);
+        let r = m.route_via(&[Coord::new(0, 0), Coord::new(0, 1), Coord::new(1, 1)]);
         assert_eq!(r.hops(), 2);
         assert_eq!(r.src, Coord::new(0, 0));
         assert_eq!(r.dst, Coord::new(1, 1));

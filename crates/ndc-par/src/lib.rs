@@ -41,10 +41,18 @@ thread_local! {
 /// `NDC_THREADS` if set to a positive integer, else the host's
 /// available parallelism, else 1.
 pub fn num_threads() -> usize {
-    match std::env::var("NDC_THREADS") {
-        Ok(v) => v.trim().parse::<usize>().ok().filter(|&n| n >= 1).unwrap_or(1),
-        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
-    }
+    std::env::var("NDC_THREADS")
+        .ok()
+        .and_then(|v| parse_threads(&v))
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Parse an `NDC_THREADS` value: a positive integer (surrounding
+/// whitespace tolerated) or `None` for anything else — empty, garbage,
+/// and `0` all fall back to the host's available parallelism rather
+/// than silently forcing a serial run.
+pub fn parse_threads(v: &str) -> Option<usize> {
+    v.trim().parse::<usize>().ok().filter(|&n| n >= 1)
 }
 
 /// True when called from inside an ndc-par worker thread.
@@ -84,7 +92,11 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let threads = if in_worker() { 1 } else { num_threads().min(n.max(1)) };
+    let threads = if in_worker() {
+        1
+    } else {
+        num_threads().min(n.max(1))
+    };
     if threads <= 1 || n <= 1 {
         return (0..n).map(f).collect();
     }
@@ -141,7 +153,13 @@ where
             IN_WORKER.with(|flag| flag.set(false));
             r
         });
+        // The caller's thread is the pool's other worker while `a()`
+        // runs: without the mark, a nested `parallel_map` inside `a()`
+        // would spawn a second full pool while `b()` is still running,
+        // oversubscribing the host.
+        let was = IN_WORKER.with(|flag| flag.replace(true));
         let ra = a();
+        IN_WORKER.with(|flag| flag.set(was));
         (ra, hb.join().unwrap())
     })
 }
@@ -199,6 +217,60 @@ mod tests {
         let (a, b) = join(|| 2 + 2, || "ok".to_string());
         assert_eq!(a, 4);
         assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn parse_threads_rejects_garbage_and_zero() {
+        // Garbage, empty, and zero must fall back (None), not force 1.
+        assert_eq!(parse_threads(""), None);
+        assert_eq!(parse_threads("abc"), None);
+        assert_eq!(parse_threads("0"), None);
+        assert_eq!(parse_threads("-3"), None);
+        // Valid values parse, with surrounding whitespace tolerated.
+        assert_eq!(parse_threads(" 8 "), Some(8));
+        assert_eq!(parse_threads("1"), Some(1));
+        assert_eq!(parse_threads("16"), Some(16));
+    }
+
+    #[test]
+    fn join_marks_caller_side_as_worker() {
+        // Both closures must see themselves inside the pool, so nested
+        // parallel_map calls in either arm degrade to serial instead of
+        // spawning a second pool. When the host is serial (1 thread),
+        // join never spawns and the flags legitimately stay unset.
+        if num_threads() <= 1 {
+            return;
+        }
+        let (a_marked, b_marked) = join(in_worker, in_worker);
+        assert!(a_marked, "caller side of join must be marked as a worker");
+        assert!(b_marked, "spawned side of join must be marked as a worker");
+        // The mark is scoped to the join: the caller is clean afterwards.
+        assert!(!in_worker());
+    }
+
+    #[test]
+    fn nothing_nested_escapes_join() {
+        if num_threads() <= 1 {
+            return;
+        }
+        let escaped = AtomicBool::new(false);
+        let nested = |tag: usize| {
+            let items: Vec<usize> = (0..8).collect();
+            let out = parallel_map(&items, |&j| {
+                if !in_worker() {
+                    escaped.store(true, Ordering::Relaxed);
+                }
+                tag * 100 + j
+            });
+            out.iter().sum::<usize>()
+        };
+        let (ra, rb) = join(|| nested(1), || nested(2));
+        assert_eq!(ra, (0..8).map(|j| 100 + j).sum::<usize>());
+        assert_eq!(rb, (0..8).map(|j| 200 + j).sum::<usize>());
+        assert!(
+            !escaped.load(Ordering::Relaxed),
+            "a nested parallel_map inside join spawned a second pool"
+        );
     }
 
     #[test]

@@ -10,14 +10,16 @@
 use crate::instrument::{Instrumentation, WindowObservation};
 use crate::machine::{AccessIntent, AccessPath, Machine};
 use crate::ndc::{
-    breakeven_by_location, resolve, windows_by_location, AbortReason, LocationPolicy,
-    NdcOutcome, ResolveParams, ServiceTables,
+    breakeven_by_location, resolve, windows_by_location, AbortReason, LocationPolicy, NdcOutcome,
+    ResolveParams, ServiceTables,
 };
-use crate::schemes::{MarkovPredictor, OracleDecision, OracleGuide, Scheme, WaitBudget, WINDOW_CAP};
+use crate::report::build_metrics;
+use crate::schemes::{
+    MarkovPredictor, OracleDecision, OracleGuide, Scheme, WaitBudget, WINDOW_CAP,
+};
 use crate::stats::SimResult;
-use ndc_types::{
-    Addr, ArchConfig, Cycle, InstKind, NodeId, Op, Operand, Pc, TraceProgram,
-};
+use ndc_obs::{Event, Metrics, NullSink, ObsLevel, ObsSink, RingSink};
+use ndc_types::{Addr, ArchConfig, Cycle, InstKind, NodeId, Op, Operand, Pc, TraceProgram};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -151,10 +153,16 @@ impl PreResultTable {
 }
 
 /// Engine output: the run result plus (for instrumented baseline runs)
-/// the characterization data.
+/// the characterization data, and (for observed runs) the
+/// component-level metrics tree and trace events.
 pub struct EngineOutput {
     pub result: SimResult,
     pub instrumentation: Option<Instrumentation>,
+    /// Component-level breakdown, when the run had `ObsLevel::metrics`.
+    pub metrics: Option<Metrics>,
+    /// Retained trace events, oldest first, when the run had a trace
+    /// ring (`ObsLevel::trace_capacity > 0`).
+    pub events: Vec<Event>,
 }
 
 /// One simulation run.
@@ -164,6 +172,7 @@ pub struct Engine<'a> {
     scheme: Scheme,
     guide: Option<&'a OracleGuide>,
     collect: bool,
+    obs: ObsLevel,
 }
 
 impl<'a> Engine<'a> {
@@ -174,6 +183,7 @@ impl<'a> Engine<'a> {
             scheme,
             guide: None,
             collect: false,
+            obs: ObsLevel::off(),
         }
     }
 
@@ -189,9 +199,24 @@ impl<'a> Engine<'a> {
         self
     }
 
+    /// Collect component-level observability (metrics tree / trace
+    /// ring). Purely observational: simulated timing is unchanged.
+    pub fn with_obs(mut self, obs: ObsLevel) -> Self {
+        self.obs = obs;
+        self
+    }
+
     pub fn run(self) -> EngineOutput {
         let cores = self.cfg.nodes().min(self.prog.traces.len().max(1));
         let mut machine = Machine::new(self.cfg);
+        if self.obs.metrics {
+            machine.net.enable_obs();
+        }
+        // The event sink: a bounded ring when tracing, else the no-op
+        // sink — either way the hot path only pays `enabled()` checks.
+        let mut ring =
+            (self.obs.trace_capacity > 0).then(|| RingSink::new(self.obs.trace_capacity));
+        let mut null = NullSink;
         let mut tables = ServiceTables::default();
         let mut states: Vec<CoreState> = (0..self.prog.traces.len())
             .map(|_| CoreState::default())
@@ -226,6 +251,10 @@ impl<'a> Engine<'a> {
             }
             let inst = trace.insts[states[c].idx];
             states[c].idx += 1;
+            let sink: &mut dyn ObsSink = match ring.as_mut() {
+                Some(r) => r,
+                None => &mut null,
+            };
             self.exec_inst(
                 &mut machine,
                 &mut tables,
@@ -238,6 +267,7 @@ impl<'a> Engine<'a> {
                 &mut last_window,
                 &mut markov,
                 &mut pre_results,
+                sink,
             );
             if states[c].idx < trace.insts.len() {
                 heap.push((Reverse(states[c].now), c));
@@ -260,9 +290,13 @@ impl<'a> Engine<'a> {
         result.noc_queueing_cycles = machine.net.queueing_cycles;
         result.total_computes = self.prog.total_computes();
         let _ = cores;
+        let metrics = self.obs.metrics.then(|| build_metrics(&machine, &result));
+        let events = ring.map(RingSink::into_events).unwrap_or_default();
         EngineOutput {
             result,
             instrumentation: instr,
+            metrics,
+            events,
         }
     }
 
@@ -280,8 +314,10 @@ impl<'a> Engine<'a> {
         last_window: &mut LastWindowTable,
         markov: &mut MarkovPredictor,
         pre_results: &mut PreResultTable,
+        sink: &mut dyn ObsSink,
     ) {
         let issue_width = self.cfg.issue_width.max(1);
+        result.issued_insts += 1;
         // Issue-slot accounting: `issue_width` instructions per cycle.
         {
             let st = &mut states[c];
@@ -297,7 +333,7 @@ impl<'a> Engine<'a> {
                 states[c].now += cycles as Cycle;
             }
             InstKind::Load { addr } => {
-                self.mshr_acquire(&mut states[c], 1);
+                self.mshr_acquire(&mut states[c], 1, result);
                 let now = states[c].now;
                 let path = machine.access(core, addr, now, false, AccessIntent::ToCore, None);
                 record_pc_cache(result, inst.pc, 0, &path);
@@ -306,7 +342,7 @@ impl<'a> Engine<'a> {
                 st.finish = st.finish.max(path.completion);
             }
             InstKind::Store { addr } => {
-                self.mshr_acquire(&mut states[c], 1);
+                self.mshr_acquire(&mut states[c], 1, result);
                 let now = states[c].now;
                 let path = machine.access(core, addr, now, true, AccessIntent::ToCore, None);
                 record_pc_cache(result, inst.pc, 2, &path);
@@ -338,6 +374,7 @@ impl<'a> Engine<'a> {
                     last_window,
                     markov,
                     pre_results,
+                    sink,
                 );
             }
             InstKind::PreCompute {
@@ -364,20 +401,23 @@ impl<'a> Engine<'a> {
                     reshape_routes,
                     result,
                     pre_results,
+                    sink,
                 );
             }
         }
     }
 
-    /// Block issue until an MSHR slot frees.
-    fn mshr_acquire(&self, st: &mut CoreState, need: usize) {
+    /// Block issue until an MSHR slot frees, charging the stall.
+    fn mshr_acquire(&self, st: &mut CoreState, need: usize, result: &mut SimResult) {
         let cap = self.cfg.mshrs.max(1) as usize;
+        let before = st.now;
         while st.outstanding.len() + need > cap {
             match st.outstanding.pop() {
                 Some(Reverse(t)) => st.now = st.now.max(t),
                 None => break,
             }
         }
+        result.mshr_stall_cycles += st.now - before;
     }
 
     /// Conventional execution of a two-operand compute starting at
@@ -445,6 +485,7 @@ impl<'a> Engine<'a> {
         last_window: &mut LastWindowTable,
         markov: &mut MarkovPredictor,
         pre_results: &mut PreResultTable,
+        sink: &mut dyn ObsSink,
     ) {
         let eligible = matches!((a, b), (Operand::Mem(_), Operand::Mem(_)));
         if eligible {
@@ -454,7 +495,7 @@ impl<'a> Engine<'a> {
         if eligible {
             states[c].compute_seq += 1;
         }
-        self.mshr_acquire(&mut states[c], 2);
+        self.mshr_acquire(&mut states[c], 2, result);
         let start = states[c].now;
 
         // --- Compiled scheme: consume a pre-computed result. ---
@@ -468,14 +509,7 @@ impl<'a> Engine<'a> {
                     result.ndc_performed[loc_index] += 1;
                     // Wait recorded at offload time (see exec_precompute).
                     if let Some(dst) = store_to {
-                        let pw = machine.access(
-                            core,
-                            dst,
-                            done,
-                            true,
-                            AccessIntent::ToCore,
-                            None,
-                        );
+                        let pw = machine.access(core, dst, done, true, AccessIntent::ToCore, None);
                         record_pc_cache(result, pc, 2, &pw);
                         let st = &mut states[c];
                         st.outstanding.push(Reverse(pw.completion));
@@ -488,19 +522,16 @@ impl<'a> Engine<'a> {
                 }
                 Some(PreResult::LocalHit) => {
                     result.ndc_local_hits += 1;
+                    result.ndc_abort_reasons[AbortReason::LocalHit.index()] += 1;
                     let st = &mut states[c];
-                    self.conventional_compute(
-                        machine, st, core, pc, a, b, store_to, start, result,
-                    );
+                    self.conventional_compute(machine, st, core, pc, a, b, store_to, start, result);
                     return;
                 }
                 Some(PreResult::Aborted { at }) => {
                     result.ndc_aborts += 1;
                     let st = &mut states[c];
                     let begin = start.max(at);
-                    self.conventional_compute(
-                        machine, st, core, pc, a, b, store_to, begin, result,
-                    );
+                    self.conventional_compute(machine, st, core, pc, a, b, store_to, begin, result);
                     return;
                 }
                 None => { /* dangling link: fall through to conventional */ }
@@ -576,9 +607,8 @@ impl<'a> Engine<'a> {
                 // Conventional execution (with instrumentation on
                 // baseline runs).
                 let st = &mut states[c];
-                let (done, pa, pb) = self.conventional_compute(
-                    machine, st, core, pc, a, b, store_to, start, result,
-                );
+                let (done, pa, pb) =
+                    self.conventional_compute(machine, st, core, pc, a, b, store_to, start, result);
                 if let (Some(ins), Some(pa), Some(pb)) = (instr.as_mut(), pa, pb) {
                     let windows = windows_by_location(machine, core, &pa, &pb, false);
                     let windows_reshaped = windows_by_location(machine, core, &pa, &pb, true);
@@ -603,12 +633,14 @@ impl<'a> Engine<'a> {
                 let start = {
                     let st = &mut states[c];
                     let cap = self.cfg.ndc.offload_table_entries.max(1);
+                    let before = st.now;
                     st.offload.retain(|&r| r > st.now);
                     while st.offload.len() >= cap {
                         let min = st.offload.iter().copied().min().unwrap();
                         st.now = st.now.max(min);
                         st.offload.retain(|&r| r > st.now);
                     }
+                    result.offload_stall_cycles += st.now - before;
                     st.now.max(start)
                 };
                 // LD/ST probe + operand fetches toward their homes.
@@ -646,6 +678,16 @@ impl<'a> Engine<'a> {
                     } => {
                         result.ndc_performed[loc.index()] += 1;
                         result.ndc_wait_cycles[loc.index()] += wait;
+                        if sink.enabled() {
+                            sink.record(Event {
+                                name: format!("ndc@{}", loc.paper_label()),
+                                cat: "ndc",
+                                ts: start,
+                                dur: result_at_core.saturating_sub(start),
+                                pid: 0,
+                                tid: c as u32,
+                            });
+                        }
                         // Oracle runs are a limit study (§4.4: "maximum
                         // potential benefits"): the offload was timed
                         // perfectly, so the consumer never stalls on the
@@ -659,14 +701,8 @@ impl<'a> Engine<'a> {
                         // (if any) executes conventionally at the core,
                         // exactly as in baseline execution.
                         if let Some(dst) = store_to {
-                            let pw = machine.access(
-                                core,
-                                dst,
-                                done,
-                                true,
-                                AccessIntent::ToCore,
-                                None,
-                            );
+                            let pw =
+                                machine.access(core, dst, done, true, AccessIntent::ToCore, None);
                             record_pc_cache(result, pc, 2, &pw);
                             let st = &mut states[c];
                             st.outstanding.push(Reverse(pw.completion));
@@ -681,13 +717,25 @@ impl<'a> Engine<'a> {
                         ..
                     } => {
                         result.ndc_local_hits += 1;
+                        result.ndc_abort_reasons[AbortReason::LocalHit.index()] += 1;
                         let st = &mut states[c];
                         self.conventional_compute(
                             machine, st, core, pc, a, b, store_to, start, result,
                         );
                     }
-                    NdcOutcome::Aborted { at, .. } => {
+                    NdcOutcome::Aborted { reason, at } => {
                         result.ndc_aborts += 1;
+                        result.ndc_abort_reasons[reason.index()] += 1;
+                        if sink.enabled() {
+                            sink.record(Event {
+                                name: format!("ndc-abort:{}", reason.label()),
+                                cat: "ndc",
+                                ts: start,
+                                dur: at.saturating_sub(start),
+                                pid: 0,
+                                tid: c as u32,
+                            });
+                        }
                         let begin = start.max(at);
                         let st = &mut states[c];
                         // The failed offload occupied its table entry
@@ -719,6 +767,7 @@ impl<'a> Engine<'a> {
         reshape_routes: bool,
         result: &mut SimResult,
         pre_results: &mut PreResultTable,
+        sink: &mut dyn ObsSink,
     ) {
         // Non-compiled schemes ignore stray pre-computes (defensive).
         if self.scheme != Scheme::Compiled {
@@ -726,12 +775,14 @@ impl<'a> Engine<'a> {
         }
         // Offload table capacity: stall until an entry frees.
         let cap = self.cfg.ndc.offload_table_entries.max(1);
+        let before = st.now;
         st.offload.retain(|&r| r > st.now);
         while st.offload.len() >= cap {
             let min = st.offload.iter().copied().min().unwrap();
             st.now = st.now.max(min);
             st.offload.retain(|&r| r > st.now);
         }
+        result.offload_stall_cycles += st.now - before;
         result.ndc_attempts += 1;
         let start = st.now;
 
@@ -775,6 +826,16 @@ impl<'a> Engine<'a> {
                 ..
             } => {
                 result.ndc_wait_cycles[loc.index()] += wait;
+                if sink.enabled() {
+                    sink.record(Event {
+                        name: format!("ndc@{}", loc.paper_label()),
+                        cat: "pre",
+                        ts: start,
+                        dur: result_at_core.saturating_sub(start),
+                        pid: 0,
+                        tid: c as u32,
+                    });
+                }
                 st.offload.push(result_at_core);
                 pre_results.insert(
                     c,
@@ -791,7 +852,18 @@ impl<'a> Engine<'a> {
             } => {
                 pre_results.insert(c, id, PreResult::LocalHit);
             }
-            NdcOutcome::Aborted { at, .. } => {
+            NdcOutcome::Aborted { reason, at } => {
+                result.ndc_abort_reasons[reason.index()] += 1;
+                if sink.enabled() {
+                    sink.record(Event {
+                        name: format!("ndc-abort:{}", reason.label()),
+                        cat: "pre",
+                        ts: start,
+                        dur: at.saturating_sub(start),
+                        pid: 0,
+                        tid: c as u32,
+                    });
+                }
                 st.offload.push(at);
                 pre_results.insert(c, id, PreResult::Aborted { at });
             }
@@ -809,6 +881,19 @@ fn record_pc_cache(result: &mut SimResult, pc: Pc, slot: u8, path: &AccessPath) 
 
 /// Run a scheme end-to-end, handling the oracle's two-pass protocol.
 pub fn simulate(cfg: ArchConfig, prog: &TraceProgram, scheme: Scheme) -> EngineOutput {
+    simulate_obs(cfg, prog, scheme, ObsLevel::off())
+}
+
+/// [`simulate`] with observability: collect per-component metrics
+/// and/or a bounded trace-event ring from the measured run. For the
+/// oracle's two-pass protocol only the second (guided) run is
+/// observed — the instrumented baseline is a planning artifact.
+pub fn simulate_obs(
+    cfg: ArchConfig,
+    prog: &TraceProgram,
+    scheme: Scheme,
+    obs: ObsLevel,
+) -> EngineOutput {
     match scheme {
         Scheme::Oracle { reuse_aware } => {
             let base = Engine::new(cfg, prog, Scheme::Baseline)
@@ -820,11 +905,14 @@ pub fn simulate(cfg: ArchConfig, prog: &TraceProgram, scheme: Scheme) -> EngineO
                 .expect("instrumented baseline")
                 .records;
             let guide = OracleGuide::build(records, prog, cfg.l1.line_bytes, reuse_aware);
-            let mut out = Engine::new(cfg, prog, scheme).with_guide(&guide).run();
+            let mut out = Engine::new(cfg, prog, scheme)
+                .with_guide(&guide)
+                .with_obs(obs)
+                .run();
             out.result.scheme = scheme.label();
             out
         }
-        _ => Engine::new(cfg, prog, scheme).run(),
+        _ => Engine::new(cfg, prog, scheme).with_obs(obs).run(),
     }
 }
 
@@ -1110,5 +1198,80 @@ mod tests {
         let total: u64 = out.result.pc_l1.values().map(|e| e.total()).sum();
         // Two operands per compute.
         assert_eq!(total, 2 * 100);
+    }
+
+    #[test]
+    fn observability_does_not_change_timing() {
+        let prog = stream_prog(4, 150);
+        let scheme = Scheme::NdcAll {
+            budget: WaitBudget::PctOfCap(50),
+        };
+        let plain = simulate(cfg(), &prog, scheme);
+        let observed = simulate_obs(cfg(), &prog, scheme, ObsLevel::with_trace(256));
+        assert_eq!(plain.result.total_cycles, observed.result.total_cycles);
+        assert_eq!(
+            plain.result.per_core_cycles,
+            observed.result.per_core_cycles
+        );
+        assert_eq!(plain.result.ndc_performed, observed.result.ndc_performed);
+        assert!(plain.metrics.is_none());
+        assert!(plain.events.is_empty());
+        assert!(observed.metrics.is_some());
+    }
+
+    #[test]
+    fn metrics_tree_reflects_run_counters() {
+        let prog = stream_prog(4, 150);
+        let out = simulate_obs(
+            cfg(),
+            &prog,
+            Scheme::NdcAll {
+                budget: WaitBudget::PctOfCap(50),
+            },
+            ObsLevel::metrics(),
+        );
+        let m = out.metrics.expect("metrics enabled");
+        let eng = match m.get("engine") {
+            Some(ndc_obs::MetricNode::Tree(t)) => t,
+            _ => panic!("engine subtree missing"),
+        };
+        assert_eq!(
+            eng.counter_value("total_cycles"),
+            Some(out.result.total_cycles)
+        );
+        assert!(eng.counter_value("issued_insts").unwrap() >= 600);
+        // The NoC link subtree only materializes with obs on, and a
+        // 4-core stream certainly crosses links.
+        let noc = match m.get("noc") {
+            Some(ndc_obs::MetricNode::Tree(t)) => t,
+            _ => panic!("noc subtree missing"),
+        };
+        match noc.get("links") {
+            Some(ndc_obs::MetricNode::Tree(links)) => assert!(!links.is_empty()),
+            _ => panic!("links subtree missing"),
+        }
+        // Abort-reason tallies account for every attempt.
+        let attempts = out.result.ndc_attempts;
+        let accounted = out.result.ndc_total() + out.result.ndc_abort_reasons.iter().sum::<u64>();
+        assert_eq!(attempts, accounted);
+    }
+
+    #[test]
+    fn trace_ring_collects_bounded_events() {
+        let prog = stream_prog(4, 200);
+        let out = simulate_obs(
+            cfg(),
+            &prog,
+            Scheme::NdcAll {
+                budget: WaitBudget::PctOfCap(50),
+            },
+            ObsLevel::with_trace(16),
+        );
+        assert!(!out.events.is_empty());
+        assert!(out.events.len() <= 16);
+        for ev in &out.events {
+            assert!(ev.cat == "ndc" || ev.cat == "pre");
+            assert!(ev.name.starts_with("ndc"));
+        }
     }
 }

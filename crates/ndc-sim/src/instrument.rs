@@ -1,8 +1,8 @@
 //! Characterization instrumentation (§4): arrival windows, breakeven
 //! points, and per-PC window series, collected during a baseline run.
 
-use ndc_types::{Cycle, NdcLocation, Pc, WindowHistogram};
 use ndc_types::FxHashMap;
+use ndc_types::{Cycle, NdcLocation, Pc, WindowHistogram};
 
 /// What the collector recorded about one dynamic two-memory-operand
 /// computation.
@@ -30,15 +30,19 @@ impl WindowObservation {
     pub fn profitable_locations(&self) -> Vec<(NdcLocation, Cycle, bool)> {
         let mut v = Vec::new();
         for i in 0..4 {
-            if let (Some(w), Some(be)) = (self.windows[i], self.breakevens[i]) {
-                if w <= be {
-                    v.push((NdcLocation::from_index(i).unwrap(), be - w, false));
+            // At most one entry per location: when plain and reshaped
+            // routing are both profitable, keep the better margin, with
+            // ties going to plain routing (reshaping is never free).
+            let mut best: Option<(Cycle, bool)> = None;
+            for (w, reshaped) in [(self.windows[i], false), (self.windows_reshaped[i], true)] {
+                if let (Some(w), Some(be)) = (w, self.breakevens[i]) {
+                    if w <= be && best.is_none_or(|(m, _)| be - w > m) {
+                        best = Some((be - w, reshaped));
+                    }
                 }
             }
-            if let (Some(w), Some(be)) = (self.windows_reshaped[i], self.breakevens[i]) {
-                if w <= be && self.windows[i].is_none_or(|xy| w < xy) {
-                    v.push((NdcLocation::from_index(i).unwrap(), be - w, true));
-                }
+            if let Some((margin, reshaped)) = best {
+                v.push((NdcLocation::from_index(i).unwrap(), margin, reshaped));
             }
         }
         v
@@ -55,10 +59,7 @@ impl WindowObservation {
     pub fn min_window_location(&self) -> Option<(NdcLocation, Cycle, bool)> {
         let mut best: Option<(NdcLocation, Cycle, bool)> = None;
         for i in 0..4 {
-            for (w, reshaped) in [
-                (self.windows[i], false),
-                (self.windows_reshaped[i], true),
-            ] {
+            for (w, reshaped) in [(self.windows[i], false), (self.windows_reshaped[i], true)] {
                 if let Some(w) = w {
                     if best.is_none_or(|(_, bw, _)| w < bw) {
                         best = Some((NdcLocation::from_index(i).unwrap(), w, reshaped));
@@ -163,15 +164,56 @@ mod tests {
     }
 
     #[test]
+    fn profitable_locations_dedupes_plain_and_reshaped() {
+        // Link buffer profitable under BOTH routings: plain window 15
+        // (margin 5), reshaped window 8 (margin 12). One entry, the
+        // better margin, marked reshaped.
+        let mut o = obs(
+            0,
+            [Some(15), None, None, None],
+            [Some(20), None, None, None],
+        );
+        o.windows_reshaped = [Some(8), None, None, None];
+        let p = o.profitable_locations();
+        assert_eq!(p, vec![(NdcLocation::LinkBuffer, 12, true)]);
+        assert_eq!(o.best_location(), Some((NdcLocation::LinkBuffer, 12, true)));
+
+        // Equal margins tie-break to plain routing (reshaping is not free).
+        o.windows_reshaped = [Some(15), None, None, None];
+        assert_eq!(
+            o.profitable_locations(),
+            vec![(NdcLocation::LinkBuffer, 5, false)]
+        );
+
+        // Reshaped profitable where plain is not still surfaces.
+        o.windows = [Some(25), None, None, None];
+        o.windows_reshaped = [Some(18), None, None, None];
+        assert_eq!(
+            o.profitable_locations(),
+            vec![(NdcLocation::LinkBuffer, 2, true)]
+        );
+    }
+
+    #[test]
     fn histograms_accumulate_per_location() {
         let mut ins = Instrumentation::new(2);
-        ins.record(0, obs(1, [Some(5), None, None, None], [Some(3), None, None, None]));
-        ins.record(1, obs(1, [None, Some(200), None, None], [None, Some(8), None, None]));
+        ins.record(
+            0,
+            obs(1, [Some(5), None, None, None], [Some(3), None, None, None]),
+        );
+        ins.record(
+            1,
+            obs(
+                1,
+                [None, Some(200), None, None],
+                [None, Some(8), None, None],
+            ),
+        );
         assert_eq!(ins.window_hist[0].total(), 2);
         assert_eq!(ins.window_hist[0].count(0), 0); // 5 lands in bucket "10"
         assert_eq!(ins.window_hist[0].count(1), 1);
         assert_eq!(ins.window_hist[0].count(6), 1); // None -> 500+
-        // Breakeven recorded only where the window existed.
+                                                    // Breakeven recorded only where the window existed.
         assert_eq!(ins.breakeven_hist[0].total(), 1);
         assert_eq!(ins.breakeven_hist[1].total(), 1);
         assert_eq!(ins.observations(), 2);

@@ -20,18 +20,24 @@
 //!   Wait(x%), Last-Wait predictor, Oracle, compiled);
 //! * [`engine`] — the multicore execution loop (2-issue cores,
 //!   MSHR-bounded memory-level parallelism, offload tables);
-//! * [`stats`] — per-run results: cycles, cache stats, NDC breakdown.
+//! * [`stats`] — per-run results: cycles, cache stats, NDC breakdown;
+//! * [`report`] — per-component [`ndc_obs::Metrics`] assembly for the
+//!   observability layer (`--metrics` / `--trace`).
 
 pub mod engine;
 pub mod instrument;
 pub mod machine;
 pub mod ndc;
+pub mod report;
 pub mod schemes;
 pub mod stats;
 
-pub use engine::{simulate, Engine};
+pub use engine::{simulate, simulate_obs, Engine};
 pub use instrument::{BreakevenInfo, Instrumentation, WindowObservation};
 pub use machine::{AccessPath, Machine};
-pub use ndc::{NdcOutcome, NdcResolution};
+pub use ndc::{NdcOutcome, NdcResolution, ALL_ABORT_REASONS};
+pub use report::build_metrics;
 pub use schemes::{Scheme, WaitBudget};
 pub use stats::SimResult;
+
+pub use ndc_obs::ObsLevel;

@@ -146,24 +146,22 @@ impl Machine {
 
         // --- L1 ---
         match intent {
-            AccessIntent::ToCore => {
-                match self.l1s[core.index()].access(addr, now, write) {
-                    AccessOutcome::Hit { .. } => {
-                        path.l1_hit = true;
-                        path.completion = now + l1_latency;
-                        if write {
-                            self.invalidate_other_sharers(l1_line, core);
-                        }
-                        return path;
+            AccessIntent::ToCore => match self.l1s[core.index()].access(addr, now, write) {
+                AccessOutcome::Hit { .. } => {
+                    path.l1_hit = true;
+                    path.completion = now + l1_latency;
+                    if write {
+                        self.invalidate_other_sharers(l1_line, core);
                     }
-                    AccessOutcome::Miss { evicted, coherence } => {
-                        path.coherence_miss = coherence;
-                        if let Some(ev) = evicted {
-                            self.dir.remove_sharer(ev, core.index());
-                        }
+                    return path;
+                }
+                AccessOutcome::Miss { evicted, coherence } => {
+                    path.coherence_miss = coherence;
+                    if let Some(ev) = evicted {
+                        self.dir.remove_sharer(ev, core.index());
                     }
                 }
-            }
+            },
             AccessIntent::NearData => {
                 // The LD/ST unit probed before offloading; a resident
                 // line means the caller should not have offloaded. Treat
@@ -185,36 +183,35 @@ impl Machine {
 
         // --- L2 bank ---
         let l2_latency = self.cfg.l2.latency;
-        let (l2_hit, data_at_bank) =
-            match self.l2s[home.index()].access(addr, req_arrival, write) {
-                AccessOutcome::Hit { .. } => (true, req_arrival + l2_latency),
-                AccessOutcome::Miss { .. } => {
-                    // --- Memory controller + DRAM ---
-                    let mc = self.cfg.mc_of(addr);
-                    let mc_node = self.cfg.mc_node(mc);
-                    let mc_coord = mc_node.coord(width);
-                    let to_mc = self.mesh().xy_route(home_coord, mc_coord);
-                    let mc_req = self
-                        .net
-                        .traverse(&to_mc, req_arrival + l2_latency, REQ_BYTES);
-                    let dram = self.mcs[mc as usize].request(addr, mc_req.arrived);
-                    // Refill back to the bank (carries the L2 line).
-                    let refill_route = self.mesh().xy_route(mc_coord, home_coord);
-                    let refill =
-                        self.net
-                            .traverse(&refill_route, dram.completion, self.cfg.l2.line_bytes);
-                    path.data_links.extend(refill.links.iter().copied());
-                    path.mem = Some(MemLeg {
-                        mc,
-                        mc_node,
-                        queue_enter: dram.queue_enter,
-                        service_start: dram.service_start,
-                        completion: dram.completion,
-                        dram_bank: dram.bank,
-                    });
-                    (false, refill.arrived)
-                }
-            };
+        let (l2_hit, data_at_bank) = match self.l2s[home.index()].access(addr, req_arrival, write) {
+            AccessOutcome::Hit { .. } => (true, req_arrival + l2_latency),
+            AccessOutcome::Miss { .. } => {
+                // --- Memory controller + DRAM ---
+                let mc = self.cfg.mc_of(addr);
+                let mc_node = self.cfg.mc_node(mc);
+                let mc_coord = mc_node.coord(width);
+                let to_mc = self.mesh().xy_route(home_coord, mc_coord);
+                let mc_req = self
+                    .net
+                    .traverse(&to_mc, req_arrival + l2_latency, REQ_BYTES);
+                let dram = self.mcs[mc as usize].request(addr, mc_req.arrived);
+                // Refill back to the bank (carries the L2 line).
+                let refill_route = self.mesh().xy_route(mc_coord, home_coord);
+                let refill =
+                    self.net
+                        .traverse(&refill_route, dram.completion, self.cfg.l2.line_bytes);
+                path.data_links.extend(refill.links.iter().copied());
+                path.mem = Some(MemLeg {
+                    mc,
+                    mc_node,
+                    queue_enter: dram.queue_enter,
+                    service_start: dram.service_start,
+                    completion: dram.completion,
+                    dram_bank: dram.bank,
+                });
+                (false, refill.arrived)
+            }
+        };
         path.l2 = Some(L2Leg {
             bank: home,
             req_arrival,
@@ -305,9 +302,7 @@ impl Machine {
     /// return its arrival time.
     pub fn send_result(&mut self, from: NodeId, to: NodeId, t: Cycle) -> Cycle {
         let width = self.cfg.noc.width;
-        let route = self
-            .mesh()
-            .xy_route(from.coord(width), to.coord(width));
+        let route = self.mesh().xy_route(from.coord(width), to.coord(width));
         self.net.traverse(&route, t, RESULT_BYTES).arrived
     }
 
@@ -390,7 +385,14 @@ mod tests {
         let mut m = machine();
         let core = NodeId(12);
         let first = m.access(core, 0x10000, 0, false, AccessIntent::ToCore, None);
-        let second = m.access(core, 0x10008, first.completion, false, AccessIntent::ToCore, None);
+        let second = m.access(
+            core,
+            0x10008,
+            first.completion,
+            false,
+            AccessIntent::ToCore,
+            None,
+        );
         assert!(second.l1_hit);
         assert_eq!(second.latency(), m.cfg.l1.latency);
     }
@@ -400,7 +402,14 @@ mod tests {
         let mut m = machine();
         let a = m.access(NodeId(0), 0x10000, 0, false, AccessIntent::ToCore, None);
         // Another core, different L1, same L2 home bank: L2 hit.
-        let b = m.access(NodeId(24), 0x10000, a.completion, false, AccessIntent::ToCore, None);
+        let b = m.access(
+            NodeId(24),
+            0x10000,
+            a.completion,
+            false,
+            AccessIntent::ToCore,
+            None,
+        );
         assert!(!b.l1_hit);
         let l2 = b.l2.unwrap();
         assert!(l2.hit);

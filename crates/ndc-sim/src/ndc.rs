@@ -38,6 +38,42 @@ pub enum AbortReason {
     BudgetExceeded,
 }
 
+/// All abort reasons, in [`AbortReason::index`] order.
+pub const ALL_ABORT_REASONS: [AbortReason; 6] = [
+    AbortReason::LocalHit,
+    AbortReason::OpNotAllowed,
+    AbortReason::NoColocation,
+    AbortReason::Timeout,
+    AbortReason::ServiceTableFull,
+    AbortReason::BudgetExceeded,
+];
+
+impl AbortReason {
+    /// Stable dense index for per-reason tallies.
+    pub fn index(self) -> usize {
+        match self {
+            AbortReason::LocalHit => 0,
+            AbortReason::OpNotAllowed => 1,
+            AbortReason::NoColocation => 2,
+            AbortReason::Timeout => 3,
+            AbortReason::ServiceTableFull => 4,
+            AbortReason::BudgetExceeded => 5,
+        }
+    }
+
+    /// Short stable name for metrics keys and trace-event labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortReason::LocalHit => "local_hit",
+            AbortReason::OpNotAllowed => "op_not_allowed",
+            AbortReason::NoColocation => "no_colocation",
+            AbortReason::Timeout => "timeout",
+            AbortReason::ServiceTableFull => "service_table_full",
+            AbortReason::BudgetExceeded => "budget_exceeded",
+        }
+    }
+}
+
 /// One candidate meeting point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Meeting {
@@ -353,9 +389,7 @@ pub fn resolve(
     let chosen = match params.policy {
         LocationPolicy::Best => *cands
             .iter()
-            .min_by_key(|m| {
-                m.ready() + machine.hop_latency(m.node, core)
-            })
+            .min_by_key(|m| m.ready() + machine.hop_latency(m.node, core))
             .unwrap(),
         _ => cands[0],
     };
@@ -405,8 +439,14 @@ pub fn resolve(
     if chosen.loc == NdcLocation::LinkBuffer {
         if let (Some(l2a), Some(l2b)) = (a.l2, b.l2) {
             let (ra, rb) = reply_routes(machine, core, l2a.bank, l2b.bank, params.reshape);
-            let ka = ra.links.iter().position(|l| machine.mesh().link_router(*l) == chosen.node);
-            let kb = rb.links.iter().position(|l| machine.mesh().link_router(*l) == chosen.node);
+            let ka = ra
+                .links
+                .iter()
+                .position(|l| machine.mesh().link_router(*l) == chosen.node);
+            let kb = rb
+                .links
+                .iter()
+                .position(|l| machine.mesh().link_router(*l) == chosen.node);
             if let Some(k) = ka {
                 machine.send_data_along(&ra, k + 1, l2a.data_at_bank, cfg.l1.line_bytes);
             }
@@ -527,9 +567,7 @@ mod tests {
         let a = m.access(core, 0, 0, false, AccessIntent::NearData, None);
         let b = m.access(core, line, 0, false, AccessIntent::NearData, None);
         let cands = candidate_meetings(&m, core, &a, &b, false);
-        assert!(!cands
-            .iter()
-            .any(|c| c.loc == NdcLocation::CacheController));
+        assert!(!cands.iter().any(|c| c.loc == NdcLocation::CacheController));
         // Banks 0=(0,0) and 1=(1,0) routing XY to (2,2): share links
         // from (2,0) down? Route a: e,e,s,s; route b: e,s,s. Common:
         // the south links at column 2.

@@ -12,8 +12,8 @@
 //!   inserted (Algorithms 1/2 outputs).
 
 use crate::instrument::WindowObservation;
-use ndc_types::{Cycle, InstKind, NdcLocation, Operand, Trace, TraceProgram};
 use ndc_types::FxHashMap;
+use ndc_types::{Cycle, InstKind, NdcLocation, Operand, Trace, TraceProgram};
 
 /// How long the first-arriving operand may wait for the second.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,7 +63,13 @@ impl WaitBudget {
 #[derive(Debug, Default)]
 pub struct MarkovPredictor {
     /// Per-PC: (last bucket, transition counts).
-    state: FxHashMap<ndc_types::Pc, (usize, [[u32; ndc_types::NUM_BUCKETS]; ndc_types::NUM_BUCKETS])>,
+    state: FxHashMap<
+        ndc_types::Pc,
+        (
+            usize,
+            [[u32; ndc_types::NUM_BUCKETS]; ndc_types::NUM_BUCKETS],
+        ),
+    >,
 }
 
 impl MarkovPredictor {
@@ -236,11 +242,7 @@ pub fn compute_future_reuse(trace: &Trace, line_bytes: u64) -> Vec<bool> {
 
 /// Windowed variant; `window = usize::MAX` reproduces the unbounded
 /// check.
-pub fn compute_future_reuse_windowed(
-    trace: &Trace,
-    line_bytes: u64,
-    window: usize,
-) -> Vec<bool> {
+pub fn compute_future_reuse_windowed(trace: &Trace, line_bytes: u64, window: usize) -> Vec<bool> {
     // Per-line sorted positions of future READS — the paper's reuse is
     // of operand *values* ("a reuse of one of the operands", Figure 12
     // shows y re-read by y*z and t/y); a later store to the same line
@@ -249,9 +251,7 @@ pub fn compute_future_reuse_windowed(
     for (i, inst) in trace.insts.iter().enumerate() {
         let reads: Vec<u64> = match inst.kind {
             InstKind::Load { addr } => vec![addr],
-            InstKind::Compute { a, b, .. } => {
-                [a.addr(), b.addr()].into_iter().flatten().collect()
-            }
+            InstKind::Compute { a, b, .. } => [a.addr(), b.addr()].into_iter().flatten().collect(),
             _ => vec![],
         };
         for addr in reads {
@@ -264,8 +264,7 @@ pub fn compute_future_reuse_windowed(
         };
         // Skip same-iteration reads (gap <= MIN_GAP).
         let idx = v.partition_point(|&p| p <= pos + ORACLE_REUSE_MIN_GAP);
-        v.get(idx)
-            .is_some_and(|&p| p - pos <= window)
+        v.get(idx).is_some_and(|&p| p - pos <= window)
     };
     let mut flags = Vec::new();
     for (i, inst) in trace.insts.iter().enumerate() {
@@ -275,9 +274,8 @@ pub fn compute_future_reuse_windowed(
             ..
         } = inst.kind
         {
-            flags.push(
-                next_touch_within(a / line_bytes, i) || next_touch_within(b / line_bytes, i),
-            );
+            flags
+                .push(next_touch_within(a / line_bytes, i) || next_touch_within(b / line_bytes, i));
         }
     }
     flags

@@ -1,8 +1,8 @@
 //! Per-run simulation results.
 
 use ndc_mem::CacheStats;
-use ndc_types::{Cycle, NdcLocation, Pc};
 use ndc_types::FxHashMap;
+use ndc_types::{Cycle, NdcLocation, Pc};
 
 /// Per-static-reference hit/miss counters, keyed by (PC, operand slot).
 /// Slot 0 is operand `a` / the single operand; slot 1 is operand `b`;
@@ -64,6 +64,15 @@ pub struct SimResult {
     /// NoC traffic stats.
     pub noc_messages: u64,
     pub noc_queueing_cycles: u64,
+    /// Instructions issued (denominator of issue-slot utilization).
+    pub issued_insts: u64,
+    /// Cycles cores spent blocked waiting for an MSHR slot to free.
+    pub mshr_stall_cycles: u64,
+    /// Cycles cores spent blocked on a full LD/ST offload table.
+    pub offload_stall_cycles: u64,
+    /// NDC fallbacks per abort reason, indexed by
+    /// `ndc::AbortReason::index()` (includes local-hit skips).
+    pub ndc_abort_reasons: [u64; 6],
     /// Per-static-reference L1 counters (Table 2 accuracy measurement).
     pub pc_l1: PcCacheCounters,
     /// Per-static-reference L2 counters (only accesses that reached

@@ -337,10 +337,7 @@ impl ArchConfig {
                 "ndc",
                 Json::obj()
                     .with("enabled_mask", self.ndc.enabled_mask as u64)
-                    .with(
-                        "timeout",
-                        self.ndc.timeout.map_or(Json::Null, Json::UInt),
-                    )
+                    .with("timeout", self.ndc.timeout.map_or(Json::Null, Json::UInt))
                     .with("service_table_entries", self.ndc.service_table_entries)
                     .with("offload_table_entries", self.ndc.offload_table_entries)
                     .with(

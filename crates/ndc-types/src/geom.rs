@@ -1,15 +1,12 @@
 //! Mesh coordinates and node identifiers.
 
-
 /// A node's (column, row) position on the 2D mesh.
 ///
 /// `x` grows to the east, `y` grows to the south. The paper's default
 /// machine is a 5×5 mesh (Table 1), so coordinates comfortably fit in a
 /// byte; we keep `u16` to allow the 6×6 and larger sensitivity sweeps
 /// (Figure 17) and synthetic stress tests.
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Coord {
     pub x: u16,
     pub y: u16,
@@ -39,9 +36,7 @@ impl std::fmt::Display for Coord {
 ///
 /// Used as the index into per-node state vectors (cores, L1s, L2 banks,
 /// routers) everywhere in the simulator.
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u16);
 
 impl NodeId {

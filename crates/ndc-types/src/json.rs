@@ -176,7 +176,10 @@ mod tests {
         assert_eq!(Json::Null.render(), "null");
         assert_eq!(Json::Bool(true).render(), "true");
         assert_eq!(Json::Int(-42).render(), "-42");
-        assert_eq!(Json::UInt(18_446_744_073_709_551_615).render(), "18446744073709551615");
+        assert_eq!(
+            Json::UInt(18_446_744_073_709_551_615).render(),
+            "18446744073709551615"
+        );
         assert_eq!(Json::Num(1.5).render(), "1.5");
         assert_eq!(Json::Num(3.0).render(), "3");
         assert_eq!(Json::Num(f64::NAN).render(), "null");

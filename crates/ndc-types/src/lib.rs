@@ -20,15 +20,15 @@ pub mod rng;
 pub mod stats;
 pub mod trace;
 
-pub use config::{
-    ArchConfig, CacheConfig, DramConfig, MemConfig, NdcConfig, NocConfig, OpClass,
-};
+pub use config::{ArchConfig, CacheConfig, DramConfig, MemConfig, NdcConfig, NocConfig, OpClass};
 pub use geom::{Coord, NodeId};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use json::Json;
 pub use op::{NdcLocation, Op, ALL_NDC_LOCATIONS};
 pub use rng::SplitMix64;
-pub use stats::{bucket_index, geomean_improvement, mean, Cdf, WindowHistogram, BUCKET_LABELS, NUM_BUCKETS};
+pub use stats::{
+    bucket_index, geomean_improvement, mean, Cdf, WindowHistogram, BUCKET_LABELS, NUM_BUCKETS,
+};
 pub use trace::{Inst, InstKind, Operand, Trace, TraceProgram};
 
 /// A simulation timestamp, measured in core clock cycles.

@@ -1,6 +1,5 @@
 //! Arithmetic/logic operations and NDC hardware locations.
 
-
 /// The arithmetic and logic operations that can be offloaded near data.
 ///
 /// The paper writes `A + B` throughout but states the approach handles

@@ -8,7 +8,7 @@
 
 /// Fixed default seed so unseeded generators are reproducible run to
 /// run (workload synthesis and the experiment harness rely on this).
-pub const DEFAULT_SEED: u64 = 0x5eed_0f_9a9e_2021;
+pub const DEFAULT_SEED: u64 = 0x005e_ed0f_9a9e_2021;
 
 /// SplitMix64 generator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -233,6 +233,49 @@ mod tests {
     }
 
     #[test]
+    fn merge_with_empty_operands_is_identity() {
+        let mut full = WindowHistogram::new();
+        full.record(Some(1));
+        full.record(Some(30));
+        full.record(None);
+        let snapshot = full.clone();
+
+        // empty.merge(full) yields full...
+        let mut empty = WindowHistogram::new();
+        empty.merge(&full);
+        assert_eq!(empty, snapshot);
+        // ...full.merge(empty) leaves full unchanged...
+        full.merge(&WindowHistogram::new());
+        assert_eq!(full, snapshot);
+        // ...and empty.merge(empty) stays empty.
+        let mut e2 = WindowHistogram::new();
+        e2.merge(&WindowHistogram::new());
+        assert_eq!(e2.total(), 0);
+    }
+
+    #[test]
+    fn truncation_leaves_values_below_the_cap_alone() {
+        let mut h = WindowHistogram::new();
+        h.record(Some(1)); // 25% in bucket 0
+        h.record(Some(15));
+        h.record(Some(15));
+        h.record(None);
+        let cdf = h.cdf();
+        let t = cdf.truncated(50.0);
+        // Below-cap values pass through exactly...
+        assert_eq!(t[0], cdf.at(0));
+        assert!((t[0] - 25.0).abs() < 1e-12);
+        // ...values at or above the cap clamp to it...
+        assert_eq!(t[2], 50.0);
+        assert_eq!(t[6], 50.0);
+        // ...and the empty histogram's truncated CDF is all zeros.
+        assert_eq!(
+            WindowHistogram::new().cdf().truncated(50.0),
+            [0.0; NUM_BUCKETS]
+        );
+    }
+
+    #[test]
     fn geomean_of_identical_values_is_that_value() {
         let v = [20.0, 20.0, 20.0];
         assert!((geomean_improvement(&v) - 20.0).abs() < 1e-9);

@@ -313,13 +313,7 @@ mod tests {
 
     #[test]
     fn touched_addrs_cover_all_operands() {
-        let i = Inst::compute(
-            0,
-            Op::Add,
-            Operand::Mem(100),
-            Operand::Mem(200),
-            Some(300),
-        );
+        let i = Inst::compute(0, Op::Add, Operand::Mem(100), Operand::Mem(200), Some(300));
         let addrs: Vec<Addr> = i.touched_addrs().collect();
         assert_eq!(addrs, vec![100, 200, 300]);
 

@@ -277,14 +277,8 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 20);
-        assert_eq!(
-            all.iter().filter(|b| b.suite == Suite::SpecOmp).count(),
-            11
-        );
-        assert_eq!(
-            all.iter().filter(|b| b.suite == Suite::Splash2).count(),
-            9
-        );
+        assert_eq!(all.iter().filter(|b| b.suite == Suite::SpecOmp).count(), 11);
+        assert_eq!(all.iter().filter(|b| b.suite == Suite::Splash2).count(), 9);
     }
 
     #[test]
@@ -354,11 +348,7 @@ mod tests {
 
     /// Sample the operand pair of a statement and return
     /// (same L2 home, same MC, same DRAM bank) match fractions.
-    fn pair_fractions(
-        prog: &Program,
-        nest_idx: usize,
-        stmt_idx: usize,
-    ) -> (f64, f64, f64) {
+    fn pair_fractions(prog: &Program, nest_idx: usize, stmt_idx: usize) -> (f64, f64, f64) {
         let cfg = ndc_types::ArchConfig::paper_default();
         let nest = &prog.nests[nest_idx];
         let stmt = &nest.body[stmt_idx];

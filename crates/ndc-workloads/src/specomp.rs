@@ -308,11 +308,7 @@ pub fn swim(scale: Scale) -> Program {
     if pad_bytes >= 8 {
         p.add_array(ArrayDecl::new("UPAD", vec![pad_bytes / 8], 8));
     }
-    let v = p.add_array(ArrayDecl::new(
-        "V",
-        vec![ni as u64, row],
-        8,
-    ));
+    let v = p.add_array(ArrayDecl::new("V", vec![ni as u64, row], 8));
     let z = p.add_array(ArrayDecl::new(
         "Z",
         vec![ni as u64, (8 * nj + 16) as u64],

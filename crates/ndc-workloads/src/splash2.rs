@@ -91,8 +91,12 @@ pub fn cholesky(scale: Scale) -> Program {
         ident(a, 2, vec![0, -1]),
         1,
     );
-    p.nests
-        .push(LoopNest::new(0, vec![0, 1], vec![n, n], vec![outer, scalepass]));
+    p.nests.push(LoopNest::new(
+        0,
+        vec![0, 1],
+        vec![n, n],
+        vec![outer, scalepass],
+    ));
     // The supernode assembly gathers two distinct frontal matrices —
     // the small NDC-friendly fraction of cholesky.
     let fa = p.add_array(ArrayDecl::new("FA", vec![n as u64, (8 * n + 8) as u64], 8));
@@ -163,8 +167,12 @@ pub fn lu(scale: Scale) -> Program {
         ident(piv, 2, vec![0, 0]),
         2,
     );
-    p.nests
-        .push(LoopNest::new(0, vec![0, 0], vec![n, n], vec![update, accumulate]));
+    p.nests.push(LoopNest::new(
+        0,
+        vec![0, 0],
+        vec![n, n],
+        vec![update, accumulate],
+    ));
     // Off-diagonal block updates stream two distinct panels.
     let pa = p.add_array(ArrayDecl::new("PA", vec![n as u64, (8 * n + 8) as u64], 8));
     let pb = p.add_array(ArrayDecl::new("PB", vec![n as u64, (8 * n + 8) as u64], 8));
@@ -242,8 +250,12 @@ pub fn ocean(scale: Scale) -> Program {
         strided2(delta, 0, 0),
         1,
     );
-    p.nests
-        .push(LoopNest::new(0, vec![1, 0], vec![ni - 1, nj - 1], vec![s0, s1, s2]));
+    p.nests.push(LoopNest::new(
+        0,
+        vec![1, 0],
+        vec![ni - 1, nj - 1],
+        vec![s0, s1, s2],
+    ));
     p
 }
 

@@ -99,6 +99,8 @@ fn main() {
             "\n30 consecutive windows of the hottest instruction (pc {pc}):\n  {}",
             series.join(" ")
         );
-        println!("  (unpredictable series like this are why the paper's Last-Wait predictor fails)");
+        println!(
+            "  (unpredictable series like this are why the paper's Last-Wait predictor fails)"
+        );
     }
 }

@@ -25,9 +25,8 @@ fn build_kernel(n: i64) -> Program {
     let corr = p.add_array(ArrayDecl::new("CORR", vec![n as u64], 8));
     let smooth = p.add_array(ArrayDecl::new("SMOOTH", vec![n as u64], 8));
 
-    let line_stride = |arr, off: i64| {
-        Ref::Array(ArrayRef::affine(arr, IMat::from_rows(&[&[8]]), vec![off]))
-    };
+    let line_stride =
+        |arr, off: i64| Ref::Array(ArrayRef::affine(arr, IMat::from_rows(&[&[8]]), vec![off]));
 
     // Phase 1: CORR[i] = FA[8i] * FB[8i] — both operands miss L1 every
     // iteration; prime near-data material.

@@ -1,13 +1,20 @@
 #!/usr/bin/env bash
-# Repo verification: offline build, full test suite, and the
-# determinism contract of the ndc-par runtime — `ndc-eval` output must
-# be bit-identical whether the experiment fan-out runs on one thread
-# or eight.
+# Repo verification: offline build, lints, formatting, full test
+# suite, and the determinism contract of the ndc-par runtime —
+# `ndc-eval` output (including the `--metrics` observability dump)
+# must be bit-identical whether the experiment fan-out runs on one
+# thread or eight.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== build (release, offline) =="
 cargo build --release --offline --workspace
+
+echo "== clippy (deny warnings) =="
+cargo clippy --offline --workspace -- -D warnings
+
+echo "== rustfmt (check) =="
+cargo fmt --check
 
 echo "== tests (offline) =="
 cargo test -q --offline --workspace
@@ -15,14 +22,21 @@ cargo test -q --offline --workspace
 echo "== determinism: NDC_THREADS=1 vs NDC_THREADS=8 =="
 EVAL=target/release/ndc-eval
 tmp1=$(mktemp) && tmp8=$(mktemp)
-trap 'rm -f "$tmp1" "$tmp8"' EXIT
-NDC_THREADS=1 "$EVAL" fig4 --scale test > "$tmp1"
-NDC_THREADS=8 "$EVAL" fig4 --scale test > "$tmp8"
+met1=$(mktemp) && met8=$(mktemp)
+trap 'rm -f "$tmp1" "$tmp8" "$met1" "$met8"' EXIT
+NDC_THREADS=1 "$EVAL" fig4 --scale test --metrics "$met1" > "$tmp1"
+NDC_THREADS=8 "$EVAL" fig4 --scale test --metrics "$met8" > "$tmp8"
 if ! diff -q "$tmp1" "$tmp8" > /dev/null; then
     echo "FAIL: parallel output differs from serial output" >&2
     diff "$tmp1" "$tmp8" | head -20 >&2
     exit 1
 fi
 echo "ok: fig4 output bit-identical across thread counts"
+if ! cmp -s "$met1" "$met8"; then
+    echo "FAIL: --metrics output differs across thread counts" >&2
+    diff <(head -c 2000 "$met1") <(head -c 2000 "$met8") | head -20 >&2
+    exit 1
+fi
+echo "ok: --metrics output byte-identical across thread counts"
 
 echo "== all checks passed =="

@@ -20,13 +20,14 @@ use ndc_compiler::{
     compile_algorithm1, compile_algorithm2, compile_coarse, Algorithm2Options, CompilerReport,
 };
 use ndc_ir::{lower, LowerOptions, Program};
-use ndc_sim::engine::{simulate, Engine};
+use ndc_obs::{Event, Metrics, ObsLevel};
+use ndc_sim::engine::{simulate, simulate_obs, Engine};
 use ndc_sim::instrument::Instrumentation;
 use ndc_sim::schemes::{Scheme, WaitBudget};
 use ndc_sim::SimResult;
 use ndc_types::{
-    geomean_improvement, ArchConfig, Cycle, NdcConfig, NdcLocation, OpClass, Pc,
-    WindowHistogram, ALL_NDC_LOCATIONS,
+    geomean_improvement, ArchConfig, Cycle, NdcConfig, NdcLocation, OpClass, Pc, WindowHistogram,
+    ALL_NDC_LOCATIONS,
 };
 use ndc_workloads::{all_benchmarks, Benchmark, Scale};
 
@@ -92,8 +93,32 @@ fn pc_of_refkey(key: &RefKey) -> Pc {
     ndc_ir::pc_of(key.nest_pos, key.stmt_pos, ndc_ir::ROLE_MAIN)
 }
 
+/// Observability artifacts from one benchmark evaluation: every run's
+/// component-level metrics tree and (optionally) its trace events, in
+/// fixed job order — `baseline`, the seven [`figure4_schemes`] labels,
+/// `alg1`, `alg2`. The order is the `ndc-par` job input order, so it
+/// is identical under any `NDC_THREADS`.
+#[derive(Default)]
+pub struct BenchObs {
+    pub per_run: Vec<(String, Metrics)>,
+    pub per_run_events: Vec<(String, Vec<Event>)>,
+}
+
 /// Run the full shared evaluation of one benchmark.
 pub fn evaluate_benchmark(bench: &Benchmark, cfg: ArchConfig, scale: Scale) -> BenchmarkEvaluation {
+    evaluate_benchmark_obs(bench, cfg, scale, ObsLevel::off()).0
+}
+
+/// [`evaluate_benchmark`] with the observability layer enabled: each
+/// simulated run also yields a per-component [`Metrics`] tree and, if
+/// the trace ring is on, its latest-window events (collected into
+/// [`BenchObs`] in job input order, preserving determinism).
+pub fn evaluate_benchmark_obs(
+    bench: &Benchmark,
+    cfg: ArchConfig,
+    scale: Scale,
+    obs: ObsLevel,
+) -> (BenchmarkEvaluation, BenchObs) {
     let prog = bench.build(scale);
     let cores = cfg.nodes();
     let opts = LowerOptions {
@@ -118,7 +143,7 @@ pub fn evaluate_benchmark(bench: &Benchmark, cfg: ArchConfig, scale: Scale) -> B
     }
     enum JobOut {
         Baseline(Box<(SimResult, Instrumentation, AccuracyReport)>),
-        Scheme(SimResult),
+        Scheme(Box<SimResult>),
         Algorithm(Box<(SimResult, CompilerReport)>),
     }
 
@@ -127,12 +152,20 @@ pub fn evaluate_benchmark(bench: &Benchmark, cfg: ArchConfig, scale: Scale) -> B
     jobs.push(Job::Algorithm(1));
     jobs.push(Job::Algorithm(2));
 
+    // Per-job run labels in the same order as `jobs`, used to key the
+    // observability output.
+    let labels: Vec<String> = std::iter::once("baseline".to_string())
+        .chain(figure4_schemes().into_iter().map(|s| s.label()))
+        .chain(["alg1".to_string(), "alg2".to_string()])
+        .collect();
+
     let outs = ndc_par::parallel_map(&jobs, |job| match job {
         Job::Baseline => {
             // Instrumented baseline: execution time + characterization
             // + per-reference cache counters.
             let base_out = Engine::new(cfg, &traces, Scheme::Baseline)
                 .with_instrumentation()
+                .with_obs(obs)
                 .run();
             let baseline = base_out.result;
             let instrumentation = base_out.instrumentation.expect("instrumented run");
@@ -149,11 +182,21 @@ pub fn evaluate_benchmark(bench: &Benchmark, cfg: ArchConfig, scale: Scale) -> B
                 .iter()
                 .map(|(k, v)| (*k, (v.hits, v.misses)))
                 .collect();
-            let cme_accuracy =
-                accuracy_against_sim(&cme, &l1_counters, &l2_counters, pc_of_refkey);
-            JobOut::Baseline(Box::new((baseline, instrumentation, cme_accuracy)))
+            let cme_accuracy = accuracy_against_sim(&cme, &l1_counters, &l2_counters, pc_of_refkey);
+            (
+                JobOut::Baseline(Box::new((baseline, instrumentation, cme_accuracy))),
+                base_out.metrics,
+                base_out.events,
+            )
         }
-        Job::Scheme(s) => JobOut::Scheme(simulate(cfg, &traces, *s).result),
+        Job::Scheme(s) => {
+            let out = simulate_obs(cfg, &traces, *s, obs);
+            (
+                JobOut::Scheme(Box::new(out.result)),
+                out.metrics,
+                out.events,
+            )
+        }
         Job::Algorithm(which) => {
             let (sched, report) = if *which == 1 {
                 compile_algorithm1(&prog, &cfg, cores)
@@ -161,35 +204,48 @@ pub fn evaluate_benchmark(bench: &Benchmark, cfg: ArchConfig, scale: Scale) -> B
                 compile_algorithm2(&prog, &cfg, cores, Algorithm2Options::default())
             };
             let t = lower(&prog, &opts, Some(&sched));
-            let r = simulate(cfg, &t, Scheme::Compiled).result;
-            JobOut::Algorithm(Box::new((r, report)))
+            let out = simulate_obs(cfg, &t, Scheme::Compiled, obs);
+            (
+                JobOut::Algorithm(Box::new((out.result, report))),
+                out.metrics,
+                out.events,
+            )
         }
     });
 
     let mut baseline_parts = None;
     let mut scheme_results = Vec::new();
     let mut algs = Vec::new();
-    for out in outs {
+    let mut bench_obs = BenchObs::default();
+    for (label, (out, metrics, events)) in labels.into_iter().zip(outs) {
+        if let Some(m) = metrics {
+            bench_obs.per_run.push((label.clone(), m));
+        }
+        if obs.trace_capacity > 0 {
+            bench_obs.per_run_events.push((label, events));
+        }
         match out {
             JobOut::Baseline(b) => baseline_parts = Some(*b),
-            JobOut::Scheme(r) => scheme_results.push(r),
+            JobOut::Scheme(r) => scheme_results.push(*r),
             JobOut::Algorithm(a) => algs.push(*a),
         }
     }
-    let (baseline, instrumentation, cme_accuracy) =
-        baseline_parts.expect("baseline job ran");
+    let (baseline, instrumentation, cme_accuracy) = baseline_parts.expect("baseline job ran");
     let (a2, r2) = algs.pop().expect("algorithm 2 job ran");
     let (a1, r1) = algs.pop().expect("algorithm 1 job ran");
 
-    BenchmarkEvaluation {
-        name: bench.name.to_string(),
-        baseline,
-        instrumentation,
-        scheme_results,
-        alg1: (a1, r1),
-        alg2: (a2, r2),
-        cme_accuracy,
-    }
+    (
+        BenchmarkEvaluation {
+            name: bench.name.to_string(),
+            baseline,
+            instrumentation,
+            scheme_results,
+            alg1: (a1, r1),
+            alg2: (a2, r2),
+            cme_accuracy,
+        },
+        bench_obs,
+    )
 }
 
 /// Evaluate all 20 benchmarks (ndc-par fan-out, ordered results).
@@ -260,11 +316,7 @@ pub fn figure4(evals: &[BenchmarkEvaluation]) -> Vec<Figure4Row> {
         .iter()
         .map(|e| Figure4Row {
             name: e.name.clone(),
-            schemes: e
-                .scheme_results
-                .iter()
-                .map(|r| e.improvement(r))
-                .collect(),
+            schemes: e.scheme_results.iter().map(|r| e.improvement(r)).collect(),
             alg1: e.improvement(&e.alg1.0),
             alg2: e.improvement(&e.alg2.0),
         })
@@ -772,14 +824,45 @@ mod tests {
     }
 
     #[test]
+    fn obs_evaluation_labels_every_run_in_job_order() {
+        let bench = ndc_workloads::by_name("kdtree").unwrap();
+        let (e, obs) = evaluate_benchmark_obs(
+            &bench,
+            ArchConfig::paper_default(),
+            Scale::Test,
+            ObsLevel::metrics(),
+        );
+        // One metrics tree per simulated run: baseline + 7 schemes +
+        // 2 algorithms, in fixed job order.
+        assert_eq!(obs.per_run.len(), 10);
+        assert_eq!(obs.per_run[0].0, "baseline");
+        assert_eq!(obs.per_run[8].0, "alg1");
+        assert_eq!(obs.per_run[9].0, "alg2");
+        // No trace ring requested -> no event lists.
+        assert!(obs.per_run_events.is_empty());
+        // The baseline metrics agree with the baseline result.
+        let m = &obs.per_run[0].1;
+        match m.get("engine") {
+            Some(ndc_obs::MetricNode::Tree(t)) => {
+                assert_eq!(
+                    t.counter_value("total_cycles"),
+                    Some(e.baseline.total_cycles)
+                );
+            }
+            _ => panic!("engine subtree missing"),
+        }
+        // The plain path is unaffected and timing-identical.
+        let plain = evaluate_benchmark(&bench, ArchConfig::paper_default(), Scale::Test);
+        assert_eq!(plain.baseline.total_cycles, e.baseline.total_cycles);
+    }
+
+    #[test]
     fn figure17_configs_cover_the_paper_axes() {
         let configs = figure17_configs();
         assert_eq!(configs.len(), 6);
         assert!(configs.iter().any(|c| c.cfg.noc.width == 4));
         assert!(configs.iter().any(|c| c.cfg.noc.width == 6));
-        assert!(configs
-            .iter()
-            .any(|c| c.cfg.l2.size_bytes == 256 * 1024));
+        assert!(configs.iter().any(|c| c.cfg.l2.size_bytes == 256 * 1024));
         assert!(configs
             .iter()
             .any(|c| c.cfg.ndc.op_class == OpClass::AddSubOnly));
@@ -788,12 +871,7 @@ mod tests {
     #[test]
     fn k_sweep_is_monotone_in_exercised_fraction() {
         let bench = ndc_workloads::by_name("md").unwrap();
-        let rows = ablation_k(
-            &bench,
-            ArchConfig::paper_default(),
-            Scale::Test,
-            &[0, 2, 8],
-        );
+        let rows = ablation_k(&bench, ArchConfig::paper_default(), Scale::Test, &[0, 2, 8]);
         for w in rows.windows(2) {
             assert!(
                 w[1].exercised_pct >= w[0].exercised_pct - 1e-9,

@@ -56,6 +56,7 @@ pub use ndc_compiler as compiler;
 pub use ndc_ir as ir;
 pub use ndc_mem as mem;
 pub use ndc_noc as noc;
+pub use ndc_obs as obs;
 pub use ndc_sim as sim;
 pub use ndc_types as types;
 pub use ndc_workloads as workloads;
@@ -63,8 +64,7 @@ pub use ndc_workloads as workloads;
 /// The most common imports, in one place.
 pub mod prelude {
     pub use ndc_compiler::{
-        compile_algorithm1, compile_algorithm2, compile_coarse, Algorithm2Options,
-        CompilerReport,
+        compile_algorithm1, compile_algorithm2, compile_coarse, Algorithm2Options, CompilerReport,
     };
     pub use ndc_ir::{lower, LowerOptions, Program, Schedule};
     pub use ndc_sim::engine::simulate;

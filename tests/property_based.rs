@@ -160,7 +160,10 @@ fn lowering_preserves_compute_population() {
     let cfg = ArchConfig::paper_default();
     for_each_case(0x9_0b_2, |i, g| {
         let prog = gen_program(g);
-        let opts = LowerOptions { cores: cfg.nodes(), emit_busy: true };
+        let opts = LowerOptions {
+            cores: cfg.nodes(),
+            emit_busy: true,
+        };
         let base = lower(&prog, &opts, None);
         let (sched, _) = compile_algorithm1(&prog, &cfg, cfg.nodes());
         let compiled = lower(&prog, &opts, Some(&sched));
@@ -176,11 +179,16 @@ fn simulator_accounting_is_closed() {
     let cfg = ArchConfig::paper_default();
     for_each_case(0x9_0b_3, |i, g| {
         let prog = gen_program(g);
-        let opts = LowerOptions { cores: cfg.nodes(), emit_busy: true };
+        let opts = LowerOptions {
+            cores: cfg.nodes(),
+            emit_busy: true,
+        };
         let traces = lower(&prog, &opts, None);
         for scheme in [
             Scheme::Baseline,
-            Scheme::NdcAll { budget: WaitBudget::PctOfCap(25) },
+            Scheme::NdcAll {
+                budget: WaitBudget::PctOfCap(25),
+            },
             Scheme::Oracle { reuse_aware: true },
         ] {
             let r = simulate(cfg, &traces, scheme).result;
@@ -233,7 +241,10 @@ fn two_dimensional_simulation_accounting() {
     let cfg = ArchConfig::paper_default();
     for_each_case(0x9_0b_5, |i, g| {
         let prog = gen_program_2d(g);
-        let opts = LowerOptions { cores: cfg.nodes(), emit_busy: true };
+        let opts = LowerOptions {
+            cores: cfg.nodes(),
+            emit_busy: true,
+        };
         let (sched, _) = compile_algorithm1(&prog, &cfg, cfg.nodes());
         let traces = lower(&prog, &opts, Some(&sched));
         assert!(traces.validate_precompute_links().is_ok(), "case {i}");
@@ -252,8 +263,12 @@ fn engine_is_total_and_deterministic_on_fuzzed_traces() {
         let prog = gen_trace_program(g);
         for scheme in [
             Scheme::Baseline,
-            Scheme::NdcAll { budget: WaitBudget::Forever },
-            Scheme::NdcAll { budget: WaitBudget::LastWindow },
+            Scheme::NdcAll {
+                budget: WaitBudget::Forever,
+            },
+            Scheme::NdcAll {
+                budget: WaitBudget::LastWindow,
+            },
             Scheme::Oracle { reuse_aware: false },
         ] {
             let a = simulate(cfg, &prog, scheme).result;

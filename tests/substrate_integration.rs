@@ -55,7 +55,14 @@ fn writes_keep_directory_and_l1s_coherent_across_many_cores() {
     let addr = 0x60_0000;
     // Every core reads the line.
     for c in 0..25u16 {
-        m.access(NodeId(c), addr, 1000 + c as u64 * 100, false, AccessIntent::ToCore, None);
+        m.access(
+            NodeId(c),
+            addr,
+            1000 + c as u64 * 100,
+            false,
+            AccessIntent::ToCore,
+            None,
+        );
     }
     for c in 0..25usize {
         assert!(m.l1s[c].probe(addr), "core {c} should hold the line");
@@ -95,7 +102,14 @@ fn contention_raises_latencies_under_load() {
     // Generate a storm crossing the center of the mesh.
     for k in 0..400u64 {
         let addr = 0xA0_0000 + k * 64;
-        busy.access(NodeId((k % 25) as u16), addr, 0, false, AccessIntent::ToCore, None);
+        busy.access(
+            NodeId((k % 25) as u16),
+            addr,
+            0,
+            false,
+            AccessIntent::ToCore,
+            None,
+        );
     }
     let busy_path = busy.access(NodeId(12), probe_addr, 0, false, AccessIntent::ToCore, None);
     assert!(
