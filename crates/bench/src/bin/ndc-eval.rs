@@ -19,7 +19,8 @@
 //!   fig17             sensitivity study (mesh size, L2 size, op class)
 //!   ablation-routing  router NDC with vs without route reshaping
 //!   ablation-coarse   fine-grain vs whole-nest mapping
-//!   all               everything above in sequence
+//!   check             differential oracle + simulator invariants + fault matrix
+//!   all               everything above in sequence (except check)
 //! ```
 //!
 //! `--metrics` writes a per-run component-level breakdown (engine,
@@ -126,6 +127,7 @@ fn main() {
         "ablation-k" => ablation_k(&args, cfg),
         "ablation-markov" => ablation_markov(&args, cfg),
         "ablation-layout" => ablation_layout(&args, cfg),
+        "check" => check_cmd(&args, cfg),
         "all" => {
             table1(&cfg);
             let evals = eval_benches(&args, cfg);
@@ -153,7 +155,7 @@ fn main() {
             );
             println!("experiments: list table1 table2 fig2 fig3 fig4 fig5 fig6 fig13 fig14");
             println!("             fig15 fig16 fig17 ablation-routing ablation-coarse");
-            println!("             ablation-k ablation-markov ablation-layout all");
+            println!("             ablation-k ablation-markov ablation-layout check all");
             println!("--metrics: per-run component breakdown JSON (benchmark-evaluation runs)");
             println!("--trace:   NDC offload events, Chrome trace format (implies metrics)");
         }
@@ -667,6 +669,122 @@ fn ablation_layout(args: &Args, cfg: ArchConfig) {
         );
     }
     println!("(the paper defers bank-remapping layout optimization to a future study)");
+    println!();
+}
+
+/// `check`: run the correctness layer — the differential oracle over
+/// every workload × candidate transform, the simulator invariant
+/// checker on a `CheckLevel::full()` run per benchmark, and the seeded
+/// fault-injection matrix proving each invariant fires. Exits 1 on any
+/// failure; output is deterministic for any `NDC_THREADS`.
+fn check_cmd(args: &Args, cfg: ArchConfig) {
+    use ndc::check as chk;
+    println!("== Check: differential oracle + simulator invariants ==");
+    let list = benches(&args.bench);
+    let opts = LowerOptions {
+        cores: cfg.nodes(),
+        emit_busy: true,
+    };
+    let mut failed = false;
+
+    println!("-- differential oracle: reference vs every legal candidate transform --");
+    println!(
+        "{:<10} {:>6} {:>6} {:>8} {:>10}  result",
+        "bench", "nests", "legal", "illegal", "oob-reads"
+    );
+    let sweeps = ndc_par::parallel_map(&list, |b| {
+        let prog = b.build_timesteps(args.scale, 1);
+        chk::sweep_workload(&prog, 1)
+    });
+    for s in &sweeps {
+        println!(
+            "{:<10} {:>6} {:>6} {:>8} {:>10}  {}",
+            s.workload,
+            s.nests,
+            s.legal_checked,
+            s.illegal_skipped,
+            s.oob_reads,
+            if s.passed() { "ok" } else { "DIVERGED" }
+        );
+        for f in &s.failures {
+            failed = true;
+            println!(
+                "    nest {} transform {:?}: {}",
+                f.nest, f.transform, f.divergence
+            );
+        }
+    }
+
+    println!();
+    println!("-- simulator invariants: CheckLevel::full() under NdcAll w50% --");
+    println!(
+        "{:<10} {:>9} {:>6} {:>9}  result",
+        "bench", "requests", "links", "events"
+    );
+    let reports = ndc_par::parallel_map(&list, |b| {
+        let prog = b.build_timesteps(args.scale, 1);
+        let traces = lower(&prog, &opts, None);
+        let out = chk::simulate_checked(
+            cfg,
+            &traces,
+            Scheme::NdcAll {
+                budget: WaitBudget::PctOfCap(50),
+            },
+        );
+        (b.name, chk::check_engine_output(&out))
+    });
+    for (name, r) in &reports {
+        println!(
+            "{:<10} {:>9} {:>6} {:>9}  {}",
+            name,
+            r.requests,
+            r.links,
+            r.events,
+            if r.ok() { "ok" } else { "VIOLATED" }
+        );
+        for v in &r.violations {
+            failed = true;
+            println!("    {v}");
+        }
+    }
+
+    println!();
+    println!("-- fault-injection matrix: kdtree under NdcAll w50%, seed 0xC0FFEE --");
+    let prog = by_name("kdtree").unwrap().build_timesteps(args.scale, 1);
+    let traces = lower(&prog, &opts, None);
+    let out = chk::simulate_checked(
+        cfg,
+        &traces,
+        Scheme::NdcAll {
+            budget: WaitBudget::PctOfCap(50),
+        },
+    );
+    let clean_result = out.result;
+    let clean_data = out.check.expect("checked run records CheckData");
+    println!("{:<24} {:<16}  result", "fault", "invariant");
+    for (k, fault) in chk::ALL_FAULTS.iter().enumerate() {
+        let mut data = clean_data.clone();
+        let mut result = clean_result.clone();
+        let injected = chk::inject(&mut data, &mut result, *fault, 0xC0FFEE + k as u64);
+        let report = chk::check_run(&data, &result);
+        let tripped = injected && report.violated(fault.expected_invariant());
+        if !tripped {
+            failed = true;
+        }
+        println!(
+            "{:<24} {:<16}  {}",
+            fault.label(),
+            fault.expected_invariant().label(),
+            if tripped { "tripped" } else { "MISSED" }
+        );
+    }
+
+    println!();
+    if failed {
+        println!("check: FAILED");
+        std::process::exit(1);
+    }
+    println!("check: oracle clean, all invariants hold, every fault class detected");
     println!();
 }
 

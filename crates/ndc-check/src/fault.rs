@@ -1,0 +1,210 @@
+//! Seeded fault injection: corrupt a recorded run in a controlled way
+//! and prove the matching invariant fires.
+//!
+//! Each [`Fault`] models a concrete simulator bug class and maps to
+//! exactly one [`Invariant`]. Victim selection is driven by
+//! [`SplitMix64`] so every injection is reproducible from its seed.
+
+use crate::invariant::Invariant;
+use ndc_obs::chk;
+use ndc_sim::{CheckData, SimResult};
+use ndc_types::SplitMix64;
+
+/// A class of injected simulator fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// A flit vanishes in the network: one `FLIT_EXIT` event is removed,
+    /// so that link's occupancy never drains back to zero.
+    DroppedFlit,
+    /// A DRAM response is delayed past the rest of its request's path:
+    /// one `MEM_DONE` timestamp jumps far into the future, breaking
+    /// per-request timestamp monotonicity.
+    DelayedDramResponse,
+    /// A stale offload-table window replays a completed request: one
+    /// `RETIRE` event is duplicated, so the request retires twice.
+    StaleOffloadWindow,
+    /// A corrupted reshape tally: `ndc_attempts` is bumped without a
+    /// matching performed/abort outcome, breaking NDC accounting.
+    CorruptedReshape,
+}
+
+/// All fault classes, in a fixed order for deterministic matrices.
+pub const ALL_FAULTS: [Fault; 4] = [
+    Fault::DroppedFlit,
+    Fault::DelayedDramResponse,
+    Fault::StaleOffloadWindow,
+    Fault::CorruptedReshape,
+];
+
+impl Fault {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fault::DroppedFlit => "dropped-flit",
+            Fault::DelayedDramResponse => "delayed-dram-response",
+            Fault::StaleOffloadWindow => "stale-offload-window",
+            Fault::CorruptedReshape => "corrupted-reshape",
+        }
+    }
+
+    /// The invariant this fault class is designed to violate.
+    pub fn expected_invariant(&self) -> Invariant {
+        match self {
+            Fault::DroppedFlit => Invariant::LinkOccupancy,
+            Fault::DelayedDramResponse => Invariant::PathMonotonic,
+            Fault::StaleOffloadWindow => Invariant::RetireOnce,
+            Fault::CorruptedReshape => Invariant::NdcAccounting,
+        }
+    }
+}
+
+/// Pick a seeded victim among event indices whose name matches `name`.
+fn pick_index(data: &CheckData, name: &str, rng: &mut SplitMix64) -> Option<usize> {
+    let sites: Vec<usize> = data
+        .events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.name == name)
+        .map(|(i, _)| i)
+        .collect();
+    if sites.is_empty() {
+        None
+    } else {
+        Some(sites[rng.below(sites.len() as u64) as usize])
+    }
+}
+
+/// Inject `fault` into a recorded run. Returns `false` when the run has
+/// no applicable site (e.g. no DRAM traffic to delay), in which case
+/// nothing is modified.
+pub fn inject(data: &mut CheckData, result: &mut SimResult, fault: Fault, seed: u64) -> bool {
+    let mut rng = SplitMix64::new(seed);
+    match fault {
+        Fault::DroppedFlit => match pick_index(data, chk::FLIT_EXIT, &mut rng) {
+            Some(i) => {
+                data.events.remove(i);
+                true
+            }
+            None => false,
+        },
+        Fault::DelayedDramResponse => match pick_index(data, chk::MEM_DONE, &mut rng) {
+            Some(i) => {
+                data.events[i].ts += 1_000_000_000;
+                true
+            }
+            None => false,
+        },
+        Fault::StaleOffloadWindow => match pick_index(data, chk::RETIRE, &mut rng) {
+            Some(i) => {
+                let dup = data.events[i].clone();
+                data.events.push(dup);
+                true
+            }
+            None => false,
+        },
+        Fault::CorruptedReshape => {
+            if result.ndc_attempts == 0 {
+                return false;
+            }
+            result.ndc_attempts += 1 + rng.below(7);
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariant::check_run;
+    use ndc_ir::{lower, LowerOptions};
+    use ndc_sim::{simulate_checked, Scheme, WaitBudget};
+    use ndc_types::ArchConfig;
+    use ndc_workloads::{by_name, Scale};
+
+    /// A real checked run with NDC traffic so every fault class has an
+    /// injection site (kdtree offloads on every chain).
+    fn checked_run() -> (CheckData, SimResult) {
+        let cfg = ArchConfig::paper_default();
+        let prog = by_name("kdtree").unwrap().build_timesteps(Scale::Test, 1);
+        let traces = lower(
+            &prog,
+            &LowerOptions {
+                cores: cfg.nodes(),
+                emit_busy: true,
+            },
+            None,
+        );
+        let out = simulate_checked(
+            cfg,
+            &traces,
+            Scheme::NdcAll {
+                budget: WaitBudget::PctOfCap(50),
+            },
+        );
+        (
+            out.check.expect("checked run records CheckData"),
+            out.result,
+        )
+    }
+
+    #[test]
+    fn healthy_run_passes_all_invariants() {
+        let (data, result) = checked_run();
+        let report = check_run(&data, &result);
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert!(report.requests > 0);
+        assert!(data.dram_requests > 0);
+        assert!(result.ndc_attempts > 0, "need NDC traffic for the matrix");
+    }
+
+    #[test]
+    fn every_fault_trips_exactly_its_invariant() {
+        let (clean_data, clean_result) = checked_run();
+        for (k, fault) in ALL_FAULTS.iter().enumerate() {
+            let mut data = clean_data.clone();
+            let mut result = clean_result.clone();
+            let injected = inject(&mut data, &mut result, *fault, 0x9E37 + k as u64);
+            assert!(
+                injected,
+                "{}: no injection site in a real run",
+                fault.label()
+            );
+            let report = check_run(&data, &result);
+            assert!(
+                report.violated(fault.expected_invariant()),
+                "{}: expected a {} violation, got {:?}",
+                fault.label(),
+                fault.expected_invariant().label(),
+                report.violations
+            );
+        }
+    }
+
+    #[test]
+    fn injection_is_seed_deterministic() {
+        let (clean_data, clean_result) = checked_run();
+        let mut a = (clean_data.clone(), clean_result.clone());
+        let mut b = (clean_data, clean_result);
+        assert!(inject(&mut a.0, &mut a.1, Fault::DroppedFlit, 42));
+        assert!(inject(&mut b.0, &mut b.1, Fault::DroppedFlit, 42));
+        assert_eq!(a.0.events.len(), b.0.events.len());
+        let same =
+            a.0.events
+                .iter()
+                .zip(b.0.events.iter())
+                .all(|(x, y)| x.name == y.name && x.ts == y.ts && x.pid == y.pid && x.tid == y.tid);
+        assert!(same, "same seed must pick the same victim");
+    }
+
+    #[test]
+    fn inject_reports_missing_sites() {
+        let mut data = CheckData::default();
+        let mut result = SimResult::default();
+        for fault in ALL_FAULTS {
+            assert!(
+                !inject(&mut data, &mut result, fault, 1),
+                "{}: empty run has no injection site",
+                fault.label()
+            );
+        }
+    }
+}

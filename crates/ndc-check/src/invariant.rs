@@ -1,0 +1,355 @@
+//! Conservation-law invariants over a checked simulation run.
+//!
+//! Input is the [`ndc_sim::CheckData`] stream recorded by a
+//! `CheckLevel::full()` run (the `ndc_obs::chk` event contract) plus
+//! the run's [`ndc_sim::SimResult`] counters. All maps are ordered
+//! (`BTreeMap`) so violation reports are deterministic.
+
+use ndc_obs::{chk, Event};
+use ndc_sim::{CheckData, EngineOutput, SimResult};
+use std::collections::BTreeMap;
+
+/// The conservation laws the checker asserts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Invariant {
+    /// Every issued request retires exactly once.
+    RetireOnce,
+    /// Per-link flit enters and exits pair up (occupancy non-negative,
+    /// drained to zero at end of run).
+    LinkOccupancy,
+    /// Timestamps are monotonically non-decreasing along each request
+    /// path.
+    PathMonotonic,
+    /// `ndc_performed + per-reason aborts == ndc_attempts`.
+    NdcAccounting,
+    /// DRAM row-buffer outcomes account for every controller request.
+    DramAccounting,
+}
+
+impl Invariant {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Invariant::RetireOnce => "retire-once",
+            Invariant::LinkOccupancy => "link-occupancy",
+            Invariant::PathMonotonic => "path-monotonic",
+            Invariant::NdcAccounting => "ndc-accounting",
+            Invariant::DramAccounting => "dram-accounting",
+        }
+    }
+}
+
+/// One invariant violation, with a human-readable locus.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub invariant: Invariant,
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.invariant.label(), self.detail)
+    }
+}
+
+/// Outcome of checking one run.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// Distinct request ids seen in the stream.
+    pub requests: usize,
+    /// Distinct links seen in the stream.
+    pub links: usize,
+    /// Events examined.
+    pub events: usize,
+    pub violations: Vec<Violation>,
+}
+
+impl CheckReport {
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Whether some violation of `inv` was found.
+    pub fn violated(&self, inv: Invariant) -> bool {
+        self.violations.iter().any(|v| v.invariant == inv)
+    }
+}
+
+/// Check the stream-level invariants (retire-once, path monotonicity,
+/// link occupancy) over a check-event stream.
+pub fn check_stream(events: &[Event]) -> CheckReport {
+    let mut report = CheckReport {
+        events: events.len(),
+        ..Default::default()
+    };
+
+    // Per-request bookkeeping, in request-id order.
+    #[derive(Default)]
+    struct ReqState {
+        issues: u64,
+        retires: u64,
+        last_ts: Option<u64>,
+        monotonic_broken: Option<String>,
+    }
+    let mut reqs: BTreeMap<u32, ReqState> = BTreeMap::new();
+    // Per-link enter/exit timestamps, in link-id order.
+    let mut links: BTreeMap<u32, (Vec<u64>, Vec<u64>)> = BTreeMap::new();
+
+    for ev in events {
+        if ev.cat == chk::CAT_REQ {
+            let st = reqs.entry(ev.pid).or_default();
+            match ev.name.as_str() {
+                n if n == chk::ISSUE => st.issues += 1,
+                n if n == chk::RETIRE => st.retires += 1,
+                _ => {}
+            }
+            if let Some(prev) = st.last_ts {
+                if ev.ts < prev && st.monotonic_broken.is_none() {
+                    st.monotonic_broken = Some(format!(
+                        "request {}: {} at cycle {} precedes prior event at cycle {}",
+                        ev.pid, ev.name, ev.ts, prev
+                    ));
+                }
+            }
+            st.last_ts = Some(ev.ts);
+        } else if ev.cat == chk::CAT_LINK {
+            let (enters, exits) = links.entry(ev.tid).or_default();
+            match ev.name.as_str() {
+                n if n == chk::FLIT_ENTER => enters.push(ev.ts),
+                n if n == chk::FLIT_EXIT => exits.push(ev.ts),
+                _ => {}
+            }
+        }
+    }
+
+    report.requests = reqs.len();
+    report.links = links.len();
+
+    for (id, st) in &reqs {
+        if st.issues != 1 || st.retires != 1 {
+            report.violations.push(Violation {
+                invariant: Invariant::RetireOnce,
+                detail: format!(
+                    "request {id}: {} issue(s), {} retire(s) (want exactly 1 of each)",
+                    st.issues, st.retires
+                ),
+            });
+        }
+        if let Some(d) = &st.monotonic_broken {
+            report.violations.push(Violation {
+                invariant: Invariant::PathMonotonic,
+                detail: d.clone(),
+            });
+        }
+    }
+
+    for (link, (enters, exits)) in &mut links {
+        if enters.len() != exits.len() {
+            report.violations.push(Violation {
+                invariant: Invariant::LinkOccupancy,
+                detail: format!(
+                    "link {link}: {} flit enters vs {} exits (occupancy does not drain to zero)",
+                    enters.len(),
+                    exits.len()
+                ),
+            });
+            continue;
+        }
+        // Feasible matching check: pairing the i-th earliest enter with
+        // the i-th earliest exit must never require an exit before its
+        // enter — otherwise occupancy went negative at some point.
+        enters.sort_unstable();
+        exits.sort_unstable();
+        if let Some((i, (en, ex))) = enters
+            .iter()
+            .zip(exits.iter())
+            .enumerate()
+            .find(|(_, (en, ex))| ex < en)
+        {
+            report.violations.push(Violation {
+                invariant: Invariant::LinkOccupancy,
+                detail: format!(
+                    "link {link}: {i}-th flit exit at cycle {ex} precedes its enter at cycle {en}"
+                ),
+            });
+        }
+    }
+
+    report
+}
+
+/// Check the counter-level conservation laws of a [`SimResult`]:
+/// every NDC attempt either performed or aborted with a tallied reason.
+pub fn check_counters(result: &SimResult) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let attempts = result.ndc_attempts;
+    let accounted = result.ndc_total() + result.ndc_abort_reasons.iter().sum::<u64>();
+    if attempts != accounted {
+        v.push(Violation {
+            invariant: Invariant::NdcAccounting,
+            detail: format!(
+                "ndc_attempts = {attempts} but performed + per-reason aborts = {accounted}"
+            ),
+        });
+    }
+    v
+}
+
+/// Check everything for one recorded run: the event stream, the
+/// `SimResult` counters, and the DRAM accounting totals.
+pub fn check_run(data: &CheckData, result: &SimResult) -> CheckReport {
+    let mut report = check_stream(&data.events);
+    report.violations.extend(check_counters(result));
+    if data.dram_requests != data.dram_outcomes {
+        report.violations.push(Violation {
+            invariant: Invariant::DramAccounting,
+            detail: format!(
+                "{} DRAM requests but {} row-buffer outcomes",
+                data.dram_requests, data.dram_outcomes
+            ),
+        });
+    }
+    report
+}
+
+/// Convenience: check a `CheckLevel::full()` engine run. Panics if the
+/// run was not checked (no [`CheckData`] collected).
+pub fn check_engine_output(out: &EngineOutput) -> CheckReport {
+    let data = out
+        .check
+        .as_ref()
+        .expect("engine run without CheckLevel::full(); nothing to check");
+    check_run(data, &out.result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(name: &'static str, ts: u64, pid: u32) -> Event {
+        Event {
+            name: name.to_string(),
+            cat: chk::CAT_REQ,
+            ts,
+            dur: 0,
+            pid,
+            tid: 0,
+        }
+    }
+
+    fn flit(name: &'static str, ts: u64, link: u32) -> Event {
+        Event {
+            name: name.to_string(),
+            cat: chk::CAT_LINK,
+            ts,
+            dur: 0,
+            pid: 0,
+            tid: link,
+        }
+    }
+
+    fn healthy_stream() -> Vec<Event> {
+        vec![
+            req(chk::ISSUE, 0, 0),
+            req(chk::L2_REQ, 10, 0),
+            req(chk::MEM_QUEUE, 20, 0),
+            req(chk::MEM_SERVICE, 25, 0),
+            req(chk::MEM_DONE, 80, 0),
+            req(chk::DATA_AT_BANK, 95, 0),
+            req(chk::RETIRE, 110, 0),
+            req(chk::ISSUE, 5, 1),
+            req(chk::RETIRE, 8, 1),
+            flit(chk::FLIT_ENTER, 12, 3),
+            flit(chk::FLIT_EXIT, 15, 3),
+            flit(chk::FLIT_ENTER, 14, 3),
+            flit(chk::FLIT_EXIT, 17, 3),
+        ]
+    }
+
+    #[test]
+    fn healthy_stream_passes() {
+        let r = check_stream(&healthy_stream());
+        assert!(r.ok(), "{:?}", r.violations);
+        assert_eq!(r.requests, 2);
+        assert_eq!(r.links, 1);
+        assert_eq!(r.events, 13);
+    }
+
+    #[test]
+    fn duplicate_retire_is_caught() {
+        let mut evs = healthy_stream();
+        evs.push(req(chk::RETIRE, 110, 0));
+        let r = check_stream(&evs);
+        assert!(r.violated(Invariant::RetireOnce));
+        assert!(!r.violated(Invariant::PathMonotonic));
+    }
+
+    #[test]
+    fn missing_retire_is_caught() {
+        let evs: Vec<Event> = healthy_stream()
+            .into_iter()
+            .filter(|e| !(e.pid == 1 && e.name == chk::RETIRE))
+            .collect();
+        let r = check_stream(&evs);
+        assert!(r.violated(Invariant::RetireOnce));
+    }
+
+    #[test]
+    fn non_monotonic_path_is_caught() {
+        let mut evs = healthy_stream();
+        // Delay MEM_DONE past everything after it.
+        evs[4].ts = 1_000_000;
+        let r = check_stream(&evs);
+        assert!(r.violated(Invariant::PathMonotonic));
+        assert!(!r.violated(Invariant::RetireOnce));
+    }
+
+    #[test]
+    fn unbalanced_flits_are_caught() {
+        let evs: Vec<Event> = healthy_stream()
+            .into_iter()
+            .filter(|e| !(e.name == chk::FLIT_EXIT && e.ts == 17))
+            .collect();
+        let r = check_stream(&evs);
+        assert!(r.violated(Invariant::LinkOccupancy));
+    }
+
+    #[test]
+    fn exit_before_enter_is_caught() {
+        let evs = vec![flit(chk::FLIT_ENTER, 100, 7), flit(chk::FLIT_EXIT, 5, 7)];
+        let r = check_stream(&evs);
+        assert!(r.violated(Invariant::LinkOccupancy));
+    }
+
+    #[test]
+    fn ndc_accounting_checks_sim_result() {
+        let mut result = SimResult {
+            ndc_attempts: 10,
+            ndc_performed: [4, 2, 0, 0],
+            ..Default::default()
+        };
+        result.ndc_abort_reasons[0] = 3;
+        result.ndc_abort_reasons[2] = 1;
+        assert!(check_counters(&result).is_empty());
+        result.ndc_attempts = 11;
+        let v = check_counters(&result);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, Invariant::NdcAccounting);
+    }
+
+    #[test]
+    fn dram_accounting_checks_check_data() {
+        let data = CheckData {
+            events: healthy_stream(),
+            dram_requests: 5,
+            dram_outcomes: 5,
+        };
+        let result = SimResult::default();
+        assert!(check_run(&data, &result).ok());
+        let broken = CheckData {
+            dram_outcomes: 4,
+            ..data
+        };
+        let r = check_run(&broken, &result);
+        assert!(r.violated(Invariant::DramAccounting));
+    }
+}

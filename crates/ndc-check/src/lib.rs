@@ -1,0 +1,42 @@
+//! Correctness layer for the NDC stack: a differential oracle over the
+//! IR interpreter, conservation-law invariants over the simulator's
+//! check-event stream, and a seeded fault-injection harness proving the
+//! invariants actually fire.
+//!
+//! The paper's claims rest on two trust anchors this crate hardens:
+//!
+//! * **Semantic equivalence** of Algorithm 1/2 schedules. A single
+//!   `f64` checksum can collide under compensating element-wise errors
+//!   (see `oracle::tests::illegal_interchange_caught_despite_checksum_collision`),
+//!   so [`oracle`] diffs array contents element-wise and reports the
+//!   first divergent array/index, sweeping every workload × every
+//!   candidate transform through `Interpreter::run` vs `run_scheduled`.
+//! * **Simulator bookkeeping**. [`invariant`] asserts, over the
+//!   [`ndc_sim::CheckData`] stream a `CheckLevel::full()` run records:
+//!   every issued request retires exactly once; per-link flit
+//!   occupancy is matched and drains to zero; timestamps are monotonic
+//!   along each request path; `ndc_performed + per-reason aborts ==
+//!   ndc_attempts`; and DRAM row-buffer outcomes account for every
+//!   request.
+//! * **The checker itself** is tested by [`fault`]: `SplitMix64`-seeded
+//!   injections (dropped flit, delayed DRAM response, stale
+//!   offload-table window, corrupted reshape tally) each trip exactly
+//!   the invariant that guards against them.
+//!
+//! Zero-dependency like the rest of the workspace; everything here is
+//! deterministic (seeded PRNG, no clocks).
+
+pub mod fault;
+pub mod invariant;
+pub mod oracle;
+
+pub use fault::{inject, Fault, ALL_FAULTS};
+pub use invariant::{
+    check_counters, check_engine_output, check_run, CheckReport, Invariant, Violation,
+};
+pub use oracle::{
+    check_schedule, first_divergence, sweep_workload, Divergence, OracleSummary, SweepFailure,
+};
+
+pub use ndc_obs::CheckLevel;
+pub use ndc_sim::simulate_checked;

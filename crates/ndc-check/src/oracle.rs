@@ -1,0 +1,322 @@
+//! The differential correctness oracle.
+//!
+//! A transformation is correct iff executing the scheduled program
+//! (`Interpreter::run_scheduled`) leaves every array bit-identical to
+//! the original execution order (`Interpreter::run`). Checksums are not
+//! enough: compensating errors — two equal-weight elements swapping
+//! values — leave the digest unchanged. The oracle therefore compares
+//! element-wise and reports the *first* divergent array element, with
+//! its multi-dimensional index recovered from the flat position.
+
+use ndc_ir::matrix::candidate_transforms;
+use ndc_ir::{ArrayId, DataStore, DependenceGraph, IMat, Interpreter, Program, Schedule};
+
+/// The first point where two stores disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Array name (and id) holding the divergent element.
+    pub array: String,
+    /// Flat element position within the array.
+    pub flat_index: u64,
+    /// The element's multi-dimensional index (row-major delinearized).
+    pub index: Vec<i64>,
+    /// Value produced by the reference (original-order) execution.
+    pub expected: f64,
+    /// Value produced by the scheduled execution.
+    pub actual: f64,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}{:?} (flat {}): expected {}, got {}",
+            self.array, self.index, self.flat_index, self.expected, self.actual
+        )
+    }
+}
+
+/// Recover a row-major multi-dimensional index from a flat position.
+fn delinearize(dims: &[u64], mut flat: u64) -> Vec<i64> {
+    let mut idx = vec![0i64; dims.len()];
+    for d in (0..dims.len()).rev() {
+        if dims[d] == 0 {
+            return idx;
+        }
+        idx[d] = (flat % dims[d]) as i64;
+        flat /= dims[d];
+    }
+    idx
+}
+
+/// Element-wise comparison of two stores over `prog`'s arrays, in
+/// declaration order. Bit-equality is intentional: a legal reordering
+/// performs the same writes with the same operand values per element,
+/// so even floating-point results must match exactly.
+pub fn first_divergence(
+    prog: &Program,
+    expected: &DataStore,
+    actual: &DataStore,
+) -> Option<Divergence> {
+    for (ai, decl) in prog.arrays.iter().enumerate() {
+        let id = ArrayId(ai as u32);
+        let ea = expected.array(id);
+        let aa = actual.array(id);
+        debug_assert_eq!(ea.len(), aa.len());
+        for (i, (&e, &a)) in ea.iter().zip(aa.iter()).enumerate() {
+            if e.to_bits() != a.to_bits() {
+                return Some(Divergence {
+                    array: decl.name.clone(),
+                    flat_index: i as u64,
+                    index: delinearize(&decl.dims, i as u64),
+                    expected: e,
+                    actual: a,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Run `prog` both ways — original order and under `schedule` — from
+/// identical initial stores, and element-wise diff the results.
+pub fn check_schedule(prog: &Program, schedule: &Schedule) -> Result<(), Divergence> {
+    let mut reference = DataStore::init(prog);
+    Interpreter::new(prog).run(&mut reference);
+    let mut scheduled = DataStore::init(prog);
+    Interpreter::new(prog).run_scheduled(&mut scheduled, schedule);
+    match first_divergence(prog, &reference, &scheduled) {
+        None => Ok(()),
+        Some(d) => Err(d),
+    }
+}
+
+/// One sweep failure: a dependence-legal transform that nevertheless
+/// diverged (an oracle or dependence-analysis bug if it ever happens).
+#[derive(Debug, Clone)]
+pub struct SweepFailure {
+    pub nest: u32,
+    pub transform: IMat,
+    pub divergence: Divergence,
+}
+
+/// Outcome of sweeping one workload through the candidate-transform
+/// space.
+#[derive(Debug, Clone, Default)]
+pub struct OracleSummary {
+    pub workload: String,
+    pub nests: usize,
+    /// Dependence-legal non-identity candidates verified element-wise.
+    pub legal_checked: usize,
+    /// Candidates rejected by dependence legality (not executed).
+    pub illegal_skipped: usize,
+    /// Out-of-bounds (halo) reads observed during the reference run.
+    pub oob_reads: u64,
+    pub failures: Vec<SweepFailure>,
+}
+
+impl OracleSummary {
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The summary as an `ndc-obs` metrics tree (the auditable surface
+    /// for halo reads and sweep coverage).
+    pub fn metrics(&self) -> ndc_obs::Metrics {
+        let mut m = ndc_obs::Metrics::new();
+        m.counter("nests", self.nests as u64)
+            .counter("legal_checked", self.legal_checked as u64)
+            .counter("illegal_skipped", self.illegal_skipped as u64)
+            .counter("oob_reads", self.oob_reads)
+            .counter("failures", self.failures.len() as u64);
+        m
+    }
+}
+
+/// Sweep one workload: run the reference once, then for every nest and
+/// every non-identity candidate transform that dependence analysis
+/// admits, execute the scheduled program from the same initial store
+/// and element-wise diff against the reference. Nests with unknown
+/// distances conservatively reject all non-identity candidates (they
+/// are counted as skipped).
+pub fn sweep_workload(prog: &Program, max_skew: i64) -> OracleSummary {
+    let init = DataStore::init(prog);
+    let mut reference = init.clone();
+    Interpreter::new(prog).run(&mut reference);
+    let mut summary = OracleSummary {
+        workload: prog.name.clone(),
+        nests: prog.nests.len(),
+        oob_reads: reference.oob_reads(),
+        ..Default::default()
+    };
+    for nest in &prog.nests {
+        let depth = nest.depth();
+        let graph = DependenceGraph::analyze(nest);
+        let identity = IMat::identity(depth);
+        for t in candidate_transforms(depth, max_skew) {
+            if t == identity {
+                continue;
+            }
+            if !graph.transformation_legal(&t) {
+                summary.illegal_skipped += 1;
+                continue;
+            }
+            let mut sched = Schedule::default();
+            sched.transforms.insert(nest.id, t.clone());
+            let mut store = init.clone();
+            Interpreter::new(prog).run_scheduled(&mut store, &sched);
+            match first_divergence(prog, &reference, &store) {
+                None => summary.legal_checked += 1,
+                Some(divergence) => summary.failures.push(SweepFailure {
+                    nest: nest.id.0,
+                    transform: t,
+                    divergence,
+                }),
+            }
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndc_ir::{ArrayDecl, ArrayRef, LoopNest, NestId, Ref, Stmt};
+
+    /// The satellite-5 construction: a depth-2 nest whose interchange
+    /// is dependence-violating yet checksum-invisible.
+    ///
+    /// `X` has 28 elements, all first set to 0.25 (nest 0), so every
+    /// value in the store is an exact multiple of 1/4 and the checksum
+    /// is computed without rounding. Nest 1 iterates (i, k) ∈ 2×2 and
+    /// writes two constants to cells c(i,k) = X[7·(2i+k)]:
+    ///
+    /// * S0: X[14i + 7k]        = 5.0   (writes c(i,k))
+    /// * S1: X[21 − 14i − 7k]   = 9.0   (writes the antipodal cell)
+    ///
+    /// Original order leaves (c0,c1,c2,c3) = (9,9,5,5); interchanged
+    /// order leaves (9,5,9,5). The touched cells sit at flat indices
+    /// 0, 7, 14, 21 — all ≡ 0 (mod 7), so `checksum()` weights them
+    /// equally and both outcomes digest to the same value, while the
+    /// element-wise oracle sees the swap at flat index 7.
+    fn collision_prog() -> Program {
+        let mut p = Program::new("collision");
+        let x = p.add_array(ArrayDecl::new("X", vec![28], 8));
+        let fill = Stmt::copy(0, ArrayRef::identity(x, 1, vec![0]), Ref::Const(0.25), 0);
+        p.nests
+            .push(LoopNest::new(0, vec![0], vec![28], vec![fill]));
+        let s0 = Stmt::copy(
+            1,
+            ArrayRef::affine(x, IMat::from_rows(&[&[14, 7]]), vec![0]),
+            Ref::Const(5.0),
+            0,
+        );
+        let s1 = Stmt::copy(
+            2,
+            ArrayRef::affine(x, IMat::from_rows(&[&[-14, -7]]), vec![21]),
+            Ref::Const(9.0),
+            0,
+        );
+        p.nests
+            .push(LoopNest::new(1, vec![0, 0], vec![2, 2], vec![s0, s1]));
+        p.assign_layout(0, 64);
+        p
+    }
+
+    #[test]
+    fn illegal_interchange_caught_despite_checksum_collision() {
+        let p = collision_prog();
+        let interchange = IMat::from_rows(&[&[0, 1], &[1, 0]]);
+        // The interchange really is dependence-violating: the nest's
+        // cross-iteration output dependences reject it (distances are
+        // unknown — differing subscript matrices — so nothing non-
+        // identity is admitted).
+        let graph = DependenceGraph::analyze(&p.nests[1]);
+        assert!(!graph.transformation_legal(&interchange));
+
+        let mut reference = DataStore::init(&p);
+        Interpreter::new(&p).run(&mut reference);
+        let mut sched = Schedule::default();
+        sched.transforms.insert(NestId(1), interchange);
+        let mut twisted = DataStore::init(&p);
+        Interpreter::new(&p).run_scheduled(&mut twisted, &sched);
+
+        // The checksums collide bit-for-bit...
+        assert_eq!(
+            reference.checksum().to_bits(),
+            twisted.checksum().to_bits(),
+            "construction broken: checksums no longer collide"
+        );
+        // ...but the stores differ, and the element-wise oracle says
+        // exactly where.
+        assert_ne!(reference, twisted);
+        let d = first_divergence(&p, &reference, &twisted).expect("divergence");
+        assert_eq!(d.array, "X");
+        assert_eq!(d.flat_index, 7);
+        assert_eq!(d.index, vec![7]);
+        assert_eq!(d.expected, 9.0);
+        assert_eq!(d.actual, 5.0);
+        // check_schedule reports the same rejection.
+        assert!(check_schedule(&p, &sched).is_err());
+    }
+
+    #[test]
+    fn identity_schedule_has_no_divergence() {
+        let p = collision_prog();
+        assert!(check_schedule(&p, &Schedule::default()).is_ok());
+    }
+
+    #[test]
+    fn delinearize_is_row_major() {
+        assert_eq!(delinearize(&[4, 3], 0), vec![0, 0]);
+        assert_eq!(delinearize(&[4, 3], 5), vec![1, 2]);
+        assert_eq!(delinearize(&[4, 3], 11), vec![3, 2]);
+        assert_eq!(delinearize(&[7], 6), vec![6]);
+    }
+
+    #[test]
+    fn divergence_reports_first_element_in_declaration_order() {
+        let mut p = Program::new("two");
+        let a = p.add_array(ArrayDecl::new("A", vec![4], 8));
+        let _b = p.add_array(ArrayDecl::new("B", vec![4], 8));
+        p.assign_layout(0, 64);
+        let s1 = DataStore::init(&p);
+        let mut s2 = DataStore::init(&p);
+        // Perturb A[2] via a legitimate write.
+        let aref = ArrayRef::identity(a, 1, vec![0]);
+        let old = s2.read(&p, &aref, &[2]);
+        s2.write(&p, &aref, &[2], old + 1.0);
+        let d = first_divergence(&p, &s1, &s2).expect("diff");
+        assert_eq!(d.array, "A");
+        assert_eq!(d.flat_index, 2);
+        assert_eq!(d.actual, d.expected + 1.0);
+        assert!(format!("{d}").contains("A[2]"));
+    }
+
+    #[test]
+    fn sweep_accepts_an_independent_nest() {
+        // Element-wise add: every candidate transform is legal and
+        // none may diverge.
+        let mut p = Program::new("add");
+        let x = p.add_array(ArrayDecl::new("X", vec![8, 8], 8));
+        let y = p.add_array(ArrayDecl::new("Y", vec![8, 8], 8));
+        let s = Stmt::binary(
+            0,
+            ArrayRef::identity(x, 2, vec![0, 0]),
+            ndc_types::Op::Add,
+            Ref::Array(ArrayRef::identity(x, 2, vec![0, 0])),
+            Ref::Array(ArrayRef::identity(y, 2, vec![0, 0])),
+            1,
+        );
+        p.nests
+            .push(LoopNest::new(0, vec![0, 0], vec![8, 8], vec![s]));
+        p.assign_layout(0, 64);
+        let summary = sweep_workload(&p, 1);
+        assert!(summary.passed(), "{:?}", summary.failures);
+        // 12 candidates at depth 2 (skew 1) minus identity.
+        assert_eq!(summary.legal_checked + summary.illegal_skipped, 11);
+        assert!(summary.legal_checked >= 8);
+        assert_eq!(summary.oob_reads, 0);
+        assert_eq!(summary.metrics().counter_value("oob_reads"), Some(0));
+    }
+}

@@ -73,9 +73,10 @@ impl IMat {
         out
     }
 
-    /// Determinant by fraction-free Gaussian elimination (Bareiss).
-    /// Exact for the small matrices used here.
-    pub fn det(&self) -> i64 {
+    /// Determinant by fraction-free Gaussian elimination (Bareiss),
+    /// exact in `i128`. The `i64`-facing wrappers below convert with a
+    /// check instead of truncating.
+    fn det_i128(&self) -> i128 {
         assert_eq!(self.rows, self.cols, "det of non-square");
         let n = self.rows;
         if n == 0 {
@@ -108,14 +109,33 @@ impl IMat {
             }
             prev = a[idx(k, k)];
         }
-        (sign * a[idx(n - 1, n - 1)]) as i64
+        sign * a[idx(n - 1, n - 1)]
+    }
+
+    /// Determinant. Panics if the exact value does not fit in `i64`
+    /// (use [`IMat::checked_det`] to handle that case); silently
+    /// truncating here would mislabel huge-determinant matrices as
+    /// unimodular.
+    pub fn det(&self) -> i64 {
+        let d = self.det_i128();
+        i64::try_from(d).unwrap_or_else(|_| panic!("determinant {d} overflows i64"))
+    }
+
+    /// Determinant, or `None` when the exact value overflows `i64`.
+    pub fn checked_det(&self) -> Option<i64> {
+        i64::try_from(self.det_i128()).ok()
     }
 
     /// A transformation is unimodular iff `|det| == 1`; unimodular
     /// transformations map the integer lattice bijectively, which is
     /// what makes them legal loop transformations (Wolfe's condition).
+    /// Decided on the exact `i128` determinant, so an overflowing
+    /// determinant is never mistaken for ±1.
     pub fn is_unimodular(&self) -> bool {
-        self.rows == self.cols && self.det().abs() == 1
+        self.rows == self.cols && {
+            let d = self.det_i128();
+            d == 1 || d == -1
+        }
     }
 
     /// Exact inverse of a unimodular matrix (adjugate divided by the
@@ -125,11 +145,12 @@ impl IMat {
     pub fn inverse_unimodular(&self) -> IMat {
         assert_eq!(self.rows, self.cols);
         let n = self.rows;
-        let det = self.det();
+        let det128 = self.det_i128();
         assert!(
-            det.abs() == 1,
+            det128 == 1 || det128 == -1,
             "inverse_unimodular on non-unimodular matrix"
         );
+        let det = det128 as i64;
         let mut inv = IMat::zeros(n, n);
         for i in 0..n {
             for j in 0..n {
@@ -392,6 +413,35 @@ mod tests {
     #[should_panic(expected = "non-unimodular")]
     fn inverse_rejects_non_unimodular() {
         IMat::from_rows(&[&[2, 0], &[0, 1]]).inverse_unimodular();
+    }
+
+    /// A determinant whose exact value exceeds `i64::MAX` must not be
+    /// silently truncated: before the checked conversion, this matrix's
+    /// det (≈ 9.22e18, just over `i64::MAX`) wrapped to a *negative*
+    /// value and could alias ±1 for other inputs.
+    #[test]
+    fn det_overflow_is_detected_not_truncated() {
+        // 3037000500^2 = 9223372037000250000 > i64::MAX (9223372036854775807).
+        let big = IMat::from_rows(&[&[3_037_000_500, 0], &[0, 3_037_000_500]]);
+        assert_eq!(big.checked_det(), None);
+        assert!(!big.is_unimodular());
+        // A matrix with a large but representable det still round-trips.
+        let ok = IMat::from_rows(&[&[3_000_000_000, 0], &[0, 3_000_000_000]]);
+        assert_eq!(ok.checked_det(), Some(9_000_000_000_000_000_000));
+        assert_eq!(ok.det(), 9_000_000_000_000_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows i64")]
+    fn det_panics_on_overflow() {
+        IMat::from_rows(&[&[3_037_000_500, 0], &[0, 3_037_000_500]]).det();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-unimodular")]
+    fn inverse_rejects_overflowing_determinant() {
+        // Must hit the unimodularity assert, not a truncation artifact.
+        IMat::from_rows(&[&[3_037_000_500, 0], &[0, 3_037_000_500]]).inverse_unimodular();
     }
 
     #[test]

@@ -74,6 +74,12 @@ pub struct McStats {
 }
 
 impl McStats {
+    /// Conservation law the invariant checker asserts: every serviced
+    /// request had exactly one row-buffer outcome.
+    pub fn outcomes_accounted(&self) -> bool {
+        self.row_hits + self.row_misses + self.row_conflicts == self.requests
+    }
+
     pub fn row_hit_rate(&self) -> f64 {
         if self.requests == 0 {
             0.0
@@ -266,6 +272,12 @@ mod tests {
         assert_eq!(m.stats.row_misses, 1);
         assert_eq!(m.stats.row_hits, 1);
         assert_eq!(m.stats.row_conflicts, 1);
+        assert!(m.stats.outcomes_accounted());
+        let broken = McStats {
+            requests: 4,
+            ..m.stats
+        };
+        assert!(!broken.outcomes_accounted());
         assert!((m.stats.row_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
         // Three bursts of 4 cycles crossed the channel.
         assert_eq!(m.stats.channel_busy_cycles, 12);

@@ -67,6 +67,10 @@ pub struct Network {
     /// Per-link telemetry; `None` (the default) keeps `traverse` on its
     /// original path apart from one branch.
     obs: Option<Vec<LinkObs>>,
+    /// Flit-level occupancy log for the invariant checker: one
+    /// `(link, enter, exit)` tuple per hop of every traversal, in
+    /// traversal order. `None` (the default) costs one branch.
+    check_log: Option<Vec<(LinkId, Cycle, Cycle)>>,
 }
 
 impl Network {
@@ -78,6 +82,7 @@ impl Network {
             messages: 0,
             queueing_cycles: 0,
             obs: None,
+            check_log: None,
         }
     }
 
@@ -95,6 +100,29 @@ impl Network {
     /// Per-link telemetry, if enabled. Indexed by `LinkId::index()`.
     pub fn link_obs(&self) -> Option<&[LinkObs]> {
         self.obs.as_deref()
+    }
+
+    /// Switch on the flit-level occupancy log (idempotent). Unlike
+    /// [`Network::enable_obs`] this is unbounded — it exists for the
+    /// invariant checker, which needs every enter/exit pair to prove
+    /// per-link occupancy drains to zero.
+    pub fn enable_check_log(&mut self) {
+        if self.check_log.is_none() {
+            self.check_log = Some(Vec::new());
+        }
+    }
+
+    /// The flit log, if enabled: `(link, enter, exit)` per hop.
+    pub fn check_log(&self) -> Option<&[(LinkId, Cycle, Cycle)]> {
+        self.check_log.as_deref()
+    }
+
+    /// Drain the flit log (leaves logging enabled).
+    pub fn take_check_log(&mut self) -> Vec<(LinkId, Cycle, Cycle)> {
+        self.check_log
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     /// Send a message of `bytes` bytes along `route`, starting at cycle
@@ -124,6 +152,9 @@ impl Network {
             self.busy_until[l.index()] = enter + occupancy;
             // The head reaches the next router after the pipeline delay.
             let exit = enter + hop;
+            if let Some(log) = &mut self.check_log {
+                log.push((l, enter, exit));
+            }
             rec.links.push(LinkTraversal {
                 link: l,
                 enter,
@@ -149,6 +180,9 @@ impl Network {
         self.queueing_cycles = 0;
         if let Some(obs) = &mut self.obs {
             obs.fill(LinkObs::default());
+        }
+        if let Some(log) = &mut self.check_log {
+            log.clear();
         }
     }
 }
@@ -257,6 +291,33 @@ mod tests {
         assert_eq!(n.queueing_cycles, 4);
         n.reset();
         assert_eq!(n.link_obs().unwrap()[l].traversals, 0);
+    }
+
+    #[test]
+    fn check_log_records_every_hop_and_timing_is_unchanged() {
+        let mut n = net();
+        let mesh = n.mesh().clone();
+        assert!(n.check_log().is_none());
+        n.enable_check_log();
+        let r = mesh.xy_route(Coord::new(0, 0), Coord::new(3, 0));
+        let rec = n.traverse(&r, 100, 16);
+        // Same timing as the uncontended_latency test: logging is
+        // observation-only.
+        assert_eq!(rec.arrived, 109);
+        let log = n.check_log().unwrap();
+        assert_eq!(log.len(), 3);
+        for (hop, &(link, enter, exit)) in log.iter().enumerate() {
+            assert_eq!(link, rec.links[hop].link);
+            assert_eq!(enter, rec.links[hop].enter);
+            assert_eq!(exit, rec.links[hop].exit);
+            assert!(enter <= exit);
+        }
+        assert_eq!(n.take_check_log().len(), 3);
+        assert_eq!(n.check_log().unwrap().len(), 0);
+        n.traverse(&r, 0, 16);
+        assert_eq!(n.check_log().unwrap().len(), 3);
+        n.reset();
+        assert!(n.check_log().unwrap().is_empty());
     }
 
     #[test]

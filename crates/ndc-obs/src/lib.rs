@@ -62,6 +62,63 @@ impl ObsLevel {
     }
 }
 
+/// How much runtime invariant checking a run should collect. Mirrors
+/// [`ObsLevel`]: `off()` is the default for figure runs and must leave
+/// simulator output byte-identical; `full()` makes the engine record a
+/// fine-grained check-event stream (see [`chk`]) that `ndc-check`
+/// validates against the simulator's conservation laws.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckLevel {
+    /// Collect the check-event stream for invariant validation.
+    pub invariants: bool,
+}
+
+impl CheckLevel {
+    /// No checking — the default for figure runs.
+    pub fn off() -> CheckLevel {
+        CheckLevel::default()
+    }
+
+    /// Record the full check-event stream.
+    pub fn full() -> CheckLevel {
+        CheckLevel { invariants: true }
+    }
+
+    /// True when any checking is requested.
+    pub fn any(&self) -> bool {
+        self.invariants
+    }
+}
+
+/// The check-event contract shared by the emitter (`ndc-sim`) and the
+/// validator (`ndc-check`).
+///
+/// Request-path events (`CAT_REQ`) carry the request id in `pid` and
+/// appear in emission order per request:
+/// `issue → [l2_req] → [mem_queue → mem_service → mem_done] →
+/// [data_at_bank] → retire`, with non-decreasing `ts`. Link events
+/// (`CAT_LINK`) carry the link id in `tid` and the request id in `pid`;
+/// one `flit_enter` (ts = slot entry) and one `flit_exit` (ts = slot
+/// exit) per link traversal, so per-link occupancy computed from the
+/// pair sweep is non-negative and drains to zero.
+pub mod chk {
+    /// Category of request-path events.
+    pub const CAT_REQ: &str = "chk:req";
+    /// Category of per-link flit occupancy events.
+    pub const CAT_LINK: &str = "chk:link";
+
+    pub const ISSUE: &str = "issue";
+    pub const L2_REQ: &str = "l2_req";
+    pub const MEM_QUEUE: &str = "mem_queue";
+    pub const MEM_SERVICE: &str = "mem_service";
+    pub const MEM_DONE: &str = "mem_done";
+    pub const DATA_AT_BANK: &str = "data_at_bank";
+    pub const RETIRE: &str = "retire";
+
+    pub const FLIT_ENTER: &str = "flit_enter";
+    pub const FLIT_EXIT: &str = "flit_exit";
+}
+
 /// One node in a [`Metrics`] tree.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MetricNode {
@@ -305,6 +362,47 @@ impl ObsSink for RingSink {
     }
 }
 
+/// An unbounded event sink: keeps everything, in record order. Used by
+/// the invariant checker, which needs the *complete* stream — a ring
+/// that drops its oldest events would turn every long run into a false
+/// "request never retired" violation.
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    events: Vec<Event>,
+}
+
+impl VecSink {
+    pub fn new() -> VecSink {
+        VecSink::default()
+    }
+
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl ObsSink for VecSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, ev: Event) {
+        self.events.push(ev);
+    }
+}
+
 /// Assemble Chrome trace-format JSON from per-run event streams.
 ///
 /// Each `(label, events)` pair becomes one trace "process": a `ph:"M"`
@@ -478,5 +576,27 @@ mod tests {
         assert!(ObsLevel::metrics().metrics);
         assert_eq!(ObsLevel::with_trace(64).trace_capacity, 64);
         assert!(ObsLevel::with_trace(64).any());
+    }
+
+    #[test]
+    fn check_level_constructors() {
+        assert!(!CheckLevel::off().any());
+        assert!(CheckLevel::full().invariants);
+        assert!(CheckLevel::full().any());
+        assert_eq!(CheckLevel::default(), CheckLevel::off());
+    }
+
+    #[test]
+    fn vec_sink_keeps_everything_in_order() {
+        let mut s = VecSink::new();
+        assert!(s.enabled());
+        assert!(s.is_empty());
+        for i in 0..10 {
+            s.record(ev("e", i));
+        }
+        assert_eq!(s.len(), 10);
+        let ts: Vec<Cycle> = s.events().iter().map(|e| e.ts).collect();
+        assert_eq!(ts, (0..10).collect::<Vec<_>>());
+        assert_eq!(s.into_events().len(), 10);
     }
 }

@@ -18,7 +18,7 @@ use crate::schemes::{
     MarkovPredictor, OracleDecision, OracleGuide, Scheme, WaitBudget, WINDOW_CAP,
 };
 use crate::stats::SimResult;
-use ndc_obs::{Event, Metrics, NullSink, ObsLevel, ObsSink, RingSink};
+use ndc_obs::{chk, CheckLevel, Event, Metrics, NullSink, ObsLevel, ObsSink, RingSink};
 use ndc_types::{Addr, ArchConfig, Cycle, InstKind, NodeId, Op, Operand, Pc, TraceProgram};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -152,6 +152,21 @@ impl PreResultTable {
     }
 }
 
+/// Raw material for the `ndc-check` invariant checker, collected when
+/// the run had `CheckLevel::full()`: the complete check-event stream
+/// (`chk:req` request paths, then `chk:link` flit pairs) plus the DRAM
+/// accounting totals that live outside `SimResult`.
+#[derive(Debug, Clone, Default)]
+pub struct CheckData {
+    /// `ndc_obs::chk` events: every request path and flit traversal.
+    pub events: Vec<Event>,
+    /// Requests serviced across all memory controllers.
+    pub dram_requests: u64,
+    /// Row-buffer outcomes tallied across all memory controllers
+    /// (hits + misses + conflicts); must equal `dram_requests`.
+    pub dram_outcomes: u64,
+}
+
 /// Engine output: the run result plus (for instrumented baseline runs)
 /// the characterization data, and (for observed runs) the
 /// component-level metrics tree and trace events.
@@ -163,6 +178,8 @@ pub struct EngineOutput {
     /// Retained trace events, oldest first, when the run had a trace
     /// ring (`ObsLevel::trace_capacity > 0`).
     pub events: Vec<Event>,
+    /// Invariant-checker input, when the run had `CheckLevel::full()`.
+    pub check: Option<CheckData>,
 }
 
 /// One simulation run.
@@ -173,6 +190,7 @@ pub struct Engine<'a> {
     guide: Option<&'a OracleGuide>,
     collect: bool,
     obs: ObsLevel,
+    check: CheckLevel,
 }
 
 impl<'a> Engine<'a> {
@@ -184,6 +202,7 @@ impl<'a> Engine<'a> {
             guide: None,
             collect: false,
             obs: ObsLevel::off(),
+            check: CheckLevel::off(),
         }
     }
 
@@ -206,11 +225,22 @@ impl<'a> Engine<'a> {
         self
     }
 
+    /// Collect the invariant-checker event stream ([`CheckData`]).
+    /// Purely observational: simulated timing is unchanged, and
+    /// `CheckLevel::off()` (the default) records nothing.
+    pub fn with_check(mut self, check: CheckLevel) -> Self {
+        self.check = check;
+        self
+    }
+
     pub fn run(self) -> EngineOutput {
         let cores = self.cfg.nodes().min(self.prog.traces.len().max(1));
         let mut machine = Machine::new(self.cfg);
         if self.obs.metrics {
             machine.net.enable_obs();
+        }
+        if self.check.invariants {
+            machine.enable_check();
         }
         // The event sink: a bounded ring when tracing, else the no-op
         // sink — either way the hot path only pays `enabled()` checks.
@@ -292,11 +322,47 @@ impl<'a> Engine<'a> {
         let _ = cores;
         let metrics = self.obs.metrics.then(|| build_metrics(&machine, &result));
         let events = ring.map(RingSink::into_events).unwrap_or_default();
+        let check = self.check.invariants.then(|| {
+            let mut evs = machine
+                .chk
+                .take()
+                .map(crate::machine::CheckRecorder::into_events)
+                .unwrap_or_default();
+            for (link, enter, exit) in machine.net.take_check_log() {
+                let tid = link.index() as u32;
+                evs.push(Event {
+                    name: chk::FLIT_ENTER.to_string(),
+                    cat: chk::CAT_LINK,
+                    ts: enter,
+                    dur: exit - enter,
+                    pid: 0,
+                    tid,
+                });
+                evs.push(Event {
+                    name: chk::FLIT_EXIT.to_string(),
+                    cat: chk::CAT_LINK,
+                    ts: exit,
+                    dur: 0,
+                    pid: 0,
+                    tid,
+                });
+            }
+            CheckData {
+                events: evs,
+                dram_requests: machine.mcs.iter().map(|m| m.stats.requests).sum(),
+                dram_outcomes: machine
+                    .mcs
+                    .iter()
+                    .map(|m| m.stats.row_hits + m.stats.row_misses + m.stats.row_conflicts)
+                    .sum(),
+            }
+        });
         EngineOutput {
             result,
             instrumentation: instr,
             metrics,
             events,
+            check,
         }
     }
 
@@ -636,7 +702,11 @@ impl<'a> Engine<'a> {
                     let before = st.now;
                     st.offload.retain(|&r| r > st.now);
                     while st.offload.len() >= cap {
-                        let min = st.offload.iter().copied().min().unwrap();
+                        // An empty window has nothing to wait for;
+                        // guard instead of unwrap-panicking on it.
+                        let Some(min) = st.offload.iter().copied().min() else {
+                            break;
+                        };
                         st.now = st.now.max(min);
                         st.offload.retain(|&r| r > st.now);
                     }
@@ -778,7 +848,11 @@ impl<'a> Engine<'a> {
         let before = st.now;
         st.offload.retain(|&r| r > st.now);
         while st.offload.len() >= cap {
-            let min = st.offload.iter().copied().min().unwrap();
+            // An empty window has nothing to wait for; guard instead of
+            // unwrap-panicking on it.
+            let Some(min) = st.offload.iter().copied().min() else {
+                break;
+            };
             st.now = st.now.max(min);
             st.offload.retain(|&r| r > st.now);
         }
@@ -913,6 +987,35 @@ pub fn simulate_obs(
             out
         }
         _ => Engine::new(cfg, prog, scheme).with_obs(obs).run(),
+    }
+}
+
+/// [`simulate`] with the invariant-checker stream enabled: the output's
+/// `check` field carries the complete [`CheckData`] for `ndc-check`.
+/// For the oracle's two-pass protocol only the measured (guided) run is
+/// checked.
+pub fn simulate_checked(cfg: ArchConfig, prog: &TraceProgram, scheme: Scheme) -> EngineOutput {
+    match scheme {
+        Scheme::Oracle { reuse_aware } => {
+            let base = Engine::new(cfg, prog, Scheme::Baseline)
+                .with_instrumentation()
+                .run();
+            let records = &base
+                .instrumentation
+                .as_ref()
+                .expect("instrumented baseline")
+                .records;
+            let guide = OracleGuide::build(records, prog, cfg.l1.line_bytes, reuse_aware);
+            let mut out = Engine::new(cfg, prog, scheme)
+                .with_guide(&guide)
+                .with_check(CheckLevel::full())
+                .run();
+            out.result.scheme = scheme.label();
+            out
+        }
+        _ => Engine::new(cfg, prog, scheme)
+            .with_check(CheckLevel::full())
+            .run(),
     }
 }
 
@@ -1217,6 +1320,45 @@ mod tests {
         assert!(plain.metrics.is_none());
         assert!(plain.events.is_empty());
         assert!(observed.metrics.is_some());
+    }
+
+    #[test]
+    fn check_level_does_not_change_timing_and_collects_stream() {
+        let prog = stream_prog(4, 150);
+        let scheme = Scheme::NdcAll {
+            budget: WaitBudget::PctOfCap(50),
+        };
+        let plain = simulate(cfg(), &prog, scheme);
+        let checked = simulate_checked(cfg(), &prog, scheme);
+        // CheckLevel::off() (the default) collects nothing...
+        assert!(plain.check.is_none());
+        // ...and CheckLevel::full() is observation-only.
+        assert_eq!(plain.result.total_cycles, checked.result.total_cycles);
+        assert_eq!(plain.result.per_core_cycles, checked.result.per_core_cycles);
+        assert_eq!(plain.result.ndc_performed, checked.result.ndc_performed);
+        let data = checked.check.expect("check enabled");
+        assert!(!data.events.is_empty());
+        // Every issued request retires, in the raw stream.
+        let issues = data.events.iter().filter(|e| e.name == chk::ISSUE).count();
+        let retires = data.events.iter().filter(|e| e.name == chk::RETIRE).count();
+        assert!(issues > 0);
+        assert_eq!(issues, retires);
+        // Flit pairs are balanced and DRAM outcomes account for every
+        // request.
+        let enters = data
+            .events
+            .iter()
+            .filter(|e| e.name == chk::FLIT_ENTER)
+            .count();
+        let exits = data
+            .events
+            .iter()
+            .filter(|e| e.name == chk::FLIT_EXIT)
+            .count();
+        assert!(enters > 0);
+        assert_eq!(enters, exits);
+        assert_eq!(data.dram_requests, data.dram_outcomes);
+        assert!(data.dram_requests > 0);
     }
 
     #[test]

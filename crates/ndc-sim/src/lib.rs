@@ -32,12 +32,12 @@ pub mod report;
 pub mod schemes;
 pub mod stats;
 
-pub use engine::{simulate, simulate_obs, Engine};
+pub use engine::{simulate, simulate_checked, simulate_obs, CheckData, Engine, EngineOutput};
 pub use instrument::{BreakevenInfo, Instrumentation, WindowObservation};
-pub use machine::{AccessPath, Machine};
+pub use machine::{AccessPath, CheckRecorder, Machine};
 pub use ndc::{NdcOutcome, NdcResolution, ALL_ABORT_REASONS};
 pub use report::build_metrics;
 pub use schemes::{Scheme, WaitBudget};
 pub use stats::SimResult;
 
-pub use ndc_obs::ObsLevel;
+pub use ndc_obs::{CheckLevel, ObsLevel};

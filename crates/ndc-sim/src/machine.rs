@@ -11,6 +11,7 @@
 
 use ndc_mem::{AccessOutcome, Directory, MemoryController, SetAssocCache};
 use ndc_noc::{LinkTraversal, Mesh, Network, Route};
+use ndc_obs::{chk, Event};
 use ndc_types::{Addr, ArchConfig, Cycle, NodeId};
 
 /// Size in bytes of a request message (address + command).
@@ -84,6 +85,61 @@ pub enum AccessIntent {
     NearData,
 }
 
+/// Records the request-path half of the check-event contract
+/// (`ndc_obs::chk`): each completed [`AccessPath`] becomes one freshly
+/// numbered request whose presence timestamps are replayed as
+/// `chk:req` events in path order. The invariant checker later asserts
+/// each request id retires exactly once with monotonic timestamps.
+#[derive(Debug, Default)]
+pub struct CheckRecorder {
+    events: Vec<Event>,
+    next_id: u32,
+}
+
+impl CheckRecorder {
+    fn push(&mut self, name: &'static str, ts: Cycle, pid: u32, tid: u32) {
+        self.events.push(Event {
+            name: name.to_string(),
+            cat: chk::CAT_REQ,
+            ts,
+            dur: 0,
+            pid,
+            tid,
+        });
+    }
+
+    /// Replay one access's presence timestamps as check events.
+    pub fn record_path(&mut self, path: &AccessPath) {
+        let id = self.next_id;
+        self.next_id += 1;
+        let core = path.core.index() as u32;
+        self.push(chk::ISSUE, path.issued, id, core);
+        if let Some(l2) = &path.l2 {
+            self.push(chk::L2_REQ, l2.req_arrival, id, core);
+            if let Some(mem) = &path.mem {
+                self.push(chk::MEM_QUEUE, mem.queue_enter, id, core);
+                self.push(chk::MEM_SERVICE, mem.service_start, id, core);
+                self.push(chk::MEM_DONE, mem.completion, id, core);
+            }
+            self.push(chk::DATA_AT_BANK, l2.data_at_bank, id, core);
+        }
+        self.push(chk::RETIRE, path.completion, id, core);
+    }
+
+    /// Requests recorded so far.
+    pub fn requests(&self) -> u32 {
+        self.next_id
+    }
+
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+}
+
 /// The simulated machine: caches, directory, network, controllers.
 pub struct Machine {
     pub cfg: ArchConfig,
@@ -92,6 +148,9 @@ pub struct Machine {
     pub l2s: Vec<SetAssocCache>,
     pub dir: Directory,
     pub mcs: Vec<MemoryController>,
+    /// Check-event recorder; `None` (the default) keeps `access` on its
+    /// original path apart from one branch.
+    pub chk: Option<CheckRecorder>,
 }
 
 impl Machine {
@@ -107,7 +166,18 @@ impl Machine {
             mcs: (0..cfg.mem.num_controllers)
                 .map(|_| MemoryController::new(cfg))
                 .collect(),
+            chk: None,
         }
+    }
+
+    /// Switch on check-event recording (idempotent): every access path
+    /// is replayed into the `chk:req` stream and the network's flit log
+    /// starts collecting `chk:link` pairs.
+    pub fn enable_check(&mut self) {
+        if self.chk.is_none() {
+            self.chk = Some(CheckRecorder::default());
+        }
+        self.net.enable_check_log();
     }
 
     pub fn mesh(&self) -> &Mesh {
@@ -120,6 +190,22 @@ impl Machine {
     /// (compiler-reshaped routes); ignored for `NearData` intents and
     /// L1 hits.
     pub fn access(
+        &mut self,
+        core: NodeId,
+        addr: Addr,
+        now: Cycle,
+        write: bool,
+        intent: AccessIntent,
+        reply_route: Option<&Route>,
+    ) -> AccessPath {
+        let path = self.access_inner(core, addr, now, write, intent, reply_route);
+        if let Some(chk) = &mut self.chk {
+            chk.record_path(&path);
+        }
+        path
+    }
+
+    fn access_inner(
         &mut self,
         core: NodeId,
         addr: Addr,
@@ -492,6 +578,39 @@ mod tests {
         m.net.reset();
         let t_far = m.send_result(NodeId(0), NodeId(24), 0);
         assert_eq!(t_far, 8 * 3);
+    }
+
+    #[test]
+    fn check_recorder_replays_path_timestamps_in_order() {
+        let mut m = machine();
+        m.enable_check();
+        // Cold miss: full issue→l2→mem→bank→retire chain.
+        let p = m.access(NodeId(7), 0x50000, 10, false, AccessIntent::ToCore, None);
+        // Warm L1 hit: just issue→retire.
+        m.access(
+            NodeId(7),
+            0x50000,
+            p.completion,
+            false,
+            AccessIntent::ToCore,
+            None,
+        );
+        let rec = m.chk.as_ref().unwrap();
+        assert_eq!(rec.requests(), 2);
+        let evs = rec.events();
+        assert_eq!(evs[0].name, chk::ISSUE);
+        assert_eq!(evs[0].pid, 0);
+        let retire0 = evs.iter().position(|e| e.name == chk::RETIRE).unwrap();
+        // Monotonic along the first request's path.
+        for w in evs[..=retire0].windows(2) {
+            assert!(w[0].ts <= w[1].ts, "{w:?}");
+        }
+        // Second request: fresh id, issue then retire only.
+        assert_eq!(evs[retire0 + 1].name, chk::ISSUE);
+        assert_eq!(evs[retire0 + 1].pid, 1);
+        assert_eq!(evs.last().unwrap().name, chk::RETIRE);
+        // The network flit log is on too.
+        assert!(!m.net.check_log().unwrap().is_empty());
     }
 
     #[test]

@@ -39,4 +39,19 @@ if ! cmp -s "$met1" "$met8"; then
 fi
 echo "ok: --metrics output byte-identical across thread counts"
 
+echo "== determinism: fig13 NDC_THREADS=1 vs NDC_THREADS=8 =="
+f13a=$(mktemp) && f13b=$(mktemp)
+trap 'rm -f "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b"' EXIT
+NDC_THREADS=1 "$EVAL" fig13 --scale test > "$f13a"
+NDC_THREADS=8 "$EVAL" fig13 --scale test > "$f13b"
+if ! diff -q "$f13a" "$f13b" > /dev/null; then
+    echo "FAIL: fig13 output differs across thread counts" >&2
+    diff "$f13a" "$f13b" | head -20 >&2
+    exit 1
+fi
+echo "ok: fig13 output bit-identical across thread counts"
+
+echo "== correctness layer: oracle + invariants + fault matrix =="
+"$EVAL" check --scale test
+
 echo "== all checks passed =="

@@ -20,6 +20,7 @@
 //! | [`ndc_cme`] | Cache Miss Equations estimator (paper §5.2) |
 //! | [`ndc_compiler`] | **the paper's contribution**: Algorithms 1 & 2 |
 //! | [`ndc_workloads`] | the 20 paper benchmarks as synthetic IR kernels |
+//! | [`ndc_check`] | differential oracle, simulator invariants, fault injection |
 //!
 //! This facade crate re-exports the public API and hosts the
 //! [`experiments`] harness that regenerates every table and figure of
@@ -51,6 +52,7 @@
 pub mod experiments;
 
 /// Re-exports of the workspace crates under stable names.
+pub use ndc_check as check;
 pub use ndc_cme as cme;
 pub use ndc_compiler as compiler;
 pub use ndc_ir as ir;

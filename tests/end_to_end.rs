@@ -61,12 +61,26 @@ fn compiled_schedules_preserve_semantics_for_all_benchmarks() {
         let (s2, _) = compile_algorithm2(&prog, &cfg, cores, Algorithm2Options::default());
         let mut reference = DataStore::init(&prog);
         Interpreter::new(&prog).run(&mut reference);
+        // No kernel in the suite is a halo stencil: any out-of-bounds
+        // read means a subscript bug, not a boundary condition.
+        assert_eq!(
+            reference.oob_reads(),
+            0,
+            "{}: reference run read out of bounds",
+            bench.name
+        );
         for (label, sched) in [("alg1", &s1), ("alg2", &s2)] {
             let mut transformed = DataStore::init(&prog);
             Interpreter::new(&prog).run_scheduled(&mut transformed, sched);
             assert_eq!(
                 reference, transformed,
                 "{}/{label}: transformation changed results",
+                bench.name
+            );
+            assert_eq!(
+                transformed.oob_reads(),
+                0,
+                "{}/{label}: scheduled run read out of bounds",
                 bench.name
             );
         }
