@@ -17,10 +17,12 @@
 //!   fig15             NDC opportunities exercised by Algorithm 2
 //!   fig16             L1/L2 miss rates under Algorithms 1 and 2
 //!   fig17             sensitivity study (mesh size, L2 size, op class)
+//!   explain           span traces + compiler provenance + cost-model cross-check
 //!   ablation-routing  router NDC with vs without route reshaping
 //!   ablation-coarse   fine-grain vs whole-nest mapping
 //!   check             differential oracle + simulator invariants + fault matrix
 //!   all               everything above in sequence (except check)
+//!   help              full usage (also -h / --help)
 //! ```
 //!
 //! `--metrics` writes a per-run component-level breakdown (engine,
@@ -30,6 +32,14 @@
 //! `chrome://tracing` or Perfetto). Both apply to experiments that run
 //! the shared benchmark evaluation (table2, fig2-fig6, fig13, fig15,
 //! fig16); the output is byte-identical for any `NDC_THREADS`.
+//!
+//! `explain` cross-checks the compiler's offload cost model against
+//! the simulator's measured issue→result latencies for every NDC
+//! location; with `--bench` it additionally prints the per-segment
+//! latency decomposition of the sampled span traces, the slowest
+//! request trees, and the planner's per-chain decision provenance.
+//!
+//! Unknown experiments, flags, or flag values are errors (exit 2).
 
 use ndc::experiments as exp;
 use ndc::obs::ObsLevel;
@@ -59,35 +69,88 @@ impl Args {
     }
 }
 
+/// Full usage text — the `help` experiment and the answer to any
+/// argument error.
+fn usage() {
+    println!("usage: ndc-eval <experiment> [--scale test|paper] [--bench <name>]");
+    println!("                             [--metrics <out.json>] [--trace <out.trace.json>]");
+    println!();
+    println!("experiments:");
+    println!("  list              enumerate the 20 benchmarks");
+    println!("  table1            simulated configuration (paper Table 1)");
+    println!("  table2            CME L1/L2 estimation accuracy");
+    println!("  fig2              arrival-window CDFs per location");
+    println!("  fig3              breakeven points vs arrival windows");
+    println!("  fig4              performance benefit of every scheme");
+    println!("  fig5              consecutive arrival windows (ocean, radiosity)");
+    println!("  fig6              oracle NDC location breakdown");
+    println!("  fig13             Algorithm-1 NDC location breakdown");
+    println!("  fig14             Algorithm 1 restricted to single components");
+    println!("  fig15             NDC opportunities exercised by Algorithm 2");
+    println!("  fig16             L1/L2 miss rates under Algorithms 1 and 2");
+    println!("  fig17             sensitivity study (mesh size, L2 size, op class)");
+    println!("  explain           span traces + compiler provenance + cost-model cross-check");
+    println!("  ablation-routing  router NDC with vs without route reshaping");
+    println!("  ablation-coarse   fine-grain vs whole-nest mapping");
+    println!("  ablation-k        Algorithm 2 reuse-threshold k sweep");
+    println!("  ablation-markov   Markov window predictor vs Last-Wait");
+    println!("  ablation-layout   data-layout optimization before Algorithm 2");
+    println!("  check             differential oracle + simulator invariants + fault matrix");
+    println!("  all               everything above in sequence (except check)");
+    println!("  help              this text (also -h / --help)");
+    println!();
+    println!("flags:");
+    println!("  --scale test|paper   problem sizes (default: paper)");
+    println!("  --bench <name>       restrict to one benchmark (see `list`)");
+    println!("  --metrics <path>     per-run component breakdown JSON (evaluation runs)");
+    println!("  --trace <path>       NDC offload events, Chrome trace format (implies metrics)");
+}
+
+/// Exit 2 with an argument error (usage goes to stderr so piped
+/// experiment output stays clean).
+fn arg_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("run `ndc-eval help` for usage");
+    std::process::exit(2);
+}
+
 fn parse_args() -> Args {
-    let mut experiment = String::from("help");
+    let mut experiment: Option<String> = None;
     let mut scale = Scale::Paper;
     let mut bench = None;
     let mut metrics = None;
     let mut trace = None;
     let mut it = std::env::args().skip(1);
+    let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next()
+            .unwrap_or_else(|| arg_error(&format!("{flag} requires a value")))
+    };
     while let Some(a) = it.next() {
         match a.as_str() {
+            "-h" | "--help" => {
+                usage();
+                std::process::exit(0);
+            }
             "--scale" => {
-                let v = it.next().unwrap_or_default();
+                let v = value(&mut it, "--scale");
                 scale = match v.as_str() {
                     "test" => Scale::Test,
                     "paper" => Scale::Paper,
-                    other => {
-                        eprintln!("unknown scale '{other}', using paper");
-                        Scale::Paper
-                    }
+                    other => arg_error(&format!("unknown scale '{other}' (want test|paper)")),
                 };
             }
-            "--bench" => bench = it.next(),
-            "--metrics" => metrics = it.next(),
-            "--trace" => trace = it.next(),
-            other if experiment == "help" => experiment = other.to_string(),
-            other => eprintln!("ignoring extra argument '{other}'"),
+            "--bench" => bench = Some(value(&mut it, "--bench")),
+            "--metrics" => metrics = Some(value(&mut it, "--metrics")),
+            "--trace" => trace = Some(value(&mut it, "--trace")),
+            flag if flag.starts_with('-') => arg_error(&format!("unknown flag '{flag}'")),
+            other if experiment.is_none() => experiment = Some(other.to_string()),
+            other => arg_error(&format!(
+                "unexpected argument '{other}' (experiment already given)"
+            )),
         }
     }
     Args {
-        experiment,
+        experiment: experiment.unwrap_or_else(|| "help".into()),
         scale,
         bench,
         metrics,
@@ -122,6 +185,7 @@ fn main() {
         "fig15" => with_evals(&args, cfg, fig15),
         "fig16" => with_evals(&args, cfg, fig16),
         "fig17" => fig17(&args),
+        "explain" => explain_cmd(&args, cfg),
         "ablation-routing" => ablation_routing(&args, cfg),
         "ablation-coarse" => ablation_coarse(&args, cfg),
         "ablation-k" => ablation_k(&args, cfg),
@@ -142,23 +206,15 @@ fn main() {
             fig15(&evals);
             fig16(&evals);
             fig17(&args);
+            explain_cmd(&args, cfg);
             ablation_routing(&args, cfg);
             ablation_coarse(&args, cfg);
             ablation_k(&args, cfg);
             ablation_markov(&args, cfg);
             ablation_layout(&args, cfg);
         }
-        _ => {
-            println!("usage: ndc-eval <experiment> [--scale test|paper] [--bench <name>]");
-            println!(
-                "                             [--metrics <out.json>] [--trace <out.trace.json>]"
-            );
-            println!("experiments: list table1 table2 fig2 fig3 fig4 fig5 fig6 fig13 fig14");
-            println!("             fig15 fig16 fig17 ablation-routing ablation-coarse");
-            println!("             ablation-k ablation-markov ablation-layout check all");
-            println!("--metrics: per-run component breakdown JSON (benchmark-evaluation runs)");
-            println!("--trace:   NDC offload events, Chrome trace format (implies metrics)");
-        }
+        "help" => usage(),
+        other => arg_error(&format!("unknown experiment '{other}'")),
     }
 }
 
@@ -559,6 +615,121 @@ fn fig17(args: &Args) {
     println!();
 }
 
+/// `explain`: cross-check the compiler's offload cost model against
+/// the simulator's measured issue→result-at-core latencies, per NDC
+/// location, for every selected benchmark. With `--bench` the spans
+/// are sampled more densely and the per-segment latency decomposition,
+/// the slowest sampled request trees, and the planner's per-chain
+/// decision provenance are printed too.
+fn explain_cmd(args: &Args, cfg: ArchConfig) {
+    let detail = args.bench.is_some();
+    let one_in = if detail {
+        8
+    } else {
+        exp::EXPLAIN_SAMPLE_ONE_IN
+    };
+    let list = benches(&args.bench);
+    let reports = ndc_par::parallel_map(&list, |b| {
+        exp::explain_benchmark(b, cfg, args.scale, one_in)
+    });
+
+    println!("== Explain: compiler cost model vs measured offload cycles (alg2) ==");
+    // Paper breakdown order: cache, network, MC, memory.
+    let locs = [
+        NdcLocation::CacheController,
+        NdcLocation::LinkBuffer,
+        NdcLocation::MemoryController,
+        NdcLocation::MemoryBank,
+    ];
+    for loc in locs {
+        println!("-- {} --", loc.paper_label());
+        println!(
+            "{:<10} {:>10} {:>10} {:>8} {:>7}",
+            "bench", "predicted", "measured", "samples", "err%"
+        );
+        let mut errs = Vec::new();
+        for r in &reports {
+            let a = r.offload.per_location[loc.index()];
+            let err = match a.error_pct() {
+                Some(e) => {
+                    errs.push(e);
+                    format!("{e:.1}")
+                }
+                None => "-".into(),
+            };
+            println!(
+                "{:<10} {:>10.1} {:>10.1} {:>8} {:>7}",
+                r.name, a.predicted_cycles, a.measured_cycles, a.samples, err
+            );
+        }
+        if errs.is_empty() {
+            println!(
+                "{:<10} {:>10} {:>10} {:>8} {:>7}",
+                "average", "", "", "", "-"
+            );
+        } else {
+            println!(
+                "{:<10} {:>10} {:>10} {:>8} {:>7.1}",
+                "average",
+                "",
+                "",
+                "",
+                ndc_types::mean(&errs)
+            );
+        }
+        println!();
+    }
+    if detail {
+        explain_detail(&reports[0], one_in);
+    }
+}
+
+/// The `--bench` detail of [`explain_cmd`]: decomposition, slowest
+/// request trees, and the compiler's decision provenance.
+fn explain_detail(r: &exp::ExplainReport, one_in: u32) {
+    let total: u64 = r.spans.iter().map(|t| t.latency()).sum();
+    println!(
+        "-- {}: latency decomposition over {} sampled requests (one in {one_in}) --",
+        r.name,
+        r.spans.len()
+    );
+    println!("{:<10} {:>12} {:>7}", "segment", "cycles", "%");
+    for (seg, cycles) in ndc::sim::decompose(&r.spans) {
+        let pct = if total > 0 {
+            100.0 * cycles as f64 / total as f64
+        } else {
+            0.0
+        };
+        println!("{seg:<10} {cycles:>12} {pct:>7.1}");
+    }
+    println!();
+
+    println!("-- {}: slowest sampled requests --", r.name);
+    for t in r.top_slowest(5) {
+        print!("{}", ndc::sim::render_tree(t));
+    }
+    println!();
+
+    println!("-- {}: compiler decision provenance (alg2) --", r.name);
+    for chain in &r.compiler.provenance {
+        println!(
+            "nest {} stmt {}: {} (pL1 {:.2}/{:.2}, same-line {:.2})",
+            chain.nest, chain.stmt, chain.outcome, chain.p_l1_a, chain.p_l1_b, chain.same_l1_line
+        );
+        for c in &chain.candidates {
+            println!(
+                "    {:<8} coloc={:.2} cycles={:>8.1} bytes={:>8.0}  {}",
+                c.location.paper_label(),
+                c.colocation,
+                c.predicted_cycles,
+                c.predicted_bytes_moved,
+                c.reason
+            );
+        }
+    }
+    println!();
+}
+
 fn ablation_routing(args: &Args, cfg: ArchConfig) {
     println!("== Ablation: route reshaping (router NDC counts) ==");
     println!(
@@ -718,8 +889,8 @@ fn check_cmd(args: &Args, cfg: ArchConfig) {
     println!();
     println!("-- simulator invariants: CheckLevel::full() under NdcAll w50% --");
     println!(
-        "{:<10} {:>9} {:>6} {:>9}  result",
-        "bench", "requests", "links", "events"
+        "{:<10} {:>9} {:>6} {:>9} {:>6}  result",
+        "bench", "requests", "links", "events", "spans"
     );
     let reports = ndc_par::parallel_map(&list, |b| {
         let prog = b.build_timesteps(args.scale, 1);
@@ -731,15 +902,16 @@ fn check_cmd(args: &Args, cfg: ArchConfig) {
                 budget: WaitBudget::PctOfCap(50),
             },
         );
-        (b.name, chk::check_engine_output(&out))
+        (b.name, out.spans.len(), chk::check_engine_output(&out))
     });
-    for (name, r) in &reports {
+    for (name, spans, r) in &reports {
         println!(
-            "{:<10} {:>9} {:>6} {:>9}  {}",
+            "{:<10} {:>9} {:>6} {:>9} {:>6}  {}",
             name,
             r.requests,
             r.links,
             r.events,
+            spans,
             if r.ok() { "ok" } else { "VIOLATED" }
         );
         for v in &r.violations {

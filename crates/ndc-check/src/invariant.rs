@@ -5,6 +5,7 @@
 //! the run's [`ndc_sim::SimResult`] counters. All maps are ordered
 //! (`BTreeMap`) so violation reports are deterministic.
 
+use ndc_obs::span::SpanTrace;
 use ndc_obs::{chk, Event};
 use ndc_sim::{CheckData, EngineOutput, SimResult};
 use std::collections::BTreeMap;
@@ -24,6 +25,10 @@ pub enum Invariant {
     NdcAccounting,
     /// DRAM row-buffer outcomes account for every controller request.
     DramAccounting,
+    /// Every sampled span tree partitions its root exactly: child
+    /// durations (including queue/stall residue) sum to the request's
+    /// end-to-end latency at every level.
+    SpanAttribution,
 }
 
 impl Invariant {
@@ -34,6 +39,7 @@ impl Invariant {
             Invariant::PathMonotonic => "path-monotonic",
             Invariant::NdcAccounting => "ndc-accounting",
             Invariant::DramAccounting => "dram-accounting",
+            Invariant::SpanAttribution => "span-attribution",
         }
     }
 }
@@ -194,6 +200,22 @@ pub fn check_counters(result: &SimResult) -> Vec<Violation> {
     v
 }
 
+/// Check the span-attribution invariant over the sampled span traces
+/// of a run: every tree tiles its root exactly (no gap, no overlap,
+/// residue labelled), so child durations sum to the end-to-end latency.
+pub fn check_spans(spans: &[SpanTrace]) -> Vec<Violation> {
+    let mut v = Vec::new();
+    for t in spans {
+        if let Some(detail) = t.root.partition_violation() {
+            v.push(Violation {
+                invariant: Invariant::SpanAttribution,
+                detail: format!("req#{} (core {}): {detail}", t.id, t.core),
+            });
+        }
+    }
+    v
+}
+
 /// Check everything for one recorded run: the event stream, the
 /// `SimResult` counters, and the DRAM accounting totals.
 pub fn check_run(data: &CheckData, result: &SimResult) -> CheckReport {
@@ -211,14 +233,17 @@ pub fn check_run(data: &CheckData, result: &SimResult) -> CheckReport {
     report
 }
 
-/// Convenience: check a `CheckLevel::full()` engine run. Panics if the
+/// Convenience: check a `CheckLevel::full()` engine run — the recorded
+/// stream, the counters, and the sampled span traces. Panics if the
 /// run was not checked (no [`CheckData`] collected).
 pub fn check_engine_output(out: &EngineOutput) -> CheckReport {
     let data = out
         .check
         .as_ref()
         .expect("engine run without CheckLevel::full(); nothing to check");
-    check_run(data, &out.result)
+    let mut report = check_run(data, &out.result);
+    report.violations.extend(check_spans(&out.spans));
+    report
 }
 
 #[cfg(test)]
@@ -334,6 +359,31 @@ mod tests {
         let v = check_counters(&result);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].invariant, Invariant::NdcAccounting);
+    }
+
+    #[test]
+    fn span_attribution_passes_exact_trees_and_catches_corruption() {
+        use ndc_obs::span::{Span, STALL};
+        let mut root = Span::new("req", 100, 160);
+        root.leaf("l1", 100, 104);
+        root.leaf("l2", 120, 130);
+        root.fill_residue(STALL);
+        let healthy = SpanTrace {
+            id: 3,
+            core: 1,
+            addr: 0x40,
+            root,
+        };
+        assert!(check_spans(std::slice::from_ref(&healthy)).is_empty());
+
+        // Lose a residue leaf: the sum no longer reaches the latency.
+        let mut corrupted = healthy;
+        corrupted.root.children.pop();
+        let v = check_spans(&[corrupted]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, Invariant::SpanAttribution);
+        assert!(v[0].detail.contains("req#3"), "{}", v[0].detail);
+        assert_eq!(Invariant::SpanAttribution.label(), "span-attribution");
     }
 
     #[test]

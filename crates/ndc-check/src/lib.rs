@@ -32,7 +32,7 @@ pub mod oracle;
 
 pub use fault::{inject, Fault, ALL_FAULTS};
 pub use invariant::{
-    check_counters, check_engine_output, check_run, CheckReport, Invariant, Violation,
+    check_counters, check_engine_output, check_run, check_spans, CheckReport, Invariant, Violation,
 };
 pub use oracle::{
     check_schedule, first_divergence, sweep_workload, Divergence, OracleSummary, SweepFailure,

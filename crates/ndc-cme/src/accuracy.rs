@@ -82,6 +82,66 @@ pub fn accuracy_against_sim(
     }
 }
 
+/// Predicted-vs-measured offload latency for one NDC location —
+/// the `ndc-eval explain` cross-check of the compiler's offload cost
+/// model against the simulator's issue→result-at-core measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OffloadAccuracy {
+    /// Plan-weighted mean predicted cycles (0 when nothing targeted
+    /// this location).
+    pub predicted_cycles: f64,
+    /// Measured mean cycles over performed offloads (0 when none).
+    pub measured_cycles: f64,
+    /// Offloads measured.
+    pub samples: u64,
+}
+
+impl OffloadAccuracy {
+    /// Relative error in percent (`100·|pred − meas| / meas`), or
+    /// `None` when either side has no data to compare.
+    pub fn error_pct(&self) -> Option<f64> {
+        if self.samples == 0 || self.measured_cycles <= 0.0 || self.predicted_cycles <= 0.0 {
+            None
+        } else {
+            Some(
+                100.0 * (self.predicted_cycles - self.measured_cycles).abs() / self.measured_cycles,
+            )
+        }
+    }
+}
+
+/// Per-benchmark predicted-vs-measured offload latency, per NDC
+/// location (indexed by `NdcLocation::index()`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OffloadAccuracyReport {
+    pub per_location: [OffloadAccuracy; 4],
+}
+
+/// Join the compiler's per-location predictions with the simulator's
+/// measurements. `predicted` is the plan-weighted mean predicted
+/// cycles per location; `measured_cycles`/`measured_samples` are the
+/// `SimResult` offload totals.
+pub fn offload_accuracy(
+    predicted: [f64; 4],
+    measured_cycles: [u64; 4],
+    measured_samples: [u64; 4],
+) -> OffloadAccuracyReport {
+    let mut report = OffloadAccuracyReport::default();
+    for i in 0..4 {
+        let n = measured_samples[i];
+        report.per_location[i] = OffloadAccuracy {
+            predicted_cycles: predicted[i],
+            measured_cycles: if n == 0 {
+                0.0
+            } else {
+                measured_cycles[i] as f64 / n as f64
+            },
+            samples: n,
+        };
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,6 +164,21 @@ mod tests {
             },
         );
         (a, key)
+    }
+
+    #[test]
+    fn offload_accuracy_join_and_error() {
+        let r = offload_accuracy([110.0, 0.0, 95.0, 0.0], [1000, 0, 0, 500], [10, 0, 0, 0]);
+        let cc = r.per_location[0];
+        assert!((cc.measured_cycles - 100.0).abs() < 1e-12);
+        assert!((cc.error_pct().unwrap() - 10.0).abs() < 1e-9);
+        // Predicted but never performed: no error claimable.
+        assert_eq!(r.per_location[2].error_pct(), None);
+        // No prediction and no samples.
+        assert_eq!(r.per_location[1].error_pct(), None);
+        // Cycles without samples are ignored.
+        assert_eq!(r.per_location[3].samples, 0);
+        assert_eq!(r.per_location[3].error_pct(), None);
     }
 
     #[test]

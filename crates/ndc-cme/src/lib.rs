@@ -21,6 +21,8 @@ pub mod accuracy;
 pub mod predict;
 pub mod reuse;
 
-pub use accuracy::{accuracy_against_sim, AccuracyReport};
+pub use accuracy::{
+    accuracy_against_sim, offload_accuracy, AccuracyReport, OffloadAccuracy, OffloadAccuracyReport,
+};
 pub use predict::{analyze, CmeAnalysis, MissPrediction, RefKey};
 pub use reuse::{innermost_stride, ReuseInfo, ReuseKind};

@@ -22,7 +22,7 @@
 //! applied only when legal (`T·D ≻ 0`).
 
 use crate::estimate::{assess, core_of, LatencyModel, TargetViability};
-use crate::report::CompilerReport;
+use crate::report::{outcome, reason, CandidateRecord, ChainProvenance, CompilerReport};
 use ndc_cme::{analyze as cme_analyze, CmeAnalysis, RefKey};
 use ndc_ir::deps::{DependenceGraph, DependenceKind, DistanceVector};
 use ndc_ir::matrix::{candidate_transforms, IMat};
@@ -122,11 +122,11 @@ pub(crate) fn compile_inner(
             Some((t, plans, counts)) => {
                 schedule.transforms.insert(nest.id, t);
                 report.transforms_applied += 1;
-                report.merge_nest(&counts);
+                report.merge_nest(counts);
                 schedule.precomputes.extend(plans);
             }
             None => {
-                report.merge_nest(&base_counts);
+                report.merge_nest(base_counts);
                 schedule.precomputes.extend(base_plans);
             }
         }
@@ -136,17 +136,19 @@ pub(crate) fn compile_inner(
 }
 
 /// Per-nest planning bookkeeping.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct NestCounts {
     opportunities: u64,
     planned: u64,
     bypassed_reuse: u64,
     no_target: u64,
     per_target: [u64; 4],
+    /// Per-chain decision records, in statement order.
+    provenance: Vec<ChainProvenance>,
 }
 
 impl CompilerReport {
-    fn merge_nest(&mut self, c: &NestCounts) {
+    fn merge_nest(&mut self, c: NestCounts) {
         self.opportunities += c.opportunities;
         self.planned += c.planned;
         self.bypassed_reuse += c.bypassed_reuse;
@@ -154,6 +156,7 @@ impl CompilerReport {
         for i in 0..4 {
             self.per_target[i] += c.per_target[i];
         }
+        self.provenance.extend(c.provenance);
     }
 }
 
@@ -200,11 +203,28 @@ fn plan_nest(
                 .count() as u32;
             if reuse_count > k {
                 counts.bypassed_reuse += 1;
+                counts.provenance.push(ChainProvenance {
+                    nest: nest_pos,
+                    stmt: stmt_pos,
+                    p_l1_a: cme.l1_miss_probability(&RefKey {
+                        nest_pos,
+                        stmt_pos,
+                        slot: 0,
+                    }),
+                    p_l1_b: cme.l1_miss_probability(&RefKey {
+                        nest_pos,
+                        stmt_pos,
+                        slot: 1,
+                    }),
+                    same_l1_line: 0.0,
+                    outcome: outcome::REUSE_BYPASSED,
+                    candidates: Vec::new(),
+                });
                 continue;
             }
         }
 
-        match plan_chain(
+        let (plan, prov) = plan_chain(
             prog,
             nest_pos,
             nest,
@@ -215,7 +235,8 @@ fn plan_nest(
             deps,
             cores,
             reuse_k.is_some(),
-        ) {
+        );
+        match plan {
             Some(plan) => {
                 counts.per_target[plan.target.index()] += 1;
                 counts.planned += 1;
@@ -223,11 +244,14 @@ fn plan_nest(
             }
             None => counts.no_target += 1,
         }
+        counts.provenance.push(prov);
     }
     (plans, counts)
 }
 
 /// Plan one chain: the paper's trial order with per-target gates.
+/// Always returns the chain's decision provenance — the candidate
+/// table and outcome — alongside the plan (if any).
 #[allow(clippy::too_many_arguments)]
 fn plan_chain(
     prog: &Program,
@@ -240,8 +264,7 @@ fn plan_chain(
     deps: &DependenceGraph,
     cores: usize,
     strict: bool,
-) -> Option<PrecomputePlan> {
-    let v = assess(prog, nest_pos, nest, stmt_pos, stmt, cfg, cme, cores)?;
+) -> (Option<PrecomputePlan>, ChainProvenance) {
     let p_l1_a = cme.l1_miss_probability(&RefKey {
         nest_pos,
         stmt_pos,
@@ -252,6 +275,19 @@ fn plan_chain(
         stmt_pos,
         slot: 1,
     });
+    let mut prov = ChainProvenance {
+        nest: nest_pos,
+        stmt: stmt_pos,
+        p_l1_a,
+        p_l1_b,
+        same_l1_line: 0.0,
+        outcome: outcome::NO_SAMPLES,
+        candidates: Vec::new(),
+    };
+    let Some(v) = assess(prog, nest_pos, nest, stmt_pos, stmt, cfg, cme, cores) else {
+        return (None, prov);
+    };
+    prov.same_l1_line = v.same_l1_line;
     // Algorithm 1 offloads when *either* operand is expected to miss
     // L1 ("performs near data computing whenever opportunity arises",
     // §5.4) — even if the other operand's line would have been served
@@ -263,13 +299,20 @@ fn plan_chain(
         p_l1_a.max(p_l1_b) >= ALG1_MIN_L1_MISS_PROB && v.same_l1_line <= ALG1_MAX_SAME_L1_LINE
     };
     if !gate {
-        return None;
+        prov.outcome = outcome::GATE_REJECTED;
+        return (None, prov);
     }
 
     // Paper trial order: L2 bank -> router -> memory queue -> memory
     // bank (the router's "second attempt" on the L2-miss path is
     // handled by the hardware's general flow at run time).
-    let (target, stagger, reshape) = select_target(cfg, &v)?;
+    let (candidates, selected) = evaluate_candidates(cfg, &v);
+    prov.candidates = candidates;
+    let Some((target, stagger, reshape)) = selected else {
+        prov.outcome = outcome::NO_TARGET;
+        return (None, prov);
+    };
+    prov.outcome = outcome::PLANNED;
 
     let lookahead = legal_lookahead(nest, deps, stmt, cfg, &v, cores, prog, stagger);
     let strategy = if lookahead > 0 && stagger == 0 {
@@ -279,7 +322,7 @@ fn plan_chain(
     } else {
         MoveStrategy::MoveX
     };
-    Some(PrecomputePlan {
+    let plan = PrecomputePlan {
         nest: nest.id,
         stmt: stmt.id,
         lookahead,
@@ -287,39 +330,56 @@ fn plan_chain(
         reshape_routes: reshape,
         strategy,
         target,
-    })
+    };
+    (Some(plan), prov)
 }
 
-/// The trial-order target selection with viability gates.
-fn select_target(cfg: &ArchConfig, v: &TargetViability) -> Option<(NdcLocation, i32, bool)> {
-    let enabled = |l: NdcLocation| cfg.ndc.location_enabled(l);
-    // 1. L2 bank: operands co-homed often enough.
-    if enabled(NdcLocation::CacheController) && v.same_bank >= MIN_COLOCATION {
-        return Some((
-            NdcLocation::CacheController,
-            v.bank_skew.round() as i32,
-            false,
-        ));
+/// Walk the trial order, recording every candidate's co-location
+/// frequency, predicted offload cycles, and predicted bytes moved,
+/// plus the reason it was or was not chosen. The first enabled
+/// location clearing [`MIN_COLOCATION`] wins — identical selection to
+/// the paper's §5.2.2 cascade.
+fn evaluate_candidates(
+    cfg: &ArchConfig,
+    v: &TargetViability,
+) -> (Vec<CandidateRecord>, Option<(NdcLocation, i32, bool)>) {
+    // (location, co-location frequency) in the paper's trial order.
+    let trial = [
+        (NdcLocation::CacheController, v.same_bank),
+        (NdcLocation::LinkBuffer, v.overlap_reshaped),
+        (NdcLocation::MemoryController, v.same_mc),
+        (NdcLocation::MemoryBank, v.same_dram_bank),
+    ];
+    let mut records = Vec::with_capacity(trial.len());
+    let mut selected: Option<(NdcLocation, i32, bool)> = None;
+    for (loc, colocation) in trial {
+        let why = if !cfg.ndc.location_enabled(loc) {
+            reason::LOCATION_DISABLED
+        } else if colocation < MIN_COLOCATION {
+            reason::BELOW_COLOCATION
+        } else if selected.is_some() {
+            reason::SHADOWED
+        } else {
+            let stagger = match loc {
+                NdcLocation::CacheController | NdcLocation::LinkBuffer => v.bank_skew,
+                NdcLocation::MemoryController | NdcLocation::MemoryBank => v.mc_skew,
+            }
+            .round() as i32;
+            // Reshape only when it buys something over XY.
+            let reshape =
+                loc == NdcLocation::LinkBuffer && v.overlap_reshaped > v.overlap_xy + 1e-9;
+            selected = Some((loc, stagger, reshape));
+            reason::SELECTED
+        };
+        records.push(CandidateRecord {
+            location: loc,
+            colocation,
+            predicted_cycles: v.est_offload[loc.index()],
+            predicted_bytes_moved: v.est_bytes[loc.index()],
+            reason: why,
+        });
     }
-    // 2. Router: reply routes can be made to overlap.
-    if enabled(NdcLocation::LinkBuffer) && v.overlap_reshaped >= MIN_COLOCATION {
-        // Reshape only when it buys something over XY.
-        let reshape = v.overlap_reshaped > v.overlap_xy + 1e-9;
-        return Some((NdcLocation::LinkBuffer, v.bank_skew.round() as i32, reshape));
-    }
-    // 3. Memory queue.
-    if enabled(NdcLocation::MemoryController) && v.same_mc >= MIN_COLOCATION {
-        return Some((
-            NdcLocation::MemoryController,
-            v.mc_skew.round() as i32,
-            false,
-        ));
-    }
-    // 4. Memory bank.
-    if enabled(NdcLocation::MemoryBank) && v.same_dram_bank >= MIN_COLOCATION {
-        return Some((NdcLocation::MemoryBank, v.mc_skew.round() as i32, false));
-    }
-    None
+    (records, selected)
 }
 
 /// Maximum legal (and useful) iteration lookahead for a chain.
@@ -517,6 +577,64 @@ mod tests {
         );
         assert!(plan.lookahead >= 1);
         assert!(sched.validate(&p).is_ok());
+    }
+
+    #[test]
+    fn provenance_records_every_candidate_in_trial_order() {
+        let p = same_bank_prog();
+        let (_, report) = compile_algorithm1(&p, &cfg(), 25);
+        assert_eq!(report.provenance.len(), 1);
+        let prov = &report.provenance[0];
+        assert_eq!(prov.outcome, outcome::PLANNED);
+        assert_eq!(prov.nest, 0);
+        assert_eq!(prov.stmt, 0);
+        // All four locations appear, in the paper's trial order.
+        let locs: Vec<NdcLocation> = prov.candidates.iter().map(|c| c.location).collect();
+        assert_eq!(
+            locs,
+            [
+                NdcLocation::CacheController,
+                NdcLocation::LinkBuffer,
+                NdcLocation::MemoryController,
+                NdcLocation::MemoryBank,
+            ]
+        );
+        let sel = prov.selected().expect("planned chain has a winner");
+        assert_eq!(sel.location, NdcLocation::CacheController);
+        assert!(sel.predicted_cycles > 1.0);
+        assert!(sel.predicted_bytes_moved >= 0.0);
+        // Later viable locations are shadowed, not silently dropped.
+        for c in &prov.candidates[1..] {
+            assert_ne!(c.reason, reason::SELECTED);
+            assert!(
+                c.reason == reason::SHADOWED
+                    || c.reason == reason::BELOW_COLOCATION
+                    || c.reason == reason::LOCATION_DISABLED,
+                "{}",
+                c.reason
+            );
+        }
+    }
+
+    #[test]
+    fn provenance_reports_disabled_locations_and_gate_rejects() {
+        // Disable the winning location: the record says so, and the
+        // chain falls through the cascade to the next viable target.
+        let p = same_bank_prog();
+        let mut c = cfg();
+        c.ndc.enabled_mask &= !ndc_types::NdcConfig::only(NdcLocation::CacheController);
+        let (_, report) = compile_inner(&p, &c, 25, None);
+        let prov = &report.provenance[0];
+        assert_eq!(prov.candidates[0].reason, reason::LOCATION_DISABLED);
+        // Tiny L1-resident arrays: whatever the outcome, provenance and
+        // counters agree.
+        let (_, r2) = compile_algorithm1(&p, &cfg(), 25);
+        let planned = r2
+            .provenance
+            .iter()
+            .filter(|p| p.outcome == outcome::PLANNED)
+            .count() as u64;
+        assert_eq!(planned, r2.planned);
     }
 
     #[test]

@@ -28,7 +28,7 @@ impl LatencyModel {
         LatencyModel { cfg }
     }
 
-    fn hops(&self, a: NodeId, b: NodeId) -> u64 {
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u64 {
         let w = self.cfg.noc.width;
         a.coord(w).manhattan(b.coord(w)) as u64
     }
@@ -89,6 +89,15 @@ pub struct TargetViability {
     pub bank_skew: f64,
     /// Mean estimated skew at the memory controller.
     pub mc_skew: f64,
+    /// Mean predicted issue→result-at-core cycles if the chain were
+    /// offloaded to each location (indexed by `NdcLocation::index()`) —
+    /// the predicted side `ndc-eval explain` cross-checks against the
+    /// simulator's measured offload latencies.
+    pub est_offload: [f64; 4],
+    /// Mean predicted bytes moved across the NoC per offloaded
+    /// computation, per location (operand requests, weighted DRAM line
+    /// fills, result return).
+    pub est_bytes: [f64; 4],
     /// Samples taken.
     pub samples: u32,
 }
@@ -190,6 +199,39 @@ pub fn assess(
         let mcn_a = cfg.mc_node(mc_a);
         let mcn_b = cfg.mc_node(mc_b);
         skews_mc += model.est_at_mc(core, home_a, mcn_a) - model.est_at_mc(core, home_b, mcn_b);
+
+        // Predicted offload latency (issue → result at core) per
+        // location: both operands must be present at the meeting
+        // component, plus the one-cycle op and the result's trip home.
+        let hop = cfg.noc.hop_cycles as f64;
+        let h = |x: NodeId, y: NodeId| model.hops(x, y) as f64;
+        let at_bank = model
+            .est_data_at_bank(core, home_a, p_l2_a)
+            .max(model.est_data_at_bank(core, home_b, p_l2_b));
+        let cc = at_bank + 1.0 + h(home_a, core) * hop;
+        v.est_offload[ndc_types::NdcLocation::CacheController.index()] += cc;
+        // A link buffer meets the operands one hop off the bank path.
+        v.est_offload[ndc_types::NdcLocation::LinkBuffer.index()] += cc + hop;
+        let at_mc = model
+            .est_at_mc(core, home_a, mcn_a)
+            .max(model.est_at_mc(core, home_b, mcn_b));
+        let mc_lat = at_mc + 1.0 + h(mcn_a, core) * hop;
+        v.est_offload[ndc_types::NdcLocation::MemoryController.index()] += mc_lat;
+        // The bank variant additionally waits out the row access.
+        v.est_offload[ndc_types::NdcLocation::MemoryBank.index()] +=
+            mc_lat + cfg.mem.dram.row_hit_cycles as f64;
+
+        // Predicted NoC bytes moved: 16 B operand requests, weighted
+        // DRAM line fills, and the 16 B result return.
+        let line = cfg.l2.line_bytes as f64;
+        let req_bytes = 16.0 * (h(core, home_a) + h(core, home_b));
+        let fill_bytes = line * (p_l2_a * h(home_a, mcn_a) + p_l2_b * h(home_b, mcn_b));
+        let near_l2 = req_bytes + fill_bytes + 16.0 * h(home_a, core);
+        v.est_bytes[ndc_types::NdcLocation::CacheController.index()] += near_l2;
+        v.est_bytes[ndc_types::NdcLocation::LinkBuffer.index()] += near_l2;
+        let near_mc = req_bytes + fill_bytes + 16.0 * h(mcn_a, core);
+        v.est_bytes[ndc_types::NdcLocation::MemoryController.index()] += near_mc;
+        v.est_bytes[ndc_types::NdcLocation::MemoryBank.index()] += near_mc;
     }
 
     if v.samples == 0 {
@@ -204,6 +246,12 @@ pub fn assess(
     v.overlap_reshaped /= n;
     v.bank_skew = skews_bank / n;
     v.mc_skew = skews_mc / n;
+    for e in &mut v.est_offload {
+        *e /= n;
+    }
+    for e in &mut v.est_bytes {
+        *e /= n;
+    }
     Some(v)
 }
 
@@ -313,6 +361,25 @@ mod tests {
         let mut serial = nest.clone();
         serial.parallel_level = None;
         assert_eq!(core_of(&serial, &[99], 25, &c), NodeId(0));
+    }
+
+    #[test]
+    fn offload_estimates_are_positive_and_ordered() {
+        let (p, nest) = streaming(4096);
+        let cme = ndc_cme::analyze(&p, &cfg(), 25);
+        let v = assess(&p, 0, &nest, 0, &nest.body[0], &cfg(), &cme, 25).unwrap();
+        for loc in ndc_types::ALL_NDC_LOCATIONS {
+            assert!(v.est_offload[loc.index()] > 1.0, "{v:?}");
+            assert!(v.est_bytes[loc.index()] >= 0.0);
+        }
+        // The link buffer sits one hop past the L2 bank; the memory
+        // bank waits out a row access the queue variant does not.
+        let cc = v.est_offload[ndc_types::NdcLocation::CacheController.index()];
+        let lb = v.est_offload[ndc_types::NdcLocation::LinkBuffer.index()];
+        let mc = v.est_offload[ndc_types::NdcLocation::MemoryController.index()];
+        let mb = v.est_offload[ndc_types::NdcLocation::MemoryBank.index()];
+        assert!(lb > cc);
+        assert!(mb > mc);
     }
 
     #[test]

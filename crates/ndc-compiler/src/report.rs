@@ -1,5 +1,75 @@
 //! Compiler decision reporting — the source of the Figure 15 metric
-//! (fraction of NDC opportunities exercised by Algorithm 2).
+//! (fraction of NDC opportunities exercised by Algorithm 2) and of the
+//! per-chain decision provenance `ndc-eval explain` joins against
+//! measured span traces.
+
+use ndc_types::NdcLocation;
+
+/// Why a candidate NDC location was (or was not) chosen for a chain.
+/// The strings are stable output surface for `ndc-eval explain`.
+pub mod reason {
+    /// First viable location in the trial order: the plan's target.
+    pub const SELECTED: &str = "selected";
+    /// The architecture's control register disables this location.
+    pub const LOCATION_DISABLED: &str = "location-disabled";
+    /// Operand co-location frequency below the viability threshold.
+    pub const BELOW_COLOCATION: &str = "below-colocation";
+    /// Viable, but an earlier location in the trial order already won.
+    pub const SHADOWED: &str = "shadowed-by-earlier";
+}
+
+/// Per-chain planning outcomes (stable output surface).
+pub mod outcome {
+    pub const PLANNED: &str = "planned";
+    pub const GATE_REJECTED: &str = "gate-rejected";
+    pub const REUSE_BYPASSED: &str = "reuse-bypassed";
+    pub const NO_TARGET: &str = "no-target";
+    pub const NO_SAMPLES: &str = "no-samples";
+}
+
+/// One candidate location the planner considered for a chain, with the
+/// cost-model predictions that drove the choice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateRecord {
+    pub location: NdcLocation,
+    /// Fraction of sampled iterations whose operands co-locate here.
+    pub colocation: f64,
+    /// Predicted issue→result-at-core cycles if offloaded here.
+    pub predicted_cycles: f64,
+    /// Predicted NoC bytes moved per offloaded computation.
+    pub predicted_bytes_moved: f64,
+    /// One of the [`reason`] strings.
+    pub reason: &'static str,
+}
+
+/// The full decision record for one use-use chain: what the gates saw
+/// and every candidate considered, in trial order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainProvenance {
+    /// Nest position within the program (joins `ndc_cme::RefKey`).
+    pub nest: usize,
+    /// Statement position within the nest body.
+    pub stmt: usize,
+    /// CME-predicted L1 miss probabilities of the two operands.
+    pub p_l1_a: f64,
+    pub p_l1_b: f64,
+    /// Fraction of iterations whose operands share an L1 line.
+    pub same_l1_line: f64,
+    /// One of the [`outcome`] strings.
+    pub outcome: &'static str,
+    /// Candidates in trial order (empty when assessment never ran:
+    /// reuse bypass or an unsampleable chain).
+    pub candidates: Vec<CandidateRecord>,
+}
+
+impl ChainProvenance {
+    /// The selected candidate, if the chain was planned.
+    pub fn selected(&self) -> Option<&CandidateRecord> {
+        self.candidates
+            .iter()
+            .find(|c| c.reason == reason::SELECTED)
+    }
+}
 
 /// What a compilation pass decided, per program.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -19,6 +89,10 @@ pub struct CompilerReport {
     pub per_target: [u64; 4],
     /// Loop transformations applied.
     pub transforms_applied: u64,
+    /// Per-chain decision provenance, in (nest, stmt) program order.
+    /// For a transformed nest this records the decisions made on the
+    /// adopted (transformed) nest — the ones the schedule reflects.
+    pub provenance: Vec<ChainProvenance>,
 }
 
 impl CompilerReport {
@@ -35,6 +109,37 @@ impl CompilerReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn provenance_selected_candidate_lookup() {
+        let mk = |location, reason| CandidateRecord {
+            location,
+            colocation: 0.75,
+            predicted_cycles: 120.0,
+            predicted_bytes_moved: 96.0,
+            reason,
+        };
+        let prov = ChainProvenance {
+            nest: 0,
+            stmt: 1,
+            p_l1_a: 0.9,
+            p_l1_b: 0.8,
+            same_l1_line: 0.0,
+            outcome: outcome::PLANNED,
+            candidates: vec![
+                mk(NdcLocation::CacheController, reason::BELOW_COLOCATION),
+                mk(NdcLocation::LinkBuffer, reason::SELECTED),
+                mk(NdcLocation::MemoryController, reason::SHADOWED),
+            ],
+        };
+        assert_eq!(prov.selected().unwrap().location, NdcLocation::LinkBuffer);
+        let none = ChainProvenance {
+            outcome: outcome::NO_TARGET,
+            candidates: Vec::new(),
+            ..prov
+        };
+        assert!(none.selected().is_none());
+    }
 
     #[test]
     fn exercised_fraction() {

@@ -304,7 +304,7 @@ mod tests {
     fn init_handles_many_arrays_without_overflow() {
         let mut p = Program::new("wide");
         for i in 0..16 {
-            p.add_array(ArrayDecl::new(&format!("A{i}"), vec![4], 8));
+            p.add_array(ArrayDecl::new(format!("A{i}"), vec![4], 8));
         }
         p.assign_layout(0, 64);
         let a = DataStore::init(&p);

@@ -456,7 +456,7 @@ mod tests {
     /// (seeded-loop property test, 256 cases).
     #[test]
     fn det_is_multiplicative() {
-        let mut g = SplitMix64::new(0x3a7_1);
+        let mut g = SplitMix64::new(0x3a71);
         for _ in 0..256 {
             let a: Vec<i64> = (0..9).map(|_| g.range_i64(-3, 4)).collect();
             let b: Vec<i64> = (0..9).map(|_| g.range_i64(-3, 4)).collect();
@@ -489,7 +489,7 @@ mod tests {
     /// differences (seeded-loop property test, 256 cases).
     #[test]
     fn lex_cmp_consistent() {
-        let mut g = SplitMix64::new(0x3a7_2);
+        let mut g = SplitMix64::new(0x3a72);
         for _ in 0..256 {
             let a: Vec<i64> = (0..4).map(|_| g.range_i64(-5, 6)).collect();
             let b: Vec<i64> = (0..4).map(|_| g.range_i64(-5, 6)).collect();

@@ -28,6 +28,17 @@ pub enum RowOutcome {
     Conflict,
 }
 
+impl RowOutcome {
+    /// Stable lowercase label (span segments, reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            RowOutcome::Hit => "hit",
+            RowOutcome::Miss => "miss",
+            RowOutcome::Conflict => "conflict",
+        }
+    }
+}
+
 /// Timing record of one memory-controller access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct McAccess {
@@ -283,6 +294,13 @@ mod tests {
         assert_eq!(m.stats.channel_busy_cycles, 12);
         assert!((m.stats.channel_utilization(120) - 0.1).abs() < 1e-12);
         assert_eq!(m.stats.channel_utilization(0), 0.0);
+    }
+
+    #[test]
+    fn row_outcome_labels_are_stable() {
+        assert_eq!(RowOutcome::Hit.label(), "hit");
+        assert_eq!(RowOutcome::Miss.label(), "miss");
+        assert_eq!(RowOutcome::Conflict.label(), "conflict");
     }
 
     #[test]

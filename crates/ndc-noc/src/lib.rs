@@ -53,7 +53,7 @@ mod proptests {
     #[test]
     fn xy_routes_are_minimal() {
         let mesh = Mesh::new(cfg());
-        let mut g = SplitMix64::new(0x10c_1);
+        let mut g = SplitMix64::new(0x10c1);
         for _ in 0..CASES {
             let (s, d) = (coord(&mut g, 6), coord(&mut g, 6));
             let route = mesh.xy_route(s, d);
@@ -66,7 +66,7 @@ mod proptests {
     #[test]
     fn xy_routes_are_connected() {
         let mesh = Mesh::new(cfg());
-        let mut g = SplitMix64::new(0x10c_2);
+        let mut g = SplitMix64::new(0x10c2);
         for _ in 0..CASES {
             let (s, d) = (coord(&mut g, 6), coord(&mut g, 6));
             let route = mesh.xy_route(s, d);
@@ -85,7 +85,7 @@ mod proptests {
     #[test]
     fn signatures_have_hop_many_bits() {
         let mesh = Mesh::new(cfg());
-        let mut g = SplitMix64::new(0x10c_3);
+        let mut g = SplitMix64::new(0x10c3);
         for _ in 0..CASES {
             let (s, d) = (coord(&mut g, 6), coord(&mut g, 6));
             let route = mesh.xy_route(s, d);
@@ -99,7 +99,7 @@ mod proptests {
     #[test]
     fn minimal_route_enumeration_is_complete() {
         let mesh = Mesh::new(cfg());
-        let mut g = SplitMix64::new(0x10c_4);
+        let mut g = SplitMix64::new(0x10c4);
         for _ in 0..CASES {
             let (s, d) = (coord(&mut g, 5), coord(&mut g, 5));
             let routes = minimal_routes(&mesh, s, d);
@@ -118,7 +118,7 @@ mod proptests {
     #[test]
     fn best_pair_at_least_xy_overlap() {
         let mesh = Mesh::new(cfg());
-        let mut g = SplitMix64::new(0x10c_5);
+        let mut g = SplitMix64::new(0x10c5);
         for _ in 0..CASES {
             let (a, b) = (coord(&mut g, 5), coord(&mut g, 5));
             let (c, e) = (coord(&mut g, 5), coord(&mut g, 5));

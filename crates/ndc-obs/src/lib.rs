@@ -25,6 +25,8 @@
 
 use ndc_types::{Cycle, Json, WindowHistogram, BUCKET_LABELS};
 
+pub mod span;
+
 /// How much observability a run should collect.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ObsLevel {
@@ -32,6 +34,10 @@ pub struct ObsLevel {
     pub metrics: bool,
     /// Capacity of the trace event ring; `0` disables event capture.
     pub trace_capacity: usize,
+    /// Causal span tracing: sample one request in `span_one_in`
+    /// (deterministically, by request id — see [`span::SpanSampler`]);
+    /// `0` disables span collection.
+    pub span_one_in: u32,
 }
 
 impl ObsLevel {
@@ -45,6 +51,7 @@ impl ObsLevel {
         ObsLevel {
             metrics: true,
             trace_capacity: 0,
+            span_one_in: 0,
         }
     }
 
@@ -53,12 +60,22 @@ impl ObsLevel {
         ObsLevel {
             metrics: true,
             trace_capacity: capacity,
+            span_one_in: 0,
+        }
+    }
+
+    /// Metrics tree plus span traces for one request in `one_in`.
+    pub fn with_spans(one_in: u32) -> ObsLevel {
+        ObsLevel {
+            metrics: true,
+            trace_capacity: 0,
+            span_one_in: one_in.max(1),
         }
     }
 
     /// True when any collection is requested.
     pub fn any(&self) -> bool {
-        self.metrics || self.trace_capacity > 0
+        self.metrics || self.trace_capacity > 0 || self.span_one_in > 0
     }
 }
 
@@ -304,12 +321,16 @@ impl ObsSink for NullSink {}
 
 /// A bounded ring of events: when full, the oldest event is dropped
 /// and counted, so a long run keeps its *latest* window of activity —
-/// the part that usually explains a tail — in bounded memory.
+/// the part that usually explains a tail — in bounded memory. Drops
+/// are tallied per event category so a `--metrics` dump can say *whose*
+/// history was truncated, not just that something was.
 #[derive(Debug, Clone, Default)]
 pub struct RingSink {
     cap: usize,
     events: std::collections::VecDeque<Event>,
     dropped: u64,
+    /// Per-category eviction counts, in first-eviction order.
+    dropped_by_cat: Vec<(&'static str, u64)>,
 }
 
 impl RingSink {
@@ -318,6 +339,7 @@ impl RingSink {
             cap,
             events: std::collections::VecDeque::with_capacity(cap.min(4096)),
             dropped: 0,
+            dropped_by_cat: Vec::new(),
         }
     }
 
@@ -334,6 +356,11 @@ impl RingSink {
     /// How many events were evicted to keep the ring bounded.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Evictions per event category, in first-eviction order.
+    pub fn dropped_by_cat(&self) -> &[(&'static str, u64)] {
+        &self.dropped_by_cat
     }
 
     pub fn len(&self) -> usize {
@@ -355,8 +382,12 @@ impl ObsSink for RingSink {
             return;
         }
         if self.events.len() == self.cap {
-            self.events.pop_front();
+            let old = self.events.pop_front().expect("ring at capacity");
             self.dropped += 1;
+            match self.dropped_by_cat.iter_mut().find(|(c, _)| *c == old.cat) {
+                Some((_, n)) => *n += 1,
+                None => self.dropped_by_cat.push((old.cat, 1)),
+            }
         }
         self.events.push_back(ev);
     }
@@ -542,6 +573,28 @@ mod tests {
         assert_eq!(s.dropped(), 2);
         let ts: Vec<Cycle> = s.events().map(|e| e.ts).collect();
         assert_eq!(ts, vec![2, 3, 4]);
+        // Both evictions were category "test".
+        assert_eq!(s.dropped_by_cat(), &[("test", 2)]);
+    }
+
+    #[test]
+    fn ring_sink_attributes_drops_per_category() {
+        let mut s = RingSink::new(1);
+        s.record(Event {
+            cat: "a",
+            ..ev("e", 0)
+        });
+        s.record(Event {
+            cat: "b",
+            ..ev("e", 1)
+        });
+        s.record(Event {
+            cat: "a",
+            ..ev("e", 2)
+        });
+        s.record(ev("e", 3)); // evicts the "a" at ts=2
+        assert_eq!(s.dropped(), 3);
+        assert_eq!(s.dropped_by_cat(), &[("a", 2), ("b", 1)]);
     }
 
     #[test]
@@ -551,6 +604,7 @@ mod tests {
         s.record(ev("e", 1));
         assert!(s.is_empty());
         assert_eq!(s.dropped(), 0);
+        assert!(s.dropped_by_cat().is_empty());
     }
 
     #[test]
@@ -576,6 +630,10 @@ mod tests {
         assert!(ObsLevel::metrics().metrics);
         assert_eq!(ObsLevel::with_trace(64).trace_capacity, 64);
         assert!(ObsLevel::with_trace(64).any());
+        assert_eq!(ObsLevel::metrics().span_one_in, 0);
+        assert_eq!(ObsLevel::with_spans(8).span_one_in, 8);
+        assert_eq!(ObsLevel::with_spans(0).span_one_in, 1);
+        assert!(ObsLevel::with_spans(8).any());
     }
 
     #[test]

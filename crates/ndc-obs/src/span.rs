@@ -1,0 +1,354 @@
+//! Causal span trees: per-request critical-path attribution.
+//!
+//! A [`SpanTrace`] is the full story of one sampled memory request: a
+//! tree of labelled `[start, end)` intervals covering every segment of
+//! the L1→NoC→L2→NoC→MC→DRAM path it actually took (plus the NDC
+//! execution spans the engine adds for offloaded computes). The
+//! structural contract — enforced by [`Span::partition_violation`] and
+//! by `ndc-check`'s span-attribution invariant — is **exact
+//! partitioning**: the children of every non-leaf span tile its
+//! interval with no gap and no overlap, so summing any level of the
+//! tree reproduces the root's end-to-end latency exactly. Time the
+//! datapath cannot attribute to a component is never silently lost;
+//! the recorder closes gaps with explicit residue leaves labelled
+//! [`QUEUE`] or [`STALL`] via [`Span::fill_residue`].
+//!
+//! Sampling ([`SpanSampler`]) is a pure function of the request id and
+//! a seed — never of thread, wall clock, or iteration order — so the
+//! set of sampled requests (and therefore the rendered traces) is
+//! byte-identical at any `NDC_THREADS`.
+
+use ndc_types::{Cycle, SplitMix64};
+
+/// Residue label for time spent waiting behind earlier traffic
+/// (link queues, MC queues, DRAM bank contention).
+pub const QUEUE: &str = "queue";
+/// Residue label for time the request held a resource without
+/// progressing (e.g. the core stalled on an in-flight line).
+pub const STALL: &str = "stall";
+
+/// One labelled interval in a span tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Segment label. Instance suffixes go after a `:`; a numeric
+    /// suffix (`link:14`) is stripped by [`decompose`], a symbolic one
+    /// (`dram:hit`) is kept.
+    pub label: String,
+    pub start: Cycle,
+    pub end: Cycle,
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    pub fn new(label: impl Into<String>, start: Cycle, end: Cycle) -> Span {
+        Span {
+            label: label.into(),
+            start,
+            end,
+            children: Vec::new(),
+        }
+    }
+
+    /// Duration in cycles.
+    pub fn dur(&self) -> Cycle {
+        self.end - self.start
+    }
+
+    /// Append a child span (children must be pushed in time order).
+    pub fn push(&mut self, child: Span) {
+        self.children.push(child);
+    }
+
+    /// Convenience: append a leaf child.
+    pub fn leaf(&mut self, label: impl Into<String>, start: Cycle, end: Cycle) {
+        self.push(Span::new(label, start, end));
+    }
+
+    /// Close every gap at this level with residue leaves labelled
+    /// `residue`, so the children exactly partition `[start, end)`.
+    /// Zero-length gaps produce no span. Does not recurse: each level
+    /// chooses its own residue label (`queue` inside the NoC and MC,
+    /// `stall` at the request root).
+    pub fn fill_residue(&mut self, residue: &str) {
+        if self.children.is_empty() {
+            return;
+        }
+        let mut filled = Vec::with_capacity(self.children.len());
+        let mut cursor = self.start;
+        for child in self.children.drain(..) {
+            if child.start > cursor {
+                filled.push(Span::new(residue, cursor, child.start));
+            }
+            cursor = child.end;
+            filled.push(child);
+        }
+        if cursor < self.end {
+            filled.push(Span::new(residue, cursor, self.end));
+        }
+        self.children = filled;
+    }
+
+    /// Recursively verify the exact-partition contract. Returns a
+    /// description of the first violation, or `None` if every non-leaf
+    /// span's children tile its interval exactly.
+    pub fn partition_violation(&self) -> Option<String> {
+        if self.end < self.start {
+            return Some(format!(
+                "span '{}' ends before it starts: [{}, {})",
+                self.label, self.start, self.end
+            ));
+        }
+        if self.children.is_empty() {
+            return None;
+        }
+        let mut cursor = self.start;
+        for child in &self.children {
+            if child.start != cursor {
+                return Some(format!(
+                    "child '{}' of '{}' starts at {} but the covered prefix ends at {}",
+                    child.label, self.label, child.start, cursor
+                ));
+            }
+            if let Some(v) = child.partition_violation() {
+                return Some(v);
+            }
+            cursor = child.end;
+        }
+        if cursor != self.end {
+            return Some(format!(
+                "children of '{}' cover [{}, {}) but the span ends at {}",
+                self.label, self.start, cursor, self.end
+            ));
+        }
+        None
+    }
+
+    /// Visit every leaf of the tree, in time order.
+    pub fn for_each_leaf(&self, f: &mut impl FnMut(&Span)) {
+        if self.children.is_empty() {
+            f(self);
+        } else {
+            for c in &self.children {
+                c.for_each_leaf(f);
+            }
+        }
+    }
+}
+
+/// The complete span tree of one sampled request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanTrace {
+    /// Request id (issue order — identical at any thread count).
+    pub id: u64,
+    /// Issuing core (or NDC location index for offload spans).
+    pub core: u32,
+    /// Request address (0 for NDC execution spans).
+    pub addr: u64,
+    pub root: Span,
+}
+
+impl SpanTrace {
+    /// End-to-end latency of the traced request.
+    pub fn latency(&self) -> Cycle {
+        self.root.dur()
+    }
+}
+
+/// Deterministic request sampler: keep a request iff a SplitMix64 draw
+/// keyed *only* by `(seed, id)` lands in the `1/one_in` acceptance
+/// window. `one_in <= 1` keeps everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanSampler {
+    seed: u64,
+    one_in: u32,
+}
+
+impl SpanSampler {
+    pub fn new(seed: u64, one_in: u32) -> SpanSampler {
+        SpanSampler { seed, one_in }
+    }
+
+    /// Should the request with this id be traced?
+    pub fn keep(&self, id: u64) -> bool {
+        if self.one_in <= 1 {
+            return true;
+        }
+        let mut g = SplitMix64::new(self.seed ^ id.wrapping_mul(0xa076_1d64_78bd_642f));
+        g.below(self.one_in as u64) == 0
+    }
+
+    /// The sampling rate (for reporting).
+    pub fn one_in(&self) -> u32 {
+        self.one_in.max(1)
+    }
+}
+
+/// The segment a leaf label belongs to: the label with a trailing
+/// *numeric* instance suffix stripped (`link:14` → `link`), symbolic
+/// suffixes kept (`dram:hit` stays `dram:hit`).
+pub fn segment_of(label: &str) -> &str {
+    match label.rsplit_once(':') {
+        Some((head, tail)) if tail.bytes().all(|b| b.is_ascii_digit()) && !tail.is_empty() => head,
+        _ => label,
+    }
+}
+
+/// Sum leaf durations across traces, grouped by [`segment_of`] the
+/// leaf label. Output is sorted by segment name (deterministic).
+pub fn decompose(traces: &[SpanTrace]) -> Vec<(String, Cycle)> {
+    let mut by_seg = std::collections::BTreeMap::<String, Cycle>::new();
+    for t in traces {
+        t.root.for_each_leaf(&mut |leaf| {
+            *by_seg
+                .entry(segment_of(&leaf.label).to_string())
+                .or_insert(0) += leaf.dur();
+        });
+    }
+    by_seg.into_iter().collect()
+}
+
+/// Render one trace as an indented text tree (deterministic; used by
+/// `ndc-eval explain` and the thread-count diff in verify.sh).
+pub fn render_tree(trace: &SpanTrace) -> String {
+    let mut out = format!(
+        "req#{} core={} addr={:#x} latency={}\n",
+        trace.id,
+        trace.core,
+        trace.addr,
+        trace.latency()
+    );
+    render_span(&trace.root, 1, &mut out);
+    out
+}
+
+fn render_span(span: &Span, depth: usize, out: &mut String) {
+    use std::fmt::Write;
+    let _ = writeln!(
+        out,
+        "{}{} [{}, {}) {}",
+        "  ".repeat(depth),
+        span.label,
+        span.start,
+        span.end,
+        span.dur()
+    );
+    for c in &span.children {
+        render_span(c, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(root: Span) -> SpanTrace {
+        SpanTrace {
+            id: 7,
+            core: 2,
+            addr: 0x40,
+            root,
+        }
+    }
+
+    #[test]
+    fn fill_residue_tiles_the_parent_exactly() {
+        let mut s = Span::new("req", 100, 160);
+        s.leaf("l1", 100, 104);
+        s.leaf("l2", 120, 130); // gap 104..120
+        s.fill_residue(STALL); // and tail gap 130..160
+        assert_eq!(s.partition_violation(), None);
+        let labels: Vec<&str> = s.children.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(labels, ["l1", STALL, "l2", STALL]);
+        let total: Cycle = s.children.iter().map(Span::dur).sum();
+        assert_eq!(total, s.dur());
+    }
+
+    #[test]
+    fn fill_residue_is_a_noop_on_exact_children() {
+        let mut s = Span::new("req", 0, 10);
+        s.leaf("a", 0, 4);
+        s.leaf("b", 4, 10);
+        s.fill_residue(QUEUE);
+        assert_eq!(s.children.len(), 2);
+        assert_eq!(s.partition_violation(), None);
+    }
+
+    #[test]
+    fn partition_violation_reports_gap_overlap_and_overhang() {
+        let mut gap = Span::new("req", 0, 10);
+        gap.leaf("a", 0, 3);
+        gap.leaf("b", 5, 10);
+        assert!(gap.partition_violation().unwrap().contains("starts at 5"));
+
+        let mut short = Span::new("req", 0, 10);
+        short.leaf("a", 0, 8);
+        assert!(short.partition_violation().unwrap().contains("ends at 10"));
+
+        let mut nested = Span::new("req", 0, 10);
+        let mut mid = Span::new("noc", 0, 10);
+        mid.leaf("link:0", 0, 4); // inner gap 4..10
+        nested.push(mid);
+        assert!(nested.partition_violation().is_some());
+    }
+
+    #[test]
+    fn sampler_is_a_pure_function_of_id() {
+        let s = SpanSampler::new(0xfeed, 8);
+        let a: Vec<bool> = (0..256).map(|i| s.keep(i)).collect();
+        let b: Vec<bool> = (0..256).map(|i| s.keep(i)).collect();
+        assert_eq!(a, b);
+        let kept = a.iter().filter(|&&k| k).count();
+        // ~1/8 of 256 = 32; the seeded draw should land near it.
+        assert!((8..=80).contains(&kept), "kept {kept} of 256");
+        // one_in <= 1 keeps everything.
+        assert!((0..64).all(|i| SpanSampler::new(1, 0).keep(i)));
+        assert!((0..64).all(|i| SpanSampler::new(1, 1).keep(i)));
+    }
+
+    #[test]
+    fn segments_strip_numeric_suffixes_only() {
+        assert_eq!(segment_of("link:14"), "link");
+        assert_eq!(segment_of("dram:hit"), "dram:hit");
+        assert_eq!(segment_of("l1"), "l1");
+        assert_eq!(segment_of("ndc:gather"), "ndc:gather");
+        assert_eq!(segment_of("x:"), "x:");
+    }
+
+    #[test]
+    fn decompose_sums_leaves_by_segment() {
+        let mut root = Span::new("req", 0, 20);
+        root.leaf("l1", 0, 4);
+        let mut noc = Span::new("noc:req", 4, 16);
+        noc.leaf("link:0", 4, 7);
+        noc.leaf("link:5", 7, 12);
+        noc.leaf(QUEUE, 12, 16);
+        root.push(noc);
+        root.leaf("l2", 16, 20);
+        let d = decompose(&[trace(root)]);
+        assert_eq!(
+            d,
+            vec![
+                ("l1".to_string(), 4),
+                ("l2".to_string(), 4),
+                ("link".to_string(), 8),
+                (QUEUE.to_string(), 4),
+            ]
+        );
+        // Leaf segments account for the whole request.
+        let total: Cycle = d.iter().map(|(_, c)| *c).sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn render_tree_is_indented_and_complete() {
+        let mut root = Span::new("req", 0, 10);
+        let mut noc = Span::new("noc:req", 0, 10);
+        noc.leaf("link:3", 0, 10);
+        root.push(noc);
+        let text = render_tree(&trace(root));
+        assert_eq!(
+            text,
+            "req#7 core=2 addr=0x40 latency=10\n  req [0, 10) 10\n    noc:req [0, 10) 10\n      link:3 [0, 10) 10\n"
+        );
+    }
+}

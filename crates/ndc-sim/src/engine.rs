@@ -8,7 +8,7 @@
 //! table and the per-component service tables of `crate::ndc`.
 
 use crate::instrument::{Instrumentation, WindowObservation};
-use crate::machine::{AccessIntent, AccessPath, Machine};
+use crate::machine::{AccessIntent, AccessPath, Machine, SpanRecorder};
 use crate::ndc::{
     breakeven_by_location, resolve, windows_by_location, AbortReason, LocationPolicy, NdcOutcome,
     ResolveParams, ServiceTables,
@@ -18,6 +18,7 @@ use crate::schemes::{
     MarkovPredictor, OracleDecision, OracleGuide, Scheme, WaitBudget, WINDOW_CAP,
 };
 use crate::stats::SimResult;
+use ndc_obs::span::{Span, SpanTrace};
 use ndc_obs::{chk, CheckLevel, Event, Metrics, NullSink, ObsLevel, ObsSink, RingSink};
 use ndc_types::{Addr, ArchConfig, Cycle, InstKind, NodeId, Op, Operand, Pc, TraceProgram};
 use std::cmp::Reverse;
@@ -61,6 +62,11 @@ const _STORE_AT_CORE: () = ();
 
 /// Sentinel meaning "no window recorded yet" in [`LastWindowTable`].
 const NO_WINDOW: Cycle = Cycle::MAX;
+
+/// Span-sampling rate a `CheckLevel::full()` run uses when the caller
+/// did not request spans explicitly: enough traces to exercise the
+/// attribution invariant without recording every request.
+const CHECK_SPAN_ONE_IN: u32 = 8;
 
 /// Dense per-PC last-observed-window table for the Last-Wait predictor.
 ///
@@ -178,6 +184,10 @@ pub struct EngineOutput {
     /// Retained trace events, oldest first, when the run had a trace
     /// ring (`ObsLevel::trace_capacity > 0`).
     pub events: Vec<Event>,
+    /// Sampled per-request span traces, in request-id order, when the
+    /// run had `ObsLevel::span_one_in > 0` (or `CheckLevel::full()`,
+    /// which samples spans so the attribution invariant has input).
+    pub spans: Vec<SpanTrace>,
     /// Invariant-checker input, when the run had `CheckLevel::full()`.
     pub check: Option<CheckData>,
 }
@@ -241,6 +251,13 @@ impl<'a> Engine<'a> {
         }
         if self.check.invariants {
             machine.enable_check();
+        }
+        // Span tracing: explicit request, or the default sampling rate
+        // a checked run needs to feed the span-attribution invariant.
+        if self.obs.span_one_in > 0 {
+            machine.enable_spans(self.obs.span_one_in);
+        } else if self.check.invariants {
+            machine.enable_spans(CHECK_SPAN_ONE_IN);
         }
         // The event sink: a bounded ring when tracing, else the no-op
         // sink — either way the hot path only pays `enabled()` checks.
@@ -320,8 +337,22 @@ impl<'a> Engine<'a> {
         result.noc_queueing_cycles = machine.net.queueing_cycles;
         result.total_computes = self.prog.total_computes();
         let _ = cores;
-        let metrics = self.obs.metrics.then(|| build_metrics(&machine, &result));
+        let mut metrics = self.obs.metrics.then(|| build_metrics(&machine, &result));
+        // Ring-drop accounting: a truncated trace must say so (and say
+        // whose events were evicted), not silently shorten history.
+        if let (Some(m), Some(r)) = (metrics.as_mut(), ring.as_ref()) {
+            let obs = m.tree("obs");
+            obs.counter("events_dropped", r.dropped());
+            for (cat, n) in r.dropped_by_cat() {
+                obs.tree("events_dropped_by_cat").counter(cat, *n);
+            }
+        }
         let events = ring.map(RingSink::into_events).unwrap_or_default();
+        let spans = machine
+            .spans
+            .take()
+            .map(SpanRecorder::into_traces)
+            .unwrap_or_default();
         let check = self.check.invariants.then(|| {
             let mut evs = machine
                 .chk
@@ -362,6 +393,7 @@ impl<'a> Engine<'a> {
             instrumentation: instr,
             metrics,
             events,
+            spans,
             check,
         }
     }
@@ -744,10 +776,23 @@ impl<'a> Engine<'a> {
                         loc,
                         result_at_core,
                         wait,
+                        op_done,
                         ..
                     } => {
                         result.ndc_performed[loc.index()] += 1;
                         result.ndc_wait_cycles[loc.index()] += wait;
+                        result.ndc_offload_cycles[loc.index()] +=
+                            result_at_core.saturating_sub(issue);
+                        result.ndc_offload_samples[loc.index()] += 1;
+                        record_ndc_span(
+                            machine,
+                            c as u32,
+                            loc.paper_label(),
+                            issue,
+                            wait,
+                            op_done,
+                            result_at_core,
+                        );
                         if sink.enabled() {
                             sink.record(Event {
                                 name: format!("ndc@{}", loc.paper_label()),
@@ -897,9 +942,21 @@ impl<'a> Engine<'a> {
                 loc,
                 result_at_core,
                 wait,
+                op_done,
                 ..
             } => {
                 result.ndc_wait_cycles[loc.index()] += wait;
+                result.ndc_offload_cycles[loc.index()] += result_at_core.saturating_sub(start);
+                result.ndc_offload_samples[loc.index()] += 1;
+                record_ndc_span(
+                    machine,
+                    c as u32,
+                    loc.paper_label(),
+                    start,
+                    wait,
+                    op_done,
+                    result_at_core,
+                );
                 if sink.enabled() {
                     sink.record(Event {
                         name: format!("ndc@{}", loc.paper_label()),
@@ -943,6 +1000,33 @@ impl<'a> Engine<'a> {
             }
         }
     }
+}
+
+/// Record a performed NDC offload as a span tree: operand gather until
+/// the first arrival, the first operand's wait for the second, the
+/// one-cycle execution, and the CPU-feed carrying the result home.
+/// The segment boundaries reconstruct the resolve timing exactly
+/// (`op_done = max(t_a, t_b) + 1`, `wait = |t_a - t_b|`), so the
+/// children tile `[issue, result_at_core)` with no residue.
+fn record_ndc_span(
+    machine: &mut Machine,
+    core: u32,
+    loc_label: &str,
+    issue: Cycle,
+    wait: Cycle,
+    op_done: Cycle,
+    result_at_core: Cycle,
+) {
+    let Some(spans) = &mut machine.spans else {
+        return;
+    };
+    let first_arrival = op_done - 1 - wait;
+    let mut root = Span::new(format!("ndc@{loc_label}"), issue, result_at_core);
+    root.leaf("ndc:gather", issue, first_arrival);
+    root.leaf("ndc:wait", first_arrival, op_done - 1);
+    root.leaf("ndc:exec", op_done - 1, op_done);
+    root.leaf("noc:feed", op_done, result_at_core);
+    spans.record_span(core, root);
 }
 
 /// Record per-PC L1/L2 hit-miss outcomes from a conventional access.
@@ -1396,6 +1480,83 @@ mod tests {
         let attempts = out.result.ndc_attempts;
         let accounted = out.result.ndc_total() + out.result.ndc_abort_reasons.iter().sum::<u64>();
         assert_eq!(attempts, accounted);
+    }
+
+    #[test]
+    fn span_traces_partition_exactly_and_cost_nothing() {
+        let prog = stream_prog(4, 150);
+        let scheme = Scheme::NdcAll {
+            budget: WaitBudget::PctOfCap(50),
+        };
+        let plain = simulate(cfg(), &prog, scheme);
+        let spanned = simulate_obs(cfg(), &prog, scheme, ObsLevel::with_spans(1));
+        // Span recording is observation-only.
+        assert_eq!(plain.result.total_cycles, spanned.result.total_cycles);
+        assert_eq!(plain.result.per_core_cycles, spanned.result.per_core_cycles);
+        assert!(plain.spans.is_empty());
+        assert!(!spanned.spans.is_empty());
+        // Every trace satisfies the exact-partition contract: summing
+        // the children of any span reproduces its duration.
+        for t in &spanned.spans {
+            assert_eq!(
+                t.root.partition_violation(),
+                None,
+                "{}",
+                ndc_obs::span::render_tree(t)
+            );
+            let sum: Cycle = t.root.children.iter().map(Span::dur).sum();
+            assert_eq!(sum, t.latency());
+        }
+        // Performed offloads show up as ndc@<loc> execution spans.
+        assert!(spanned.result.ndc_total() > 0);
+        assert!(spanned
+            .spans
+            .iter()
+            .any(|t| t.root.label.starts_with("ndc@")));
+    }
+
+    #[test]
+    fn span_sampling_is_deterministic_and_check_level_collects_spans() {
+        let prog = stream_prog(4, 150);
+        let scheme = Scheme::NdcAll {
+            budget: WaitBudget::PctOfCap(50),
+        };
+        let a = simulate_obs(cfg(), &prog, scheme, ObsLevel::with_spans(8));
+        let b = simulate_obs(cfg(), &prog, scheme, ObsLevel::with_spans(8));
+        // Sampling keys on the request id alone: identical trace sets.
+        assert_eq!(a.spans, b.spans);
+        let full = simulate_obs(cfg(), &prog, scheme, ObsLevel::with_spans(1));
+        assert!(a.spans.len() < full.spans.len());
+        // CheckLevel::full() auto-enables sampled spans so the
+        // span-attribution invariant has material to verify.
+        let checked = simulate_checked(cfg(), &prog, scheme);
+        assert!(!checked.spans.is_empty());
+        for t in &checked.spans {
+            assert_eq!(t.root.partition_violation(), None);
+        }
+    }
+
+    #[test]
+    fn offload_cycle_counters_cover_every_performed_ndc() {
+        let prog = stream_prog(8, 150);
+        let out = simulate(
+            cfg(),
+            &prog,
+            Scheme::NdcAll {
+                budget: WaitBudget::PctOfCap(50),
+            },
+        );
+        assert!(out.result.ndc_total() > 0);
+        assert_eq!(out.result.ndc_offload_samples, out.result.ndc_performed);
+        for loc in ndc_types::ALL_NDC_LOCATIONS {
+            let n = out.result.ndc_offload_samples[loc.index()];
+            if n > 0 {
+                // Mean issue→result latency is at least the one-cycle op.
+                assert!(out.result.mean_offload_at(loc) >= 1.0);
+            } else {
+                assert_eq!(out.result.mean_offload_at(loc), 0.0);
+            }
+        }
     }
 
     #[test]

@@ -34,10 +34,11 @@ pub mod stats;
 
 pub use engine::{simulate, simulate_checked, simulate_obs, CheckData, Engine, EngineOutput};
 pub use instrument::{BreakevenInfo, Instrumentation, WindowObservation};
-pub use machine::{AccessPath, CheckRecorder, Machine};
+pub use machine::{AccessPath, CheckRecorder, Machine, SpanRecorder, SPAN_SEED};
 pub use ndc::{NdcOutcome, NdcResolution, ALL_ABORT_REASONS};
 pub use report::build_metrics;
 pub use schemes::{Scheme, WaitBudget};
 pub use stats::SimResult;
 
+pub use ndc_obs::span::{decompose, render_tree, Span, SpanTrace};
 pub use ndc_obs::{CheckLevel, ObsLevel};

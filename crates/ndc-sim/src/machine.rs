@@ -9,8 +9,9 @@
 //! the paper's arrival-window instrumentation (Figure 2) and for NDC
 //! package resolution.
 
-use ndc_mem::{AccessOutcome, Directory, MemoryController, SetAssocCache};
+use ndc_mem::{AccessOutcome, Directory, MemoryController, RowOutcome, SetAssocCache};
 use ndc_noc::{LinkTraversal, Mesh, Network, Route};
+use ndc_obs::span::{Span, SpanSampler, SpanTrace, QUEUE, STALL};
 use ndc_obs::{chk, Event};
 use ndc_types::{Addr, ArchConfig, Cycle, NodeId};
 
@@ -47,6 +48,8 @@ pub struct MemLeg {
     /// Data leaves the device.
     pub completion: Cycle,
     pub dram_bank: u32,
+    /// Row-buffer outcome of the DRAM access.
+    pub row: RowOutcome,
 }
 
 /// Complete record of one access.
@@ -67,6 +70,13 @@ pub struct AccessPath {
     /// operand's *data* was present on the network, for link-buffer
     /// window measurement.
     pub data_links: Vec<LinkTraversal>,
+    /// Request-leg link traversals (core → home L2 bank).
+    pub req_links: Vec<LinkTraversal>,
+    /// MC-request-leg link traversals (home bank → memory controller).
+    pub mc_links: Vec<LinkTraversal>,
+    /// How many of `data_links` belong to the refill leg (MC → bank);
+    /// the rest are the reply leg (bank → core).
+    pub refill_links: usize,
 }
 
 impl AccessPath {
@@ -140,6 +150,165 @@ impl CheckRecorder {
     }
 }
 
+/// Seed of the span sampler: fixed so the sampled-request set is a
+/// property of the run, not of the environment.
+pub const SPAN_SEED: u64 = 0x005e_ed0f_5a2a_2021;
+
+/// Builds exact-partition span trees ([`ndc_obs::span`]) from completed
+/// [`AccessPath`]s. Requests are numbered in issue order (identical at
+/// any thread count — each simulation is single-threaded) and sampled
+/// deterministically by id, so the collected traces are byte-identical
+/// across `NDC_THREADS`.
+#[derive(Debug)]
+pub struct SpanRecorder {
+    sampler: SpanSampler,
+    traces: Vec<SpanTrace>,
+    next_id: u64,
+    l1_latency: Cycle,
+    l2_latency: Cycle,
+}
+
+impl SpanRecorder {
+    pub fn new(cfg: &ArchConfig, one_in: u32) -> SpanRecorder {
+        SpanRecorder {
+            sampler: SpanSampler::new(SPAN_SEED, one_in),
+            traces: Vec::new(),
+            next_id: 0,
+            l1_latency: cfg.l1.latency,
+            l2_latency: cfg.l2.latency,
+        }
+    }
+
+    /// Turn one access path into a span tree, if its id is sampled.
+    ///
+    /// Construction mirrors the timing chain of
+    /// [`Machine::access`] exactly — `traverse` guarantees each hop's
+    /// entry is at or after the previous hop's exit, and the DRAM
+    /// queue-enter equals the MC-request arrival — so every child
+    /// level tiles its parent with only labelled `queue`/`stall`
+    /// residue (the invariant `ndc-check` asserts).
+    pub fn record_path(&mut self, path: &AccessPath) {
+        let id = self.next_id;
+        self.next_id += 1;
+        if !self.sampler.keep(id) {
+            return;
+        }
+        let mut root = Span::new("req", path.issued, path.completion);
+        if path.l1_hit {
+            root.leaf("l1", path.issued, path.completion);
+        } else {
+            root.leaf("l1", path.issued, path.issued + self.l1_latency);
+            if let Some(l2) = &path.l2 {
+                push_noc_span(
+                    &mut root,
+                    "noc:req",
+                    path.issued + self.l1_latency,
+                    l2.req_arrival,
+                    &path.req_links,
+                );
+                root.leaf("l2", l2.req_arrival, l2.req_arrival + self.l2_latency);
+                if let Some(mem) = &path.mem {
+                    push_noc_span(
+                        &mut root,
+                        "noc:mc_req",
+                        l2.req_arrival + self.l2_latency,
+                        mem.queue_enter,
+                        &path.mc_links,
+                    );
+                    let mut mc = Span::new("mc", mem.queue_enter, mem.completion);
+                    mc.leaf(
+                        format!("dram:{}", mem.row.label()),
+                        mem.service_start,
+                        mem.completion,
+                    );
+                    mc.fill_residue(QUEUE);
+                    root.push(mc);
+                    push_noc_span(
+                        &mut root,
+                        "noc:refill",
+                        mem.completion,
+                        l2.data_at_bank,
+                        &path.data_links[..path.refill_links],
+                    );
+                }
+                if path.completion > l2.data_at_bank {
+                    // Conventional reply: bank → core, then the L1 fill.
+                    push_noc_span(
+                        &mut root,
+                        "noc:reply",
+                        l2.data_at_bank,
+                        path.completion - self.l1_latency,
+                        &path.data_links[path.refill_links..],
+                    );
+                    root.leaf("l1", path.completion - self.l1_latency, path.completion);
+                }
+            }
+        }
+        // The chain above is gap-free by construction; any residue an
+        // edge case leaves is attributed explicitly, never lost.
+        root.fill_residue(STALL);
+        self.traces.push(SpanTrace {
+            id,
+            core: path.core.index() as u32,
+            addr: path.addr,
+            root,
+        });
+    }
+
+    /// Record one NDC execution as a pre-built root span (the engine
+    /// owns offload timing; the recorder owns ids and sampling). The
+    /// span is sampled under the same id space as memory requests.
+    pub fn record_span(&mut self, core: u32, root: Span) {
+        let id = self.next_id;
+        self.next_id += 1;
+        if !self.sampler.keep(id) {
+            return;
+        }
+        let mut root = root;
+        root.fill_residue(STALL);
+        self.traces.push(SpanTrace {
+            id,
+            core,
+            addr: 0,
+            root,
+        });
+    }
+
+    /// Requests considered so far (sampled or not).
+    pub fn requests(&self) -> u64 {
+        self.next_id
+    }
+
+    pub fn traces(&self) -> &[SpanTrace] {
+        &self.traces
+    }
+
+    pub fn into_traces(self) -> Vec<SpanTrace> {
+        self.traces
+    }
+}
+
+/// Append a `label` span covering `[start, end)` whose children are the
+/// given link hops plus explicit `queue` residue. Zero-width legs
+/// (zero-hop routes) are skipped entirely.
+fn push_noc_span(
+    parent: &mut Span,
+    label: &str,
+    start: Cycle,
+    end: Cycle,
+    links: &[LinkTraversal],
+) {
+    if start == end && links.is_empty() {
+        return;
+    }
+    let mut noc = Span::new(label, start, end);
+    for l in links {
+        noc.leaf(format!("link:{}", l.link.index()), l.enter, l.exit);
+    }
+    noc.fill_residue(QUEUE);
+    parent.push(noc);
+}
+
 /// The simulated machine: caches, directory, network, controllers.
 pub struct Machine {
     pub cfg: ArchConfig,
@@ -151,6 +320,8 @@ pub struct Machine {
     /// Check-event recorder; `None` (the default) keeps `access` on its
     /// original path apart from one branch.
     pub chk: Option<CheckRecorder>,
+    /// Span-trace recorder; `None` (the default) costs one branch.
+    pub spans: Option<SpanRecorder>,
 }
 
 impl Machine {
@@ -167,6 +338,7 @@ impl Machine {
                 .map(|_| MemoryController::new(cfg))
                 .collect(),
             chk: None,
+            spans: None,
         }
     }
 
@@ -178,6 +350,15 @@ impl Machine {
             self.chk = Some(CheckRecorder::default());
         }
         self.net.enable_check_log();
+    }
+
+    /// Switch on span tracing (idempotent): one request in `one_in` is
+    /// sampled deterministically by id and its full path recorded as an
+    /// exact-partition span tree.
+    pub fn enable_spans(&mut self, one_in: u32) {
+        if self.spans.is_none() {
+            self.spans = Some(SpanRecorder::new(&self.cfg, one_in));
+        }
     }
 
     pub fn mesh(&self) -> &Mesh {
@@ -202,6 +383,9 @@ impl Machine {
         if let Some(chk) = &mut self.chk {
             chk.record_path(&path);
         }
+        if let Some(spans) = &mut self.spans {
+            spans.record_path(&path);
+        }
         path
     }
 
@@ -224,6 +408,9 @@ impl Machine {
             l2: None,
             mem: None,
             data_links: Vec::new(),
+            req_links: Vec::new(),
+            mc_links: Vec::new(),
+            refill_links: 0,
         };
         let width = self.cfg.noc.width;
         let core_coord = core.coord(width);
@@ -266,6 +453,7 @@ impl Machine {
         let req_route = self.mesh().xy_route(core_coord, home_coord);
         let req = self.net.traverse(&req_route, now + l1_latency, REQ_BYTES);
         let req_arrival = req.arrived;
+        path.req_links = req.links;
 
         // --- L2 bank ---
         let l2_latency = self.cfg.l2.latency;
@@ -281,12 +469,14 @@ impl Machine {
                     .net
                     .traverse(&to_mc, req_arrival + l2_latency, REQ_BYTES);
                 let dram = self.mcs[mc as usize].request(addr, mc_req.arrived);
+                path.mc_links = mc_req.links;
                 // Refill back to the bank (carries the L2 line).
                 let refill_route = self.mesh().xy_route(mc_coord, home_coord);
                 let refill =
                     self.net
                         .traverse(&refill_route, dram.completion, self.cfg.l2.line_bytes);
                 path.data_links.extend(refill.links.iter().copied());
+                path.refill_links = refill.links.len();
                 path.mem = Some(MemLeg {
                     mc,
                     mc_node,
@@ -294,6 +484,7 @@ impl Machine {
                     service_start: dram.service_start,
                     completion: dram.completion,
                     dram_bank: dram.bank,
+                    row: dram.row,
                 });
                 (false, refill.arrived)
             }
@@ -611,6 +802,91 @@ mod tests {
         assert_eq!(evs.last().unwrap().name, chk::RETIRE);
         // The network flit log is on too.
         assert!(!m.net.check_log().unwrap().is_empty());
+    }
+
+    #[test]
+    fn span_recorder_partitions_every_sampled_path_exactly() {
+        let mut m = machine();
+        m.enable_spans(1); // sample everything
+        let cold = m.access(NodeId(7), 0x50000, 10, false, AccessIntent::ToCore, None);
+        m.access(
+            NodeId(7),
+            0x50000,
+            cold.completion,
+            false,
+            AccessIntent::ToCore,
+            None,
+        ); // L1 hit
+        m.access(NodeId(3), 0x60000, 20, false, AccessIntent::NearData, None);
+        let rec = m.spans.as_ref().unwrap();
+        assert_eq!(rec.requests(), 3);
+        assert_eq!(rec.traces().len(), 3);
+        for t in rec.traces() {
+            assert_eq!(t.root.partition_violation(), None, "{t:?}");
+        }
+        // The cold miss went through DRAM: its tree names the full
+        // path, ending with the L1 fill.
+        let full = &rec.traces()[0];
+        assert_eq!(full.root.start, cold.issued);
+        assert_eq!(full.root.end, cold.completion);
+        let labels: Vec<&str> = full
+            .root
+            .children
+            .iter()
+            .map(|c| c.label.as_str())
+            .collect();
+        assert_eq!(
+            labels,
+            [
+                "l1",
+                "noc:req",
+                "l2",
+                "noc:mc_req",
+                "mc",
+                "noc:refill",
+                "noc:reply",
+                "l1"
+            ]
+        );
+        let mc = &full.root.children[4];
+        assert!(mc.children.iter().any(|c| c.label.starts_with("dram:")));
+        // The L1 hit is one leaf covering the whole request.
+        let hit = &rec.traces()[1];
+        assert_eq!(hit.root.children.len(), 1);
+        assert_eq!(hit.root.children[0].label, "l1");
+        // NearData ends at the bank: no reply leg.
+        let near = &rec.traces()[2];
+        assert!(!near.root.children.iter().any(|c| c.label == "noc:reply"));
+    }
+
+    #[test]
+    fn span_sampling_thins_but_keeps_ids_stable() {
+        let run = |one_in: u32| -> Vec<u64> {
+            let mut m = machine();
+            m.enable_spans(one_in);
+            for i in 0..64u64 {
+                m.access(
+                    NodeId((i % 25) as u16),
+                    0x1000 * i,
+                    i * 10,
+                    false,
+                    AccessIntent::ToCore,
+                    None,
+                );
+            }
+            m.spans
+                .unwrap()
+                .into_traces()
+                .iter()
+                .map(|t| t.id)
+                .collect()
+        };
+        let all = run(1);
+        assert_eq!(all.len(), 64);
+        let sampled = run(4);
+        assert!(sampled.len() < 64 && !sampled.is_empty());
+        // Sampled ids are a subset of the full id space, stable per run.
+        assert_eq!(sampled, run(4));
     }
 
     #[test]

@@ -61,6 +61,13 @@ pub struct SimResult {
     /// (per location index) for performed NDC — the "how long can we
     /// tolerate to wait" quantity of §1.
     pub ndc_wait_cycles: [u64; 4],
+    /// Total issue→result-at-core cycles of performed NDC, per location
+    /// index — the measured side of the compiler's offload cost model
+    /// (`ndc-eval explain`).
+    pub ndc_offload_cycles: [u64; 4],
+    /// Number of performed NDC contributing to
+    /// [`SimResult::ndc_offload_cycles`], per location index.
+    pub ndc_offload_samples: [u64; 4],
     /// NoC traffic stats.
     pub noc_messages: u64,
     pub noc_queueing_cycles: u64,
@@ -131,6 +138,18 @@ impl SimResult {
             0.0
         } else {
             self.ndc_wait_cycles[loc.index()] as f64 / n as f64
+        }
+    }
+
+    /// Mean issue→result-at-core latency (cycles) of NDC performed at
+    /// a location — the measured quantity the compiler's offload
+    /// estimate is checked against.
+    pub fn mean_offload_at(&self, loc: NdcLocation) -> f64 {
+        let n = self.ndc_offload_samples[loc.index()];
+        if n == 0 {
+            0.0
+        } else {
+            self.ndc_offload_cycles[loc.index()] as f64 / n as f64
         }
     }
 
@@ -213,6 +232,18 @@ mod tests {
         assert!((r.mean_wait_at(NdcLocation::LinkBuffer) - 10.0).abs() < 1e-12);
         assert!((r.mean_wait_at(NdcLocation::MemoryController) - 2.5).abs() < 1e-12);
         assert_eq!(r.mean_wait_at(NdcLocation::CacheController), 0.0);
+    }
+
+    #[test]
+    fn mean_offload_is_per_location() {
+        let r = SimResult {
+            ndc_offload_cycles: [900, 0, 0, 120],
+            ndc_offload_samples: [3, 0, 0, 2],
+            ..Default::default()
+        };
+        assert!((r.mean_offload_at(NdcLocation::LinkBuffer) - 300.0).abs() < 1e-12);
+        assert!((r.mean_offload_at(NdcLocation::MemoryBank) - 60.0).abs() < 1e-12);
+        assert_eq!(r.mean_offload_at(NdcLocation::CacheController), 0.0);
     }
 
     #[test]

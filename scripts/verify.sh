@@ -11,7 +11,7 @@ echo "== build (release, offline) =="
 cargo build --release --offline --workspace
 
 echo "== clippy (deny warnings) =="
-cargo clippy --offline --workspace -- -D warnings
+cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "== rustfmt (check) =="
 cargo fmt --check
@@ -51,7 +51,26 @@ if ! diff -q "$f13a" "$f13b" > /dev/null; then
 fi
 echo "ok: fig13 output bit-identical across thread counts"
 
+echo "== determinism: explain NDC_THREADS=1 vs NDC_THREADS=8 =="
+ex1=$(mktemp) && ex8=$(mktemp)
+trap 'rm -f "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b" "$ex1" "$ex8"' EXIT
+NDC_THREADS=1 "$EVAL" explain --scale test --bench kdtree > "$ex1"
+NDC_THREADS=8 "$EVAL" explain --scale test --bench kdtree > "$ex8"
+if ! diff -q "$ex1" "$ex8" > /dev/null; then
+    echo "FAIL: explain output differs across thread counts" >&2
+    diff "$ex1" "$ex8" | head -20 >&2
+    exit 1
+fi
+echo "ok: explain spans/provenance bit-identical across thread counts"
+
+# The `check` stage below also runs the span-attribution invariant:
+# CheckLevel::full() samples request spans and asserts child spans +
+# queue/stall residue sum exactly to each root latency.
 echo "== correctness layer: oracle + invariants + fault matrix =="
 "$EVAL" check --scale test
+
+echo "== bench harness smoke (appends BENCH_fig4_schemes.json) =="
+NDC_BENCH_FAST=1 cargo bench --offline -p bench --bench fig4_schemes
+test -s BENCH_fig4_schemes.json || { echo "FAIL: BENCH_fig4_schemes.json missing" >&2; exit 1; }
 
 echo "== all checks passed =="

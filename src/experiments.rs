@@ -15,11 +15,14 @@
 //! so the per-scheme level only spawns when a benchmark is evaluated
 //! on its own (e.g. `ndc-eval fig4 --bench swim`).
 
-use ndc_cme::{accuracy_against_sim, AccuracyReport, RefKey};
+use ndc_cme::{
+    accuracy_against_sim, offload_accuracy, AccuracyReport, OffloadAccuracyReport, RefKey,
+};
 use ndc_compiler::{
     compile_algorithm1, compile_algorithm2, compile_coarse, Algorithm2Options, CompilerReport,
 };
 use ndc_ir::{lower, LowerOptions, Program};
+use ndc_obs::span::SpanTrace;
 use ndc_obs::{Event, Metrics, ObsLevel};
 use ndc_sim::engine::{simulate, simulate_obs, Engine};
 use ndc_sim::instrument::Instrumentation;
@@ -605,6 +608,101 @@ pub fn table2(evals: &[BenchmarkEvaluation]) -> Vec<(String, AccuracyReport)> {
 }
 
 // ---------------------------------------------------------------------
+// `ndc-eval explain`: causal span traces joined with the compiler's
+// decision provenance and the offload cost-model cross-check.
+// ---------------------------------------------------------------------
+
+/// Default span sampling rate for `explain` sweeps: one request in 64,
+/// enough material for decomposition without unbounded trace memory.
+pub const EXPLAIN_SAMPLE_ONE_IN: u32 = 64;
+
+/// Everything `ndc-eval explain` reports for one benchmark: the
+/// Algorithm 2 compiled run with span tracing on, the compiler's
+/// per-chain decision provenance, and the predicted-vs-measured
+/// offload-latency cross-check.
+pub struct ExplainReport {
+    pub name: String,
+    /// The compiled (Algorithm 2) run the spans were sampled from.
+    pub result: SimResult,
+    /// Compiler report carrying the per-chain [`ndc_compiler::ChainProvenance`].
+    pub compiler: CompilerReport,
+    /// Sampled span traces (deterministic in the request id).
+    pub spans: Vec<SpanTrace>,
+    /// Predicted-vs-measured offload cycles per NDC location.
+    pub offload: OffloadAccuracyReport,
+}
+
+impl ExplainReport {
+    /// The `k` slowest sampled requests, slowest first (ties broken by
+    /// request id, so the order is deterministic).
+    pub fn top_slowest(&self, k: usize) -> Vec<&SpanTrace> {
+        let mut refs: Vec<&SpanTrace> = self.spans.iter().collect();
+        refs.sort_by(|a, b| b.latency().cmp(&a.latency()).then(a.id.cmp(&b.id)));
+        refs.truncate(k);
+        refs
+    }
+}
+
+/// Mean predicted offload cycles per location over every chain the
+/// planner assessed (the candidate tables of the provenance) — the
+/// predicted side of the cost-model cross-check.
+pub fn predicted_offload_means(report: &CompilerReport) -> [f64; 4] {
+    let mut sum = [0.0; 4];
+    let mut n = [0u64; 4];
+    for chain in &report.provenance {
+        for c in &chain.candidates {
+            sum[c.location.index()] += c.predicted_cycles;
+            n[c.location.index()] += 1;
+        }
+    }
+    let mut out = [0.0; 4];
+    for i in 0..4 {
+        if n[i] > 0 {
+            out[i] = sum[i] / n[i] as f64;
+        }
+    }
+    out
+}
+
+/// Compile one benchmark with Algorithm 2, run it with span tracing at
+/// `one_in`, and join spans, provenance, and the offload cross-check.
+pub fn explain_benchmark(
+    bench: &Benchmark,
+    cfg: ArchConfig,
+    scale: Scale,
+    one_in: u32,
+) -> ExplainReport {
+    let prog = bench.build(scale);
+    let cores = cfg.nodes();
+    let opts = LowerOptions {
+        cores,
+        emit_busy: true,
+    };
+    let (sched, compiler) = compile_algorithm2(&prog, &cfg, cores, Algorithm2Options::default());
+    let traces = lower(&prog, &opts, Some(&sched));
+    let out = simulate_obs(cfg, &traces, Scheme::Compiled, ObsLevel::with_spans(one_in));
+    let offload = offload_accuracy(
+        predicted_offload_means(&compiler),
+        out.result.ndc_offload_cycles,
+        out.result.ndc_offload_samples,
+    );
+    ExplainReport {
+        name: bench.name.to_string(),
+        result: out.result,
+        compiler,
+        spans: out.spans,
+        offload,
+    }
+}
+
+/// [`explain_benchmark`] over all 20 benchmarks (ndc-par fan-out,
+/// ordered results) — the rows of the explain error table.
+pub fn explain_all(cfg: ArchConfig, scale: Scale, one_in: u32) -> Vec<ExplainReport> {
+    let benches = all_benchmarks();
+    ndc_par::parallel_map(&benches, |b| explain_benchmark(b, cfg, scale, one_in))
+}
+
+// ---------------------------------------------------------------------
 // Ablations.
 // ---------------------------------------------------------------------
 
@@ -854,6 +952,37 @@ mod tests {
         // The plain path is unaffected and timing-identical.
         let plain = evaluate_benchmark(&bench, ArchConfig::paper_default(), Scale::Test);
         assert_eq!(plain.baseline.total_cycles, e.baseline.total_cycles);
+    }
+
+    #[test]
+    fn explain_joins_spans_provenance_and_accuracy() {
+        let bench = ndc_workloads::by_name("kdtree").unwrap();
+        let rep = explain_benchmark(&bench, ArchConfig::paper_default(), Scale::Test, 1);
+        assert!(!rep.spans.is_empty());
+        for t in &rep.spans {
+            assert_eq!(t.root.partition_violation(), None);
+        }
+        // kdtree plans chains, so provenance carries candidate tables.
+        assert!(rep
+            .compiler
+            .provenance
+            .iter()
+            .any(|p| !p.candidates.is_empty()));
+        // Performed offloads yield measured means the predictions pair
+        // against.
+        assert!(rep.result.ndc_total() > 0);
+        let measured: u64 = rep.offload.per_location.iter().map(|a| a.samples).sum();
+        assert_eq!(measured, rep.result.ndc_total());
+        // Top-slowest is ordered and bounded.
+        let top = rep.top_slowest(5);
+        assert!(top.len() <= 5);
+        for w in top.windows(2) {
+            assert!(w[0].latency() >= w[1].latency());
+        }
+        // Predicted means cover the locations candidates were scored
+        // at.
+        let pred = predicted_offload_means(&rep.compiler);
+        assert!(pred.iter().any(|&p| p > 0.0));
     }
 
     #[test]

@@ -138,7 +138,7 @@ fn gen_trace_program(g: &mut SplitMix64) -> TraceProgram {
 #[test]
 fn compiled_programs_always_preserve_semantics() {
     let cfg = ArchConfig::paper_default();
-    for_each_case(0x9_0b_1, |i, g| {
+    for_each_case(0x90b1, |i, g| {
         let prog = gen_program(g);
         let (s1, _) = compile_algorithm1(&prog, &cfg, cfg.nodes());
         let (s2, _) = compile_algorithm2(&prog, &cfg, cfg.nodes(), Algorithm2Options::default());
@@ -158,7 +158,7 @@ fn compiled_programs_always_preserve_semantics() {
 #[test]
 fn lowering_preserves_compute_population() {
     let cfg = ArchConfig::paper_default();
-    for_each_case(0x9_0b_2, |i, g| {
+    for_each_case(0x90b2, |i, g| {
         let prog = gen_program(g);
         let opts = LowerOptions {
             cores: cfg.nodes(),
@@ -177,7 +177,7 @@ fn lowering_preserves_compute_population() {
 #[test]
 fn simulator_accounting_is_closed() {
     let cfg = ArchConfig::paper_default();
-    for_each_case(0x9_0b_3, |i, g| {
+    for_each_case(0x90b3, |i, g| {
         let prog = gen_program(g);
         let opts = LowerOptions {
             cores: cfg.nodes(),
@@ -212,7 +212,7 @@ fn simulator_accounting_is_closed() {
 #[test]
 fn two_dimensional_programs_compile_safely() {
     let cfg = ArchConfig::paper_default();
-    for_each_case(0x9_0b_4, |i, g| {
+    for_each_case(0x90b4, |i, g| {
         let prog = gen_program_2d(g);
         let (s1, _) = compile_algorithm1(&prog, &cfg, cfg.nodes());
         let (s2, _) = compile_algorithm2(&prog, &cfg, cfg.nodes(), Algorithm2Options::default());
@@ -239,7 +239,7 @@ fn two_dimensional_programs_compile_safely() {
 #[test]
 fn two_dimensional_simulation_accounting() {
     let cfg = ArchConfig::paper_default();
-    for_each_case(0x9_0b_5, |i, g| {
+    for_each_case(0x90b5, |i, g| {
         let prog = gen_program_2d(g);
         let opts = LowerOptions {
             cores: cfg.nodes(),
@@ -259,7 +259,7 @@ fn two_dimensional_simulation_accounting() {
 #[test]
 fn engine_is_total_and_deterministic_on_fuzzed_traces() {
     let cfg = ArchConfig::paper_default();
-    for_each_case(0x9_0b_6, |i, g| {
+    for_each_case(0x90b6, |i, g| {
         let prog = gen_trace_program(g);
         for scheme in [
             Scheme::Baseline,
