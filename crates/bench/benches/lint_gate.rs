@@ -1,0 +1,56 @@
+//! Cost and payoff of lint-gated candidate pruning.
+//!
+//! `sweep_workload` skips statically-illegal candidates without
+//! executing them; the ungated variant executes everything and
+//! cross-checks lint against the oracle. The gap between the two is the
+//! sweep speedup static pruning buys — largest on wavefront workloads
+//! (applu, smith.wa) where most candidates are illegal and every
+//! skipped candidate saves two full interpreter runs. The micro rows
+//! price the lint passes themselves.
+
+use bench::Harness;
+use ndc::check::{sweep_workload_with, SweepOptions};
+use ndc::prelude::*;
+
+fn main() {
+    let cfg = ArchConfig::paper_default();
+    let mut h = Harness::new("lint_gate");
+
+    for name in ["applu", "smith.wa"] {
+        let prog = by_name(name).unwrap().build_timesteps(Scale::Test, 1);
+        h.bench(&format!("sweep_gated_{name}"), || {
+            sweep_workload_with(
+                &prog,
+                SweepOptions {
+                    max_skew: 1,
+                    lint_gate: true,
+                },
+            )
+            .legal_checked
+        });
+        h.bench(&format!("sweep_ungated_{name}"), || {
+            sweep_workload_with(
+                &prog,
+                SweepOptions {
+                    max_skew: 1,
+                    lint_gate: false,
+                },
+            )
+            .legal_checked
+        });
+    }
+
+    let prog = by_name("smith.wa").unwrap().build_timesteps(Scale::Test, 1);
+    let (sched, _) = compile_algorithm2(&prog, &cfg, cfg.nodes(), Algorithm2Options::default());
+    h.bench("lint_schedule_smith.wa", || {
+        ndc::lint::lint_schedule(&prog, &sched).errors.len()
+    });
+    h.bench("refine_smith.wa", || {
+        prog.nests
+            .iter()
+            .map(|n| ndc::lint::refine(n).0.edges.len())
+            .sum::<usize>()
+    });
+
+    h.finish();
+}

@@ -21,7 +21,8 @@
 //!   ablation-routing  router NDC with vs without route reshaping
 //!   ablation-coarse   fine-grain vs whole-nest mapping
 //!   check             differential oracle + simulator invariants + fault matrix
-//!   all               everything above in sequence (except check)
+//!   lint              static legality: certificates, bounds proofs, race report
+//!   all               everything above in sequence (except check and lint)
 //!   help              full usage (also -h / --help)
 //! ```
 //!
@@ -96,7 +97,8 @@ fn usage() {
     println!("  ablation-markov   Markov window predictor vs Last-Wait");
     println!("  ablation-layout   data-layout optimization before Algorithm 2");
     println!("  check             differential oracle + simulator invariants + fault matrix");
-    println!("  all               everything above in sequence (except check)");
+    println!("  lint              static legality: certificates, bounds proofs, race report");
+    println!("  all               everything above in sequence (except check and lint)");
     println!("  help              this text (also -h / --help)");
     println!();
     println!("flags:");
@@ -192,6 +194,7 @@ fn main() {
         "ablation-markov" => ablation_markov(&args, cfg),
         "ablation-layout" => ablation_layout(&args, cfg),
         "check" => check_cmd(&args, cfg),
+        "lint" => lint_cmd(&args, cfg),
         "all" => {
             table1(&cfg);
             let evals = eval_benches(&args, cfg);
@@ -958,6 +961,184 @@ fn check_cmd(args: &Args, cfg: ArchConfig) {
     }
     println!("check: oracle clean, all invariants hold, every fault class detected");
     println!();
+}
+
+/// `lint`: run the static legality layer — IR verifier, affine bounds
+/// prover, GCD/Banerjee refinement, `T·D` certificate engine, and race
+/// detector — over every selected workload and both compiled schedules,
+/// then the schedule-fault matrix proving each injected compiler bug
+/// class draws exactly the lint error that guards against it. Exits 1
+/// on any lint error, unproven bound, failed certificate
+/// re-verification, or missed fault; output is deterministic for any
+/// `NDC_THREADS`.
+///
+/// With `--bench` the per-workload detail is printed too: each
+/// certificate's witnesses, the race report, and a deliberately-illegal
+/// candidate transform with its printed certificate failure.
+fn lint_cmd(args: &Args, cfg: ArchConfig) {
+    println!("== Lint: static legality of every workload and shipped schedule ==");
+    let list = benches(&args.bench);
+    let mut failed = false;
+
+    println!(
+        "{:<10} {:<5} {:>7} {:>9} {:>8} {:>6} {:>6} {:>11}  result",
+        "bench", "alg", "errors", "unproven", "refined", "races", "certs", "transforms"
+    );
+    let rows = ndc_par::parallel_map(&list, |b| {
+        let prog = b.build_timesteps(args.scale, 1);
+        let (s1, r1) = compile_algorithm1(&prog, &cfg, cfg.nodes());
+        let (s2, r2) = compile_algorithm2(&prog, &cfg, cfg.nodes(), Algorithm2Options::default());
+        let out = [("alg1", s1, r1), ("alg2", s2, r2)].map(|(alg, sched, rep)| {
+            let lint = ndc::lint::lint_schedule(&prog, &sched);
+            // Every certificate the compiler attached must re-verify
+            // independently against the IR — not just lint cleanly.
+            let certs_ok = rep.certificates.iter().all(|c| {
+                prog.nests
+                    .iter()
+                    .find(|n| n.id == c.nest)
+                    .is_some_and(|n| ndc::lint::verify_certificate(n, c).is_ok())
+            });
+            (alg, rep.transforms_applied, lint, certs_ok)
+        });
+        (prog, out)
+    });
+    for (_, out) in &rows {
+        for (alg, transforms, lint, certs_ok) in out {
+            let ok = lint.accepted() && *certs_ok;
+            if !ok {
+                failed = true;
+            }
+            println!(
+                "{:<10} {:<5} {:>7} {:>9} {:>8} {:>6} {:>6} {:>11}  {}",
+                lint.workload,
+                alg,
+                lint.errors.len(),
+                lint.unproven_bounds(),
+                lint.refine.total(),
+                lint.races.len(),
+                lint.certificates.len(),
+                transforms,
+                if ok { "ok" } else { "REJECTED" }
+            );
+            for e in &lint.errors {
+                println!("    {e}");
+            }
+            if !certs_ok {
+                println!("    certificate re-verification FAILED");
+            }
+        }
+    }
+
+    println!();
+    println!("-- schedule-fault matrix: corrupted schedules must draw their lint error --");
+    println!("{:<24} {:<10} {:<26}  result", "fault", "bench", "expected");
+    for (k, fault) in ndc::check::ALL_SCHEDULE_FAULTS.iter().enumerate() {
+        // First selected workload with an injection site (deterministic).
+        let mut drawn = None;
+        for (prog, _) in &rows {
+            let mut sched = Schedule::default();
+            if !ndc::check::inject_schedule(prog, &mut sched, *fault, 0xC0FFEE + k as u64) {
+                continue;
+            }
+            let report = ndc::lint::lint_schedule(prog, &sched);
+            let hit = report
+                .errors
+                .iter()
+                .any(|e| e.label() == fault.expected_lint());
+            drawn = Some((prog.name.clone(), hit));
+            break;
+        }
+        let (bench, hit) = drawn.unwrap_or(("-".into(), false));
+        if !hit {
+            failed = true;
+        }
+        println!(
+            "{:<24} {:<10} {:<26}  {}",
+            fault.label(),
+            bench,
+            fault.expected_lint(),
+            if hit { "drawn" } else { "MISSED" }
+        );
+    }
+
+    if args.bench.is_some() {
+        lint_detail(&rows[0].0, &rows[0].1);
+    }
+
+    println!();
+    if failed {
+        println!("lint: FAILED");
+        std::process::exit(1);
+    }
+    println!("lint: all schedules certified, all bounds proven, every fault class drawn");
+    println!();
+}
+
+/// The `--bench` detail of [`lint_cmd`]: certificate witnesses, the
+/// race report, and a deliberately-illegal transform with its printed
+/// certificate failure.
+fn lint_detail(prog: &Program, out: &[(&str, u64, ndc::lint::LintReport, bool); 2]) {
+    println!();
+    println!("-- {}: certificates (alg1/alg2) --", prog.name);
+    let mut any = false;
+    for (alg, _, lint, _) in out {
+        for cert in &lint.certificates {
+            any = true;
+            println!(
+                "{alg}: nest {} transform {:?}: {} witnesses, {} edges refined away",
+                cert.nest.0,
+                cert.transform,
+                cert.witnesses.len(),
+                cert.refined_away
+            );
+            for w in &cert.witnesses {
+                println!(
+                    "    stmt {} -> stmt {} on array {}: T·{:?} = {:?}, pivot {}",
+                    w.src.0, w.dst.0, w.array.0, w.distance, w.image, w.pivot
+                );
+            }
+        }
+    }
+    if !any {
+        println!("(no transforms adopted; identity schedules need no certificate)");
+    }
+
+    println!();
+    println!(
+        "-- {}: race report (parallel-partition dimension) --",
+        prog.name
+    );
+    let races = &out[0].2.races;
+    if races.is_empty() {
+        println!("(no loop-carried dependence crosses the partitioned dimension)");
+    }
+    for r in races {
+        println!("{r}");
+    }
+
+    println!();
+    println!(
+        "-- {}: a deliberately-illegal transform, refused --",
+        prog.name
+    );
+    let mut shown = false;
+    'nests: for nest in &prog.nests {
+        let identity = ndc::ir::IMat::identity(nest.depth());
+        for t in ndc::ir::matrix::candidate_transforms(nest.depth(), 1) {
+            if t == identity {
+                continue;
+            }
+            if let Err(e) = ndc::lint::certify(nest, &t) {
+                println!("nest {} transform {:?}:", nest.id.0, t);
+                println!("    {e}");
+                shown = true;
+                break 'nests;
+            }
+        }
+    }
+    if !shown {
+        println!("(every skew-1 candidate on every nest is legal for this workload)");
+    }
 }
 
 fn ablation_coarse(args: &Args, cfg: ArchConfig) {

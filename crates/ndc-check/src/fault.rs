@@ -1,11 +1,16 @@
-//! Seeded fault injection: corrupt a recorded run in a controlled way
-//! and prove the matching invariant fires.
+//! Seeded fault injection: corrupt a recorded run or a compiler
+//! schedule in a controlled way and prove the matching checker fires.
 //!
 //! Each [`Fault`] models a concrete simulator bug class and maps to
-//! exactly one [`Invariant`]. Victim selection is driven by
-//! [`SplitMix64`] so every injection is reproducible from its seed.
+//! exactly one [`Invariant`]; each [`ScheduleFault`] models a concrete
+//! compiler bug class and maps to the `ndc-lint` error it must draw.
+//! Victim selection is driven by [`SplitMix64`] so every injection is
+//! reproducible from its seed.
 
 use crate::invariant::Invariant;
+use ndc_ir::deps::{DependenceGraph, DistanceVector};
+use ndc_ir::matrix::{candidate_transforms, IMat};
+use ndc_ir::{Program, Schedule};
 use ndc_obs::chk;
 use ndc_sim::{CheckData, SimResult};
 use ndc_types::SplitMix64;
@@ -111,6 +116,162 @@ pub fn inject(data: &mut CheckData, result: &mut SimResult, fault: Fault, seed: 
     }
 }
 
+/// A class of injected compiler-schedule fault. Unlike [`Fault`] these
+/// corrupt the *input* to execution, so the differential oracle (not a
+/// simulator invariant) is the runtime witness — and `ndc-lint` must
+/// reject every corruption the oracle would report as divergent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleFault {
+    /// Replace a nest's transform with a unimodular but
+    /// dependence-violating candidate (e.g. the Figure 10 interchange).
+    IllegalTransform,
+    /// Reorder two statements linked by a loop-independent (zero
+    /// distance) dependence so the consumer runs first.
+    SwappedDependentStmts,
+    /// Corrupt a statement order into a non-permutation by duplicating
+    /// one entry.
+    CorruptedPermutation,
+    /// Replace a nest's transform with `2·I` — volume-changing, so not
+    /// a reordering at all.
+    NonUnimodularTransform,
+}
+
+/// All schedule-fault classes, in a fixed order for deterministic
+/// matrices.
+pub const ALL_SCHEDULE_FAULTS: [ScheduleFault; 4] = [
+    ScheduleFault::IllegalTransform,
+    ScheduleFault::SwappedDependentStmts,
+    ScheduleFault::CorruptedPermutation,
+    ScheduleFault::NonUnimodularTransform,
+];
+
+impl ScheduleFault {
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScheduleFault::IllegalTransform => "illegal-transform-fault",
+            ScheduleFault::SwappedDependentStmts => "swapped-dependent-stmts",
+            ScheduleFault::CorruptedPermutation => "corrupted-permutation",
+            ScheduleFault::NonUnimodularTransform => "non-unimodular-transform",
+        }
+    }
+
+    /// The [`ndc_lint::LintError::label`] this fault class must draw.
+    pub fn expected_lint(&self) -> &'static str {
+        match self {
+            ScheduleFault::IllegalTransform => "illegal-transform",
+            ScheduleFault::SwappedDependentStmts => "order-violates-dependence",
+            ScheduleFault::CorruptedPermutation => "order-not-permutation",
+            ScheduleFault::NonUnimodularTransform => "non-unimodular",
+        }
+    }
+}
+
+/// Inject `fault` into a schedule for `prog`. Returns `false` when the
+/// program has no applicable site (e.g. no nest with a reorderable
+/// dependent statement pair), in which case the schedule is unchanged.
+pub fn inject_schedule(
+    prog: &Program,
+    schedule: &mut Schedule,
+    fault: ScheduleFault,
+    seed: u64,
+) -> bool {
+    fn pick<T>(mut sites: Vec<T>, rng: &mut SplitMix64) -> Option<T> {
+        if sites.is_empty() {
+            None
+        } else {
+            let i = rng.below(sites.len() as u64) as usize;
+            Some(sites.swap_remove(i))
+        }
+    }
+    let mut rng = SplitMix64::new(seed);
+    match fault {
+        ScheduleFault::IllegalTransform => {
+            // Any unimodular candidate lint cannot certify. The shape
+            // and unimodularity checks pass by construction, so the
+            // schedule's sole lint error is the failed certificate.
+            let mut sites = Vec::new();
+            for nest in &prog.nests {
+                let depth = nest.depth();
+                let identity = IMat::identity(depth);
+                for t in candidate_transforms(depth, 1) {
+                    if t != identity && ndc_lint::certify(nest, &t).is_err() {
+                        sites.push((nest.id, t));
+                    }
+                }
+            }
+            match pick(sites, &mut rng) {
+                Some((nest, t)) => {
+                    schedule.transforms.insert(nest, t);
+                    true
+                }
+                None => false,
+            }
+        }
+        ScheduleFault::SwappedDependentStmts => {
+            let mut sites = Vec::new();
+            for nest in &prog.nests {
+                let graph = DependenceGraph::analyze(nest);
+                for e in &graph.edges {
+                    if !e.kind.constrains() || e.src == e.dst {
+                        continue;
+                    }
+                    let DistanceVector::Constant(d) = &e.distance else {
+                        continue;
+                    };
+                    if d.iter().any(|&x| x != 0) {
+                        continue;
+                    }
+                    if let (Some(sp), Some(dp)) = (nest.stmt_pos(e.src), nest.stmt_pos(e.dst)) {
+                        if sp != dp {
+                            sites.push((nest.id, nest.body.len(), sp, dp));
+                        }
+                    }
+                }
+            }
+            match pick(sites, &mut rng) {
+                Some((nest, len, sp, dp)) => {
+                    let mut order: Vec<usize> = (0..len).collect();
+                    order.swap(sp, dp);
+                    schedule.stmt_order.insert(nest, order);
+                    true
+                }
+                None => false,
+            }
+        }
+        ScheduleFault::CorruptedPermutation => {
+            let sites: Vec<_> = prog
+                .nests
+                .iter()
+                .filter(|n| n.body.len() >= 2)
+                .map(|n| (n.id, n.body.len()))
+                .collect();
+            match pick(sites, &mut rng) {
+                Some((nest, len)) => {
+                    let mut order: Vec<usize> = (0..len).collect();
+                    order[len - 1] = order[0];
+                    schedule.stmt_order.insert(nest, order);
+                    true
+                }
+                None => false,
+            }
+        }
+        ScheduleFault::NonUnimodularTransform => {
+            let sites: Vec<_> = prog.nests.iter().map(|n| (n.id, n.depth())).collect();
+            match pick(sites, &mut rng) {
+                Some((nest, depth)) => {
+                    let mut t = IMat::identity(depth);
+                    for i in 0..depth {
+                        t[(i, i)] = 2;
+                    }
+                    schedule.transforms.insert(nest, t);
+                    true
+                }
+                None => false,
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,5 +367,106 @@ mod tests {
                 fault.label()
             );
         }
+    }
+
+    /// Two dependent statements (S0 writes Z, S1 reads it) plus a
+    /// wavefront carried dependence: every schedule-fault class has an
+    /// injection site.
+    fn faultable_prog() -> ndc_ir::Program {
+        use ndc_ir::{ArrayDecl, ArrayRef, LoopNest, Ref, Stmt};
+        use ndc_types::Op;
+        let mut p = ndc_ir::Program::new("faultable");
+        let z = p.add_array(ArrayDecl::new("Z", vec![17, 16], 8));
+        let w = p.add_array(ArrayDecl::new("W", vec![17, 16], 8));
+        let s0 = Stmt::binary(
+            0,
+            ArrayRef::identity(z, 2, vec![0, 0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(z, 2, vec![-1, 1])),
+            Ref::Const(1.0),
+            1,
+        );
+        let s1 = Stmt::binary(
+            1,
+            ArrayRef::identity(w, 2, vec![0, 0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(z, 2, vec![0, 0])),
+            Ref::Const(0.0),
+            1,
+        );
+        p.nests
+            .push(LoopNest::new(0, vec![1, 0], vec![16, 15], vec![s0, s1]));
+        p.assign_layout(0, 4096);
+        p
+    }
+
+    #[test]
+    fn every_schedule_fault_draws_exactly_its_lint_error() {
+        let p = faultable_prog();
+        for (k, fault) in ALL_SCHEDULE_FAULTS.iter().enumerate() {
+            let mut sched = Schedule::default();
+            assert!(
+                inject_schedule(&p, &mut sched, *fault, 0xC0FF + k as u64),
+                "{}: no injection site",
+                fault.label()
+            );
+            let report = ndc_lint::lint_schedule(&p, &sched);
+            assert!(
+                report
+                    .errors
+                    .iter()
+                    .any(|e| e.label() == fault.expected_lint()),
+                "{}: expected a {} error, got {:?}",
+                fault.label(),
+                fault.expected_lint(),
+                report.errors
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_injection_is_seed_deterministic() {
+        let p = faultable_prog();
+        for fault in ALL_SCHEDULE_FAULTS {
+            let mut a = Schedule::default();
+            let mut b = Schedule::default();
+            assert!(inject_schedule(&p, &mut a, fault, 77));
+            assert!(inject_schedule(&p, &mut b, fault, 77));
+            assert_eq!(a.transforms, b.transforms, "{}", fault.label());
+            assert_eq!(a.stmt_order, b.stmt_order, "{}", fault.label());
+        }
+    }
+
+    #[test]
+    fn schedule_inject_reports_missing_sites() {
+        use ndc_ir::{ArrayDecl, ArrayRef, LoopNest, Ref, Stmt};
+        // A single-statement dependence-free nest: nothing to swap and
+        // no dependent pair, so the order faults have no site; the
+        // transform faults always do.
+        let mut p = ndc_ir::Program::new("clean");
+        let x = p.add_array(ArrayDecl::new("X", vec![8], 8));
+        let s = Stmt::copy(0, ArrayRef::identity(x, 1, vec![0]), Ref::Const(1.0), 0);
+        p.nests.push(LoopNest::new(0, vec![0], vec![8], vec![s]));
+        p.assign_layout(0, 64);
+        let mut sched = Schedule::default();
+        assert!(!inject_schedule(
+            &p,
+            &mut sched,
+            ScheduleFault::SwappedDependentStmts,
+            1
+        ));
+        assert!(!inject_schedule(
+            &p,
+            &mut sched,
+            ScheduleFault::CorruptedPermutation,
+            1
+        ));
+        assert!(sched.transforms.is_empty() && sched.stmt_order.is_empty());
+        assert!(inject_schedule(
+            &p,
+            &mut sched,
+            ScheduleFault::NonUnimodularTransform,
+            1
+        ));
     }
 }

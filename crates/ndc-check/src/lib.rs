@@ -21,7 +21,11 @@
 //! * **The checker itself** is tested by [`fault`]: `SplitMix64`-seeded
 //!   injections (dropped flit, delayed DRAM response, stale
 //!   offload-table window, corrupted reshape tally) each trip exactly
-//!   the invariant that guards against them.
+//!   the invariant that guards against them. Schedule-level injections
+//!   (illegal transform, swapped dependent statements, corrupted
+//!   permutation, non-unimodular transform) likewise each draw exactly
+//!   the `ndc-lint` error that guards against them, closing the loop
+//!   between the static checker and the runtime oracle.
 //!
 //! Zero-dependency like the rest of the workspace; everything here is
 //! deterministic (seeded PRNG, no clocks).
@@ -30,12 +34,13 @@ pub mod fault;
 pub mod invariant;
 pub mod oracle;
 
-pub use fault::{inject, Fault, ALL_FAULTS};
+pub use fault::{inject, inject_schedule, Fault, ScheduleFault, ALL_FAULTS, ALL_SCHEDULE_FAULTS};
 pub use invariant::{
     check_counters, check_engine_output, check_run, check_spans, CheckReport, Invariant, Violation,
 };
 pub use oracle::{
-    check_schedule, first_divergence, sweep_workload, Divergence, OracleSummary, SweepFailure,
+    check_schedule, first_divergence, sweep_workload, sweep_workload_with, Divergence,
+    OracleSummary, SweepFailure, SweepOptions,
 };
 
 pub use ndc_obs::CheckLevel;

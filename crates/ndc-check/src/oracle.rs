@@ -106,12 +106,25 @@ pub struct SweepFailure {
 pub struct OracleSummary {
     pub workload: String,
     pub nests: usize,
-    /// Dependence-legal non-identity candidates verified element-wise.
+    /// Lint-certified non-identity candidates verified element-wise.
     pub legal_checked: usize,
-    /// Candidates rejected by dependence legality (not executed).
+    /// Candidates rejected statically and (in gated sweeps) not
+    /// executed.
     pub illegal_skipped: usize,
+    /// Certified candidates the *unrefined* dependence analysis would
+    /// have rejected — admitted only by the GCD/Banerjee refinement.
+    pub refined_admitted: usize,
+    /// Ungated sweeps only: executed candidates that diverged *and*
+    /// were lint-rejected — each one is a lint verdict confirmed by the
+    /// oracle.
+    pub divergent_rejected: usize,
+    /// Ungated sweeps only: executed candidates that matched the
+    /// reference despite lint rejection. Lint conservatism; sound.
+    pub conservative_rejects: usize,
     /// Out-of-bounds (halo) reads observed during the reference run.
     pub oob_reads: u64,
+    /// Lint-certified candidates that nevertheless diverged — a static
+    /// false negative (a lint or oracle bug if it ever happens).
     pub failures: Vec<SweepFailure>,
 }
 
@@ -127,19 +140,56 @@ impl OracleSummary {
         m.counter("nests", self.nests as u64)
             .counter("legal_checked", self.legal_checked as u64)
             .counter("illegal_skipped", self.illegal_skipped as u64)
+            .counter("refined_admitted", self.refined_admitted as u64)
+            .counter("divergent_rejected", self.divergent_rejected as u64)
+            .counter("conservative_rejects", self.conservative_rejects as u64)
             .counter("oob_reads", self.oob_reads)
             .counter("failures", self.failures.len() as u64);
         m
     }
 }
 
+/// How [`sweep_workload_with`] walks the candidate-transform space.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepOptions {
+    /// Skew magnitude passed to `candidate_transforms`.
+    pub max_skew: i64,
+    /// When `true` (the default), candidates `ndc-lint` cannot certify
+    /// are skipped without execution — the static pruning the compiler
+    /// itself relies on. When `false` every candidate executes and the
+    /// lint verdict is cross-checked against the oracle's: a certified
+    /// candidate that diverges is a failure, a rejected one that
+    /// diverges confirms the rejection.
+    pub lint_gate: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            max_skew: 1,
+            lint_gate: true,
+        }
+    }
+}
+
 /// Sweep one workload: run the reference once, then for every nest and
-/// every non-identity candidate transform that dependence analysis
-/// admits, execute the scheduled program from the same initial store
-/// and element-wise diff against the reference. Nests with unknown
-/// distances conservatively reject all non-identity candidates (they
-/// are counted as skipped).
+/// every non-identity candidate transform that `ndc-lint` certifies
+/// (`T·D` lex-positivity over the refined dependence graph), execute
+/// the scheduled program from the same initial store and element-wise
+/// diff against the reference. Statically-illegal candidates are
+/// skipped, not executed.
 pub fn sweep_workload(prog: &Program, max_skew: i64) -> OracleSummary {
+    sweep_workload_with(
+        prog,
+        SweepOptions {
+            max_skew,
+            lint_gate: true,
+        },
+    )
+}
+
+/// [`sweep_workload`] with explicit [`SweepOptions`].
+pub fn sweep_workload_with(prog: &Program, opts: SweepOptions) -> OracleSummary {
     let init = DataStore::init(prog);
     let mut reference = init.clone();
     Interpreter::new(prog).run(&mut reference);
@@ -151,13 +201,15 @@ pub fn sweep_workload(prog: &Program, max_skew: i64) -> OracleSummary {
     };
     for nest in &prog.nests {
         let depth = nest.depth();
-        let graph = DependenceGraph::analyze(nest);
+        let base = DependenceGraph::analyze(nest);
+        let (refined, stats) = ndc_lint::refined_graph(nest, &base);
         let identity = IMat::identity(depth);
-        for t in candidate_transforms(depth, max_skew) {
+        for t in candidate_transforms(depth, opts.max_skew) {
             if t == identity {
                 continue;
             }
-            if !graph.transformation_legal(&t) {
+            let certified = ndc_lint::certify_with(nest, &refined, &stats, &t).is_ok();
+            if opts.lint_gate && !certified {
                 summary.illegal_skipped += 1;
                 continue;
             }
@@ -165,13 +217,21 @@ pub fn sweep_workload(prog: &Program, max_skew: i64) -> OracleSummary {
             sched.transforms.insert(nest.id, t.clone());
             let mut store = init.clone();
             Interpreter::new(prog).run_scheduled(&mut store, &sched);
-            match first_divergence(prog, &reference, &store) {
-                None => summary.legal_checked += 1,
-                Some(divergence) => summary.failures.push(SweepFailure {
+            let divergence = first_divergence(prog, &reference, &store);
+            match (certified, divergence) {
+                (true, None) => {
+                    summary.legal_checked += 1;
+                    if !base.transformation_legal(&t) {
+                        summary.refined_admitted += 1;
+                    }
+                }
+                (true, Some(divergence)) => summary.failures.push(SweepFailure {
                     nest: nest.id.0,
                     transform: t,
                     divergence,
                 }),
+                (false, Some(_)) => summary.divergent_rejected += 1,
+                (false, None) => summary.conservative_rejects += 1,
             }
         }
     }
@@ -233,6 +293,10 @@ mod tests {
         // identity is admitted).
         let graph = DependenceGraph::analyze(&p.nests[1]);
         assert!(!graph.transformation_legal(&interchange));
+        // The static certificate engine refuses it too — and the
+        // GCD/Banerjee refinement cannot argue the edges away (gcd 7
+        // divides 21, which lies inside the Banerjee range).
+        assert!(ndc_lint::certify(&p.nests[1], &interchange).is_err());
 
         let mut reference = DataStore::init(&p);
         Interpreter::new(&p).run(&mut reference);
@@ -318,5 +382,37 @@ mod tests {
         assert!(summary.legal_checked >= 8);
         assert_eq!(summary.oob_reads, 0);
         assert_eq!(summary.metrics().counter_value("oob_reads"), Some(0));
+    }
+
+    #[test]
+    fn ungated_sweep_cross_checks_lint_against_the_oracle() {
+        // The collision program's second nest rejects every non-
+        // identity candidate (unknown distances); executing them anyway
+        // must only ever *confirm* the rejections — a lint-certified
+        // divergence would be a failure.
+        let p = collision_prog();
+        let summary = sweep_workload_with(
+            &p,
+            SweepOptions {
+                max_skew: 1,
+                lint_gate: false,
+            },
+        );
+        assert!(summary.passed(), "{:?}", summary.failures);
+        assert_eq!(summary.illegal_skipped, 0, "nothing skipped ungated");
+        assert!(
+            summary.divergent_rejected > 0,
+            "the illegal interchange must execute, diverge, and stand rejected"
+        );
+        // Every executed candidate is accounted for exactly once.
+        let depth2 = 11; // non-identity candidates for nest 1
+        let depth1 = 1; // the reversal for nest 0's fill loop
+        assert_eq!(
+            summary.legal_checked
+                + summary.divergent_rejected
+                + summary.conservative_rejects
+                + summary.failures.len(),
+            depth1 + depth2
+        );
     }
 }

@@ -20,6 +20,13 @@
 //! reversals × small skews) are scored by the CME-predicted NDC
 //! opportunity they create, penalized by predicted locality loss, and
 //! applied only when legal (`T·D ≻ 0`).
+//!
+//! Legality is established through `ndc-lint`: the dependence graph is
+//! sharpened by the GCD/Banerjee refinement (so conservatively-unknown
+//! distances reject fewer candidates), every candidate must *certify*
+//! (`T·D` lexicographic positivity with an explicit witness per edge),
+//! and an adopted transform's certificate is re-verified independently
+//! before it enters the schedule and the report's provenance.
 
 use crate::estimate::{assess, core_of, LatencyModel, TargetViability};
 use crate::report::{outcome, reason, CandidateRecord, ChainProvenance, CompilerReport};
@@ -71,7 +78,10 @@ pub(crate) fn compile_inner(
     let mut report = CompilerReport::default();
 
     for (nest_pos, nest) in prog.nests.iter().enumerate() {
-        let deps = DependenceGraph::analyze(nest);
+        // Refinement only discharges edges the iteration space cannot
+        // realize, so planning against the refined graph is sound and
+        // strictly less conservative.
+        let (deps, refine_stats) = ndc_lint::refined_graph(nest, &DependenceGraph::analyze(nest));
 
         // Plan the nest as written.
         let (base_plans, base_counts) = plan_nest(prog, cfg, cores, reuse_k, nest_pos, nest, &deps);
@@ -82,20 +92,29 @@ pub(crate) fn compile_inner(
         // computation that can be performed in a component" goal.
         // Algorithm 2 additionally refuses transforms whose predicted
         // locality is worse than the original (`conservative`).
-        let mut adopted: Option<(IMat, Vec<PrecomputePlan>, NestCounts)> = None;
+        let mut adopted: Option<(
+            Vec<PrecomputePlan>,
+            NestCounts,
+            ndc_lint::LegalityCertificate,
+        )> = None;
         let depth = nest.depth();
         if (2..=3).contains(&depth) && !deps.has_unknown {
             let base_cme = cme_analyze(prog, cfg, cores);
             let base_score = nest_score(prog, nest_pos, nest, &base_cme);
             for t in candidate_transforms(depth, 1) {
-                if t == IMat::identity(depth) || !deps.transformation_legal(&t) {
+                if t == IMat::identity(depth) {
                     continue;
                 }
+                // Consult lint before costing: an uncertifiable
+                // candidate never reaches the CME.
+                let Ok(cert) = ndc_lint::certify_with(nest, &deps, &refine_stats, &t) else {
+                    continue;
+                };
                 let Some(xprog) = transformed_program(prog, nest_pos, &t) else {
                     continue;
                 };
                 let xnest = &xprog.nests[nest_pos];
-                let xdeps = DependenceGraph::analyze(xnest);
+                let (xdeps, _) = ndc_lint::refined_graph(xnest, &DependenceGraph::analyze(xnest));
                 // Both algorithms refuse transforms that degrade
                 // predicted locality — creating NDC opportunities by
                 // thrashing the caches is self-defeating; Algorithm 2
@@ -110,17 +129,26 @@ pub(crate) fn compile_inner(
                     plan_nest(&xprog, cfg, cores, reuse_k, nest_pos, xnest, &xdeps);
                 let best_so_far = adopted
                     .as_ref()
-                    .map(|(_, p, _)| p.len())
+                    .map(|(p, _, _)| p.len())
                     .unwrap_or(base_plans.len());
                 if plans.len() > best_so_far {
-                    adopted = Some((t, plans, counts));
+                    adopted = Some((plans, counts, cert));
                 }
             }
         }
 
         match adopted {
-            Some((t, plans, counts)) => {
-                schedule.transforms.insert(nest.id, t);
+            Some((plans, mut counts, cert)) => {
+                // Independent re-check: the certificate must survive a
+                // from-scratch re-derivation of the dependence set, not
+                // just the optimizer's own bookkeeping.
+                ndc_lint::verify_certificate(nest, &cert)
+                    .expect("adopted transform failed independent certificate re-verification");
+                for prov in &mut counts.provenance {
+                    prov.certificate = Some(cert.clone());
+                }
+                schedule.transforms.insert(nest.id, cert.transform.clone());
+                report.certificates.push(cert);
                 report.transforms_applied += 1;
                 report.merge_nest(counts);
                 schedule.precomputes.extend(plans);
@@ -219,6 +247,7 @@ fn plan_nest(
                     same_l1_line: 0.0,
                     outcome: outcome::REUSE_BYPASSED,
                     candidates: Vec::new(),
+                    certificate: None,
                 });
                 continue;
             }
@@ -283,6 +312,7 @@ fn plan_chain(
         same_l1_line: 0.0,
         outcome: outcome::NO_SAMPLES,
         candidates: Vec::new(),
+        certificate: None,
     };
     let Some(v) = assess(prog, nest_pos, nest, stmt_pos, stmt, cfg, cme, cores) else {
         return (None, prov);
@@ -749,12 +779,21 @@ mod tests {
             1,
         );
         let nest = LoopNest::new(0, vec![1, 0], vec![64, 63], vec![s]);
-        let deps = DependenceGraph::analyze(&nest);
         p.nests.push(nest);
         p.assign_layout(0, 4096);
-        let (sched, _) = compile_algorithm1(&p, &cfg(), 25);
+        let (sched, report) = compile_algorithm1(&p, &cfg(), 25);
+        assert_eq!(
+            report.certificates.len(),
+            report.transforms_applied as usize
+        );
         if let Some(t) = sched.transforms.get(&ndc_ir::program::NestId(0)) {
-            assert!(deps.transformation_legal(t));
+            // The shipped transform must certify from scratch, and the
+            // report must carry the matching re-verifiable certificate.
+            let cert = ndc_lint::certify(&p.nests[0], t).expect("shipped transform must certify");
+            ndc_lint::verify_certificate(&p.nests[0], &cert).expect("certificate must re-verify");
+            let reported = &report.certificates[0];
+            assert_eq!(&reported.transform, t);
+            ndc_lint::verify_certificate(&p.nests[0], reported).unwrap();
         }
     }
 

@@ -3,6 +3,7 @@
 //! per-chain decision provenance `ndc-eval explain` joins against
 //! measured span traces.
 
+use ndc_lint::LegalityCertificate;
 use ndc_types::NdcLocation;
 
 /// Why a candidate NDC location was (or was not) chosen for a chain.
@@ -60,6 +61,11 @@ pub struct ChainProvenance {
     /// Candidates in trial order (empty when assessment never ran:
     /// reuse bypass or an unsampleable chain).
     pub candidates: Vec<CandidateRecord>,
+    /// The `T·D` legality certificate of the nest's adopted loop
+    /// transformation, when this chain was planned on a transformed
+    /// nest. `None` for untransformed nests. Re-verified by `ndc-lint`
+    /// independently of the optimizer before the schedule ships.
+    pub certificate: Option<LegalityCertificate>,
 }
 
 impl ChainProvenance {
@@ -89,6 +95,9 @@ pub struct CompilerReport {
     pub per_target: [u64; 4],
     /// Loop transformations applied.
     pub transforms_applied: u64,
+    /// One legality certificate per applied transformation, in nest
+    /// order — each re-verified against the IR before adoption.
+    pub certificates: Vec<LegalityCertificate>,
     /// Per-chain decision provenance, in (nest, stmt) program order.
     /// For a transformed nest this records the decisions made on the
     /// adopted (transformed) nest — the ones the schedule reflects.
@@ -131,6 +140,7 @@ mod tests {
                 mk(NdcLocation::LinkBuffer, reason::SELECTED),
                 mk(NdcLocation::MemoryController, reason::SHADOWED),
             ],
+            certificate: None,
         };
         assert_eq!(prov.selected().unwrap().location, NdcLocation::LinkBuffer);
         let none = ChainProvenance {

@@ -11,7 +11,7 @@
 //! conservatively (blocks transformation).
 
 use crate::matrix::{lex_positive, IMat, IVec};
-use crate::program::{LoopNest, StmtId};
+use crate::program::{ArrayId, LoopNest, StmtId};
 
 /// Classification of a dependence edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -56,9 +56,16 @@ impl DistanceVector {
 pub struct DependenceEdge {
     pub src: StmtId,
     pub dst: StmtId,
+    /// Slot of the source reference in `src`'s `array_refs()` order
+    /// (reads then write) — lets a consumer recover the exact
+    /// access function behind this edge, e.g. to sharpen an `Unknown`
+    /// distance with a GCD/Banerjee test.
+    pub src_slot: u8,
     /// Operand slot of the sink reference (0 = `a`, 1 = `b`, 2 = the
     /// written destination) — which access of `dst` depends on `src`.
     pub dst_slot: u8,
+    /// The array both references touch.
+    pub array: ArrayId,
     pub kind: DependenceKind,
     pub distance: DistanceVector,
 }
@@ -79,7 +86,7 @@ impl DependenceGraph {
         let stmts = &nest.body;
         for (pi, s1) in stmts.iter().enumerate() {
             for (pj, s2) in stmts.iter().enumerate() {
-                for (r1, w1) in s1.array_refs() {
+                for (slot1, (r1, w1)) in s1.array_refs().into_iter().enumerate() {
                     for (slot2, (r2, w2)) in s2.array_refs().into_iter().enumerate() {
                         if r1.array != r2.array {
                             continue;
@@ -105,6 +112,7 @@ impl DependenceGraph {
                             s2.id,
                             pi,
                             pj,
+                            slot1 as u8,
                             slot2 as u8,
                             kind,
                             nest.depth(),
@@ -177,20 +185,24 @@ fn dependence_between(
     s2: StmtId,
     p1: usize,
     p2: usize,
+    src_slot: u8,
     dst_slot: u8,
     kind: DependenceKind,
     depth: usize,
 ) -> Option<DependenceEdge> {
+    let edge = |distance| DependenceEdge {
+        src: s1,
+        dst: s2,
+        src_slot,
+        dst_slot,
+        array: r1.array,
+        kind,
+        distance,
+    };
     if r1.coeffs != r2.coeffs {
         // Different access matrices (e.g. X[i][j] vs X[j][i]): distances
         // vary per iteration. Conservative.
-        return Some(DependenceEdge {
-            src: s1,
-            dst: s2,
-            dst_slot,
-            kind,
-            distance: DistanceVector::Unknown,
-        });
+        return Some(edge(DistanceVector::Unknown));
     }
     // F·(I2 - I1) = f1 - f2  =>  solve F·d = c.
     let c: IVec = r1
@@ -207,23 +219,11 @@ fn dependence_between(
             // roles flip; we only record the forward direction once (the
             // symmetric pair enumeration visits (r2, r1) too).
             if lex_positive(&d) {
-                Some(DependenceEdge {
-                    src: s1,
-                    dst: s2,
-                    dst_slot,
-                    kind,
-                    distance: DistanceVector::Constant(d),
-                })
+                Some(edge(DistanceVector::Constant(d)))
             } else if d.iter().all(|&x| x == 0) {
                 // Loop-independent: ordered by body position.
                 if p1 < p2 || (p1 == p2 && kind.constrains()) {
-                    Some(DependenceEdge {
-                        src: s1,
-                        dst: s2,
-                        dst_slot,
-                        kind,
-                        distance: DistanceVector::Constant(d),
-                    })
+                    Some(edge(DistanceVector::Constant(d)))
                 } else {
                     None
                 }
@@ -232,13 +232,7 @@ fn dependence_between(
             }
         }
         Solve::None => None,
-        Solve::Many => Some(DependenceEdge {
-            src: s1,
-            dst: s2,
-            dst_slot,
-            kind,
-            distance: DistanceVector::Unknown,
-        }),
+        Solve::Many => Some(edge(DistanceVector::Unknown)),
     }
 }
 
@@ -437,6 +431,117 @@ mod tests {
         assert_eq!(zero_flow.len(), 1);
         assert_eq!(zero_flow[0].src, StmtId(0));
         assert_eq!(zero_flow[0].dst, StmtId(1));
+    }
+
+    #[test]
+    fn negative_stride_distance_is_exact() {
+        // X[-i] written, X[-i-1] read: the element written at iteration
+        // i is read back at i+1, so the flow distance is +1 even though
+        // the stride is negative (Cramer divides by det = -1 exactly).
+        let mut p = Program::new("negstride");
+        let x = p.add_array(ArrayDecl::new("X", vec![32], 8));
+        let w = ArrayRef::affine(x, IMat::from_rows(&[&[-1]]), vec![31]);
+        let r = ArrayRef::affine(x, IMat::from_rows(&[&[-1]]), vec![30]);
+        let s = Stmt::binary(0, w, Op::Add, Ref::Array(r), Ref::Const(1.0), 1);
+        let nest = LoopNest::new(0, vec![0], vec![31], vec![s]);
+        let g = DependenceGraph::analyze(&nest);
+        assert!(!g.has_unknown);
+        assert!(g.distance_vectors().contains(&vec![1]));
+    }
+
+    #[test]
+    fn negative_stride_disjoint_offsets_no_dependence() {
+        // X[-2i] written, X[-2i+1] read: -2·d = ±1 has no integer
+        // solution, so no edge either direction.
+        let mut p = Program::new("negdisjoint");
+        let x = p.add_array(ArrayDecl::new("X", vec![64], 8));
+        let even = ArrayRef::affine(x, IMat::from_rows(&[&[-2]]), vec![62]);
+        let odd = ArrayRef::affine(x, IMat::from_rows(&[&[-2]]), vec![63]);
+        let s = Stmt::binary(0, even, Op::Add, Ref::Array(odd), Ref::Const(1.0), 1);
+        let nest = LoopNest::new(0, vec![0], vec![16], vec![s]);
+        let g = DependenceGraph::analyze(&nest);
+        let cross: Vec<_> = g
+            .edges
+            .iter()
+            .filter(|e| e.kind != DependenceKind::Output)
+            .collect();
+        assert!(cross.is_empty(), "unexpected edges: {cross:?}");
+        assert!(!g.has_unknown);
+    }
+
+    #[test]
+    fn coupled_subscript_is_unknown() {
+        // X[i+j] in a 2-D nest: the 1×2 access matrix is rank-deficient,
+        // so many (i, j) pairs alias and the distance is unknown. The
+        // edge still records which references collided so a sharper
+        // test (ndc-lint's GCD/Banerjee refinement) can revisit it.
+        let mut p = Program::new("coupled");
+        let x = p.add_array(ArrayDecl::new("X", vec![16], 8));
+        let diag = ArrayRef::affine(x, IMat::from_rows(&[&[1, 1]]), vec![0]);
+        let s = Stmt::binary(
+            0,
+            diag.clone(),
+            Op::Add,
+            Ref::Array(diag),
+            Ref::Const(1.0),
+            1,
+        );
+        let nest = LoopNest::new(0, vec![0, 0], vec![8, 8], vec![s]);
+        let g = DependenceGraph::analyze(&nest);
+        assert!(g.has_unknown);
+        let unknown = g
+            .edges
+            .iter()
+            .find(|e| e.distance == DistanceVector::Unknown && e.kind.constrains())
+            .expect("coupled subscript should produce an unknown edge");
+        assert_eq!(unknown.array, ArrayId(0));
+        // Slots index array_refs() order (reads first, write last), so a
+        // consumer can recover both access functions behind the edge.
+        let src_stmt = &nest.body[0];
+        let refs = src_stmt.array_refs();
+        assert!((unknown.src_slot as usize) < refs.len());
+        assert!((unknown.dst_slot as usize) < refs.len());
+    }
+
+    #[test]
+    fn single_trip_loop_records_conservative_distance() {
+        // X[i] = X[i-1] over a single-iteration loop: the subscript
+        // equation alone says d = 1, even though no iteration pair can
+        // realize it (the loop has one trip). Dependence analysis is
+        // deliberately bounds-blind here; the extent-aware refutation
+        // lives in ndc-lint's refinement pass.
+        let mut p = Program::new("onetrip");
+        let x = p.add_array(ArrayDecl::new("X", vec![8], 8));
+        let s = Stmt::binary(
+            0,
+            ArrayRef::identity(x, 1, vec![0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(x, 1, vec![-1])),
+            Ref::Const(1.0),
+            1,
+        );
+        let nest = LoopNest::new(0, vec![3], vec![4], vec![s]);
+        let g = DependenceGraph::analyze(&nest);
+        assert!(g.distance_vectors().contains(&vec![1]));
+    }
+
+    /// Zero-trip nests are unrepresentable by construction: `LoopNest::new`
+    /// rejects `lo >= hi`, so no analysis pass ever sees an empty
+    /// iteration space.
+    #[test]
+    #[should_panic(expected = "empty nest")]
+    fn zero_trip_nest_is_rejected_at_construction() {
+        let mut p = Program::new("zerotrip");
+        let x = p.add_array(ArrayDecl::new("X", vec![8], 8));
+        let s = Stmt::binary(
+            0,
+            ArrayRef::identity(x, 1, vec![0]),
+            Op::Add,
+            Ref::Const(1.0),
+            Ref::Const(2.0),
+            1,
+        );
+        let _ = LoopNest::new(0, vec![4], vec![4], vec![s]);
     }
 
     #[test]

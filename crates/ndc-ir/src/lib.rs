@@ -30,7 +30,7 @@ pub mod matrix;
 pub mod program;
 pub mod schedule;
 
-pub use deps::{DependenceGraph, DependenceKind, DistanceVector};
+pub use deps::{DependenceEdge, DependenceGraph, DependenceKind, DistanceVector};
 pub use interp::{DataStore, Interpreter};
 pub use lower::{lower, pc_of, LowerOptions, ROLE_MAIN, ROLE_PRECOMPUTE, ROLE_STORE};
 pub use matrix::{IMat, IVec};

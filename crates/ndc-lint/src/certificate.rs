@@ -1,0 +1,426 @@
+//! Pass 3b: legality certificates.
+//!
+//! For a transformation `T` over a nest with dependence matrix `D`,
+//! legality is "every nonzero column of `T·D` is lexicographically
+//! positive" (§5.2.1). A [`LegalityCertificate`] materializes that
+//! proof: one [`EdgeWitness`] per constraining dependence edge, each
+//! recording the distance `d`, its image `T·d`, and the pivot — the
+//! first nonzero entry of the image, which must be positive.
+//!
+//! Crucially, [`verify_certificate`] re-derives the dependence set from
+//! the IR and checks the witness list against it *exactly* (no missing
+//! edges, no invented ones, every image recomputed), so a certificate
+//! cannot be rubber-stamped by the optimizer that emitted it.
+
+use crate::refine::{refine, RefineStats};
+use ndc_ir::deps::{DependenceGraph, DistanceVector};
+use ndc_ir::matrix::{IMat, IVec};
+use ndc_ir::program::{ArrayId, LoopNest, NestId, StmtId};
+
+/// The lexicographic-positivity proof for one dependence edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeWitness {
+    pub src: StmtId,
+    pub dst: StmtId,
+    pub array: ArrayId,
+    /// The dependence distance `d` (a column of `D`).
+    pub distance: IVec,
+    /// Its image `T·d`.
+    pub image: IVec,
+    /// Index of the first nonzero entry of `image`; the witnessed
+    /// claim is `image[..pivot] == 0` and `image[pivot] > 0`.
+    pub pivot: usize,
+}
+
+/// A machine-checkable proof that `transform` is legal for `nest`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LegalityCertificate {
+    pub nest: NestId,
+    pub transform: IMat,
+    /// One witness per constraining, loop-carried dependence edge.
+    /// Zero-distance (loop-independent) edges are excluded: statement
+    /// order preserves them under any iteration reordering.
+    pub witnesses: Vec<EdgeWitness>,
+    /// How many conservative edges refinement discharged before
+    /// certification — context for reporting, not part of the proof.
+    pub refined_away: u64,
+}
+
+/// Why certification or re-verification failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertificateError {
+    /// `T` is not `depth × depth`.
+    WrongShape { nest: NestId, depth: usize },
+    /// `|det T| != 1`.
+    NotUnimodular { nest: NestId },
+    /// A constraining dependence survives with an unknown distance —
+    /// no finite witness list can cover it.
+    UnknownDependence {
+        nest: NestId,
+        src: StmtId,
+        dst: StmtId,
+        array: ArrayId,
+    },
+    /// `T·d` is not lexicographically positive for this edge.
+    NotLexPositive {
+        nest: NestId,
+        src: StmtId,
+        dst: StmtId,
+        array: ArrayId,
+        distance: IVec,
+        image: IVec,
+    },
+    /// The certificate omits an edge the IR actually carries.
+    MissingWitness { nest: NestId, distance: IVec },
+    /// A witness is internally wrong (stale image, bad pivot, or an
+    /// edge the IR does not carry).
+    BadWitness { nest: NestId, detail: String },
+}
+
+impl std::fmt::Display for CertificateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CertificateError::WrongShape { nest, depth } => {
+                write!(f, "nest {}: transform is not {depth}x{depth}", nest.0)
+            }
+            CertificateError::NotUnimodular { nest } => {
+                write!(f, "nest {}: transform is not unimodular", nest.0)
+            }
+            CertificateError::UnknownDependence {
+                nest,
+                src,
+                dst,
+                array,
+            } => write!(
+                f,
+                "nest {}: dependence stmt {} -> stmt {} on array {} has a statically \
+                 unknown distance",
+                nest.0, src.0, dst.0, array.0
+            ),
+            CertificateError::NotLexPositive {
+                nest,
+                src,
+                dst,
+                array,
+                distance,
+                image,
+            } => write!(
+                f,
+                "nest {}: T·d = {image:?} is not lexicographically positive for the \
+                 dependence stmt {} -> stmt {} on array {} with distance {distance:?}",
+                nest.0, src.0, dst.0, array.0
+            ),
+            CertificateError::MissingWitness { nest, distance } => write!(
+                f,
+                "nest {}: no witness covers the dependence distance {distance:?}",
+                nest.0
+            ),
+            CertificateError::BadWitness { nest, detail } => {
+                write!(f, "nest {}: bad witness: {detail}", nest.0)
+            }
+        }
+    }
+}
+
+/// The edges a certificate must witness: constraining, constant,
+/// nonzero distances — as comparable tuples, sorted for multiset
+/// comparison.
+fn required_witnesses(
+    nest: &LoopNest,
+    graph: &DependenceGraph,
+) -> Result<Vec<(StmtId, StmtId, ArrayId, IVec)>, CertificateError> {
+    let mut need = Vec::new();
+    for edge in &graph.edges {
+        if !edge.kind.constrains() {
+            continue;
+        }
+        match &edge.distance {
+            DistanceVector::Unknown => {
+                return Err(CertificateError::UnknownDependence {
+                    nest: nest.id,
+                    src: edge.src,
+                    dst: edge.dst,
+                    array: edge.array,
+                });
+            }
+            DistanceVector::Constant(d) => {
+                if d.iter().any(|&x| x != 0) {
+                    need.push((edge.src, edge.dst, edge.array, d.clone()));
+                }
+            }
+        }
+    }
+    need.sort();
+    Ok(need)
+}
+
+/// Certify `t` against an already-refined dependence graph (as produced
+/// by [`refined_graph`]), avoiding re-analysis when the caller sweeps
+/// many candidate transforms over one nest.
+pub fn certify_with(
+    nest: &LoopNest,
+    refined: &DependenceGraph,
+    stats: &RefineStats,
+    t: &IMat,
+) -> Result<LegalityCertificate, CertificateError> {
+    let depth = nest.depth();
+    if t.rows != depth || t.cols != depth {
+        return Err(CertificateError::WrongShape {
+            nest: nest.id,
+            depth,
+        });
+    }
+    if !t.is_unimodular() {
+        return Err(CertificateError::NotUnimodular { nest: nest.id });
+    }
+    let mut witnesses = Vec::new();
+    for (src, dst, array, distance) in required_witnesses(nest, refined)? {
+        let image = t.mul_vec(&distance);
+        let Some(pivot) = image.iter().position(|&x| x != 0).filter(|&p| image[p] > 0) else {
+            return Err(CertificateError::NotLexPositive {
+                nest: nest.id,
+                src,
+                dst,
+                array,
+                distance,
+                image,
+            });
+        };
+        witnesses.push(EdgeWitness {
+            src,
+            dst,
+            array,
+            distance,
+            image,
+            pivot,
+        });
+    }
+    Ok(LegalityCertificate {
+        nest: nest.id,
+        transform: t.clone(),
+        witnesses,
+        refined_away: stats.total(),
+    })
+}
+
+/// Analyze, refine, and certify in one step.
+pub fn certify(nest: &LoopNest, t: &IMat) -> Result<LegalityCertificate, CertificateError> {
+    let (graph, stats) = refine(nest);
+    certify_with(nest, &graph, &stats, t)
+}
+
+/// Independently re-verify a certificate against the IR: re-derive the
+/// dependence set, demand an exact multiset match between required
+/// edges and witnesses, and recheck every witness's image and pivot
+/// from scratch.
+pub fn verify_certificate(
+    nest: &LoopNest,
+    cert: &LegalityCertificate,
+) -> Result<(), CertificateError> {
+    if cert.nest != nest.id {
+        return Err(CertificateError::BadWitness {
+            nest: nest.id,
+            detail: format!("certificate is for nest {}", cert.nest.0),
+        });
+    }
+    let depth = nest.depth();
+    let t = &cert.transform;
+    if t.rows != depth || t.cols != depth {
+        return Err(CertificateError::WrongShape {
+            nest: nest.id,
+            depth,
+        });
+    }
+    if !t.is_unimodular() {
+        return Err(CertificateError::NotUnimodular { nest: nest.id });
+    }
+    let (graph, _) = refine(nest);
+    let required = required_witnesses(nest, &graph)?;
+    let mut claimed: Vec<(StmtId, StmtId, ArrayId, IVec)> = cert
+        .witnesses
+        .iter()
+        .map(|w| (w.src, w.dst, w.array, w.distance.clone()))
+        .collect();
+    claimed.sort();
+    if claimed != required {
+        // Pinpoint the first discrepancy: an uncovered edge beats an
+        // invented witness in the error message.
+        for need in &required {
+            if !claimed.contains(need) {
+                return Err(CertificateError::MissingWitness {
+                    nest: nest.id,
+                    distance: need.3.clone(),
+                });
+            }
+        }
+        return Err(CertificateError::BadWitness {
+            nest: nest.id,
+            detail: "witness list does not match the IR's dependence edges".into(),
+        });
+    }
+    for w in &cert.witnesses {
+        let image = t.mul_vec(&w.distance);
+        if image != w.image {
+            return Err(CertificateError::BadWitness {
+                nest: nest.id,
+                detail: format!(
+                    "stored image {:?} differs from recomputed T·d = {image:?}",
+                    w.image
+                ),
+            });
+        }
+        let pivot_ok =
+            w.pivot < image.len() && image[..w.pivot].iter().all(|&x| x == 0) && image[w.pivot] > 0;
+        if !pivot_ok {
+            return Err(CertificateError::BadWitness {
+                nest: nest.id,
+                detail: format!(
+                    "pivot {} does not witness lex-positivity of {image:?}",
+                    w.pivot
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndc_ir::program::{ArrayDecl, ArrayRef, Program, Ref, Stmt};
+    use ndc_types::Op;
+
+    /// Figure 10 nest: flow dependence with distance (1, -1).
+    fn fig10_nest() -> LoopNest {
+        let mut p = Program::new("fig10");
+        let x = p.add_array(ArrayDecl::new("X", vec![17, 16], 8));
+        let s = Stmt::binary(
+            0,
+            ArrayRef::identity(x, 2, vec![0, 0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(x, 2, vec![-1, 1])),
+            Ref::Const(1.0),
+            1,
+        );
+        LoopNest::new(0, vec![1, 0], vec![16, 15], vec![s])
+    }
+
+    #[test]
+    fn identity_certificate_has_pivot_zero_witness() {
+        let nest = fig10_nest();
+        let cert = certify(&nest, &IMat::identity(2)).unwrap();
+        assert_eq!(cert.witnesses.len(), 1);
+        let w = &cert.witnesses[0];
+        assert_eq!(w.distance, vec![1, -1]);
+        assert_eq!(w.image, vec![1, -1]);
+        assert_eq!(w.pivot, 0);
+        verify_certificate(&nest, &cert).unwrap();
+    }
+
+    #[test]
+    fn interchange_fails_with_offending_edge() {
+        let nest = fig10_nest();
+        let swap = IMat::from_rows(&[&[0, 1], &[1, 0]]);
+        let err = certify(&nest, &swap).unwrap_err();
+        match err {
+            CertificateError::NotLexPositive {
+                distance, image, ..
+            } => {
+                assert_eq!(distance, vec![1, -1]);
+                assert_eq!(image, vec![-1, 1]);
+            }
+            other => panic!("expected NotLexPositive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skewed_interchange_certifies_and_reverifies() {
+        let nest = fig10_nest();
+        let swap = IMat::from_rows(&[&[0, 1], &[1, 0]]);
+        let skew = IMat::from_rows(&[&[1, 0], &[1, 1]]);
+        let cert = certify(&nest, &swap.mul(&skew)).unwrap();
+        // d = (1,-1), skew → (1,0), swap → (0,1): pivot at level 1.
+        assert_eq!(cert.witnesses[0].image, vec![0, 1]);
+        assert_eq!(cert.witnesses[0].pivot, 1);
+        verify_certificate(&nest, &cert).unwrap();
+    }
+
+    #[test]
+    fn tampered_image_is_caught() {
+        let nest = fig10_nest();
+        let mut cert = certify(&nest, &IMat::identity(2)).unwrap();
+        cert.witnesses[0].image = vec![1, 1];
+        let err = verify_certificate(&nest, &cert).unwrap_err();
+        assert!(matches!(err, CertificateError::BadWitness { .. }));
+    }
+
+    #[test]
+    fn dropped_witness_is_caught() {
+        let nest = fig10_nest();
+        let mut cert = certify(&nest, &IMat::identity(2)).unwrap();
+        cert.witnesses.clear();
+        let err = verify_certificate(&nest, &cert).unwrap_err();
+        assert!(matches!(err, CertificateError::MissingWitness { .. }));
+    }
+
+    #[test]
+    fn invented_witness_is_caught() {
+        let nest = fig10_nest();
+        let mut cert = certify(&nest, &IMat::identity(2)).unwrap();
+        let mut extra = cert.witnesses[0].clone();
+        extra.distance = vec![2, 0];
+        extra.image = vec![2, 0];
+        cert.witnesses.push(extra);
+        let err = verify_certificate(&nest, &cert).unwrap_err();
+        assert!(matches!(err, CertificateError::BadWitness { .. }));
+    }
+
+    #[test]
+    fn swapped_transform_is_caught() {
+        // Re-verification must recompute images under the *stored*
+        // transform; swapping it for an illegal one fails.
+        let nest = fig10_nest();
+        let mut cert = certify(&nest, &IMat::identity(2)).unwrap();
+        cert.transform = IMat::from_rows(&[&[0, 1], &[1, 0]]);
+        assert!(verify_certificate(&nest, &cert).is_err());
+    }
+
+    #[test]
+    fn unknown_dependence_blocks_certification() {
+        let mut p = Program::new("unk");
+        let x = p.add_array(ArrayDecl::new("X", vec![16], 8));
+        let w = ArrayRef::affine(x, IMat::from_rows(&[&[1, 1]]), vec![0]);
+        let r = ArrayRef::affine(x, IMat::from_rows(&[&[1, 1]]), vec![1]);
+        let s = Stmt::binary(0, w, Op::Add, Ref::Array(r), Ref::Const(1.0), 1);
+        let nest = LoopNest::new(0, vec![0, 0], vec![4, 4], vec![s]);
+        let err = certify(&nest, &IMat::identity(2)).unwrap_err();
+        assert!(matches!(err, CertificateError::UnknownDependence { .. }));
+    }
+
+    #[test]
+    fn non_unimodular_and_wrong_shape_rejected() {
+        let nest = fig10_nest();
+        let mut t = IMat::identity(2);
+        t[(1, 1)] = 2;
+        assert!(matches!(
+            certify(&nest, &t),
+            Err(CertificateError::NotUnimodular { .. })
+        ));
+        assert!(matches!(
+            certify(&nest, &IMat::identity(3)),
+            Err(CertificateError::WrongShape { .. })
+        ));
+    }
+
+    /// Certification agrees with the dynamic notion of legality on the
+    /// whole candidate space (against the refined graph).
+    #[test]
+    fn certify_matches_transformation_legal() {
+        let nest = fig10_nest();
+        let (graph, stats) = refine(&nest);
+        for t in ndc_ir::matrix::candidate_transforms(2, 2) {
+            let cert_ok = certify_with(&nest, &graph, &stats, &t).is_ok();
+            assert_eq!(cert_ok, graph.transformation_legal(&t), "{t:?}");
+        }
+    }
+}

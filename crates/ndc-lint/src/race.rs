@@ -1,0 +1,217 @@
+//! Pass 4: the IR-level race detector.
+//!
+//! `ndc-par` partitions a nest's iteration space by blocking the loop
+//! dimension `parallel_level` marks (the lowering assigns each original
+//! outer-loop value range to one core). A loop-carried dependence whose
+//! distance is nonzero in that dimension therefore connects iterations
+//! that land in *different* partitions — exactly the sharing pattern
+//! that would race under an unsynchronized parallel execution. This
+//! pass proves the absence of such edges, or names each offender:
+//! source/sink statement, array, and distance vector (or `None` when
+//! the distance is statically unknown).
+//!
+//! In this repo the finding is a diagnostic, not an error: the
+//! deterministic fork-join runtime replays nests with cross-partition
+//! dependences sequentially-consistently, so the report quantifies
+//! *how much* of each workload genuinely needs that care (e.g. the
+//! Smith-Waterman wavefront), rather than gating compilation.
+
+use ndc_ir::deps::{DependenceGraph, DependenceKind, DistanceVector};
+use ndc_ir::matrix::IVec;
+use ndc_ir::program::{ArrayId, LoopNest, NestId, Program, StmtId};
+
+/// One dependence edge carried by the parallel-partition dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Race {
+    pub nest: NestId,
+    /// The partitioned loop level the edge crosses.
+    pub level: usize,
+    pub src: StmtId,
+    pub dst: StmtId,
+    pub array: ArrayId,
+    pub kind: DependenceKind,
+    /// The offending distance, `None` when statically unknown.
+    pub distance: Option<IVec>,
+}
+
+impl std::fmt::Display for Race {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self.kind {
+            DependenceKind::Flow => "flow",
+            DependenceKind::Anti => "anti",
+            DependenceKind::Output => "output",
+            DependenceKind::Input => "input",
+        };
+        match &self.distance {
+            Some(d) => write!(
+                f,
+                "nest {} level {}: {kind} dependence stmt {} -> stmt {} on array {} \
+                 crosses partitions with distance {d:?}",
+                self.nest.0, self.level, self.src.0, self.dst.0, self.array.0
+            ),
+            None => write!(
+                f,
+                "nest {} level {}: {kind} dependence stmt {} -> stmt {} on array {} \
+                 has unknown distance (assumed cross-partition)",
+                self.nest.0, self.level, self.src.0, self.dst.0, self.array.0
+            ),
+        }
+    }
+}
+
+/// Races in one nest, given its (refined) dependence graph.
+pub fn races_in(nest: &LoopNest, graph: &DependenceGraph) -> Vec<Race> {
+    let Some(level) = nest.parallel_level else {
+        return Vec::new();
+    };
+    if level >= nest.depth() {
+        // The verifier reports this malformation; nothing meaningful
+        // to detect here.
+        return Vec::new();
+    }
+    graph
+        .edges
+        .iter()
+        .filter(|e| e.kind.constrains())
+        .filter_map(|e| {
+            let distance = match &e.distance {
+                DistanceVector::Constant(d) => {
+                    if d.get(level).copied().unwrap_or(0) == 0 {
+                        return None;
+                    }
+                    Some(d.clone())
+                }
+                DistanceVector::Unknown => None,
+            };
+            Some(Race {
+                nest: nest.id,
+                level,
+                src: e.src,
+                dst: e.dst,
+                array: e.array,
+                kind: e.kind,
+                distance,
+            })
+        })
+        .collect()
+}
+
+/// Races in one nest, analyzing and refining from scratch.
+pub fn nest_races(nest: &LoopNest) -> Vec<Race> {
+    let (graph, _) = crate::refine::refine(nest);
+    races_in(nest, &graph)
+}
+
+/// Races across a whole program, in nest order.
+pub fn program_races(prog: &Program) -> Vec<Race> {
+    prog.nests.iter().flat_map(nest_races).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndc_ir::matrix::IMat;
+    use ndc_ir::program::{ArrayDecl, ArrayRef, LoopNest, Program, Ref, Stmt};
+    use ndc_types::Op;
+
+    #[test]
+    fn wavefront_dependence_is_a_race_on_the_outer_level() {
+        // X[i][j] = X[i-1][j+1]: distance (1, -1) crosses partitions of
+        // level 0.
+        let mut p = Program::new("wave");
+        let x = p.add_array(ArrayDecl::new("X", vec![17, 16], 8));
+        let s = Stmt::binary(
+            0,
+            ArrayRef::identity(x, 2, vec![0, 0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(x, 2, vec![-1, 1])),
+            Ref::Const(1.0),
+            1,
+        );
+        let nest = LoopNest::new(0, vec![1, 0], vec![16, 15], vec![s]);
+        let races = nest_races(&nest);
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].distance, Some(vec![1, -1]));
+        assert_eq!(races[0].level, 0);
+        assert!(races[0].to_string().contains("crosses partitions"));
+    }
+
+    #[test]
+    fn inner_carried_dependence_does_not_race_on_outer_partition() {
+        // X[i][j] = X[i][j-1]: distance (0, 1) stays within a level-0
+        // partition.
+        let mut p = Program::new("inner");
+        let x = p.add_array(ArrayDecl::new("X", vec![16, 17], 8));
+        let s = Stmt::binary(
+            0,
+            ArrayRef::identity(x, 2, vec![0, 0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(x, 2, vec![0, -1])),
+            Ref::Const(1.0),
+            1,
+        );
+        let nest = LoopNest::new(0, vec![0, 1], vec![16, 16], vec![s]);
+        assert!(nest_races(&nest).is_empty());
+    }
+
+    #[test]
+    fn streaming_nest_is_race_free() {
+        let mut p = Program::new("stream");
+        let x = p.add_array(ArrayDecl::new("X", vec![32], 8));
+        let y = p.add_array(ArrayDecl::new("Y", vec![32], 8));
+        let s = Stmt::binary(
+            0,
+            ArrayRef::identity(x, 1, vec![0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(y, 1, vec![0])),
+            Ref::Const(1.0),
+            1,
+        );
+        let nest = LoopNest::new(0, vec![0], vec![32], vec![s]);
+        assert!(nest_races(&nest).is_empty());
+    }
+
+    #[test]
+    fn unknown_distance_is_reported_without_a_vector() {
+        let mut p = Program::new("unk");
+        let x = p.add_array(ArrayDecl::new("X", vec![16], 8));
+        let w = ArrayRef::affine(x, IMat::from_rows(&[&[1, 1]]), vec![0]);
+        let r = ArrayRef::affine(x, IMat::from_rows(&[&[1, 1]]), vec![1]);
+        let s = Stmt::binary(0, w, Op::Add, Ref::Array(r), Ref::Const(1.0), 1);
+        let nest = LoopNest::new(0, vec![0, 0], vec![4, 4], vec![s]);
+        let races = nest_races(&nest);
+        assert!(!races.is_empty());
+        assert!(races.iter().all(|r| r.distance.is_none()));
+        assert!(races[0].to_string().contains("unknown distance"));
+    }
+
+    #[test]
+    fn serial_nest_has_no_races() {
+        let mut p = Program::new("serial");
+        let x = p.add_array(ArrayDecl::new("X", vec![32], 8));
+        let s = Stmt::binary(
+            0,
+            ArrayRef::identity(x, 1, vec![0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(x, 1, vec![-1])),
+            Ref::Const(1.0),
+            1,
+        );
+        let mut nest = LoopNest::new(0, vec![1], vec![32], vec![s]);
+        nest.parallel_level = None;
+        assert!(nest_races(&nest).is_empty());
+    }
+
+    #[test]
+    fn refinement_clears_false_races() {
+        // X[2i] vs X[4i+1] is Unknown to the base analysis but refuted
+        // by the GCD test — no race survives.
+        let mut p = Program::new("gcdrace");
+        let x = p.add_array(ArrayDecl::new("X", vec![64], 8));
+        let w = ArrayRef::affine(x, IMat::from_rows(&[&[2]]), vec![0]);
+        let r = ArrayRef::affine(x, IMat::from_rows(&[&[4]]), vec![1]);
+        let s = Stmt::binary(0, w, Op::Add, Ref::Array(r), Ref::Const(1.0), 1);
+        let nest = LoopNest::new(0, vec![0], vec![8], vec![s]);
+        assert!(nest_races(&nest).is_empty());
+    }
+}

@@ -1,0 +1,309 @@
+//! Pass 3a: dependence refinement.
+//!
+//! `ndc-ir`'s dependence analysis is deliberately bounds-blind and
+//! solves only square non-singular subscript systems; everything else
+//! becomes a conservative `Unknown` distance that blocks every
+//! transformation. This pass sharpens that graph with three classic
+//! refutation tests, each of which *only removes* edges the iteration
+//! space provably cannot realize — refinement never invents a
+//! dependence, so a refined graph admits a superset of the schedules
+//! the unrefined graph admits, and rejects nothing the unrefined graph
+//! accepted.
+//!
+//! 1. **Extent test** (constant distances): a distance `d` needs an
+//!    iteration pair `(I, I + d)` with both ends inside the nest's
+//!    box, which exists iff `|d_k| < extent_k` in every dimension.
+//! 2. **GCD test** (unknown distances): each subscript row yields a
+//!    linear Diophantine equation over the two iteration vectors; if
+//!    the gcd of its coefficients does not divide its constant, the
+//!    accesses never collide.
+//! 3. **Banerjee bounds test** (unknown distances): if the constant
+//!    lies outside the [min, max] the left-hand side attains over the
+//!    rectangular iteration bounds, the equation has no solution in
+//!    the box.
+
+use ndc_ir::deps::{DependenceEdge, DependenceGraph, DistanceVector};
+use ndc_ir::program::{ArrayRef, LoopNest};
+
+/// How many edges each refutation test discharged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefineStats {
+    /// Constant-distance edges longer than the loop extent.
+    pub extent_refuted: u64,
+    /// Unknown edges refuted by divisibility.
+    pub gcd_refuted: u64,
+    /// Unknown edges refuted by value bounds.
+    pub banerjee_refuted: u64,
+}
+
+impl RefineStats {
+    pub fn total(&self) -> u64 {
+        self.extent_refuted + self.gcd_refuted + self.banerjee_refuted
+    }
+
+    pub fn merge(&mut self, other: &RefineStats) {
+        self.extent_refuted += other.extent_refuted;
+        self.gcd_refuted += other.gcd_refuted;
+        self.banerjee_refuted += other.banerjee_refuted;
+    }
+}
+
+/// Analyze a nest and refine the result in one step.
+pub fn refine(nest: &LoopNest) -> (DependenceGraph, RefineStats) {
+    refined_graph(nest, &DependenceGraph::analyze(nest))
+}
+
+/// Refine an already-computed dependence graph of `nest`.
+pub fn refined_graph(nest: &LoopNest, graph: &DependenceGraph) -> (DependenceGraph, RefineStats) {
+    let mut stats = RefineStats::default();
+    let mut out = DependenceGraph::default();
+    for edge in &graph.edges {
+        match &edge.distance {
+            DistanceVector::Constant(d) => {
+                if exceeds_extent(nest, d) {
+                    stats.extent_refuted += 1;
+                    continue;
+                }
+            }
+            DistanceVector::Unknown => {
+                if let Some(test) = refute_unknown(nest, edge) {
+                    match test {
+                        Refutation::Gcd => stats.gcd_refuted += 1,
+                        Refutation::Banerjee => stats.banerjee_refuted += 1,
+                    }
+                    continue;
+                }
+            }
+        }
+        if matches!(edge.distance, DistanceVector::Unknown) && edge.kind.constrains() {
+            out.has_unknown = true;
+        }
+        out.edges.push(edge.clone());
+    }
+    (out, stats)
+}
+
+/// A constant distance is realizable only if some iteration pair
+/// `(I, I + d)` fits in the box: `|d_k| <= extent_k - 1` for all `k`.
+fn exceeds_extent(nest: &LoopNest, d: &[i64]) -> bool {
+    if d.len() != nest.depth() {
+        return false;
+    }
+    d.iter()
+        .zip(nest.lo.iter().zip(nest.hi.iter()))
+        .any(|(&dk, (&lo, &hi))| dk.unsigned_abs() > (hi - lo - 1) as u64)
+}
+
+enum Refutation {
+    Gcd,
+    Banerjee,
+}
+
+/// Try to prove an unknown-distance edge cannot happen: recover the two
+/// access functions behind it and show the subscript system
+/// `F1·I1 + f1 = F2·I2 + f2` has no solution with `I1`, `I2` in the
+/// nest's box. Returns which test succeeded, or `None` if the edge
+/// must be kept.
+fn refute_unknown(nest: &LoopNest, edge: &DependenceEdge) -> Option<Refutation> {
+    let r1 = slot_ref(nest, edge.src, edge.src_slot)?;
+    let r2 = slot_ref(nest, edge.dst, edge.dst_slot)?;
+    if r1.coeffs.rows != r2.coeffs.rows
+        || r1.coeffs.cols != nest.depth()
+        || r2.coeffs.cols != nest.depth()
+    {
+        // Malformed shapes are the verifier's problem, not ours.
+        return None;
+    }
+    let n = nest.depth();
+    for row in 0..r1.coeffs.rows {
+        // Row equation: Σ F1[row][j]·I1_j − Σ F2[row][j]·I2_j = f2[row] − f1[row],
+        // with both I1 and I2 ranging over the box independently.
+        let coeffs: Vec<i128> = (0..n)
+            .map(|j| r1.coeffs[(row, j)] as i128)
+            .chain((0..n).map(|j| -(r2.coeffs[(row, j)] as i128)))
+            .collect();
+        let c = r2.offsets[row] as i128 - r1.offsets[row] as i128;
+        let g = coeffs.iter().fold(0i128, |acc, &a| gcd(acc, a.abs()));
+        if g == 0 {
+            if c != 0 {
+                // Degenerate GCD case: constant equation 0 = c.
+                return Some(Refutation::Gcd);
+            }
+            continue;
+        }
+        if c % g != 0 {
+            return Some(Refutation::Gcd);
+        }
+        let bounds = |j: usize| (nest.lo[j % n] as i128, (nest.hi[j % n] - 1) as i128);
+        let (mut min, mut max) = (0i128, 0i128);
+        for (k, &a) in coeffs.iter().enumerate() {
+            let (lo, hi) = bounds(k);
+            min += (a * lo).min(a * hi);
+            max += (a * lo).max(a * hi);
+        }
+        if c < min || c > max {
+            return Some(Refutation::Banerjee);
+        }
+    }
+    None
+}
+
+fn slot_ref(nest: &LoopNest, stmt: ndc_ir::program::StmtId, slot: u8) -> Option<&ArrayRef> {
+    let refs = nest.stmt(stmt)?.array_refs();
+    refs.get(slot as usize).map(|&(r, _)| r)
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndc_ir::matrix::IMat;
+    use ndc_ir::program::{ArrayDecl, ArrayRef, LoopNest, Program, Ref, Stmt};
+    use ndc_types::Op;
+
+    fn one_stmt_nest(write: ArrayRef, read: ArrayRef, lo: Vec<i64>, hi: Vec<i64>) -> LoopNest {
+        let s = Stmt::binary(0, write, Op::Add, Ref::Array(read), Ref::Const(1.0), 1);
+        LoopNest::new(0, lo, hi, vec![s])
+    }
+
+    #[test]
+    fn gcd_test_refutes_parity_disjoint_accesses() {
+        // Write X[2i], read X[4i+1]: 2·I1 − 4·I2 = 1 has gcd 2 ∤ 1.
+        // The base analysis marks this Unknown (differing coefficient
+        // matrices); refinement discharges it.
+        let mut p = Program::new("gcd");
+        let x = p.add_array(ArrayDecl::new("X", vec![64], 8));
+        let w = ArrayRef::affine(x, IMat::from_rows(&[&[2]]), vec![0]);
+        let r = ArrayRef::affine(x, IMat::from_rows(&[&[4]]), vec![1]);
+        let nest = one_stmt_nest(w, r, vec![0], vec![8]);
+        let base = DependenceGraph::analyze(&nest);
+        assert!(base.has_unknown);
+        let (refined, stats) = refined_graph(&nest, &base);
+        assert!(!refined.has_unknown);
+        assert!(stats.gcd_refuted > 0);
+        assert_eq!(stats.banerjee_refuted, 0);
+        assert!(refined.transformation_legal(&IMat::from_rows(&[&[-1]])));
+    }
+
+    #[test]
+    fn banerjee_test_refutes_disjoint_ranges() {
+        // Write X[2i] for i in [0, 8) touches [0, 14]; read X[i + 60]
+        // touches [60, 67]. Divisibility cannot see this (gcd 1), the
+        // value bounds can.
+        let mut p = Program::new("banerjee");
+        let x = p.add_array(ArrayDecl::new("X", vec![68], 8));
+        let w = ArrayRef::affine(x, IMat::from_rows(&[&[2]]), vec![0]);
+        let r = ArrayRef::affine(x, IMat::from_rows(&[&[1]]), vec![60]);
+        let nest = one_stmt_nest(w, r, vec![0], vec![8]);
+        let base = DependenceGraph::analyze(&nest);
+        assert!(base.has_unknown);
+        let (refined, stats) = refined_graph(&nest, &base);
+        assert!(!refined.has_unknown);
+        assert!(stats.banerjee_refuted > 0);
+        assert_eq!(stats.gcd_refuted, 0);
+    }
+
+    #[test]
+    fn coupled_subscripts_with_far_offset_are_refuted() {
+        // X[i+j] written, X[i+j+40] read over a 4×4 box: i+j attains at
+        // most 6, so the two index ranges [0,6] and [40,46] are
+        // disjoint. Rank-deficiency made this Unknown.
+        let mut p = Program::new("coupled");
+        let x = p.add_array(ArrayDecl::new("X", vec![64], 8));
+        let w = ArrayRef::affine(x, IMat::from_rows(&[&[1, 1]]), vec![0]);
+        let r = ArrayRef::affine(x, IMat::from_rows(&[&[1, 1]]), vec![40]);
+        let nest = one_stmt_nest(w, r, vec![0, 0], vec![4, 4]);
+        let base = DependenceGraph::analyze(&nest);
+        assert!(base.has_unknown);
+        let (refined, _) = refined_graph(&nest, &base);
+        assert!(!refined.has_unknown);
+    }
+
+    #[test]
+    fn genuinely_overlapping_unknown_is_kept() {
+        // X[i+j] written and read at offset 1: iterations (0,1) and
+        // (1,0) collide, so the Unknown edge must survive.
+        let mut p = Program::new("overlap");
+        let x = p.add_array(ArrayDecl::new("X", vec![16], 8));
+        let w = ArrayRef::affine(x, IMat::from_rows(&[&[1, 1]]), vec![0]);
+        let r = ArrayRef::affine(x, IMat::from_rows(&[&[1, 1]]), vec![1]);
+        let nest = one_stmt_nest(w, r, vec![0, 0], vec![4, 4]);
+        let (refined, stats) = refine(&nest);
+        assert!(refined.has_unknown);
+        assert_eq!(stats.total(), 0);
+    }
+
+    #[test]
+    fn single_trip_dimension_refutes_carried_distance() {
+        // X[i] = X[i-1] over one iteration: the analyzer records d = 1,
+        // but no pair of iterations exists to carry it.
+        let mut p = Program::new("onetrip");
+        let x = p.add_array(ArrayDecl::new("X", vec![8], 8));
+        let w = ArrayRef::identity(x, 1, vec![0]);
+        let r = ArrayRef::identity(x, 1, vec![-1]);
+        let nest = one_stmt_nest(w, r, vec![3], vec![4]);
+        let base = DependenceGraph::analyze(&nest);
+        assert!(base.distance_vectors().contains(&vec![1]));
+        let (refined, stats) = refined_graph(&nest, &base);
+        assert!(!refined.distance_vectors().contains(&vec![1]));
+        assert!(stats.extent_refuted > 0);
+        // With the false carry gone, loop reversal is provably legal.
+        assert!(refined.transformation_legal(&IMat::from_rows(&[&[-1]])));
+    }
+
+    #[test]
+    fn realizable_distances_survive() {
+        // Figure 10's (1, -1) fits comfortably in a 16×15 box.
+        let mut p = Program::new("fig10");
+        let x = p.add_array(ArrayDecl::new("X", vec![17, 16], 8));
+        let w = ArrayRef::identity(x, 2, vec![0, 0]);
+        let r = ArrayRef::identity(x, 2, vec![-1, 1]);
+        let nest = one_stmt_nest(w, r, vec![1, 0], vec![16, 15]);
+        let (refined, stats) = refine(&nest);
+        assert!(refined.distance_vectors().contains(&vec![1, -1]));
+        assert_eq!(stats.total(), 0);
+    }
+
+    /// The collision program from ndc-check's oracle tests: write
+    /// X[14i+7k] and write X[−14i−7k+21] over a 2×2 box do collide
+    /// (e.g. 14 vs 21−7), and neither gcd (7 | 21) nor Banerjee
+    /// (21 ∈ [0, 42]) may claim otherwise.
+    #[test]
+    fn colliding_writes_stay_unknown() {
+        let mut p = Program::new("collision");
+        let x = p.add_array(ArrayDecl::new("X", vec![28], 8));
+        let w1 = ArrayRef::affine(x, IMat::from_rows(&[&[14, 7]]), vec![0]);
+        let w2 = ArrayRef::affine(x, IMat::from_rows(&[&[-14, -7]]), vec![21]);
+        let s0 = Stmt::copy(0, w1, Ref::Const(5.0), 1);
+        let s1 = Stmt::copy(1, w2, Ref::Const(9.0), 1);
+        let nest = LoopNest::new(0, vec![0, 0], vec![2, 2], vec![s0, s1]);
+        let (refined, stats) = refine(&nest);
+        assert!(refined.has_unknown);
+        assert_eq!(stats.total(), 0);
+    }
+
+    /// Refinement must be monotone: it only ever removes edges, so
+    /// anything legal on the base graph stays legal on the refined one.
+    #[test]
+    fn refinement_is_monotone_on_candidates() {
+        let mut p = Program::new("mono");
+        let x = p.add_array(ArrayDecl::new("X", vec![32, 32], 8));
+        let w = ArrayRef::identity(x, 2, vec![0, 0]);
+        let r = ArrayRef::identity(x, 2, vec![-1, 1]);
+        let nest = one_stmt_nest(w, r, vec![1, 0], vec![16, 15]);
+        let base = DependenceGraph::analyze(&nest);
+        let (refined, _) = refined_graph(&nest, &base);
+        for t in ndc_ir::matrix::candidate_transforms(2, 2) {
+            if base.transformation_legal(&t) {
+                assert!(refined.transformation_legal(&t), "{t:?}");
+            }
+        }
+    }
+}

@@ -69,6 +69,19 @@ echo "ok: explain spans/provenance bit-identical across thread counts"
 echo "== correctness layer: oracle + invariants + fault matrix =="
 "$EVAL" check --scale test
 
+echo "== static legality: lint verdicts, certificates, fault matrix =="
+ln1=$(mktemp) && ln8=$(mktemp)
+trap 'rm -f "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b" "$ex1" "$ex8" "$ln1" "$ln8"' EXIT
+NDC_THREADS=1 "$EVAL" lint --scale test > "$ln1"
+NDC_THREADS=8 "$EVAL" lint --scale test > "$ln8"
+if ! diff -q "$ln1" "$ln8" > /dev/null; then
+    echo "FAIL: lint output differs across thread counts" >&2
+    diff "$ln1" "$ln8" | head -20 >&2
+    exit 1
+fi
+cat "$ln1"
+echo "ok: lint verdicts bit-identical across thread counts"
+
 echo "== bench harness smoke (appends BENCH_fig4_schemes.json) =="
 NDC_BENCH_FAST=1 cargo bench --offline -p bench --bench fig4_schemes
 test -s BENCH_fig4_schemes.json || { echo "FAIL: BENCH_fig4_schemes.json missing" >&2; exit 1; }

@@ -17,6 +17,7 @@
 //! | [`ndc_mem`] | caches, sharer directory, FR-FCFS DRAM controllers |
 //! | [`ndc_sim`] | the manycore simulator + NDC hardware + execution schemes |
 //! | [`ndc_ir`] | loop-nest IR: affine accesses, dependences, transforms, lowering |
+//! | [`ndc_lint`] | static legality: IR verifier, bounds prover, `T·D` certificates, race detector |
 //! | [`ndc_cme`] | Cache Miss Equations estimator (paper §5.2) |
 //! | [`ndc_compiler`] | **the paper's contribution**: Algorithms 1 & 2 |
 //! | [`ndc_workloads`] | the 20 paper benchmarks as synthetic IR kernels |
@@ -56,6 +57,7 @@ pub use ndc_check as check;
 pub use ndc_cme as cme;
 pub use ndc_compiler as compiler;
 pub use ndc_ir as ir;
+pub use ndc_lint as lint;
 pub use ndc_mem as mem;
 pub use ndc_noc as noc;
 pub use ndc_obs as obs;

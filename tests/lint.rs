@@ -1,0 +1,195 @@
+//! Integration: the static legality layer (`ndc-lint`) against the
+//! real benchmarks and the compilers that ship schedules for them.
+//!
+//! The acceptance bar has two directions:
+//!
+//! * **no false positives** — every schedule Algorithms 1/2 actually
+//!   emit, for all 20 workloads, must lint clean, and every adopted
+//!   transform must carry a certificate that re-verifies independently;
+//! * **no false negatives** — every fault-injected schedule the
+//!   differential oracle reports divergent must be rejected by lint,
+//!   and an ungated candidate sweep must never find a lint-certified
+//!   transform that diverges.
+
+use ndc::check::{
+    check_schedule, inject_schedule, sweep_workload_with, ScheduleFault, SweepOptions,
+    ALL_SCHEDULE_FAULTS,
+};
+use ndc::lint::{lint_schedule, verify_certificate};
+use ndc::prelude::*;
+
+fn cfg() -> ArchConfig {
+    ArchConfig::paper_default()
+}
+
+#[test]
+fn every_shipped_schedule_lints_clean_with_reverified_certificates() {
+    let cfg = cfg();
+    let benches = all_benchmarks();
+    let reports = ndc_par::parallel_map(&benches, |b| {
+        let prog = b.build_timesteps(Scale::Test, 1);
+        let (s1, r1) = compile_algorithm1(&prog, &cfg, cfg.nodes());
+        let (s2, r2) = compile_algorithm2(&prog, &cfg, cfg.nodes(), Algorithm2Options::default());
+        let l1 = lint_schedule(&prog, &s1);
+        let l2 = lint_schedule(&prog, &s2);
+        (prog, [(s1, r1, l1), (s2, r2, l2)])
+    });
+    for (prog, per_alg) in &reports {
+        for (sched, report, lint) in per_alg {
+            // Zero false positives: the compiler never ships a schedule
+            // lint would reject.
+            assert!(
+                lint.accepted(),
+                "{}: shipped schedule rejected: {:?}",
+                prog.name,
+                lint.errors
+            );
+            assert_eq!(lint.unproven_bounds(), 0, "{}", prog.name);
+            // One certificate per applied transform, each independently
+            // re-verifiable against the nest it covers.
+            assert_eq!(
+                report.certificates.len(),
+                report.transforms_applied as usize,
+                "{}",
+                prog.name
+            );
+            assert_eq!(
+                lint.certificates.len(),
+                sched.transforms.len(),
+                "{}",
+                prog.name
+            );
+            for cert in &report.certificates {
+                let nest = prog
+                    .nests
+                    .iter()
+                    .find(|n| n.id == cert.nest)
+                    .unwrap_or_else(|| panic!("{}: certificate for unknown nest", prog.name));
+                verify_certificate(nest, cert)
+                    .unwrap_or_else(|e| panic!("{}: certificate rejected: {e}", prog.name));
+                assert!(
+                    sched.transforms.get(&cert.nest) == Some(&cert.transform),
+                    "{}: certificate does not match the shipped transform",
+                    prog.name
+                );
+            }
+            // Provenance on transformed nests carries the certificate.
+            for prov in &report.provenance {
+                if let Some(cert) = &prov.certificate {
+                    assert!(
+                        report.certificates.contains(cert),
+                        "{}: provenance carries an unreported certificate",
+                        prog.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The soundness cross-check: corrupt schedules with every fault class
+/// and seed; whenever the differential oracle observes a divergence,
+/// lint must already have rejected the schedule. A lint-accepted
+/// divergent schedule is a static false negative and fails the test.
+#[test]
+fn oracle_divergent_faulted_schedules_are_always_lint_rejected() {
+    let benches = all_benchmarks();
+    let outcomes = ndc_par::parallel_map(&benches, |b| {
+        let prog = b.build_timesteps(Scale::Test, 1);
+        let mut injected = [0usize; 4];
+        let mut divergent_rejected = 0usize;
+        for (k, fault) in ALL_SCHEDULE_FAULTS.iter().enumerate() {
+            for seed in 0..3u64 {
+                let mut sched = Schedule::default();
+                if !inject_schedule(&prog, &mut sched, *fault, 0xFA57 + 31 * seed + k as u64) {
+                    continue;
+                }
+                injected[k] += 1;
+                let lint = lint_schedule(&prog, &sched);
+                let diverged = check_schedule(&prog, &sched).is_err();
+                if diverged {
+                    assert!(
+                        !lint.accepted(),
+                        "{}: {} seed {seed}: oracle diverged but lint accepted",
+                        prog.name,
+                        fault.label()
+                    );
+                    divergent_rejected += 1;
+                }
+                if !lint.accepted() {
+                    assert!(
+                        lint.errors
+                            .iter()
+                            .any(|e| e.label() == fault.expected_lint()),
+                        "{}: {} seed {seed}: rejected for the wrong reason: {:?}",
+                        prog.name,
+                        fault.label(),
+                        lint.errors
+                    );
+                }
+            }
+        }
+        (injected, divergent_rejected)
+    });
+    // Every fault class must have found a site somewhere, and the
+    // matrix must have exercised the divergent→rejected direction.
+    let mut totals = [0usize; 4];
+    let mut divergent = 0usize;
+    for (injected, dr) in &outcomes {
+        for (t, i) in totals.iter_mut().zip(injected) {
+            *t += i;
+        }
+        divergent += dr;
+    }
+    for (fault, total) in ALL_SCHEDULE_FAULTS.iter().zip(totals) {
+        assert!(
+            total > 0,
+            "{}: no injection site in any workload",
+            fault.label()
+        );
+    }
+    assert!(
+        divergent > 0,
+        "no injected schedule ever diverged; the cross-check proved nothing"
+    );
+    // Order faults always lint-reject even when the reorder happens to
+    // be observationally harmless (conservatism, not unsoundness).
+    let _ = ScheduleFault::SwappedDependentStmts;
+}
+
+/// Ungated sweeps execute *every* candidate and compare lint's verdict
+/// with the oracle's: a certified candidate that diverges would be a
+/// false negative. None may exist for any workload.
+#[test]
+fn ungated_sweep_has_zero_lint_false_negatives() {
+    let benches = all_benchmarks();
+    let sweeps = ndc_par::parallel_map(&benches, |b| {
+        let prog = b.build_timesteps(Scale::Test, 1);
+        sweep_workload_with(
+            &prog,
+            SweepOptions {
+                max_skew: 1,
+                lint_gate: false,
+            },
+        )
+    });
+    let mut confirmed = 0usize;
+    for s in &sweeps {
+        assert!(
+            s.passed(),
+            "{}: lint certified a divergent transform: {:?}",
+            s.workload,
+            s.failures
+        );
+        assert_eq!(
+            s.illegal_skipped, 0,
+            "{}: nothing is skipped ungated",
+            s.workload
+        );
+        confirmed += s.divergent_rejected;
+    }
+    assert!(
+        confirmed > 0,
+        "no rejected candidate ever diverged; the sweep exercised nothing"
+    );
+}

@@ -220,12 +220,14 @@ fn two_dimensional_programs_compile_safely() {
         Interpreter::new(&prog).run(&mut reference);
         for sched in [&s1, &s2] {
             assert!(sched.validate(&prog).is_ok(), "case {i}");
-            // Any adopted transform must be legal for the nest's
-            // dependences.
+            // Any adopted transform must certify from scratch, and its
+            // certificate must survive independent re-verification.
             for nest in &prog.nests {
                 if let Some(t) = sched.transforms.get(&nest.id) {
-                    let deps = ndc_ir::DependenceGraph::analyze(nest);
-                    assert!(deps.transformation_legal(t), "case {i}: illegal transform");
+                    let cert = ndc::lint::certify(nest, t)
+                        .unwrap_or_else(|e| panic!("case {i}: illegal transform: {e}"));
+                    ndc::lint::verify_certificate(nest, &cert)
+                        .unwrap_or_else(|e| panic!("case {i}: certificate rejected: {e}"));
                 }
             }
             let mut out = DataStore::init(&prog);
