@@ -22,7 +22,8 @@
 //!   ablation-coarse   fine-grain vs whole-nest mapping
 //!   check             differential oracle + simulator invariants + fault matrix
 //!   lint              static legality: certificates, bounds proofs, race report
-//!   all               everything above in sequence (except check and lint)
+//!   scale             mesh scale-up study: lane engine vs serial, BENCH_scale.json
+//!   all               everything above in sequence (except check, lint, scale)
 //!   help              full usage (also -h / --help)
 //! ```
 //!
@@ -98,7 +99,8 @@ fn usage() {
     println!("  ablation-layout   data-layout optimization before Algorithm 2");
     println!("  check             differential oracle + simulator invariants + fault matrix");
     println!("  lint              static legality: certificates, bounds proofs, race report");
-    println!("  all               everything above in sequence (except check and lint)");
+    println!("  scale             mesh scale-up study: lane engine vs serial, BENCH_scale.json");
+    println!("  all               everything above in sequence (except check, lint, scale)");
     println!("  help              this text (also -h / --help)");
     println!();
     println!("flags:");
@@ -195,6 +197,7 @@ fn main() {
         "ablation-layout" => ablation_layout(&args, cfg),
         "check" => check_cmd(&args, cfg),
         "lint" => lint_cmd(&args, cfg),
+        "scale" => scale_cmd(&args),
         "all" => {
             table1(&cfg);
             let evals = eval_benches(&args, cfg);
@@ -1167,4 +1170,146 @@ fn ablation_coarse(args: &Args, cfg: ArchConfig) {
         geomean_improvement(&c2s)
     );
     println!();
+}
+
+/// `scale` — the mesh scale-up study: one workload run at every mesh
+/// size by the serial engine and the epoch-barriered lane engine at
+/// several lane counts. Per row: simulated cycles, host wall-clock,
+/// and host throughput (issued instructions per second). The lane
+/// engine's full `SimResult` must be byte-identical at every lane
+/// count (the determinism contract); the run aborts otherwise.
+///
+/// `NDC_BENCH_FAST=1` shrinks the sweep to the 8×8 mesh with lane
+/// counts {1, 2} for CI. Results land in `BENCH_scale.json`.
+fn scale_cmd(args: &Args) {
+    use ndc::sim::{Engine, LaneEngine};
+    use std::time::Instant;
+
+    let fast = std::env::var("NDC_BENCH_FAST").is_ok();
+    let meshes: &[(u16, u16)] = if fast {
+        &[(8, 8)]
+    } else {
+        &[(5, 5), (8, 8), (12, 12), (16, 16)]
+    };
+    let lane_counts: &[usize] = if fast { &[1, 2] } else { &[1, 2, 4, 8] };
+    let name = args.bench.as_deref().unwrap_or("ocean");
+    let bench = by_name(name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark '{name}'");
+        std::process::exit(1);
+    });
+    let scheme = Scheme::NdcAll {
+        budget: WaitBudget::LastWindow,
+    };
+
+    println!("== Mesh scale-up: serial engine vs epoch-barriered lanes ({name}) ==");
+    println!(
+        "{:<7} {:>6} {:<8} {:>6} {:>14} {:>12} {:>10} {:>12}",
+        "mesh", "nodes", "engine", "lanes", "sim cycles", "insts", "host ms", "insts/sec"
+    );
+
+    let mut rows: Vec<Json> = Vec::new();
+    let mut host_ns_of: Vec<((u16, u16), &'static str, usize, u64)> = Vec::new();
+    for &(w, h) in meshes {
+        let cfg = ArchConfig::with_mesh(w, h);
+        // Work scales with the mesh so per-node load stays constant:
+        // the 5×5 study mesh is exactly `Scale::Test`.
+        let prog = bench.build(Scale::proportional(cfg.nodes()));
+        let opts = LowerOptions {
+            cores: cfg.nodes(),
+            emit_busy: true,
+        };
+        let traces = lower(&prog, &opts, None);
+
+        let mut row = |engine: &'static str, lanes: usize, result: &SimResult, host_ns: u64| {
+            let per_sec = result.issued_insts as f64 * 1e9 / host_ns.max(1) as f64;
+            println!(
+                "{:<7} {:>6} {:<8} {:>6} {:>14} {:>12} {:>10.1} {:>12.0}",
+                format!("{w}x{h}"),
+                cfg.nodes(),
+                engine,
+                lanes,
+                result.total_cycles,
+                result.issued_insts,
+                host_ns as f64 / 1e6,
+                per_sec
+            );
+            host_ns_of.push(((w, h), engine, lanes, host_ns));
+            rows.push(
+                Json::obj()
+                    .with("mesh", format!("{w}x{h}"))
+                    .with("nodes", cfg.nodes())
+                    .with("engine", engine)
+                    .with("lanes", lanes)
+                    .with("simulated_cycles", result.total_cycles)
+                    .with("issued_insts", result.issued_insts)
+                    .with("host_ns", host_ns)
+                    .with("insts_per_sec", per_sec),
+            );
+        };
+
+        let t0 = Instant::now();
+        let serial = Engine::new(cfg, &traces, scheme).run();
+        row("serial", 0, &serial.result, t0.elapsed().as_nanos() as u64);
+
+        let mut fingerprint: Option<String> = None;
+        for &n in lane_counts {
+            let t0 = Instant::now();
+            let out = LaneEngine::new(cfg, &traces, scheme).with_lanes(n).run();
+            let host_ns = t0.elapsed().as_nanos() as u64;
+            let fp = format!("{:?}", out.result);
+            match &fingerprint {
+                None => fingerprint = Some(fp),
+                Some(first) => assert_eq!(
+                    *first, fp,
+                    "{w}x{h}: lane engine diverged between lane counts"
+                ),
+            }
+            row("lanes", n, &out.result, host_ns);
+        }
+    }
+
+    // Single-run speedup at the largest mesh: serial wall-clock over
+    // the widest lane configuration (ISSUE 6 targets >= 3x at 16x16
+    // with 8 lanes; only meaningful for release builds).
+    let &(bw, bh) = meshes.last().expect("non-empty mesh list");
+    let widest = *lane_counts.last().expect("non-empty lane list");
+    let ns = |eng: &str, lanes: usize| {
+        host_ns_of
+            .iter()
+            .find(|&&(m, e, l, _)| m == (bw, bh) && e == eng && l == lanes)
+            .map(|&(_, _, _, ns)| ns)
+            .expect("measured row")
+    };
+    let speedup = ns("serial", 0) as f64 / ns("lanes", widest).max(1) as f64;
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!();
+    println!("{bw}x{bh} speedup, {widest} lanes vs serial: {speedup:.2}x (host CPUs: {host_cpus})");
+    if host_cpus < widest {
+        println!(
+            "note: only {host_cpus} host CPU(s) — lane threads time-slice instead of \
+             running concurrently, so the recorded speedup reflects overhead, not scaling"
+        );
+    }
+    println!("lane engine byte-identical across lane counts: yes");
+
+    let doc = Json::obj()
+        .with("experiment", "scale")
+        .with("benchmark", name)
+        .with("scheme", format!("{scheme:?}"))
+        .with("fast", fast)
+        .with("epoch_hops", ndc::sim::lanes::EPOCH_HOPS)
+        .with("host_parallelism", host_cpus)
+        .with("deterministic_across_lanes", true)
+        .with(
+            "speedup_largest_mesh",
+            Json::obj()
+                .with("mesh", format!("{bw}x{bh}"))
+                .with("lanes", widest)
+                .with("speedup", speedup)
+                .with("host_saturated", host_cpus < widest),
+        )
+        .with("rows", rows);
+    write_json("BENCH_scale.json", &doc);
 }

@@ -25,11 +25,68 @@ pub struct DirStats {
     pub contended_writes: u64,
 }
 
-/// Sharer bitmask per line address. Supports up to 64 cores, enough for
-/// the paper's 4×4 / 5×5 / 6×6 meshes.
+impl DirStats {
+    /// Fold another shard's counters into this one (the lane engine
+    /// keeps one directory shard per home bank and merges at the end).
+    pub fn merge(&mut self, other: &DirStats) {
+        self.sharer_adds += other.sharer_adds;
+        self.writes += other.writes;
+        self.invalidations_sent += other.invalidations_sent;
+        self.contended_writes += other.contended_writes;
+    }
+}
+
+/// Widest mesh the sharer mask supports: 4×64 bits = 256 cores, i.e. a
+/// 16×16 mesh. `debug_assert`ed at every entry point.
+pub const MAX_CORES: usize = SHARER_WORDS * 64;
+const SHARER_WORDS: usize = 4;
+
+/// Sharer bitmask per line address: a fixed `[u64; 4]` word array, wide
+/// enough for the 16×16 scale-up mesh (256 cores) while staying a flat
+/// inline value — no per-line heap allocation on the coherence path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct SharerMask {
+    words: [u64; SHARER_WORDS],
+}
+
+impl SharerMask {
+    #[inline]
+    fn set(&mut self, core: usize) {
+        self.words[core / 64] |= 1 << (core % 64);
+    }
+
+    #[inline]
+    fn clear(&mut self, core: usize) {
+        self.words[core / 64] &= !(1 << (core % 64));
+    }
+
+    #[inline]
+    fn contains(&self, core: usize) -> bool {
+        self.words[core / 64] & (1 << (core % 64)) != 0
+    }
+
+    #[inline]
+    fn only(core: usize) -> Self {
+        let mut m = Self::default();
+        m.set(core);
+        m
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    #[inline]
+    fn count(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+}
+
+/// Full-map L1 sharer directory. Supports up to [`MAX_CORES`] cores.
 #[derive(Debug, Clone, Default)]
 pub struct Directory {
-    sharers: FxHashMap<Addr, u64>,
+    sharers: FxHashMap<Addr, SharerMask>,
     pub stats: DirStats,
 }
 
@@ -40,8 +97,8 @@ impl Directory {
 
     /// Record that `core` obtained a readable copy of `line`.
     pub fn add_sharer(&mut self, line: Addr, core: usize) {
-        debug_assert!(core < 64);
-        *self.sharers.entry(line).or_insert(0) |= 1 << core;
+        debug_assert!(core < MAX_CORES);
+        self.sharers.entry(line).or_default().set(core);
         self.stats.sharer_adds += 1;
     }
 
@@ -49,36 +106,40 @@ impl Directory {
     /// invalidated (every sharer except the writer), and collapses the
     /// entry to the writer alone.
     pub fn write_by(&mut self, line: Addr, core: usize) -> SharerIter {
-        debug_assert!(core < 64);
-        let entry = self.sharers.entry(line).or_insert(0);
-        let others = *entry & !(1 << core);
-        *entry = 1 << core;
+        debug_assert!(core < MAX_CORES);
+        let entry = self.sharers.entry(line).or_default();
+        let mut others = *entry;
+        others.clear(core);
+        *entry = SharerMask::only(core);
         self.stats.writes += 1;
-        if others != 0 {
+        if !others.is_empty() {
             self.stats.contended_writes += 1;
-            self.stats.invalidations_sent += others.count_ones() as u64;
+            self.stats.invalidations_sent += u64::from(others.count());
         }
-        SharerIter { bits: others }
+        SharerIter {
+            mask: others,
+            word: 0,
+        }
     }
 
     /// Drop a core's copy (L1 eviction writes back / silently drops).
     pub fn remove_sharer(&mut self, line: Addr, core: usize) {
+        debug_assert!(core < MAX_CORES);
         if let Some(e) = self.sharers.get_mut(&line) {
-            *e &= !(1 << core);
-            if *e == 0 {
+            e.clear(core);
+            if e.is_empty() {
                 self.sharers.remove(&line);
             }
         }
     }
 
     pub fn sharer_count(&self, line: Addr) -> u32 {
-        self.sharers.get(&line).map_or(0, |b| b.count_ones())
+        self.sharers.get(&line).map_or(0, |m| m.count())
     }
 
     pub fn is_sharer(&self, line: Addr, core: usize) -> bool {
-        self.sharers
-            .get(&line)
-            .is_some_and(|b| b & (1 << core) != 0)
+        debug_assert!(core < MAX_CORES);
+        self.sharers.get(&line).is_some_and(|m| m.contains(core))
     }
 
     /// Number of tracked lines (tests / memory accounting).
@@ -87,22 +148,28 @@ impl Directory {
     }
 }
 
-/// Iterator over core indices in a sharer bitmask.
+/// Iterator over core indices in a sharer bitmask, ascending.
 #[derive(Debug, Clone, Copy)]
 pub struct SharerIter {
-    bits: u64,
+    mask: SharerMask,
+    word: usize,
 }
 
 impl Iterator for SharerIter {
     type Item = usize;
 
     fn next(&mut self) -> Option<usize> {
-        if self.bits == 0 {
-            return None;
+        while self.word < SHARER_WORDS {
+            let bits = self.mask.words[self.word];
+            if bits == 0 {
+                self.word += 1;
+                continue;
+            }
+            let c = bits.trailing_zeros() as usize;
+            self.mask.words[self.word] = bits & (bits - 1);
+            return Some(self.word * 64 + c);
         }
-        let c = self.bits.trailing_zeros() as usize;
-        self.bits &= self.bits - 1;
-        Some(c)
+        None
     }
 }
 
@@ -183,5 +250,45 @@ mod tests {
         let inv: Vec<usize> = d.write_by(0x40, 3).collect();
         assert_eq!(inv, vec![1]);
         assert!(d.is_sharer(0x80, 2));
+    }
+
+    /// The 16×16 scale-up mesh has 256 cores — sharers above core 63
+    /// must round-trip through every operation (the pre-scale-up mask
+    /// was a single u64 and silently aliased them).
+    #[test]
+    fn cores_beyond_64_are_tracked() {
+        let mut d = Directory::new();
+        for c in [0, 63, 64, 130, 255] {
+            d.add_sharer(0x40, c);
+        }
+        assert_eq!(d.sharer_count(0x40), 5);
+        assert!(d.is_sharer(0x40, 255));
+        let inv: Vec<usize> = d.write_by(0x40, 130).collect();
+        assert_eq!(inv, vec![0, 63, 64, 255]);
+        assert_eq!(d.sharer_count(0x40), 1);
+        assert!(d.is_sharer(0x40, 130));
+        d.remove_sharer(0x40, 130);
+        assert_eq!(d.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn stats_merge_sums_shards() {
+        let mut a = DirStats {
+            sharer_adds: 1,
+            writes: 2,
+            invalidations_sent: 3,
+            contended_writes: 4,
+        };
+        let b = DirStats {
+            sharer_adds: 10,
+            writes: 20,
+            invalidations_sent: 30,
+            contended_writes: 40,
+        };
+        a.merge(&b);
+        assert_eq!(a.sharer_adds, 11);
+        assert_eq!(a.writes, 22);
+        assert_eq!(a.invalidations_sent, 33);
+        assert_eq!(a.contended_writes, 44);
     }
 }

@@ -21,5 +21,5 @@ pub mod directory;
 pub mod dram;
 
 pub use cache::{AccessOutcome, CacheStats, SetAssocCache};
-pub use directory::{DirStats, Directory};
+pub use directory::{DirStats, Directory, MAX_CORES};
 pub use dram::{McAccess, McStats, MemoryController, RowOutcome};

@@ -17,10 +17,12 @@
 //! operand arrival times — the raw material of the paper's
 //! arrival-window study — without flit-level simulation cost.
 
+pub mod lane;
 pub mod mesh;
 pub mod network;
 pub mod signature;
 
+pub use lane::LanePlanner;
 pub use mesh::{LinkId, Mesh, Route};
 pub use network::{LinkObs, LinkTraversal, Network, TraversalRecord};
 pub use signature::{best_signature_pair, minimal_routes, RouteSignature, SignaturePair};
@@ -110,6 +112,51 @@ mod proptests {
             for r in &routes {
                 assert_eq!(r.links.len() as u32, s.manhattan(d), "{s:?}->{d:?}");
             }
+        }
+    }
+
+    /// Non-square meshes (width ≠ height): XY routes stay minimal and
+    /// connected, `link_endpoints` inverts `link_between`, and link ids
+    /// stay inside `num_links`. Guards the 16×16 scale-up work against
+    /// any width/height transposition bug in the 4-block link numbering
+    /// (square meshes cannot distinguish `w` from `h`).
+    #[test]
+    fn nonsquare_meshes_route_and_number_links_consistently() {
+        let mut g = SplitMix64::new(0x10c7);
+        for _ in 0..CASES {
+            let w = 2 + g.below(15) as u16;
+            let mut h = 2 + g.below(15) as u16;
+            if h == w {
+                h = if w == 16 { 2 } else { w + 1 };
+            }
+            let mesh = Mesh::new(NocConfig {
+                width: w,
+                height: h,
+                link_bytes: 16,
+                hop_cycles: 3,
+            });
+            let s = Coord::new(g.below(w as u64) as u16, g.below(h as u64) as u16);
+            let d = Coord::new(g.below(w as u64) as u16, g.below(h as u64) as u16);
+            let route = mesh.xy_route(s, d);
+            assert_eq!(
+                route.links.len() as u32,
+                s.manhattan(d),
+                "{w}x{h} {s:?}->{d:?}"
+            );
+            let mut at = s;
+            for &l in &route.links {
+                assert!(l.index() < mesh.num_links(), "{w}x{h}: id out of range");
+                let (from, to) = mesh.link_endpoints(l);
+                assert_eq!(from, at, "{w}x{h} {s:?}->{d:?}");
+                assert_eq!(from.manhattan(to), 1);
+                assert_eq!(
+                    mesh.link_between(from, to),
+                    l,
+                    "{w}x{h}: endpoints roundtrip"
+                );
+                at = to;
+            }
+            assert_eq!(at, d, "{w}x{h} {s:?}->{d:?}");
         }
     }
 

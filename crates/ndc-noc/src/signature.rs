@@ -79,14 +79,84 @@ impl RouteSignature {
     }
 }
 
-/// Enumerate every minimal (monotone, Manhattan-length) route between
-/// two coordinates. For a `dx × dy` displacement this yields
-/// `C(dx+dy, dx)` routes — at most 252 on a 6×6 mesh, so exhaustive
-/// enumeration is cheap.
+/// Displacement (in hops) up to which every minimal route is
+/// enumerated: `C(10, 5) = 252` routes at worst, which covers any
+/// endpoint pair on the paper's 5×5 mesh exactly as before. Beyond
+/// this, exhaustive enumeration is combinatorial — `C(30, 15) ≈ 155
+/// million` routes for opposite corners of the 16×16 scale-up mesh —
+/// so the enumeration falls back to [`bounded_routes`].
+const MAX_EXHAUSTIVE_HOPS: u16 = 10;
+
+/// Enumerate minimal (monotone, Manhattan-length) routes between two
+/// coordinates. For displacements up to [`MAX_EXHAUSTIVE_HOPS`] this
+/// is every such route (`C(dx+dy, dx)` of them); for larger
+/// displacements it is the two-bend staircase family — `O(dx + dy)`
+/// routes including the XY and YX extremes — which preserves route
+/// *diversity* (which links a route can occupy) without the
+/// combinatorial blowup that made signature selection intractable at
+/// 12×12 and beyond.
 pub fn minimal_routes(mesh: &Mesh, src: Coord, dst: Coord) -> Vec<Route> {
+    let dist = src.x.abs_diff(dst.x) + src.y.abs_diff(dst.y);
+    if dist > MAX_EXHAUSTIVE_HOPS {
+        return bounded_routes(mesh, src, dst);
+    }
     let mut out = Vec::new();
     let mut path = vec![src];
     recurse(mesh, dst, &mut path, &mut out);
+    out
+}
+
+/// Walk from `a` to `b` inclusive, one hop at a time, in either axis
+/// direction.
+fn axis_walk(a: u16, b: u16) -> Box<dyn Iterator<Item = u16>> {
+    if a <= b {
+        Box::new(a..=b)
+    } else {
+        Box::new((b..=a).rev())
+    }
+}
+
+/// Monotone routes with at most two bends: `x–y–x` staircases through
+/// every intermediate column and `y–x–y` staircases through every
+/// interior row. Both L-shaped (XY, YX) routes are members (the
+/// `x–y–x` family at the extreme columns), and the set spans every
+/// link an exhaustive enumeration could reach, so link-overlap
+/// maximization still has the full rectangle to work with.
+fn bounded_routes(mesh: &Mesh, src: Coord, dst: Coord) -> Vec<Route> {
+    if src.x == dst.x || src.y == dst.y {
+        // Straight line: a single minimal route.
+        return vec![mesh.xy_route(src, dst)];
+    }
+    let mut out = Vec::new();
+    let mut push = |via: &[Coord]| {
+        let mut path = vec![src];
+        for w in via.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if a.x == b.x {
+                for y in axis_walk(a.y, b.y).skip(1) {
+                    path.push(Coord::new(a.x, y));
+                }
+            } else {
+                for x in axis_walk(a.x, b.x).skip(1) {
+                    path.push(Coord::new(x, a.y));
+                }
+            }
+        }
+        out.push(mesh.route_via(&path));
+    };
+    // x–y–x through every column between the endpoints (the first,
+    // `mx = src.x`, is the YX route; the last, `mx = dst.x`, is XY).
+    for mx in axis_walk(src.x, dst.x) {
+        push(&[src, Coord::new(mx, src.y), Coord::new(mx, dst.y), dst]);
+    }
+    // y–x–y through interior rows (the boundary rows duplicate the XY
+    // and YX routes already emitted above).
+    for my in axis_walk(src.y, dst.y).skip(1) {
+        if my == dst.y {
+            continue;
+        }
+        push(&[src, Coord::new(src.x, my), Coord::new(dst.x, my), dst]);
+    }
     out
 }
 

@@ -44,7 +44,7 @@ struct CoreState {
 
 /// Result of a pre-compute offload, awaiting its consumer.
 #[derive(Debug, Clone, Copy)]
-enum PreResult {
+pub(crate) enum PreResult {
     Performed {
         loc_index: usize,
         result_at_core: Cycle,
@@ -61,12 +61,12 @@ enum PreResult {
 const _STORE_AT_CORE: () = ();
 
 /// Sentinel meaning "no window recorded yet" in [`LastWindowTable`].
-const NO_WINDOW: Cycle = Cycle::MAX;
+pub(crate) const NO_WINDOW: Cycle = Cycle::MAX;
 
 /// Span-sampling rate a `CheckLevel::full()` run uses when the caller
 /// did not request spans explicitly: enough traces to exercise the
 /// attribution invariant without recording every request.
-const CHECK_SPAN_ONE_IN: u32 = 8;
+pub(crate) const CHECK_SPAN_ONE_IN: u32 = 8;
 
 /// Dense per-PC last-observed-window table for the Last-Wait predictor.
 ///
@@ -74,14 +74,14 @@ const CHECK_SPAN_ONE_IN: u32 = 8;
 /// indexed by PC replaces the former `HashMap<Pc, Cycle>` in the
 /// engine's inner loop: one bounds-checked load instead of a hash +
 /// probe per eligible compute.
-struct LastWindowTable {
+pub(crate) struct LastWindowTable {
     slots: Vec<Cycle>,
 }
 
 impl LastWindowTable {
     /// Sized from the largest PC in the program; every lookup hits
     /// in-bounds by construction (all queried PCs come from the traces).
-    fn for_program(prog: &TraceProgram) -> Self {
+    pub(crate) fn for_program(prog: &TraceProgram) -> Self {
         let n = prog
             .traces
             .iter()
@@ -89,19 +89,29 @@ impl LastWindowTable {
             .map(|i| i.pc as usize + 1)
             .max()
             .unwrap_or(0);
+        // PCs are near-dense by construction (`lower()` numbers
+        // statements consecutively; hand-built tests may leave small
+        // gaps), so the table stays proportional to the static
+        // instruction count — catches a sparse-PC regression that would
+        // balloon this to O(max_pc) dead slots at 16×16 scale.
+        debug_assert!(
+            (n as u64) <= 16 * (prog.total_insts() + 4),
+            "LastWindowTable sized {n} for {} static insts: sparse PCs",
+            prog.total_insts()
+        );
         LastWindowTable {
             slots: vec![NO_WINDOW; n],
         }
     }
 
     #[inline]
-    fn get(&self, pc: Pc) -> Option<Cycle> {
+    pub(crate) fn get(&self, pc: Pc) -> Option<Cycle> {
         let w = self.slots[pc as usize];
         (w != NO_WINDOW).then_some(w)
     }
 
     #[inline]
-    fn set(&mut self, pc: Pc, w: Cycle) {
+    pub(crate) fn set(&mut self, pc: Pc, w: Cycle) {
         self.slots[pc as usize] = w;
     }
 }
@@ -131,6 +141,21 @@ impl PreResultTable {
                     })
                     .max()
                     .unwrap_or(0);
+                // Ids are assigned consecutively per trace by `lower()`,
+                // so the dense table stays proportional to the trace's
+                // static pre-compute count — catches a sparse-id
+                // regression that would balloon this to O(max_id) dead
+                // slots per core on a 16×16 mesh.
+                debug_assert!(
+                    (n as u64)
+                        <= 4 + t
+                            .insts
+                            .iter()
+                            .filter(|i| matches!(i.kind, InstKind::PreCompute { .. }))
+                            .count() as u64
+                            * 16,
+                    "PreResultTable sized {n} for sparse precompute ids"
+                );
                 vec![None; n]
             })
             .collect();
@@ -145,6 +170,10 @@ impl PreResultTable {
             // Hand-built traces (tests, fuzzing) may use sparse ids.
             v.resize(i + 1, None);
         }
+        // Occupancy audit: `lower()` links each id to exactly one
+        // consumer, so a slot is never re-filled before it was taken —
+        // a double fill would silently drop an offloaded result.
+        debug_assert!(v[i].is_none(), "precompute id {id} double-filled");
         v[i] = Some(r);
     }
 
@@ -285,12 +314,17 @@ impl<'a> Engine<'a> {
         // Pending pre-compute results, dense per core and id.
         let mut pre_results = PreResultTable::for_program(self.prog);
 
-        let mut heap: BinaryHeap<(Reverse<Cycle>, usize)> = (0..self.prog.traces.len())
-            .filter(|&c| !self.prog.traces[c].insts.is_empty())
-            .map(|c| (Reverse(0), c))
-            .collect();
+        // The ready queue: a time-bucketed calendar with the exact pop
+        // order of the binary heap it replaced (min time, ties by max
+        // core index), at O(1) amortized per schedule step.
+        let mut ready = crate::queue::ReadyQueue::new();
+        for c in 0..self.prog.traces.len() {
+            if !self.prog.traces[c].insts.is_empty() {
+                ready.push(0, c);
+            }
+        }
 
-        while let Some((Reverse(_), c)) = heap.pop() {
+        while let Some((_, c)) = ready.pop() {
             let trace = &self.prog.traces[c];
             if states[c].idx >= trace.insts.len() {
                 states[c].done = true;
@@ -317,7 +351,7 @@ impl<'a> Engine<'a> {
                 sink,
             );
             if states[c].idx < trace.insts.len() {
-                heap.push((Reverse(states[c].now), c));
+                ready.push(states[c].now, c);
             } else {
                 // Drain outstanding.
                 let st = &mut states[c];
@@ -1008,7 +1042,7 @@ impl<'a> Engine<'a> {
 /// The segment boundaries reconstruct the resolve timing exactly
 /// (`op_done = max(t_a, t_b) + 1`, `wait = |t_a - t_b|`), so the
 /// children tile `[issue, result_at_core)` with no residue.
-fn record_ndc_span(
+pub(crate) fn record_ndc_span(
     machine: &mut Machine,
     core: u32,
     loc_label: &str,
@@ -1030,7 +1064,7 @@ fn record_ndc_span(
 }
 
 /// Record per-PC L1/L2 hit-miss outcomes from a conventional access.
-fn record_pc_cache(result: &mut SimResult, pc: Pc, slot: u8, path: &AccessPath) {
+pub(crate) fn record_pc_cache(result: &mut SimResult, pc: Pc, slot: u8, path: &AccessPath) {
     result.record_l1(pc, slot, path.l1_hit, path.coherence_miss);
     if let Some(l2) = path.l2 {
         result.record_l2(pc, slot, l2.hit);

@@ -26,14 +26,17 @@
 
 pub mod engine;
 pub mod instrument;
+pub mod lanes;
 pub mod machine;
 pub mod ndc;
+pub mod queue;
 pub mod report;
 pub mod schemes;
 pub mod stats;
 
 pub use engine::{simulate, simulate_checked, simulate_obs, CheckData, Engine, EngineOutput};
 pub use instrument::{BreakevenInfo, Instrumentation, WindowObservation};
+pub use lanes::{simulate_lanes, simulate_lanes_checked, simulate_lanes_obs, LaneEngine};
 pub use machine::{AccessPath, CheckRecorder, Machine, SpanRecorder, SPAN_SEED};
 pub use ndc::{NdcOutcome, NdcResolution, ALL_ABORT_REASONS};
 pub use report::build_metrics;

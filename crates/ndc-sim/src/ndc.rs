@@ -154,10 +154,22 @@ pub struct ServiceTables {
 impl ServiceTables {
     fn slot(&mut self, loc: NdcLocation, node: NodeId) -> &mut Vec<Cycle> {
         let idx = node.0 as usize * 4 + loc.index();
+        // Dense per-(node, location) table: bounded by the widest mesh
+        // the directory supports (16×16 = 256 nodes), so a bad NodeId
+        // can't silently balloon the vector.
+        debug_assert!(
+            idx < ndc_mem::MAX_CORES * 4,
+            "service-table slot {idx} outside the 16x16 mesh bound"
+        );
         if idx >= self.entries.len() {
             self.entries.resize_with(idx + 1, Vec::new);
         }
         &mut self.entries[idx]
+    }
+
+    /// Total live entries across all components (occupancy audit).
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().map(Vec::len).sum()
     }
 
     /// Count live entries at `now` (pruning released ones).
@@ -167,8 +179,27 @@ impl ServiceTables {
         v.len()
     }
 
-    fn insert(&mut self, loc: NdcLocation, node: NodeId, release: Cycle) {
+    /// Read-only live-entry count at `now` — the lane engine's frozen
+    /// view during a parallel phase (no pruning, no slot allocation).
+    pub(crate) fn live_at(&self, loc: NdcLocation, node: NodeId, now: Cycle) -> usize {
+        let idx = node.0 as usize * 4 + loc.index();
+        self.entries
+            .get(idx)
+            .map_or(0, |v| v.iter().filter(|&&r| r > now).count())
+    }
+
+    pub(crate) fn insert(&mut self, loc: NdcLocation, node: NodeId, release: Cycle) {
         self.slot(loc, node).push(release);
+    }
+
+    /// Drop entries released at or before `now` from every slot — the
+    /// lane engine's epoch-barrier garbage collection (the serial
+    /// engine prunes lazily inside `live`, which the frozen view
+    /// cannot).
+    pub(crate) fn prune_released(&mut self, now: Cycle) {
+        for v in &mut self.entries {
+            v.retain(|&r| r > now);
+        }
     }
 
     pub fn clear(&mut self) {
@@ -298,7 +329,7 @@ pub fn candidate_meetings(
 }
 
 /// The data-reply routes used for link-overlap evaluation.
-fn reply_routes(
+pub(crate) fn reply_routes(
     machine: &Machine,
     core: NodeId,
     bank_a: NodeId,
@@ -353,23 +384,55 @@ pub fn resolve(
     issue: Cycle,
     params: ResolveParams,
 ) -> NdcOutcome {
-    let cfg = machine.cfg;
+    let cands = candidate_meetings(machine, core, a, b, params.reshape);
+    resolve_with_candidates(machine, tables, core, op, a, b, issue, params, cands)
+}
+
+/// The pure decision half of a resolution: everything up to (but not
+/// including) charging the network and mutating the service tables.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ResolvePlan {
+    Abort { reason: AbortReason, at: Cycle },
+    Perform { chosen: Meeting, wait: Cycle },
+}
+
+/// Decide the outcome of an NDC package without side effects on the
+/// network. Shared by the serial engine (which then charges the live
+/// [`Machine`]) and the lane engine (which charges its per-core
+/// `LanePlanner` and defers the table insert to the epoch barrier).
+///
+/// `return_latency(n)` is the uncontended one-way latency node → core;
+/// `live(loc, node, at)` counts live service-table entries — the
+/// serial engine passes the pruning [`ServiceTables::live`], the lane
+/// engine a frozen [`ServiceTables::live_at`] plus its own epoch
+/// overlay. It is called at most once.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn plan_resolution(
+    cfg: &ndc_types::ArchConfig,
+    return_latency: impl Fn(NodeId) -> Cycle,
+    live: impl FnOnce(NdcLocation, NodeId, Cycle) -> usize,
+    op: Op,
+    a: &AccessPath,
+    b: &AccessPath,
+    issue: Cycle,
+    params: ResolveParams,
+    mut cands: Vec<Meeting>,
+) -> ResolvePlan {
     // Local L1 copy: the LD/ST unit skips the offload (handled by the
     // caller for timing; reported here for completeness).
     if a.l1_hit || b.l1_hit {
-        return NdcOutcome::Aborted {
+        return ResolvePlan::Abort {
             reason: AbortReason::LocalHit,
             at: issue,
         };
     }
     if !cfg.ndc.op_class.allows(op) {
-        return NdcOutcome::Aborted {
+        return ResolvePlan::Abort {
             reason: AbortReason::OpNotAllowed,
             at: issue,
         };
     }
 
-    let mut cands = candidate_meetings(machine, core, a, b, params.reshape);
     cands.retain(|m| cfg.ndc.location_enabled(m.loc));
     match params.policy {
         LocationPolicy::Only(loc) => cands.retain(|m| m.loc == loc),
@@ -380,7 +443,7 @@ pub fn resolve(
         // and nothing met; the hardware knows once both journeys
         // resolve, and signals the offload table (no time-out wait).
         let at = a.completion.max(b.completion).max(issue);
-        return NdcOutcome::Aborted {
+        return ResolvePlan::Abort {
             reason: AbortReason::NoColocation,
             at,
         };
@@ -389,7 +452,7 @@ pub fn resolve(
     let chosen = match params.policy {
         LocationPolicy::Best => *cands
             .iter()
-            .min_by_key(|m| m.ready() + machine.hop_latency(m.node, core))
+            .min_by_key(|m| m.ready() + return_latency(m.node))
             .unwrap(),
         _ => cands[0],
     };
@@ -399,7 +462,7 @@ pub fn resolve(
     if let Some(budget) = params.budget {
         if wait > budget {
             let first = chosen.t_a.min(chosen.t_b);
-            return NdcOutcome::Aborted {
+            return ResolvePlan::Abort {
                 reason: AbortReason::BudgetExceeded,
                 at: first + budget,
             };
@@ -410,7 +473,7 @@ pub fn resolve(
         if let Some(tmo) = cfg.ndc.timeout {
             if wait > tmo {
                 let first = chosen.t_a.min(chosen.t_b);
-                return NdcOutcome::Aborted {
+                return ResolvePlan::Abort {
                     reason: AbortReason::Timeout,
                     at: first + tmo,
                 };
@@ -423,14 +486,54 @@ pub fn resolve(
     // the expensive path that makes indiscriminate offloading hurt.
     let arrive = chosen.t_a.min(chosen.t_b);
     if !params.ignore_limits
-        && tables.live(chosen.loc, chosen.node, arrive) >= cfg.ndc.service_table_entries
+        && live(chosen.loc, chosen.node, arrive) >= cfg.ndc.service_table_entries
     {
         let wasted = cfg.ndc.timeout.unwrap_or(0);
-        return NdcOutcome::Aborted {
+        return ResolvePlan::Abort {
             reason: AbortReason::ServiceTableFull,
             at: arrive + wasted,
         };
     }
+    ResolvePlan::Perform { chosen, wait }
+}
+
+/// [`resolve`] with the candidate meetings already computed.
+///
+/// `candidate_meetings` is a pure function of the two operand paths and
+/// the mesh, so the lane engine precomputes candidates for a whole
+/// epoch's offloads in parallel (read-only machine) and then resolves
+/// them serially in canonical order — only this part reads and writes
+/// the shared service tables, link horizons, and predictor state.
+/// `cands` must be the unfiltered output of [`candidate_meetings`] for
+/// `(core, a, b, params.reshape)`.
+#[allow(clippy::too_many_arguments)]
+pub fn resolve_with_candidates(
+    machine: &mut Machine,
+    tables: &mut ServiceTables,
+    core: NodeId,
+    op: Op,
+    a: &AccessPath,
+    b: &AccessPath,
+    issue: Cycle,
+    params: ResolveParams,
+    cands: Vec<Meeting>,
+) -> NdcOutcome {
+    let cfg = machine.cfg;
+    let plan = plan_resolution(
+        &cfg,
+        |n| machine.hop_latency(n, core),
+        |loc, node, at| tables.live(loc, node, at),
+        op,
+        a,
+        b,
+        issue,
+        params,
+        cands,
+    );
+    let (chosen, wait) = match plan {
+        ResolvePlan::Abort { reason, at } => return NdcOutcome::Aborted { reason, at },
+        ResolvePlan::Perform { chosen, wait } => (chosen, wait),
+    };
 
     // Charge the data movement that actually happens for a link-buffer
     // meeting: each operand's data travels from its bank to the meeting

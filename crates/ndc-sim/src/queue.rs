@@ -1,0 +1,251 @@
+//! Bucketed calendar ready-queue for the serial engine's core scheduler.
+//!
+//! The serial engine repeatedly extracts the earliest-ready core,
+//! executes one instruction, and reinserts it at its new local time —
+//! a classic event-scheduler hot loop. A binary heap costs O(log n)
+//! per operation with poor locality; core wake-up times are instead
+//! strongly clustered (most instructions advance a core by 0–2 cycles,
+//! memory operations by at most a DRAM round trip), which is exactly
+//! the access pattern a calendar queue turns into O(1) amortized
+//! index-based bucket operations.
+//!
+//! [`ReadyQueue`] keeps a ring of one-cycle buckets covering
+//! `[cur, cur + SPAN)` plus a far-overflow heap for the rare entry
+//! beyond the ring. It reproduces the previous
+//! `BinaryHeap<(Reverse<Cycle>, usize)>` pop order **byte-exactly**:
+//! minimum time first, ties by maximum core index — a total order, so
+//! swapping the structure cannot change any simulation result.
+
+use ndc_types::Cycle;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Ring width in cycles. Covers an L2-miss round trip with margin;
+/// entries further out (long `Busy` regions, deep DRAM queueing) take
+/// the overflow path.
+const SPAN: usize = 1024;
+const WORDS: usize = SPAN / 64;
+
+/// A time-indexed ready queue over `(wake_cycle, core_index)` entries.
+///
+/// Invariants: every ring entry's time is in `[cur, cur + SPAN)`; every
+/// far entry's time is `>= cur + SPAN` *at the moment it was pushed*
+/// (entries are migrated into the ring as `cur` advances); a core
+/// appears at most once.
+pub struct ReadyQueue {
+    cur: Cycle,
+    /// One bucket per cycle in the ring window, indexed by `t % SPAN`.
+    /// All entries of a bucket share the same wake time.
+    buckets: Vec<Vec<usize>>,
+    /// Bitmap of non-empty buckets, one bit per bucket.
+    occ: [u64; WORDS],
+    in_ring: usize,
+    /// Entries at or beyond the ring horizon, min-time first.
+    far: BinaryHeap<(Reverse<Cycle>, usize)>,
+}
+
+impl ReadyQueue {
+    pub fn new() -> Self {
+        ReadyQueue {
+            cur: 0,
+            buckets: (0..SPAN).map(|_| Vec::new()).collect(),
+            occ: [0; WORDS],
+            in_ring: 0,
+            far: BinaryHeap::new(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.in_ring == 0 && self.far.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.in_ring + self.far.len()
+    }
+
+    /// Insert a core waking at `t`. Times never precede the last pop
+    /// (the scheduler only moves forward).
+    pub fn push(&mut self, t: Cycle, core: usize) {
+        debug_assert!(t >= self.cur, "push into the past: {t} < {}", self.cur);
+        if t < self.cur + SPAN as Cycle {
+            let b = (t % SPAN as Cycle) as usize;
+            self.buckets[b].push(core);
+            self.occ[b / 64] |= 1 << (b % 64);
+            self.in_ring += 1;
+        } else {
+            self.far.push((Reverse(t), core));
+        }
+    }
+
+    /// Extract the minimum-time entry, ties broken by **maximum** core
+    /// index (the binary-heap order this queue replaces).
+    pub fn pop(&mut self) -> Option<(Cycle, usize)> {
+        if self.in_ring == 0 {
+            // Jump straight to the earliest far entry (no empty-cycle
+            // crawl across a long quiet gap).
+            let &(Reverse(t), _) = self.far.peek()?;
+            self.cur = t;
+            self.migrate();
+        }
+        debug_assert!(self.in_ring > 0);
+        // Find the first non-empty bucket at or after `cur` via the
+        // occupancy bitmap: at most WORDS+1 word probes.
+        let start = (self.cur % SPAN as Cycle) as usize;
+        let delta = self.next_occupied_delta(start);
+        self.cur += delta as Cycle;
+        if delta > 0 {
+            // The window advanced: far entries may now be inside it.
+            self.migrate();
+            // Migration can populate an earlier bucket than the one
+            // found (far times land anywhere in the new window, and the
+            // window origin moved), so re-scan from the new `cur`.
+            let start = (self.cur % SPAN as Cycle) as usize;
+            let delta = self.next_occupied_delta(start);
+            self.cur += delta as Cycle;
+        }
+        let b = (self.cur % SPAN as Cycle) as usize;
+        let bucket = &mut self.buckets[b];
+        debug_assert!(!bucket.is_empty());
+        // Same-time ties: the replaced heap popped the largest core
+        // index first.
+        let (pos, _) = bucket
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .expect("occupied bucket");
+        let core = bucket.swap_remove(pos);
+        if bucket.is_empty() {
+            self.occ[b / 64] &= !(1 << (b % 64));
+        }
+        self.in_ring -= 1;
+        Some((self.cur, core))
+    }
+
+    /// Distance in buckets from `start` to the first occupied bucket,
+    /// searching the ring circularly.
+    fn next_occupied_delta(&self, start: usize) -> usize {
+        let word0 = start / 64;
+        // First (partial) word.
+        let masked = self.occ[word0] & (!0u64 << (start % 64));
+        if masked != 0 {
+            return masked.trailing_zeros() as usize - start % 64;
+        }
+        for i in 1..=WORDS {
+            let w = (word0 + i) % WORDS;
+            if self.occ[w] != 0 {
+                let bit = self.occ[w].trailing_zeros() as usize;
+                let abs = w * 64 + bit;
+                return (abs + SPAN - start) % SPAN;
+            }
+        }
+        unreachable!("next_occupied_delta on an empty ring");
+    }
+
+    /// Move far entries now inside `[cur, cur + SPAN)` into the ring.
+    fn migrate(&mut self) {
+        while let Some(&(Reverse(t), _)) = self.far.peek() {
+            if t >= self.cur + SPAN as Cycle {
+                break;
+            }
+            let (Reverse(t), core) = self.far.pop().expect("peeked");
+            let b = (t % SPAN as Cycle) as usize;
+            self.buckets[b].push(core);
+            self.occ[b / 64] |= 1 << (b % 64);
+            self.in_ring += 1;
+        }
+    }
+}
+
+impl Default for ReadyQueue {
+    fn default() -> Self {
+        ReadyQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndc_types::SplitMix64;
+
+    /// Reference order: the binary heap the calendar queue replaces.
+    fn heap_drain(entries: &[(Cycle, usize)]) -> Vec<(Cycle, usize)> {
+        let mut h: BinaryHeap<(Reverse<Cycle>, usize)> =
+            entries.iter().map(|&(t, c)| (Reverse(t), c)).collect();
+        let mut out = Vec::new();
+        while let Some((Reverse(t), c)) = h.pop() {
+            out.push((t, c));
+        }
+        out
+    }
+
+    #[test]
+    fn matches_heap_order_on_random_monotone_workload() {
+        let mut g = SplitMix64::new(0xca1e);
+        for _ in 0..64 {
+            // A schedulable set: distinct cores, random times, some far
+            // beyond the ring span, with same-time ties.
+            let n = 1 + g.below(24) as usize;
+            let entries: Vec<(Cycle, usize)> = (0..n)
+                .map(|c| {
+                    let t = match g.below(4) {
+                        0 => g.below(4),                // dense ties near zero
+                        1 => g.below(SPAN as u64),      // inside the ring
+                        _ => g.below(16 * SPAN as u64), // overflow territory
+                    };
+                    (t, c)
+                })
+                .collect();
+            let mut q = ReadyQueue::new();
+            for &(t, c) in &entries {
+                q.push(t, c);
+            }
+            let mut got = Vec::new();
+            while let Some(e) = q.pop() {
+                got.push(e);
+            }
+            assert_eq!(got, heap_drain(&entries));
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_matches_heap() {
+        // Simulate the engine loop: pop a core, advance it by a random
+        // delta, push it back — against the reference heap in lockstep.
+        let mut g = SplitMix64::new(0x5eed);
+        let mut q = ReadyQueue::new();
+        let mut h: BinaryHeap<(Reverse<Cycle>, usize)> = BinaryHeap::new();
+        for c in 0..8 {
+            q.push(0, c);
+            h.push((Reverse(0), c));
+        }
+        for step in 0..4008 {
+            let (Reverse(ht), hc) = h.pop().unwrap();
+            let (qt, qc) = q.pop().unwrap();
+            assert_eq!((qt, qc), (ht, hc), "step {step}");
+            // Retire the cores over the final steps; reschedule until then.
+            if step < 4000 {
+                let delta = match g.below(8) {
+                    0..=4 => g.below(3),
+                    5 | 6 => g.below(400),
+                    _ => g.below(3 * SPAN as u64),
+                };
+                q.push(qt + delta, qc);
+                h.push((Reverse(ht + delta), hc));
+            }
+        }
+        assert_eq!(q.len(), h.len());
+    }
+
+    #[test]
+    fn len_and_empty_track_both_tiers() {
+        let mut q = ReadyQueue::new();
+        assert!(q.is_empty());
+        q.push(0, 0);
+        q.push(10 * SPAN as Cycle, 1);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((0, 0)));
+        assert_eq!(q.pop(), Some((10 * SPAN as Cycle, 1)));
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -240,6 +240,18 @@ impl ArchConfig {
         c
     }
 
+    /// The paper machine lifted onto a `width`×`height` mesh — the
+    /// first-class mesh-size experiment axis. Everything else (link
+    /// width, hop latency, cache geometry, the four corner memory
+    /// controllers, DRAM timing) stays at Table 1 values so a sweep
+    /// over mesh sizes isolates the topology term.
+    pub fn with_mesh(width: u16, height: u16) -> Self {
+        let mut c = Self::paper_default();
+        c.noc.width = width;
+        c.noc.height = height;
+        c
+    }
+
     /// Number of nodes (cores) on the mesh.
     pub fn nodes(&self) -> usize {
         self.noc.nodes()

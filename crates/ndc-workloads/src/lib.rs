@@ -38,15 +38,58 @@ pub enum Suite {
 pub enum Scale {
     Test,
     Paper,
+    /// Footprint scaled to `base * num / den` elements — the mesh
+    /// scale-up axis. `Scale::proportional(nodes)` keeps *per-core*
+    /// work constant as the mesh grows: the 5×5 paper mesh maps to
+    /// `Test` size exactly (25/200 = 1/8), a 16×16 mesh to 256/200 of
+    /// the paper footprint.
+    Fraction {
+        num: u32,
+        den: u32,
+    },
 }
 
 impl Scale {
     /// A 1-D extent: `base` elements at `Paper` scale, an eighth at
-    /// `Test` scale.
+    /// `Test` scale, `base * num / den` for the proportional axis.
     pub fn n(&self, base: u64) -> u64 {
         match self {
             Scale::Paper => base,
             Scale::Test => (base / 8).max(64),
+            Scale::Fraction { num, den } => {
+                (base * u64::from(*num) / u64::from(*den).max(1)).max(64)
+            }
+        }
+    }
+
+    /// The proportional scale for a mesh of `nodes` cores: per-core
+    /// work matches `Scale::Test` on the paper's 5×5 mesh.
+    pub fn proportional(nodes: usize) -> Self {
+        Scale::Fraction {
+            num: nodes as u32,
+            den: 200,
+        }
+    }
+
+    /// Interpolate a benchmark's own calibrated extents: `paper` at
+    /// full scale, `test` at 1/8 footprint, linear in footprint
+    /// fraction in between (and extrapolated beyond `Paper` for meshes
+    /// larger than 5×5 — a 16×16 proportional run is 1.28× the paper
+    /// footprint). Kernels with hand-tuned non-1/8 test extents (3-D
+    /// stencils, padded banks) stay anchored to both calibration
+    /// points instead of being rescaled blindly.
+    pub fn pick(&self, paper: i64, test: i64) -> i64 {
+        match self {
+            Scale::Paper => paper,
+            Scale::Test => test,
+            Scale::Fraction { num, den } => {
+                let num = i64::from(*num);
+                let den = i64::from(*den).max(1);
+                // footprint fraction f = num/den; f = 1/8 -> test,
+                // f = 1 -> paper: test + (paper-test)*(8f-1)/7.
+                let v = test + (paper - test) * (8 * num - den) / (7 * den);
+                v.max(test.min(paper)).max(2)
+            }
         }
     }
 }

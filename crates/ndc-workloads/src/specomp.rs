@@ -107,10 +107,7 @@ pub fn md(scale: Scale) -> Program {
 /// dimension walks one L1 line per iteration; halo operands one line
 /// apart (same 256 B L2 line half the time).
 pub fn bwaves(scale: Scale) -> Program {
-    let n = match scale {
-        Scale::Paper => 32i64,
-        Scale::Test => 8,
-    };
+    let n = scale.pick(32, 8);
     let mut p = Program::new("bwaves");
     let u = p.add_array(ArrayDecl::new(
         "U",
@@ -150,10 +147,7 @@ pub fn bwaves(scale: Scale) -> Program {
 /// streaming distance matrix — locality-bound, so the compiler plans
 /// little here.
 pub fn nab(scale: Scale) -> Program {
-    let n = match scale {
-        Scale::Paper => 140i64,
-        Scale::Test => 36,
-    };
+    let n = scale.pick(140, 36);
     let mut p = Program::new("nab");
     let q = p.add_array(ArrayDecl::new("Q", vec![n as u64, n as u64], 8));
     let d = p.add_array(ArrayDecl::new("D", vec![n as u64, (8 * n + 8) as u64], 8));
@@ -189,10 +183,7 @@ pub fn nab(scale: Scale) -> Program {
 /// trips over (the paper notes bt as one of the programs where
 /// Algorithm 2 slightly trails Algorithm 1).
 pub fn bt(scale: Scale) -> Program {
-    let n = match scale {
-        Scale::Paper => 160i64,
-        Scale::Test => 40,
-    };
+    let n = scale.pick(160, 40);
     let mut p = Program::new("bt");
     let a = p.add_array(ArrayDecl::new("A", vec![n as u64, n as u64], 8));
     let rhs = p.add_array(ArrayDecl::new("RHS", vec![n as u64, n as u64], 8));
@@ -294,10 +285,7 @@ pub fn swim(scale: Scale) -> Program {
     // one NUCA bank wrap; padding U to a 12800-element multiple then
     // makes the stencil pair share an L2 home bank at every iteration —
     // swim is a cache-controller workload.
-    let (ni, nj) = match scale {
-        Scale::Paper => (160i64, 99i64),
-        Scale::Test => (26, 99),
-    };
+    let (ni, nj) = (scale.pick(160, 26), 99i64);
     let row = (8 * nj + 16) as u64;
     let mut p = Program::new("swim");
     let u = p.add_array(ArrayDecl::new("U", vec![ni as u64, row], 8));
@@ -340,10 +328,7 @@ pub fn swim(scale: Scale) -> Program {
 /// scattering home banks and defeating constant-distance dependence
 /// analysis.
 pub fn imagick(scale: Scale) -> Program {
-    let n = match scale {
-        Scale::Paper => 144i64,
-        Scale::Test => 32,
-    };
+    let n = scale.pick(144, 32);
     let mut p = Program::new("imagick");
     let img = p.add_array(ArrayDecl::new(
         "IMG",
@@ -398,10 +383,7 @@ pub fn mgrid(scale: Scale) -> Program {
 /// `applu` — SSOR wavefront: the Figure 10 dependence `(1, −1)` on a
 /// line-stride grid, constraining both interchange and lookahead.
 pub fn applu(scale: Scale) -> Program {
-    let (ni, nj) = match scale {
-        Scale::Paper => (160i64, 112i64),
-        Scale::Test => (24, 16),
-    };
+    let (ni, nj) = (scale.pick(160, 24), scale.pick(112, 16));
     let mut p = Program::new("applu");
     let x = p.add_array(ArrayDecl::new(
         "X",
@@ -452,10 +434,7 @@ pub fn applu(scale: Scale) -> Program {
 /// recurrence on the score matrix with flow dependences (1,1) and
 /// (0,1); locality-bound and order-constrained, so NDC has little room.
 pub fn smith_wa(scale: Scale) -> Program {
-    let n = match scale {
-        Scale::Paper => 160i64,
-        Scale::Test => 40,
-    };
+    let n = scale.pick(160, 40);
     let mut p = Program::new("smith.wa");
     let h = p.add_array(ArrayDecl::new("H", vec![n as u64, n as u64], 8));
     let sub = p.add_array(ArrayDecl::new("SUB", vec![n as u64, n as u64], 8));

@@ -66,10 +66,7 @@ pub fn barnes(scale: Scale) -> Program {
 /// programs gain the least from NDC (the paper's worst case, 11.4%) —
 /// Algorithm 2 rightly bypasses most chains here.
 pub fn cholesky(scale: Scale) -> Program {
-    let n = match scale {
-        Scale::Paper => 150i64,
-        Scale::Test => 40,
-    };
+    let n = scale.pick(150, 40);
     let mut p = Program::new("cholesky");
     let a = p.add_array(ArrayDecl::new("A", vec![n as u64, n as u64], 8));
     let l = p.add_array(ArrayDecl::new("L", vec![n as u64, n as u64], 8));
@@ -142,10 +139,7 @@ pub fn fft(scale: Scale) -> Program {
 /// `lu` — dense LU decomposition: rank-1 updates from row and column
 /// panels (both broadcast-shaped, heavily reused) — locality-bound.
 pub fn lu(scale: Scale) -> Program {
-    let n = match scale {
-        Scale::Paper => 150i64,
-        Scale::Test => 40,
-    };
+    let n = scale.pick(150, 40);
     let mut p = Program::new("lu");
     let a = p.add_array(ArrayDecl::new("A", vec![n as u64, n as u64], 8));
     let piv = p.add_array(ArrayDecl::new("PIV", vec![n as u64, n as u64], 8));
@@ -194,10 +188,7 @@ pub fn lu(scale: Scale) -> Program {
 /// so per-instance arrival windows jitter with row-buffer and NoC
 /// state — the paper's Figure 5 unpredictability example.
 pub fn ocean(scale: Scale) -> Program {
-    let (ni, nj) = match scale {
-        Scale::Paper => (160i64, 112i64),
-        Scale::Test => (24, 16),
-    };
+    let (ni, nj) = (scale.pick(160, 24), scale.pick(112, 16));
     let mut p = Program::new("ocean");
     let q = p.add_array(ArrayDecl::new(
         "Q",
@@ -311,10 +302,7 @@ pub fn raytrace(scale: Scale) -> Program {
 /// z-planes apart (line-stride inner walk), plus a fine-stride 2-D
 /// compositing pass with reuse.
 pub fn volrend(scale: Scale) -> Program {
-    let n = match scale {
-        Scale::Paper => 30i64,
-        Scale::Test => 8,
-    };
+    let n = scale.pick(30, 8);
     let mut p = Program::new("volrend");
     let vol = p.add_array(ArrayDecl::new(
         "VOL",

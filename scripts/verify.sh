@@ -82,6 +82,28 @@ fi
 cat "$ln1"
 echo "ok: lint verdicts bit-identical across thread counts"
 
+echo "== mesh scale-up: lane engine determinism + BENCH_scale.json =="
+# Fast mode: 8x8 mesh only, lane counts {1, 2}. The subcommand itself
+# asserts the lane engine's SimResult is byte-identical across lane
+# counts; here we additionally pin the *printed study* (tables include
+# simulated cycles and instruction counts) across NDC_THREADS.
+sc1=$(mktemp) && sc8=$(mktemp)
+trap 'rm -f "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b" "$ex1" "$ex8" "$ln1" "$ln8" "$sc1" "$sc8"' EXIT
+NDC_BENCH_FAST=1 NDC_THREADS=1 "$EVAL" scale > "$sc1"
+NDC_BENCH_FAST=1 NDC_THREADS=8 "$EVAL" scale > "$sc8"
+if ! diff -q <(grep -v "host ms\|insts/sec\|speedup" "$sc1" | cut -c1-60) \
+             <(grep -v "host ms\|insts/sec\|speedup" "$sc8" | cut -c1-60) > /dev/null; then
+    echo "FAIL: scale study simulated results differ across thread counts" >&2
+    diff "$sc1" "$sc8" | head -20 >&2
+    exit 1
+fi
+echo "ok: scale study simulated cycles/instructions bit-identical across thread counts"
+test -s BENCH_scale.json || { echo "FAIL: BENCH_scale.json missing" >&2; exit 1; }
+grep -q '"deterministic_across_lanes":true' BENCH_scale.json \
+    || { echo "FAIL: BENCH_scale.json missing determinism attestation" >&2; exit 1; }
+grep -q '"rows"' BENCH_scale.json \
+    || { echo "FAIL: BENCH_scale.json has no measurement rows" >&2; exit 1; }
+
 echo "== bench harness smoke (appends BENCH_fig4_schemes.json) =="
 NDC_BENCH_FAST=1 cargo bench --offline -p bench --bench fig4_schemes
 test -s BENCH_fig4_schemes.json || { echo "FAIL: BENCH_fig4_schemes.json missing" >&2; exit 1; }
