@@ -23,9 +23,17 @@
 //!   check             differential oracle + simulator invariants + fault matrix
 //!   lint              static legality: certificates, bounds proofs, race report
 //!   scale             mesh scale-up study: lane engine vs serial, BENCH_scale.json
-//!   all               everything above in sequence (except check, lint, scale)
+//!   fuzz              seeded IR fuzzing: generator -> compilers -> oracle -> checked sim
+//!   gen               seeded corpus summary (class mix, shapes, degenerate coverage)
+//!   all               everything above in sequence (except check, lint, scale, fuzz)
 //!   help              full usage (also -h / --help)
 //! ```
+//!
+//! `fuzz` drives `--count` seeded programs (seeds `--seed`, `--seed`+1,
+//! ...) through every layer and exits 1 on any divergence, invariant
+//! violation, or panic, printing the reproducing seed; rerun one case
+//! with `ndc-eval fuzz --count 1 --seed <seed>`. The class × bottleneck
+//! corpus table lands in `BENCH_fuzz_corpus.json`.
 //!
 //! `--metrics` writes a per-run component-level breakdown (engine,
 //! NDC, caches, directory, NoC links, DRAM channels) of every
@@ -58,6 +66,10 @@ struct Args {
     bench: Option<String>,
     metrics: Option<String>,
     trace: Option<String>,
+    /// `--count` for fuzz/gen (default 256).
+    count: Option<usize>,
+    /// `--seed` for fuzz/gen (default 7, the acceptance seed).
+    seed: Option<u64>,
 }
 
 impl Args {
@@ -100,7 +112,11 @@ fn usage() {
     println!("  check             differential oracle + simulator invariants + fault matrix");
     println!("  lint              static legality: certificates, bounds proofs, race report");
     println!("  scale             mesh scale-up study: lane engine vs serial, BENCH_scale.json");
-    println!("  all               everything above in sequence (except check, lint, scale)");
+    println!(
+        "  fuzz              seeded IR fuzzing: generator -> compilers -> oracle -> checked sim"
+    );
+    println!("  gen               seeded corpus summary (class mix, shapes, degenerate coverage)");
+    println!("  all               everything above in sequence (except check, lint, scale, fuzz)");
     println!("  help              this text (also -h / --help)");
     println!();
     println!("flags:");
@@ -108,6 +124,8 @@ fn usage() {
     println!("  --bench <name>       restrict to one benchmark (see `list`)");
     println!("  --metrics <path>     per-run component breakdown JSON (evaluation runs)");
     println!("  --trace <path>       NDC offload events, Chrome trace format (implies metrics)");
+    println!("  --count <n>          fuzz/gen: programs to generate (default: 256)");
+    println!("  --seed <u64>         fuzz/gen: base seed, decimal or 0x hex (default: 7)");
 }
 
 /// Exit 2 with an argument error (usage goes to stderr so piped
@@ -124,6 +142,8 @@ fn parse_args() -> Args {
     let mut bench = None;
     let mut metrics = None;
     let mut trace = None;
+    let mut count = None;
+    let mut seed = None;
     let mut it = std::env::args().skip(1);
     let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
         it.next()
@@ -146,6 +166,24 @@ fn parse_args() -> Args {
             "--bench" => bench = Some(value(&mut it, "--bench")),
             "--metrics" => metrics = Some(value(&mut it, "--metrics")),
             "--trace" => trace = Some(value(&mut it, "--trace")),
+            "--count" => {
+                let v = value(&mut it, "--count");
+                count = Some(v.parse().unwrap_or_else(|_| {
+                    arg_error(&format!("--count wants a positive integer, got '{v}'"))
+                }));
+            }
+            "--seed" => {
+                let v = value(&mut it, "--seed");
+                let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => v.parse(),
+                };
+                seed = Some(parsed.unwrap_or_else(|_| {
+                    arg_error(&format!(
+                        "--seed wants a u64 (decimal or 0x hex), got '{v}'"
+                    ))
+                }));
+            }
             flag if flag.starts_with('-') => arg_error(&format!("unknown flag '{flag}'")),
             other if experiment.is_none() => experiment = Some(other.to_string()),
             other => arg_error(&format!(
@@ -159,6 +197,8 @@ fn parse_args() -> Args {
         bench,
         metrics,
         trace,
+        count,
+        seed,
     }
 }
 
@@ -198,6 +238,8 @@ fn main() {
         "check" => check_cmd(&args, cfg),
         "lint" => lint_cmd(&args, cfg),
         "scale" => scale_cmd(&args),
+        "fuzz" => fuzz_cmd(&args, cfg),
+        "gen" => gen_cmd(&args),
         "all" => {
             table1(&cfg);
             let evals = eval_benches(&args, cfg);
@@ -1312,4 +1354,178 @@ fn scale_cmd(args: &Args) {
         )
         .with("rows", rows);
     write_json("BENCH_scale.json", &doc);
+}
+
+/// `fuzz`: drive `--count` seeded programs (seeds `--seed`, `--seed`+1,
+/// ...) through the whole stack — generator, verifier + bounds prover,
+/// both compiler algorithms, schedule lint, the differential oracle,
+/// structured lowering, and the checked simulator — then classify each
+/// simulated run with the DAMOV-style bottleneck taxonomy. Prints the
+/// class × bottleneck corpus table, writes `BENCH_fuzz_corpus.json`,
+/// and exits 1 on any failure with the seed that reproduces it.
+/// Deterministic for any `NDC_THREADS`.
+fn fuzz_cmd(args: &Args, cfg: ArchConfig) {
+    use ndc::fuzz::{fuzz_batch, CorpusTable};
+    use ndc::workloads::gen::GenClass;
+    let count = args.count.unwrap_or(256);
+    let seed = args.seed.unwrap_or(7);
+    println!("== Fuzz: {count} seeded programs from base seed {seed:#x}, full pipeline ==");
+    let outcomes = fuzz_batch(seed, count, &cfg);
+    let table = CorpusTable::build(&outcomes);
+
+    println!();
+    println!("-- corpus coverage: access-pattern class x bottleneck --");
+    println!(
+        "{:<17} {:>9} {:>9} {:>9} {:>9}",
+        "class", "programs", "compute", "dram-bw", "noc"
+    );
+    let mut class_rows: Vec<Json> = Vec::new();
+    for (ci, class) in GenClass::ALL.iter().enumerate() {
+        println!(
+            "{:<17} {:>9} {:>9} {:>9} {:>9}",
+            class.label(),
+            table.per_class[ci],
+            table.cells[ci][0],
+            table.cells[ci][1],
+            table.cells[ci][2],
+        );
+        class_rows.push(
+            Json::obj()
+                .with("class", class.label())
+                .with("programs", table.per_class[ci] as u64)
+                .with("compute", table.cells[ci][0] as u64)
+                .with("dram_bw", table.cells[ci][1] as u64)
+                .with("noc", table.cells[ci][2] as u64),
+        );
+    }
+
+    let planned1: u64 = outcomes.iter().map(|o| o.alg1_planned).sum();
+    let planned2: u64 = outcomes.iter().map(|o| o.alg2_planned).sum();
+    let oracle_legal: usize = outcomes.iter().map(|o| o.oracle_legal).sum();
+    println!();
+    println!(
+        "alg1 chains planned: {planned1}   alg2 chains planned: {planned2}   \
+         oracle-verified transforms: {oracle_legal}"
+    );
+
+    let mut failure_rows: Vec<Json> = Vec::new();
+    for o in outcomes.iter().filter(|o| !o.passed()) {
+        println!();
+        println!(
+            "FAIL seed {:#018x} (reproduce: ndc-eval fuzz --count 1 --seed {:#x})",
+            o.seed, o.seed
+        );
+        for f in &o.failures {
+            println!("  {f}");
+        }
+        failure_rows.push(
+            Json::obj().with("seed", format!("{:#x}", o.seed)).with(
+                "failures",
+                o.failures
+                    .iter()
+                    .map(|f| Json::from(f.as_str()))
+                    .collect::<Vec<_>>(),
+            ),
+        );
+    }
+
+    let doc = Json::obj()
+        .with("experiment", "fuzz")
+        .with("base_seed", format!("{seed:#x}"))
+        .with("count", count as u64)
+        .with("failed", table.failed as u64)
+        .with("clean", table.failed == 0)
+        .with("alg1_planned", planned1)
+        .with("alg2_planned", planned2)
+        .with("oracle_verified_transforms", oracle_legal as u64)
+        .with("classes", class_rows)
+        .with("failures", failure_rows);
+    write_json("BENCH_fuzz_corpus.json", &doc);
+
+    println!();
+    if table.failed > 0 {
+        println!("fuzz: FAILED ({} of {} seeds)", table.failed, table.total);
+        std::process::exit(1);
+    }
+    println!(
+        "fuzz: {} seeds clean — zero divergences, violations, or panics",
+        table.total
+    );
+}
+
+/// `gen`: summarize the seeded corpus without running it — class mix,
+/// shape statistics, and coverage of the degenerate cases the fuzzer
+/// is designed to reach (zero-trip and single-trip nests, negative
+/// strides, zero-work bodies).
+fn gen_cmd(args: &Args) {
+    use ndc::workloads::gen::{generate_batch, GenClass};
+    let count = args.count.unwrap_or(256);
+    let seed = args.seed.unwrap_or(7);
+    println!("== Generated corpus: {count} programs from base seed {seed:#x} ==");
+    let batch = generate_batch(seed, count);
+
+    println!(
+        "{:<17} {:>9} {:>7} {:>12} {:>8} {:>10}",
+        "class", "programs", "nests", "points", "arrays", "KB"
+    );
+    for class in GenClass::ALL {
+        let of_class: Vec<_> = batch.iter().filter(|g| g.class == class).collect();
+        let nests: usize = of_class.iter().map(|g| g.program.nests.len()).sum();
+        let points: u64 = of_class
+            .iter()
+            .flat_map(|g| g.program.nests.iter())
+            .map(|n| n.points())
+            .sum();
+        let arrays: usize = of_class.iter().map(|g| g.program.arrays.len()).sum();
+        let kb: u64 = of_class.iter().map(|g| g.program.footprint() / 1024).sum();
+        println!(
+            "{:<17} {:>9} {:>7} {:>12} {:>8} {:>10}",
+            class.label(),
+            of_class.len(),
+            nests,
+            points,
+            arrays,
+            kb
+        );
+    }
+
+    let zero_trip = batch
+        .iter()
+        .filter(|g| g.program.nests.iter().any(|n| n.is_empty()))
+        .count();
+    let single_trip = batch
+        .iter()
+        .filter(|g| {
+            g.program
+                .nests
+                .iter()
+                .any(|n| n.lo.iter().zip(n.hi.iter()).any(|(&l, &h)| h - l == 1))
+        })
+        .count();
+    let neg_stride = batch
+        .iter()
+        .filter(|g| {
+            g.program.nests.iter().any(|n| {
+                n.body.iter().any(|s| {
+                    s.array_refs().iter().any(|(r, _)| {
+                        (0..r.coeffs.rows).any(|i| (0..r.coeffs.cols).any(|j| r.coeffs[(i, j)] < 0))
+                    })
+                })
+            })
+        })
+        .count();
+    let zero_work = batch
+        .iter()
+        .filter(|g| {
+            g.program
+                .nests
+                .iter()
+                .any(|n| n.body.iter().any(|s| s.work == 0))
+        })
+        .count();
+    println!();
+    println!(
+        "degenerate coverage: zero-trip {zero_trip}, single-trip {single_trip}, \
+         negative-stride {neg_stride}, zero-work {zero_work}"
+    );
 }

@@ -1,0 +1,147 @@
+//! DAMOV-style bottleneck taxonomy over measured counters.
+//!
+//! DAMOV (Oliveira et al.) classifies workloads by *where* their time
+//! goes — compute, memory bandwidth, or interconnect — from hardware
+//! counters rather than hand labels, and NMPO motivates deciding
+//! offload profitability the same way. This module is the counter side
+//! of that methodology for our simulator: a plain counter struct
+//! (filled from `SimResult` by the caller — this crate stays
+//! simulator-independent) and a deterministic classifier labeling each
+//! run compute-bound, DRAM-bandwidth-bound, or NoC-bound.
+//!
+//! The decision is two-step, mirroring DAMOV's: first decide whether
+//! the run is memory-bound at all (share of core-cycles lost to memory
+//! stalls), then attribute memory-boundedness to the network or to the
+//! DRAM side by how much time messages spend queued in the NoC.
+
+/// Counters the classifier conditions on. All are aggregates over a
+/// whole simulation; the caller copies them out of its result type.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BottleneckCounters {
+    /// Cores in the mesh (denominator of per-core-cycle shares).
+    pub cores: u32,
+    /// End-to-end simulated cycles.
+    pub total_cycles: u64,
+    /// Instructions issued across all cores.
+    pub issued_insts: u64,
+    /// Core cycles stalled on full MSHRs (memory-level parallelism
+    /// exhausted — the DRAM-bandwidth signature).
+    pub mshr_stall_cycles: u64,
+    /// Core cycles stalled waiting on NDC offload results.
+    pub offload_stall_cycles: u64,
+    /// Cycles messages spent queued behind busy NoC links.
+    pub noc_queueing_cycles: u64,
+    /// Messages injected into the NoC.
+    pub noc_messages: u64,
+    /// L1 misses (diagnostic; not used by the decision).
+    pub l1_misses: u64,
+    /// L2 misses, i.e. DRAM accesses (diagnostic).
+    pub l2_misses: u64,
+}
+
+/// Where a run's time dominantly goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BottleneckClass {
+    /// Memory stalls are a minor share of core cycles.
+    ComputeBound,
+    /// Memory-bound, and the time is lost on the DRAM side.
+    DramBandwidthBound,
+    /// Memory-bound, and messages queue heavily in the mesh.
+    NocBound,
+}
+
+impl BottleneckClass {
+    pub const ALL: [BottleneckClass; 3] = [
+        BottleneckClass::ComputeBound,
+        BottleneckClass::DramBandwidthBound,
+        BottleneckClass::NocBound,
+    ];
+
+    /// Stable table label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BottleneckClass::ComputeBound => "compute",
+            BottleneckClass::DramBandwidthBound => "dram-bw",
+            BottleneckClass::NocBound => "noc",
+        }
+    }
+}
+
+/// Memory-boundedness threshold: a run is memory-bound when at least
+/// this share of core-cycles is lost to MSHR/offload stalls.
+pub const MEM_BOUND_STALL_SHARE: f64 = 0.20;
+
+/// NoC attribution threshold: a memory-bound run is NoC-bound when the
+/// average message queues for at least this many cycles.
+pub const NOC_BOUND_QUEUE_PER_MSG: f64 = 6.0;
+
+/// Classify one run. Deterministic; an idle run (zero cycles) is
+/// compute-bound by convention.
+pub fn classify(c: &BottleneckCounters) -> BottleneckClass {
+    let core_cycles = (c.total_cycles as f64) * f64::from(c.cores.max(1));
+    if core_cycles <= 0.0 {
+        return BottleneckClass::ComputeBound;
+    }
+    let stall_share = (c.mshr_stall_cycles + c.offload_stall_cycles) as f64 / core_cycles;
+    if stall_share < MEM_BOUND_STALL_SHARE {
+        return BottleneckClass::ComputeBound;
+    }
+    let queue_per_msg = c.noc_queueing_cycles as f64 / (c.noc_messages.max(1)) as f64;
+    if queue_per_msg >= NOC_BOUND_QUEUE_PER_MSG {
+        BottleneckClass::NocBound
+    } else {
+        BottleneckClass::DramBandwidthBound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> BottleneckCounters {
+        BottleneckCounters {
+            cores: 25,
+            total_cycles: 10_000,
+            issued_insts: 200_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn low_stall_share_is_compute_bound() {
+        let mut c = base();
+        c.mshr_stall_cycles = 10_000; // 4% of 250k core-cycles
+        c.noc_queueing_cycles = 1_000_000;
+        assert_eq!(classify(&c), BottleneckClass::ComputeBound);
+    }
+
+    #[test]
+    fn mshr_stalls_without_queueing_are_dram_bound() {
+        let mut c = base();
+        c.mshr_stall_cycles = 100_000; // 40% of core-cycles
+        c.noc_messages = 50_000;
+        c.noc_queueing_cycles = 100_000; // 2 cycles/msg
+        assert_eq!(classify(&c), BottleneckClass::DramBandwidthBound);
+    }
+
+    #[test]
+    fn heavy_queueing_is_noc_bound() {
+        let mut c = base();
+        c.offload_stall_cycles = 100_000;
+        c.noc_messages = 10_000;
+        c.noc_queueing_cycles = 100_000; // 10 cycles/msg
+        assert_eq!(classify(&c), BottleneckClass::NocBound);
+    }
+
+    #[test]
+    fn idle_run_defaults_to_compute_bound() {
+        let c = BottleneckCounters::default();
+        assert_eq!(classify(&c), BottleneckClass::ComputeBound);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let labels: Vec<_> = BottleneckClass::ALL.iter().map(|b| b.label()).collect();
+        assert_eq!(labels, vec!["compute", "dram-bw", "noc"]);
+    }
+}

@@ -18,11 +18,13 @@
 //! misses.
 
 pub mod accuracy;
+pub mod bottleneck;
 pub mod predict;
 pub mod reuse;
 
 pub use accuracy::{
     accuracy_against_sim, offload_accuracy, AccuracyReport, OffloadAccuracy, OffloadAccuracyReport,
 };
+pub use bottleneck::{classify, BottleneckClass, BottleneckCounters};
 pub use predict::{analyze, CmeAnalysis, MissPrediction, RefKey};
 pub use reuse::{innermost_stride, ReuseInfo, ReuseKind};

@@ -29,7 +29,9 @@
 //! before it enters the schedule and the report's provenance.
 
 use crate::estimate::{assess, core_of, LatencyModel, TargetViability};
-use crate::report::{outcome, reason, CandidateRecord, ChainProvenance, CompilerReport};
+use crate::report::{
+    no_offload, outcome, reason, CandidateRecord, ChainProvenance, CompilerReport,
+};
 use ndc_cme::{analyze as cme_analyze, CmeAnalysis, RefKey};
 use ndc_ir::deps::{DependenceGraph, DependenceKind, DistanceVector};
 use ndc_ir::matrix::{candidate_transforms, IMat};
@@ -246,6 +248,7 @@ fn plan_nest(
                     }),
                     same_l1_line: 0.0,
                     outcome: outcome::REUSE_BYPASSED,
+                    no_offload: Some(no_offload::FUTURE_REUSE),
                     candidates: Vec::new(),
                     certificate: None,
                 });
@@ -311,6 +314,7 @@ fn plan_chain(
         p_l1_b,
         same_l1_line: 0.0,
         outcome: outcome::NO_SAMPLES,
+        no_offload: Some(no_offload::EMPTY_ITERATION_SPACE),
         candidates: Vec::new(),
         certificate: None,
     };
@@ -330,6 +334,7 @@ fn plan_chain(
     };
     if !gate {
         prov.outcome = outcome::GATE_REJECTED;
+        prov.no_offload = Some(no_offload::LOCALITY_GATE);
         return (None, prov);
     }
 
@@ -339,10 +344,24 @@ fn plan_chain(
     let (candidates, selected) = evaluate_candidates(cfg, &v);
     prov.candidates = candidates;
     let Some((target, stagger, reshape)) = selected else {
+        // No candidate is viable: fall back to conventional execution
+        // and record why, so consumers never assume a winner exists.
         prov.outcome = outcome::NO_TARGET;
+        prov.no_offload = Some(
+            if prov
+                .candidates
+                .iter()
+                .all(|c| c.reason == reason::LOCATION_DISABLED)
+            {
+                no_offload::ALL_DISABLED
+            } else {
+                no_offload::NO_COLOCATION
+            },
+        );
         return (None, prov);
     };
     prov.outcome = outcome::PLANNED;
+    prov.no_offload = None;
 
     let lookahead = legal_lookahead(nest, deps, stmt, cfg, &v, cores, prog, stagger);
     let strategy = if lookahead > 0 && stagger == 0 {
@@ -476,7 +495,9 @@ fn legal_lookahead(
     let rt = model.est_data_at_bank(core, cfg.l2_home(0), 0.3)
         + stagger.unsigned_abs() as f64
         + 2.0 * cfg.noc.hop_cycles as f64;
-    let cycles_per_iter = estimate_cycles_per_iter(nest, prog, cfg);
+    // Clamp defends the division below: a zero-work, zero-statement
+    // body must never yield cycles_per_iter == 0 (inf/NaN cast to i64).
+    let cycles_per_iter = estimate_cycles_per_iter(nest, prog, cfg).max(1.0);
     let desired = (rt / cycles_per_iter).ceil() as i64;
     let _ = v;
     desired.clamp(1, legal_cap) as u32
@@ -629,7 +650,13 @@ mod tests {
                 NdcLocation::MemoryBank,
             ]
         );
-        let sel = prov.selected().expect("planned chain has a winner");
+        // A planned chain records its winner (and no fallback reason);
+        // `selected()` returning `None` would itself fail the asserts
+        // below, without any `.expect` on the provenance.
+        assert_eq!(prov.no_offload, None);
+        let Some(sel) = prov.selected() else {
+            panic!("planned chain should record a selected candidate");
+        };
         assert_eq!(sel.location, NdcLocation::CacheController);
         assert!(sel.predicted_cycles > 1.0);
         assert!(sel.predicted_bytes_moved >= 0.0);
@@ -805,5 +832,64 @@ mod tests {
         // F = [8] composed with T^-1 = [-1] gives [-8].
         let a = xp.nests[0].body[0].a.as_array().unwrap();
         assert_eq!(a.coeffs, IMat::from_rows(&[&[-8]]));
+    }
+
+    #[test]
+    fn zero_work_body_compiles_with_bounded_lookahead() {
+        // A body with zero total `work` must not divide by zero in the
+        // round-trip → iterations conversion (inf/NaN cast to i64).
+        let mut p = same_bank_prog();
+        p.nests[0].body[0].work = 0;
+        let (sched, report) = compile_algorithm1(&p, &cfg(), 25);
+        assert_eq!(report.opportunities, 1);
+        for plan in &sched.precomputes {
+            assert!(
+                plan.lookahead >= 1 && plan.lookahead <= MAX_LOOKAHEAD,
+                "lookahead {} out of range",
+                plan.lookahead
+            );
+        }
+    }
+
+    #[test]
+    fn all_locations_disabled_falls_back_with_recorded_reason() {
+        // No candidate is viable: the chain gracefully compiles to a
+        // no-offload schedule, and the provenance names the reason.
+        let p = same_bank_prog();
+        let mut c = cfg();
+        c.ndc.enabled_mask = 0;
+        let (sched, report) = compile_inner(&p, &c, 25, None);
+        assert!(sched.precomputes.is_empty());
+        assert_eq!(report.planned, 0);
+        assert_eq!(report.no_target, 1);
+        let prov = &report.provenance[0];
+        assert_eq!(prov.outcome, outcome::NO_TARGET);
+        assert!(prov.selected().is_none());
+        assert_eq!(prov.no_offload, Some(no_offload::ALL_DISABLED));
+    }
+
+    #[test]
+    fn zero_trip_nest_compiles_to_empty_schedule() {
+        // lo == hi: no iterations, no samples, no plans — and the
+        // provenance says why instead of panicking anywhere.
+        let mut p = same_bank_prog();
+        p.nests[0].lo = vec![4000];
+        let (sched, report) = compile_algorithm1(&p, &cfg(), 25);
+        assert!(sched.precomputes.is_empty());
+        assert!(sched.transforms.is_empty());
+        assert_eq!(report.planned, 0);
+        let prov = &report.provenance[0];
+        assert_eq!(prov.outcome, outcome::NO_SAMPLES);
+        assert_eq!(prov.no_offload, Some(no_offload::EMPTY_ITERATION_SPACE));
+        // And the empty nest lowers to an empty trace end-to-end.
+        let tp = ndc_ir::lower(
+            &p,
+            &ndc_ir::LowerOptions {
+                cores: 25,
+                emit_busy: true,
+            },
+            Some(&sched),
+        );
+        assert_eq!(tp.total_insts(), 0);
     }
 }

@@ -41,4 +41,4 @@ pub use algorithm2::{compile_algorithm2, Algorithm2Options};
 pub use coarse::compile_coarse;
 pub use estimate::{LatencyModel, TargetViability};
 pub use layout::{optimize_layout, LayoutReport};
-pub use report::{outcome, reason, CandidateRecord, ChainProvenance, CompilerReport};
+pub use report::{no_offload, outcome, reason, CandidateRecord, ChainProvenance, CompilerReport};

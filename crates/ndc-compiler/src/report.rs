@@ -28,6 +28,26 @@ pub mod outcome {
     pub const NO_SAMPLES: &str = "no-samples";
 }
 
+/// Why a chain produced **no** offload plan (stable output surface).
+/// Recorded in [`ChainProvenance::no_offload`] so downstream tools
+/// never have to re-derive the fallback reason from the candidate
+/// table — and never have to assume a planned winner exists.
+pub mod no_offload {
+    /// Every NDC location is disabled by the architecture mask.
+    pub const ALL_DISABLED: &str = "all-locations-disabled";
+    /// Some location is enabled, but no candidate clears the
+    /// co-location viability threshold.
+    pub const NO_COLOCATION: &str = "no-colocated-target";
+    /// The L1 locality gate rejected the chain (operands cached, or
+    /// they share an L1 line).
+    pub const LOCALITY_GATE: &str = "l1-locality-gate";
+    /// Algorithm 2's reuse check bypassed the chain.
+    pub const FUTURE_REUSE: &str = "future-reuse";
+    /// The nest's iteration space is empty (zero-trip) or otherwise
+    /// unsampleable, so viability could not be assessed.
+    pub const EMPTY_ITERATION_SPACE: &str = "empty-iteration-space";
+}
+
 /// One candidate location the planner considered for a chain, with the
 /// cost-model predictions that drove the choice.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,6 +78,10 @@ pub struct ChainProvenance {
     pub same_l1_line: f64,
     /// One of the [`outcome`] strings.
     pub outcome: &'static str,
+    /// `None` when the chain was planned; otherwise one of the
+    /// [`no_offload`] strings naming why the chain gracefully fell
+    /// back to conventional execution.
+    pub no_offload: Option<&'static str>,
     /// Candidates in trial order (empty when assessment never ran:
     /// reuse bypass or an unsampleable chain).
     pub candidates: Vec<CandidateRecord>,
@@ -135,6 +159,7 @@ mod tests {
             p_l1_b: 0.8,
             same_l1_line: 0.0,
             outcome: outcome::PLANNED,
+            no_offload: None,
             candidates: vec![
                 mk(NdcLocation::CacheController, reason::BELOW_COLOCATION),
                 mk(NdcLocation::LinkBuffer, reason::SELECTED),
@@ -145,10 +170,12 @@ mod tests {
         assert_eq!(prov.selected().unwrap().location, NdcLocation::LinkBuffer);
         let none = ChainProvenance {
             outcome: outcome::NO_TARGET,
+            no_offload: Some(no_offload::NO_COLOCATION),
             candidates: Vec::new(),
             ..prov
         };
         assert!(none.selected().is_none());
+        assert_eq!(none.no_offload, Some("no-colocated-target"));
     }
 
     #[test]

@@ -98,11 +98,26 @@ impl DependenceGraph {
                             (false, false) => DependenceKind::Input,
                         };
                         // Self-pairs of the same reference occurrence:
-                        // skip the trivially-zero (r, r) pair for reads;
-                        // a statement's own write-write pair is also
-                        // trivial.
+                        // a read against itself is Input (never
+                        // constrains), and an *injective* write against
+                        // itself touches each element once. But a
+                        // rank-deficient write subscript (e.g. C[i,j]
+                        // written inside an i,j,k nest) stores to the
+                        // same element from every iteration along the
+                        // kernel of F — an output dependence carried by
+                        // the unused dimensions, and reordering them
+                        // changes which write lands last.
                         let same_occurrence = pi == pj && std::ptr::eq(r1, r2);
                         if same_occurrence {
+                            if w1 {
+                                for edge in self_output_edges(r1, s1.id, slot1 as u8, nest.depth())
+                                {
+                                    if matches!(edge.distance, DistanceVector::Unknown) {
+                                        g.has_unknown = true;
+                                    }
+                                    g.edges.push(edge);
+                                }
+                            }
                             continue;
                         }
                         if let Some(edge) = dependence_between(
@@ -234,6 +249,61 @@ fn dependence_between(
         Solve::None => None,
         Solve::Many => Some(edge(DistanceVector::Unknown)),
     }
+}
+
+/// Output self-dependences of one write occurrence: the distances along
+/// which the access revisits the same element, i.e. the integer kernel
+/// of `F`. Injective accesses yield none. When the kernel is exactly
+/// the span of `F`'s zero columns (the subscript simply ignores those
+/// iterators, the common case) each basis vector becomes a precise
+/// constant distance `e_j`; any other deficiency is conservatively one
+/// `Unknown` edge, which blocks transformation of the nest.
+fn self_output_edges(
+    r: &crate::program::ArrayRef,
+    s: StmtId,
+    slot: u8,
+    depth: usize,
+) -> Vec<DependenceEdge> {
+    let f = &r.coeffs;
+    let zero = vec![0i64; f.rows];
+    if matches!(solve_square(f, &zero, depth), Solve::Unique(_)) {
+        // Square non-singular: F·d = 0 only at d = 0 — injective.
+        return Vec::new();
+    }
+    let edge = |distance| DependenceEdge {
+        src: s,
+        dst: s,
+        src_slot: slot,
+        dst_slot: slot,
+        array: r.array,
+        kind: DependenceKind::Output,
+        distance,
+    };
+    let zero_cols: Vec<usize> = (0..f.cols)
+        .filter(|&j| (0..f.rows).all(|i| f[(i, j)] == 0))
+        .collect();
+    if !zero_cols.is_empty() && f.cols - zero_cols.len() == f.rows {
+        // Dropping the zero columns leaves a square system; if it is
+        // non-singular the kernel is exactly span{e_j : column j zero}.
+        let kept: Vec<usize> = (0..f.cols).filter(|j| !zero_cols.contains(j)).collect();
+        let mut sub = IMat::zeros(f.rows, kept.len());
+        for (cj, &j) in kept.iter().enumerate() {
+            for i in 0..f.rows {
+                sub[(i, cj)] = f[(i, j)];
+            }
+        }
+        if sub.det() != 0 {
+            return zero_cols
+                .iter()
+                .map(|&j| {
+                    let mut d = vec![0i64; depth];
+                    d[j] = 1;
+                    edge(DistanceVector::Constant(d))
+                })
+                .collect();
+        }
+    }
+    vec![edge(DistanceVector::Unknown)]
 }
 
 enum Solve {
@@ -525,23 +595,26 @@ mod tests {
         assert!(g.distance_vectors().contains(&vec![1]));
     }
 
-    /// Zero-trip nests are unrepresentable by construction: `LoopNest::new`
-    /// rejects `lo >= hi`, so no analysis pass ever sees an empty
-    /// iteration space.
+    /// Zero-trip nests are legal (the fuzz generator emits them) and
+    /// analysis must stay well-defined over an empty iteration space:
+    /// subscript equations may still admit solutions, but the nest runs
+    /// no iterations, so any recorded edges are harmless conservatism.
     #[test]
-    #[should_panic(expected = "empty nest")]
-    fn zero_trip_nest_is_rejected_at_construction() {
+    fn zero_trip_nest_analyzes_without_panicking() {
         let mut p = Program::new("zerotrip");
         let x = p.add_array(ArrayDecl::new("X", vec![8], 8));
         let s = Stmt::binary(
             0,
             ArrayRef::identity(x, 1, vec![0]),
             Op::Add,
-            Ref::Const(1.0),
+            Ref::Array(ArrayRef::identity(x, 1, vec![-1])),
             Ref::Const(2.0),
             1,
         );
-        let _ = LoopNest::new(0, vec![4], vec![4], vec![s]);
+        let nest = LoopNest::new(0, vec![4], vec![4], vec![s]);
+        assert!(nest.is_empty());
+        let g = DependenceGraph::analyze(&nest);
+        assert!(!g.has_unknown);
     }
 
     #[test]
@@ -561,5 +634,77 @@ mod tests {
             .filter(|e| e.kind != DependenceKind::Output)
             .collect();
         assert!(cross.is_empty(), "unexpected edges: {cross:?}");
+    }
+
+    /// C[i,j] = A[i,k] + B[k,j] (no accumulation): every k writes the
+    /// same C element, so the last k must stay last — an output
+    /// self-dependence with distance (0,0,1). Reversing or hoisting k
+    /// is illegal; reordering i and j stays legal. Found by fuzzing
+    /// (seed 0xf00f): the analysis used to skip a write's self-pair as
+    /// "trivial" and lint certified k-reversal, which the differential
+    /// oracle refuted.
+    #[test]
+    fn rank_deficient_write_carries_output_dependence() {
+        let mut p = Program::new("lastwrite");
+        let a = p.add_array(ArrayDecl::new("A", vec![8, 8], 8));
+        let b = p.add_array(ArrayDecl::new("B", vec![8, 8], 8));
+        let c = p.add_array(ArrayDecl::new("C", vec![8, 8], 8));
+        let cw = ArrayRef::affine(c, IMat::from_rows(&[&[1, 0, 0], &[0, 1, 0]]), vec![0, 0]);
+        let ar = ArrayRef::affine(a, IMat::from_rows(&[&[1, 0, 0], &[0, 0, 1]]), vec![0, 0]);
+        let br = ArrayRef::affine(b, IMat::from_rows(&[&[0, 0, 1], &[0, 1, 0]]), vec![0, 0]);
+        let s = Stmt::binary(0, cw, Op::Add, Ref::Array(ar), Ref::Array(br), 1);
+        let nest = LoopNest::new(0, vec![0, 0, 0], vec![8, 8, 8], vec![s]);
+        let g = DependenceGraph::analyze(&nest);
+        assert!(!g.has_unknown, "kernel is a plain zero column: {g:?}");
+        assert!(g.distance_vectors().contains(&vec![0, 0, 1]), "{g:?}");
+        // k-reversal breaks the last-write order...
+        let rev_k = IMat::from_rows(&[&[1, 0, 0], &[0, 1, 0], &[0, 0, -1]]);
+        assert!(!g.transformation_legal(&rev_k));
+        // ...while the i/j interchange leaves it intact.
+        let swap_ij = IMat::from_rows(&[&[0, 1, 0], &[1, 0, 0], &[0, 0, 1]]);
+        assert!(g.transformation_legal(&swap_ij));
+    }
+
+    /// An injective write (identity subscript) has no self output
+    /// dependence: each iteration touches a distinct element.
+    #[test]
+    fn injective_write_has_no_self_output_edge() {
+        let mut p = Program::new("inj");
+        let x = p.add_array(ArrayDecl::new("X", vec![8, 8], 8));
+        let s = Stmt::binary(
+            0,
+            ArrayRef::identity(x, 2, vec![0, 0]),
+            Op::Add,
+            Ref::Const(1.0),
+            Ref::Const(2.0),
+            1,
+        );
+        let nest = LoopNest::new(0, vec![0, 0], vec![8, 8], vec![s]);
+        let g = DependenceGraph::analyze(&nest);
+        assert!(g.edges.is_empty(), "{g:?}");
+    }
+
+    /// A scalar accumulator (all-zero subscript matrix) writes one
+    /// element from every iteration; the kernel is the whole space, so
+    /// the analysis must at least flag the nest untransformable.
+    #[test]
+    fn scalar_write_blocks_all_transforms() {
+        let mut p = Program::new("accum");
+        let s_arr = p.add_array(ArrayDecl::new("S", vec![1], 8));
+        let x = p.add_array(ArrayDecl::new("X", vec![8, 8], 8));
+        let sw = ArrayRef::affine(s_arr, IMat::zeros(1, 2), vec![0]);
+        let s = Stmt::binary(
+            0,
+            sw,
+            Op::Add,
+            Ref::Array(ArrayRef::identity(x, 2, vec![0, 0])),
+            Ref::Const(0.0),
+            1,
+        );
+        let nest = LoopNest::new(0, vec![0, 0], vec![8, 8], vec![s]);
+        let g = DependenceGraph::analyze(&nest);
+        assert!(g.has_unknown);
+        let rev = IMat::from_rows(&[&[-1, 0], &[0, 1]]);
+        assert!(!g.transformation_legal(&rev));
     }
 }

@@ -32,7 +32,9 @@ pub mod schedule;
 
 pub use deps::{DependenceEdge, DependenceGraph, DependenceKind, DistanceVector};
 pub use interp::{DataStore, Interpreter};
-pub use lower::{lower, pc_of, LowerOptions, ROLE_MAIN, ROLE_PRECOMPUTE, ROLE_STORE};
+pub use lower::{
+    lower, pc_of, try_lower, LowerError, LowerOptions, ROLE_MAIN, ROLE_PRECOMPUTE, ROLE_STORE,
+};
 pub use matrix::{IMat, IVec};
 pub use program::{ArrayDecl, ArrayId, ArrayRef, LoopNest, NestId, Program, Ref, Stmt, StmtId};
 pub use schedule::{MoveStrategy, PrecomputePlan, Schedule};

@@ -18,9 +18,42 @@
 
 use crate::interp::scheduled_points;
 use crate::matrix::IVec;
-use crate::program::{LoopNest, Program, Ref, Stmt};
+use crate::program::{LoopNest, NestId, Program, Ref, Stmt, StmtId};
 use crate::schedule::Schedule;
 use ndc_types::{FxHashMap, Inst, InstKind, NodeId, Operand, Pc, Trace, TraceProgram};
+
+/// A structural defect in the (program, schedule) pair that makes
+/// lowering meaningless. Returned by [`try_lower`] instead of
+/// panicking, so fuzzed or externally supplied schedules fail
+/// gracefully with a diagnosable reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowerError {
+    /// A pre-compute plan names a statement that does not exist in the
+    /// nest it targets.
+    UnknownPlanStmt { nest: NestId, stmt: StmtId },
+    /// A pre-compute plan targets a nest that does not exist in the
+    /// program.
+    UnknownPlanNest { nest: NestId },
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LowerError::UnknownPlanStmt { nest, stmt } => write!(
+                f,
+                "precompute plan references statement S{} absent from nest N{}",
+                stmt.0, nest.0
+            ),
+            LowerError::UnknownPlanNest { nest } => write!(
+                f,
+                "precompute plan references nest N{} absent from the program",
+                nest.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
 
 /// Lowering options.
 #[derive(Debug, Clone, Copy)]
@@ -62,9 +95,39 @@ pub const ROLE_PRECOMPUTE: u32 = 3;
 /// Lower a program to per-core traces. `schedule = None` produces the
 /// baseline stream; with a schedule, iteration order, statement order,
 /// and pre-compute insertion apply.
+///
+/// Panics if the schedule is structurally invalid (see [`try_lower`]
+/// for the non-panicking variant); compiler-produced schedules are
+/// always valid.
 pub fn lower(prog: &Program, opts: &LowerOptions, schedule: Option<&Schedule>) -> TraceProgram {
+    match try_lower(prog, opts, schedule) {
+        Ok(tp) => tp,
+        Err(e) => panic!("lower: {e}"),
+    }
+}
+
+/// Lowering with structural validation: every pre-compute plan must
+/// reference an existing nest and a statement present in that nest's
+/// body. Returns a [`LowerError`] instead of panicking on a defective
+/// schedule.
+pub fn try_lower(
+    prog: &Program,
+    opts: &LowerOptions,
+    schedule: Option<&Schedule>,
+) -> Result<TraceProgram, LowerError> {
     let default_schedule = Schedule::default();
     let sched = schedule.unwrap_or(&default_schedule);
+    for plan in &sched.precomputes {
+        let Some(nest) = prog.nests.iter().find(|n| n.id == plan.nest) else {
+            return Err(LowerError::UnknownPlanNest { nest: plan.nest });
+        };
+        if nest.stmt(plan.stmt).is_none() {
+            return Err(LowerError::UnknownPlanStmt {
+                nest: plan.nest,
+                stmt: plan.stmt,
+            });
+        }
+    }
     let mut out = TraceProgram::new(prog.name.clone());
     out.traces = (0..opts.cores)
         .map(|c| Trace::new(NodeId(c as u16)))
@@ -96,9 +159,12 @@ pub fn lower(prog: &Program, opts: &LowerOptions, schedule: Option<&Schedule>) -
                     if target >= my_points.len() {
                         continue;
                     }
-                    let Some(stmt) = nest.stmt(plan.stmt) else {
+                    // Validated up-front: the plan's statement exists in
+                    // this nest's body.
+                    let Some(stmt_pos) = nest.stmt_pos(plan.stmt) else {
                         continue;
                     };
+                    let stmt = &nest.body[stmt_pos];
                     let tpoint = &my_points[target];
                     let Some((ra, rb)) = stmt.memory_operand_pair() else {
                         continue;
@@ -112,7 +178,6 @@ pub fn lower(prog: &Program, opts: &LowerOptions, schedule: Option<&Schedule>) -
                     let id = next_precompute_id;
                     next_precompute_id += 1;
                     pending.insert((pi, target), id);
-                    let stmt_pos = nest.stmt_pos(plan.stmt).unwrap();
                     trace.insts.push(Inst {
                         pc: pc_of(nest_pos, stmt_pos, ROLE_PRECOMPUTE),
                         kind: InstKind::PreCompute {
@@ -150,7 +215,7 @@ pub fn lower(prog: &Program, opts: &LowerOptions, schedule: Option<&Schedule>) -
         }
     }
     debug_assert_eq!(out.validate_precompute_links(), Ok(()));
-    out
+    Ok(out)
 }
 
 /// Block-partition scheduled points across threads by the original
@@ -164,7 +229,9 @@ fn partition(nest: &LoopNest, points: &[IVec], cores: usize) -> Vec<Vec<IVec>> {
         Some(level) => {
             let lo = nest.lo[level];
             let hi = nest.hi[level];
-            let extent = (hi - lo) as usize;
+            // Zero-trip nests reach here with an empty `points`, so the
+            // clamp only guards the div_ceil below.
+            let extent = (hi - lo).max(0) as usize;
             let per = extent.div_ceil(cores.max(1)).max(1);
             for p in points {
                 let v = (p[level] - lo) as usize;
@@ -538,6 +605,83 @@ mod tests {
         );
         assert_eq!(with.total_insts(), 20);
         assert_eq!(without.total_insts(), 10);
+    }
+
+    #[test]
+    fn plan_with_unknown_stmt_is_a_structured_error() {
+        let p = vec_add(10);
+        let mut sched = Schedule::default();
+        sched.precomputes.push(PrecomputePlan {
+            nest: crate::program::NestId(0),
+            stmt: crate::program::StmtId(99),
+            lookahead: 1,
+            stagger: 0,
+            reshape_routes: false,
+            strategy: MoveStrategy::MoveBoth,
+            target: NdcLocation::MemoryBank,
+        });
+        let opts = LowerOptions {
+            cores: 1,
+            emit_busy: false,
+        };
+        let err = try_lower(&p, &opts, Some(&sched)).unwrap_err();
+        assert_eq!(
+            err,
+            LowerError::UnknownPlanStmt {
+                nest: crate::program::NestId(0),
+                stmt: crate::program::StmtId(99),
+            }
+        );
+        assert!(err.to_string().contains("S99"));
+    }
+
+    #[test]
+    fn plan_with_unknown_nest_is_a_structured_error() {
+        let p = vec_add(10);
+        let mut sched = Schedule::default();
+        sched.precomputes.push(PrecomputePlan {
+            nest: crate::program::NestId(7),
+            stmt: crate::program::StmtId(0),
+            lookahead: 1,
+            stagger: 0,
+            reshape_routes: false,
+            strategy: MoveStrategy::MoveBoth,
+            target: NdcLocation::MemoryBank,
+        });
+        let opts = LowerOptions::default();
+        let err = try_lower(&p, &opts, Some(&sched)).unwrap_err();
+        assert_eq!(
+            err,
+            LowerError::UnknownPlanNest {
+                nest: crate::program::NestId(7),
+            }
+        );
+    }
+
+    #[test]
+    fn zero_trip_nest_lowers_to_empty_traces() {
+        let mut p = Program::new("zt");
+        let x = p.add_array(ArrayDecl::new("X", vec![8], 8));
+        let s = Stmt::binary(
+            0,
+            ArrayRef::identity(x, 1, vec![0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(x, 1, vec![0])),
+            Ref::Const(1.0),
+            2,
+        );
+        p.nests.push(LoopNest::new(0, vec![4], vec![4], vec![s]));
+        p.assign_layout(0, 64);
+        let tp = lower(
+            &p,
+            &LowerOptions {
+                cores: 4,
+                emit_busy: true,
+            },
+            None,
+        );
+        assert_eq!(tp.total_insts(), 0);
+        assert_eq!(tp.total_computes(), 0);
     }
 
     #[test]

@@ -210,9 +210,15 @@ pub struct LoopNest {
 }
 
 impl LoopNest {
+    /// Zero-trip dimensions (`lo[k] == hi[k]`) are legal and make the
+    /// nest empty; inverted bounds (`lo[k] > hi[k]`) are rejected here
+    /// (and by the `ndc-lint` IR verifier for hand-built nests).
     pub fn new(id: u32, lo: IVec, hi: IVec, body: Vec<Stmt>) -> Self {
         assert_eq!(lo.len(), hi.len());
-        assert!(lo.iter().zip(hi.iter()).all(|(l, h)| l < h), "empty nest");
+        assert!(
+            lo.iter().zip(hi.iter()).all(|(l, h)| l <= h),
+            "inverted nest bounds"
+        );
         LoopNest {
             id: NestId(id),
             lo,
@@ -226,20 +232,31 @@ impl LoopNest {
         self.lo.len()
     }
 
-    /// Total iteration count.
+    /// Total iteration count. Zero when any dimension is zero-trip or
+    /// inverted.
     pub fn points(&self) -> u64 {
         self.lo
             .iter()
             .zip(self.hi.iter())
-            .map(|(l, h)| (h - l) as u64)
+            .map(|(l, h)| (h - l).max(0) as u64)
             .product()
     }
 
-    /// Enumerate all iteration vectors in lexicographic order.
+    /// True when the nest executes no iterations at all.
+    pub fn is_empty(&self) -> bool {
+        self.points() == 0
+    }
+
+    /// Enumerate all iteration vectors in lexicographic order. Yields
+    /// nothing for an empty (zero-trip or inverted) nest.
     pub fn iter_points(&self) -> IterPoints<'_> {
         IterPoints {
             nest: self,
-            cur: Some(self.lo.clone()),
+            cur: if self.is_empty() {
+                None
+            } else {
+                Some(self.lo.clone())
+            },
         }
     }
 
@@ -441,8 +458,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty nest")]
-    fn degenerate_nest_rejected() {
-        LoopNest::new(0, vec![0], vec![0], vec![]);
+    fn zero_trip_nest_is_empty() {
+        let nest = LoopNest::new(0, vec![0], vec![0], vec![]);
+        assert_eq!(nest.points(), 0);
+        assert!(nest.is_empty());
+        assert_eq!(nest.iter_points().count(), 0);
+        // A single zero-trip dimension empties the whole space.
+        let nest = LoopNest::new(1, vec![0, 4], vec![8, 4], vec![]);
+        assert_eq!(nest.points(), 0);
+        assert_eq!(nest.iter_points().count(), 0);
+    }
+
+    #[test]
+    fn single_trip_nest_yields_one_point() {
+        let nest = LoopNest::new(0, vec![3, 0], vec![4, 2], vec![]);
+        assert_eq!(nest.points(), 2);
+        let pts: Vec<IVec> = nest.iter_points().collect();
+        assert_eq!(pts, vec![vec![3, 0], vec![3, 1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted nest bounds")]
+    fn inverted_nest_rejected() {
+        LoopNest::new(0, vec![4], vec![0], vec![]);
     }
 }

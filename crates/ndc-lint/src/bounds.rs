@@ -100,6 +100,15 @@ fn prove_ref(
     {
         return rb;
     }
+    // An empty iteration space performs no accesses: the claim
+    // "every access is in-bounds" holds vacuously. The endpoint
+    // formula below would otherwise evaluate at `hi[j] - 1 < lo[j]`,
+    // a point the nest never visits.
+    if nest.is_empty() {
+        rb.range = dims.iter().map(|_| (0, -1)).collect();
+        rb.in_bounds = true;
+        return rb;
+    }
     let mut ok = true;
     for (r, &dim) in dims.iter().enumerate() {
         let (mut min, mut max) = (aref.offsets[r] as i128, aref.offsets[r] as i128);
@@ -227,6 +236,21 @@ mod tests {
         let b2 = &prove_program(&p2)[0];
         assert!(!b2.in_bounds);
         assert_eq!(b2.range, vec![(1, 7)]);
+    }
+
+    #[test]
+    fn zero_trip_nest_is_vacuously_in_bounds() {
+        // X[i - 100] over i in [4, 4): no iteration ever runs, so the
+        // wildly out-of-range subscript is never evaluated.
+        let mut p = Program::new("vacuous");
+        let x = p.add_array(ArrayDecl::new("X", vec![8], 8));
+        let w = ArrayRef::identity(x, 1, vec![-100]);
+        let s = Stmt::copy(0, w, Ref::Const(0.0), 0);
+        p.nests.push(LoopNest::new(0, vec![4], vec![4], vec![s]));
+        let b = &prove_program(&p)[0];
+        assert!(b.in_bounds);
+        // The recorded range is the canonical empty interval.
+        assert_eq!(b.range, vec![(0, -1)]);
     }
 
     #[test]

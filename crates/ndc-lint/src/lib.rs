@@ -69,6 +69,15 @@ pub enum LintError {
         level: usize,
         depth: usize,
     },
+    /// A nest dimension has `lo > hi` — an inverted iteration space.
+    /// (Zero-trip `lo == hi` dimensions are legal and make the nest
+    /// empty.)
+    InvertedBounds {
+        nest: NestId,
+        dim: usize,
+        lo: i64,
+        hi: i64,
+    },
     /// A schedule transform targets a nest the program does not have.
     TransformUnknownNest { nest: NestId },
     /// A schedule transform is not `depth × depth`.
@@ -112,6 +121,7 @@ impl LintError {
             LintError::UnknownArray { .. } => "unknown-array",
             LintError::RefShape { .. } => "ref-shape",
             LintError::ParallelLevel { .. } => "parallel-level",
+            LintError::InvertedBounds { .. } => "inverted-bounds",
             LintError::TransformUnknownNest { .. } => "transform-unknown-nest",
             LintError::TransformShape { .. } => "transform-shape",
             LintError::NotUnimodular { .. } => "non-unimodular",
@@ -142,6 +152,11 @@ impl std::fmt::Display for LintError {
             LintError::ParallelLevel { nest, level, depth } => write!(
                 f,
                 "nest {}: parallel level {level} out of range for depth {depth}",
+                nest.0
+            ),
+            LintError::InvertedBounds { nest, dim, lo, hi } => write!(
+                f,
+                "nest {}: dimension {dim} has inverted bounds [{lo}, {hi})",
                 nest.0
             ),
             LintError::TransformUnknownNest { nest } => {

@@ -24,6 +24,19 @@ pub fn verify_program(prog: &Program) -> Vec<LintError> {
                 });
             }
         }
+        // `LoopNest::new` rejects inverted bounds, but nests can be
+        // built by struct literal (fields are public), so the verifier
+        // re-checks. Zero-trip (`lo == hi`) dimensions are legal.
+        for (dim, (&lo, &hi)) in nest.lo.iter().zip(nest.hi.iter()).enumerate() {
+            if lo > hi {
+                errors.push(LintError::InvertedBounds {
+                    nest: nest.id,
+                    dim,
+                    lo,
+                    hi,
+                });
+            }
+        }
         for stmt in &nest.body {
             for (slot, (aref, _)) in stmt.array_refs().into_iter().enumerate() {
                 let slot = slot as u8;
@@ -261,6 +274,30 @@ mod tests {
         let errors = verify_program(&p);
         assert_eq!(errors.len(), 1);
         assert_eq!(errors[0].label(), "parallel-level");
+    }
+
+    #[test]
+    fn inverted_bounds_are_reported() {
+        let mut p = chained_prog();
+        // Struct-literal construction bypasses `LoopNest::new`'s assert.
+        p.nests.push(LoopNest {
+            id: NestId(1),
+            lo: vec![4],
+            hi: vec![0],
+            body: vec![],
+            parallel_level: None,
+        });
+        let errors = verify_program(&p);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].label(), "inverted-bounds");
+        assert!(errors[0].to_string().contains("[4, 0)"));
+    }
+
+    #[test]
+    fn zero_trip_nest_verifies_clean() {
+        let mut p = chained_prog();
+        p.nests.push(LoopNest::new(1, vec![4], vec![4], vec![]));
+        assert!(verify_program(&p).is_empty());
     }
 
     #[test]

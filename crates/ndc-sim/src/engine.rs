@@ -89,14 +89,17 @@ impl LastWindowTable {
             .map(|i| i.pc as usize + 1)
             .max()
             .unwrap_or(0);
-        // PCs are near-dense by construction (`lower()` numbers
-        // statements consecutively; hand-built tests may leave small
-        // gaps), so the table stays proportional to the static
-        // instruction count — catches a sparse-PC regression that would
-        // balloon this to O(max_pc) dead slots at 16×16 scale.
+        // `pc_of` block-encodes PCs (nest·4096 + stmt·16 + role), so
+        // the table is intrinsically bounded by 4096 slots per nest —
+        // including programs whose leading nests are zero-trip and
+        // leave whole blocks unused. The guard only has to catch a PC
+        // scheme that stops being nest-block encoded (per-iteration or
+        // hashed PCs), which explodes max_pc past any plausible nest
+        // count.
         debug_assert!(
-            (n as u64) <= 16 * (prog.total_insts() + 4),
-            "LastWindowTable sized {n} for {} static insts: sparse PCs",
+            n <= 4096 * 1024,
+            "LastWindowTable sized {n} for {} insts: PCs are no longer \
+             nest-block encoded (see pc_of)",
             prog.total_insts()
         );
         LastWindowTable {

@@ -19,6 +19,7 @@
 //! usable three ways: interpreted (semantics oracle), analyzed
 //! (CME/compiler), and lowered to traces (simulator).
 
+pub mod gen;
 pub mod specomp;
 pub mod splash2;
 

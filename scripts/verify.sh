@@ -104,6 +104,29 @@ grep -q '"deterministic_across_lanes":true' BENCH_scale.json \
 grep -q '"rows"' BENCH_scale.json \
     || { echo "FAIL: BENCH_scale.json has no measurement rows" >&2; exit 1; }
 
+echo "== seeded fuzzing: full pipeline, deterministic across thread counts =="
+# A fixed 128-seed slice of the corpus through generator -> compilers
+# -> lint -> oracle -> checked simulator. The subcommand exits 1 on any
+# divergence, violation, or panic (printing the reproducing seed); here
+# we additionally pin the whole report across NDC_THREADS and assert
+# the emitted corpus table attests a clean run.
+fz1=$(mktemp) && fz8=$(mktemp)
+trap 'rm -f "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b" "$ex1" "$ex8" "$ln1" "$ln8" "$sc1" "$sc8" "$fz1" "$fz8"' EXIT
+NDC_THREADS=1 "$EVAL" fuzz --count 128 --seed 7 > "$fz1"
+NDC_THREADS=8 "$EVAL" fuzz --count 128 --seed 7 > "$fz8"
+if ! diff -q "$fz1" "$fz8" > /dev/null; then
+    echo "FAIL: fuzz report differs across thread counts" >&2
+    diff "$fz1" "$fz8" | head -20 >&2
+    exit 1
+fi
+cat "$fz1"
+echo "ok: fuzz report bit-identical across thread counts"
+test -s BENCH_fuzz_corpus.json || { echo "FAIL: BENCH_fuzz_corpus.json missing" >&2; exit 1; }
+grep -q '"clean":true' BENCH_fuzz_corpus.json \
+    || { echo "FAIL: BENCH_fuzz_corpus.json does not attest a clean run" >&2; exit 1; }
+grep -q '"classes"' BENCH_fuzz_corpus.json \
+    || { echo "FAIL: BENCH_fuzz_corpus.json has no corpus table" >&2; exit 1; }
+
 echo "== bench harness smoke (appends BENCH_fig4_schemes.json) =="
 NDC_BENCH_FAST=1 cargo bench --offline -p bench --bench fig4_schemes
 test -s BENCH_fig4_schemes.json || { echo "FAIL: BENCH_fig4_schemes.json missing" >&2; exit 1; }

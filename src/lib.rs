@@ -51,6 +51,7 @@
 //! ```
 
 pub mod experiments;
+pub mod fuzz;
 
 /// Re-exports of the workspace crates under stable names.
 pub use ndc_check as check;
