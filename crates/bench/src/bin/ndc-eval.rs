@@ -20,6 +20,7 @@
 //!   explain           span traces + compiler provenance + cost-model cross-check
 //!   ablation-routing  router NDC with vs without route reshaping
 //!   ablation-coarse   fine-grain vs whole-nest mapping
+//!   fuse              operator fusion: bytes moved + offload cycles, BENCH_fusion.json
 //!   check             differential oracle + simulator invariants + fault matrix
 //!   lint              static legality: certificates, bounds proofs, race report
 //!   scale             mesh scale-up study: lane engine vs serial, BENCH_scale.json
@@ -109,6 +110,9 @@ fn usage() {
     println!("  ablation-k        Algorithm 2 reuse-threshold k sweep");
     println!("  ablation-markov   Markov window predictor vs Last-Wait");
     println!("  ablation-layout   data-layout optimization before Algorithm 2");
+    println!(
+        "  fuse              operator fusion: bytes moved + offload cycles, BENCH_fusion.json"
+    );
     println!("  check             differential oracle + simulator invariants + fault matrix");
     println!("  lint              static legality: certificates, bounds proofs, race report");
     println!("  scale             mesh scale-up study: lane engine vs serial, BENCH_scale.json");
@@ -235,6 +239,7 @@ fn main() {
         "ablation-k" => ablation_k(&args, cfg),
         "ablation-markov" => ablation_markov(&args, cfg),
         "ablation-layout" => ablation_layout(&args, cfg),
+        "fuse" => fuse_cmd(&args, cfg),
         "check" => check_cmd(&args, cfg),
         "lint" => lint_cmd(&args, cfg),
         "scale" => scale_cmd(&args),
@@ -260,6 +265,7 @@ fn main() {
             ablation_k(&args, cfg);
             ablation_markov(&args, cfg);
             ablation_layout(&args, cfg);
+            fuse_cmd(&args, cfg);
         }
         "help" => usage(),
         other => arg_error(&format!("unknown experiment '{other}'")),
@@ -764,6 +770,26 @@ fn explain_detail(r: &exp::ExplainReport, one_in: u32) {
             "nest {} stmt {}: {} (pL1 {:.2}/{:.2}, same-line {:.2})",
             chain.nest, chain.stmt, chain.outcome, chain.p_l1_a, chain.p_l1_b, chain.same_l1_line
         );
+        // Fusion provenance: which packet absorbed the chain (the
+        // packet's union-footprint bytes are charged once per group,
+        // reconciling with the per-candidate bytes below), or why the
+        // fusion pass declined.
+        if let (Some(g), Some(t)) = (chain.chain_group, chain.final_target) {
+            if chain.outcome == ndc::compiler::outcome::FUSED {
+                println!(
+                    "    fused into packet {} @ {} (union cycles={:.1} bytes={:.0})",
+                    g,
+                    t.paper_label(),
+                    chain.fused_predicted_cycles.unwrap_or(0.0),
+                    chain.fused_predicted_bytes.unwrap_or(0.0)
+                );
+            }
+        }
+        if let Some(note) = chain.fuse_note {
+            if note != ndc::compiler::fuse_note::FUSED {
+                println!("    fusion declined: {note}");
+            }
+        }
         for c in &chain.candidates {
             println!(
                 "    {:<8} coloc={:.2} cycles={:>8.1} bytes={:>8.0}  {}",
@@ -1354,6 +1380,150 @@ fn scale_cmd(args: &Args) {
         )
         .with("rows", rows);
     write_json("BENCH_scale.json", &doc);
+}
+
+/// `fuse`: the operator-fusion ablation — Algorithm 2 with and without
+/// producer-consumer chain fusion, per workload. "Bytes moved" is the
+/// compiler's cost model over the fused schedule's chains: a planned
+/// chain is charged its adopted candidate's predicted bytes, a fused
+/// packet its union footprint exactly once (arrays gathered by several
+/// members are not double-counted), and the unfused baseline charges
+/// each packet what its members would have moved individually —
+/// individual plans at their own adopted targets, conventional tails
+/// at their near-L2 lower bound (conventional execution returns whole
+/// cache lines to the core where an offload returns a 16 B result, so
+/// the real saving is larger). Offload cycles and NoC messages are
+/// measured by simulating both schedules under `Scheme::Compiled`.
+/// Results land in `BENCH_fusion.json`; rows are deterministic for any
+/// `NDC_THREADS`.
+fn fuse_cmd(args: &Args, cfg: ArchConfig) {
+    use ndc::compiler::outcome;
+    use std::collections::BTreeSet;
+
+    /// Cost-model bytes moved under the fusion-enabled schedule:
+    /// planned chains at their adopted target, fused packets once per
+    /// group. With `unfused_equiv` the fused groups are instead
+    /// charged the compiler's estimate of what the same members would
+    /// have moved unfused (individual plans at their own targets,
+    /// conventional tails at their near-L2 lower bound) — the
+    /// like-for-like baseline of the bytes-moved comparison.
+    fn predicted_bytes(rep: &CompilerReport, unfused_equiv: bool) -> f64 {
+        let mut total = 0.0;
+        let mut charged_groups: BTreeSet<u32> = BTreeSet::new();
+        for chain in &rep.provenance {
+            if chain.outcome == outcome::FUSED {
+                let bytes = if unfused_equiv {
+                    chain.fused_unfused_bytes
+                } else {
+                    chain.fused_predicted_bytes
+                };
+                if let (Some(g), Some(b)) = (chain.chain_group, bytes) {
+                    if charged_groups.insert(g) {
+                        total += b;
+                    }
+                }
+            } else if chain.outcome == outcome::PLANNED {
+                if let Some(target) = chain.final_target {
+                    if let Some(c) = chain.candidates.iter().find(|c| c.location == target) {
+                        total += c.predicted_bytes_moved;
+                    }
+                }
+            }
+        }
+        total
+    }
+
+    println!("== Fusion: Algorithm 2 with producer-consumer chain fusion ==");
+    println!(
+        "{:<10} {:>6} {:>4} {:>12} {:>12} {:>6} {:>12} {:>12} {:>10} {:>10}",
+        "bench",
+        "chains",
+        "ops",
+        "bytes-unf",
+        "bytes-fus",
+        "drop%",
+        "offcyc-unf",
+        "offcyc-fus",
+        "noc-unf",
+        "noc-fus"
+    );
+    let list = benches(&args.bench);
+    let opts = LowerOptions {
+        cores: cfg.nodes(),
+        emit_busy: true,
+    };
+    let rows = ndc_par::parallel_map(&list, |b| {
+        let prog = b.build(args.scale);
+        let (su, _) = compile_algorithm2(&prog, &cfg, cfg.nodes(), Algorithm2Options::default());
+        let (sf, rf) = compile_algorithm2(
+            &prog,
+            &cfg,
+            cfg.nodes(),
+            Algorithm2Options {
+                fuse: true,
+                ..Default::default()
+            },
+        );
+        let run = |sched: &Schedule| {
+            simulate(cfg, &lower(&prog, &opts, Some(sched)), Scheme::Compiled).result
+        };
+        let (mu, mf) = (run(&su), run(&sf));
+        (
+            b.name,
+            rf.fused_chains,
+            rf.fused_ops,
+            predicted_bytes(&rf, true),
+            predicted_bytes(&rf, false),
+            mu.ndc_offload_cycles.iter().sum::<u64>(),
+            mf.ndc_offload_cycles.iter().sum::<u64>(),
+            mu.noc_messages,
+            mf.noc_messages,
+        )
+    });
+
+    let mut json_rows: Vec<Json> = Vec::new();
+    let mut reduced_both = 0usize;
+    let mut total_chains = 0u64;
+    for &(name, chains, ops, bu, bf, cu, cf, nu, nf) in &rows {
+        let drop_pct = if bu > 0.0 {
+            100.0 * (bu - bf) / bu
+        } else {
+            0.0
+        };
+        println!(
+            "{:<10} {:>6} {:>4} {:>12.0} {:>12.0} {:>6.1} {:>12} {:>12} {:>10} {:>10}",
+            name, chains, ops, bu, bf, drop_pct, cu, cf, nu, nf
+        );
+        total_chains += chains;
+        if chains > 0 && bf < bu && cf < cu {
+            reduced_both += 1;
+        }
+        json_rows.push(
+            Json::obj()
+                .with("name", name)
+                .with("fused_chains", chains)
+                .with("fused_ops", ops)
+                .with("predicted_bytes_unfused", bu)
+                .with("predicted_bytes_fused", bf)
+                .with("offload_cycles_unfused", cu)
+                .with("offload_cycles_fused", cf)
+                .with("noc_messages_unfused", nu)
+                .with("noc_messages_fused", nf),
+        );
+    }
+    println!();
+    println!(
+        "fused chains: {total_chains}   workloads with fewer predicted bytes AND \
+         fewer measured offload cycles: {reduced_both}"
+    );
+
+    let doc = Json::obj()
+        .with("experiment", "fuse")
+        .with("scale", format!("{:?}", args.scale))
+        .with("fused_chains", total_chains)
+        .with("workloads_reduced_bytes_and_cycles", reduced_both as u64)
+        .with("rows", json_rows);
+    write_json("BENCH_fusion.json", &doc);
 }
 
 /// `fuzz`: drive `--count` seeded programs (seeds `--seed`, `--seed`+1,

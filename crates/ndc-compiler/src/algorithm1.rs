@@ -28,16 +28,18 @@
 //! and an adopted transform's certificate is re-verified independently
 //! before it enters the schedule and the report's provenance.
 
-use crate::estimate::{assess, core_of, LatencyModel, TargetViability};
+use crate::estimate::{assess, assess_fused, core_of, LatencyModel, TargetViability};
 use crate::report::{
-    no_offload, outcome, reason, CandidateRecord, ChainProvenance, CompilerReport,
+    fuse_note, no_offload, outcome, reason, CandidateRecord, ChainProvenance, CompilerReport,
 };
 use ndc_cme::{analyze as cme_analyze, CmeAnalysis, RefKey};
 use ndc_ir::deps::{DependenceGraph, DependenceKind, DistanceVector};
 use ndc_ir::matrix::{candidate_transforms, IMat};
-use ndc_ir::program::{LoopNest, Program, Stmt};
-use ndc_ir::schedule::{MoveStrategy, PrecomputePlan, Schedule};
-use ndc_types::{ArchConfig, NdcLocation};
+use ndc_ir::program::{LoopNest, Program, Stmt, StmtId};
+use ndc_ir::schedule::{
+    chain_operands, FusedPrecomputePlan, MoveStrategy, PrecomputePlan, Schedule,
+};
+use ndc_types::{ArchConfig, NdcLocation, MAX_FUSED_OPS};
 
 /// Viability thresholds for target selection.
 ///
@@ -65,19 +67,22 @@ pub fn compile_algorithm1(
     cfg: &ArchConfig,
     cores: usize,
 ) -> (Schedule, CompilerReport) {
-    compile_inner(prog, cfg, cores, None)
+    compile_inner(prog, cfg, cores, None, false)
 }
 
 /// Shared driver: `reuse_k = None` is Algorithm 1; `Some(k)` makes the
-/// pass reuse-aware (Algorithm 2 with threshold `k`).
+/// pass reuse-aware (Algorithm 2 with threshold `k`). `fuse` enables
+/// the operator-fusion pass over the per-statement plans.
 pub(crate) fn compile_inner(
     prog: &Program,
     cfg: &ArchConfig,
     cores: usize,
     reuse_k: Option<u32>,
+    fuse: bool,
 ) -> (Schedule, CompilerReport) {
     let mut schedule = Schedule::default();
     let mut report = CompilerReport::default();
+    let mut next_group: u32 = 0;
 
     for (nest_pos, nest) in prog.nests.iter().enumerate() {
         // Refinement only discharges edges the iteration space cannot
@@ -156,8 +161,29 @@ pub(crate) fn compile_inner(
                 schedule.precomputes.extend(plans);
             }
             None => {
-                report.merge_nest(base_counts);
-                schedule.precomputes.extend(base_plans);
+                let mut plans = base_plans;
+                let mut counts = base_counts;
+                // Operator fusion runs only on untransformed nests:
+                // the fusion certificate (and its independent
+                // re-verification in lint) is derived against the
+                // nest as written, so fusing a transform-adopted plan
+                // set would certify against the wrong iteration order.
+                if fuse {
+                    fuse_nest_chains(
+                        prog,
+                        cfg,
+                        cores,
+                        nest_pos,
+                        nest,
+                        &deps,
+                        &mut plans,
+                        &mut counts,
+                        &mut schedule.fused,
+                        &mut next_group,
+                    );
+                }
+                report.merge_nest(counts);
+                schedule.precomputes.extend(plans);
             }
         }
     }
@@ -173,6 +199,8 @@ pub(crate) struct NestCounts {
     bypassed_reuse: u64,
     no_target: u64,
     per_target: [u64; 4],
+    fused_chains: u64,
+    fused_ops: u64,
     /// Per-chain decision records, in statement order.
     provenance: Vec<ChainProvenance>,
 }
@@ -186,6 +214,8 @@ impl CompilerReport {
         for i in 0..4 {
             self.per_target[i] += c.per_target[i];
         }
+        self.fused_chains += c.fused_chains;
+        self.fused_ops += c.fused_ops;
         self.provenance.extend(c.provenance);
     }
 }
@@ -251,6 +281,12 @@ fn plan_nest(
                     no_offload: Some(no_offload::FUTURE_REUSE),
                     candidates: Vec::new(),
                     certificate: None,
+                    chain_group: None,
+                    final_target: None,
+                    fuse_note: None,
+                    fused_predicted_cycles: None,
+                    fused_predicted_bytes: None,
+                    fused_unfused_bytes: None,
                 });
                 continue;
             }
@@ -317,6 +353,12 @@ fn plan_chain(
         no_offload: Some(no_offload::EMPTY_ITERATION_SPACE),
         candidates: Vec::new(),
         certificate: None,
+        chain_group: None,
+        final_target: None,
+        fuse_note: None,
+        fused_predicted_cycles: None,
+        fused_predicted_bytes: None,
+        fused_unfused_bytes: None,
     };
     let Some(v) = assess(prog, nest_pos, nest, stmt_pos, stmt, cfg, cme, cores) else {
         return (None, prov);
@@ -362,6 +404,7 @@ fn plan_chain(
     };
     prov.outcome = outcome::PLANNED;
     prov.no_offload = None;
+    prov.final_target = Some(target);
 
     let lookahead = legal_lookahead(nest, deps, stmt, cfg, &v, cores, prog, stagger);
     let strategy = if lookahead > 0 && stagger == 0 {
@@ -381,6 +424,225 @@ fn plan_chain(
         target,
     };
     (Some(plan), prov)
+}
+
+/// Attach a fusion note to the provenance record at a statement
+/// position of the current nest.
+fn note_fusion(counts: &mut NestCounts, stmt_pos: usize, why: &'static str) {
+    if let Some(pr) = counts.provenance.iter_mut().find(|p| p.stmt == stmt_pos) {
+        pr.fuse_note = Some(why);
+    }
+}
+
+/// Fuse producer-consumer chains of offloadable statements into
+/// multi-op precompute packets — one gather of the union footprint,
+/// one exec at the best common location, one feed.
+///
+/// Runs after per-statement planning, on untransformed nests only. A
+/// chain roots at a statement that already holds an individual plan
+/// (its locality gates passed); tails join structurally when they
+/// forward the predecessor's destination as exactly one operand
+/// ([`chain_operands`]). Legality is discharged by an `ndc-lint`
+/// fusion certificate — the chain shrinks from the tail until a
+/// prefix certifies. The packet is adopted only when an enabled
+/// location co-locates *every* gathered operand at the usual
+/// threshold AND the union footprint moves fewer predicted bytes
+/// than the members offloaded individually; members' provenance is
+/// rewritten so the whole group agrees on the final target.
+#[allow(clippy::too_many_arguments)]
+fn fuse_nest_chains(
+    prog: &Program,
+    cfg: &ArchConfig,
+    cores: usize,
+    nest_pos: usize,
+    nest: &LoopNest,
+    deps: &DependenceGraph,
+    plans: &mut Vec<PrecomputePlan>,
+    counts: &mut NestCounts,
+    fused_out: &mut Vec<FusedPrecomputePlan>,
+    next_group: &mut u32,
+) {
+    let cme = cme_analyze(prog, cfg, cores);
+    let mut consumed = vec![false; nest.body.len()];
+    for head_pos in 0..nest.body.len() {
+        if consumed[head_pos] {
+            continue;
+        }
+        let head = &nest.body[head_pos];
+        if !plans.iter().any(|p| p.stmt == head.id) {
+            continue;
+        }
+
+        // Structurally extend the chain through the rest of the body.
+        let mut members = vec![head_pos];
+        let mut prev_dst = &head.dst;
+        for (next_pos, s) in nest.body.iter().enumerate().skip(head_pos + 1) {
+            if members.len() == MAX_FUSED_OPS || consumed[next_pos] {
+                break;
+            }
+            let Some(op) = s.op else { continue };
+            if !cfg.ndc.op_class.allows(op) {
+                continue;
+            }
+            if chain_operands(s, prev_dst).is_none() {
+                continue;
+            }
+            // Algorithm 2's reuse bypass also vetoes fusion:
+            // absorbing a reuse-bypassed statement into a packet
+            // would offload it after all.
+            if counts
+                .provenance
+                .iter()
+                .any(|pr| pr.stmt == next_pos && pr.outcome == outcome::REUSE_BYPASSED)
+            {
+                break;
+            }
+            members.push(next_pos);
+            prev_dst = &s.dst;
+        }
+        if members.len() < 2 {
+            continue;
+        }
+
+        // Shrink from the tail until lint certifies: an intervening
+        // dependence can make the long chain illegal while a prefix
+        // is fine.
+        while members.len() >= 2 {
+            let ids: Vec<StmtId> = members.iter().map(|&p| nest.body[p].id).collect();
+            if ndc_lint::certify_fusion(nest, &ids).is_ok() {
+                break;
+            }
+            members.pop();
+        }
+        if members.len() < 2 {
+            note_fusion(counts, head_pos, fuse_note::ILLEGAL);
+            continue;
+        }
+
+        // Cost the packet on the union footprint, and each member
+        // individually for the bytes-benefit comparison.
+        let Some(fv) = assess_fused(prog, nest_pos, nest, &members, cfg, &cme, cores) else {
+            note_fusion(counts, head_pos, fuse_note::NO_SAMPLES);
+            continue;
+        };
+        let mut member_vs: Vec<TargetViability> = Vec::with_capacity(members.len());
+        for &pos in &members {
+            match assess(prog, nest_pos, nest, pos, &nest.body[pos], cfg, &cme, cores) {
+                Some(mv) => member_vs.push(mv),
+                None => break,
+            }
+        }
+        if member_vs.len() != members.len() {
+            note_fusion(counts, head_pos, fuse_note::NO_SAMPLES);
+            continue;
+        }
+
+        // Best common location: paper trial order, usual threshold,
+        // but the co-location is n-ary — all gathered operands.
+        let trial = [
+            NdcLocation::CacheController,
+            NdcLocation::LinkBuffer,
+            NdcLocation::MemoryController,
+            NdcLocation::MemoryBank,
+        ];
+        let Some(target) = trial.into_iter().find(|&loc| {
+            cfg.ndc.location_enabled(loc) && fv.colocation[loc.index()] >= MIN_COLOCATION
+        }) else {
+            note_fusion(counts, head_pos, fuse_note::NO_COMMON_TARGET);
+            continue;
+        };
+
+        // Bytes benefit: the single gather of the union footprint
+        // must beat what the schedule would otherwise move. A member
+        // with an individual plan is charged at that plan's own
+        // adopted target (which may differ from the fused target); a
+        // tail without a plan executes conventionally, whose traffic
+        // (per-operand requests, fills, and full-line returns to the
+        // core) is lower-bounded by its near-L2 offload bytes — the
+        // conservative charge.
+        let unfused_bytes: f64 = members
+            .iter()
+            .zip(&member_vs)
+            .map(|(&pos, mv)| {
+                let sid = nest.body[pos].id;
+                match plans.iter().find(|p| p.stmt == sid) {
+                    Some(p) => mv.est_bytes[p.target.index()],
+                    None => mv.est_bytes[NdcLocation::CacheController.index()],
+                }
+            })
+            .sum();
+        if fv.est_bytes[target.index()] + 1e-9 >= unfused_bytes {
+            note_fusion(counts, head_pos, fuse_note::NO_BYTES_BENEFIT);
+            continue;
+        }
+
+        // Stagger sizes the head pair's skew at the target class;
+        // lookahead is capped by every member's inbound dependences.
+        let head_v = &member_vs[0];
+        let stagger = match target {
+            NdcLocation::CacheController | NdcLocation::LinkBuffer => head_v.bank_skew,
+            NdcLocation::MemoryController | NdcLocation::MemoryBank => head_v.mc_skew,
+        }
+        .round() as i32;
+        let lookahead = members
+            .iter()
+            .map(|&pos| {
+                legal_lookahead(
+                    nest,
+                    deps,
+                    &nest.body[pos],
+                    cfg,
+                    head_v,
+                    cores,
+                    prog,
+                    stagger,
+                )
+            })
+            .min()
+            .unwrap_or(0);
+
+        // Adopt: retire members' individual plans (the packet
+        // replaces them) and rewrite provenance so every member of
+        // the group records the same final target.
+        let gid = *next_group;
+        *next_group += 1;
+        for &pos in &members {
+            let sid = nest.body[pos].id;
+            if let Some(i) = plans.iter().position(|p| p.stmt == sid) {
+                let old = plans.remove(i);
+                counts.per_target[old.target.index()] -= 1;
+            } else {
+                // A tail without an individual plan becomes offloaded
+                // after all; it was tallied under no_target.
+                counts.planned += 1;
+                counts.no_target -= 1;
+            }
+            counts.per_target[target.index()] += 1;
+            if let Some(pr) = counts.provenance.iter_mut().find(|p| p.stmt == pos) {
+                pr.outcome = outcome::FUSED;
+                pr.no_offload = None;
+                pr.fuse_note = Some(fuse_note::FUSED);
+                pr.chain_group = Some(gid);
+                pr.final_target = Some(target);
+                pr.fused_predicted_cycles = Some(fv.est_offload[target.index()]);
+                pr.fused_predicted_bytes = Some(fv.est_bytes[target.index()]);
+                pr.fused_unfused_bytes = Some(unfused_bytes);
+            }
+            consumed[pos] = true;
+        }
+        counts.fused_chains += 1;
+        counts.fused_ops += members.len() as u64;
+        fused_out.push(FusedPrecomputePlan {
+            nest: nest.id,
+            stmts: members.iter().map(|&p| nest.body[p].id).collect(),
+            lookahead,
+            stagger,
+            // Route reshaping is pairwise; packets gather >= 3
+            // operands and meet on XY routes.
+            reshape_routes: false,
+            target,
+        });
+    }
 }
 
 /// Walk the trial order, recording every candidate's co-location
@@ -680,7 +942,7 @@ mod tests {
         let p = same_bank_prog();
         let mut c = cfg();
         c.ndc.enabled_mask &= !ndc_types::NdcConfig::only(NdcLocation::CacheController);
-        let (_, report) = compile_inner(&p, &c, 25, None);
+        let (_, report) = compile_inner(&p, &c, 25, None, false);
         let prov = &report.provenance[0];
         assert_eq!(prov.candidates[0].reason, reason::LOCATION_DISABLED);
         // Tiny L1-resident arrays: whatever the outcome, provenance and
@@ -730,7 +992,7 @@ mod tests {
         p.nests[0].body[0].op = Some(Op::Mul);
         let mut c = cfg();
         c.ndc.op_class = ndc_types::OpClass::AddSubOnly;
-        let (sched, report) = compile_inner(&p, &c, 25, None);
+        let (sched, report) = compile_inner(&p, &c, 25, None, false);
         assert_eq!(report.opportunities, 0);
         assert!(sched.precomputes.is_empty());
     }
@@ -858,7 +1120,7 @@ mod tests {
         let p = same_bank_prog();
         let mut c = cfg();
         c.ndc.enabled_mask = 0;
-        let (sched, report) = compile_inner(&p, &c, 25, None);
+        let (sched, report) = compile_inner(&p, &c, 25, None, false);
         assert!(sched.precomputes.is_empty());
         assert_eq!(report.planned, 0);
         assert_eq!(report.no_target, 1);
@@ -866,6 +1128,173 @@ mod tests {
         assert_eq!(prov.outcome, outcome::NO_TARGET);
         assert!(prov.selected().is_none());
         assert_eq!(prov.no_offload, Some(no_offload::ALL_DISABLED));
+    }
+
+    /// s0: Z[i] = X[8i] + X[8i+12800] (head, co-homed operands);
+    /// s1: W[i] = Z[i] + X[8i+25600] (tail: forwards Z, gathers a
+    /// third co-homed X line). All gathered operands share an L2 home
+    /// bank every iteration, so the packet meets at the cache
+    /// controller.
+    fn chain_prog() -> Program {
+        let mut p = Program::new("chain");
+        let x = p.add_array(ArrayDecl::new("X", vec![60000], 8));
+        let z = p.add_array(ArrayDecl::new("Z", vec![4096], 8));
+        let w = p.add_array(ArrayDecl::new("W", vec![4096], 8));
+        let stride8 = |off: i64| {
+            Ref::Array(ArrayRef::affine(
+                x,
+                ndc_ir::matrix::IMat::from_rows(&[&[8]]),
+                vec![off],
+            ))
+        };
+        let s0 = Stmt::binary(
+            0,
+            ArrayRef::identity(z, 1, vec![0]),
+            Op::Add,
+            stride8(0),
+            stride8(12800),
+            1,
+        );
+        let s1 = Stmt::binary(
+            1,
+            ArrayRef::identity(w, 1, vec![0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(z, 1, vec![0])),
+            stride8(25600),
+            1,
+        );
+        p.nests
+            .push(LoopNest::new(0, vec![0], vec![4000], vec![s0, s1]));
+        p.assign_layout(0, 4096);
+        p
+    }
+
+    #[test]
+    fn fusion_fuses_producer_consumer_chain() {
+        let p = chain_prog();
+        let (unfused, _) = compile_inner(&p, &cfg(), 25, None, false);
+        let (sched, report) = compile_inner(&p, &cfg(), 25, None, true);
+        assert!(unfused.fused.is_empty());
+        assert_eq!(sched.fused.len(), 1, "report: {report:?}");
+        let fp = &sched.fused[0];
+        assert_eq!(fp.stmts.len(), 2);
+        assert_eq!(fp.target, NdcLocation::CacheController);
+        assert!(!fp.reshape_routes);
+        // The packet replaces the members' individual plans.
+        for id in &fp.stmts {
+            assert!(!sched.precomputes.iter().any(|pl| pl.stmt == *id));
+        }
+        assert_eq!(report.fused_chains, 1);
+        assert_eq!(report.fused_ops, 2);
+        // Members count as planned (they are offloaded, via the
+        // packet) and the schedule stays internally consistent.
+        assert_eq!(report.planned, 2);
+        assert!(sched.validate(&p).is_ok());
+        // The adopted fusion certifies independently.
+        ndc_lint::verify_fusion_certificate(
+            &p.nests[0],
+            &ndc_lint::certify_fusion(&p.nests[0], &fp.stmts).unwrap(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn fused_members_agree_on_final_target() {
+        let p = chain_prog();
+        let (sched, report) = compile_inner(&p, &cfg(), 25, None, true);
+        assert_eq!(sched.fused.len(), 1);
+        let fused: Vec<_> = report
+            .provenance
+            .iter()
+            .filter(|pr| pr.outcome == outcome::FUSED)
+            .collect();
+        assert_eq!(fused.len(), 2);
+        // Satellite invariant: every member of a chain group adopted
+        // the same final location, and it is the packet's target.
+        for pr in &fused {
+            assert_eq!(pr.chain_group, fused[0].chain_group);
+            assert_eq!(pr.final_target, Some(sched.fused[0].target));
+            assert_eq!(pr.fuse_note, Some(fuse_note::FUSED));
+            assert!(pr.fused_predicted_bytes.unwrap() > 0.0);
+            assert!(pr.fused_predicted_cycles.unwrap() > 1.0);
+        }
+        // The union footprint predicts strictly fewer bytes than the
+        // members individually would have moved.
+        let cme = cme_analyze(&p, &cfg(), 25);
+        let fv = assess_fused(&p, 0, &p.nests[0], &[0, 1], &cfg(), &cme, 25).unwrap();
+        let t = sched.fused[0].target.index();
+        let solo: f64 = (0..2)
+            .map(|pos| {
+                assess(
+                    &p,
+                    0,
+                    &p.nests[0],
+                    pos,
+                    &p.nests[0].body[pos],
+                    &cfg(),
+                    &cme,
+                    25,
+                )
+                .unwrap()
+                .est_bytes[t]
+            })
+            .sum();
+        assert!(
+            fv.est_bytes[t] < solo,
+            "union {} vs solo {solo}",
+            fv.est_bytes[t]
+        );
+    }
+
+    #[test]
+    fn fusion_rejects_dependence_constrained_chain() {
+        // Insert a statement between head and tail that writes the
+        // very line the tail gathers in the same iteration: lint must
+        // refuse the fusion certificate, and the head keeps its
+        // individual plan.
+        let mut p = chain_prog();
+        let x = p.nests[0].body[0].a.as_array().unwrap().array;
+        let smid = Stmt::binary(
+            2,
+            ArrayRef::affine(x, ndc_ir::matrix::IMat::from_rows(&[&[8]]), vec![25600]),
+            Op::Add,
+            Ref::Array(ArrayRef::affine(
+                x,
+                ndc_ir::matrix::IMat::from_rows(&[&[8]]),
+                vec![38400],
+            )),
+            Ref::Array(ArrayRef::affine(
+                x,
+                ndc_ir::matrix::IMat::from_rows(&[&[8]]),
+                vec![51200],
+            )),
+            1,
+        );
+        p.nests[0].body.insert(1, smid);
+        let (sched, report) = compile_inner(&p, &cfg(), 25, None, true);
+        let head_id = p.nests[0].body[0].id;
+        // No packet may carry the dependence-constrained s0 -> s1
+        // chain (lint refuses its certificate); s0 keeps its
+        // individual plan and its provenance names the refusal.
+        assert!(
+            !sched.fused.iter().any(|fp| fp.stmts.contains(&head_id)),
+            "illegal chain fused: {report:?}"
+        );
+        assert!(sched.precomputes.iter().any(|pl| pl.stmt == head_id));
+        let head_prov = report
+            .provenance
+            .iter()
+            .find(|pr| pr.stmt == 0)
+            .expect("head provenance");
+        assert_eq!(head_prov.fuse_note, Some(fuse_note::ILLEGAL));
+        assert_eq!(head_prov.outcome, outcome::PLANNED);
+        // The middle statement may root its own (legal) chain with
+        // s1 — that one forwards smid's fresh destination, and the
+        // schedule stays consistent either way.
+        assert!(sched.validate(&p).is_ok());
+        for fp in &sched.fused {
+            ndc_lint::certify_fusion(&p.nests[0], &fp.stmts).unwrap();
+        }
     }
 
     #[test]

@@ -26,6 +26,12 @@ pub struct Algorithm2Options {
     /// Bypass NDC when an operand has more than `reuse_k` future
     /// reuses. The paper's evaluation uses 0 (its default here).
     pub reuse_k: u32,
+    /// Fuse producer-consumer chains of planned offloads into
+    /// multi-op precompute packets (one gather of the union
+    /// footprint, one exec, one feed). Off by default; each adopted
+    /// fusion carries an `ndc-lint` certificate that is re-verified
+    /// independently before the schedule ships.
+    pub fuse: bool,
 }
 
 /// Compile a program with Algorithm 2.
@@ -35,7 +41,7 @@ pub fn compile_algorithm2(
     cores: usize,
     opts: Algorithm2Options,
 ) -> (Schedule, CompilerReport) {
-    compile_inner(prog, cfg, cores, Some(opts.reuse_k))
+    compile_inner(prog, cfg, cores, Some(opts.reuse_k), opts.fuse)
 }
 
 #[cfg(test)]
@@ -97,8 +103,24 @@ mod tests {
     #[test]
     fn higher_k_exercises_more_opportunities() {
         let p = reuse_prog();
-        let (_, strict) = compile_algorithm2(&p, &cfg(), 25, Algorithm2Options { reuse_k: 0 });
-        let (_, relaxed) = compile_algorithm2(&p, &cfg(), 25, Algorithm2Options { reuse_k: 8 });
+        let (_, strict) = compile_algorithm2(
+            &p,
+            &cfg(),
+            25,
+            Algorithm2Options {
+                reuse_k: 0,
+                ..Default::default()
+            },
+        );
+        let (_, relaxed) = compile_algorithm2(
+            &p,
+            &cfg(),
+            25,
+            Algorithm2Options {
+                reuse_k: 8,
+                ..Default::default()
+            },
+        );
         assert!(relaxed.planned >= strict.planned);
         assert!(relaxed.bypassed_reuse <= strict.bypassed_reuse);
     }

@@ -12,6 +12,7 @@
 
 use ndc_cme::{CmeAnalysis, RefKey};
 use ndc_ir::program::{LoopNest, Program, Stmt};
+use ndc_ir::schedule::chain_operands;
 use ndc_noc::{best_signature_pair, Mesh, RouteSignature};
 use ndc_types::FxHashMap;
 use ndc_types::{ArchConfig, Coord, NodeId};
@@ -222,10 +223,24 @@ pub fn assess(
             mc_lat + cfg.mem.dram.row_hit_cycles as f64;
 
         // Predicted NoC bytes moved: 16 B operand requests, weighted
-        // DRAM line fills, and the 16 B result return.
+        // DRAM line fills, and the 16 B result return. Operands that
+        // land in the same L2 line are served by ONE request and ONE
+        // fill — charging both (the fuzzer-exposed double count)
+        // overstated bytes for self-offset chains and biased target
+        // selection toward far-memory locations.
         let line = cfg.l2.line_bytes as f64;
-        let req_bytes = 16.0 * (h(core, home_a) + h(core, home_b));
-        let fill_bytes = line * (p_l2_a * h(home_a, mcn_a) + p_l2_b * h(home_b, mcn_b));
+        let same_l2_line = addr_a / cfg.l2.line_bytes == addr_b / cfg.l2.line_bytes;
+        let (req_bytes, fill_bytes) = if same_l2_line {
+            (
+                16.0 * h(core, home_a),
+                line * p_l2_a.max(p_l2_b) * h(home_a, mcn_a),
+            )
+        } else {
+            (
+                16.0 * (h(core, home_a) + h(core, home_b)),
+                line * (p_l2_a * h(home_a, mcn_a) + p_l2_b * h(home_b, mcn_b)),
+            )
+        };
         let near_l2 = req_bytes + fill_bytes + 16.0 * h(home_a, core);
         v.est_bytes[ndc_types::NdcLocation::CacheController.index()] += near_l2;
         v.est_bytes[ndc_types::NdcLocation::LinkBuffer.index()] += near_l2;
@@ -246,6 +261,185 @@ pub fn assess(
     v.overlap_reshaped /= n;
     v.bank_skew = skews_bank / n;
     v.mc_skew = skews_mc / n;
+    for e in &mut v.est_offload {
+        *e /= n;
+    }
+    for e in &mut v.est_bytes {
+        *e /= n;
+    }
+    Some(v)
+}
+
+/// Sampled viability of a fused chain: every gathered operand of the
+/// packet, costed together as one gather / one exec / one feed.
+#[derive(Debug, Clone, Default)]
+pub struct FusedViability {
+    /// Per-location fraction of sampled iterations whose gathered
+    /// operands *all* co-locate there (`NdcLocation::index()` order).
+    pub colocation: [f64; 4],
+    /// Mean predicted issue→result-at-core cycles for the whole
+    /// packet: slowest operand's availability, one cycle per chained
+    /// op, one result trip home.
+    pub est_offload: [f64; 4],
+    /// Mean predicted NoC bytes for the packet's *union* footprint —
+    /// each distinct L2 line requested and filled once even when
+    /// several members read it, plus one result return.
+    pub est_bytes: [f64; 4],
+    /// Samples taken.
+    pub samples: u32,
+}
+
+/// Assess a fused chain (`members` are body positions in chain order)
+/// by sampling the union footprint of its gathered operands. The
+/// chain's structure must already validate ([`chain_operands`] must
+/// link every tail); returns `None` otherwise or when the iteration
+/// space is unsampleable.
+pub fn assess_fused(
+    prog: &Program,
+    nest_pos: usize,
+    nest: &LoopNest,
+    members: &[usize],
+    cfg: &ArchConfig,
+    cme: &CmeAnalysis,
+    cores: usize,
+) -> Option<FusedViability> {
+    let head = nest.body.get(*members.first()?)?;
+    let (ra, rb) = head.memory_operand_pair()?;
+    // (gathered ref, stmt_pos, slot) for every operand the packet
+    // fetches from memory; forwarded link values move no NoC bytes.
+    let mut refs = vec![(ra, members[0], 0u8), (rb, members[0], 1u8)];
+    let mut prev_dst = &head.dst;
+    for &pos in &members[1..] {
+        let s = nest.body.get(pos)?;
+        let (link_is_a, gathered) = chain_operands(s, prev_dst)?;
+        refs.push((gathered, pos, if link_is_a { 1 } else { 0 }));
+        prev_dst = &s.dst;
+    }
+    let n_ops = members.len() as f64;
+
+    let model = LatencyModel::new(*cfg);
+    let mesh = Mesh::new(cfg.noc);
+    let p_l2: Vec<f64> = refs
+        .iter()
+        .map(|&(_, stmt_pos, slot)| {
+            cme.get(&RefKey {
+                nest_pos,
+                stmt_pos,
+                slot,
+            })
+            .map(|p| p.l2_miss_rate)
+            .unwrap_or(0.5)
+        })
+        .collect();
+
+    let mut v = FusedViability::default();
+    let total = nest.points();
+    let step = (total / SAMPLES as u64).max(1);
+    for (k, point) in nest.iter_points().step_by(step as usize).enumerate() {
+        if k >= SAMPLES {
+            break;
+        }
+        let addrs: Option<Vec<u64>> = refs
+            .iter()
+            .map(|(r, _, _)| prog.addr_of(r, &point))
+            .collect();
+        let Some(addrs) = addrs else { continue };
+        let core = core_of(nest, &point, cores, cfg);
+        let homes: Vec<NodeId> = addrs.iter().map(|&a| cfg.l2_home(a)).collect();
+        let mcns: Vec<NodeId> = addrs.iter().map(|&a| cfg.mc_node(cfg.mc_of(a))).collect();
+        v.samples += 1;
+
+        use ndc_types::NdcLocation::*;
+        if homes.iter().all(|&hm| hm == homes[0]) {
+            v.colocation[CacheController.index()] += 1.0;
+        }
+        // Router viability needs one link that every operand's XY
+        // reply route crosses — the n-ary analogue of pairwise
+        // overlap (reshaping is pairwise, so fused packets use XY).
+        let w = cfg.noc.width;
+        let cc_coord = core.coord(w);
+        let mut sig =
+            RouteSignature::from_route(&mesh, &mesh.xy_route(homes[0].coord(w), cc_coord));
+        for hm in &homes[1..] {
+            sig = sig.and(&RouteSignature::from_route(
+                &mesh,
+                &mesh.xy_route(hm.coord(w), cc_coord),
+            ));
+        }
+        if sig.count_ones() > 0 {
+            v.colocation[LinkBuffer.index()] += 1.0;
+        }
+        let same_mc = mcns.iter().all(|&m| m == mcns[0]);
+        if same_mc {
+            v.colocation[MemoryController.index()] += 1.0;
+            if addrs
+                .iter()
+                .all(|&a| cfg.dram_bank_of(a) == cfg.dram_bank_of(addrs[0]))
+            {
+                v.colocation[MemoryBank.index()] += 1.0;
+            }
+        }
+
+        // Packet latency: the slowest operand's availability at the
+        // meeting component, one cycle per chained op, result home.
+        let hop = cfg.noc.hop_cycles as f64;
+        let h = |x: NodeId, y: NodeId| model.hops(x, y) as f64;
+        let at_bank = homes
+            .iter()
+            .zip(&p_l2)
+            .map(|(&hm, &p)| model.est_data_at_bank(core, hm, p))
+            .fold(0.0_f64, f64::max);
+        let cc_cost = at_bank + n_ops + h(homes[0], core) * hop;
+        v.est_offload[CacheController.index()] += cc_cost;
+        v.est_offload[LinkBuffer.index()] += cc_cost + hop;
+        let at_mc = homes
+            .iter()
+            .zip(&mcns)
+            .map(|(&hm, &m)| model.est_at_mc(core, hm, m))
+            .fold(0.0_f64, f64::max);
+        let mc_cost = at_mc + n_ops + h(mcns[0], core) * hop;
+        v.est_offload[MemoryController.index()] += mc_cost;
+        v.est_offload[MemoryBank.index()] += mc_cost + cfg.mem.dram.row_hit_cycles as f64;
+
+        // Union-footprint bytes: one 16 B request and one weighted
+        // line fill per *distinct* L2 line — an array read by several
+        // members is gathered once (the est_bytes double-count fix
+        // extended to whole packets). Duplicate lines keep the
+        // largest miss probability.
+        let line = cfg.l2.line_bytes as f64;
+        let mut uniq: Vec<(u64, usize)> = Vec::with_capacity(addrs.len());
+        for (i, &a) in addrs.iter().enumerate() {
+            let ln = a / cfg.l2.line_bytes;
+            match uniq.iter_mut().find(|(l, _)| *l == ln) {
+                Some((_, j)) => {
+                    if p_l2[i] > p_l2[*j] {
+                        *j = i;
+                    }
+                }
+                None => uniq.push((ln, i)),
+            }
+        }
+        let mut req_bytes = 0.0;
+        let mut fill_bytes = 0.0;
+        for &(_, i) in &uniq {
+            req_bytes += 16.0 * h(core, homes[i]);
+            fill_bytes += line * p_l2[i] * h(homes[i], mcns[i]);
+        }
+        let near_l2 = req_bytes + fill_bytes + 16.0 * h(homes[0], core);
+        v.est_bytes[CacheController.index()] += near_l2;
+        v.est_bytes[LinkBuffer.index()] += near_l2;
+        let near_mc = req_bytes + fill_bytes + 16.0 * h(mcns[0], core);
+        v.est_bytes[MemoryController.index()] += near_mc;
+        v.est_bytes[MemoryBank.index()] += near_mc;
+    }
+
+    if v.samples == 0 {
+        return None;
+    }
+    let n = v.samples as f64;
+    for c in &mut v.colocation {
+        *c /= n;
+    }
     for e in &mut v.est_offload {
         *e /= n;
     }

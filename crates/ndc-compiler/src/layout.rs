@@ -48,6 +48,11 @@ pub fn optimize_layout(prog: &Program, cfg: &ArchConfig) -> (Program, LayoutRepo
     let banks = cfg.nodes() as u64;
     let line = cfg.l2.line_bytes;
     let mut report = LayoutReport::default();
+    if banks == 0 || line == 0 {
+        // A degenerate architecture description has no banks to align
+        // against; the pass is a no-op rather than a division by zero.
+        return (prog.clone(), report);
+    }
 
     // Collect per-array shift demands from same-access-function chains.
     let mut demands: FxHashMap<Demand, u64> = FxHashMap::default();
@@ -95,14 +100,36 @@ pub fn optimize_layout(prog: &Program, cfg: &ArchConfig) -> (Program, LayoutRepo
         }
     }
 
+    // Apply shifts in ascending array id so the overlap checks below are
+    // deterministic regardless of hash-map iteration order. A shift can
+    // be up to `banks − 1` lines, which may exceed the layout's
+    // inter-array padding, so each one is refused rather than applied if
+    // it would make the shifted array collide with any other array's
+    // (possibly already shifted) extent — disjoint layouts are a hard
+    // invariant of the pass.
     let mut out = prog.clone();
     let mut shifted: Vec<(u32, u64)> = Vec::new();
-    for (array, (shift_lines, _)) in &best {
-        let bytes = shift_lines * line;
-        out.arrays[array.0 as usize].base += bytes;
+    let mut order: Vec<(ArrayId, u64)> = best.iter().map(|(a, (s, _))| (*a, *s)).collect();
+    order.sort_unstable_by_key(|(a, _)| a.0);
+    for (array, shift_lines) in order {
+        let bytes = shift_lines.saturating_mul(line);
+        let idx = array.0 as usize;
+        let Some(decl) = out.arrays.get(idx) else {
+            continue;
+        };
+        let new_base = decl.base.saturating_add(bytes);
+        let new_end = new_base.saturating_add(decl.size_bytes());
+        let disjoint = out.arrays.iter().enumerate().all(|(j, other)| {
+            j == idx
+                || new_end <= other.base
+                || other.base.saturating_add(other.size_bytes()) <= new_base
+        });
+        if !disjoint {
+            continue;
+        }
+        out.arrays[idx].base = new_base;
         shifted.push((array.0, bytes));
     }
-    shifted.sort_unstable();
     report.shifts = shifted;
 
     // Count what the shifts actually achieved.
@@ -221,6 +248,50 @@ mod tests {
             q.arrays.iter().map(|a| a.base).collect::<Vec<_>>(),
             r.arrays.iter().map(|a| a.base).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn colliding_shifts_are_refused() {
+        let cfg = cfg();
+        let mut p = Program::new("tight");
+        let x = p.add_array(ArrayDecl::new("X", vec![40000], 8));
+        let y = p.add_array(ArrayDecl::new("Y", vec![40000], 8));
+        let z = p.add_array(ArrayDecl::new("Z", vec![4096], 8));
+        let s8 = |arr| Ref::Array(ArrayRef::affine(arr, IMat::from_rows(&[&[8]]), vec![0]));
+        let s = Stmt::binary(
+            0,
+            ArrayRef::identity(z, 1, vec![0]),
+            Op::Add,
+            s8(x),
+            s8(y),
+            1,
+        );
+        p.nests.push(LoopNest::new(0, vec![0], vec![4000], vec![s]));
+        p.assign_layout(0, 4096);
+        // Re-pack by hand: Y one L2 line after X's end (so a
+        // banks−1-line shift is demanded) and Z immediately after Y
+        // (so the shift cannot fit without overlapping Z).
+        let line = cfg.l2.line_bytes;
+        let xe = p.arrays[x.0 as usize].size_bytes();
+        p.arrays[y.0 as usize].base = xe + line;
+        p.arrays[z.0 as usize].base = xe + line + p.arrays[y.0 as usize].size_bytes();
+        let (q, report) = optimize_layout(&p, &cfg);
+        assert!(
+            report.shifts.is_empty(),
+            "colliding shift applied: {report:?}"
+        );
+        let mut ranges: Vec<(u64, u64)> = q
+            .arrays
+            .iter()
+            .map(|a| (a.base, a.base + a.size_bytes()))
+            .collect();
+        ranges.sort_unstable();
+        for w in ranges.windows(2) {
+            assert!(w[0].1 <= w[1].0, "arrays overlap: {ranges:?}");
+        }
+        // The chain stays unaligned rather than corrupting the layout.
+        assert_eq!(report.aligned, 0);
+        assert_eq!(report.unalignable, 1);
     }
 
     #[test]

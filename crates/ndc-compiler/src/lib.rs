@@ -39,6 +39,8 @@ pub mod report;
 pub use algorithm1::compile_algorithm1;
 pub use algorithm2::{compile_algorithm2, Algorithm2Options};
 pub use coarse::compile_coarse;
-pub use estimate::{LatencyModel, TargetViability};
+pub use estimate::{assess_fused, FusedViability, LatencyModel, TargetViability};
 pub use layout::{optimize_layout, LayoutReport};
-pub use report::{no_offload, outcome, reason, CandidateRecord, ChainProvenance, CompilerReport};
+pub use report::{
+    fuse_note, no_offload, outcome, reason, CandidateRecord, ChainProvenance, CompilerReport,
+};

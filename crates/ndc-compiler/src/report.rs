@@ -26,6 +26,28 @@ pub mod outcome {
     pub const REUSE_BYPASSED: &str = "reuse-bypassed";
     pub const NO_TARGET: &str = "no-target";
     pub const NO_SAMPLES: &str = "no-samples";
+    /// The statement was absorbed into a fused multi-op precompute
+    /// packet; `chain_group`/`final_target` identify the packet.
+    pub const FUSED: &str = "fused";
+}
+
+/// What the fusion pass decided about a structurally-linkable chain
+/// (stable output surface). Recorded on the chain head (and, for an
+/// adopted fusion, on every member).
+pub mod fuse_note {
+    /// The chain was fused into one packet.
+    pub const FUSED: &str = "fused";
+    /// `ndc-lint` refused a fusion certificate for every prefix — an
+    /// intervening dependence makes the chain illegal.
+    pub const ILLEGAL: &str = "fusion-illegal";
+    /// No enabled NDC location co-locates every gathered operand
+    /// often enough.
+    pub const NO_COMMON_TARGET: &str = "fusion-no-common-target";
+    /// The union footprint would not move fewer predicted bytes than
+    /// the members offloaded individually.
+    pub const NO_BYTES_BENEFIT: &str = "fusion-no-bytes-benefit";
+    /// The chain's union footprint could not be sampled.
+    pub const NO_SAMPLES: &str = "fusion-no-samples";
 }
 
 /// Why a chain produced **no** offload plan (stable output surface).
@@ -90,6 +112,29 @@ pub struct ChainProvenance {
     /// nest. `None` for untransformed nests. Re-verified by `ndc-lint`
     /// independently of the optimizer before the schedule ships.
     pub certificate: Option<LegalityCertificate>,
+    /// Fused-packet membership: members of one fused chain share a
+    /// group id. `None` for statements left unfused.
+    pub chain_group: Option<u32>,
+    /// The location this statement's computation finally adopted —
+    /// the individual plan's target, or (for fused members) the
+    /// packet's common target. Every member of a `chain_group` agrees
+    /// on this value. `None` when the chain fell back to conventional
+    /// execution.
+    pub final_target: Option<NdcLocation>,
+    /// One of the [`fuse_note`] strings when the fusion pass examined
+    /// a chain rooted or absorbed here.
+    pub fuse_note: Option<&'static str>,
+    /// Predicted whole-packet offload cycles / union-footprint bytes
+    /// for fused members (recorded identically on every member so
+    /// `ndc-eval explain` can reconcile without re-deriving groups).
+    pub fused_predicted_cycles: Option<f64>,
+    pub fused_predicted_bytes: Option<f64>,
+    /// What the adoption check estimated the same members would move
+    /// unfused: planned members at their own adopted targets,
+    /// conventional tails at their near-L2 lower bound. Recorded
+    /// identically on every member; `fused_predicted_bytes` beat this
+    /// number or the packet would not exist.
+    pub fused_unfused_bytes: Option<f64>,
 }
 
 impl ChainProvenance {
@@ -117,6 +162,11 @@ pub struct CompilerReport {
     /// Plans per first-choice target, indexed by
     /// `NdcLocation::index()`.
     pub per_target: [u64; 4],
+    /// Fused multi-op precompute packets emitted.
+    pub fused_chains: u64,
+    /// Chain members absorbed into fused packets (each packet
+    /// contributes its member count).
+    pub fused_ops: u64,
     /// Loop transformations applied.
     pub transforms_applied: u64,
     /// One legality certificate per applied transformation, in nest
@@ -166,12 +216,19 @@ mod tests {
                 mk(NdcLocation::MemoryController, reason::SHADOWED),
             ],
             certificate: None,
+            chain_group: None,
+            final_target: Some(NdcLocation::LinkBuffer),
+            fuse_note: None,
+            fused_predicted_cycles: None,
+            fused_predicted_bytes: None,
+            fused_unfused_bytes: None,
         };
         assert_eq!(prov.selected().unwrap().location, NdcLocation::LinkBuffer);
         let none = ChainProvenance {
             outcome: outcome::NO_TARGET,
             no_offload: Some(no_offload::NO_COLOCATION),
             candidates: Vec::new(),
+            final_target: None,
             ..prov
         };
         assert!(none.selected().is_none());

@@ -147,16 +147,135 @@ impl<'p> Interpreter<'p> {
     /// (lexicographic), and statement order overrides apply. This is the
     /// semantics of the transformed loop nest without needing explicit
     /// bound recomputation.
+    ///
+    /// Fused chains execute with *gather-at-head* semantics, mirroring
+    /// the hardware's single multi-op packet: when the chain head runs,
+    /// every tail member's gathered operand is read immediately
+    /// (snapshot); each tail then combines the forwarded chain value
+    /// with its snapshot at its own position in the statement order.
+    /// For a legal fusion (no intervening statement writes a gathered
+    /// operand) this is identical to unfused execution; for an illegal
+    /// one it genuinely diverges — which is exactly what gives the
+    /// differential oracle its discriminating power.
     pub fn run_scheduled(&self, store: &mut DataStore, schedule: &Schedule) {
         for nest in &self.prog.nests {
             let points = scheduled_points(nest, schedule);
             let order = schedule.stmt_order_for(nest);
+            let chains: Vec<FusedChain> = schedule
+                .fused_for(nest.id)
+                .map(|plan| FusedChain::build(nest, plan))
+                .collect();
+            if chains.is_empty() {
+                for point in &points {
+                    for &pos in &order {
+                        self.exec_stmt(store, &nest.body[pos], point);
+                    }
+                }
+                continue;
+            }
+            // Body position -> (chain index, member index).
+            let mut member_at: std::collections::HashMap<usize, (usize, usize)> =
+                std::collections::HashMap::new();
+            for (ci, c) in chains.iter().enumerate() {
+                for (mi, &pos) in c.positions.iter().enumerate() {
+                    member_at.insert(pos, (ci, mi));
+                }
+            }
             for point in &points {
+                let mut pending: Vec<Option<ChainState>> =
+                    (0..chains.len()).map(|_| None).collect();
                 for &pos in &order {
-                    self.exec_stmt(store, &nest.body[pos], point);
+                    let s = &nest.body[pos];
+                    match member_at.get(&pos) {
+                        Some(&(ci, 0)) => {
+                            // Chain head: gather the whole union
+                            // footprint now, execute op 0, forward.
+                            let chain = &chains[ci];
+                            let a = self.eval_ref(store, &s.a, point);
+                            let b =
+                                self.eval_ref(store, s.b.as_ref().expect("head is binary"), point);
+                            let snapshots = chain
+                                .tails
+                                .iter()
+                                .map(|t| store.read(self.prog, &t.gathered, point))
+                                .collect();
+                            let v = s.op.expect("head is binary").apply(a, b);
+                            store.write(self.prog, &s.dst, point, v);
+                            pending[ci] = Some(ChainState {
+                                snapshots,
+                                forwarded: v,
+                            });
+                        }
+                        Some(&(ci, mi)) => {
+                            let chain = &chains[ci];
+                            // A statement order that runs a tail before
+                            // its head has no packet to consume from;
+                            // fall back to plain execution.
+                            let Some(state) = pending[ci].as_mut() else {
+                                self.exec_stmt(store, s, point);
+                                continue;
+                            };
+                            let tail = &chain.tails[mi - 1];
+                            let g = state.snapshots[mi - 1];
+                            let op = s.op.expect("tail is binary");
+                            let v = if tail.link_is_a {
+                                op.apply(state.forwarded, g)
+                            } else {
+                                op.apply(g, state.forwarded)
+                            };
+                            store.write(self.prog, &s.dst, point, v);
+                            state.forwarded = v;
+                        }
+                        None => self.exec_stmt(store, s, point),
+                    }
                 }
             }
         }
+    }
+}
+
+/// Precomputed structure of one fused chain inside a nest.
+struct FusedChain {
+    /// Body positions of the members, in chain order.
+    positions: Vec<usize>,
+    tails: Vec<TailInfo>,
+}
+
+struct TailInfo {
+    /// Operand `a` is the forwarded link (else `b` is).
+    link_is_a: bool,
+    /// The member's single gathered operand.
+    gathered: crate::program::ArrayRef,
+}
+
+/// Per-point execution state of a fused chain.
+struct ChainState {
+    /// Tail gathered-operand values, read at head time.
+    snapshots: Vec<f64>,
+    /// Running chain value forwarded to the next member.
+    forwarded: f64,
+}
+
+impl FusedChain {
+    fn build(nest: &LoopNest, plan: &crate::schedule::FusedPrecomputePlan) -> FusedChain {
+        let positions: Vec<usize> = plan
+            .stmts
+            .iter()
+            .map(|id| nest.stmt_pos(*id).expect("validated plan"))
+            .collect();
+        let mut tails = Vec::new();
+        let mut prev_dst = &nest.stmt(plan.stmts[0]).expect("validated plan").dst;
+        for id in &plan.stmts[1..] {
+            let s = nest.stmt(*id).expect("validated plan");
+            let (link_is_a, gathered) =
+                crate::schedule::chain_operands(s, prev_dst).expect("validated plan");
+            tails.push(TailInfo {
+                link_is_a,
+                gathered: gathered.clone(),
+            });
+            prev_dst = &s.dst;
+        }
+        FusedChain { positions, tails }
     }
 }
 
@@ -313,6 +432,109 @@ mod tests {
         for i in 0..16 {
             assert_eq!(a.array(ArrayId(i)).len(), 4);
         }
+    }
+
+    /// Legal fusion (s0: Z = X + Y, s1: W = Z * X, no intervening
+    /// writes): gather-at-head execution must be element-wise identical
+    /// to the unfused original.
+    #[test]
+    fn legal_fused_chain_matches_unfused() {
+        let mut p = Program::new("fuse-legal");
+        let x = p.add_array(ArrayDecl::new("X", vec![16], 8));
+        let y = p.add_array(ArrayDecl::new("Y", vec![16], 8));
+        let z = p.add_array(ArrayDecl::new("Z", vec![16], 8));
+        let w = p.add_array(ArrayDecl::new("W", vec![16], 8));
+        let s0 = Stmt::binary(
+            0,
+            ArrayRef::identity(z, 1, vec![0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(x, 1, vec![0])),
+            Ref::Array(ArrayRef::identity(y, 1, vec![0])),
+            1,
+        );
+        let s1 = Stmt::binary(
+            1,
+            ArrayRef::identity(w, 1, vec![0]),
+            Op::Mul,
+            Ref::Array(ArrayRef::identity(z, 1, vec![0])),
+            Ref::Array(ArrayRef::identity(x, 1, vec![0])),
+            1,
+        );
+        p.nests
+            .push(LoopNest::new(0, vec![0], vec![16], vec![s0, s1]));
+        p.assign_layout(0, 64);
+
+        let mut sched = Schedule::default();
+        sched.fused.push(crate::schedule::FusedPrecomputePlan {
+            nest: crate::program::NestId(0),
+            stmts: vec![crate::program::StmtId(0), crate::program::StmtId(1)],
+            lookahead: 2,
+            stagger: 0,
+            reshape_routes: false,
+            target: ndc_types::NdcLocation::CacheController,
+        });
+        assert!(sched.validate(&p).is_ok());
+        let mut a = DataStore::init(&p);
+        let mut b = DataStore::init(&p);
+        Interpreter::new(&p).run(&mut a);
+        Interpreter::new(&p).run_scheduled(&mut b, &sched);
+        assert_eq!(a, b);
+    }
+
+    /// Illegal fusion: an intervening statement rewrites the tail's
+    /// gathered operand between head and tail. Gather-at-head snapshots
+    /// the pre-write value, so the fused execution must diverge — this
+    /// is what the differential oracle relies on to reject bad fusions.
+    #[test]
+    fn illegal_fused_chain_diverges() {
+        let mut p = Program::new("fuse-illegal");
+        let x = p.add_array(ArrayDecl::new("X", vec![16], 8));
+        let y = p.add_array(ArrayDecl::new("Y", vec![16], 8));
+        let z = p.add_array(ArrayDecl::new("Z", vec![16], 8));
+        let w = p.add_array(ArrayDecl::new("W", vec![16], 8));
+        let s0 = Stmt::binary(
+            0,
+            ArrayRef::identity(z, 1, vec![0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(x, 1, vec![0])),
+            Ref::Array(ArrayRef::identity(y, 1, vec![0])),
+            1,
+        );
+        // Intervening write: X = Y + Y clobbers the gathered operand.
+        let s1 = Stmt::binary(
+            1,
+            ArrayRef::identity(x, 1, vec![0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(y, 1, vec![0])),
+            Ref::Array(ArrayRef::identity(y, 1, vec![0])),
+            1,
+        );
+        let s2 = Stmt::binary(
+            2,
+            ArrayRef::identity(w, 1, vec![0]),
+            Op::Mul,
+            Ref::Array(ArrayRef::identity(z, 1, vec![0])),
+            Ref::Array(ArrayRef::identity(x, 1, vec![0])),
+            1,
+        );
+        p.nests
+            .push(LoopNest::new(0, vec![0], vec![16], vec![s0, s1, s2]));
+        p.assign_layout(0, 64);
+
+        let mut sched = Schedule::default();
+        sched.fused.push(crate::schedule::FusedPrecomputePlan {
+            nest: crate::program::NestId(0),
+            stmts: vec![crate::program::StmtId(0), crate::program::StmtId(2)],
+            lookahead: 2,
+            stagger: 0,
+            reshape_routes: false,
+            target: ndc_types::NdcLocation::CacheController,
+        });
+        let mut a = DataStore::init(&p);
+        let mut b = DataStore::init(&p);
+        Interpreter::new(&p).run(&mut a);
+        Interpreter::new(&p).run_scheduled(&mut b, &sched);
+        assert_ne!(a, b, "stale gathered operand must change results");
     }
 
     /// The OOB counter is observability, not semantics: two stores with

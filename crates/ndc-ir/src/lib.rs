@@ -37,4 +37,7 @@ pub use lower::{
 };
 pub use matrix::{IMat, IVec};
 pub use program::{ArrayDecl, ArrayId, ArrayRef, LoopNest, NestId, Program, Ref, Stmt, StmtId};
-pub use schedule::{MoveStrategy, PrecomputePlan, Schedule};
+pub use schedule::{
+    chain_operands, validate_chain_shape, FusedPrecomputePlan, MoveStrategy, PrecomputePlan,
+    Schedule,
+};

@@ -18,9 +18,11 @@
 
 use crate::interp::scheduled_points;
 use crate::matrix::IVec;
-use crate::program::{LoopNest, NestId, Program, Ref, Stmt, StmtId};
-use crate::schedule::Schedule;
-use ndc_types::{FxHashMap, Inst, InstKind, NodeId, Operand, Pc, Trace, TraceProgram};
+use crate::program::{ArrayRef, LoopNest, NestId, Program, Ref, Stmt, StmtId};
+use crate::schedule::{chain_operands, FusedPrecomputePlan, Schedule};
+use ndc_types::{
+    FxHashMap, Inst, InstKind, NodeId, Op, Operand, Pc, Trace, TraceProgram, MAX_FUSED_OPS,
+};
 
 /// A structural defect in the (program, schedule) pair that makes
 /// lowering meaningless. Returned by [`try_lower`] instead of
@@ -34,6 +36,10 @@ pub enum LowerError {
     /// A pre-compute plan targets a nest that does not exist in the
     /// program.
     UnknownPlanNest { nest: NestId },
+    /// A fused plan's chain shape is invalid (bad member count,
+    /// non-increasing positions, missing link, gathered operand aliasing
+    /// an earlier destination, ...).
+    InvalidFusedPlan { nest: NestId, detail: String },
 }
 
 impl std::fmt::Display for LowerError {
@@ -49,6 +55,9 @@ impl std::fmt::Display for LowerError {
                 "precompute plan references nest N{} absent from the program",
                 nest.0
             ),
+            LowerError::InvalidFusedPlan { nest, detail } => {
+                write!(f, "fused plan for nest N{} is invalid: {detail}", nest.0)
+            }
         }
     }
 }
@@ -128,6 +137,17 @@ pub fn try_lower(
             });
         }
     }
+    for plan in &sched.fused {
+        let Some(nest) = prog.nests.iter().find(|n| n.id == plan.nest) else {
+            return Err(LowerError::UnknownPlanNest { nest: plan.nest });
+        };
+        crate::schedule::validate_chain_shape(nest, &plan.stmts).map_err(|detail| {
+            LowerError::InvalidFusedPlan {
+                nest: plan.nest,
+                detail,
+            }
+        })?;
+    }
     let mut out = TraceProgram::new(prog.name.clone());
     out.traces = (0..opts.cores)
         .map(|c| Trace::new(NodeId(c as u16)))
@@ -137,6 +157,17 @@ pub fn try_lower(
         let points = scheduled_points(nest, sched);
         let order = sched.stmt_order_for(nest);
         let plans: Vec<_> = sched.plans_for(nest.id).collect();
+        let fused_infos: Vec<FusedLowerInfo> = sched
+            .fused_for(nest.id)
+            .map(|p| FusedLowerInfo::build(nest, p))
+            .collect();
+        // Statement id -> (fused plan index, chain member index).
+        let mut fused_member: FxHashMap<StmtId, (usize, usize)> = FxHashMap::default();
+        for (fi, p) in sched.fused_for(nest.id).enumerate() {
+            for (mi, id) in p.stmts.iter().enumerate() {
+                fused_member.insert(*id, (fi, mi));
+            }
+        }
 
         // Partition points across threads by the original parallel
         // dimension (block partitioning, preserving per-thread schedule
@@ -149,8 +180,12 @@ pub fn try_lower(
             // Ids are dense per trace (0..precompute_count), which lets
             // the engine index its pre-result table directly instead of
             // hashing (usize, u32) keys in the inner loop.
-            let mut next_precompute_id = trace.precompute_count() as u32;
+            let mut next_precompute_id = trace.precompute_ids() as u32;
             let mut pending: FxHashMap<(usize, usize), u32> = FxHashMap::default();
+            // (fused plan index, consumer point index) -> base id. Kept
+            // until every chain member at that point has consumed its
+            // slot, then retired after the body loop.
+            let mut pending_fused: FxHashMap<(usize, usize), u32> = FxHashMap::default();
             for (j, point) in my_points.iter().enumerate() {
                 // Issue pre-computes whose consumer sits `lookahead`
                 // iterations ahead.
@@ -192,14 +227,62 @@ pub fn try_lower(
                     });
                 }
 
+                // Issue fused packets whose chain head's consumer sits
+                // `lookahead` iterations ahead: one gather of the union
+                // footprint, one packet, `n_ops` result slots.
+                for (fi, info) in fused_infos.iter().enumerate() {
+                    let target = j + info.lookahead as usize;
+                    if target >= my_points.len() {
+                        continue;
+                    }
+                    let tpoint = &my_points[target];
+                    let mut addrs = [0u64; MAX_FUSED_OPS + 1];
+                    let mut resolvable = true;
+                    for (k, r) in info.gathered.iter().enumerate() {
+                        match prog.addr_of(r, tpoint) {
+                            Some(a) => addrs[k] = a,
+                            None => {
+                                // Halo access: the chain falls back to
+                                // conventional execution at this point.
+                                resolvable = false;
+                                break;
+                            }
+                        }
+                    }
+                    if !resolvable {
+                        continue;
+                    }
+                    let id = next_precompute_id;
+                    next_precompute_id += info.n_ops as u32;
+                    pending_fused.insert((fi, target), id);
+                    trace.insts.push(Inst {
+                        pc: pc_of(nest_pos, info.head_pos, ROLE_PRECOMPUTE),
+                        kind: InstKind::FusedPreCompute {
+                            id,
+                            n_ops: info.n_ops,
+                            ops: info.ops,
+                            addrs,
+                            stagger: info.stagger,
+                            reshape_routes: info.reshape_routes,
+                        },
+                    });
+                }
+
                 // Body statements in scheduled order.
                 for &stmt_pos in &order {
                     let stmt = &nest.body[stmt_pos];
-                    let precomputed = plans.iter().enumerate().find_map(|(pi, plan)| {
-                        (plan.stmt == stmt.id)
-                            .then(|| pending.remove(&(pi, j)))
-                            .flatten()
-                    });
+                    let precomputed = plans
+                        .iter()
+                        .enumerate()
+                        .find_map(|(pi, plan)| {
+                            (plan.stmt == stmt.id)
+                                .then(|| pending.remove(&(pi, j)))
+                                .flatten()
+                        })
+                        .or_else(|| {
+                            let &(fi, mi) = fused_member.get(&stmt.id)?;
+                            pending_fused.get(&(fi, j)).map(|&base| base + mi as u32)
+                        });
                     emit_stmt(
                         prog,
                         trace,
@@ -211,11 +294,55 @@ pub fn try_lower(
                         opts.emit_busy,
                     );
                 }
+                // Retire fused slots consumed at this point.
+                pending_fused.retain(|&(_, t), _| t != j);
             }
         }
     }
     debug_assert_eq!(out.validate_precompute_links(), Ok(()));
     Ok(out)
+}
+
+/// Per-nest lowering view of one fused plan: member ops in chain order
+/// and the gathered operand references (head `a`, head `b`, then each
+/// tail's single gathered operand — the packet's union footprint).
+struct FusedLowerInfo {
+    head_pos: usize,
+    n_ops: u8,
+    ops: [Op; MAX_FUSED_OPS],
+    gathered: Vec<ArrayRef>,
+    lookahead: u32,
+    stagger: i32,
+    reshape_routes: bool,
+}
+
+impl FusedLowerInfo {
+    /// Plans are validated up-front ([`crate::schedule::validate_chain_shape`]),
+    /// so member lookups here cannot fail.
+    fn build(nest: &LoopNest, plan: &FusedPrecomputePlan) -> FusedLowerInfo {
+        let head = nest.stmt(plan.stmts[0]).expect("validated plan");
+        let (ra, rb) = head.memory_operand_pair().expect("validated head");
+        let mut ops = [Op::Add; MAX_FUSED_OPS];
+        ops[0] = head.op.expect("validated head");
+        let mut gathered = vec![ra.clone(), rb.clone()];
+        let mut prev_dst = &head.dst;
+        for (k, id) in plan.stmts[1..].iter().enumerate() {
+            let s = nest.stmt(*id).expect("validated plan");
+            let (_, g) = chain_operands(s, prev_dst).expect("validated link");
+            ops[k + 1] = s.op.expect("validated tail");
+            gathered.push(g.clone());
+            prev_dst = &s.dst;
+        }
+        FusedLowerInfo {
+            head_pos: nest.stmt_pos(plan.stmts[0]).expect("validated plan"),
+            n_ops: plan.stmts.len() as u8,
+            ops,
+            gathered,
+            lookahead: plan.lookahead,
+            stagger: plan.stagger,
+            reshape_routes: plan.reshape_routes,
+        }
+    }
 }
 
 /// Block-partition scheduled points across threads by the original
@@ -682,6 +809,162 @@ mod tests {
         );
         assert_eq!(tp.total_insts(), 0);
         assert_eq!(tp.total_computes(), 0);
+    }
+
+    /// s0: Z = X + Y, s1: W = Z * X — a two-member chain.
+    fn chain_prog(n: u64) -> Program {
+        let mut p = Program::new("chain");
+        let x = p.add_array(ArrayDecl::new("X", vec![n], 8));
+        let y = p.add_array(ArrayDecl::new("Y", vec![n], 8));
+        let z = p.add_array(ArrayDecl::new("Z", vec![n], 8));
+        let w = p.add_array(ArrayDecl::new("W", vec![n], 8));
+        let s0 = Stmt::binary(
+            0,
+            ArrayRef::identity(z, 1, vec![0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(x, 1, vec![0])),
+            Ref::Array(ArrayRef::identity(y, 1, vec![0])),
+            1,
+        );
+        let s1 = Stmt::binary(
+            1,
+            ArrayRef::identity(w, 1, vec![0]),
+            Op::Mul,
+            Ref::Array(ArrayRef::identity(z, 1, vec![0])),
+            Ref::Array(ArrayRef::identity(x, 1, vec![0])),
+            1,
+        );
+        p.nests
+            .push(LoopNest::new(0, vec![0], vec![n as i64], vec![s0, s1]));
+        p.assign_layout(0, 256);
+        p
+    }
+
+    fn chain_sched(lookahead: u32) -> Schedule {
+        let mut sched = Schedule::default();
+        sched.fused.push(crate::schedule::FusedPrecomputePlan {
+            nest: crate::program::NestId(0),
+            stmts: vec![crate::program::StmtId(0), crate::program::StmtId(1)],
+            lookahead,
+            stagger: 4,
+            reshape_routes: true,
+            target: NdcLocation::CacheController,
+        });
+        sched
+    }
+
+    #[test]
+    fn fused_plan_lowers_to_one_packet_per_point() {
+        let p = chain_prog(20);
+        let opts = LowerOptions {
+            cores: 2,
+            emit_busy: false,
+        };
+        let tp = lower(&p, &opts, Some(&chain_sched(3)));
+        assert!(tp.validate_precompute_links().is_ok());
+        // 10 iterations per thread, consumers exist for the first 7:
+        // one *packet* each, defining two ids each.
+        assert_eq!(tp.total_precomputes(), 2 * 7);
+        assert_eq!(
+            tp.traces.iter().map(|t| t.precompute_ids()).sum::<u64>(),
+            2 * 14
+        );
+        // Both chain members consume their slot: head gets base, tail
+        // gets base + 1.
+        let t0 = &tp.traces[0];
+        let consumed: Vec<u32> = t0
+            .insts
+            .iter()
+            .filter_map(|i| match i.kind {
+                InstKind::Compute {
+                    precomputed: Some(id),
+                    ..
+                } => Some(id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(consumed.len(), 14);
+        assert_eq!(&consumed[..2], &[0, 1]);
+        // The packet carries the union footprint: head a, head b, tail
+        // gathered (X, Y, X at the consumer point).
+        let (addrs, n_ops, stagger) = t0
+            .insts
+            .iter()
+            .find_map(|i| match i.kind {
+                InstKind::FusedPreCompute {
+                    addrs,
+                    n_ops,
+                    stagger,
+                    ..
+                } => Some((addrs, n_ops, stagger)),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(n_ops, 2);
+        assert_eq!(stagger, 4);
+        let x_base = p.array(crate::program::ArrayId(0)).base;
+        let y_base = p.array(crate::program::ArrayId(1)).base;
+        assert_eq!(addrs[0], x_base + 3 * 8);
+        assert_eq!(addrs[1], y_base + 3 * 8);
+        assert_eq!(addrs[2], x_base + 3 * 8);
+    }
+
+    #[test]
+    fn fused_and_individual_ids_stay_dense() {
+        // A fused chain in nest 0 plus an individual plan in nest 1:
+        // ids must still be dense per trace.
+        let mut p = chain_prog(10);
+        let v = p.add_array(ArrayDecl::new("V", vec![10], 8));
+        let s = Stmt::binary(
+            0,
+            ArrayRef::identity(v, 1, vec![0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(v, 1, vec![0])),
+            Ref::Array(ArrayRef::identity(crate::program::ArrayId(0), 1, vec![0])),
+            1,
+        );
+        p.nests.push(LoopNest::new(1, vec![0], vec![10], vec![s]));
+        p.assign_layout(0, 256);
+        let mut sched = chain_sched(2);
+        sched.precomputes.push(PrecomputePlan {
+            nest: crate::program::NestId(1),
+            stmt: crate::program::StmtId(0),
+            lookahead: 2,
+            stagger: 0,
+            reshape_routes: false,
+            strategy: MoveStrategy::MoveBoth,
+            target: NdcLocation::MemoryBank,
+        });
+        let opts = LowerOptions {
+            cores: 1,
+            emit_busy: false,
+        };
+        let tp = lower(&p, &opts, Some(&sched));
+        assert!(tp.validate_precompute_links().is_ok());
+        // Nest 0: 8 packets x 2 ids; nest 1: 8 singles.
+        assert_eq!(tp.traces[0].precompute_ids(), 24);
+    }
+
+    #[test]
+    fn invalid_fused_plan_is_a_structured_error() {
+        let p = chain_prog(10);
+        // Reversed member order: not strictly increasing.
+        let mut sched = Schedule::default();
+        sched.fused.push(crate::schedule::FusedPrecomputePlan {
+            nest: crate::program::NestId(0),
+            stmts: vec![crate::program::StmtId(1), crate::program::StmtId(0)],
+            lookahead: 1,
+            stagger: 0,
+            reshape_routes: false,
+            target: NdcLocation::CacheController,
+        });
+        let opts = LowerOptions {
+            cores: 1,
+            emit_busy: false,
+        };
+        let err = try_lower(&p, &opts, Some(&sched)).unwrap_err();
+        assert!(matches!(err, LowerError::InvalidFusedPlan { .. }));
+        assert!(err.to_string().contains("increasing"));
     }
 
     #[test]

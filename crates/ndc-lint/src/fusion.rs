@@ -1,0 +1,480 @@
+//! Fusion legality: machine-checkable certificates for fused
+//! precompute chains.
+//!
+//! A fused chain executes with *gather-at-head* semantics: every
+//! member's gathered operand is read when the chain head runs, each
+//! member's destination is still written at its own body position, and
+//! intermediate values are forwarded producer → consumer inside the
+//! packet. Fusion therefore moves *reads* earlier (to the head) and
+//! moves no writes, which gives the soundness conditions checked here:
+//!
+//! 1. the chain's *shape* is valid ([`ndc_ir::validate_chain_shape`]):
+//!    2..=[`ndc_types::MAX_FUSED_OPS`] binary members at strictly
+//!    increasing body positions, each tail forwarding its predecessor's
+//!    destination and gathering exactly one other array operand that
+//!    aliases no earlier member's destination;
+//! 2. no `Unknown`-distance constraining dependence touches a chain
+//!    member (an unanalyzable edge could hide any of the violations
+//!    below);
+//! 3. every loop-independent (zero-distance) flow edge between chain
+//!    members lands on the consumer's *link* operand — the slot whose
+//!    value the packet forwards. Any other member→member zero-distance
+//!    flow would read a value the gather snapshotted before it was
+//!    written. (Zero-distance anti edges between members are safe:
+//!    reads only move earlier; zero-distance output edges are safe:
+//!    writes do not move.)
+//! 4. no statement *between* the head and the last member (in body
+//!    position) has a zero-distance constraining dependence with any
+//!    chain member, in either direction — an intervening write to a
+//!    gathered operand would make the head's snapshot stale, and the
+//!    converse directions are rejected conservatively.
+//!
+//! [`verify_fusion_certificate`] re-derives the dependence graph from
+//! scratch and re-checks all four conditions plus the recorded link
+//! witnesses, so a certificate is trusted only after independent
+//! re-verification — same discipline as the transform certificates in
+//! [`crate::certificate`].
+
+use ndc_ir::deps::{DependenceGraph, DependenceKind, DistanceVector};
+use ndc_ir::program::{ArrayId, LoopNest, NestId, StmtId};
+use ndc_ir::schedule::{chain_operands, validate_chain_shape};
+
+/// Witness for one forwarded producer → consumer link of the chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkWitness {
+    /// The member whose destination is forwarded.
+    pub producer: StmtId,
+    /// The next member, which consumes the forwarded value.
+    pub consumer: StmtId,
+    /// The array both ends of the link touch.
+    pub array: ArrayId,
+    /// Operand slot of the link in the consumer (0 = `a`, 1 = `b`).
+    pub link_slot: u8,
+}
+
+/// A re-verifiable record that fusing `stmts` in `nest` is legal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusionCertificate {
+    pub nest: NestId,
+    /// Chain members in body order.
+    pub stmts: Vec<StmtId>,
+    /// One witness per consecutive pair.
+    pub links: Vec<LinkWitness>,
+}
+
+/// Why a chain cannot be fused (or a certificate does not check out).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FusionError {
+    /// The chain's structural shape is invalid.
+    BadShape { nest: NestId, detail: String },
+    /// An `Unknown`-distance constraining dependence touches a member.
+    UnknownDistance {
+        nest: NestId,
+        member: StmtId,
+        array: ArrayId,
+    },
+    /// A zero-distance flow between members does not land on the
+    /// consumer's link operand.
+    NonLinkFlow {
+        nest: NestId,
+        src: StmtId,
+        dst: StmtId,
+        array: ArrayId,
+    },
+    /// A statement between head and last member has a zero-distance
+    /// constraining dependence with a chain member.
+    InterveningDependence {
+        nest: NestId,
+        through: StmtId,
+        member: StmtId,
+        array: ArrayId,
+    },
+    /// Verification only: the certificate's link witnesses disagree
+    /// with the chain structure re-derived from the program.
+    BadWitness { nest: NestId, detail: String },
+}
+
+impl std::fmt::Display for FusionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FusionError::BadShape { nest, detail } => {
+                write!(f, "nest {}: bad fusion shape: {detail}", nest.0)
+            }
+            FusionError::UnknownDistance {
+                nest,
+                member,
+                array,
+            } => write!(
+                f,
+                "nest {}: unknown-distance dependence on array {} touches \
+                 chain member {}",
+                nest.0, array.0, member.0
+            ),
+            FusionError::NonLinkFlow {
+                nest,
+                src,
+                dst,
+                array,
+            } => write!(
+                f,
+                "nest {}: zero-distance flow {} -> {} on array {} does not \
+                 land on the forwarded link operand",
+                nest.0, src.0, dst.0, array.0
+            ),
+            FusionError::InterveningDependence {
+                nest,
+                through,
+                member,
+                array,
+            } => write!(
+                f,
+                "nest {}: statement {} between head and tail has a \
+                 zero-distance dependence with chain member {} on array {}",
+                nest.0, through.0, member.0, array.0
+            ),
+            FusionError::BadWitness { nest, detail } => {
+                write!(f, "nest {}: bad fusion witness: {detail}", nest.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for FusionError {}
+
+/// The link witnesses a legal chain must carry, derived structurally.
+fn derive_links(nest: &LoopNest, stmts: &[StmtId]) -> Result<Vec<LinkWitness>, FusionError> {
+    let mut links = Vec::new();
+    let mut prev = nest.stmt(stmts[0]).ok_or_else(|| FusionError::BadShape {
+        nest: nest.id,
+        detail: format!("unknown stmt {:?}", stmts[0]),
+    })?;
+    for id in &stmts[1..] {
+        let s = nest.stmt(*id).ok_or_else(|| FusionError::BadShape {
+            nest: nest.id,
+            detail: format!("unknown stmt {id:?}"),
+        })?;
+        let (link_is_a, _) = chain_operands(s, &prev.dst).ok_or_else(|| FusionError::BadShape {
+            nest: nest.id,
+            detail: format!("member {id:?} does not link to its predecessor"),
+        })?;
+        links.push(LinkWitness {
+            producer: prev.id,
+            consumer: s.id,
+            array: prev.dst.array,
+            link_slot: if link_is_a { 0 } else { 1 },
+        });
+        prev = s;
+    }
+    Ok(links)
+}
+
+/// Check fusion legality of `stmts` against an already-built (refined)
+/// dependence graph. On success, returns the certificate.
+pub fn certify_fusion_with(
+    nest: &LoopNest,
+    graph: &DependenceGraph,
+    stmts: &[StmtId],
+) -> Result<FusionCertificate, FusionError> {
+    validate_chain_shape(nest, stmts).map_err(|detail| FusionError::BadShape {
+        nest: nest.id,
+        detail,
+    })?;
+    let links = derive_links(nest, stmts)?;
+
+    let positions: Vec<usize> = stmts
+        .iter()
+        .map(|id| nest.stmt_pos(*id).expect("shape validated"))
+        .collect();
+    let head_pos = positions[0];
+    let last_pos = *positions.last().expect("non-empty chain");
+    let is_member = |s: StmtId| stmts.contains(&s);
+
+    for e in &graph.edges {
+        if !e.kind.constrains() {
+            continue;
+        }
+        let src_member = is_member(e.src);
+        let dst_member = is_member(e.dst);
+        if !src_member && !dst_member {
+            continue;
+        }
+        // Rule 2: unknown distances touching the chain are fatal.
+        if matches!(e.distance, DistanceVector::Unknown) {
+            return Err(FusionError::UnknownDistance {
+                nest: nest.id,
+                member: if src_member { e.src } else { e.dst },
+                array: e.array,
+            });
+        }
+        let zero = e
+            .distance
+            .as_constant()
+            .is_some_and(|d| d.iter().all(|&x| x == 0));
+        if !zero {
+            // Loop-carried edges are untouched by intra-iteration
+            // fusion (lookahead safety is the compiler's separate
+            // legal-lookahead computation, shared with unfused plans).
+            continue;
+        }
+        if src_member && dst_member {
+            // Zero-distance self-edges (a statement reading and writing
+            // the same element) are safe: within one instance reads
+            // execute before the write, and fusion only moves reads
+            // earlier.
+            if e.src == e.dst {
+                continue;
+            }
+            // Rule 3: member->member zero-distance flow must be a
+            // forwarded link.
+            if e.kind == DependenceKind::Flow {
+                let ok = links.iter().any(|l| {
+                    l.consumer == e.dst && l.array == e.array && l.link_slot == e.dst_slot
+                });
+                if !ok {
+                    return Err(FusionError::NonLinkFlow {
+                        nest: nest.id,
+                        src: e.src,
+                        dst: e.dst,
+                        array: e.array,
+                    });
+                }
+            }
+            // Zero-distance anti/output between members are safe:
+            // fusion only moves reads earlier and never moves writes.
+            continue;
+        }
+        // Rule 4: zero-distance edges between the chain and a statement
+        // positioned strictly inside (head, last) are rejected in both
+        // directions.
+        let outsider = if src_member { e.dst } else { e.src };
+        let member = if src_member { e.src } else { e.dst };
+        let Some(pos) = nest.stmt_pos(outsider) else {
+            continue;
+        };
+        if pos > head_pos && pos < last_pos {
+            return Err(FusionError::InterveningDependence {
+                nest: nest.id,
+                through: outsider,
+                member,
+                array: e.array,
+            });
+        }
+    }
+
+    Ok(FusionCertificate {
+        nest: nest.id,
+        stmts: stmts.to_vec(),
+        links,
+    })
+}
+
+/// Certify a fused chain, building the refined dependence graph from
+/// the nest.
+pub fn certify_fusion(nest: &LoopNest, stmts: &[StmtId]) -> Result<FusionCertificate, FusionError> {
+    certify_fusion_with(nest, &crate::refine::refine(nest).0, stmts)
+}
+
+/// Independently re-verify a fusion certificate: re-derive the refined
+/// dependence graph, re-run every legality condition, and check that
+/// the recorded link witnesses match the chain structure. Trust the
+/// certificate only if this passes — it shares no state with whoever
+/// produced it.
+pub fn verify_fusion_certificate(
+    nest: &LoopNest,
+    cert: &FusionCertificate,
+) -> Result<(), FusionError> {
+    if cert.nest != nest.id {
+        return Err(FusionError::BadWitness {
+            nest: nest.id,
+            detail: format!("certificate targets nest {:?}", cert.nest),
+        });
+    }
+    let recheck = certify_fusion(nest, &cert.stmts)?;
+    if recheck.links != cert.links {
+        return Err(FusionError::BadWitness {
+            nest: nest.id,
+            detail: format!(
+                "link witnesses {:?} disagree with re-derived links {:?}",
+                cert.links, recheck.links
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndc_ir::program::{ArrayDecl, ArrayRef, LoopNest, Program, Ref, Stmt};
+    use ndc_types::Op;
+
+    /// s0: Z = X + Y; s1: W = Z * X — adjacent legal chain.
+    fn legal_chain() -> Program {
+        let mut p = Program::new("legal");
+        let x = p.add_array(ArrayDecl::new("X", vec![16], 8));
+        let y = p.add_array(ArrayDecl::new("Y", vec![16], 8));
+        let z = p.add_array(ArrayDecl::new("Z", vec![16], 8));
+        let w = p.add_array(ArrayDecl::new("W", vec![16], 8));
+        let s0 = Stmt::binary(
+            0,
+            ArrayRef::identity(z, 1, vec![0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(x, 1, vec![0])),
+            Ref::Array(ArrayRef::identity(y, 1, vec![0])),
+            1,
+        );
+        let s1 = Stmt::binary(
+            1,
+            ArrayRef::identity(w, 1, vec![0]),
+            Op::Mul,
+            Ref::Array(ArrayRef::identity(z, 1, vec![0])),
+            Ref::Array(ArrayRef::identity(x, 1, vec![0])),
+            1,
+        );
+        p.nests
+            .push(LoopNest::new(0, vec![0], vec![16], vec![s0, s1]));
+        p.assign_layout(0, 64);
+        p
+    }
+
+    #[test]
+    fn legal_chain_certifies_and_reverifies() {
+        let p = legal_chain();
+        let cert = certify_fusion(&p.nests[0], &[StmtId(0), StmtId(1)]).unwrap();
+        assert_eq!(cert.links.len(), 1);
+        assert_eq!(cert.links[0].producer, StmtId(0));
+        assert_eq!(cert.links[0].consumer, StmtId(1));
+        assert_eq!(cert.links[0].link_slot, 0, "Z is operand a of s1");
+        verify_fusion_certificate(&p.nests[0], &cert).unwrap();
+    }
+
+    #[test]
+    fn tampered_witness_fails_reverification() {
+        let p = legal_chain();
+        let mut cert = certify_fusion(&p.nests[0], &[StmtId(0), StmtId(1)]).unwrap();
+        cert.links[0].link_slot = 1;
+        let err = verify_fusion_certificate(&p.nests[0], &cert).unwrap_err();
+        assert!(matches!(err, FusionError::BadWitness { .. }));
+    }
+
+    /// s0: Z = X + Y; s1: X = Y + Y (clobbers the gathered operand);
+    /// s2: W = Z * X. Fusing (s0, s2) across s1 is illegal.
+    #[test]
+    fn intervening_write_to_gathered_operand_rejected() {
+        let mut p = Program::new("intervene");
+        let x = p.add_array(ArrayDecl::new("X", vec![16], 8));
+        let y = p.add_array(ArrayDecl::new("Y", vec![16], 8));
+        let z = p.add_array(ArrayDecl::new("Z", vec![16], 8));
+        let w = p.add_array(ArrayDecl::new("W", vec![16], 8));
+        let s0 = Stmt::binary(
+            0,
+            ArrayRef::identity(z, 1, vec![0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(x, 1, vec![0])),
+            Ref::Array(ArrayRef::identity(y, 1, vec![0])),
+            1,
+        );
+        let s1 = Stmt::binary(
+            1,
+            ArrayRef::identity(x, 1, vec![0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(y, 1, vec![0])),
+            Ref::Array(ArrayRef::identity(y, 1, vec![0])),
+            1,
+        );
+        let s2 = Stmt::binary(
+            2,
+            ArrayRef::identity(w, 1, vec![0]),
+            Op::Mul,
+            Ref::Array(ArrayRef::identity(z, 1, vec![0])),
+            Ref::Array(ArrayRef::identity(x, 1, vec![0])),
+            1,
+        );
+        p.nests
+            .push(LoopNest::new(0, vec![0], vec![16], vec![s0, s1, s2]));
+        p.assign_layout(0, 64);
+        let err = certify_fusion(&p.nests[0], &[StmtId(0), StmtId(2)]).unwrap_err();
+        assert!(
+            matches!(err, FusionError::InterveningDependence { through, .. }
+                if through == StmtId(1)),
+            "{err}"
+        );
+    }
+
+    /// The swim-style pattern: s0: Z = U + V, s1: U = U + Z. The
+    /// zero-distance anti edge (s0 reads U, s1 writes U) must NOT block
+    /// fusion — reads only move earlier.
+    #[test]
+    fn member_anti_dependence_is_fusable() {
+        let mut p = Program::new("swimlike");
+        let u = p.add_array(ArrayDecl::new("U", vec![16], 8));
+        let v = p.add_array(ArrayDecl::new("V", vec![16], 8));
+        let z = p.add_array(ArrayDecl::new("Z", vec![16], 8));
+        let s0 = Stmt::binary(
+            0,
+            ArrayRef::identity(z, 1, vec![0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(u, 1, vec![0])),
+            Ref::Array(ArrayRef::identity(v, 1, vec![0])),
+            1,
+        );
+        let s1 = Stmt::binary(
+            1,
+            ArrayRef::identity(u, 1, vec![0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(u, 1, vec![0])),
+            Ref::Array(ArrayRef::identity(z, 1, vec![0])),
+            1,
+        );
+        p.nests
+            .push(LoopNest::new(0, vec![0], vec![16], vec![s0, s1]));
+        p.assign_layout(0, 64);
+        let cert = certify_fusion(&p.nests[0], &[StmtId(0), StmtId(1)]).unwrap();
+        assert_eq!(cert.links[0].link_slot, 1, "Z is operand b of s1");
+        verify_fusion_certificate(&p.nests[0], &cert).unwrap();
+    }
+
+    #[test]
+    fn unknown_distance_on_member_rejected() {
+        // s1 reads X transposed: unknown distance against s0's X read
+        // and the chain must be rejected.
+        let mut p = Program::new("unk");
+        let x = p.add_array(ArrayDecl::new("X", vec![8, 8], 8));
+        let z = p.add_array(ArrayDecl::new("Z", vec![8, 8], 8));
+        let _w = p.add_array(ArrayDecl::new("W", vec![8, 8], 8));
+        let s0 = Stmt::binary(
+            0,
+            ArrayRef::identity(z, 2, vec![0, 0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(x, 2, vec![0, 0])),
+            Ref::Array(ArrayRef::identity(x, 2, vec![0, 0])),
+            1,
+        );
+        let transposed = ArrayRef::affine(
+            x,
+            ndc_ir::matrix::IMat::from_rows(&[&[0, 1], &[1, 0]]),
+            vec![0, 0],
+        );
+        let s1 = Stmt::binary(
+            1,
+            ArrayRef::identity(x, 2, vec![0, 0]),
+            Op::Add,
+            Ref::Array(ArrayRef::identity(z, 2, vec![0, 0])),
+            Ref::Array(transposed),
+            1,
+        );
+        p.nests
+            .push(LoopNest::new(0, vec![0, 0], vec![8, 8], vec![s0, s1]));
+        p.assign_layout(0, 64);
+        let err = certify_fusion(&p.nests[0], &[StmtId(0), StmtId(1)]).unwrap_err();
+        assert!(matches!(err, FusionError::UnknownDistance { .. }), "{err}");
+    }
+
+    #[test]
+    fn non_chain_pair_is_bad_shape() {
+        let p = legal_chain();
+        // Reversed order: not a chain.
+        let err = certify_fusion(&p.nests[0], &[StmtId(1), StmtId(0)]).unwrap_err();
+        assert!(matches!(err, FusionError::BadShape { .. }));
+    }
+}

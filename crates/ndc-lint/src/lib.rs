@@ -30,6 +30,7 @@
 
 pub mod bounds;
 pub mod certificate;
+pub mod fusion;
 pub mod race;
 pub mod refine;
 pub mod verify;
@@ -37,6 +38,10 @@ pub mod verify;
 pub use bounds::{prove_program, RefBounds};
 pub use certificate::{
     certify, certify_with, verify_certificate, CertificateError, EdgeWitness, LegalityCertificate,
+};
+pub use fusion::{
+    certify_fusion, certify_fusion_with, verify_fusion_certificate, FusionCertificate, FusionError,
+    LinkWitness,
 };
 pub use race::{nest_races, program_races, Race};
 pub use refine::{refine, refined_graph, RefineStats};
@@ -218,6 +223,8 @@ pub struct LintReport {
     pub refine: RefineStats,
     /// One re-verifiable legality certificate per transformed nest.
     pub certificates: Vec<LegalityCertificate>,
+    /// One re-verifiable fusion certificate per fused chain.
+    pub fusion_certificates: Vec<FusionCertificate>,
     /// Loop-carried dependences crossing the parallel partition
     /// dimension. Diagnostics, not errors: `ndc-par` replays nests
     /// deterministically, so a cross-partition dependence degrades
@@ -262,6 +269,22 @@ pub fn lint_schedule(prog: &Program, schedule: &Schedule) -> LintReport {
         let (graph, stats) = refine(nest);
         report.refine.merge(&stats);
         report.races.extend(race::races_in(nest, &graph));
+        for plan in schedule.fused_for(nest.id) {
+            // Certify against the nest's refined graph, then re-verify
+            // the certificate independently (it re-derives everything
+            // from the program, sharing no state with the certifier).
+            match fusion::certify_fusion_with(nest, &graph, &plan.stmts) {
+                Ok(cert) => match fusion::verify_fusion_certificate(nest, &cert) {
+                    Ok(()) => report.fusion_certificates.push(cert),
+                    Err(e) => report.errors.push(LintError::PlanInvalid {
+                        detail: format!("fusion certificate failed re-verification: {e}"),
+                    }),
+                },
+                Err(e) => report.errors.push(LintError::PlanInvalid {
+                    detail: format!("illegal fusion: {e}"),
+                }),
+            }
+        }
         if let Some(t) = schedule.transforms.get(&nest.id) {
             // Shape/unimodularity defects are already reported by the
             // verifier; don't duplicate them as certificate failures.

@@ -189,6 +189,40 @@ pub fn verify_schedule(prog: &Program, schedule: &Schedule) -> Vec<LintError> {
         }
     }
 
+    let mut fused_members = std::collections::HashSet::new();
+    for plan in &schedule.fused {
+        let Some(nest) = prog.nests.iter().find(|n| n.id == plan.nest) else {
+            errors.push(LintError::PlanInvalid {
+                detail: format!("fused plan references unknown nest {}", plan.nest.0),
+            });
+            continue;
+        };
+        if let Err(detail) = ndc_ir::schedule::validate_chain_shape(nest, &plan.stmts) {
+            errors.push(LintError::PlanInvalid { detail });
+            continue;
+        }
+        for id in &plan.stmts {
+            if !fused_members.insert((plan.nest, *id)) {
+                errors.push(LintError::PlanInvalid {
+                    detail: format!(
+                        "stmt {} in nest {} appears in two fused plans",
+                        id.0, plan.nest.0
+                    ),
+                });
+            }
+        }
+    }
+    for plan in &schedule.precomputes {
+        if fused_members.contains(&(plan.nest, plan.stmt)) {
+            errors.push(LintError::PlanInvalid {
+                detail: format!(
+                    "stmt {} in nest {} has both a fused and an individual plan",
+                    plan.stmt.0, plan.nest.0
+                ),
+            });
+        }
+    }
+
     errors
 }
 

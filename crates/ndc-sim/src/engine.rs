@@ -140,6 +140,9 @@ impl PreResultTable {
                     .iter()
                     .filter_map(|i| match i.kind {
                         InstKind::PreCompute { id, .. } => Some(id as usize + 1),
+                        InstKind::FusedPreCompute { id, n_ops, .. } => {
+                            Some(id as usize + n_ops as usize)
+                        }
                         _ => None,
                     })
                     .max()
@@ -154,7 +157,12 @@ impl PreResultTable {
                         <= 4 + t
                             .insts
                             .iter()
-                            .filter(|i| matches!(i.kind, InstKind::PreCompute { .. }))
+                            .filter(|i| {
+                                matches!(
+                                    i.kind,
+                                    InstKind::PreCompute { .. } | InstKind::FusedPreCompute { .. }
+                                )
+                            })
                             .count() as u64
                             * 16,
                     "PreResultTable sized {n} for sparse precompute ids"
@@ -539,6 +547,30 @@ impl<'a> Engine<'a> {
                     sink,
                 );
             }
+            InstKind::FusedPreCompute {
+                id,
+                n_ops,
+                ops,
+                addrs,
+                stagger,
+                reshape_routes,
+            } => {
+                self.exec_fused_precompute(
+                    machine,
+                    tables,
+                    &mut states[c],
+                    c,
+                    core,
+                    id,
+                    &ops[..n_ops as usize],
+                    &addrs[..n_ops as usize + 1],
+                    stagger,
+                    reshape_routes,
+                    result,
+                    pre_results,
+                    sink,
+                );
+            }
         }
     }
 
@@ -828,6 +860,7 @@ impl<'a> Engine<'a> {
                             issue,
                             wait,
                             op_done,
+                            1,
                             result_at_core,
                         );
                         if sink.enabled() {
@@ -992,6 +1025,7 @@ impl<'a> Engine<'a> {
                     start,
                     wait,
                     op_done,
+                    1,
                     result_at_core,
                 );
                 if sink.enabled() {
@@ -1037,14 +1071,172 @@ impl<'a> Engine<'a> {
             }
         }
     }
+
+    /// Execute a fused multi-op pre-compute packet: one offload-table
+    /// entry, one gather of the union footprint, one chain execution at
+    /// the meeting component, one CPU-feed. The packet defines results
+    /// for ids `id .. id + ops.len()` — one per chain member — so each
+    /// member's consumer link resolves, and the accounting treats the
+    /// packet as `ops.len()` attempts (each consumed result bumps
+    /// `ndc_performed`, keeping `performed + aborts == attempts`).
+    #[allow(clippy::too_many_arguments)]
+    fn exec_fused_precompute(
+        &self,
+        machine: &mut Machine,
+        tables: &mut ServiceTables,
+        st: &mut CoreState,
+        c: usize,
+        core: NodeId,
+        id: u32,
+        ops: &[Op],
+        addrs: &[Addr],
+        stagger: i32,
+        reshape_routes: bool,
+        result: &mut SimResult,
+        pre_results: &mut PreResultTable,
+        sink: &mut dyn ObsSink,
+    ) {
+        // Non-compiled schemes ignore stray pre-computes (defensive).
+        if self.scheme != Scheme::Compiled {
+            return;
+        }
+        let n_ops = ops.len() as u32;
+        // Offload table capacity: the fused packet occupies ONE entry.
+        let cap = self.cfg.ndc.offload_table_entries.max(1);
+        let before = st.now;
+        st.offload.retain(|&r| r > st.now);
+        while st.offload.len() >= cap {
+            let Some(min) = st.offload.iter().copied().min() else {
+                break;
+            };
+            st.now = st.now.max(min);
+            st.offload.retain(|&r| r > st.now);
+        }
+        result.offload_stall_cycles += st.now - before;
+        result.ndc_attempts += n_ops as u64;
+        let start = st.now;
+
+        // Local-cache probe over the whole gather set.
+        if addrs.iter().any(|&a| machine.l1s[core.index()].probe(a)) {
+            for k in 0..n_ops {
+                pre_results.insert(c, id + k, PreResult::LocalHit);
+            }
+            return;
+        }
+
+        // Stagger aligns the head pair; the tail gathers issue with the
+        // earlier head operand.
+        let (ta, tb) = if stagger >= 0 {
+            (start, start + stagger as Cycle)
+        } else {
+            (start + (-stagger) as Cycle, start)
+        };
+        let paths: Vec<AccessPath> = addrs
+            .iter()
+            .enumerate()
+            .map(|(k, &addr)| {
+                let t = match k {
+                    0 => ta,
+                    1 => tb,
+                    _ => start,
+                };
+                machine.access(core, addr, t, false, AccessIntent::NearData, None)
+            })
+            .collect();
+        let outcome = crate::ndc::resolve_fused(
+            machine,
+            tables,
+            core,
+            ops,
+            &paths,
+            start,
+            ResolveParams {
+                policy: LocationPolicy::FirstOnPath,
+                budget: None,
+                reshape: reshape_routes,
+                ignore_limits: false,
+            },
+        );
+        match outcome {
+            NdcOutcome::Performed {
+                loc,
+                result_at_core,
+                wait,
+                op_done,
+                ..
+            } => {
+                result.ndc_wait_cycles[loc.index()] += wait;
+                result.ndc_offload_cycles[loc.index()] += result_at_core.saturating_sub(start);
+                result.ndc_offload_samples[loc.index()] += 1;
+                record_ndc_span(
+                    machine,
+                    c as u32,
+                    loc.paper_label(),
+                    start,
+                    wait,
+                    op_done,
+                    n_ops as Cycle,
+                    result_at_core,
+                );
+                if sink.enabled() {
+                    sink.record(Event {
+                        name: format!("ndc-fused{}@{}", n_ops, loc.paper_label()),
+                        cat: "pre",
+                        ts: start,
+                        dur: result_at_core.saturating_sub(start),
+                        pid: 0,
+                        tid: c as u32,
+                    });
+                }
+                st.offload.push(result_at_core);
+                for k in 0..n_ops {
+                    pre_results.insert(
+                        c,
+                        id + k,
+                        PreResult::Performed {
+                            loc_index: loc.index(),
+                            result_at_core,
+                        },
+                    );
+                }
+            }
+            NdcOutcome::Aborted {
+                reason: AbortReason::LocalHit,
+                ..
+            } => {
+                for k in 0..n_ops {
+                    pre_results.insert(c, id + k, PreResult::LocalHit);
+                }
+            }
+            NdcOutcome::Aborted { reason, at } => {
+                result.ndc_abort_reasons[reason.index()] += n_ops as u64;
+                if sink.enabled() {
+                    sink.record(Event {
+                        name: format!("ndc-abort:{}", reason.label()),
+                        cat: "pre",
+                        ts: start,
+                        dur: at.saturating_sub(start),
+                        pid: 0,
+                        tid: c as u32,
+                    });
+                }
+                st.offload.push(at);
+                for k in 0..n_ops {
+                    pre_results.insert(c, id + k, PreResult::Aborted { at });
+                }
+            }
+        }
+    }
 }
 
 /// Record a performed NDC offload as a span tree: operand gather until
-/// the first arrival, the first operand's wait for the second, the
-/// one-cycle execution, and the CPU-feed carrying the result home.
-/// The segment boundaries reconstruct the resolve timing exactly
-/// (`op_done = max(t_a, t_b) + 1`, `wait = |t_a - t_b|`), so the
-/// children tile `[issue, result_at_core)` with no residue.
+/// the first arrival, the first operand's wait for the last, the
+/// execution (`exec_cycles` = 1 for a plain pre-compute, the chain
+/// length for a fused packet), and the CPU-feed carrying the result
+/// home. The segment boundaries reconstruct the resolve timing exactly
+/// (`op_done = last arrival + exec_cycles`, `wait` = arrival spread),
+/// so the children tile `[issue, result_at_core)` with no residue.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn record_ndc_span(
     machine: &mut Machine,
     core: u32,
@@ -1052,16 +1244,17 @@ pub(crate) fn record_ndc_span(
     issue: Cycle,
     wait: Cycle,
     op_done: Cycle,
+    exec_cycles: Cycle,
     result_at_core: Cycle,
 ) {
     let Some(spans) = &mut machine.spans else {
         return;
     };
-    let first_arrival = op_done - 1 - wait;
+    let first_arrival = op_done - exec_cycles - wait;
     let mut root = Span::new(format!("ndc@{loc_label}"), issue, result_at_core);
     root.leaf("ndc:gather", issue, first_arrival);
-    root.leaf("ndc:wait", first_arrival, op_done - 1);
-    root.leaf("ndc:exec", op_done - 1, op_done);
+    root.leaf("ndc:wait", first_arrival, op_done - exec_cycles);
+    root.leaf("ndc:exec", op_done - exec_cycles, op_done);
     root.leaf("noc:feed", op_done, result_at_core);
     spans.record_span(core, root);
 }
@@ -1287,6 +1480,110 @@ mod tests {
         let out = simulate(cfg(), &prog, Scheme::Compiled);
         assert_eq!(out.result.ndc_attempts, 1);
         assert_eq!(out.result.ndc_total(), 1);
+    }
+
+    /// A fused 2-op chain over three same-bank operands: one packet,
+    /// one NDC visit, results for both member ids.
+    fn fused_prog() -> TraceProgram {
+        let mut prog = TraceProgram::new("fused");
+        let mut t = Trace::new(NodeId(12));
+        let line = cfg().l2.line_bytes;
+        let nodes = cfg().nodes() as u64;
+        let a = 0x40_0000;
+        let b = a + nodes * line;
+        let g = a + 2 * nodes * line;
+        assert_eq!(cfg().l2_home(a), cfg().l2_home(b));
+        assert_eq!(cfg().l2_home(a), cfg().l2_home(g));
+        let mut ops = [Op::Add; ndc_types::MAX_FUSED_OPS];
+        ops[1] = Op::Mul;
+        let mut addrs = [0u64; ndc_types::MAX_FUSED_OPS + 1];
+        addrs[0] = a;
+        addrs[1] = b;
+        addrs[2] = g;
+        t.insts.push(Inst {
+            pc: 0,
+            kind: InstKind::FusedPreCompute {
+                id: 0,
+                n_ops: 2,
+                ops,
+                addrs,
+                stagger: 0,
+                reshape_routes: false,
+            },
+        });
+        t.insts.push(Inst {
+            pc: 1,
+            kind: InstKind::Compute {
+                op: Op::Add,
+                a: Operand::Mem(a),
+                b: Operand::Mem(b),
+                store_to: None,
+                precomputed: Some(0),
+            },
+        });
+        t.insts.push(Inst {
+            pc: 2,
+            kind: InstKind::Compute {
+                op: Op::Mul,
+                a: Operand::Mem(g),
+                b: Operand::Mem(a),
+                store_to: None,
+                precomputed: Some(1),
+            },
+        });
+        prog.traces.push(t);
+        prog
+    }
+
+    #[test]
+    fn fused_packet_performs_chain_in_one_visit() {
+        let prog = fused_prog();
+        let out = simulate(cfg(), &prog, Scheme::Compiled);
+        // One packet = chain-length attempts, each member consumed as
+        // performed — the ndc-check accounting invariant holds.
+        assert_eq!(out.result.ndc_attempts, 2);
+        assert_eq!(out.result.ndc_total(), 2);
+        assert_eq!(
+            out.result.ndc_attempts,
+            out.result.ndc_total() + out.result.ndc_abort_reasons.iter().sum::<u64>()
+        );
+        // ...but only ONE offload round-trip was paid.
+        assert_eq!(out.result.ndc_offload_samples.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn fused_packet_lane_engine_matches_serial() {
+        let prog = fused_prog();
+        let serial = simulate(cfg(), &prog, Scheme::Compiled);
+        let lanes = crate::lanes::simulate_lanes(cfg(), &prog, Scheme::Compiled);
+        assert_eq!(serial.result.total_cycles, lanes.result.total_cycles);
+        assert_eq!(serial.result.ndc_attempts, lanes.result.ndc_attempts);
+        assert_eq!(serial.result.ndc_performed, lanes.result.ndc_performed);
+        assert_eq!(
+            serial.result.ndc_offload_cycles,
+            lanes.result.ndc_offload_cycles
+        );
+    }
+
+    #[test]
+    fn fused_span_partitions_with_chain_exec_cycles() {
+        let prog = fused_prog();
+        let out = simulate_obs(cfg(), &prog, Scheme::Compiled, ObsLevel::with_spans(1));
+        // The fused offload's span must tile exactly, with a 2-cycle
+        // exec leaf (one per chain op).
+        let ndc = out
+            .spans
+            .iter()
+            .find(|t| t.root.label.starts_with("ndc@"))
+            .expect("fused offload span");
+        assert_eq!(ndc.root.partition_violation(), None);
+        let exec = ndc
+            .root
+            .children
+            .iter()
+            .find(|s| s.label == "ndc:exec")
+            .expect("exec leaf");
+        assert_eq!(exec.dur(), 2);
     }
 
     #[test]

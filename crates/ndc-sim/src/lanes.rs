@@ -48,8 +48,9 @@ use crate::engine::{
 use crate::instrument::{Instrumentation, WindowObservation};
 use crate::machine::{AccessIntent, AccessPath, L2Leg, Machine, MemLeg, REQ_BYTES, RESULT_BYTES};
 use crate::ndc::{
-    breakeven_by_location, candidate_meetings, plan_resolution, reply_routes, windows_by_location,
-    AbortReason, LocationPolicy, NdcOutcome, ResolveParams, ResolvePlan, ServiceTables,
+    breakeven_by_location, candidate_meetings, candidate_meetings_fused, plan_resolution,
+    plan_resolution_fused, reply_routes, windows_by_location, AbortReason, LocationPolicy,
+    NdcOutcome, ResolveParams, ResolvePlan, ServiceTables,
 };
 use crate::report::build_metrics;
 use crate::schemes::{
@@ -82,6 +83,7 @@ enum Replay {
         issue: Cycle,
         wait: Cycle,
         op_done: Cycle,
+        exec_cycles: Cycle,
         result_at_core: Cycle,
     },
 }
@@ -255,6 +257,21 @@ impl LaneCore {
                 stagger,
                 reshape_routes,
             } => self.exec_precompute(fz, id, op, a, b, store_to, stagger, reshape_routes),
+            InstKind::FusedPreCompute {
+                id,
+                n_ops,
+                ops,
+                addrs,
+                stagger,
+                reshape_routes,
+            } => self.exec_fused_precompute(
+                fz,
+                id,
+                &ops[..n_ops as usize],
+                &addrs[..n_ops as usize + 1],
+                stagger,
+                reshape_routes,
+            ),
         }
     }
 
@@ -758,6 +775,7 @@ impl LaneCore {
                                 issue,
                                 wait,
                                 op_done,
+                                exec_cycles: 1,
                                 result_at_core,
                             });
                         }
@@ -885,6 +903,7 @@ impl LaneCore {
                         issue: start,
                         wait,
                         op_done,
+                        exec_cycles: 1,
                         result_at_core,
                     });
                 }
@@ -927,6 +946,213 @@ impl LaneCore {
                 }
                 self.offload.push(at);
                 self.pre_insert(id, PreResult::Aborted { at });
+            }
+        }
+    }
+
+    /// The lane counterpart of [`crate::ndc::resolve_fused`]: network
+    /// charges go to the lane planner, the service-table insert is
+    /// deferred to the barrier mailbox.
+    fn lane_resolve_fused(
+        &mut self,
+        fz: &Frozen<'_>,
+        ops: &[Op],
+        paths: &[AccessPath],
+        issue: Cycle,
+        params: ResolveParams,
+    ) -> NdcOutcome {
+        let m = fz.machine;
+        let cfg = m.cfg;
+        let core = self.core;
+        let cands = candidate_meetings_fused(m, core, paths, params.reshape);
+        let own_tables = &self.mail.table_ops;
+        let plan = plan_resolution_fused(
+            &cfg,
+            |n| m.hop_latency(n, core),
+            |loc, node, at| {
+                fz.tables.live_at(loc, node, at)
+                    + own_tables
+                        .iter()
+                        .filter(|&&(l, n, r)| l == loc && n == node && r > at)
+                        .count()
+            },
+            ops,
+            paths,
+            issue,
+            params,
+            cands,
+        );
+        let (chosen, wait) = match plan {
+            ResolvePlan::Abort { reason, at } => return NdcOutcome::Aborted { reason, at },
+            ResolvePlan::Perform { chosen, wait } => (chosen, wait),
+        };
+
+        // A link-buffer meeting moves each operand's data from its bank
+        // to the meeting router.
+        if chosen.loc == NdcLocation::LinkBuffer {
+            let width = cfg.noc.width;
+            let cc = core.coord(width);
+            for p in paths {
+                let Some(l2) = p.l2 else { continue };
+                let route = m.mesh().xy_route(l2.bank.coord(width), cc);
+                if let Some(k) = route
+                    .links
+                    .iter()
+                    .position(|l| m.mesh().link_router(*l) == chosen.node)
+                {
+                    self.send_data_along(fz, &route, k + 1, l2.data_at_bank, cfg.l1.line_bytes);
+                }
+            }
+        }
+
+        // The chain executes serially at the component: one cycle per op.
+        let op_done = chosen.ready() + ops.len() as Cycle;
+        self.mail.table_ops.push((chosen.loc, chosen.node, op_done));
+        let width = cfg.noc.width;
+        let feed = m
+            .mesh()
+            .xy_route(chosen.node.coord(width), core.coord(width));
+        let result_at_core = self
+            .planner
+            .traverse(&m.net, &feed, op_done, RESULT_BYTES)
+            .arrived;
+        NdcOutcome::Performed {
+            loc: chosen.loc,
+            node: chosen.node,
+            wait,
+            op_done,
+            result_at_core,
+        }
+    }
+
+    /// The lane counterpart of the serial engine's fused pre-compute:
+    /// one offload-table entry, one gather, results for every chain
+    /// member id; accounting scales by the chain length exactly as in
+    /// the serial engine.
+    fn exec_fused_precompute(
+        &mut self,
+        fz: &Frozen<'_>,
+        id: u32,
+        ops: &[Op],
+        addrs: &[Addr],
+        stagger: i32,
+        reshape_routes: bool,
+    ) {
+        // Non-compiled schemes ignore stray pre-computes (defensive).
+        if fz.scheme != Scheme::Compiled {
+            return;
+        }
+        let n_ops = ops.len() as u32;
+        self.offload_admit(fz);
+        self.stats.ndc_attempts += n_ops as u64;
+        let start = self.now;
+
+        // Local-cache probe over the whole gather set.
+        if addrs.iter().any(|&a| self.l1.probe(a)) {
+            for k in 0..n_ops {
+                self.pre_insert(id + k, PreResult::LocalHit);
+            }
+            return;
+        }
+
+        // Stagger aligns the head pair; the tail gathers issue with the
+        // earlier head operand.
+        let (ta, tb) = if stagger >= 0 {
+            (start, start + stagger as Cycle)
+        } else {
+            (start + (-stagger) as Cycle, start)
+        };
+        let paths: Vec<AccessPath> = addrs
+            .iter()
+            .enumerate()
+            .map(|(k, &addr)| {
+                let t = match k {
+                    0 => ta,
+                    1 => tb,
+                    _ => start,
+                };
+                self.lane_access(fz, addr, t, false, AccessIntent::NearData)
+            })
+            .collect();
+        let outcome = self.lane_resolve_fused(
+            fz,
+            ops,
+            &paths,
+            start,
+            ResolveParams {
+                policy: LocationPolicy::FirstOnPath,
+                budget: None,
+                reshape: reshape_routes,
+                ignore_limits: false,
+            },
+        );
+        match outcome {
+            NdcOutcome::Performed {
+                loc,
+                result_at_core,
+                wait,
+                op_done,
+                ..
+            } => {
+                self.stats.ndc_wait_cycles[loc.index()] += wait;
+                self.stats.ndc_offload_cycles[loc.index()] += result_at_core.saturating_sub(start);
+                self.stats.ndc_offload_samples[loc.index()] += 1;
+                if fz.spans_enabled {
+                    self.mail.replays.push(Replay::NdcSpan {
+                        core: self.c as u32,
+                        loc_label: loc.paper_label(),
+                        issue: start,
+                        wait,
+                        op_done,
+                        exec_cycles: n_ops as Cycle,
+                        result_at_core,
+                    });
+                }
+                if fz.sink_enabled {
+                    self.mail.events.push(Event {
+                        name: format!("ndc-fused{}@{}", n_ops, loc.paper_label()),
+                        cat: "pre",
+                        ts: start,
+                        dur: result_at_core.saturating_sub(start),
+                        pid: 0,
+                        tid: self.c as u32,
+                    });
+                }
+                self.offload.push(result_at_core);
+                for k in 0..n_ops {
+                    self.pre_insert(
+                        id + k,
+                        PreResult::Performed {
+                            loc_index: loc.index(),
+                            result_at_core,
+                        },
+                    );
+                }
+            }
+            NdcOutcome::Aborted {
+                reason: AbortReason::LocalHit,
+                ..
+            } => {
+                for k in 0..n_ops {
+                    self.pre_insert(id + k, PreResult::LocalHit);
+                }
+            }
+            NdcOutcome::Aborted { reason, at } => {
+                self.stats.ndc_abort_reasons[reason.index()] += n_ops as u64;
+                if fz.sink_enabled {
+                    self.mail.events.push(Event {
+                        name: format!("ndc-abort:{}", reason.label()),
+                        cat: "pre",
+                        ts: start,
+                        dur: at.saturating_sub(start),
+                        pid: 0,
+                        tid: self.c as u32,
+                    });
+                }
+                self.offload.push(at);
+                for k in 0..n_ops {
+                    self.pre_insert(id + k, PreResult::Aborted { at });
+                }
             }
         }
     }
@@ -1057,6 +1283,9 @@ impl<'a> LaneEngine<'a> {
                     .iter()
                     .filter_map(|i| match i.kind {
                         InstKind::PreCompute { id, .. } => Some(id as usize + 1),
+                        InstKind::FusedPreCompute { id, n_ops, .. } => {
+                            Some(id as usize + n_ops as usize)
+                        }
                         _ => None,
                     })
                     .max()
@@ -1190,6 +1419,7 @@ impl<'a> LaneEngine<'a> {
                             issue,
                             wait,
                             op_done,
+                            exec_cycles,
                             result_at_core,
                         } => record_ndc_span(
                             &mut machine,
@@ -1198,6 +1428,7 @@ impl<'a> LaneEngine<'a> {
                             issue,
                             wait,
                             op_done,
+                            exec_cycles,
                             result_at_core,
                         ),
                     }

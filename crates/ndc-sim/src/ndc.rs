@@ -328,6 +328,268 @@ pub fn candidate_meetings(
     out
 }
 
+/// Enumerate the candidate meetings for an n-operand fused gather
+/// (one multi-op pre-compute packet): the same physical convergence
+/// points as [`candidate_meetings`], but *every* gathered operand must
+/// co-locate there. The window generalizes to the full arrival spread
+/// (`t_a` = earliest operand, `t_b` = latest), so `Meeting::window`
+/// is the wait the first-arriving operand endures for the last.
+///
+/// Link meetings use the operands' XY reply routes (route reshaping is
+/// a pairwise signature optimization; with three or more gathered
+/// operands the packet falls back to XY) and require a link common to
+/// every route. Refill-leg overlap is not considered for fused
+/// packets — with n operands the pairwise leg intersections no longer
+/// describe a single component all operands pass through.
+pub fn candidate_meetings_fused(
+    machine: &Machine,
+    core: NodeId,
+    paths: &[AccessPath],
+    reshape: bool,
+) -> Vec<Meeting> {
+    let mut out = Vec::with_capacity(3);
+    let cfg = &machine.cfg;
+    // Every operand must actually travel.
+    let mut l2s = Vec::with_capacity(paths.len());
+    for p in paths {
+        let Some(l2) = p.l2 else {
+            return out;
+        };
+        l2s.push(l2);
+    }
+    let Some(first) = l2s.first() else {
+        return out;
+    };
+    let same_bank = l2s.iter().all(|l| l.bank == first.bank);
+
+    // --- Cache controller: all operands homed at the same L2 bank. ---
+    if same_bank {
+        let t_a = l2s.iter().map(|l| l.data_at_bank).min().unwrap_or(0);
+        let t_b = l2s.iter().map(|l| l.data_at_bank).max().unwrap_or(0);
+        out.push(Meeting {
+            loc: NdcLocation::CacheController,
+            node: first.bank,
+            t_a,
+            t_b,
+        });
+    }
+
+    // --- Memory side: all operands L2-missed to the same controller
+    // (same DRAM bank deepens the meeting to the bank itself). ---
+    let mems: Vec<_> = paths.iter().filter_map(|p| p.mem).collect();
+    if mems.len() == paths.len() {
+        let m0 = mems[0];
+        if mems.iter().all(|m| m.mc == m0.mc) {
+            let t_a = mems.iter().map(|m| m.queue_enter).min().unwrap_or(0);
+            let t_b = mems.iter().map(|m| m.queue_enter).max().unwrap_or(0);
+            let loc = if mems.iter().all(|m| m.dram_bank == m0.dram_bank) {
+                NdcLocation::MemoryBank
+            } else {
+                NdcLocation::MemoryController
+            };
+            out.push(Meeting {
+                loc,
+                node: m0.mc_node,
+                t_a,
+                t_b,
+            });
+        }
+    }
+
+    // --- Link buffer: a link every operand's data-reply route crosses. ---
+    if !same_bank {
+        let width = cfg.noc.width;
+        let cc = core.coord(width);
+        let routes: Vec<Route> = if reshape && l2s.len() == 2 {
+            let (ra, rb) = reply_routes(machine, core, l2s[0].bank, l2s[1].bank, true);
+            vec![ra, rb]
+        } else {
+            l2s.iter()
+                .map(|l| machine.mesh().xy_route(l.bank.coord(width), cc))
+                .collect()
+        };
+        let hop = cfg.noc.hop_cycles;
+        let mut best_link: Option<Meeting> = None;
+        // Candidate links come from the first route; each must appear
+        // on every other route too.
+        'links: for (k0, link) in routes[0].links.iter().enumerate() {
+            let mut t_min = l2s[0].data_at_bank + hop * k0 as Cycle;
+            let mut t_max = t_min;
+            for (r, l2) in routes.iter().zip(l2s.iter()).skip(1) {
+                let Some(k) = r.links.iter().position(|l| l == link) else {
+                    continue 'links;
+                };
+                let t = l2.data_at_bank + hop * k as Cycle;
+                t_min = t_min.min(t);
+                t_max = t_max.max(t);
+            }
+            let m = Meeting {
+                loc: NdcLocation::LinkBuffer,
+                node: machine.mesh().link_router(*link),
+                t_a: t_min,
+                t_b: t_max,
+            };
+            if best_link.is_none_or(|cur| m.window() < cur.window()) {
+                best_link = Some(m);
+            }
+        }
+        if let Some(m) = best_link {
+            out.push(m);
+        }
+    }
+
+    out
+}
+
+/// The decision half of a fused resolution: [`plan_resolution`]
+/// generalized to an n-operand gather executing a chain of `ops` at
+/// the meeting component. Any locally-cached operand skips the offload
+/// (the LD/ST probe covers the whole gather set), and every op of the
+/// chain must be offloadable under the control register.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn plan_resolution_fused(
+    cfg: &ndc_types::ArchConfig,
+    return_latency: impl Fn(NodeId) -> Cycle,
+    live: impl FnOnce(NdcLocation, NodeId, Cycle) -> usize,
+    ops: &[Op],
+    paths: &[AccessPath],
+    issue: Cycle,
+    params: ResolveParams,
+    mut cands: Vec<Meeting>,
+) -> ResolvePlan {
+    if paths.iter().any(|p| p.l1_hit) {
+        return ResolvePlan::Abort {
+            reason: AbortReason::LocalHit,
+            at: issue,
+        };
+    }
+    if ops.iter().any(|&op| !cfg.ndc.op_class.allows(op)) {
+        return ResolvePlan::Abort {
+            reason: AbortReason::OpNotAllowed,
+            at: issue,
+        };
+    }
+
+    cands.retain(|m| cfg.ndc.location_enabled(m.loc));
+    match params.policy {
+        LocationPolicy::Only(loc) => cands.retain(|m| m.loc == loc),
+        LocationPolicy::FirstOnPath | LocationPolicy::Best => {}
+    }
+    if cands.is_empty() {
+        let at = paths
+            .iter()
+            .map(|p| p.completion)
+            .max()
+            .unwrap_or(issue)
+            .max(issue);
+        return ResolvePlan::Abort {
+            reason: AbortReason::NoColocation,
+            at,
+        };
+    }
+
+    let chosen = match params.policy {
+        LocationPolicy::Best => *cands
+            .iter()
+            .min_by_key(|m| m.ready() + return_latency(m.node))
+            .unwrap(),
+        _ => cands[0],
+    };
+
+    let wait = chosen.window();
+    if let Some(budget) = params.budget {
+        if wait > budget {
+            let first = chosen.t_a.min(chosen.t_b);
+            return ResolvePlan::Abort {
+                reason: AbortReason::BudgetExceeded,
+                at: first + budget,
+            };
+        }
+    }
+    if !params.ignore_limits {
+        if let Some(tmo) = cfg.ndc.timeout {
+            if wait > tmo {
+                let first = chosen.t_a.min(chosen.t_b);
+                return ResolvePlan::Abort {
+                    reason: AbortReason::Timeout,
+                    at: first + tmo,
+                };
+            }
+        }
+    }
+    let arrive = chosen.t_a.min(chosen.t_b);
+    if !params.ignore_limits
+        && live(chosen.loc, chosen.node, arrive) >= cfg.ndc.service_table_entries
+    {
+        let wasted = cfg.ndc.timeout.unwrap_or(0);
+        return ResolvePlan::Abort {
+            reason: AbortReason::ServiceTableFull,
+            at: arrive + wasted,
+        };
+    }
+    ResolvePlan::Perform { chosen, wait }
+}
+
+/// Resolve a fused multi-op package: one gather of all operands, one
+/// chain execution (`ops.len()` cycles at the component), one CPU-feed
+/// carrying the final chain value home.
+pub fn resolve_fused(
+    machine: &mut Machine,
+    tables: &mut ServiceTables,
+    core: NodeId,
+    ops: &[Op],
+    paths: &[AccessPath],
+    issue: Cycle,
+    params: ResolveParams,
+) -> NdcOutcome {
+    let cfg = machine.cfg;
+    let cands = candidate_meetings_fused(machine, core, paths, params.reshape);
+    let plan = plan_resolution_fused(
+        &cfg,
+        |n| machine.hop_latency(n, core),
+        |loc, node, at| tables.live(loc, node, at),
+        ops,
+        paths,
+        issue,
+        params,
+        cands,
+    );
+    let (chosen, wait) = match plan {
+        ResolvePlan::Abort { reason, at } => return NdcOutcome::Aborted { reason, at },
+        ResolvePlan::Perform { chosen, wait } => (chosen, wait),
+    };
+
+    // A link-buffer meeting moves each operand's data from its bank to
+    // the meeting router.
+    if chosen.loc == NdcLocation::LinkBuffer {
+        let width = cfg.noc.width;
+        let cc = core.coord(width);
+        for p in paths {
+            let Some(l2) = p.l2 else { continue };
+            let route = machine.mesh().xy_route(l2.bank.coord(width), cc);
+            if let Some(k) = route
+                .links
+                .iter()
+                .position(|l| machine.mesh().link_router(*l) == chosen.node)
+            {
+                machine.send_data_along(&route, k + 1, l2.data_at_bank, cfg.l1.line_bytes);
+            }
+        }
+    }
+
+    // The chain executes serially at the component: one cycle per op.
+    let op_done = chosen.ready() + ops.len() as Cycle;
+    tables.insert(chosen.loc, chosen.node, op_done);
+    let result_at_core = machine.send_result(chosen.node, core, op_done);
+    NdcOutcome::Performed {
+        loc: chosen.loc,
+        node: chosen.node,
+        wait,
+        op_done,
+        result_at_core,
+    }
+}
+
 /// The data-reply routes used for link-overlap evaluation.
 pub(crate) fn reply_routes(
     machine: &Machine,

@@ -13,6 +13,12 @@ use crate::{Addr, NodeId, Op, Pc};
 /// consumes its result (the paper's offload-table entry tag).
 pub type PrecomputeId = u32;
 
+/// Maximum number of element-wise operations a single fused precompute
+/// packet may carry. Bounded so the packet fits fixed-size arrays (and a
+/// plausible NDC package format); the compiler never fuses longer
+/// chains.
+pub const MAX_FUSED_OPS: usize = 4;
+
 /// An operand of a two-input computation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Operand {
@@ -92,6 +98,33 @@ pub enum InstKind {
         /// instead of plain XY routes.
         reshape_routes: bool,
     },
+    /// A fused chain of 2..=[`MAX_FUSED_OPS`] element-wise operations
+    /// offloaded as a single NDC package: one gather of the union
+    /// operand footprint, one execution visit at the chosen component,
+    /// one result feed. The packet defines `n_ops` consecutive
+    /// precompute ids `id .. id + n_ops` — one per chain member in
+    /// chain order — each consumed by the corresponding later
+    /// `Compute`.
+    ///
+    /// Operand layout: `addrs[0]`/`addrs[1]` are the two gathered
+    /// operands of `ops[0]` (the chain head); for each tail member
+    /// `k >= 1`, `addrs[k + 1]` is its single gathered operand and its
+    /// other input is the forwarded result of member `k - 1`.
+    FusedPreCompute {
+        /// Base id; the packet defines `id .. id + n_ops`.
+        id: PrecomputeId,
+        /// Chain length (2..=[`MAX_FUSED_OPS`]); only `ops[..n_ops]`
+        /// and `addrs[..n_ops + 1]` are meaningful.
+        n_ops: u8,
+        ops: [Op; MAX_FUSED_OPS],
+        addrs: [Addr; MAX_FUSED_OPS + 1],
+        /// Issue stagger between the head's two operand requests, as in
+        /// [`InstKind::PreCompute`]. Tail gathers issue unstaggered.
+        stagger: i32,
+        /// Route reshaping for the gather messages, as in
+        /// [`InstKind::PreCompute`].
+        reshape_routes: bool,
+    },
     /// Non-memory work: occupies the core's issue slots for the given
     /// number of cycles. Lowering inserts these to model the
     /// computation between memory references, and the compiler's
@@ -134,16 +167,31 @@ impl Inst {
         }
     }
 
-    /// Memory addresses this instruction touches (0, 1, or 2).
+    /// Memory addresses this instruction touches (0 to
+    /// `MAX_FUSED_OPS + 1`).
     pub fn touched_addrs(&self) -> impl Iterator<Item = Addr> + '_ {
-        let (a, b, c): (Option<Addr>, Option<Addr>, Option<Addr>) = match &self.kind {
-            InstKind::Load { addr } => (Some(*addr), None, None),
-            InstKind::Store { addr } => (Some(*addr), None, None),
-            InstKind::Compute { a, b, store_to, .. } => (a.addr(), b.addr(), *store_to),
-            InstKind::PreCompute { a, b, store_to, .. } => (Some(*a), Some(*b), *store_to),
-            InstKind::Busy { .. } => (None, None, None),
-        };
-        [a, b, c].into_iter().flatten()
+        let mut slots: [Option<Addr>; MAX_FUSED_OPS + 1] = [None; MAX_FUSED_OPS + 1];
+        match &self.kind {
+            InstKind::Load { addr } => slots[0] = Some(*addr),
+            InstKind::Store { addr } => slots[0] = Some(*addr),
+            InstKind::Compute { a, b, store_to, .. } => {
+                slots[0] = a.addr();
+                slots[1] = b.addr();
+                slots[2] = *store_to;
+            }
+            InstKind::PreCompute { a, b, store_to, .. } => {
+                slots[0] = Some(*a);
+                slots[1] = Some(*b);
+                slots[2] = *store_to;
+            }
+            InstKind::FusedPreCompute { n_ops, addrs, .. } => {
+                for (k, slot) in slots.iter_mut().take(*n_ops as usize + 1).enumerate() {
+                    *slot = Some(addrs[k]);
+                }
+            }
+            InstKind::Busy { .. } => {}
+        }
+        slots.into_iter().flatten()
     }
 }
 
@@ -181,12 +229,33 @@ impl Trace {
             .count() as u64
     }
 
-    /// Count of pre-compute (offload request) instructions.
+    /// Count of pre-compute (offload request) instructions. A fused
+    /// packet counts as one instruction; see [`Trace::precompute_ids`]
+    /// for the number of ids defined.
     pub fn precompute_count(&self) -> u64 {
         self.insts
             .iter()
-            .filter(|i| matches!(i.kind, InstKind::PreCompute { .. }))
+            .filter(|i| {
+                matches!(
+                    i.kind,
+                    InstKind::PreCompute { .. } | InstKind::FusedPreCompute { .. }
+                )
+            })
             .count() as u64
+    }
+
+    /// Total precompute *ids* defined by this trace: 1 per `PreCompute`
+    /// and `n_ops` per `FusedPreCompute`. This is the right base when
+    /// allocating fresh ids or sizing per-id tables.
+    pub fn precompute_ids(&self) -> u64 {
+        self.insts
+            .iter()
+            .map(|i| match i.kind {
+                InstKind::PreCompute { .. } => 1,
+                InstKind::FusedPreCompute { n_ops, .. } => n_ops as u64,
+                _ => 0,
+            })
+            .sum()
     }
 }
 
@@ -230,6 +299,22 @@ impl TraceProgram {
                         return Err(format!(
                             "trace {ti}: duplicate precompute id {id} at inst {ii}"
                         ));
+                    }
+                    InstKind::FusedPreCompute { id, n_ops, .. } => {
+                        if !(2..=MAX_FUSED_OPS as u8).contains(&n_ops) {
+                            return Err(format!(
+                                "trace {ti}: fused precompute at inst {ii} has n_ops {n_ops} \
+                                 outside 2..={MAX_FUSED_OPS}"
+                            ));
+                        }
+                        for k in 0..n_ops as u32 {
+                            if !seen.insert(id + k) {
+                                return Err(format!(
+                                    "trace {ti}: duplicate precompute id {} at inst {ii}",
+                                    id + k
+                                ));
+                            }
+                        }
                     }
                     InstKind::Compute {
                         precomputed: Some(id),
@@ -331,5 +416,78 @@ mod tests {
         assert_eq!(p.total_insts(), 2);
         assert_eq!(p.total_computes(), 1);
         assert_eq!(p.total_precomputes(), 1);
+    }
+
+    fn fused_inst(id: PrecomputeId, n_ops: u8) -> Inst {
+        Inst {
+            pc: 0,
+            kind: InstKind::FusedPreCompute {
+                id,
+                n_ops,
+                ops: [Op::Add; MAX_FUSED_OPS],
+                addrs: [0, 64, 128, 192, 256],
+                stagger: 0,
+                reshape_routes: false,
+            },
+        }
+    }
+
+    #[test]
+    fn fused_packet_defines_consecutive_ids() {
+        let mut t = Trace::new(NodeId(0));
+        t.insts.push(fused_inst(3, 2));
+        for id in [3u32, 4] {
+            t.insts.push(Inst {
+                pc: 1,
+                kind: InstKind::Compute {
+                    op: Op::Add,
+                    a: Operand::Mem(0),
+                    b: Operand::Mem(64),
+                    store_to: None,
+                    precomputed: Some(id),
+                },
+            });
+        }
+        assert_eq!(t.precompute_count(), 1);
+        assert_eq!(t.precompute_ids(), 2);
+        let mut p = TraceProgram::new("fused");
+        p.traces.push(t);
+        assert!(p.validate_precompute_links().is_ok());
+
+        // Consuming the one-past-the-end id must fail.
+        let mut bad = p.clone();
+        bad.traces[0].insts.push(Inst {
+            pc: 2,
+            kind: InstKind::Compute {
+                op: Op::Add,
+                a: Operand::Mem(0),
+                b: Operand::Mem(64),
+                store_to: None,
+                precomputed: Some(5),
+            },
+        });
+        assert!(bad.validate_precompute_links().is_err());
+    }
+
+    #[test]
+    fn fused_packet_rejects_bad_arity_and_id_overlap() {
+        let mut t = Trace::new(NodeId(0));
+        t.insts.push(fused_inst(0, 1)); // n_ops below 2
+        let mut p = TraceProgram::new("arity");
+        p.traces.push(t);
+        assert!(p.validate_precompute_links().is_err());
+
+        let mut t = Trace::new(NodeId(0));
+        t.insts.push(fused_inst(0, 3)); // defines 0, 1, 2
+        t.insts.push(fused_inst(2, 2)); // 2 collides
+        let mut p = TraceProgram::new("overlap");
+        p.traces.push(t);
+        assert!(p.validate_precompute_links().is_err());
+    }
+
+    #[test]
+    fn fused_touched_addrs_cover_gathered_operands() {
+        let addrs: Vec<Addr> = fused_inst(0, 3).touched_addrs().collect();
+        assert_eq!(addrs, vec![0, 64, 128, 192]);
     }
 }

@@ -104,16 +104,43 @@ grep -q '"deterministic_across_lanes":true' BENCH_scale.json \
 grep -q '"rows"' BENCH_scale.json \
     || { echo "FAIL: BENCH_scale.json has no measurement rows" >&2; exit 1; }
 
+echo "== operator fusion: fused-vs-unfused report + BENCH_fusion.json =="
+# Compiles every workload twice (fusion off/on), simulates both
+# schedules, and reports predicted bytes moved and measured offload
+# cycles. Deterministic across thread counts; the emitted JSON must
+# attest that fusion fired and that some workload reduced both bytes
+# and offload cycles.
+fu1=$(mktemp) && fu8=$(mktemp)
+trap 'rm -f "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b" "$ex1" "$ex8" "$ln1" "$ln8" "$sc1" "$sc8" "$fu1" "$fu8"' EXIT
+NDC_THREADS=1 "$EVAL" fuse --scale test > "$fu1"
+NDC_THREADS=8 "$EVAL" fuse --scale test > "$fu8"
+if ! diff -q "$fu1" "$fu8" > /dev/null; then
+    echo "FAIL: fuse report differs across thread counts" >&2
+    diff "$fu1" "$fu8" | head -20 >&2
+    exit 1
+fi
+cat "$fu1"
+echo "ok: fuse report bit-identical across thread counts"
+test -s BENCH_fusion.json || { echo "FAIL: BENCH_fusion.json missing" >&2; exit 1; }
+grep -q '"scale":"Test","fused_chains":0,' BENCH_fusion.json \
+    && { echo "FAIL: BENCH_fusion.json reports zero fused chains overall" >&2; exit 1; }
+grep -q '"workloads_reduced_bytes_and_cycles":0' BENCH_fusion.json \
+    && { echo "FAIL: no workload reduced both bytes moved and offload cycles" >&2; exit 1; }
+grep -q '"rows"' BENCH_fusion.json \
+    || { echo "FAIL: BENCH_fusion.json has no per-workload rows" >&2; exit 1; }
+
 echo "== seeded fuzzing: full pipeline, deterministic across thread counts =="
-# A fixed 128-seed slice of the corpus through generator -> compilers
-# -> lint -> oracle -> checked simulator. The subcommand exits 1 on any
-# divergence, violation, or panic (printing the reproducing seed); here
-# we additionally pin the whole report across NDC_THREADS and assert
-# the emitted corpus table attests a clean run.
+# A fixed 512-seed corpus through generator -> verifier/bounds ->
+# layout -> compilers -> lint -> oracle -> checked simulator -> the
+# fusion stage (fused compile, certificates, oracle, checked sim). The
+# subcommand exits 1 on any divergence, violation, or panic (printing
+# the reproducing seed); here we additionally pin the whole report
+# across NDC_THREADS and assert the emitted corpus table attests a
+# clean run.
 fz1=$(mktemp) && fz8=$(mktemp)
-trap 'rm -f "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b" "$ex1" "$ex8" "$ln1" "$ln8" "$sc1" "$sc8" "$fz1" "$fz8"' EXIT
-NDC_THREADS=1 "$EVAL" fuzz --count 128 --seed 7 > "$fz1"
-NDC_THREADS=8 "$EVAL" fuzz --count 128 --seed 7 > "$fz8"
+trap 'rm -f "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b" "$ex1" "$ex8" "$ln1" "$ln8" "$sc1" "$sc8" "$fu1" "$fu8" "$fz1" "$fz8"' EXIT
+NDC_THREADS=1 "$EVAL" fuzz --count 512 --seed 7 > "$fz1"
+NDC_THREADS=8 "$EVAL" fuzz --count 512 --seed 7 > "$fz8"
 if ! diff -q "$fz1" "$fz8" > /dev/null; then
     echo "FAIL: fuzz report differs across thread counts" >&2
     diff "$fz1" "$fz8" | head -20 >&2

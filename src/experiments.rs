@@ -791,8 +791,15 @@ pub fn ablation_k(bench: &Benchmark, cfg: ArchConfig, scale: Scale, ks: &[u32]) 
     let base = simulate(cfg, &traces, Scheme::Baseline).result;
     ks.iter()
         .map(|&k| {
-            let (sched, report) =
-                compile_algorithm2(&prog, &cfg, cores, Algorithm2Options { reuse_k: k });
+            let (sched, report) = compile_algorithm2(
+                &prog,
+                &cfg,
+                cores,
+                Algorithm2Options {
+                    reuse_k: k,
+                    ..Default::default()
+                },
+            );
             let r = simulate(cfg, &lower(&prog, &opts, Some(&sched)), Scheme::Compiled).result;
             KSweepRow {
                 k,

@@ -40,6 +40,9 @@ pub struct FuzzOutcome {
     pub alg2_planned: u64,
     /// Lint-certified transforms the oracle executed and diffed.
     pub oracle_legal: usize,
+    /// Producer-consumer chains fused by the fusion stage (with the
+    /// fusion-enabled Algorithm 2 compile).
+    pub fused_chains: u64,
     /// Simulated cycles of the checked run (0 on earlier failure).
     pub sim_cycles: u64,
     /// Every divergence / violation / panic, already seed-stamped.
@@ -83,6 +86,7 @@ pub fn fuzz_one(seed: u64, cfg: &ArchConfig) -> FuzzOutcome {
         alg1_planned: 0,
         alg2_planned: 0,
         oracle_legal: 0,
+        fused_chains: 0,
         sim_cycles: 0,
         failures: Vec::new(),
     };
@@ -107,6 +111,46 @@ pub fn fuzz_one(seed: u64, cfg: &ArchConfig) -> FuzzOutcome {
     }
     if !out.failures.is_empty() {
         return out; // invalid IR would only cascade noise downstream
+    }
+
+    // Stage 1b: the layout pass must preserve static legality — a
+    // re-based program stays verifiable, provably in bounds, and its
+    // arrays stay pairwise disjoint (shifts that cannot fit are
+    // refused, never applied half-way).
+    match catch_unwind(AssertUnwindSafe(|| {
+        ndc_compiler::optimize_layout(prog, cfg)
+    })) {
+        Ok((rebased, _)) => {
+            for e in ndc_lint::verify_program(&rebased) {
+                fail(&mut out.failures, "layout", format!("rebased program: {e}"));
+            }
+            for rb in ndc_lint::prove_program(&rebased) {
+                if !rb.in_bounds {
+                    fail(
+                        &mut out.failures,
+                        "layout",
+                        format!("rebased reference not provably in bounds: {rb:?}"),
+                    );
+                }
+            }
+            let mut ranges: Vec<(u64, u64)> = rebased
+                .arrays
+                .iter()
+                .map(|a| (a.base, a.base.saturating_add(a.size_bytes())))
+                .collect();
+            ranges.sort_unstable();
+            for w in ranges.windows(2) {
+                if w[0].1 > w[1].0 {
+                    fail(
+                        &mut out.failures,
+                        "layout",
+                        format!("arrays overlap after layout pass: {ranges:?}"),
+                    );
+                    break;
+                }
+            }
+        }
+        Err(p) => fail(&mut out.failures, "layout", panic_text(p)),
     }
 
     // Stage 2: both compiler algorithms, each schedule re-certified by
@@ -212,6 +256,69 @@ pub fn fuzz_one(seed: u64, cfg: &ArchConfig) -> FuzzOutcome {
     // Stage 5: bottleneck taxonomy over the measured counters.
     out.sim_cycles = engine_out.result.total_cycles;
     out.bottleneck = Some(classify(&counters_of(cfg, &engine_out.result)));
+
+    // Stage 6: fusion. Re-compile Algorithm 2 with operator fusion on,
+    // then hold the fused schedule to every bar the unfused one passed:
+    // lint (which independently re-verifies each fusion certificate),
+    // the differential oracle, structured lowering, and the checked
+    // simulator executing multi-op precompute packets.
+    let fused = catch_unwind(AssertUnwindSafe(|| {
+        compile_algorithm2(
+            prog,
+            cfg,
+            cfg.nodes(),
+            Algorithm2Options {
+                fuse: true,
+                ..Default::default()
+            },
+        )
+    }));
+    let (fsched, frep) = match fused {
+        Ok(v) => v,
+        Err(p) => {
+            fail(&mut out.failures, "fuse", panic_text(p));
+            return out;
+        }
+    };
+    out.fused_chains = frep.fused_chains;
+    let lint = ndc_lint::lint_schedule(prog, &fsched);
+    if !lint.accepted() {
+        for e in &lint.errors {
+            fail(&mut out.failures, "fuse", format!("lint rejected: {e}"));
+        }
+    }
+    if lint.fusion_certificates.len() as u64 != frep.fused_chains {
+        fail(
+            &mut out.failures,
+            "fuse",
+            format!(
+                "{} fused chains but {} certificates",
+                frep.fused_chains,
+                lint.fusion_certificates.len()
+            ),
+        );
+    }
+    if let Err(d) = chk::check_schedule(prog, &fsched) {
+        fail(&mut out.failures, "fuse", format!("oracle diverged: {d}"));
+    }
+    let ftraces = match try_lower(prog, &opts, Some(&fsched)) {
+        Ok(t) => t,
+        Err(e) => {
+            fail(&mut out.failures, "fuse", e.to_string());
+            return out;
+        }
+    };
+    let fsim = catch_unwind(AssertUnwindSafe(|| {
+        chk::simulate_checked(*cfg, &ftraces, Scheme::Compiled)
+    }));
+    match fsim {
+        Ok(o) => {
+            for v in &chk::check_engine_output(&o).violations {
+                fail(&mut out.failures, "fuse", v.to_string());
+            }
+        }
+        Err(p) => fail(&mut out.failures, "fuse", panic_text(p)),
+    }
     out
 }
 
