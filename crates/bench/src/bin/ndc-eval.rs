@@ -55,7 +55,7 @@
 use ndc::experiments as exp;
 use ndc::obs::ObsLevel;
 use ndc::prelude::*;
-use ndc_types::{geomean_improvement, Json, BUCKET_LABELS};
+use ndc_types::{geomean_improvement, Json, ALL_NDC_LOCATIONS, BUCKET_LABELS};
 
 /// Ring capacity per simulated run when `--trace` is on: enough to
 /// hold the tail of any test-scale run without unbounded memory.
@@ -71,6 +71,19 @@ struct Args {
     count: Option<usize>,
     /// `--seed` for fuzz/gen (default 7, the acceptance seed).
     seed: Option<u64>,
+    /// `--json`: machine-readable document on stdout instead of tables
+    /// (profile, explain, check).
+    json: bool,
+    /// `--tenants` for profile (default 1, the single-tenant world).
+    tenants: u16,
+    /// `--top` for profile: outlier requests to show (default 5).
+    top: usize,
+    /// `--baseline` for gate: the committed `BENCH_*.json`.
+    baseline: Option<String>,
+    /// `--current` for gate: the freshly generated `BENCH_*.json`.
+    current: Option<String>,
+    /// `--tolerance` for gate: wall-clock ratio (default 10x).
+    tolerance: f64,
 }
 
 impl Args {
@@ -105,6 +118,8 @@ fn usage() {
     println!("  fig16             L1/L2 miss rates under Algorithms 1 and 2");
     println!("  fig17             sensitivity study (mesh size, L2 size, op class)");
     println!("  explain           span traces + compiler provenance + cost-model cross-check");
+    println!("  profile           per-tenant attribution ledger + latency quantiles + outliers");
+    println!("  gate              perf-regression gate: --current BENCH json vs --baseline");
     println!("  ablation-routing  router NDC with vs without route reshaping");
     println!("  ablation-coarse   fine-grain vs whole-nest mapping");
     println!("  ablation-k        Algorithm 2 reuse-threshold k sweep");
@@ -130,6 +145,12 @@ fn usage() {
     println!("  --trace <path>       NDC offload events, Chrome trace format (implies metrics)");
     println!("  --count <n>          fuzz/gen: programs to generate (default: 256)");
     println!("  --seed <u64>         fuzz/gen: base seed, decimal or 0x hex (default: 7)");
+    println!("  --json               profile/explain/check: JSON document on stdout");
+    println!("  --tenants <n>        profile: tenants, cores assigned round-robin (default: 1)");
+    println!("  --top <k>            profile: slowest sampled requests to show (default: 5)");
+    println!("  --baseline <path>    gate: committed BENCH_*.json to compare against");
+    println!("  --current <path>     gate: freshly generated BENCH_*.json under test");
+    println!("  --tolerance <ratio>  gate: wall-clock ratio tolerance (default: 10)");
 }
 
 /// Exit 2 with an argument error (usage goes to stderr so piped
@@ -148,6 +169,12 @@ fn parse_args() -> Args {
     let mut trace = None;
     let mut count = None;
     let mut seed = None;
+    let mut json = false;
+    let mut tenants = 1u16;
+    let mut top = 5usize;
+    let mut baseline = None;
+    let mut current = None;
+    let mut tolerance = bench::baseline::DEFAULT_WALL_TOLERANCE;
     let mut it = std::env::args().skip(1);
     let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
         it.next()
@@ -188,6 +215,27 @@ fn parse_args() -> Args {
                     ))
                 }));
             }
+            "--json" => json = true,
+            "--tenants" => {
+                let v = value(&mut it, "--tenants");
+                tenants = v.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+                    arg_error(&format!("--tenants wants a positive integer, got '{v}'"))
+                });
+            }
+            "--top" => {
+                let v = value(&mut it, "--top");
+                top = v.parse().unwrap_or_else(|_| {
+                    arg_error(&format!("--top wants a non-negative integer, got '{v}'"))
+                });
+            }
+            "--baseline" => baseline = Some(value(&mut it, "--baseline")),
+            "--current" => current = Some(value(&mut it, "--current")),
+            "--tolerance" => {
+                let v = value(&mut it, "--tolerance");
+                tolerance = v.parse().ok().filter(|&t| t >= 1.0).unwrap_or_else(|| {
+                    arg_error(&format!("--tolerance wants a ratio >= 1.0, got '{v}'"))
+                });
+            }
             flag if flag.starts_with('-') => arg_error(&format!("unknown flag '{flag}'")),
             other if experiment.is_none() => experiment = Some(other.to_string()),
             other => arg_error(&format!(
@@ -203,6 +251,12 @@ fn parse_args() -> Args {
         trace,
         count,
         seed,
+        json,
+        tenants,
+        top,
+        baseline,
+        current,
+        tolerance,
     }
 }
 
@@ -234,6 +288,8 @@ fn main() {
         "fig16" => with_evals(&args, cfg, fig16),
         "fig17" => fig17(&args),
         "explain" => explain_cmd(&args, cfg),
+        "profile" => profile_cmd(&args, cfg),
+        "gate" => gate_cmd(&args),
         "ablation-routing" => ablation_routing(&args, cfg),
         "ablation-coarse" => ablation_coarse(&args, cfg),
         "ablation-k" => ablation_k(&args, cfg),
@@ -687,6 +743,49 @@ fn explain_cmd(args: &Args, cfg: ArchConfig) {
         exp::explain_benchmark(b, cfg, args.scale, one_in)
     });
 
+    if args.json {
+        let bench_arr: Vec<Json> = reports
+            .iter()
+            .map(|r| {
+                let offload: Vec<Json> = ALL_NDC_LOCATIONS
+                    .iter()
+                    .map(|loc| {
+                        let a = r.offload.per_location[loc.index()];
+                        Json::obj()
+                            .with("location", loc.paper_label())
+                            .with("predicted_cycles", a.predicted_cycles)
+                            .with("measured_cycles", a.measured_cycles)
+                            .with("samples", a.samples)
+                            .with("error_pct", a.error_pct().map_or(Json::Null, Json::Num))
+                    })
+                    .collect();
+                let top: Vec<Json> = r
+                    .top_slowest(5)
+                    .iter()
+                    .map(|t| {
+                        Json::obj()
+                            .with("id", t.id)
+                            .with("latency", t.latency())
+                            .with("tree", ndc::sim::render_tree(t))
+                    })
+                    .collect();
+                Json::obj()
+                    .with("name", r.name.as_str())
+                    .with("total_cycles", r.result.total_cycles)
+                    .with("sampled_spans", r.spans.len())
+                    .with("offload", offload)
+                    .with("top", top)
+            })
+            .collect();
+        let doc = Json::obj()
+            .with("experiment", "explain")
+            .with("scale", format!("{:?}", args.scale))
+            .with("span_one_in", one_in)
+            .with("benchmarks", bench_arr);
+        println!("{}", doc.render());
+        return;
+    }
+
     println!("== Explain: compiler cost model vs measured offload cycles (alg2) ==");
     // Paper breakdown order: cache, network, MC, memory.
     let locs = [
@@ -802,6 +901,153 @@ fn explain_detail(r: &exp::ExplainReport, one_in: u32) {
         }
     }
     println!();
+}
+
+/// One line of quantiles from a latency sketch: count plus
+/// p50/p90/p99/max (blank when the sketch is empty).
+fn sketch_cells(s: &ndc::obs::sketch::QuantileSketch) -> (u64, String, String, String, String) {
+    let q = |p: u64| {
+        s.quantile_pct(p)
+            .map_or_else(|| "-".into(), |v| v.to_string())
+    };
+    let max = s.max().map_or_else(|| "-".into(), |v| v.to_string());
+    (s.count(), q(50), q(90), q(99), max)
+}
+
+fn profile_cmd(args: &Args, cfg: ArchConfig) {
+    let detail = args.bench.is_some();
+    let one_in = if detail {
+        8
+    } else {
+        exp::PROFILE_SAMPLE_ONE_IN
+    };
+    let list = benches(&args.bench);
+    let reports = ndc_par::parallel_map(&list, |b| {
+        exp::profile_benchmark(b, cfg, args.scale, args.tenants, one_in)
+    });
+
+    if args.json {
+        let bench_arr: Vec<Json> = reports
+            .iter()
+            .map(|r| {
+                let top: Vec<Json> = r
+                    .top_slowest(args.top)
+                    .iter()
+                    .map(|t| {
+                        Json::obj()
+                            .with("id", t.id)
+                            .with("latency", t.latency())
+                            .with("tree", ndc::sim::render_tree(t))
+                    })
+                    .collect();
+                Json::obj()
+                    .with("name", r.name.as_str())
+                    .with("total_cycles", r.result.total_cycles)
+                    .with("events_dropped", r.events_dropped)
+                    .with("tenants", r.ledger.to_json())
+                    .with("top", top)
+            })
+            .collect();
+        let doc = Json::obj()
+            .with("experiment", "profile")
+            .with("scale", format!("{:?}", args.scale))
+            .with("tenants", args.tenants as u64)
+            .with("span_one_in", one_in)
+            .with("benchmarks", bench_arr);
+        println!("{}", doc.render());
+        return;
+    }
+
+    println!(
+        "== Profile: per-tenant attribution, {} tenant(s) round-robin over {} cores (alg2) ==",
+        args.tenants,
+        cfg.nodes()
+    );
+    for r in &reports {
+        println!("-- {} --", r.name);
+        println!(
+            "{:<7} {:>10} {:>6} {:>10} {:>12} {:>12} {:>12}",
+            "tenant", "requests", "util%", "noc_msgs", "flit_hops", "dram_bytes", "offload_cyc"
+        );
+        let total_cycles: u64 = r.ledger.rows().iter().map(|t| t.request_cycles).sum();
+        for (t, row) in r.ledger.rows().iter().enumerate() {
+            let util = if total_cycles > 0 {
+                100.0 * row.request_cycles as f64 / total_cycles as f64
+            } else {
+                0.0
+            };
+            println!(
+                "{:<7} {:>10} {:>6.1} {:>10} {:>12} {:>12} {:>12}",
+                t,
+                row.requests,
+                util,
+                row.noc_messages,
+                row.noc_flit_hops,
+                row.dram_bytes,
+                row.ndc_offload_cycles.iter().sum::<u64>()
+            );
+        }
+        println!(
+            "{:<7} {:>10} {:>8} {:>8} {:>8} {:>8}   (request latency, cycles)",
+            "tenant", "count", "p50", "p90", "p99", "max"
+        );
+        for (t, row) in r.ledger.rows().iter().enumerate() {
+            let (n, p50, p90, p99, max) = sketch_cells(&row.latency);
+            println!("{t:<7} {n:>10} {p50:>8} {p90:>8} {p99:>8} {max:>8}");
+        }
+        if r.events_dropped > 0 {
+            println!("(trace ring dropped {} events)", r.events_dropped);
+        }
+        if detail {
+            println!();
+            println!(
+                "-- {}: slowest sampled requests (one in {one_in}) --",
+                r.name
+            );
+            for t in r.top_slowest(args.top) {
+                print!("{}", ndc::sim::render_tree(t));
+            }
+        }
+        println!();
+    }
+}
+
+/// `gate`: compare a freshly generated `BENCH_*.json` (`--current`)
+/// against a committed baseline (`--baseline`). Simulated counters
+/// must match exactly; wall-clock keys gate on `--tolerance`;
+/// `NDC_BENCH_REBASE=1` skips the comparison.
+fn gate_cmd(args: &Args) {
+    let Some(baseline) = &args.baseline else {
+        arg_error("gate requires --baseline <path>");
+    };
+    let Some(current_path) = &args.current else {
+        arg_error("gate requires --current <path>");
+    };
+    let text = std::fs::read_to_string(current_path).unwrap_or_else(|e| {
+        eprintln!("gate: cannot read current {current_path}: {e}");
+        std::process::exit(1);
+    });
+    let current = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("gate: cannot parse current {current_path}: {e}");
+        std::process::exit(1);
+    });
+    match bench::baseline::gate_against_file(baseline, &current, args.tolerance) {
+        Ok(diffs) if diffs.is_empty() => {
+            println!("gate: {current_path} matches baseline {baseline}");
+        }
+        Ok(diffs) => {
+            eprintln!("gate: {current_path} DIVERGES from baseline {baseline}:");
+            for d in &diffs {
+                eprintln!("  {d}");
+            }
+            eprintln!("(rerun with NDC_BENCH_REBASE=1 to accept the new numbers)");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("gate: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn ablation_routing(args: &Args, cfg: ArchConfig) {
@@ -924,7 +1170,10 @@ fn ablation_layout(args: &Args, cfg: ArchConfig) {
 /// failure; output is deterministic for any `NDC_THREADS`.
 fn check_cmd(args: &Args, cfg: ArchConfig) {
     use ndc::check as chk;
-    println!("== Check: differential oracle + simulator invariants ==");
+    let quiet = args.json;
+    if !quiet {
+        println!("== Check: differential oracle + simulator invariants ==");
+    }
     let list = benches(&args.bench);
     let opts = LowerOptions {
         cores: cfg.nodes(),
@@ -932,40 +1181,56 @@ fn check_cmd(args: &Args, cfg: ArchConfig) {
     };
     let mut failed = false;
 
-    println!("-- differential oracle: reference vs every legal candidate transform --");
-    println!(
-        "{:<10} {:>6} {:>6} {:>8} {:>10}  result",
-        "bench", "nests", "legal", "illegal", "oob-reads"
-    );
+    if !quiet {
+        println!("-- differential oracle: reference vs every legal candidate transform --");
+        println!(
+            "{:<10} {:>6} {:>6} {:>8} {:>10}  result",
+            "bench", "nests", "legal", "illegal", "oob-reads"
+        );
+    }
     let sweeps = ndc_par::parallel_map(&list, |b| {
         let prog = b.build_timesteps(args.scale, 1);
         chk::sweep_workload(&prog, 1)
     });
+    let mut oracle_rows = Vec::new();
     for s in &sweeps {
-        println!(
-            "{:<10} {:>6} {:>6} {:>8} {:>10}  {}",
-            s.workload,
-            s.nests,
-            s.legal_checked,
-            s.illegal_skipped,
-            s.oob_reads,
-            if s.passed() { "ok" } else { "DIVERGED" }
-        );
-        for f in &s.failures {
-            failed = true;
+        if !quiet {
             println!(
-                "    nest {} transform {:?}: {}",
-                f.nest, f.transform, f.divergence
+                "{:<10} {:>6} {:>6} {:>8} {:>10}  {}",
+                s.workload,
+                s.nests,
+                s.legal_checked,
+                s.illegal_skipped,
+                s.oob_reads,
+                if s.passed() { "ok" } else { "DIVERGED" }
             );
         }
+        for f in &s.failures {
+            failed = true;
+            if !quiet {
+                println!(
+                    "    nest {} transform {:?}: {}",
+                    f.nest, f.transform, f.divergence
+                );
+            }
+        }
+        oracle_rows.push(
+            Json::obj()
+                .with("bench", s.workload.as_str())
+                .with("legal_checked", s.legal_checked as u64)
+                .with("illegal_skipped", s.illegal_skipped as u64)
+                .with("passed", s.passed()),
+        );
     }
 
-    println!();
-    println!("-- simulator invariants: CheckLevel::full() under NdcAll w50% --");
-    println!(
-        "{:<10} {:>9} {:>6} {:>9} {:>6}  result",
-        "bench", "requests", "links", "events", "spans"
-    );
+    if !quiet {
+        println!();
+        println!("-- simulator invariants: CheckLevel::full() under NdcAll w50% --");
+        println!(
+            "{:<10} {:>9} {:>6} {:>9} {:>6}  result",
+            "bench", "requests", "links", "events", "spans"
+        );
+    }
     let reports = ndc_par::parallel_map(&list, |b| {
         let prog = b.build_timesteps(args.scale, 1);
         let traces = lower(&prog, &opts, None);
@@ -978,24 +1243,45 @@ fn check_cmd(args: &Args, cfg: ArchConfig) {
         );
         (b.name, out.spans.len(), chk::check_engine_output(&out))
     });
+    let mut invariant_rows = Vec::new();
     for (name, spans, r) in &reports {
-        println!(
-            "{:<10} {:>9} {:>6} {:>9} {:>6}  {}",
-            name,
-            r.requests,
-            r.links,
-            r.events,
-            spans,
-            if r.ok() { "ok" } else { "VIOLATED" }
-        );
+        if !quiet {
+            println!(
+                "{:<10} {:>9} {:>6} {:>9} {:>6}  {}",
+                name,
+                r.requests,
+                r.links,
+                r.events,
+                spans,
+                if r.ok() { "ok" } else { "VIOLATED" }
+            );
+        }
+        let mut violations = Vec::new();
         for v in &r.violations {
             failed = true;
-            println!("    {v}");
+            if !quiet {
+                println!("    {v}");
+            }
+            violations.push(Json::Str(v.to_string()));
         }
+        invariant_rows.push(
+            Json::obj()
+                .with("bench", *name)
+                .with("requests", r.requests as u64)
+                .with("events", r.events as u64)
+                .with("spans", *spans as u64)
+                .with("ok", r.ok())
+                .with("violations", Json::Arr(violations)),
+        );
     }
 
-    println!();
-    println!("-- fault-injection matrix: kdtree under NdcAll w50%, seed 0xC0FFEE --");
+    // Fault matrices: a checked kdtree run, with every stream-level and
+    // ledger-level fault class injected into a clean copy — each must
+    // draw exactly the invariant that guards against it.
+    if !quiet {
+        println!();
+        println!("-- fault-injection matrix: kdtree under NdcAll w50%, seed 0xC0FFEE --");
+    }
     let prog = by_name("kdtree").unwrap().build_timesteps(args.scale, 1);
     let traces = lower(&prog, &opts, None);
     let out = chk::simulate_checked(
@@ -1007,7 +1293,27 @@ fn check_cmd(args: &Args, cfg: ArchConfig) {
     );
     let clean_result = out.result;
     let clean_data = out.check.expect("checked run records CheckData");
-    println!("{:<24} {:<16}  result", "fault", "invariant");
+    let clean_ledger = out.ledger.expect("checked run collects the ledger");
+    let mut fault_rows = Vec::new();
+    if !quiet {
+        println!("{:<24} {:<20}  result", "fault", "invariant");
+    }
+    let mut fault_row = |label: &str, invariant: &str, tripped: bool| {
+        if !quiet {
+            println!(
+                "{:<24} {:<20}  {}",
+                label,
+                invariant,
+                if tripped { "tripped" } else { "MISSED" }
+            );
+        }
+        fault_rows.push(
+            Json::obj()
+                .with("fault", label)
+                .with("invariant", invariant)
+                .with("tripped", tripped),
+        );
+    };
     for (k, fault) in chk::ALL_FAULTS.iter().enumerate() {
         let mut data = clean_data.clone();
         let mut result = clean_result.clone();
@@ -1017,14 +1323,36 @@ fn check_cmd(args: &Args, cfg: ArchConfig) {
         if !tripped {
             failed = true;
         }
-        println!(
-            "{:<24} {:<16}  {}",
-            fault.label(),
-            fault.expected_invariant().label(),
-            if tripped { "tripped" } else { "MISSED" }
-        );
+        fault_row(fault.label(), fault.expected_invariant().label(), tripped);
+    }
+    for (k, fault) in chk::ALL_LEDGER_FAULTS.iter().enumerate() {
+        let mut ledger = clean_ledger.clone();
+        let injected = chk::inject_ledger(&mut ledger, *fault, 0xC0FFEE + k as u64);
+        let violations = chk::check_ledger(&ledger, &clean_data, &clean_result);
+        let tripped = injected
+            && violations
+                .iter()
+                .any(|v| v.invariant == fault.expected_invariant());
+        if !tripped {
+            failed = true;
+        }
+        fault_row(fault.label(), fault.expected_invariant().label(), tripped);
     }
 
+    if quiet {
+        let doc = Json::obj()
+            .with("experiment", "check")
+            .with("scale", format!("{:?}", args.scale))
+            .with("oracle", Json::Arr(oracle_rows))
+            .with("invariants", Json::Arr(invariant_rows))
+            .with("faults", Json::Arr(fault_rows))
+            .with("ok", !failed);
+        println!("{}", doc.render());
+        if failed {
+            std::process::exit(1);
+        }
+        return;
+    }
     println!();
     if failed {
         println!("check: FAILED");

@@ -16,6 +16,16 @@
 //! Environment knobs: `NDC_BENCH_SAMPLES` (default 15) and
 //! `NDC_BENCH_FAST=1` (3 samples, short target — used by CI smoke
 //! runs where wall-clock matters more than variance).
+//!
+//! Each bench can also register **simulated counters**
+//! ([`Harness::counter`]) — deterministic numbers like total simulated
+//! cycles that land in the JSON next to the timings. Passing
+//! `--baseline <BENCH_x.json>` (cargo forwards it after `--`), or
+//! setting `NDC_BENCH_BASELINE=<path>`, turns [`Harness::finish`] into
+//! a regression gate: counters compare exactly, wall-clock numbers
+//! within [`crate::baseline::DEFAULT_WALL_TOLERANCE`], and any diff
+//! exits 1. `NDC_BENCH_REBASE=1` skips the gate (the freshly written
+//! file becomes the new baseline to commit).
 
 use std::time::Instant;
 
@@ -32,11 +42,15 @@ pub struct Stats {
     pub samples: usize,
 }
 
+/// One finished bench row: name, timings, and the simulated counters
+/// attached via [`Harness::counter`].
+type BenchRow = (String, Stats, Vec<(String, u64)>);
+
 pub struct Harness {
     suite: String,
     samples: usize,
     target_ns: u128,
-    rows: Vec<(String, Stats)>,
+    rows: Vec<BenchRow>,
 }
 
 impl Harness {
@@ -104,7 +118,18 @@ impl Harness {
             fmt_ns(stats.max_ns),
             stats.iters_per_sample
         );
-        self.rows.push((name.to_string(), stats));
+        self.rows.push((name.to_string(), stats, Vec::new()));
+    }
+
+    /// Attach a simulated counter to the most recent bench row. Unlike
+    /// the timings these are deterministic, so the regression gate
+    /// compares them exactly.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        let row = self
+            .rows
+            .last_mut()
+            .expect("counter() before the first bench()");
+        row.2.push((name.to_string(), value));
     }
 
     fn time_batch<R, F: FnMut() -> R>(f: &mut F, iters: u64) -> u128 {
@@ -115,20 +140,31 @@ impl Harness {
         start.elapsed().as_nanos()
     }
 
-    /// Print the footer and write `BENCH_<suite>.json`.
+    /// Print the footer, write `BENCH_<suite>.json`, and — when a
+    /// baseline was requested via `--baseline <path>` or
+    /// `NDC_BENCH_BASELINE` — run the regression gate against it,
+    /// exiting 1 on any diff.
     pub fn finish(self) {
         use ndc_types::Json;
         let benches: Vec<Json> = self
             .rows
             .iter()
-            .map(|(name, s)| {
-                Json::obj()
+            .map(|(name, s, counters)| {
+                let mut row = Json::obj()
                     .with("name", name.as_str())
                     .with("median_ns", s.median_ns)
                     .with("min_ns", s.min_ns)
                     .with("max_ns", s.max_ns)
                     .with("iters_per_sample", s.iters_per_sample)
-                    .with("samples", s.samples)
+                    .with("samples", s.samples);
+                if !counters.is_empty() {
+                    let mut c = Json::obj();
+                    for (k, v) in counters {
+                        c.set(k.as_str(), *v);
+                    }
+                    row.set("counters", c);
+                }
+                row
             })
             .collect();
         let doc = Json::obj()
@@ -143,7 +179,51 @@ impl Harness {
             Ok(()) => println!("wrote BENCH_{}.json", self.suite),
             Err(e) => eprintln!("could not write {path}: {e}"),
         }
+        if let Some(baseline) = baseline_path() {
+            gate(&self.suite, &baseline, &doc);
+        }
         println!();
+    }
+}
+
+/// The baseline requested for this run: `--baseline <path>` on the
+/// command line (cargo forwards everything after `--` to the bench
+/// target) or the `NDC_BENCH_BASELINE` environment variable.
+fn baseline_path() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--baseline" {
+            return args.next();
+        }
+        if let Some(p) = a.strip_prefix("--baseline=") {
+            return Some(p.to_string());
+        }
+    }
+    std::env::var("NDC_BENCH_BASELINE").ok()
+}
+
+/// Run the regression gate and exit 1 on any divergence.
+fn gate(suite: &str, baseline: &str, current: &ndc_types::Json) {
+    match crate::baseline::gate_against_file(
+        baseline,
+        current,
+        crate::baseline::DEFAULT_WALL_TOLERANCE,
+    ) {
+        Ok(diffs) if diffs.is_empty() => {
+            println!("gate: {suite} matches baseline {baseline}");
+        }
+        Ok(diffs) => {
+            eprintln!("gate: {suite} DIVERGES from baseline {baseline}:");
+            for d in &diffs {
+                eprintln!("  {d}");
+            }
+            eprintln!("(rerun with NDC_BENCH_REBASE=1 to accept the new numbers)");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("gate: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -172,7 +252,7 @@ mod tests {
             acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
             acc
         });
-        let (_, s) = &h.rows[0];
+        let (_, s, _) = &h.rows[0];
         assert!(s.median_ns > 0.0);
         assert!(s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
         assert!(s.iters_per_sample >= 1);

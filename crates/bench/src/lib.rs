@@ -4,6 +4,7 @@
 //! experiment with the zero-dependency [`harness`]. Table/figure
 //! *content* comes from `ndc::experiments`.
 
+pub mod baseline;
 pub mod harness;
 
 pub use harness::Harness;

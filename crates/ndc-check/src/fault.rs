@@ -12,6 +12,7 @@ use ndc_ir::deps::{DependenceGraph, DistanceVector};
 use ndc_ir::matrix::{candidate_transforms, IMat};
 use ndc_ir::{Program, Schedule};
 use ndc_obs::chk;
+use ndc_obs::ledger::{AttributionLedger, NUM_LOCATIONS};
 use ndc_sim::{CheckData, SimResult};
 use ndc_types::SplitMix64;
 
@@ -113,6 +114,122 @@ pub fn inject(data: &mut CheckData, result: &mut SimResult, fault: Fault, seed: 
             result.ndc_attempts += 1 + rng.below(7);
             true
         }
+    }
+}
+
+/// A class of injected attribution mis-charge. Each models a concrete
+/// bug in the ledger plumbing — a charge site that was skipped, ran
+/// twice, clamped a component, or invented a request — and every one
+/// must trip [`Invariant::LedgerConservation`] when the corrupted
+/// ledger is checked against the run's untouched global counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LedgerFault {
+    /// A traverse went uncharged: one message and its flit-hops vanish
+    /// from a tenant row, so the NoC column sums fall short.
+    DroppedTraverse,
+    /// A DRAM charge site ran twice: one row gains a phantom line's
+    /// worth of bytes the controllers never moved.
+    DoubleChargedDram,
+    /// A mis-clamped decomposition: one location's wait component is
+    /// shaved, so gather+wait+exec+feed no longer tiles the offload
+    /// column (and the wait column sum drifts off `SimResult`).
+    TruncatedWait,
+    /// A request charged without its latency sample: the row's request
+    /// count and its latency sketch disagree.
+    PhantomRequest,
+}
+
+/// All ledger-fault classes, in a fixed order for deterministic
+/// matrices.
+pub const ALL_LEDGER_FAULTS: [LedgerFault; 4] = [
+    LedgerFault::DroppedTraverse,
+    LedgerFault::DoubleChargedDram,
+    LedgerFault::TruncatedWait,
+    LedgerFault::PhantomRequest,
+];
+
+impl LedgerFault {
+    pub fn label(&self) -> &'static str {
+        match self {
+            LedgerFault::DroppedTraverse => "dropped-traverse",
+            LedgerFault::DoubleChargedDram => "double-charged-dram",
+            LedgerFault::TruncatedWait => "truncated-wait",
+            LedgerFault::PhantomRequest => "phantom-request",
+        }
+    }
+
+    /// Every mis-charge breaks the same law from a different direction.
+    pub fn expected_invariant(&self) -> Invariant {
+        Invariant::LedgerConservation
+    }
+}
+
+/// Inject `fault` into an attribution ledger. Returns `false` when no
+/// row has the traffic the fault needs (e.g. no NDC offloads to
+/// truncate), in which case the ledger is unchanged.
+pub fn inject_ledger(ledger: &mut AttributionLedger, fault: LedgerFault, seed: u64) -> bool {
+    let mut rng = SplitMix64::new(seed);
+    // Seeded victim row among those where `applicable` holds.
+    fn pick_row(
+        ledger: &AttributionLedger,
+        rng: &mut SplitMix64,
+        applicable: impl Fn(&ndc_obs::ledger::TenantRow) -> bool,
+    ) -> Option<u16> {
+        let rows: Vec<u16> = ledger
+            .rows()
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| applicable(r))
+            .map(|(t, _)| t as u16)
+            .collect();
+        if rows.is_empty() {
+            None
+        } else {
+            Some(rows[rng.below(rows.len() as u64) as usize])
+        }
+    }
+    match fault {
+        LedgerFault::DroppedTraverse => match pick_row(ledger, &mut rng, |r| r.noc_messages > 0) {
+            Some(t) => {
+                let row = ledger.row_mut(t);
+                row.noc_messages -= 1;
+                row.noc_flit_hops = row.noc_flit_hops.saturating_sub(1 + rng.below(8));
+                true
+            }
+            None => false,
+        },
+        LedgerFault::DoubleChargedDram => match pick_row(ledger, &mut rng, |r| r.dram_bytes > 0) {
+            Some(t) => {
+                let row = ledger.row_mut(t);
+                row.dram_bytes += row.dram_bytes.min(256);
+                true
+            }
+            None => false,
+        },
+        LedgerFault::TruncatedWait => {
+            let has_wait = |r: &ndc_obs::ledger::TenantRow| {
+                (0..NUM_LOCATIONS).any(|i| r.ndc_wait_cycles[i] > 0)
+            };
+            match pick_row(ledger, &mut rng, has_wait) {
+                Some(t) => {
+                    let row = ledger.row_mut(t);
+                    let locs: Vec<usize> = (0..NUM_LOCATIONS)
+                        .filter(|&i| row.ndc_wait_cycles[i] > 0)
+                        .collect();
+                    let loc = locs[rng.below(locs.len() as u64) as usize];
+                    row.ndc_wait_cycles[loc] -= 1;
+                    true
+                }
+                None => false,
+            }
+        }
+        LedgerFault::PhantomRequest => match pick_row(ledger, &mut rng, |r| r.requests > 0) {
+            Some(t) => {
+                ledger.row_mut(t).requests += 1;
+                true
+            }
+            None => false,
+        },
     }
 }
 
@@ -364,6 +481,84 @@ mod tests {
             assert!(
                 !inject(&mut data, &mut result, fault, 1),
                 "{}: empty run has no injection site",
+                fault.label()
+            );
+        }
+    }
+
+    /// A full checked run whose `EngineOutput` carries the attribution
+    /// ledger (enabled whenever invariants are checked).
+    fn checked_output() -> ndc_sim::EngineOutput {
+        let cfg = ArchConfig::paper_default();
+        let prog = by_name("kdtree").unwrap().build_timesteps(Scale::Test, 1);
+        let traces = lower(
+            &prog,
+            &LowerOptions {
+                cores: cfg.nodes(),
+                emit_busy: true,
+            },
+            None,
+        );
+        simulate_checked(
+            cfg,
+            &traces,
+            Scheme::NdcAll {
+                budget: WaitBudget::PctOfCap(50),
+            },
+        )
+    }
+
+    #[test]
+    fn healthy_ledger_passes_conservation() {
+        let out = checked_output();
+        assert!(out.ledger.is_some(), "checked runs must carry a ledger");
+        let report = crate::invariant::check_engine_output(&out);
+        assert!(report.ok(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn every_ledger_fault_trips_conservation() {
+        let clean = checked_output();
+        for (k, fault) in ALL_LEDGER_FAULTS.iter().enumerate() {
+            let mut out = checked_output();
+            out.ledger = clean.ledger.clone();
+            let ledger = out.ledger.as_mut().expect("checked run carries a ledger");
+            assert!(
+                inject_ledger(ledger, *fault, 0xADD5 + k as u64),
+                "{}: no injection site in a real run",
+                fault.label()
+            );
+            let report = crate::invariant::check_engine_output(&out);
+            assert!(
+                report.violated(fault.expected_invariant()),
+                "{}: expected a {} violation, got {:?}",
+                fault.label(),
+                fault.expected_invariant().label(),
+                report.violations
+            );
+        }
+    }
+
+    #[test]
+    fn ledger_injection_is_seed_deterministic_and_reports_missing_sites() {
+        let clean = checked_output().ledger.unwrap();
+        for fault in ALL_LEDGER_FAULTS {
+            let mut a = clean.clone();
+            let mut b = clean.clone();
+            assert!(inject_ledger(&mut a, fault, 99));
+            assert!(inject_ledger(&mut b, fault, 99));
+            assert_eq!(
+                a,
+                b,
+                "{}: same seed must pick the same victim",
+                fault.label()
+            );
+        }
+        let mut empty = AttributionLedger::new(1);
+        for fault in ALL_LEDGER_FAULTS {
+            assert!(
+                !inject_ledger(&mut empty, fault, 1),
+                "{}: empty ledger has no injection site",
                 fault.label()
             );
         }

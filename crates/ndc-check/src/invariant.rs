@@ -5,6 +5,7 @@
 //! the run's [`ndc_sim::SimResult`] counters. All maps are ordered
 //! (`BTreeMap`) so violation reports are deterministic.
 
+use ndc_obs::ledger::{AttributionLedger, NUM_LOCATIONS};
 use ndc_obs::span::SpanTrace;
 use ndc_obs::{chk, Event};
 use ndc_sim::{CheckData, EngineOutput, SimResult};
@@ -29,6 +30,12 @@ pub enum Invariant {
     /// durations (including queue/stall residue) sum to the request's
     /// end-to-end latency at every level.
     SpanAttribution,
+    /// The attribution ledger's column sums equal the simulator's
+    /// global counters (NoC messages/flit-hops, DRAM bytes, NDC
+    /// offload/wait cycles, request count), and each tenant row's
+    /// gather + wait + exec + feed decomposition tiles its offload
+    /// column exactly. Nothing charged twice, nothing dropped.
+    LedgerConservation,
 }
 
 impl Invariant {
@@ -40,6 +47,7 @@ impl Invariant {
             Invariant::NdcAccounting => "ndc-accounting",
             Invariant::DramAccounting => "dram-accounting",
             Invariant::SpanAttribution => "span-attribution",
+            Invariant::LedgerConservation => "ledger-conservation",
         }
     }
 }
@@ -216,6 +224,109 @@ pub fn check_spans(spans: &[SpanTrace]) -> Vec<Violation> {
     v
 }
 
+/// Check the ledger-conservation invariant: the attribution ledger's
+/// column sums must equal the simulator's independently recorded global
+/// counters, and every tenant row must be internally consistent
+/// (decomposition tiles offload, sketch counts match charge counts).
+///
+/// This is what makes the ledger trustworthy: a dropped, doubled, or
+/// mis-clamped charge anywhere in the engines breaks a column sum here.
+pub fn check_ledger(
+    ledger: &AttributionLedger,
+    data: &CheckData,
+    result: &SimResult,
+) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let mut fail = |detail: String| {
+        v.push(Violation {
+            invariant: Invariant::LedgerConservation,
+            detail,
+        });
+    };
+    let col =
+        |f: fn(&ndc_obs::ledger::TenantRow) -> u64| -> u64 { ledger.rows().iter().map(f).sum() };
+
+    // Column sums against the independent global recorders.
+    let checks: [(&str, u64, u64); 3] = [
+        ("noc_messages", col(|r| r.noc_messages), data.noc_messages),
+        (
+            "noc_flit_hops",
+            col(|r| r.noc_flit_hops),
+            data.noc_flit_hops,
+        ),
+        ("dram_bytes", col(|r| r.dram_bytes), data.dram_bytes),
+    ];
+    for (name, ledger_sum, global) in checks {
+        if ledger_sum != global {
+            fail(format!(
+                "{name}: ledger column sums to {ledger_sum} but the global counter is {global}"
+            ));
+        }
+    }
+
+    // NDC columns against the per-location `SimResult` counters.
+    for loc in 0..NUM_LOCATIONS {
+        let offload: u64 = ledger
+            .rows()
+            .iter()
+            .map(|r| r.ndc_offload_cycles[loc])
+            .sum();
+        let wait: u64 = ledger.rows().iter().map(|r| r.ndc_wait_cycles[loc]).sum();
+        let samples: u64 = ledger.rows().iter().map(|r| r.offload[loc].count()).sum();
+        if offload != result.ndc_offload_cycles[loc] {
+            fail(format!(
+                "ndc_offload_cycles[{loc}]: ledger column sums to {offload} but SimResult has {}",
+                result.ndc_offload_cycles[loc]
+            ));
+        }
+        if wait != result.ndc_wait_cycles[loc] {
+            fail(format!(
+                "ndc_wait_cycles[{loc}]: ledger column sums to {wait} but SimResult has {}",
+                result.ndc_wait_cycles[loc]
+            ));
+        }
+        if samples != result.ndc_offload_samples[loc] {
+            fail(format!(
+                "offload sketch[{loc}]: ledger holds {samples} samples but SimResult \
+                 performed {}",
+                result.ndc_offload_samples[loc]
+            ));
+        }
+    }
+
+    // Per-row internal consistency.
+    for (t, r) in ledger.rows().iter().enumerate() {
+        for loc in 0..NUM_LOCATIONS {
+            let parts = r.ndc_gather_cycles[loc]
+                + r.ndc_wait_cycles[loc]
+                + r.ndc_exec_cycles[loc]
+                + r.ndc_feed_cycles[loc];
+            if parts != r.ndc_offload_cycles[loc] {
+                fail(format!(
+                    "tenant {t} loc {loc}: gather+wait+exec+feed = {parts} does not tile \
+                     offload column {}",
+                    r.ndc_offload_cycles[loc]
+                ));
+            }
+        }
+        if r.latency.count() != r.requests {
+            fail(format!(
+                "tenant {t}: latency sketch holds {} samples but the row charged {} requests",
+                r.latency.count(),
+                r.requests
+            ));
+        }
+        if r.latency.sum() != r.request_cycles {
+            fail(format!(
+                "tenant {t}: latency sketch sums to {} cycles but the row charged {}",
+                r.latency.sum(),
+                r.request_cycles
+            ));
+        }
+    }
+    v
+}
+
 /// Check everything for one recorded run: the event stream, the
 /// `SimResult` counters, and the DRAM accounting totals.
 pub fn check_run(data: &CheckData, result: &SimResult) -> CheckReport {
@@ -243,6 +354,24 @@ pub fn check_engine_output(out: &EngineOutput) -> CheckReport {
         .expect("engine run without CheckLevel::full(); nothing to check");
     let mut report = check_run(data, &out.result);
     report.violations.extend(check_spans(&out.spans));
+    if let Some(ledger) = &out.ledger {
+        report
+            .violations
+            .extend(check_ledger(ledger, data, &out.result));
+        // The request column is conserved against the check stream
+        // itself: one charge per distinct request id seen issuing.
+        let charged: u64 = ledger.rows().iter().map(|r| r.requests).sum();
+        if charged != report.requests as u64 {
+            report.violations.push(Violation {
+                invariant: Invariant::LedgerConservation,
+                detail: format!(
+                    "requests: ledger charged {charged} but the check stream saw {} \
+                     distinct requests",
+                    report.requests
+                ),
+            });
+        }
+    }
     report
 }
 
@@ -392,6 +521,7 @@ mod tests {
             events: healthy_stream(),
             dram_requests: 5,
             dram_outcomes: 5,
+            ..Default::default()
         };
         let result = SimResult::default();
         assert!(check_run(&data, &result).ok());

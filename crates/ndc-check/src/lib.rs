@@ -34,9 +34,13 @@ pub mod fault;
 pub mod invariant;
 pub mod oracle;
 
-pub use fault::{inject, inject_schedule, Fault, ScheduleFault, ALL_FAULTS, ALL_SCHEDULE_FAULTS};
+pub use fault::{
+    inject, inject_ledger, inject_schedule, Fault, LedgerFault, ScheduleFault, ALL_FAULTS,
+    ALL_LEDGER_FAULTS, ALL_SCHEDULE_FAULTS,
+};
 pub use invariant::{
-    check_counters, check_engine_output, check_run, check_spans, CheckReport, Invariant, Violation,
+    check_counters, check_engine_output, check_ledger, check_run, check_spans, CheckReport,
+    Invariant, Violation,
 };
 pub use oracle::{
     check_schedule, first_divergence, sweep_workload, sweep_workload_with, Divergence,

@@ -74,6 +74,10 @@ struct BankState {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct McStats {
     pub requests: u64,
+    /// Bytes moved over the data channel (one L2 line per request) —
+    /// the independent recorder the attribution ledger's DRAM column is
+    /// checked against.
+    pub bytes: u64,
     pub row_hits: u64,
     pub row_misses: u64,
     pub row_conflicts: u64,
@@ -180,6 +184,7 @@ impl MemoryController {
         self.channel_busy_until = completion;
 
         self.stats.requests += 1;
+        self.stats.bytes += self.cfg.l2.line_bytes;
         self.stats.total_queue_delay += service_start - arrival;
         self.stats.channel_busy_cycles += dram.burst_cycles;
         match outcome {

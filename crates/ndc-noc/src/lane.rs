@@ -33,6 +33,7 @@ pub struct LanePlanner {
     /// Planned traffic counters since the last commit.
     messages: u64,
     queueing_cycles: u64,
+    flit_hops: u64,
     /// Planned per-hop telemetry samples `(link, occupancy, delay)`,
     /// captured only when the live network has obs enabled.
     obs_log: Vec<(LinkId, u64, Cycle)>,
@@ -50,6 +51,7 @@ impl LanePlanner {
             touched: Vec::new(),
             messages: 0,
             queueing_cycles: 0,
+            flit_hops: 0,
             obs_log: Vec::new(),
             flit_log: Vec::new(),
         }
@@ -103,8 +105,10 @@ impl LanePlanner {
             links: Vec::with_capacity(route.links.len()),
             departed: start,
             arrived: start,
+            flit_hops: occupancy * route.links.len() as u64,
         };
         self.messages += 1;
+        self.flit_hops += rec.flit_hops;
         for &l in &route.links {
             let enter = t.max(self.horizon(frozen, l));
             self.queueing_cycles += enter - t;
@@ -140,9 +144,10 @@ impl LanePlanner {
             net.raise_horizon(l, self.overlay[l.index()]);
         }
         self.touched.clear();
-        net.add_traffic(self.messages, self.queueing_cycles);
+        net.add_traffic(self.messages, self.queueing_cycles, self.flit_hops);
         self.messages = 0;
         self.queueing_cycles = 0;
+        self.flit_hops = 0;
         for (l, occ, delay) in self.obs_log.drain(..) {
             net.record_obs_sample(l, occ, delay);
         }
@@ -223,6 +228,9 @@ mod tests {
         }
         assert_eq!(net_ab.messages, net_ba.messages);
         assert_eq!(net_ab.queueing_cycles, net_ba.queueing_cycles);
+        assert_eq!(net_ab.flit_hops, net_ba.flit_hops);
+        // 3 messages × 4-cycle occupancy × 2 hops.
+        assert_eq!(net_ab.flit_hops, 24);
     }
 
     #[test]

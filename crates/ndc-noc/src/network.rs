@@ -32,6 +32,11 @@ pub struct TraversalRecord {
     pub links: Vec<LinkTraversal>,
     pub departed: Cycle,
     pub arrived: Cycle,
+    /// Link occupancy paid per hop times hops crossed: the message's
+    /// flit-hop cost. Zero for a zero-hop route. Computed by the same
+    /// `traverse` that paid the cost, so attribution ledgers charging
+    /// from this record can never drift from the network's own total.
+    pub flit_hops: u64,
 }
 
 impl TraversalRecord {
@@ -64,6 +69,8 @@ pub struct Network {
     pub messages: u64,
     /// Total link-cycles of queueing delay suffered (stats).
     pub queueing_cycles: u64,
+    /// Total flit-hops carried (occupancy × hops, summed per message).
+    pub flit_hops: u64,
     /// Per-link telemetry; `None` (the default) keeps `traverse` on its
     /// original path apart from one branch.
     obs: Option<Vec<LinkObs>>,
@@ -81,6 +88,7 @@ impl Network {
             busy_until: vec![0; n],
             messages: 0,
             queueing_cycles: 0,
+            flit_hops: 0,
             obs: None,
             check_log: None,
         }
@@ -136,8 +144,10 @@ impl Network {
             links: Vec::with_capacity(route.links.len()),
             departed: start,
             arrived: start,
+            flit_hops: occupancy * route.links.len() as u64,
         };
         self.messages += 1;
+        self.flit_hops += rec.flit_hops;
         for &l in &route.links {
             let free_at = self.busy_until[l.index()];
             let enter = t.max(free_at);
@@ -191,9 +201,10 @@ impl Network {
     }
 
     /// Fold planned traffic counters in at commit time.
-    pub fn add_traffic(&mut self, messages: u64, queueing_cycles: u64) {
+    pub fn add_traffic(&mut self, messages: u64, queueing_cycles: u64, flit_hops: u64) {
         self.messages += messages;
         self.queueing_cycles += queueing_cycles;
+        self.flit_hops += flit_hops;
     }
 
     /// Record one planned per-link telemetry sample (no-op when obs is
@@ -232,6 +243,7 @@ impl Network {
         self.busy_until.fill(0);
         self.messages = 0;
         self.queueing_cycles = 0;
+        self.flit_hops = 0;
         if let Some(obs) = &mut self.obs {
             obs.fill(LinkObs::default());
         }
@@ -278,6 +290,9 @@ mod tests {
         let rec = n.traverse(&r, 42, 64);
         assert_eq!(rec.arrived, 42);
         assert!(rec.links.is_empty());
+        assert_eq!(rec.flit_hops, 0);
+        assert_eq!(n.flit_hops, 0);
+        assert_eq!(n.messages, 1);
     }
 
     #[test]
@@ -294,6 +309,9 @@ mod tests {
         assert_eq!(second.arrived, 4 + 3);
         assert_eq!(n.queueing_cycles, 4);
         assert_eq!(n.messages, 2);
+        // Two 4-cycle occupancies over one link each.
+        assert_eq!(first.flit_hops, 4);
+        assert_eq!(n.flit_hops, 8);
     }
 
     #[test]

@@ -25,6 +25,8 @@
 
 use ndc_types::{Cycle, Json, WindowHistogram, BUCKET_LABELS};
 
+pub mod ledger;
+pub mod sketch;
 pub mod span;
 
 /// How much observability a run should collect.
@@ -38,6 +40,9 @@ pub struct ObsLevel {
     /// (deterministically, by request id — see [`span::SpanSampler`]);
     /// `0` disables span collection.
     pub span_one_in: u32,
+    /// Collect the per-tenant [`ledger::AttributionLedger`] (cycle,
+    /// byte, and flit-hop attribution plus latency sketches).
+    pub ledger: bool,
 }
 
 impl ObsLevel {
@@ -50,8 +55,7 @@ impl ObsLevel {
     pub fn metrics() -> ObsLevel {
         ObsLevel {
             metrics: true,
-            trace_capacity: 0,
-            span_one_in: 0,
+            ..ObsLevel::default()
         }
     }
 
@@ -60,7 +64,7 @@ impl ObsLevel {
         ObsLevel {
             metrics: true,
             trace_capacity: capacity,
-            span_one_in: 0,
+            ..ObsLevel::default()
         }
     }
 
@@ -68,14 +72,23 @@ impl ObsLevel {
     pub fn with_spans(one_in: u32) -> ObsLevel {
         ObsLevel {
             metrics: true,
-            trace_capacity: 0,
             span_one_in: one_in.max(1),
+            ..ObsLevel::default()
+        }
+    }
+
+    /// Metrics tree plus the attribution ledger — the `profile` level.
+    pub fn with_ledger() -> ObsLevel {
+        ObsLevel {
+            metrics: true,
+            ledger: true,
+            ..ObsLevel::default()
         }
     }
 
     /// True when any collection is requested.
     pub fn any(&self) -> bool {
-        self.metrics || self.trace_capacity > 0 || self.span_one_in > 0
+        self.metrics || self.trace_capacity > 0 || self.span_one_in > 0 || self.ledger
     }
 }
 
@@ -634,6 +647,9 @@ mod tests {
         assert_eq!(ObsLevel::with_spans(8).span_one_in, 8);
         assert_eq!(ObsLevel::with_spans(0).span_one_in, 1);
         assert!(ObsLevel::with_spans(8).any());
+        assert!(ObsLevel::with_ledger().ledger);
+        assert!(ObsLevel::with_ledger().any());
+        assert!(!ObsLevel::metrics().ledger);
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Deterministic mergeable quantile sketches over integer cycle counts.
+//!
+//! A [`QuantileSketch`] is a DDSketch-style log-bucketed histogram:
+//! values land in buckets addressed by `(octave, sub)` where `octave =
+//! floor(log2 v)` and each octave is split into [`SUB_BUCKETS`] linear
+//! sub-buckets. Bucketing, merging, and quantile extraction are pure
+//! integer arithmetic — no floats anywhere — so results are
+//! byte-identical on every host, at every thread count, and under any
+//! grouping of merges (bucket counts are `u64` sums; min/max/sum/count
+//! fold commutatively and associatively).
+//!
+//! The bucket representative is the integer midpoint of the bucket, so
+//! an interior quantile estimate is within `1/(2·SUB_BUCKETS)` relative
+//! error of some value actually recorded at that rank (values below
+//! `SUB_BUCKETS` get exact single-value buckets). Memory is
+//! O(touched buckets), at most `64 · SUB_BUCKETS` slots — replacing
+//! full-sample retention so million-request runs stay O(buckets).
+
+use ndc_types::Json;
+
+/// Sub-buckets per power-of-two octave. Relative quantile error is
+/// bounded by `1 / SUB_BUCKETS` (midpoint representatives halve it).
+pub const SUB_BUCKETS: u64 = 16;
+const SUB_LOG2: u32 = 4;
+
+/// A deterministic, mergeable log-bucketed quantile sketch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuantileSketch {
+    count: u64,
+    sum: u64,
+    /// Exact extremes (`min` is meaningful only when `count > 0`).
+    min: u64,
+    max: u64,
+    /// Zero is below every octave; it gets its own exact bucket.
+    zeros: u64,
+    /// Dense bucket counts, grown to the highest touched index.
+    buckets: Vec<u64>,
+}
+
+/// Bucket index for `v >= 1`.
+fn bucket_index(v: u64) -> usize {
+    let octave = 63 - v.leading_zeros();
+    let base = 1u64 << octave;
+    // Linear position of v inside [2^o, 2^(o+1)), scaled to SUB_BUCKETS
+    // slots. Wide in u128: `(v - base) << SUB_LOG2` can overflow u64
+    // for octaves >= 60.
+    let sub = ((((v - base) as u128) << SUB_LOG2) >> octave) as usize;
+    octave as usize * SUB_BUCKETS as usize + sub
+}
+
+/// Integer midpoint of bucket `index` — the quantile representative.
+fn representative(index: usize) -> u64 {
+    let octave = (index as u64) / SUB_BUCKETS;
+    let sub = (index as u64) % SUB_BUCKETS;
+    let base = 1u128 << octave;
+    let lo = base + ((sub as u128) << octave >> SUB_LOG2);
+    let hi = base + (((sub + 1) as u128) << octave >> SUB_LOG2);
+    let mid = lo + (hi - lo) / 2;
+    mid.min(u64::MAX as u128) as u64
+}
+
+impl QuantileSketch {
+    pub fn new() -> QuantileSketch {
+        QuantileSketch {
+            min: u64::MAX,
+            ..QuantileSketch::default()
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if v == 0 {
+            self.zeros += 1;
+        } else {
+            let i = bucket_index(v);
+            if i >= self.buckets.len() {
+                self.buckets.resize(i + 1, 0);
+            }
+            self.buckets[i] += 1;
+        }
+    }
+
+    /// Fold another sketch into this one. Exactly commutative and
+    /// associative: any merge tree over the same records yields the
+    /// same sketch.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.zeros += other.zeros;
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += *theirs;
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact minimum recorded value, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum recorded value, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Integer mean (floor), or 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The value at percentile `pct` (0..=100): the bucket midpoint at
+    /// rank `ceil(pct/100 · count)`, clamped to the exact `[min, max]`
+    /// envelope. `pct = 0` returns the exact minimum, `pct >= 100` the
+    /// exact maximum. `None` when the sketch is empty.
+    pub fn quantile_pct(&self, pct: u64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        if pct == 0 {
+            return Some(self.min);
+        }
+        if pct >= 100 {
+            return Some(self.max);
+        }
+        let rank = ((pct as u128 * self.count as u128).div_ceil(100) as u64).max(1);
+        let mut cum = self.zeros;
+        if rank <= cum {
+            return Some(0);
+        }
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if rank <= cum {
+                return Some(representative(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Render the standard summary row: count, exact min/max and sum,
+    /// and the p50/p90/p99 bucket-midpoint estimates (0 when empty).
+    pub fn to_json(&self) -> Json {
+        let q = |p| self.quantile_pct(p).unwrap_or(0);
+        Json::obj()
+            .with("count", self.count)
+            .with("min", self.min().unwrap_or(0))
+            .with("p50", q(50))
+            .with("p90", q(90))
+            .with("p99", q(99))
+            .with("max", self.max().unwrap_or(0))
+            .with("sum", self.sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sketch_has_no_quantiles() {
+        let s = QuantileSketch::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile_pct(50), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut s = QuantileSketch::new();
+        for v in [0u64, 1, 2, 3, 5, 7, 11, 15] {
+            s.record(v);
+        }
+        // Below SUB_BUCKETS every value has its own bucket.
+        assert_eq!(s.quantile_pct(0), Some(0));
+        assert_eq!(s.quantile_pct(100), Some(15));
+        assert_eq!(s.quantile_pct(50), Some(3));
+        assert_eq!(s.sum(), 44);
+    }
+
+    #[test]
+    fn relative_error_bound_holds() {
+        // A deterministic spread over five decades.
+        let mut vals = Vec::new();
+        let mut v = 1u64;
+        while v < 10_000_000 {
+            vals.push(v);
+            v = v * 17 / 16 + 1;
+        }
+        let mut s = QuantileSketch::new();
+        for &v in &vals {
+            s.record(v);
+        }
+        vals.sort_unstable();
+        for pct in [1u64, 10, 25, 50, 75, 90, 99] {
+            let rank = ((pct as u128 * vals.len() as u128).div_ceil(100) as usize).max(1);
+            let exact = vals[rank - 1];
+            let est = s.quantile_pct(pct).unwrap();
+            let bound = exact / SUB_BUCKETS + 1;
+            assert!(
+                est.abs_diff(exact) <= bound,
+                "p{pct}: est {est} vs exact {exact} (bound {bound})"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_single_sketch() {
+        let vals: Vec<u64> = (0..1000).map(|i| i * i % 7919 + i).collect();
+        let mut whole = QuantileSketch::new();
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        for (i, &v) in vals.iter().enumerate() {
+            whole.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, whole);
+        assert_eq!(ba, whole);
+        assert_eq!(ab.to_json().render(), whole.to_json().render());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = QuantileSketch::new();
+        for v in [3u64, 99, 4096] {
+            s.record(v);
+        }
+        let before = s.clone();
+        s.merge(&QuantileSketch::new());
+        assert_eq!(s, before);
+        let mut e = QuantileSketch::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn huge_values_do_not_overflow() {
+        let mut s = QuantileSketch::new();
+        s.record(u64::MAX);
+        s.record(u64::MAX - 1);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.quantile_pct(100), Some(u64::MAX));
+        // Clamped to the exact [min, max] envelope even in the top bucket.
+        assert!(s.quantile_pct(50).unwrap() >= u64::MAX - 1);
+    }
+
+    #[test]
+    fn json_summary_shape() {
+        let mut s = QuantileSketch::new();
+        for v in 1..=100u64 {
+            s.record(v);
+        }
+        let j = s.to_json().render();
+        assert!(j.starts_with(r#"{"count":100,"min":1,"#), "{j}");
+        assert!(j.contains(r#""max":100"#), "{j}");
+    }
+}

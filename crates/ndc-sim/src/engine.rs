@@ -18,6 +18,7 @@ use crate::schemes::{
     MarkovPredictor, OracleDecision, OracleGuide, Scheme, WaitBudget, WINDOW_CAP,
 };
 use crate::stats::SimResult;
+use ndc_obs::ledger::AttributionLedger;
 use ndc_obs::span::{Span, SpanTrace};
 use ndc_obs::{chk, CheckLevel, Event, Metrics, NullSink, ObsLevel, ObsSink, RingSink};
 use ndc_types::{Addr, ArchConfig, Cycle, InstKind, NodeId, Op, Operand, Pc, TraceProgram};
@@ -211,6 +212,13 @@ pub struct CheckData {
     /// Row-buffer outcomes tallied across all memory controllers
     /// (hits + misses + conflicts); must equal `dram_requests`.
     pub dram_outcomes: u64,
+    /// Bytes moved by all memory controllers (independent recorder the
+    /// ledger's per-tenant DRAM column is conserved against).
+    pub dram_bytes: u64,
+    /// NoC message / flit-hop totals straight off the network, for the
+    /// ledger conservation check.
+    pub noc_messages: u64,
+    pub noc_flit_hops: u64,
 }
 
 /// Engine output: the run result plus (for instrumented baseline runs)
@@ -230,6 +238,14 @@ pub struct EngineOutput {
     pub spans: Vec<SpanTrace>,
     /// Invariant-checker input, when the run had `CheckLevel::full()`.
     pub check: Option<CheckData>,
+    /// Per-tenant attribution ledger, when the run had
+    /// `ObsLevel::ledger` (or `CheckLevel::full()`, which charges the
+    /// default single tenant so conservation has input).
+    pub ledger: Option<AttributionLedger>,
+    /// Trace events evicted from the ring because it filled up. Zero
+    /// whenever the ring capacity covers the run; consumers that need
+    /// complete history must treat nonzero as truncation, not silence.
+    pub events_dropped: u64,
 }
 
 /// One simulation run.
@@ -241,6 +257,9 @@ pub struct Engine<'a> {
     collect: bool,
     obs: ObsLevel,
     check: CheckLevel,
+    /// Owning tenant per core (missing entries → tenant 0); only read
+    /// when the ledger is enabled.
+    tenants: Vec<u16>,
 }
 
 impl<'a> Engine<'a> {
@@ -253,7 +272,16 @@ impl<'a> Engine<'a> {
             collect: false,
             obs: ObsLevel::off(),
             check: CheckLevel::off(),
+            tenants: Vec::new(),
         }
+    }
+
+    /// Assign cores to tenants for the attribution ledger (`tenants[c]`
+    /// owns core `c`; unlisted cores belong to tenant 0). Ignored
+    /// unless the run enables the ledger.
+    pub fn with_tenants(mut self, tenants: Vec<u16>) -> Self {
+        self.tenants = tenants;
+        self
     }
 
     /// Attach an oracle guide (required for `Scheme::Oracle`).
@@ -291,6 +319,11 @@ impl<'a> Engine<'a> {
         }
         if self.check.invariants {
             machine.enable_check();
+        }
+        // Attribution: explicit request, or the single-tenant ledger a
+        // checked run needs to feed the conservation invariant.
+        if self.obs.ledger || self.check.invariants {
+            machine.enable_ledger(self.tenants.clone());
         }
         // Span tracing: explicit request, or the default sampling rate
         // a checked run needs to feed the span-attribution invariant.
@@ -380,6 +413,7 @@ impl<'a> Engine<'a> {
         result.l2 = machine.l2_totals();
         result.noc_messages = machine.net.messages;
         result.noc_queueing_cycles = machine.net.queueing_cycles;
+        result.noc_flit_hops = machine.net.flit_hops;
         result.total_computes = self.prog.total_computes();
         let _ = cores;
         let mut metrics = self.obs.metrics.then(|| build_metrics(&machine, &result));
@@ -392,6 +426,7 @@ impl<'a> Engine<'a> {
                 obs.tree("events_dropped_by_cat").counter(cat, *n);
             }
         }
+        let events_dropped = ring.as_ref().map_or(0, RingSink::dropped);
         let events = ring.map(RingSink::into_events).unwrap_or_default();
         let spans = machine
             .spans
@@ -431,8 +466,15 @@ impl<'a> Engine<'a> {
                     .iter()
                     .map(|m| m.stats.row_hits + m.stats.row_misses + m.stats.row_conflicts)
                     .sum(),
+                dram_bytes: machine.mcs.iter().map(|m| m.stats.bytes).sum(),
+                noc_messages: machine.net.messages,
+                noc_flit_hops: machine.net.flit_hops,
             }
         });
+        let ledger = machine.take_ledger();
+        if let (Some(m), Some(l)) = (metrics.as_mut(), ledger.as_ref()) {
+            crate::report::ledger_metrics(m, l);
+        }
         EngineOutput {
             result,
             instrumentation: instr,
@@ -440,6 +482,8 @@ impl<'a> Engine<'a> {
             events,
             spans,
             check,
+            ledger,
+            events_dropped,
         }
     }
 
@@ -853,6 +897,15 @@ impl<'a> Engine<'a> {
                         result.ndc_offload_cycles[loc.index()] +=
                             result_at_core.saturating_sub(issue);
                         result.ndc_offload_samples[loc.index()] += 1;
+                        machine.charge_ndc(
+                            core,
+                            loc.index(),
+                            issue,
+                            wait,
+                            op_done,
+                            1,
+                            result_at_core,
+                        );
                         record_ndc_span(
                             machine,
                             c as u32,
@@ -1018,6 +1071,7 @@ impl<'a> Engine<'a> {
                 result.ndc_wait_cycles[loc.index()] += wait;
                 result.ndc_offload_cycles[loc.index()] += result_at_core.saturating_sub(start);
                 result.ndc_offload_samples[loc.index()] += 1;
+                machine.charge_ndc(core, loc.index(), start, wait, op_done, 1, result_at_core);
                 record_ndc_span(
                     machine,
                     c as u32,
@@ -1168,6 +1222,15 @@ impl<'a> Engine<'a> {
                 result.ndc_wait_cycles[loc.index()] += wait;
                 result.ndc_offload_cycles[loc.index()] += result_at_core.saturating_sub(start);
                 result.ndc_offload_samples[loc.index()] += 1;
+                machine.charge_ndc(
+                    core,
+                    loc.index(),
+                    start,
+                    wait,
+                    op_done,
+                    n_ops as Cycle,
+                    result_at_core,
+                );
                 record_ndc_span(
                     machine,
                     c as u32,
@@ -1301,6 +1364,43 @@ pub fn simulate_obs(
             out
         }
         _ => Engine::new(cfg, prog, scheme).with_obs(obs).run(),
+    }
+}
+
+/// [`simulate_obs`] with a core→tenant assignment for the attribution
+/// ledger. For the oracle's two-pass protocol only the measured
+/// (guided) run is attributed — the instrumented baseline is a
+/// planning artifact.
+pub fn simulate_tenants(
+    cfg: ArchConfig,
+    prog: &TraceProgram,
+    scheme: Scheme,
+    obs: ObsLevel,
+    tenants: Vec<u16>,
+) -> EngineOutput {
+    match scheme {
+        Scheme::Oracle { reuse_aware } => {
+            let base = Engine::new(cfg, prog, Scheme::Baseline)
+                .with_instrumentation()
+                .run();
+            let records = &base
+                .instrumentation
+                .as_ref()
+                .expect("instrumented baseline")
+                .records;
+            let guide = OracleGuide::build(records, prog, cfg.l1.line_bytes, reuse_aware);
+            let mut out = Engine::new(cfg, prog, scheme)
+                .with_guide(&guide)
+                .with_obs(obs)
+                .with_tenants(tenants)
+                .run();
+            out.result.scheme = scheme.label();
+            out
+        }
+        _ => Engine::new(cfg, prog, scheme)
+            .with_obs(obs)
+            .with_tenants(tenants)
+            .run(),
     }
 }
 

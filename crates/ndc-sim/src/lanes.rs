@@ -58,6 +58,7 @@ use crate::schemes::{
 };
 use crate::stats::SimResult;
 use ndc_noc::{LanePlanner, Route};
+use ndc_obs::ledger::AttributionLedger;
 use ndc_obs::{chk, CheckLevel, Event, ObsLevel, RingSink};
 use ndc_par::LanePool;
 use ndc_types::{
@@ -173,10 +174,53 @@ struct LaneCore {
     own_lw: FxHashMap<Pc, Cycle>,
     /// Collect characterization instrumentation on this run.
     collect: bool,
+    /// This core's owning tenant (only read when the ledger is on).
+    tenant: u16,
+    /// Lane-local attribution ledger: all charges are commutative sums
+    /// and sketch merges, folded into the run ledger in canonical core
+    /// order at the end — byte-identical for any lane count.
+    ledger: Option<AttributionLedger>,
     mail: Mailbox,
 }
 
 impl LaneCore {
+    #[inline]
+    fn charge_traverse(&mut self, flit_hops: u64) {
+        if let Some(l) = &mut self.ledger {
+            l.charge_traverse(self.tenant, flit_hops);
+        }
+    }
+
+    #[inline]
+    fn charge_dram(&mut self, bytes: u64) {
+        if let Some(l) = &mut self.ledger {
+            l.charge_dram(self.tenant, bytes);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn charge_ndc(
+        &mut self,
+        loc: usize,
+        issue: Cycle,
+        wait: Cycle,
+        op_done: Cycle,
+        exec_cycles: Cycle,
+        result_at_core: Cycle,
+    ) {
+        if let Some(l) = &mut self.ledger {
+            l.charge_ndc(
+                self.tenant,
+                loc,
+                issue,
+                wait,
+                op_done,
+                exec_cycles,
+                result_at_core,
+            );
+        }
+    }
+
     fn begin_epoch(&mut self) {
         self.planner.begin_epoch();
         self.mc_view = None;
@@ -373,6 +417,7 @@ impl LaneCore {
         let req = self
             .planner
             .traverse(&m.net, &req_route, now + l1_latency, REQ_BYTES);
+        self.charge_traverse(req.flit_hops);
         let req_arrival = req.arrived;
         path.req_links = req.links;
 
@@ -395,8 +440,13 @@ impl LaneCore {
             let mc_req = self
                 .planner
                 .traverse(&m.net, &to_mc, req_arrival + l2_latency, REQ_BYTES);
+            self.charge_traverse(mc_req.flit_hops);
             let mc_view = self.mc_view.get_or_insert_with(|| m.mcs.clone());
             let dram = mc_view[mc as usize].request(addr, mc_req.arrived);
+            // Charged at plan time; the barrier replays this mc_op into
+            // the live controller exactly once, so the per-run byte
+            // totals stay conserved.
+            self.charge_dram(cfg.l2.line_bytes);
             self.mail.mc_ops.push((mc as usize, addr, mc_req.arrived));
             path.mc_links = mc_req.links;
             // Refill back to the bank (carries the L2 line).
@@ -404,6 +454,7 @@ impl LaneCore {
             let refill =
                 self.planner
                     .traverse(&m.net, &refill_route, dram.completion, cfg.l2.line_bytes);
+            self.charge_traverse(refill.flit_hops);
             path.data_links.extend(refill.links.iter().copied());
             path.refill_links = refill.links.len();
             path.mem = Some(MemLeg {
@@ -434,6 +485,7 @@ impl LaneCore {
                 let reply =
                     self.planner
                         .traverse(&m.net, &reply_route, data_at_bank, cfg.l1.line_bytes);
+                self.charge_traverse(reply.flit_hops);
                 path.data_links.extend(reply.links.iter().copied());
                 path.completion = reply.arrived + l1_latency;
                 if write {
@@ -448,6 +500,12 @@ impl LaneCore {
     }
 
     fn record_path(&mut self, fz: &Frozen<'_>, path: &AccessPath) {
+        // Called exactly once per access, so the per-request charge
+        // mirrors the serial `Machine::access` wrapper.
+        if let Some(l) = &mut self.ledger {
+            let q = path.mem.as_ref().map(|m| m.service_start - m.queue_enter);
+            l.charge_request(self.tenant, path.latency(), q);
+        }
         if fz.replay_paths {
             self.mail.replays.push(Replay::Path(Box::new(path.clone())));
         }
@@ -522,10 +580,9 @@ impl LaneCore {
         let feed = m
             .mesh()
             .xy_route(chosen.node.coord(width), core.coord(width));
-        let result_at_core = self
-            .planner
-            .traverse(&m.net, &feed, op_done, RESULT_BYTES)
-            .arrived;
+        let feed_rec = self.planner.traverse(&m.net, &feed, op_done, RESULT_BYTES);
+        self.charge_traverse(feed_rec.flit_hops);
+        let result_at_core = feed_rec.arrived;
         NdcOutcome::Performed {
             loc: chosen.loc,
             node: chosen.node,
@@ -548,7 +605,8 @@ impl LaneCore {
             dst: route.dst,
             links: route.links[..upto_hops.min(route.links.len())].to_vec(),
         };
-        self.planner.traverse(&fz.machine.net, &partial, t, bytes);
+        let rec = self.planner.traverse(&fz.machine.net, &partial, t, bytes);
+        self.charge_traverse(rec.flit_hops);
     }
 
     /// Conventional execution of a two-operand compute starting at
@@ -768,6 +826,7 @@ impl LaneCore {
                         self.stats.ndc_offload_cycles[loc.index()] +=
                             result_at_core.saturating_sub(issue);
                         self.stats.ndc_offload_samples[loc.index()] += 1;
+                        self.charge_ndc(loc.index(), issue, wait, op_done, 1, result_at_core);
                         if fz.spans_enabled {
                             self.mail.replays.push(Replay::NdcSpan {
                                 core: self.c as u32,
@@ -896,6 +955,7 @@ impl LaneCore {
                 self.stats.ndc_wait_cycles[loc.index()] += wait;
                 self.stats.ndc_offload_cycles[loc.index()] += result_at_core.saturating_sub(start);
                 self.stats.ndc_offload_samples[loc.index()] += 1;
+                self.charge_ndc(loc.index(), start, wait, op_done, 1, result_at_core);
                 if fz.spans_enabled {
                     self.mail.replays.push(Replay::NdcSpan {
                         core: self.c as u32,
@@ -1012,10 +1072,9 @@ impl LaneCore {
         let feed = m
             .mesh()
             .xy_route(chosen.node.coord(width), core.coord(width));
-        let result_at_core = self
-            .planner
-            .traverse(&m.net, &feed, op_done, RESULT_BYTES)
-            .arrived;
+        let feed_rec = self.planner.traverse(&m.net, &feed, op_done, RESULT_BYTES);
+        self.charge_traverse(feed_rec.flit_hops);
+        let result_at_core = feed_rec.arrived;
         NdcOutcome::Performed {
             loc: chosen.loc,
             node: chosen.node,
@@ -1097,6 +1156,14 @@ impl LaneCore {
                 self.stats.ndc_wait_cycles[loc.index()] += wait;
                 self.stats.ndc_offload_cycles[loc.index()] += result_at_core.saturating_sub(start);
                 self.stats.ndc_offload_samples[loc.index()] += 1;
+                self.charge_ndc(
+                    loc.index(),
+                    start,
+                    wait,
+                    op_done,
+                    n_ops as Cycle,
+                    result_at_core,
+                );
                 if fz.spans_enabled {
                     self.mail.replays.push(Replay::NdcSpan {
                         core: self.c as u32,
@@ -1182,6 +1249,9 @@ pub struct LaneEngine<'a> {
     obs: ObsLevel,
     check: CheckLevel,
     lanes: Option<usize>,
+    /// Owning tenant per core (missing entries → tenant 0); only read
+    /// when the ledger is enabled.
+    tenants: Vec<u16>,
 }
 
 impl<'a> LaneEngine<'a> {
@@ -1195,7 +1265,16 @@ impl<'a> LaneEngine<'a> {
             obs: ObsLevel::off(),
             check: CheckLevel::off(),
             lanes: None,
+            tenants: Vec::new(),
         }
+    }
+
+    /// Assign cores to tenants for the attribution ledger (`tenants[c]`
+    /// owns core `c`; unlisted cores belong to tenant 0). Ignored
+    /// unless the run enables the ledger.
+    pub fn with_tenants(mut self, tenants: Vec<u16>) -> Self {
+        self.tenants = tenants;
+        self
     }
 
     /// Attach an oracle guide (required for `Scheme::Oracle`).
@@ -1261,6 +1340,9 @@ impl<'a> LaneEngine<'a> {
         // Build the lanes, taking ownership of each core's private L1.
         let num_links = machine.mesh().num_links();
         let nodes = self.cfg.nodes();
+        // Attribution: explicit request, or the single-tenant ledger a
+        // checked run needs to feed the conservation invariant.
+        let ledger_on = self.obs.ledger || self.check.invariants;
         let mut seen = vec![false; nodes];
         let mut cores: Vec<LaneCore> = self
             .prog
@@ -1312,6 +1394,8 @@ impl<'a> LaneEngine<'a> {
                     l2_overlay: FxHashSet::default(),
                     own_lw: FxHashMap::default(),
                     collect: self.collect,
+                    tenant: self.tenants.get(t.core.index()).copied().unwrap_or(0),
+                    ledger: ledger_on.then(|| AttributionLedger::new(1)),
                     mail: Mailbox::default(),
                 }
             })
@@ -1490,9 +1574,32 @@ impl<'a> LaneEngine<'a> {
         result.l2 = machine.l2_totals();
         result.noc_messages = machine.net.messages;
         result.noc_queueing_cycles = machine.net.queueing_cycles;
+        result.noc_flit_hops = machine.net.flit_hops;
         result.total_computes = self.prog.total_computes();
 
+        // Fold lane ledgers in canonical core order. Row count matches
+        // the serial engine's: the padded tenant map's maximum + 1.
+        let ledger = ledger_on.then(|| {
+            let rows = self
+                .tenants
+                .iter()
+                .take(nodes)
+                .map(|&t| t as usize + 1)
+                .max()
+                .unwrap_or(1);
+            let mut led = AttributionLedger::new(rows);
+            for lc in &cores {
+                if let Some(l) = &lc.ledger {
+                    led.merge(l);
+                }
+            }
+            led
+        });
+
         let mut metrics = self.obs.metrics.then(|| build_metrics(&machine, &result));
+        if let (Some(m), Some(l)) = (metrics.as_mut(), ledger.as_ref()) {
+            crate::report::ledger_metrics(m, l);
+        }
         if let (Some(m), Some(r)) = (metrics.as_mut(), ring.as_ref()) {
             let obs = m.tree("obs");
             obs.counter("events_dropped", r.dropped());
@@ -1500,6 +1607,7 @@ impl<'a> LaneEngine<'a> {
                 obs.tree("events_dropped_by_cat").counter(cat, *n);
             }
         }
+        let events_dropped = ring.as_ref().map_or(0, RingSink::dropped);
         let events = ring.map(RingSink::into_events).unwrap_or_default();
         let spans = machine
             .spans
@@ -1539,6 +1647,9 @@ impl<'a> LaneEngine<'a> {
                     .iter()
                     .map(|m| m.stats.row_hits + m.stats.row_misses + m.stats.row_conflicts)
                     .sum(),
+                dram_bytes: machine.mcs.iter().map(|m| m.stats.bytes).sum(),
+                noc_messages: machine.net.messages,
+                noc_flit_hops: machine.net.flit_hops,
             }
         });
         EngineOutput {
@@ -1548,6 +1659,8 @@ impl<'a> LaneEngine<'a> {
             events,
             spans,
             check,
+            ledger,
+            events_dropped,
         }
     }
 }
@@ -1618,6 +1731,42 @@ pub fn simulate_lanes_obs(
             out
         }
         _ => LaneEngine::new(cfg, prog, scheme).with_obs(obs).run(),
+    }
+}
+
+/// [`simulate_lanes_obs`] with a core→tenant assignment for the
+/// attribution ledger (only the measured run is attributed under the
+/// oracle's two-pass protocol).
+pub fn simulate_lanes_tenants(
+    cfg: ArchConfig,
+    prog: &TraceProgram,
+    scheme: Scheme,
+    obs: ObsLevel,
+    tenants: Vec<u16>,
+) -> EngineOutput {
+    match scheme {
+        Scheme::Oracle { reuse_aware } => {
+            let base = LaneEngine::new(cfg, prog, Scheme::Baseline)
+                .with_instrumentation()
+                .run();
+            let records = &base
+                .instrumentation
+                .as_ref()
+                .expect("instrumented baseline")
+                .records;
+            let guide = OracleGuide::build(records, prog, cfg.l1.line_bytes, reuse_aware);
+            let mut out = LaneEngine::new(cfg, prog, scheme)
+                .with_guide(&guide)
+                .with_obs(obs)
+                .with_tenants(tenants)
+                .run();
+            out.result.scheme = scheme.label();
+            out
+        }
+        _ => LaneEngine::new(cfg, prog, scheme)
+            .with_obs(obs)
+            .with_tenants(tenants)
+            .run(),
     }
 }
 

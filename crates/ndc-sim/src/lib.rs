@@ -34,12 +34,16 @@ pub mod report;
 pub mod schemes;
 pub mod stats;
 
-pub use engine::{simulate, simulate_checked, simulate_obs, CheckData, Engine, EngineOutput};
+pub use engine::{
+    simulate, simulate_checked, simulate_obs, simulate_tenants, CheckData, Engine, EngineOutput,
+};
 pub use instrument::{BreakevenInfo, Instrumentation, WindowObservation};
-pub use lanes::{simulate_lanes, simulate_lanes_checked, simulate_lanes_obs, LaneEngine};
+pub use lanes::{
+    simulate_lanes, simulate_lanes_checked, simulate_lanes_obs, simulate_lanes_tenants, LaneEngine,
+};
 pub use machine::{AccessPath, CheckRecorder, Machine, SpanRecorder, SPAN_SEED};
 pub use ndc::{NdcOutcome, NdcResolution, ALL_ABORT_REASONS};
-pub use report::build_metrics;
+pub use report::{build_metrics, ledger_metrics};
 pub use schemes::{Scheme, WaitBudget};
 pub use stats::SimResult;
 

@@ -11,6 +11,7 @@
 
 use ndc_mem::{AccessOutcome, Directory, MemoryController, RowOutcome, SetAssocCache};
 use ndc_noc::{LinkTraversal, Mesh, Network, Route};
+use ndc_obs::ledger::AttributionLedger;
 use ndc_obs::span::{Span, SpanSampler, SpanTrace, QUEUE, STALL};
 use ndc_obs::{chk, Event};
 use ndc_types::{Addr, ArchConfig, Cycle, NodeId};
@@ -309,6 +310,20 @@ fn push_noc_span(
     parent.push(noc);
 }
 
+/// Tenant-attribution state: per-core owners plus the ledger every
+/// simulated cost is charged to. Boxed and `None` by default so the
+/// hot path pays one branch when attribution is off.
+#[derive(Debug)]
+pub struct AttrState {
+    /// Owning tenant per core, indexed by `NodeId`.
+    tenants: Vec<u16>,
+    /// Tenant currently on the hook — set from the issuing core at the
+    /// top of [`Machine::access`] and by [`Machine::attribute_to`]
+    /// before component-side work (NDC resolution).
+    current: u16,
+    pub ledger: AttributionLedger,
+}
+
 /// The simulated machine: caches, directory, network, controllers.
 pub struct Machine {
     pub cfg: ArchConfig,
@@ -322,6 +337,10 @@ pub struct Machine {
     pub chk: Option<CheckRecorder>,
     /// Span-trace recorder; `None` (the default) costs one branch.
     pub spans: Option<SpanRecorder>,
+    /// Attribution ledger; `None` (the default) costs one branch per
+    /// charge site. Charging never reads simulated time, so enabling it
+    /// cannot perturb results.
+    pub attr: Option<Box<AttrState>>,
 }
 
 impl Machine {
@@ -339,6 +358,7 @@ impl Machine {
                 .collect(),
             chk: None,
             spans: None,
+            attr: None,
         }
     }
 
@@ -361,6 +381,73 @@ impl Machine {
         }
     }
 
+    /// Switch on the attribution ledger (idempotent). `tenants[c]` is
+    /// the owner of core `c`; missing entries default to tenant 0, so
+    /// an empty vector gives the single-tenant world where the ledger's
+    /// single row must equal the global counters exactly.
+    pub fn enable_ledger(&mut self, mut tenants: Vec<u16>) {
+        if self.attr.is_some() {
+            return;
+        }
+        tenants.resize(self.cfg.nodes(), 0);
+        let rows = tenants.iter().map(|&t| t as usize + 1).max().unwrap_or(1);
+        self.attr = Some(Box::new(AttrState {
+            current: tenants.first().copied().unwrap_or(0),
+            ledger: AttributionLedger::new(rows),
+            tenants,
+        }));
+    }
+
+    /// Charge subsequent machine work (messages, DRAM) to `core`'s
+    /// tenant. Called by NDC resolution before component-side sends;
+    /// [`Machine::access`] sets this itself from its own core argument.
+    pub fn attribute_to(&mut self, core: NodeId) {
+        if let Some(a) = &mut self.attr {
+            a.current = a.tenants[core.index()];
+        }
+    }
+
+    /// Take the finished ledger (leaves attribution disabled).
+    pub fn take_ledger(&mut self) -> Option<AttributionLedger> {
+        self.attr.take().map(|a| a.ledger)
+    }
+
+    #[inline]
+    fn charge_traverse(&mut self, flit_hops: u64) {
+        if let Some(a) = &mut self.attr {
+            a.ledger.charge_traverse(a.current, flit_hops);
+        }
+    }
+
+    #[inline]
+    fn charge_dram(&mut self) {
+        let bytes = self.cfg.l2.line_bytes;
+        if let Some(a) = &mut self.attr {
+            a.ledger.charge_dram(a.current, bytes);
+        }
+    }
+
+    /// Charge one performed NDC offload to `core`'s tenant, decomposed
+    /// into gather/wait/exec/feed (engine-side call, next to the span
+    /// recorder's `record_ndc_span`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn charge_ndc(
+        &mut self,
+        core: NodeId,
+        loc: usize,
+        issue: Cycle,
+        wait: Cycle,
+        op_done: Cycle,
+        exec_cycles: Cycle,
+        result_at_core: Cycle,
+    ) {
+        if let Some(a) = &mut self.attr {
+            let t = a.tenants[core.index()];
+            a.ledger
+                .charge_ndc(t, loc, issue, wait, op_done, exec_cycles, result_at_core);
+        }
+    }
+
     pub fn mesh(&self) -> &Mesh {
         self.net.mesh()
     }
@@ -379,7 +466,12 @@ impl Machine {
         intent: AccessIntent,
         reply_route: Option<&Route>,
     ) -> AccessPath {
+        self.attribute_to(core);
         let path = self.access_inner(core, addr, now, write, intent, reply_route);
+        if let Some(a) = &mut self.attr {
+            let q = path.mem.as_ref().map(|m| m.service_start - m.queue_enter);
+            a.ledger.charge_request(a.current, path.latency(), q);
+        }
         if let Some(chk) = &mut self.chk {
             chk.record_path(&path);
         }
@@ -452,6 +544,7 @@ impl Machine {
         let home_coord = home.coord(width);
         let req_route = self.mesh().xy_route(core_coord, home_coord);
         let req = self.net.traverse(&req_route, now + l1_latency, REQ_BYTES);
+        self.charge_traverse(req.flit_hops);
         let req_arrival = req.arrived;
         path.req_links = req.links;
 
@@ -468,13 +561,16 @@ impl Machine {
                 let mc_req = self
                     .net
                     .traverse(&to_mc, req_arrival + l2_latency, REQ_BYTES);
+                self.charge_traverse(mc_req.flit_hops);
                 let dram = self.mcs[mc as usize].request(addr, mc_req.arrived);
+                self.charge_dram();
                 path.mc_links = mc_req.links;
                 // Refill back to the bank (carries the L2 line).
                 let refill_route = self.mesh().xy_route(mc_coord, home_coord);
                 let refill =
                     self.net
                         .traverse(&refill_route, dram.completion, self.cfg.l2.line_bytes);
+                self.charge_traverse(refill.flit_hops);
                 path.data_links.extend(refill.links.iter().copied());
                 path.refill_links = refill.links.len();
                 path.mem = Some(MemLeg {
@@ -513,6 +609,7 @@ impl Machine {
                 let reply = self
                     .net
                     .traverse(route, data_at_bank, self.cfg.l1.line_bytes);
+                self.charge_traverse(reply.flit_hops);
                 path.data_links.extend(reply.links.iter().copied());
                 path.completion = reply.arrived + l1_latency;
                 // Directory bookkeeping: the core now holds the line.
@@ -544,7 +641,9 @@ impl Machine {
         let home = self.cfg.l2_home(addr);
         let home_coord = home.coord(width);
         let route = self.mesh().xy_route(from.coord(width), home_coord);
-        let arr = self.net.traverse(&route, t, RESULT_BYTES).arrived;
+        let wr = self.net.traverse(&route, t, RESULT_BYTES);
+        self.charge_traverse(wr.flit_hops);
+        let arr = wr.arrived;
         let done = match self.l2s[home.index()].access(addr, arr, true) {
             AccessOutcome::Hit { .. } => arr + self.cfg.l2.latency,
             AccessOutcome::Miss { .. } => {
@@ -555,11 +654,14 @@ impl Machine {
                 let mc_req = self
                     .net
                     .traverse(&to_mc, arr + self.cfg.l2.latency, REQ_BYTES);
+                self.charge_traverse(mc_req.flit_hops);
                 let dram = self.mcs[mc as usize].request(addr, mc_req.arrived);
+                self.charge_dram();
                 let back = self.mesh().xy_route(mc_coord, home_coord);
                 let refill = self
                     .net
                     .traverse(&back, dram.completion, self.cfg.l2.line_bytes);
+                self.charge_traverse(refill.flit_hops);
                 refill.arrived + self.cfg.l2.latency
             }
         };
@@ -580,7 +682,9 @@ impl Machine {
     pub fn send_result(&mut self, from: NodeId, to: NodeId, t: Cycle) -> Cycle {
         let width = self.cfg.noc.width;
         let route = self.mesh().xy_route(from.coord(width), to.coord(width));
-        self.net.traverse(&route, t, RESULT_BYTES).arrived
+        let rec = self.net.traverse(&route, t, RESULT_BYTES);
+        self.charge_traverse(rec.flit_hops);
+        rec.arrived
     }
 
     /// Charge the network for a data message along an explicit route
@@ -598,7 +702,9 @@ impl Machine {
             dst: route.dst,
             links: route.links[..upto_hops.min(route.links.len())].to_vec(),
         };
-        self.net.traverse(&partial, t, bytes)
+        let rec = self.net.traverse(&partial, t, bytes);
+        self.charge_traverse(rec.flit_hops);
+        rec
     }
 
     /// Uncontended one-way latency between two nodes (static estimates).
@@ -887,6 +993,53 @@ mod tests {
         assert!(sampled.len() < 64 && !sampled.is_empty());
         // Sampled ids are a subset of the full id space, stable per run.
         assert_eq!(sampled, run(4));
+    }
+
+    #[test]
+    fn ledger_conserves_machine_counters() {
+        let mut m = machine();
+        m.enable_ledger(Vec::new()); // single-tenant default
+        for i in 0..12u64 {
+            m.access(
+                NodeId((i % 25) as u16),
+                0x1000 * i,
+                i * 50,
+                i % 3 == 0,
+                AccessIntent::ToCore,
+                None,
+            );
+        }
+        m.remote_write(NodeId(4), 0x9000, 2000);
+        m.send_result(NodeId(0), NodeId(24), 2500);
+        let led = m.take_ledger().unwrap();
+        assert_eq!(led.num_tenants(), 1);
+        let row = &led.rows()[0];
+        assert_eq!(row.noc_messages, m.net.messages);
+        assert_eq!(row.noc_flit_hops, m.net.flit_hops);
+        let dram: u64 = m.mcs.iter().map(|mc| mc.stats.bytes).sum();
+        assert_eq!(row.dram_bytes, dram);
+        assert_eq!(row.requests, 12);
+        assert_eq!(row.latency.count(), 12);
+    }
+
+    #[test]
+    fn ledger_splits_by_core_tenant() {
+        // Odd cores belong to tenant 1, even to tenant 0.
+        let tenants: Vec<u16> = (0..25).map(|c| (c % 2) as u16).collect();
+        let mut m = machine();
+        m.enable_ledger(tenants);
+        m.access(NodeId(0), 0x1000, 0, false, AccessIntent::ToCore, None);
+        m.access(NodeId(1), 0x2000, 0, false, AccessIntent::ToCore, None);
+        m.access(NodeId(1), 0x3000, 10, false, AccessIntent::ToCore, None);
+        let led = m.take_ledger().unwrap();
+        assert_eq!(led.num_tenants(), 2);
+        assert_eq!(led.rows()[0].requests, 1);
+        assert_eq!(led.rows()[1].requests, 2);
+        // Column sums still equal the global counters.
+        let msgs: u64 = led.rows().iter().map(|r| r.noc_messages).sum();
+        assert_eq!(msgs, m.net.messages);
+        let hops: u64 = led.rows().iter().map(|r| r.noc_flit_hops).sum();
+        assert_eq!(hops, m.net.flit_hops);
     }
 
     #[test]

@@ -542,6 +542,7 @@ pub fn resolve_fused(
     issue: Cycle,
     params: ResolveParams,
 ) -> NdcOutcome {
+    machine.attribute_to(core);
     let cfg = machine.cfg;
     let cands = candidate_meetings_fused(machine, core, paths, params.reshape);
     let plan = plan_resolution_fused(
@@ -780,6 +781,7 @@ pub fn resolve_with_candidates(
     params: ResolveParams,
     cands: Vec<Meeting>,
 ) -> NdcOutcome {
+    machine.attribute_to(core);
     let cfg = machine.cfg;
     let plan = plan_resolution(
         &cfg,

@@ -19,6 +19,8 @@ use crate::ndc::ALL_ABORT_REASONS;
 use crate::stats::SimResult;
 use ndc_mem::CacheStats;
 use ndc_noc::LinkId;
+use ndc_obs::ledger::AttributionLedger;
+use ndc_obs::sketch::QuantileSketch;
 use ndc_obs::Metrics;
 use ndc_types::ALL_NDC_LOCATIONS;
 
@@ -80,7 +82,8 @@ pub fn build_metrics(machine: &Machine, result: &SimResult) -> Metrics {
 
     let noc = m.tree("noc");
     noc.counter("messages", machine.net.messages)
-        .counter("queueing_cycles", machine.net.queueing_cycles);
+        .counter("queueing_cycles", machine.net.queueing_cycles)
+        .counter("flit_hops", machine.net.flit_hops);
     if let Some(links) = machine.net.link_obs() {
         let mesh = machine.mesh();
         let lt = noc.tree("links");
@@ -101,6 +104,7 @@ pub fn build_metrics(machine: &Machine, result: &SimResult) -> Metrics {
         let s = mc.stats;
         let t = dram.tree(&format!("mc{i}"));
         t.counter("requests", s.requests)
+            .counter("bytes", s.bytes)
             .counter("row_hits", s.row_hits)
             .counter("row_misses", s.row_misses)
             .counter("row_conflicts", s.row_conflicts)
@@ -110,4 +114,45 @@ pub fn build_metrics(machine: &Machine, result: &SimResult) -> Metrics {
     }
 
     m
+}
+
+fn sketch_counters(t: &mut Metrics, s: &QuantileSketch) {
+    t.counter("count", s.count())
+        .counter("min", s.min().unwrap_or(0))
+        .counter("p50", s.quantile_pct(50).unwrap_or(0))
+        .counter("p90", s.quantile_pct(90).unwrap_or(0))
+        .counter("p99", s.quantile_pct(99).unwrap_or(0))
+        .counter("max", s.max().unwrap_or(0));
+}
+
+/// Lay the attribution ledger out as a `tenants` subtree: one child per
+/// tenant, in tenant order, with the conserved columns and the latency
+/// / queue-delay / per-location offload sketches summarized as
+/// quantile counters.
+pub fn ledger_metrics(m: &mut Metrics, ledger: &AttributionLedger) {
+    let tenants = m.tree("tenants");
+    for (i, r) in ledger.rows().iter().enumerate() {
+        let t = tenants.tree(&format!("tenant{i}"));
+        t.counter("requests", r.requests)
+            .counter("request_cycles", r.request_cycles)
+            .counter("noc_messages", r.noc_messages)
+            .counter("noc_flit_hops", r.noc_flit_hops)
+            .counter("dram_bytes", r.dram_bytes);
+        let ndc = t.tree("ndc");
+        for loc in ALL_NDC_LOCATIONS {
+            let i = loc.index();
+            if r.ndc_offload_cycles[i] == 0 && r.offload[i].count() == 0 {
+                continue; // untouched location: keep the tree readable
+            }
+            let lt = ndc.tree(loc.paper_label());
+            lt.counter("offload_cycles", r.ndc_offload_cycles[i])
+                .counter("gather_cycles", r.ndc_gather_cycles[i])
+                .counter("wait_cycles", r.ndc_wait_cycles[i])
+                .counter("exec_cycles", r.ndc_exec_cycles[i])
+                .counter("feed_cycles", r.ndc_feed_cycles[i]);
+            sketch_counters(lt.tree("offload"), &r.offload[i]);
+        }
+        sketch_counters(t.tree("latency"), &r.latency);
+        sketch_counters(t.tree("dram_queue_delay"), &r.queue_delay);
+    }
 }

@@ -71,6 +71,10 @@ pub struct SimResult {
     /// NoC traffic stats.
     pub noc_messages: u64,
     pub noc_queueing_cycles: u64,
+    /// Flit-hops carried by the NoC (occupancy × hops per message) —
+    /// the byte-movement side of the attribution ledger's conservation
+    /// contract.
+    pub noc_flit_hops: u64,
     /// Instructions issued (denominator of issue-slot utilization).
     pub issued_insts: u64,
     /// Cycles cores spent blocked waiting for an MSHR slot to free.

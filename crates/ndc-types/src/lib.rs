@@ -23,7 +23,7 @@ pub mod trace;
 pub use config::{ArchConfig, CacheConfig, DramConfig, MemConfig, NdcConfig, NocConfig, OpClass};
 pub use geom::{Coord, NodeId};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use json::Json;
+pub use json::{Json, JsonError};
 pub use op::{NdcLocation, Op, ALL_NDC_LOCATIONS};
 pub use rng::SplitMix64;
 pub use stats::{

@@ -19,11 +19,22 @@ cargo fmt --check
 echo "== tests (offline) =="
 cargo test -q --offline --workspace
 
-echo "== determinism: NDC_THREADS=1 vs NDC_THREADS=8 =="
 EVAL=target/release/ndc-eval
+
+# Perf-regression gate: the scale/fuse/bench stages below regenerate
+# BENCH_*.json in place, so save the committed baselines aside first;
+# each regenerated file is gated against its committed counterpart
+# (simulated counters exact, wall clock within 10x). Rebase with
+# NDC_BENCH_REBASE=1 after an intentional behaviour change.
+base_scale=$(mktemp) && base_fusion=$(mktemp) && base_fig4=$(mktemp)
+cp BENCH_scale.json "$base_scale"
+cp BENCH_fusion.json "$base_fusion"
+cp BENCH_fig4_schemes.json "$base_fig4"
+
+echo "== determinism: NDC_THREADS=1 vs NDC_THREADS=8 =="
 tmp1=$(mktemp) && tmp8=$(mktemp)
 met1=$(mktemp) && met8=$(mktemp)
-trap 'rm -f "$tmp1" "$tmp8" "$met1" "$met8"' EXIT
+trap 'rm -f "$base_scale" "$base_fusion" "$base_fig4" "$tmp1" "$tmp8" "$met1" "$met8"' EXIT
 NDC_THREADS=1 "$EVAL" fig4 --scale test --metrics "$met1" > "$tmp1"
 NDC_THREADS=8 "$EVAL" fig4 --scale test --metrics "$met8" > "$tmp8"
 if ! diff -q "$tmp1" "$tmp8" > /dev/null; then
@@ -41,7 +52,7 @@ echo "ok: --metrics output byte-identical across thread counts"
 
 echo "== determinism: fig13 NDC_THREADS=1 vs NDC_THREADS=8 =="
 f13a=$(mktemp) && f13b=$(mktemp)
-trap 'rm -f "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b"' EXIT
+trap 'rm -f "$base_scale" "$base_fusion" "$base_fig4" "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b"' EXIT
 NDC_THREADS=1 "$EVAL" fig13 --scale test > "$f13a"
 NDC_THREADS=8 "$EVAL" fig13 --scale test > "$f13b"
 if ! diff -q "$f13a" "$f13b" > /dev/null; then
@@ -53,7 +64,7 @@ echo "ok: fig13 output bit-identical across thread counts"
 
 echo "== determinism: explain NDC_THREADS=1 vs NDC_THREADS=8 =="
 ex1=$(mktemp) && ex8=$(mktemp)
-trap 'rm -f "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b" "$ex1" "$ex8"' EXIT
+trap 'rm -f "$base_scale" "$base_fusion" "$base_fig4" "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b" "$ex1" "$ex8"' EXIT
 NDC_THREADS=1 "$EVAL" explain --scale test --bench kdtree > "$ex1"
 NDC_THREADS=8 "$EVAL" explain --scale test --bench kdtree > "$ex8"
 if ! diff -q "$ex1" "$ex8" > /dev/null; then
@@ -71,7 +82,7 @@ echo "== correctness layer: oracle + invariants + fault matrix =="
 
 echo "== static legality: lint verdicts, certificates, fault matrix =="
 ln1=$(mktemp) && ln8=$(mktemp)
-trap 'rm -f "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b" "$ex1" "$ex8" "$ln1" "$ln8"' EXIT
+trap 'rm -f "$base_scale" "$base_fusion" "$base_fig4" "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b" "$ex1" "$ex8" "$ln1" "$ln8"' EXIT
 NDC_THREADS=1 "$EVAL" lint --scale test > "$ln1"
 NDC_THREADS=8 "$EVAL" lint --scale test > "$ln8"
 if ! diff -q "$ln1" "$ln8" > /dev/null; then
@@ -88,7 +99,7 @@ echo "== mesh scale-up: lane engine determinism + BENCH_scale.json =="
 # counts; here we additionally pin the *printed study* (tables include
 # simulated cycles and instruction counts) across NDC_THREADS.
 sc1=$(mktemp) && sc8=$(mktemp)
-trap 'rm -f "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b" "$ex1" "$ex8" "$ln1" "$ln8" "$sc1" "$sc8"' EXIT
+trap 'rm -f "$base_scale" "$base_fusion" "$base_fig4" "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b" "$ex1" "$ex8" "$ln1" "$ln8" "$sc1" "$sc8"' EXIT
 NDC_BENCH_FAST=1 NDC_THREADS=1 "$EVAL" scale > "$sc1"
 NDC_BENCH_FAST=1 NDC_THREADS=8 "$EVAL" scale > "$sc8"
 if ! diff -q <(grep -v "host ms\|insts/sec\|speedup" "$sc1" | cut -c1-60) \
@@ -103,6 +114,7 @@ grep -q '"deterministic_across_lanes":true' BENCH_scale.json \
     || { echo "FAIL: BENCH_scale.json missing determinism attestation" >&2; exit 1; }
 grep -q '"rows"' BENCH_scale.json \
     || { echo "FAIL: BENCH_scale.json has no measurement rows" >&2; exit 1; }
+"$EVAL" gate --baseline "$base_scale" --current BENCH_scale.json
 
 echo "== operator fusion: fused-vs-unfused report + BENCH_fusion.json =="
 # Compiles every workload twice (fusion off/on), simulates both
@@ -111,7 +123,7 @@ echo "== operator fusion: fused-vs-unfused report + BENCH_fusion.json =="
 # attest that fusion fired and that some workload reduced both bytes
 # and offload cycles.
 fu1=$(mktemp) && fu8=$(mktemp)
-trap 'rm -f "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b" "$ex1" "$ex8" "$ln1" "$ln8" "$sc1" "$sc8" "$fu1" "$fu8"' EXIT
+trap 'rm -f "$base_scale" "$base_fusion" "$base_fig4" "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b" "$ex1" "$ex8" "$ln1" "$ln8" "$sc1" "$sc8" "$fu1" "$fu8"' EXIT
 NDC_THREADS=1 "$EVAL" fuse --scale test > "$fu1"
 NDC_THREADS=8 "$EVAL" fuse --scale test > "$fu8"
 if ! diff -q "$fu1" "$fu8" > /dev/null; then
@@ -128,6 +140,7 @@ grep -q '"workloads_reduced_bytes_and_cycles":0' BENCH_fusion.json \
     && { echo "FAIL: no workload reduced both bytes moved and offload cycles" >&2; exit 1; }
 grep -q '"rows"' BENCH_fusion.json \
     || { echo "FAIL: BENCH_fusion.json has no per-workload rows" >&2; exit 1; }
+"$EVAL" gate --baseline "$base_fusion" --current BENCH_fusion.json
 
 echo "== seeded fuzzing: full pipeline, deterministic across thread counts =="
 # A fixed 512-seed corpus through generator -> verifier/bounds ->
@@ -138,7 +151,7 @@ echo "== seeded fuzzing: full pipeline, deterministic across thread counts =="
 # across NDC_THREADS and assert the emitted corpus table attests a
 # clean run.
 fz1=$(mktemp) && fz8=$(mktemp)
-trap 'rm -f "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b" "$ex1" "$ex8" "$ln1" "$ln8" "$sc1" "$sc8" "$fu1" "$fu8" "$fz1" "$fz8"' EXIT
+trap 'rm -f "$base_scale" "$base_fusion" "$base_fig4" "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b" "$ex1" "$ex8" "$ln1" "$ln8" "$sc1" "$sc8" "$fu1" "$fu8" "$fz1" "$fz8"' EXIT
 NDC_THREADS=1 "$EVAL" fuzz --count 512 --seed 7 > "$fz1"
 NDC_THREADS=8 "$EVAL" fuzz --count 512 --seed 7 > "$fz8"
 if ! diff -q "$fz1" "$fz8" > /dev/null; then
@@ -154,8 +167,21 @@ grep -q '"clean":true' BENCH_fuzz_corpus.json \
 grep -q '"classes"' BENCH_fuzz_corpus.json \
     || { echo "FAIL: BENCH_fuzz_corpus.json has no corpus table" >&2; exit 1; }
 
+echo "== profile: tenant attribution deterministic across thread counts =="
+pr1=$(mktemp) && pr8=$(mktemp)
+trap 'rm -f "$base_scale" "$base_fusion" "$base_fig4" "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b" "$ex1" "$ex8" "$ln1" "$ln8" "$sc1" "$sc8" "$fu1" "$fu8" "$fz1" "$fz8" "$pr1" "$pr8"' EXIT
+NDC_THREADS=1 "$EVAL" profile --scale test --tenants 2 --json > "$pr1"
+NDC_THREADS=8 "$EVAL" profile --scale test --tenants 2 --json > "$pr8"
+if ! cmp -s "$pr1" "$pr8"; then
+    echo "FAIL: profile --json output differs across thread counts" >&2
+    diff <(head -c 2000 "$pr1") <(head -c 2000 "$pr8") | head -20 >&2
+    exit 1
+fi
+echo "ok: profile ledger/sketches byte-identical across thread counts"
+
 echo "== bench harness smoke (appends BENCH_fig4_schemes.json) =="
 NDC_BENCH_FAST=1 cargo bench --offline -p bench --bench fig4_schemes
 test -s BENCH_fig4_schemes.json || { echo "FAIL: BENCH_fig4_schemes.json missing" >&2; exit 1; }
+"$EVAL" gate --baseline "$base_fig4" --current BENCH_fig4_schemes.json
 
 echo "== all checks passed =="

@@ -22,9 +22,10 @@ use ndc_compiler::{
     compile_algorithm1, compile_algorithm2, compile_coarse, Algorithm2Options, CompilerReport,
 };
 use ndc_ir::{lower, LowerOptions, Program};
+use ndc_obs::ledger::AttributionLedger;
 use ndc_obs::span::SpanTrace;
 use ndc_obs::{Event, Metrics, ObsLevel};
-use ndc_sim::engine::{simulate, simulate_obs, Engine};
+use ndc_sim::engine::{simulate, simulate_obs, simulate_tenants, Engine};
 use ndc_sim::instrument::Instrumentation;
 use ndc_sim::schemes::{Scheme, WaitBudget};
 use ndc_sim::SimResult;
@@ -703,6 +704,89 @@ pub fn explain_all(cfg: ArchConfig, scale: Scale, one_in: u32) -> Vec<ExplainRep
 }
 
 // ---------------------------------------------------------------------
+// `ndc-eval profile`: per-tenant attribution ledger, latency sketch
+// quantiles, and the slowest sampled requests.
+// ---------------------------------------------------------------------
+
+/// Default span sampling rate for `profile` sweeps (the outlier table
+/// only needs a representative tail, not every request).
+pub const PROFILE_SAMPLE_ONE_IN: u32 = 64;
+
+/// Round-robin core→tenant assignment: core `c` belongs to tenant
+/// `c mod num_tenants`. One tenant reproduces the default
+/// single-tenant world, so every existing figure is unchanged.
+pub fn round_robin_tenants(cores: usize, num_tenants: u16) -> Vec<u16> {
+    let n = num_tenants.max(1) as usize;
+    (0..cores).map(|c| (c % n) as u16).collect()
+}
+
+/// Everything `ndc-eval profile` reports for one benchmark: the
+/// attribution ledger of the Algorithm 2 compiled run (cores mapped to
+/// tenants round-robin), the sampled span traces for the outlier
+/// table, and the run result.
+pub struct ProfileReport {
+    pub name: String,
+    /// The compiled (Algorithm 2) run the ledger was charged from.
+    pub result: SimResult,
+    /// Per-tenant attribution rows with latency/queue-delay/offload
+    /// sketches.
+    pub ledger: AttributionLedger,
+    /// Sampled span traces (deterministic in the request id).
+    pub spans: Vec<SpanTrace>,
+    /// Trace events evicted from the observability ring (0 unless a
+    /// `--trace` ring overflowed; surfaced so profiles are explicit
+    /// about lossy capture).
+    pub events_dropped: u64,
+}
+
+impl ProfileReport {
+    /// The `k` slowest sampled requests, slowest first (ties broken by
+    /// request id, so the order is deterministic).
+    pub fn top_slowest(&self, k: usize) -> Vec<&SpanTrace> {
+        let mut refs: Vec<&SpanTrace> = self.spans.iter().collect();
+        refs.sort_by(|a, b| b.latency().cmp(&a.latency()).then(a.id.cmp(&b.id)));
+        refs.truncate(k);
+        refs
+    }
+}
+
+/// Compile one benchmark with Algorithm 2 and run it with the
+/// attribution ledger on, cores assigned to `num_tenants` tenants
+/// round-robin, sampling one request in `one_in` for the outlier
+/// table. Pure observation: the simulated timing is identical to the
+/// unprofiled run.
+pub fn profile_benchmark(
+    bench: &Benchmark,
+    cfg: ArchConfig,
+    scale: Scale,
+    num_tenants: u16,
+    one_in: u32,
+) -> ProfileReport {
+    let prog = bench.build(scale);
+    let cores = cfg.nodes();
+    let opts = LowerOptions {
+        cores,
+        emit_busy: true,
+    };
+    let (sched, _) = compile_algorithm2(&prog, &cfg, cores, Algorithm2Options::default());
+    let traces = lower(&prog, &opts, Some(&sched));
+    let obs = ObsLevel {
+        span_one_in: one_in,
+        ledger: true,
+        ..ObsLevel::default()
+    };
+    let tenants = round_robin_tenants(cores, num_tenants);
+    let out = simulate_tenants(cfg, &traces, Scheme::Compiled, obs, tenants);
+    ProfileReport {
+        name: bench.name.to_string(),
+        result: out.result,
+        ledger: out.ledger.expect("profile run collects the ledger"),
+        spans: out.spans,
+        events_dropped: out.events_dropped,
+    }
+}
+
+// ---------------------------------------------------------------------
 // Ablations.
 // ---------------------------------------------------------------------
 
@@ -909,6 +993,28 @@ mod tests {
         assert!(e.cme_accuracy.l1_accesses > 0);
         // kdtree's chains are always co-homed: Algorithm 1 plans them.
         assert!(e.alg1.1.planned > 0);
+    }
+
+    #[test]
+    fn profile_splits_charges_across_tenants_without_perturbing_timing() {
+        let bench = ndc_workloads::by_name("kdtree").unwrap();
+        let cfg = ArchConfig::paper_default();
+        let one = profile_benchmark(&bench, cfg, Scale::Test, 1, 8);
+        let two = profile_benchmark(&bench, cfg, Scale::Test, 2, 8);
+        // Observation only: tenant count never changes the simulation.
+        assert_eq!(one.result.total_cycles, two.result.total_cycles);
+        assert_eq!(one.ledger.num_tenants(), 1);
+        assert_eq!(two.ledger.num_tenants(), 2);
+        assert!(two.ledger.rows()[0].requests > 0);
+        assert!(two.ledger.rows()[1].requests > 0);
+        // The 2-tenant rows merge back to the single-tenant row:
+        // attribution partitions the charges, it never invents any.
+        let mut merged = two.ledger.rows()[0].clone();
+        merged.merge(&two.ledger.rows()[1]);
+        assert_eq!(merged, one.ledger.rows()[0]);
+        // Default-config profile runs must be lossless.
+        assert_eq!(one.events_dropped, 0);
+        assert!(!one.top_slowest(3).is_empty());
     }
 
     #[test]

@@ -77,6 +77,7 @@ fn lane_fingerprint(
         metrics: true,
         trace_capacity: 4096,
         span_one_in: 4,
+        ledger: true,
     };
     let out = LaneEngine::new(cfg, traces, scheme)
         .with_obs(obs)
