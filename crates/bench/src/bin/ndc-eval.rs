@@ -743,6 +743,62 @@ fn explain_cmd(args: &Args, cfg: ArchConfig) {
         exp::explain_benchmark(b, cfg, args.scale, one_in)
     });
 
+    // Aggregate model accuracy over the (benchmark × location) matrix:
+    // absolute relative error of the reuse-derived model and of the
+    // retired CME heuristic, on exactly the cells where the simulator
+    // measured offloads. The new model must beat the legacy mean —
+    // `ndc-eval gate` holds this via BENCH_model_accuracy.json.
+    let mut acc_rows: Vec<Json> = Vec::new();
+    let mut errs_new: Vec<f64> = Vec::new();
+    let mut errs_legacy: Vec<f64> = Vec::new();
+    for r in &reports {
+        for loc in ALL_NDC_LOCATIONS {
+            let a = r.offload.per_location[loc.index()];
+            let l = r.offload_legacy.per_location[loc.index()];
+            let (Some(en), Some(el)) = (a.error_pct(), l.error_pct()) else {
+                continue;
+            };
+            errs_new.push(en);
+            errs_legacy.push(el);
+            acc_rows.push(
+                Json::obj()
+                    .with("name", r.name.as_str())
+                    .with("location", loc.paper_label())
+                    .with("measured_cycles", a.measured_cycles)
+                    .with("predicted_cycles", a.predicted_cycles)
+                    .with("predicted_cycles_legacy", l.predicted_cycles)
+                    .with("error_pct", en)
+                    .with("error_pct_legacy", el),
+            );
+        }
+    }
+    let agg = |v: &[f64]| -> (f64, f64) {
+        if v.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (ndc_types::mean(v), v.iter().cloned().fold(0.0, f64::max))
+        }
+    };
+    let (mean_new, max_new) = agg(&errs_new);
+    let (mean_legacy, max_legacy) = agg(&errs_legacy);
+    let beats = !errs_new.is_empty() && mean_new < mean_legacy;
+    let summary = Json::obj()
+        .with("cells", errs_new.len() as u64)
+        .with("mean_abs_rel_error_pct", mean_new)
+        .with("max_abs_rel_error_pct", max_new)
+        .with("mean_abs_rel_error_pct_legacy", mean_legacy)
+        .with("max_abs_rel_error_pct_legacy", max_legacy)
+        .with("model_beats_legacy", beats);
+    if !detail {
+        // Full-sweep accuracy artifact for the CI gate.
+        let doc = Json::obj()
+            .with("experiment", "model_accuracy")
+            .with("scale", format!("{:?}", args.scale))
+            .with("summary", summary.clone())
+            .with("rows", acc_rows);
+        write_json("BENCH_model_accuracy.json", &doc);
+    }
+
     if args.json {
         let bench_arr: Vec<Json> = reports
             .iter()
@@ -751,12 +807,18 @@ fn explain_cmd(args: &Args, cfg: ArchConfig) {
                     .iter()
                     .map(|loc| {
                         let a = r.offload.per_location[loc.index()];
+                        let l = r.offload_legacy.per_location[loc.index()];
                         Json::obj()
                             .with("location", loc.paper_label())
                             .with("predicted_cycles", a.predicted_cycles)
+                            .with("predicted_cycles_legacy", l.predicted_cycles)
                             .with("measured_cycles", a.measured_cycles)
                             .with("samples", a.samples)
                             .with("error_pct", a.error_pct().map_or(Json::Null, Json::Num))
+                            .with(
+                                "error_pct_legacy",
+                                l.error_pct().map_or(Json::Null, Json::Num),
+                            )
                     })
                     .collect();
                 let top: Vec<Json> = r
@@ -781,6 +843,7 @@ fn explain_cmd(args: &Args, cfg: ArchConfig) {
             .with("experiment", "explain")
             .with("scale", format!("{:?}", args.scale))
             .with("span_one_in", one_in)
+            .with("model_accuracy", summary)
             .with("benchmarks", bench_arr);
         println!("{}", doc.render());
         return;
@@ -797,12 +860,14 @@ fn explain_cmd(args: &Args, cfg: ArchConfig) {
     for loc in locs {
         println!("-- {} --", loc.paper_label());
         println!(
-            "{:<10} {:>10} {:>10} {:>8} {:>7}",
-            "bench", "predicted", "measured", "samples", "err%"
+            "{:<10} {:>10} {:>10} {:>10} {:>8} {:>7} {:>8}",
+            "bench", "predicted", "legacy", "measured", "samples", "err%", "leg-err%"
         );
         let mut errs = Vec::new();
+        let mut lerrs = Vec::new();
         for r in &reports {
             let a = r.offload.per_location[loc.index()];
+            let l = r.offload_legacy.per_location[loc.index()];
             let err = match a.error_pct() {
                 Some(e) => {
                     errs.push(e);
@@ -810,28 +875,53 @@ fn explain_cmd(args: &Args, cfg: ArchConfig) {
                 }
                 None => "-".into(),
             };
+            let lerr = match l.error_pct() {
+                Some(e) => {
+                    lerrs.push(e);
+                    format!("{e:.1}")
+                }
+                None => "-".into(),
+            };
             println!(
-                "{:<10} {:>10.1} {:>10.1} {:>8} {:>7}",
-                r.name, a.predicted_cycles, a.measured_cycles, a.samples, err
+                "{:<10} {:>10.1} {:>10.1} {:>10.1} {:>8} {:>7} {:>8}",
+                r.name,
+                a.predicted_cycles,
+                l.predicted_cycles,
+                a.measured_cycles,
+                a.samples,
+                err,
+                lerr
             );
         }
-        if errs.is_empty() {
-            println!(
-                "{:<10} {:>10} {:>10} {:>8} {:>7}",
-                "average", "", "", "", "-"
-            );
-        } else {
-            println!(
-                "{:<10} {:>10} {:>10} {:>8} {:>7.1}",
-                "average",
-                "",
-                "",
-                "",
-                ndc_types::mean(&errs)
-            );
-        }
+        let avg = |v: &[f64]| {
+            if v.is_empty() {
+                "-".to_string()
+            } else {
+                format!("{:.1}", ndc_types::mean(v))
+            }
+        };
+        println!(
+            "{:<10} {:>10} {:>10} {:>10} {:>8} {:>7} {:>8}",
+            "average",
+            "",
+            "",
+            "",
+            "",
+            avg(&errs),
+            avg(&lerrs)
+        );
         println!();
     }
+    println!(
+        "-- model accuracy over {} measured cells --",
+        errs_new.len()
+    );
+    println!(
+        "reuse model:  mean {mean_new:.1}%  max {max_new:.1}%\n\
+         legacy model: mean {mean_legacy:.1}%  max {max_legacy:.1}%\n\
+         model_beats_legacy: {beats}"
+    );
+    println!();
     if detail {
         explain_detail(&reports[0], one_in);
     }
@@ -876,11 +966,11 @@ fn explain_detail(r: &exp::ExplainReport, one_in: u32) {
         if let (Some(g), Some(t)) = (chain.chain_group, chain.final_target) {
             if chain.outcome == ndc::compiler::outcome::FUSED {
                 println!(
-                    "    fused into packet {} @ {} (union cycles={:.1} bytes={:.0})",
+                    "    fused into packet {} @ {} (union cycles={:.1} byte-hops={})",
                     g,
                     t.paper_label(),
                     chain.fused_predicted_cycles.unwrap_or(0.0),
-                    chain.fused_predicted_bytes.unwrap_or(0.0)
+                    chain.fused_predicted_bytes.unwrap_or(0)
                 );
             }
         }
@@ -889,12 +979,38 @@ fn explain_detail(r: &exp::ExplainReport, one_in: u32) {
                 println!("    fusion declined: {note}");
             }
         }
+        // The analysis facts behind the predictions: per-operand reuse
+        // class and line counts with their Exact/Bound soundness tags,
+        // the pair's shared/union line structure, and the hottest
+        // projected NoC link of the chain's traffic.
+        if let Some(ru) = &chain.reuse {
+            for (slot, f) in [("a", &ru.a), ("b", &ru.b)] {
+                println!(
+                    "    reuse[{slot}] {}: {} l2-lines={} ({}) dram-bytes={} ({})",
+                    f.array,
+                    f.class.label(),
+                    f.l2_lines.value,
+                    f.l2_lines.tag.label(),
+                    f.dram_bytes.value,
+                    f.dram_bytes.tag.label()
+                );
+            }
+            let link = match ru.max_link {
+                Some((from, to)) => format!("{from}->{to} ({} B)", ru.max_link_bytes),
+                None => "-".into(),
+            };
+            println!(
+                "    reuse[pair] shared-l2-iters={} union-l2-lines={} max-link={link}",
+                ru.shared_l2_iters, ru.union_l2_lines
+            );
+        }
         for c in &chain.candidates {
             println!(
-                "    {:<8} coloc={:.2} cycles={:>8.1} bytes={:>8.0}  {}",
+                "    {:<8} coloc={:.2} cycles={:>8.1} legacy={:>8.1} byte-hops={:>12}  {}",
                 c.location.paper_label(),
                 c.colocation,
                 c.predicted_cycles,
+                c.predicted_cycles_legacy,
                 c.predicted_bytes_moved,
                 c.reason
             );
@@ -1275,6 +1391,56 @@ fn check_cmd(args: &Args, cfg: ArchConfig) {
         );
     }
 
+    // Reuse-soundness cross-check: interpreter-measured distinct
+    // line/byte footprints must equal every Exact-tagged static count
+    // and never exceed a Bound-tagged one — the contract the
+    // compiler's integer traffic model rests on.
+    if !quiet {
+        println!();
+        println!("-- reuse soundness: measured footprints vs ndc-reuse static counts --");
+        println!(
+            "{:<10} {:>6} {:>6} {:>6}  result",
+            "bench", "refs", "exact", "bound"
+        );
+    }
+    let reuse_sums = ndc_par::parallel_map(&list, |b| {
+        let prog = b.build_timesteps(args.scale, 1);
+        (
+            b.name,
+            chk::cross_check_workload(&prog, cfg.l1.line_bytes, cfg.l2.line_bytes),
+        )
+    });
+    let mut reuse_rows = Vec::new();
+    for (name, s) in &reuse_sums {
+        if !quiet {
+            println!(
+                "{:<10} {:>6} {:>6} {:>6}  {}",
+                name,
+                s.refs,
+                s.exact_refs,
+                s.bound_refs,
+                if s.ok() { "ok" } else { "VIOLATED" }
+            );
+        }
+        let mut violations = Vec::new();
+        for v in &s.violations {
+            failed = true;
+            if !quiet {
+                println!("    {v}");
+            }
+            violations.push(Json::Str(v.clone()));
+        }
+        reuse_rows.push(
+            Json::obj()
+                .with("bench", *name)
+                .with("refs", s.refs as u64)
+                .with("exact_refs", s.exact_refs as u64)
+                .with("bound_refs", s.bound_refs as u64)
+                .with("ok", s.ok())
+                .with("violations", Json::Arr(violations)),
+        );
+    }
+
     // Fault matrices: a checked kdtree run, with every stream-level and
     // ledger-level fault class injected into a clean copy — each must
     // draw exactly the invariant that guards against it.
@@ -1338,6 +1504,19 @@ fn check_cmd(args: &Args, cfg: ArchConfig) {
         }
         fault_row(fault.label(), fault.expected_invariant().label(), tripped);
     }
+    {
+        // A deliberately corrupted reuse vector must trip the
+        // reuse-soundness cross-check.
+        let mut report = ndc::reuse::analyze_program(&prog, cfg.l1.line_bytes, cfg.l2.line_bytes);
+        let injected = chk::inject_reuse(&mut report, 0xC0FFEE);
+        let sum =
+            ndc::reuse::cross_check_program(&prog, &report, cfg.l1.line_bytes, cfg.l2.line_bytes);
+        let tripped = injected && !sum.ok();
+        if !tripped {
+            failed = true;
+        }
+        fault_row(chk::CORRUPTED_REUSE_VECTOR, chk::REUSE_SOUNDNESS, tripped);
+    }
 
     if quiet {
         let doc = Json::obj()
@@ -1345,6 +1524,7 @@ fn check_cmd(args: &Args, cfg: ArchConfig) {
             .with("scale", format!("{:?}", args.scale))
             .with("oracle", Json::Arr(oracle_rows))
             .with("invariants", Json::Arr(invariant_rows))
+            .with("reuse", Json::Arr(reuse_rows))
             .with("faults", Json::Arr(fault_rows))
             .with("ok", !failed);
         println!("{}", doc.render());
@@ -1735,8 +1915,8 @@ fn fuse_cmd(args: &Args, cfg: ArchConfig) {
     /// have moved unfused (individual plans at their own targets,
     /// conventional tails at their near-L2 lower bound) — the
     /// like-for-like baseline of the bytes-moved comparison.
-    fn predicted_bytes(rep: &CompilerReport, unfused_equiv: bool) -> f64 {
-        let mut total = 0.0;
+    fn predicted_bytes(rep: &CompilerReport, unfused_equiv: bool) -> u64 {
+        let mut total = 0u64;
         let mut charged_groups: BTreeSet<u32> = BTreeSet::new();
         for chain in &rep.provenance {
             if chain.outcome == outcome::FUSED {
@@ -1747,13 +1927,13 @@ fn fuse_cmd(args: &Args, cfg: ArchConfig) {
                 };
                 if let (Some(g), Some(b)) = (chain.chain_group, bytes) {
                     if charged_groups.insert(g) {
-                        total += b;
+                        total = total.saturating_add(b);
                     }
                 }
             } else if chain.outcome == outcome::PLANNED {
                 if let Some(target) = chain.final_target {
                     if let Some(c) = chain.candidates.iter().find(|c| c.location == target) {
-                        total += c.predicted_bytes_moved;
+                        total = total.saturating_add(c.predicted_bytes_moved);
                     }
                 }
             }
@@ -1813,13 +1993,13 @@ fn fuse_cmd(args: &Args, cfg: ArchConfig) {
     let mut reduced_both = 0usize;
     let mut total_chains = 0u64;
     for &(name, chains, ops, bu, bf, cu, cf, nu, nf) in &rows {
-        let drop_pct = if bu > 0.0 {
-            100.0 * (bu - bf) / bu
+        let drop_pct = if bu > 0 {
+            100.0 * (bu.saturating_sub(bf)) as f64 / bu as f64
         } else {
             0.0
         };
         println!(
-            "{:<10} {:>6} {:>4} {:>12.0} {:>12.0} {:>6.1} {:>12} {:>12} {:>10} {:>10}",
+            "{:<10} {:>6} {:>4} {:>12} {:>12} {:>6.1} {:>12} {:>12} {:>10} {:>10}",
             name, chains, ops, bu, bf, drop_pct, cu, cf, nu, nf
         );
         total_chains += chains;

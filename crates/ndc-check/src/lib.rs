@@ -26,6 +26,11 @@
 //!   permutation, non-unimodular transform) likewise each draw exactly
 //!   the `ndc-lint` error that guards against them, closing the loop
 //!   between the static checker and the runtime oracle.
+//! * **The static cost model's inputs**. [`reuse_check`] holds
+//!   `ndc-reuse`'s soundness contract — interpreter-measured distinct
+//!   line/byte footprints equal every `Exact`-tagged count and never
+//!   exceed a `Bound`-tagged one — and proves the check fires via a
+//!   seeded corrupted-reuse-vector fault.
 //!
 //! Zero-dependency like the rest of the workspace; everything here is
 //! deterministic (seeded PRNG, no clocks).
@@ -33,6 +38,7 @@
 pub mod fault;
 pub mod invariant;
 pub mod oracle;
+pub mod reuse_check;
 
 pub use fault::{
     inject, inject_ledger, inject_schedule, Fault, LedgerFault, ScheduleFault, ALL_FAULTS,
@@ -45,6 +51,9 @@ pub use invariant::{
 pub use oracle::{
     check_schedule, first_divergence, sweep_workload, sweep_workload_with, Divergence,
     OracleSummary, SweepFailure, SweepOptions,
+};
+pub use reuse_check::{
+    cross_check_workload, inject_reuse, CORRUPTED_REUSE_VECTOR, REUSE_SOUNDNESS,
 };
 
 pub use ndc_obs::CheckLevel;

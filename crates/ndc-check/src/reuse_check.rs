@@ -1,0 +1,131 @@
+//! Reuse-soundness cross-check: the interpreter-measured footprints of
+//! every reference must reconcile with `ndc-reuse`'s statically derived
+//! counts — `Exact`-tagged predictions by equality, `Bound`-tagged by
+//! domination. This is the contract the compiler's integer cost model
+//! rests on, held to the same standard as the simulator invariants: a
+//! seeded fault ([`inject_reuse`]) proves the check actually fires.
+
+use ndc_reuse::{cross_check_program, CrossCheckSummary, Exactness, ReuseReport};
+use ndc_types::SplitMix64;
+
+/// Stable label of the reuse-soundness invariant in `ndc-eval check`
+/// tables and `--json` output.
+pub const REUSE_SOUNDNESS: &str = "reuse-soundness";
+
+/// Stable label of the seeded reuse fault in the fault matrix.
+pub const CORRUPTED_REUSE_VECTOR: &str = "corrupted-reuse-vector";
+
+/// Analyze a program and cross-check every reference's static counts
+/// against interpreter-measured footprints at the given line sizes.
+pub fn cross_check_workload(
+    prog: &ndc_ir::Program,
+    l1_line: u64,
+    l2_line: u64,
+) -> CrossCheckSummary {
+    let report = ndc_reuse::analyze_program(prog, l1_line, l2_line);
+    cross_check_program(prog, &report, l1_line, l2_line)
+}
+
+/// Corrupt one reuse fact in a controlled, seeded way: bump an
+/// `Exact`-tagged L2-line count (breaking the equality side), falling
+/// back to zeroing a `Bound`-tagged count (breaking domination, since
+/// any nonempty footprint exceeds zero). Returns `false` when the
+/// report has no reference to corrupt, in which case nothing changes.
+pub fn inject_reuse(report: &mut ReuseReport, seed: u64) -> bool {
+    let mut rng = SplitMix64::new(seed);
+    let exact_sites: Vec<(usize, usize)> = report
+        .nests
+        .iter()
+        .enumerate()
+        .flat_map(|(ni, nest)| {
+            nest.refs
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.l2_lines.tag == Exactness::Exact)
+                .map(move |(ri, _)| (ni, ri))
+        })
+        .collect();
+    if !exact_sites.is_empty() {
+        let (ni, ri) = exact_sites[rng.below(exact_sites.len() as u64) as usize];
+        let f = &mut report.nests[ni].refs[ri];
+        f.l2_lines.value += 1 + rng.below(7);
+        return true;
+    }
+    // No exact facts (every ref defeated the prover): understate a
+    // bound instead — domination then fails on any touched line.
+    let bound_sites: Vec<(usize, usize)> = report
+        .nests
+        .iter()
+        .enumerate()
+        .flat_map(|(ni, nest)| {
+            nest.refs
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.l2_lines.value > 0)
+                .map(move |(ri, _)| (ni, ri))
+        })
+        .collect();
+    if bound_sites.is_empty() {
+        return false;
+    }
+    let (ni, ri) = bound_sites[rng.below(bound_sites.len() as u64) as usize];
+    report.nests[ni].refs[ri].l2_lines.value = 0;
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prog() -> ndc_ir::Program {
+        // mgrid: dense unit-stride refs, every count proves exact.
+        ndc_workloads::by_name("mgrid")
+            .unwrap()
+            .build(ndc_workloads::Scale::Test)
+    }
+
+    #[test]
+    fn suite_workloads_cross_check_clean() {
+        let sum = cross_check_workload(&prog(), 64, 256);
+        assert!(sum.ok(), "violations: {:?}", sum.violations);
+        assert!(sum.exact_refs > 0, "mgrid kernels should prove exact");
+        // A strided workload whose line counts only bound: the
+        // domination side of the contract must hold too.
+        let swim = ndc_workloads::by_name("swim")
+            .unwrap()
+            .build(ndc_workloads::Scale::Test);
+        let sum = cross_check_workload(&swim, 64, 256);
+        assert!(sum.ok(), "violations: {:?}", sum.violations);
+        assert!(sum.bound_refs > 0, "strided refs should carry bounds");
+    }
+
+    #[test]
+    fn injected_corruption_trips_the_cross_check() {
+        let p = prog();
+        let mut report = ndc_reuse::analyze_program(&p, 64, 256);
+        assert!(inject_reuse(&mut report, 0xC0FFEE));
+        let sum = cross_check_program(&p, &report, 64, 256);
+        assert!(!sum.ok(), "corrupted reuse vector must be caught");
+        assert!(sum.violations.iter().any(|v| v.contains("l2-lines")));
+    }
+
+    #[test]
+    fn injection_is_seed_deterministic() {
+        let p = prog();
+        let mut a = ndc_reuse::analyze_program(&p, 64, 256);
+        let mut b = ndc_reuse::analyze_program(&p, 64, 256);
+        assert!(inject_reuse(&mut a, 42));
+        assert!(inject_reuse(&mut b, 42));
+        for (na, nb) in a.nests.iter().zip(&b.nests) {
+            for (fa, fb) in na.refs.iter().zip(&nb.refs) {
+                assert_eq!(fa.l2_lines, fb.l2_lines);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_report_has_no_injection_site() {
+        let mut empty = ReuseReport { nests: Vec::new() };
+        assert!(!inject_reuse(&mut empty, 1));
+    }
+}

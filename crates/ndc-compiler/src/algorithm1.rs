@@ -287,6 +287,7 @@ fn plan_nest(
                     fused_predicted_cycles: None,
                     fused_predicted_bytes: None,
                     fused_unfused_bytes: None,
+                    reuse: None,
                 });
                 continue;
             }
@@ -359,11 +360,13 @@ fn plan_chain(
         fused_predicted_cycles: None,
         fused_predicted_bytes: None,
         fused_unfused_bytes: None,
+        reuse: None,
     };
     let Some(v) = assess(prog, nest_pos, nest, stmt_pos, stmt, cfg, cme, cores) else {
         return (None, prov);
     };
     prov.same_l1_line = v.same_l1_line;
+    prov.reuse = v.reuse.clone();
     // Algorithm 1 offloads when *either* operand is expected to miss
     // L1 ("performs near data computing whenever opportunity arises",
     // §5.4) — even if the other operand's line would have been served
@@ -424,6 +427,14 @@ fn plan_chain(
         target,
     };
     (Some(plan), prov)
+}
+
+/// The fusion adoption predicate: the packet's single gather of the
+/// union footprint must move *strictly* fewer predicted byte·hops
+/// than the members would unfused. Exact integer compare — ties
+/// decline (no epsilon; a packet that saves nothing is pure risk).
+fn fusion_moves_fewer_bytes(fused_bytes: u64, unfused_bytes: u64) -> bool {
+    fused_bytes < unfused_bytes
 }
 
 /// Attach a fusion note to the provenance record at a statement
@@ -560,7 +571,7 @@ fn fuse_nest_chains(
         // (per-operand requests, fills, and full-line returns to the
         // core) is lower-bounded by its near-L2 offload bytes — the
         // conservative charge.
-        let unfused_bytes: f64 = members
+        let unfused_bytes: u64 = members
             .iter()
             .zip(&member_vs)
             .map(|(&pos, mv)| {
@@ -570,8 +581,8 @@ fn fuse_nest_chains(
                     None => mv.est_bytes[NdcLocation::CacheController.index()],
                 }
             })
-            .sum();
-        if fv.est_bytes[target.index()] + 1e-9 >= unfused_bytes {
+            .fold(0u64, u64::saturating_add);
+        if !fusion_moves_fewer_bytes(fv.est_bytes[target.index()], unfused_bytes) {
             note_fusion(counts, head_pos, fuse_note::NO_BYTES_BENEFIT);
             continue;
         }
@@ -686,6 +697,7 @@ fn evaluate_candidates(
             location: loc,
             colocation,
             predicted_cycles: v.est_offload[loc.index()],
+            predicted_cycles_legacy: v.est_offload_legacy[loc.index()],
             predicted_bytes_moved: v.est_bytes[loc.index()],
             reason: why,
         });
@@ -921,7 +933,8 @@ mod tests {
         };
         assert_eq!(sel.location, NdcLocation::CacheController);
         assert!(sel.predicted_cycles > 1.0);
-        assert!(sel.predicted_bytes_moved >= 0.0);
+        assert!(sel.predicted_cycles_legacy > 1.0);
+        assert!(sel.predicted_bytes_moved > 0);
         // Later viable locations are shadowed, not silently dropped.
         for c in &prov.candidates[1..] {
             assert_ne!(c.reason, reason::SELECTED);
@@ -1215,7 +1228,7 @@ mod tests {
             assert_eq!(pr.chain_group, fused[0].chain_group);
             assert_eq!(pr.final_target, Some(sched.fused[0].target));
             assert_eq!(pr.fuse_note, Some(fuse_note::FUSED));
-            assert!(pr.fused_predicted_bytes.unwrap() > 0.0);
+            assert!(pr.fused_predicted_bytes.unwrap() > 0);
             assert!(pr.fused_predicted_cycles.unwrap() > 1.0);
         }
         // The union footprint predicts strictly fewer bytes than the
@@ -1223,7 +1236,7 @@ mod tests {
         let cme = cme_analyze(&p, &cfg(), 25);
         let fv = assess_fused(&p, 0, &p.nests[0], &[0, 1], &cfg(), &cme, 25).unwrap();
         let t = sched.fused[0].target.index();
-        let solo: f64 = (0..2)
+        let solo: u64 = (0..2)
             .map(|pos| {
                 assess(
                     &p,
@@ -1244,6 +1257,20 @@ mod tests {
             "union {} vs solo {solo}",
             fv.est_bytes[t]
         );
+    }
+
+    #[test]
+    fn fusion_adoption_declines_on_exact_tie() {
+        // The adoption predicate is an exact integer compare: a packet
+        // predicted to move the *same* bytes as its unfused members is
+        // declined. The retired f64 formulation (`fused + 1e-9 >=
+        // unfused`) happened to get ties right but silently mis-judged
+        // sub-epsilon wins; with integers the semantics are exact.
+        assert!(!fusion_moves_fewer_bytes(1000, 1000), "tie must decline");
+        assert!(!fusion_moves_fewer_bytes(1001, 1000));
+        assert!(fusion_moves_fewer_bytes(999, 1000), "a 1-byte win counts");
+        assert!(!fusion_moves_fewer_bytes(0, 0), "degenerate tie declines");
+        assert!(fusion_moves_fewer_bytes(u64::MAX - 1, u64::MAX));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! measured span traces.
 
 use ndc_lint::LegalityCertificate;
+use ndc_reuse::ChainReuse;
 use ndc_types::NdcLocation;
 
 /// Why a candidate NDC location was (or was not) chosen for a chain.
@@ -77,10 +78,15 @@ pub struct CandidateRecord {
     pub location: NdcLocation,
     /// Fraction of sampled iterations whose operands co-locate here.
     pub colocation: f64,
-    /// Predicted issue→result-at-core cycles if offloaded here.
+    /// Predicted issue→result-at-core cycles if offloaded here (DRAM
+    /// path weighted by the reuse-derived compulsory miss fraction).
     pub predicted_cycles: f64,
-    /// Predicted NoC bytes moved per offloaded computation.
-    pub predicted_bytes_moved: f64,
+    /// Same prediction under the retired CME-probability heuristic —
+    /// the baseline `ndc-eval explain` scores the new model against.
+    pub predicted_cycles_legacy: f64,
+    /// Predicted whole-nest NoC traffic (byte·hops) if offloaded
+    /// here — an integer total from the static reuse analysis.
+    pub predicted_bytes_moved: u64,
     /// One of the [`reason`] strings.
     pub reason: &'static str,
 }
@@ -124,17 +130,24 @@ pub struct ChainProvenance {
     /// One of the [`fuse_note`] strings when the fusion pass examined
     /// a chain rooted or absorbed here.
     pub fuse_note: Option<&'static str>,
-    /// Predicted whole-packet offload cycles / union-footprint bytes
-    /// for fused members (recorded identically on every member so
-    /// `ndc-eval explain` can reconcile without re-deriving groups).
+    /// Predicted whole-packet offload cycles / union-footprint
+    /// byte·hops for fused members (recorded identically on every
+    /// member so `ndc-eval explain` can reconcile without re-deriving
+    /// groups).
     pub fused_predicted_cycles: Option<f64>,
-    pub fused_predicted_bytes: Option<f64>,
+    pub fused_predicted_bytes: Option<u64>,
     /// What the adoption check estimated the same members would move
     /// unfused: planned members at their own adopted targets,
     /// conventional tails at their near-L2 lower bound. Recorded
     /// identically on every member; `fused_predicted_bytes` beat this
-    /// number or the packet would not exist.
-    pub fused_unfused_bytes: Option<f64>,
+    /// number (exact integer compare, no epsilon) or the packet would
+    /// not exist.
+    pub fused_unfused_bytes: Option<u64>,
+    /// The static reuse facts behind this chain's predictions:
+    /// per-operand line counts with `Exact`/`Bound` tags, shared-line
+    /// iterations, union footprint, hottest projected NoC link.
+    /// `None` when assessment never ran or the refs defeated analysis.
+    pub reuse: Option<ChainReuse>,
 }
 
 impl ChainProvenance {
@@ -199,7 +212,8 @@ mod tests {
             location,
             colocation: 0.75,
             predicted_cycles: 120.0,
-            predicted_bytes_moved: 96.0,
+            predicted_cycles_legacy: 130.0,
+            predicted_bytes_moved: 96,
             reason,
         };
         let prov = ChainProvenance {
@@ -222,6 +236,7 @@ mod tests {
             fused_predicted_cycles: None,
             fused_predicted_bytes: None,
             fused_unfused_bytes: None,
+            reuse: None,
         };
         assert_eq!(prov.selected().unwrap().location, NdcLocation::LinkBuffer);
         let none = ChainProvenance {

@@ -71,7 +71,11 @@ pub fn prove_program(prog: &Program) -> Vec<RefBounds> {
     out
 }
 
-fn prove_ref(
+/// Prove bounds for a single reference. Public so `ndc-reuse` can
+/// gate its `Exact` tags on the same interval-arithmetic proof the
+/// linter uses (an out-of-bounds reference performs only a subset of
+/// its affine accesses, so its footprint counts degrade to `Bound`).
+pub fn prove_ref(
     prog: &Program,
     nest: &LoopNest,
     stmt: StmtId,

@@ -35,7 +35,7 @@ pub mod race;
 pub mod refine;
 pub mod verify;
 
-pub use bounds::{prove_program, RefBounds};
+pub use bounds::{prove_program, prove_ref, RefBounds};
 pub use certificate::{
     certify, certify_with, verify_certificate, CertificateError, EdgeWitness, LegalityCertificate,
 };
@@ -44,7 +44,7 @@ pub use fusion::{
     LinkWitness,
 };
 pub use race::{nest_races, program_races, Race};
-pub use refine::{refine, refined_graph, RefineStats};
+pub use refine::{gcd, refine, refined_graph, RefineStats};
 pub use verify::{verify_program, verify_schedule};
 
 use ndc_ir::program::{ArrayId, NestId, Program, StmtId};

@@ -153,9 +153,11 @@ fn slot_ref(nest: &LoopNest, stmt: ndc_ir::program::StmtId, slot: u8) -> Option<
     refs.get(slot as usize).map(|&(r, _)| r)
 }
 
-fn gcd(a: i128, b: i128) -> i128 {
+/// Greatest common divisor (non-negative result), shared by the GCD
+/// refutation test here and `ndc-reuse`'s distinct-element counting.
+pub fn gcd(a: i128, b: i128) -> i128 {
     if b == 0 {
-        a
+        a.abs()
     } else {
         gcd(b, a % b)
     }

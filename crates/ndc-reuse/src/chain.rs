@@ -1,0 +1,246 @@
+//! Pair analysis for use-use chains: when do the two operands of a
+//! chain land in the same cache line, and what does the chain's
+//! gather traffic look like as static line counts — the quantities the
+//! compiler's cost model consumes in place of sampled heuristics.
+
+use crate::form::AddressForm;
+use crate::report::RefFacts;
+
+/// True when two forms denote the *same address stream* — identical
+/// per-loop coefficients and identical minimal address (base folded
+/// in), so one gather serves both.
+pub fn identical_stream(a: &AddressForm, b: &AddressForm) -> bool {
+    a.raw_coeffs == b.raw_coeffs && a.min_addr == b.min_addr && a.elem_bytes == b.elem_bytes
+}
+
+/// How many of the nest's iterations find both operands in the same
+/// `line_bytes` cache line. Exact for translated single-progression
+/// pairs (the dominant suite shape); a truncating rational estimate
+/// (`(L - δ)/L` of the iterations) for coupled multi-term pairs —
+/// this feeds the cost model, not the soundness cross-check.
+pub fn shared_line_iters(a: &AddressForm, b: &AddressForm, line_bytes: u64) -> u64 {
+    if a.is_empty() || a.elem_bytes != b.elem_bytes || a.raw_coeffs != b.raw_coeffs {
+        return 0;
+    }
+    let delta = b.min_addr - a.min_addr;
+    if delta == 0 {
+        return a.points;
+    }
+    let (lo, d) = if delta > 0 {
+        (a, delta as u128)
+    } else {
+        (b, (-delta) as u128)
+    };
+    let line = line_bytes as u128;
+    if d >= line {
+        return 0;
+    }
+    let eb = lo.elem_bytes as u128;
+    let aligned = line.is_multiple_of(eb)
+        && d.is_multiple_of(eb)
+        && lo.min_addr >= 0
+        && lo.min_addr % eb as i128 == 0;
+    if aligned && lo.terms.len() <= 1 {
+        // Exact: count residues of the single progression (or the
+        // fixed residue of an invariant stream) that leave room for
+        // the +δ twin in the same line.
+        let c = (line / eb) as u64;
+        let de = (d / eb) as u64;
+        let off = ((lo.min_addr % line as i128) / eb as i128) as u64;
+        let room = c - de; // shared iff (off + s·k) mod c < room
+        match lo.terms.first() {
+            None => {
+                if off < room {
+                    lo.points
+                } else {
+                    0
+                }
+            }
+            Some(t) => {
+                let s = t.coeff % c;
+                let e = t.extent;
+                // Residues cycle with period c/gcd(c, s); one period is
+                // at most c (<= 32 elements per line) steps long.
+                let g = ndc_lint::gcd(c as i128, s as i128).max(1) as u64;
+                let period = (c / g).max(1);
+                let mut hits_period = 0u64;
+                let mut hits_partial = 0u64;
+                let partial = e % period;
+                for k in 0..period.min(e) {
+                    let r = (off + s.wrapping_mul(k)) % c;
+                    if r < room {
+                        hits_period += 1;
+                        if k < partial {
+                            hits_partial += 1;
+                        }
+                    }
+                }
+                let per_k = lo.points / e.max(1); // dropped dims multiply
+                ((e / period) * hits_period + hits_partial).saturating_mul(per_k)
+            }
+        }
+    } else {
+        (((line - d) * a.points as u128) / line) as u64
+    }
+}
+
+/// Distinct cache lines in the union of two operand footprints — the
+/// gather volume when one packet fetches both. This feeds the cost
+/// model (never the soundness cross-check), so it is exact for
+/// identical and near-translated streams and conservative (never
+/// undercounting) everywhere else.
+pub fn union_lines(
+    a: &AddressForm,
+    b: &AddressForm,
+    lines_a: u64,
+    lines_b: u64,
+    line_bytes: u64,
+) -> u64 {
+    if identical_stream(a, b) {
+        return lines_a.max(lines_b);
+    }
+    if a.raw_coeffs == b.raw_coeffs && a.elem_bytes == b.elem_bytes {
+        let delta = (b.min_addr - a.min_addr).unsigned_abs();
+        if delta < line_bytes as u128 {
+            // Translated by less than one line: the two line sets
+            // coincide except for at most one boundary line.
+            return lines_a
+                .max(lines_b)
+                .saturating_add(1)
+                .min(lines_a.saturating_add(lines_b));
+        }
+    }
+    lines_a.saturating_add(lines_b)
+}
+
+/// Static reuse facts for one use-use chain, threaded into
+/// `ChainProvenance` so `ndc-eval explain` can attribute a predicted
+/// cost to the analysis that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainReuse {
+    pub a: RefFacts,
+    pub b: RefFacts,
+    /// Iterations whose two operands share an L2 line (one gather
+    /// serves both).
+    pub shared_l2_iters: u64,
+    /// Distinct L2 lines the chain gathers (union of both operands;
+    /// identical streams counted once).
+    pub union_l2_lines: u64,
+    /// Hottest directed NoC link of the projected gather traffic, and
+    /// the bytes it carries over the whole nest.
+    pub max_link: Option<(u16, u16)>,
+    pub max_link_bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndc_ir::program::{ArrayDecl, ArrayRef, LoopNest, Program};
+    use ndc_types::FxHashSet;
+
+    fn forms_for(n: u64, off_a: i64, off_b: i64) -> (Program, LoopNest, AddressForm, AddressForm) {
+        let mut p = Program::new("pair");
+        let x = p.add_array(ArrayDecl::new("X", vec![16384], 8));
+        p.assign_layout(0x1000, 4096);
+        let nest = LoopNest::new(0, vec![0], vec![n as i64], vec![]);
+        let ra = ArrayRef::identity(x, 1, vec![off_a]);
+        let rb = ArrayRef::identity(x, 1, vec![off_b]);
+        let fa = AddressForm::build(&p, &nest, &ra).unwrap();
+        let fb = AddressForm::build(&p, &nest, &rb).unwrap();
+        (p, nest, fa, fb)
+    }
+
+    #[test]
+    fn identical_streams_share_every_iteration() {
+        let (_, _, fa, fb) = forms_for(1000, 3, 3);
+        assert!(identical_stream(&fa, &fb));
+        assert_eq!(shared_line_iters(&fa, &fb, 256), 1000);
+    }
+
+    #[test]
+    fn translated_pair_matches_enumeration() {
+        // X[i] and X[i+k] for several line-relative offsets: the exact
+        // single-term path must agree with brute force.
+        for k in [1i64, 7, 16, 31, 32, 33, 100] {
+            let (p, nest, fa, fb) = forms_for(813, 0, k);
+            let x = p.arrays[0].base;
+            let mut brute = 0u64;
+            for i in 0..813u64 {
+                let a = x + 8 * i;
+                let b = x + 8 * (i + k as u64);
+                if a / 256 == b / 256 {
+                    brute += 1;
+                }
+            }
+            assert_eq!(
+                shared_line_iters(&fa, &fb, 256),
+                brute,
+                "offset {k} disagrees with enumeration"
+            );
+            let _ = nest;
+        }
+    }
+
+    #[test]
+    fn far_apart_operands_never_share() {
+        let (_, _, fa, fb) = forms_for(500, 0, 64);
+        // 64 elements * 8 B = 512 B >= the 256 B line.
+        assert_eq!(shared_line_iters(&fa, &fb, 256), 0);
+    }
+
+    #[test]
+    fn different_strides_are_conservatively_disjoint() {
+        let mut p = Program::new("d");
+        let x = p.add_array(ArrayDecl::new("X", vec![4096], 8));
+        p.assign_layout(0x1000, 4096);
+        let nest = LoopNest::new(0, vec![0], vec![100], vec![]);
+        use ndc_ir::matrix::IMat;
+        let ra = ArrayRef::identity(x, 1, vec![0]);
+        let rb = ArrayRef::affine(x, IMat::from_rows(&[&[2]]), vec![0]);
+        let fa = AddressForm::build(&p, &nest, &ra).unwrap();
+        let fb = AddressForm::build(&p, &nest, &rb).unwrap();
+        assert_eq!(shared_line_iters(&fa, &fb, 256), 0);
+        assert!(!identical_stream(&fa, &fb));
+    }
+
+    #[test]
+    fn union_lines_dedups_identical_and_translated_streams() {
+        let (_, _, fa, fb) = forms_for(1000, 3, 3);
+        assert_eq!(union_lines(&fa, &fb, 32, 32, 256), 32);
+        // Translated by 8 elements (64 B < 256 B line): one extra
+        // boundary line at most.
+        let (_, _, fc, fd) = forms_for(1000, 0, 8);
+        assert_eq!(union_lines(&fc, &fd, 32, 32, 256), 33);
+        // Far apart: no dedup.
+        let (_, _, fe, ff) = forms_for(1000, 0, 4096);
+        assert_eq!(union_lines(&fe, &ff, 32, 32, 256), 64);
+    }
+
+    #[test]
+    fn dropped_outer_dim_multiplies_iterations() {
+        // X[j] and X[j+1] inside an (i, j) nest: the i loop replays
+        // the same j-stream 10 times.
+        let mut p = Program::new("outer");
+        let x = p.add_array(ArrayDecl::new("X", vec![256], 8));
+        p.assign_layout(0x1000, 4096);
+        let nest = LoopNest::new(0, vec![0, 0], vec![10, 64], vec![]);
+        use ndc_ir::matrix::IMat;
+        let ra = ArrayRef::affine(x, IMat::from_rows(&[&[0, 1]]), vec![0]);
+        let rb = ArrayRef::affine(x, IMat::from_rows(&[&[0, 1]]), vec![1]);
+        let fa = AddressForm::build(&p, &nest, &ra).unwrap();
+        let fb = AddressForm::build(&p, &nest, &rb).unwrap();
+        let mut brute = 0u64;
+        let base = p.arrays[0].base;
+        let mut seen = FxHashSet::default();
+        for j in 0..64u64 {
+            let a = base + 8 * j;
+            let b = base + 8 * (j + 1);
+            if a / 256 == b / 256 {
+                brute += 1;
+            }
+            seen.insert(j);
+        }
+        assert_eq!(shared_line_iters(&fa, &fb, 256), brute * 10);
+        assert_eq!(seen.len(), 64);
+    }
+}

@@ -1,0 +1,157 @@
+//! Temporal/spatial reuse classification from the composite address
+//! form's symbolic reuse vector (the per-loop coefficients `A_j`).
+//!
+//! The innermost coefficient is the element stride between consecutive
+//! iterations: zero means the innermost loop revisits the same element
+//! (self-temporal reuse at distance 1), a stride smaller than the L1
+//! line means consecutive iterations stay in-line (self-spatial reuse).
+//! A coupled subscript whose distinct-value count falls below the
+//! iteration count revisits elements across outer dimensions — group
+//! temporal reuse the pigeonhole argument proves without solving the
+//! reuse equation.
+
+use crate::form::AddressForm;
+
+/// A reference's dominant reuse class over its nest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReuseClass {
+    /// Every iteration touches the same element (all coefficients
+    /// zero): perfect temporal reuse, e.g. a reduction accumulator.
+    LoopInvariant,
+    /// The innermost loop leaves the element fixed (innermost
+    /// coefficient zero): self-temporal reuse carried by the innermost
+    /// loop, e.g. `A[i][k]` inside a `(i, j)` nest.
+    TemporalInnermost,
+    /// Coupled subscripts revisit elements across iterations (distinct
+    /// elements < iterations) without innermost invariance, e.g.
+    /// `X[i+j]`.
+    TemporalCoupled,
+    /// Consecutive innermost iterations fall in the same L1 line.
+    Spatial { stride_bytes: u64 },
+    /// The innermost stride jumps past the L1 line: no short-distance
+    /// reuse.
+    NoReuse { stride_bytes: u64 },
+}
+
+impl ReuseClass {
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReuseClass::LoopInvariant => "invariant",
+            ReuseClass::TemporalInnermost => "temporal-inner",
+            ReuseClass::TemporalCoupled => "temporal-coupled",
+            ReuseClass::Spatial { .. } => "spatial",
+            ReuseClass::NoReuse { .. } => "none",
+        }
+    }
+}
+
+/// Classify a reference from its canonical address form.
+pub fn classify(form: &AddressForm, l1_line_bytes: u64) -> ReuseClass {
+    if form.raw_coeffs.iter().all(|&a| a == 0) {
+        return ReuseClass::LoopInvariant;
+    }
+    let innermost = form.raw_coeffs.last().copied().unwrap_or(0);
+    if innermost == 0 {
+        return ReuseClass::TemporalInnermost;
+    }
+    // Pigeonhole: an over-approximate distinct count below the
+    // iteration count still proves revisits.
+    let elems = form.distinct_elements();
+    if !form.is_empty() && elems.value < form.points {
+        return ReuseClass::TemporalCoupled;
+    }
+    let stride_bytes = innermost.unsigned_abs().saturating_mul(form.elem_bytes);
+    if stride_bytes < l1_line_bytes {
+        ReuseClass::Spatial { stride_bytes }
+    } else {
+        ReuseClass::NoReuse { stride_bytes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndc_ir::matrix::IMat;
+    use ndc_ir::program::{ArrayDecl, ArrayRef, LoopNest, Program};
+
+    fn classify_ref(
+        dims: Vec<u64>,
+        lo: Vec<i64>,
+        hi: Vec<i64>,
+        rows: &[&[i64]],
+        offs: Vec<i64>,
+    ) -> ReuseClass {
+        let mut p = Program::new("c");
+        let x = p.add_array(ArrayDecl::new("X", dims, 8));
+        p.assign_layout(0x1000, 4096);
+        let nest = LoopNest::new(0, lo, hi, vec![]);
+        let r = ArrayRef::affine(x, IMat::from_rows(rows), offs);
+        let form = AddressForm::build(&p, &nest, &r).unwrap();
+        classify(&form, 64)
+    }
+
+    #[test]
+    fn stencil_row_walk_is_spatial() {
+        // X[i-1][j+1] over (i, j): innermost stride one element.
+        let c = classify_ref(
+            vec![64, 64],
+            vec![1, 0],
+            vec![32, 32],
+            &[&[1, 0], &[0, 1]],
+            vec![-1, 1],
+        );
+        assert_eq!(c, ReuseClass::Spatial { stride_bytes: 8 });
+    }
+
+    #[test]
+    fn dense_la_row_operand_is_temporal_innermost() {
+        // A[i][k] inside an (i, j) nest (k fixed by the outer loop in
+        // the 2-D slice): the j loop leaves the element unchanged.
+        let c = classify_ref(
+            vec![64, 64],
+            vec![0, 0],
+            vec![32, 32],
+            &[&[1, 0], &[0, 0]],
+            vec![0, 5],
+        );
+        assert_eq!(c, ReuseClass::TemporalInnermost);
+    }
+
+    #[test]
+    fn reduction_accumulator_is_loop_invariant() {
+        let c = classify_ref(vec![8], vec![0], vec![256], &[&[0]], vec![0]);
+        assert_eq!(c, ReuseClass::LoopInvariant);
+    }
+
+    #[test]
+    fn coupled_diagonal_sum_is_temporal_coupled() {
+        // X[i+j] over 16x16: 256 iterations, 31 elements.
+        let c = classify_ref(vec![64], vec![0, 0], vec![16, 16], &[&[1, 1]], vec![0]);
+        assert_eq!(c, ReuseClass::TemporalCoupled);
+    }
+
+    #[test]
+    fn column_walk_has_no_short_reuse() {
+        // X[j][i] over (i, j): innermost stride is a whole row (64
+        // elements = 512 bytes > the 64-byte L1 line).
+        let c = classify_ref(
+            vec![64, 64],
+            vec![0, 0],
+            vec![32, 32],
+            &[&[0, 1], &[1, 0]],
+            vec![0, 0],
+        );
+        assert_eq!(
+            c,
+            ReuseClass::NoReuse {
+                stride_bytes: 64 * 8
+            }
+        );
+    }
+
+    #[test]
+    fn negative_unit_stride_is_spatial() {
+        let c = classify_ref(vec![512], vec![0], vec![256], &[&[-1]], vec![255]);
+        assert_eq!(c, ReuseClass::Spatial { stride_bytes: 8 });
+    }
+}

@@ -1,0 +1,134 @@
+//! Per-link NoC hop-load projection: given byte flows between mesh
+//! nodes, accumulate the bytes each directed link carries under
+//! deterministic XY routing — the static picture of where a placement
+//! concentrates traffic, attributed in `ndc-eval explain` and used by
+//! the cost model's hottest-link summary.
+
+use ndc_types::{Coord, FxHashMap, NodeId};
+
+/// Accumulated per-directed-link byte load on a `width`-column mesh.
+#[derive(Debug, Clone)]
+pub struct HopLoad {
+    width: u16,
+    loads: FxHashMap<(u16, u16), u64>,
+}
+
+impl HopLoad {
+    pub fn new(width: u16) -> Self {
+        HopLoad {
+            width: width.max(1),
+            loads: FxHashMap::default(),
+        }
+    }
+
+    /// Charge `bytes` to every link of the XY route `from → to`
+    /// (x-dimension first, then y — the simulator's routing).
+    pub fn add_flow(&mut self, from: NodeId, to: NodeId, bytes: u64) {
+        if bytes == 0 || from == to {
+            return;
+        }
+        let w = self.width;
+        let mut cur = from.coord(w);
+        let dst = to.coord(w);
+        while cur.x != dst.x {
+            let nx = if dst.x > cur.x { cur.x + 1 } else { cur.x - 1 };
+            let next = Coord::new(nx, cur.y);
+            self.charge(cur, next, bytes);
+            cur = next;
+        }
+        while cur.y != dst.y {
+            let ny = if dst.y > cur.y { cur.y + 1 } else { cur.y - 1 };
+            let next = Coord::new(cur.x, ny);
+            self.charge(cur, next, bytes);
+            cur = next;
+        }
+    }
+
+    fn charge(&mut self, a: Coord, b: Coord, bytes: u64) {
+        let key = (
+            NodeId::from_coord(a, self.width).0,
+            NodeId::from_coord(b, self.width).0,
+        );
+        *self.loads.entry(key).or_insert(0) += bytes;
+    }
+
+    /// Total byte·hops across all links.
+    pub fn total_byte_hops(&self) -> u64 {
+        self.loads.values().fold(0u64, |a, &b| a.saturating_add(b))
+    }
+
+    /// The hottest directed link and its load; ties break toward the
+    /// smallest `(from, to)` pair so the answer is deterministic.
+    pub fn max_link(&self) -> Option<((u16, u16), u64)> {
+        self.loads
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+    }
+
+    /// Links carrying traffic, sorted by `(from, to)` for stable
+    /// rendering.
+    pub fn links(&self) -> Vec<((u16, u16), u64)> {
+        let mut v: Vec<_> = self.loads.iter().map(|(&k, &v)| (k, v)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Scale every load by `num / den` (integer, truncating) — used to
+    /// extrapolate sampled flows to the whole iteration space.
+    pub fn scale(&mut self, num: u64, den: u64) {
+        let den = den.max(1);
+        for v in self.loads.values_mut() {
+            *v = ((*v as u128 * num as u128) / den as u128).min(u64::MAX as u128) as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xy_route_charges_each_link_once() {
+        let mut h = HopLoad::new(4);
+        // (0,0) -> (2,1): x,x then y = 3 links.
+        h.add_flow(NodeId(0), NodeId(6), 10);
+        assert_eq!(h.links().len(), 3);
+        assert_eq!(h.total_byte_hops(), 30);
+        let links = h.links();
+        // First hop is (0,0)->(1,0), i.e. node 0 -> node 1.
+        assert!(links.contains(&((0, 1), 10)));
+        assert!(links.contains(&((1, 2), 10)));
+        // Then south: node 2 -> node 6.
+        assert!(links.contains(&((2, 6), 10)));
+    }
+
+    #[test]
+    fn flows_accumulate_and_max_is_deterministic() {
+        let mut h = HopLoad::new(4);
+        h.add_flow(NodeId(0), NodeId(3), 5); // 0->1->2->3
+        h.add_flow(NodeId(1), NodeId(3), 5); // 1->2->3
+        assert_eq!(h.max_link(), Some(((1, 2), 10)));
+        // (2,3) also carries 10; the smaller key wins the tie.
+        let m = h.max_link().unwrap();
+        assert_eq!(m.1, 10);
+        assert_eq!(m.0, (1, 2));
+    }
+
+    #[test]
+    fn self_flow_and_zero_bytes_charge_nothing() {
+        let mut h = HopLoad::new(4);
+        h.add_flow(NodeId(5), NodeId(5), 100);
+        h.add_flow(NodeId(0), NodeId(1), 0);
+        assert_eq!(h.total_byte_hops(), 0);
+        assert!(h.max_link().is_none());
+    }
+
+    #[test]
+    fn scale_extrapolates_sampled_flows() {
+        let mut h = HopLoad::new(4);
+        h.add_flow(NodeId(0), NodeId(1), 16);
+        h.scale(1000, 24);
+        assert_eq!(h.total_byte_hops(), 16 * 1000 / 24);
+    }
+}

@@ -26,15 +26,16 @@ EVAL=target/release/ndc-eval
 # each regenerated file is gated against its committed counterpart
 # (simulated counters exact, wall clock within 10x). Rebase with
 # NDC_BENCH_REBASE=1 after an intentional behaviour change.
-base_scale=$(mktemp) && base_fusion=$(mktemp) && base_fig4=$(mktemp)
+base_scale=$(mktemp) && base_fusion=$(mktemp) && base_fig4=$(mktemp) && base_macc=$(mktemp)
 cp BENCH_scale.json "$base_scale"
 cp BENCH_fusion.json "$base_fusion"
 cp BENCH_fig4_schemes.json "$base_fig4"
+cp BENCH_model_accuracy.json "$base_macc"
 
 echo "== determinism: NDC_THREADS=1 vs NDC_THREADS=8 =="
 tmp1=$(mktemp) && tmp8=$(mktemp)
 met1=$(mktemp) && met8=$(mktemp)
-trap 'rm -f "$base_scale" "$base_fusion" "$base_fig4" "$tmp1" "$tmp8" "$met1" "$met8"' EXIT
+trap 'rm -f "$base_scale" "$base_fusion" "$base_fig4" "$base_macc" "$tmp1" "$tmp8" "$met1" "$met8"' EXIT
 NDC_THREADS=1 "$EVAL" fig4 --scale test --metrics "$met1" > "$tmp1"
 NDC_THREADS=8 "$EVAL" fig4 --scale test --metrics "$met8" > "$tmp8"
 if ! diff -q "$tmp1" "$tmp8" > /dev/null; then
@@ -52,7 +53,7 @@ echo "ok: --metrics output byte-identical across thread counts"
 
 echo "== determinism: fig13 NDC_THREADS=1 vs NDC_THREADS=8 =="
 f13a=$(mktemp) && f13b=$(mktemp)
-trap 'rm -f "$base_scale" "$base_fusion" "$base_fig4" "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b"' EXIT
+trap 'rm -f "$base_scale" "$base_fusion" "$base_fig4" "$base_macc" "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b"' EXIT
 NDC_THREADS=1 "$EVAL" fig13 --scale test > "$f13a"
 NDC_THREADS=8 "$EVAL" fig13 --scale test > "$f13b"
 if ! diff -q "$f13a" "$f13b" > /dev/null; then
@@ -64,7 +65,7 @@ echo "ok: fig13 output bit-identical across thread counts"
 
 echo "== determinism: explain NDC_THREADS=1 vs NDC_THREADS=8 =="
 ex1=$(mktemp) && ex8=$(mktemp)
-trap 'rm -f "$base_scale" "$base_fusion" "$base_fig4" "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b" "$ex1" "$ex8"' EXIT
+trap 'rm -f "$base_scale" "$base_fusion" "$base_fig4" "$base_macc" "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b" "$ex1" "$ex8"' EXIT
 NDC_THREADS=1 "$EVAL" explain --scale test --bench kdtree > "$ex1"
 NDC_THREADS=8 "$EVAL" explain --scale test --bench kdtree > "$ex8"
 if ! diff -q "$ex1" "$ex8" > /dev/null; then
@@ -74,6 +75,31 @@ if ! diff -q "$ex1" "$ex8" > /dev/null; then
 fi
 echo "ok: explain spans/provenance bit-identical across thread counts"
 
+echo "== model accuracy: reuse-based cost model vs legacy heuristic =="
+# The full explain sweep (every workload x every NDC location) emits
+# BENCH_model_accuracy.json with mean/max absolute relative error for
+# both the reuse-based model and the retired heuristic. The sweep's
+# --json document must be byte-identical across thread counts, the
+# artifact must attest the reuse model's mean error beats the legacy
+# one, and the regenerated file is gated against the committed
+# baseline like every other BENCH artifact.
+ma1=$(mktemp) && ma8=$(mktemp)
+trap 'rm -f "$base_scale" "$base_fusion" "$base_fig4" "$base_macc" "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b" "$ex1" "$ex8" "$ma1" "$ma8"' EXIT
+NDC_THREADS=1 "$EVAL" explain --scale test --json > "$ma1"
+NDC_THREADS=8 "$EVAL" explain --scale test --json > "$ma8"
+if ! cmp -s "$ma1" "$ma8"; then
+    echo "FAIL: explain --json sweep differs across thread counts" >&2
+    diff <(head -c 2000 "$ma1") <(head -c 2000 "$ma8") | head -20 >&2
+    exit 1
+fi
+echo "ok: explain --json sweep byte-identical across thread counts"
+test -s BENCH_model_accuracy.json || { echo "FAIL: BENCH_model_accuracy.json missing" >&2; exit 1; }
+grep -q '"model_beats_legacy":true' BENCH_model_accuracy.json \
+    || { echo "FAIL: reuse model does not beat the legacy heuristic" >&2; exit 1; }
+grep -q '"rows"' BENCH_model_accuracy.json \
+    || { echo "FAIL: BENCH_model_accuracy.json has no accuracy rows" >&2; exit 1; }
+"$EVAL" gate --baseline "$base_macc" --current BENCH_model_accuracy.json
+
 # The `check` stage below also runs the span-attribution invariant:
 # CheckLevel::full() samples request spans and asserts child spans +
 # queue/stall residue sum exactly to each root latency.
@@ -82,7 +108,7 @@ echo "== correctness layer: oracle + invariants + fault matrix =="
 
 echo "== static legality: lint verdicts, certificates, fault matrix =="
 ln1=$(mktemp) && ln8=$(mktemp)
-trap 'rm -f "$base_scale" "$base_fusion" "$base_fig4" "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b" "$ex1" "$ex8" "$ln1" "$ln8"' EXIT
+trap 'rm -f "$base_scale" "$base_fusion" "$base_fig4" "$base_macc" "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b" "$ex1" "$ex8" "$ma1" "$ma8" "$ln1" "$ln8"' EXIT
 NDC_THREADS=1 "$EVAL" lint --scale test > "$ln1"
 NDC_THREADS=8 "$EVAL" lint --scale test > "$ln8"
 if ! diff -q "$ln1" "$ln8" > /dev/null; then
@@ -99,7 +125,7 @@ echo "== mesh scale-up: lane engine determinism + BENCH_scale.json =="
 # counts; here we additionally pin the *printed study* (tables include
 # simulated cycles and instruction counts) across NDC_THREADS.
 sc1=$(mktemp) && sc8=$(mktemp)
-trap 'rm -f "$base_scale" "$base_fusion" "$base_fig4" "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b" "$ex1" "$ex8" "$ln1" "$ln8" "$sc1" "$sc8"' EXIT
+trap 'rm -f "$base_scale" "$base_fusion" "$base_fig4" "$base_macc" "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b" "$ex1" "$ex8" "$ma1" "$ma8" "$ln1" "$ln8" "$sc1" "$sc8"' EXIT
 NDC_BENCH_FAST=1 NDC_THREADS=1 "$EVAL" scale > "$sc1"
 NDC_BENCH_FAST=1 NDC_THREADS=8 "$EVAL" scale > "$sc8"
 if ! diff -q <(grep -v "host ms\|insts/sec\|speedup" "$sc1" | cut -c1-60) \
@@ -123,7 +149,7 @@ echo "== operator fusion: fused-vs-unfused report + BENCH_fusion.json =="
 # attest that fusion fired and that some workload reduced both bytes
 # and offload cycles.
 fu1=$(mktemp) && fu8=$(mktemp)
-trap 'rm -f "$base_scale" "$base_fusion" "$base_fig4" "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b" "$ex1" "$ex8" "$ln1" "$ln8" "$sc1" "$sc8" "$fu1" "$fu8"' EXIT
+trap 'rm -f "$base_scale" "$base_fusion" "$base_fig4" "$base_macc" "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b" "$ex1" "$ex8" "$ma1" "$ma8" "$ln1" "$ln8" "$sc1" "$sc8" "$fu1" "$fu8"' EXIT
 NDC_THREADS=1 "$EVAL" fuse --scale test > "$fu1"
 NDC_THREADS=8 "$EVAL" fuse --scale test > "$fu8"
 if ! diff -q "$fu1" "$fu8" > /dev/null; then
@@ -151,7 +177,7 @@ echo "== seeded fuzzing: full pipeline, deterministic across thread counts =="
 # across NDC_THREADS and assert the emitted corpus table attests a
 # clean run.
 fz1=$(mktemp) && fz8=$(mktemp)
-trap 'rm -f "$base_scale" "$base_fusion" "$base_fig4" "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b" "$ex1" "$ex8" "$ln1" "$ln8" "$sc1" "$sc8" "$fu1" "$fu8" "$fz1" "$fz8"' EXIT
+trap 'rm -f "$base_scale" "$base_fusion" "$base_fig4" "$base_macc" "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b" "$ex1" "$ex8" "$ma1" "$ma8" "$ln1" "$ln8" "$sc1" "$sc8" "$fu1" "$fu8" "$fz1" "$fz8"' EXIT
 NDC_THREADS=1 "$EVAL" fuzz --count 512 --seed 7 > "$fz1"
 NDC_THREADS=8 "$EVAL" fuzz --count 512 --seed 7 > "$fz8"
 if ! diff -q "$fz1" "$fz8" > /dev/null; then
@@ -169,7 +195,7 @@ grep -q '"classes"' BENCH_fuzz_corpus.json \
 
 echo "== profile: tenant attribution deterministic across thread counts =="
 pr1=$(mktemp) && pr8=$(mktemp)
-trap 'rm -f "$base_scale" "$base_fusion" "$base_fig4" "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b" "$ex1" "$ex8" "$ln1" "$ln8" "$sc1" "$sc8" "$fu1" "$fu8" "$fz1" "$fz8" "$pr1" "$pr8"' EXIT
+trap 'rm -f "$base_scale" "$base_fusion" "$base_fig4" "$base_macc" "$tmp1" "$tmp8" "$met1" "$met8" "$f13a" "$f13b" "$ex1" "$ex8" "$ma1" "$ma8" "$ln1" "$ln8" "$sc1" "$sc8" "$fu1" "$fu8" "$fz1" "$fz8" "$pr1" "$pr8"' EXIT
 NDC_THREADS=1 "$EVAL" profile --scale test --tenants 2 --json > "$pr1"
 NDC_THREADS=8 "$EVAL" profile --scale test --tenants 2 --json > "$pr8"
 if ! cmp -s "$pr1" "$pr8"; then

@@ -19,7 +19,8 @@ use ndc_cme::{
     accuracy_against_sim, offload_accuracy, AccuracyReport, OffloadAccuracyReport, RefKey,
 };
 use ndc_compiler::{
-    compile_algorithm1, compile_algorithm2, compile_coarse, Algorithm2Options, CompilerReport,
+    compile_algorithm1, compile_algorithm2, compile_coarse, Algorithm2Options, CandidateRecord,
+    CompilerReport,
 };
 use ndc_ir::{lower, LowerOptions, Program};
 use ndc_obs::ledger::AttributionLedger;
@@ -629,8 +630,13 @@ pub struct ExplainReport {
     pub compiler: CompilerReport,
     /// Sampled span traces (deterministic in the request id).
     pub spans: Vec<SpanTrace>,
-    /// Predicted-vs-measured offload cycles per NDC location.
+    /// Predicted-vs-measured offload cycles per NDC location, under
+    /// the reuse-derived static cost model.
     pub offload: OffloadAccuracyReport,
+    /// The same cross-check under the retired CME-probability
+    /// heuristic — the baseline the model-accuracy gate compares
+    /// against.
+    pub offload_legacy: OffloadAccuracyReport,
 }
 
 impl ExplainReport {
@@ -646,13 +652,14 @@ impl ExplainReport {
 
 /// Mean predicted offload cycles per location over every chain the
 /// planner assessed (the candidate tables of the provenance) — the
-/// predicted side of the cost-model cross-check.
-pub fn predicted_offload_means(report: &CompilerReport) -> [f64; 4] {
+/// predicted side of the cost-model cross-check. `pick` selects which
+/// model's prediction to average.
+fn offload_means_by(report: &CompilerReport, pick: impl Fn(&CandidateRecord) -> f64) -> [f64; 4] {
     let mut sum = [0.0; 4];
     let mut n = [0u64; 4];
     for chain in &report.provenance {
         for c in &chain.candidates {
-            sum[c.location.index()] += c.predicted_cycles;
+            sum[c.location.index()] += pick(c);
             n[c.location.index()] += 1;
         }
     }
@@ -663,6 +670,17 @@ pub fn predicted_offload_means(report: &CompilerReport) -> [f64; 4] {
         }
     }
     out
+}
+
+/// Per-location mean predictions of the reuse-derived static model.
+pub fn predicted_offload_means(report: &CompilerReport) -> [f64; 4] {
+    offload_means_by(report, |c| c.predicted_cycles)
+}
+
+/// Per-location mean predictions of the retired CME-probability
+/// heuristic, kept as the model-accuracy baseline.
+pub fn predicted_offload_means_legacy(report: &CompilerReport) -> [f64; 4] {
+    offload_means_by(report, |c| c.predicted_cycles_legacy)
 }
 
 /// Compile one benchmark with Algorithm 2, run it with span tracing at
@@ -687,12 +705,18 @@ pub fn explain_benchmark(
         out.result.ndc_offload_cycles,
         out.result.ndc_offload_samples,
     );
+    let offload_legacy = offload_accuracy(
+        predicted_offload_means_legacy(&compiler),
+        out.result.ndc_offload_cycles,
+        out.result.ndc_offload_samples,
+    );
     ExplainReport {
         name: bench.name.to_string(),
         result: out.result,
         compiler,
         spans: out.spans,
         offload,
+        offload_legacy,
     }
 }
 

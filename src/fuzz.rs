@@ -1,8 +1,10 @@
 //! Seeded end-to-end fuzzing: generated IR through every layer.
 //!
 //! One seed drives one [`ndc_workloads::gen`] program through the full
-//! stack — static legality (verifier + bounds prover), both compiler
-//! algorithms, schedule lint certification, the differential oracle,
+//! stack — static legality (verifier + bounds prover), the reuse
+//! analysis cross-checked against interpreter-measured footprints,
+//! both compiler algorithms, schedule lint certification, the
+//! differential oracle,
 //! structured lowering, the checked simulator (`CheckLevel::full()`),
 //! and finally the DAMOV-style bottleneck classifier. Any divergence,
 //! invariant violation, or panic is reported *with the seed that
@@ -113,7 +115,22 @@ pub fn fuzz_one(seed: u64, cfg: &ArchConfig) -> FuzzOutcome {
         return out; // invalid IR would only cascade noise downstream
     }
 
-    // Stage 1b: the layout pass must preserve static legality — a
+    // Stage 1b: reuse analysis. Every generated program must analyze
+    // without panicking, and every fact the analysis emits must honor
+    // its own soundness contract against the interpreter: measured
+    // footprints equal `Exact`-tagged counts, never exceed `Bound`s.
+    match catch_unwind(AssertUnwindSafe(|| {
+        chk::cross_check_workload(prog, cfg.l1.line_bytes, cfg.l2.line_bytes)
+    })) {
+        Ok(sum) => {
+            for v in &sum.violations {
+                fail(&mut out.failures, "reuse", v.clone());
+            }
+        }
+        Err(p) => fail(&mut out.failures, "reuse", panic_text(p)),
+    }
+
+    // Stage 1c: the layout pass must preserve static legality — a
     // re-based program stays verifiable, provably in bounds, and its
     // arrays stay pairwise disjoint (shifts that cannot fit are
     // refused, never applied half-way).

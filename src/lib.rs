@@ -19,6 +19,7 @@
 //! | [`ndc_ir`] | loop-nest IR: affine accesses, dependences, transforms, lowering |
 //! | [`ndc_lint`] | static legality: IR verifier, bounds prover, `T·D` certificates, race detector |
 //! | [`ndc_cme`] | Cache Miss Equations estimator (paper §5.2) |
+//! | [`ndc_reuse`] | static reuse/footprint analysis: `Exact`/`Bound` line & byte counts |
 //! | [`ndc_compiler`] | **the paper's contribution**: Algorithms 1 & 2 |
 //! | [`ndc_workloads`] | the 20 paper benchmarks as synthetic IR kernels |
 //! | [`ndc_check`] | differential oracle, simulator invariants, fault injection |
@@ -62,6 +63,7 @@ pub use ndc_lint as lint;
 pub use ndc_mem as mem;
 pub use ndc_noc as noc;
 pub use ndc_obs as obs;
+pub use ndc_reuse as reuse;
 pub use ndc_sim as sim;
 pub use ndc_types as types;
 pub use ndc_workloads as workloads;

@@ -1,0 +1,85 @@
+//! Integration: the reuse analysis (`ndc-reuse`) against the real
+//! benchmarks — the Exact/Bound soundness contract cross-checked by
+//! the interpreter for all 20 kernels, the seeded corrupted-reuse
+//! fault, provenance threading through the compiler, and the fuzz
+//! stage that holds generated IR to the same contract.
+
+use ndc::check::{cross_check_workload, inject_reuse};
+use ndc::fuzz::fuzz_batch;
+use ndc::prelude::*;
+use ndc::reuse::{analyze_program, cross_check_program};
+
+fn cfg() -> ArchConfig {
+    ArchConfig::paper_default()
+}
+
+#[test]
+fn every_workload_cross_checks_clean() {
+    let cfg = cfg();
+    let (l1, l2) = (cfg.l1.line_bytes, cfg.l2.line_bytes);
+    let mut exact_total = 0;
+    let mut bound_total = 0;
+    for bench in all_benchmarks() {
+        let prog = bench.build_timesteps(Scale::Test, 1);
+        let sum = cross_check_workload(&prog, l1, l2);
+        assert!(
+            sum.ok(),
+            "{}: reuse contract violated: {:?}",
+            bench.name,
+            sum.violations
+        );
+        assert!(sum.refs > 0, "{}: no references analyzed", bench.name);
+        exact_total += sum.exact_refs;
+        bound_total += sum.bound_refs;
+    }
+    // The suite exercises both sides of the contract: equality on
+    // Exact-tagged counts and domination on Bound-tagged ones.
+    assert!(exact_total > 0, "no workload proved a single exact count");
+    assert!(bound_total > 0, "no workload carried a bound");
+}
+
+#[test]
+fn corrupted_reuse_vector_is_caught_on_a_real_workload() {
+    let cfg = cfg();
+    let prog = by_name("md").unwrap().build(Scale::Test);
+    let mut report = analyze_program(&prog, cfg.l1.line_bytes, cfg.l2.line_bytes);
+    assert!(inject_reuse(&mut report, 0xDEADBEEF));
+    let sum = cross_check_program(&prog, &report, cfg.l1.line_bytes, cfg.l2.line_bytes);
+    assert!(!sum.ok(), "corruption must trip the cross-check");
+}
+
+#[test]
+fn compiler_threads_reuse_provenance_into_the_report() {
+    let cfg = cfg();
+    let prog = by_name("kdtree").unwrap().build(Scale::Test);
+    let (_, report) = compile_algorithm2(&prog, &cfg, cfg.nodes(), Algorithm2Options::default());
+    let with_reuse = report
+        .provenance
+        .iter()
+        .filter(|c| c.reuse.is_some())
+        .count();
+    assert!(
+        with_reuse > 0,
+        "no planned chain carries reuse facts in its provenance"
+    );
+    for c in report.provenance.iter().filter_map(|c| c.reuse.as_ref()) {
+        // The facts must be internally consistent: the union footprint
+        // never exceeds the sum of the parts and never undercuts the
+        // larger one.
+        let (a, b) = (c.a.l2_lines.value, c.b.l2_lines.value);
+        assert!(c.union_l2_lines <= a.saturating_add(b));
+        assert!(c.union_l2_lines >= a.max(b));
+        assert!(c.shared_l2_iters <= c.a.accesses.max(c.b.accesses));
+    }
+}
+
+#[test]
+fn fuzzed_programs_hold_the_reuse_contract() {
+    // A small batch through the full pipeline — the reuse stage runs
+    // inside fuzz_one, so any analysis panic or Exact/Bound violation
+    // on generated IR fails here with a reproducing seed.
+    let cfg = cfg();
+    for o in fuzz_batch(0x5EED_CAFE, 12, &cfg) {
+        assert!(o.passed(), "seed {:#018x} failed: {:?}", o.seed, o.failures);
+    }
+}
